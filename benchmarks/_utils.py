@@ -1,0 +1,21 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a workload exactly once per benchmark (no warm-up repetitions).
+
+    The workloads are deterministic and relatively long-running, so a single
+    round gives stable, comparable numbers without multiplying the suite's
+    runtime.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_counters(benchmark, measurement) -> None:
+    """Record the machine-independent counters next to the timing."""
+    row = measurement.as_row()
+    for key in ("distance_calls", "candidates", "postings_scanned", "results",
+                "lists_dropped", "blocks_skipped", "partitions_visited"):
+        benchmark.extra_info[key] = row.get(key, 0)

@@ -1,0 +1,106 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* Partition validation: BK-tree per partition (the paper's design) versus an
+  exhaustive scan of every partition member.
+* Blocked access: block skipping on versus off (all blocks admissible).
+* Medoid filtering: with and without list dropping (Coarse vs Coarse+Drop on
+  the same coarse index, isolating the +Drop contribution).
+* Partitioning strategy: BK-tree guided versus random-medoid partitioning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.blocked_prune import BlockedPrune
+from repro.algorithms.coarse import CoarseDropSearch, CoarseSearch
+from repro.core.coarse_index import CoarseIndex
+from repro.core.ranking import Ranking
+from repro.core.result import SearchResult
+from repro.experiments.harness import run_workload
+from repro.metric.partitioning import bktree_partition, random_medoid_partition
+
+from _utils import attach_counters, run_once
+
+THETA = 0.2
+
+_shared = {}
+
+
+def _coarse_index(setup, theta_c=0.3) -> CoarseIndex:
+    key = ("index", setup.name, theta_c)
+    if key not in _shared:
+        _shared[key] = CoarseIndex.build(setup.rankings, theta_c=theta_c)
+    return _shared[key]
+
+
+@pytest.mark.benchmark(group="ablation-partition-validation")
+@pytest.mark.parametrize("validation", ["bktree", "exhaustive"])
+def test_partition_validation(benchmark, validation, nyt_setup):
+    """BK-tree partition validation versus exhaustive member scans."""
+    index = _coarse_index(nyt_setup)
+    algorithm = CoarseSearch(
+        nyt_setup.rankings, coarse_index=index, exhaustive_validation=(validation == "exhaustive")
+    )
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup.queries, THETA)
+    benchmark.extra_info["validation"] = validation
+    attach_counters(benchmark, measurement)
+
+
+class _NoSkipBlockedPrune(BlockedPrune):
+    """Blocked+Prune with block skipping disabled (every block is admissible)."""
+
+    name = "Blocked+Prune(no-skip)"
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        original = self._index.admissible_blocks
+
+        def admissible_without_skipping(item, query_rank, theta_raw, stats=None):
+            return original(item, query_rank, float("inf"), stats=stats)
+
+        self._index.admissible_blocks = admissible_without_skipping  # type: ignore[method-assign]
+        try:
+            super()._search(query, theta, result)
+        finally:
+            self._index.admissible_blocks = original  # type: ignore[method-assign]
+
+
+@pytest.mark.benchmark(group="ablation-block-skipping")
+@pytest.mark.parametrize("variant", ["skip", "no-skip"])
+def test_block_skipping(benchmark, variant, nyt_setup):
+    """Blocked access with and without the |j - q(i)| > theta block filter."""
+    key = ("blocked", variant)
+    if key not in _shared:
+        cls = BlockedPrune if variant == "skip" else _NoSkipBlockedPrune
+        _shared[key] = cls.build(nyt_setup.rankings)
+    algorithm = _shared[key]
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup.queries, 0.1)
+    benchmark.extra_info["variant"] = variant
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="ablation-medoid-drop")
+@pytest.mark.parametrize("variant", ["Coarse", "Coarse+Drop"])
+def test_medoid_list_dropping(benchmark, variant, nyt_setup):
+    """Isolate the +Drop contribution by sharing one coarse index between both."""
+    index = _coarse_index(nyt_setup, theta_c=0.06)
+    cls = CoarseSearch if variant == "Coarse" else CoarseDropSearch
+    algorithm = cls(nyt_setup.rankings, coarse_index=index)
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup.queries, 0.1)
+    benchmark.extra_info["variant"] = variant
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="ablation-partitioning-strategy")
+@pytest.mark.parametrize("strategy", ["bktree", "random-medoid"])
+def test_partitioning_strategy(benchmark, strategy, yago_setup):
+    """Construction cost and partition count of the two partitioning strategies."""
+    partitioner = bktree_partition if strategy == "bktree" else random_medoid_partition
+
+    def build():
+        return CoarseIndex.build(yago_setup.rankings, theta_c=0.3, partitioner=partitioner)
+
+    index = run_once(benchmark, build)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["num_partitions"] = index.num_partitions()
+    benchmark.extra_info["construction_distance_calls"] = index.construction_distance_calls

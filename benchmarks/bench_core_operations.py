@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the core operations the cost model is calibrated on.
+
+These are the ``CostFootrule(k)`` and ``Costmerge(k, size)`` primitives of
+Section 5 plus the basic index-probe operations; they are useful for spotting
+performance regressions in the core library independent of any figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distances import footrule_topk, footrule_topk_raw, kendall_tau_topk
+from repro.core.ranking import Ranking
+from repro.invindex.augmented import AugmentedInvertedIndex
+from repro.invindex.plain import PlainInvertedIndex
+
+
+@pytest.fixture(scope="module")
+def ranking_pairs(nyt_setup):
+    rankings = list(nyt_setup.rankings)
+    return [(rankings[i], rankings[-(i + 1)]) for i in range(50)]
+
+
+@pytest.mark.benchmark(group="micro-distance")
+@pytest.mark.parametrize("k", [10, 20, 40])
+def test_footrule_cost(benchmark, k):
+    """CostFootrule(k): one Footrule evaluation for rankings of size k."""
+    left = Ranking(list(range(k)))
+    right = Ranking(list(range(k // 2, k // 2 + k)))
+    benchmark(footrule_topk_raw, left, right)
+
+
+@pytest.mark.benchmark(group="micro-distance")
+def test_footrule_batch(benchmark, ranking_pairs):
+    """Footrule over a batch of real dataset pairs (normalised variant)."""
+
+    def evaluate_batch():
+        return sum(footrule_topk(left, right) for left, right in ranking_pairs)
+
+    benchmark(evaluate_batch)
+
+
+@pytest.mark.benchmark(group="micro-distance")
+def test_kendall_tau_cost(benchmark):
+    """Kendall's tau is quadratic in k and noticeably slower than the Footrule."""
+    left = Ranking(list(range(10)))
+    right = Ranking(list(range(5, 15)))
+    benchmark(kendall_tau_topk, left, right)
+
+
+@pytest.mark.benchmark(group="micro-index-probe")
+def test_plain_index_candidates(benchmark, nyt_setup):
+    """Costmerge analogue: unioning the k index lists of a query."""
+    index = PlainInvertedIndex.build(nyt_setup.rankings)
+    query = nyt_setup.queries[0]
+    benchmark(index.candidates, query)
+
+
+@pytest.mark.benchmark(group="micro-index-probe")
+def test_augmented_index_candidate_ranks(benchmark, nyt_setup):
+    """Collecting (item, rank) partial information for one query."""
+    index = AugmentedInvertedIndex.build(nyt_setup.rankings)
+    query = nyt_setup.queries[0]
+    benchmark(index.candidate_ranks, query)

@@ -1,0 +1,65 @@
+"""Figure 10 — number of distance-function calls (DFC) per algorithm.
+
+The figure is counter-based, not timing-based: the benchmark times the
+workload (so it doubles as a timing datapoint) but the quantity the paper
+plots is ``extra_info["distance_calls"]``.  Expected shapes: Minimal F&V is
+the floor (one call per true result), +Drop variants cut the calls of their
+base algorithms, and the coarse variants can even go below the result count
+because partition members share computations through the BK-tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+from repro.algorithms.registry import DFC_ALGORITHMS, make_algorithm
+from repro.experiments.harness import run_workload
+
+from _utils import attach_counters, run_once
+from conftest import BENCH_THETAS, COARSE_KWARGS
+
+_algorithms = {}
+
+
+def _algorithm(setup, name: str):
+    key = (setup.name, setup.k, name)
+    if key not in _algorithms:
+        _algorithms[key] = make_algorithm(name, setup.rankings, **COARSE_KWARGS.get(name, {}))
+    return _algorithms[key]
+
+
+@pytest.mark.benchmark(group="figure10-dfc-nyt-k10")
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+@pytest.mark.parametrize("name", DFC_ALGORITHMS)
+def test_figure10_nyt_k10(benchmark, name, theta, nyt_setup):
+    algorithm = _algorithm(nyt_setup, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(nyt_setup.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="figure10-dfc-nyt-k20")
+@pytest.mark.parametrize("theta", (0.1, 0.3))
+@pytest.mark.parametrize("name", DFC_ALGORITHMS)
+def test_figure10_nyt_k20(benchmark, name, theta, nyt_setup_k20):
+    algorithm = _algorithm(nyt_setup_k20, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(nyt_setup_k20.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup_k20.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="figure10-dfc-yago-k10")
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+@pytest.mark.parametrize("name", DFC_ALGORITHMS)
+def test_figure10_yago_k10(benchmark, name, theta, yago_setup):
+    algorithm = _algorithm(yago_setup, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(yago_setup.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, yago_setup.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)

@@ -1,0 +1,44 @@
+"""Figure 3 — cost-model curves for varying theta_C on both dataset presets.
+
+The benchmark times the model evaluation itself (it is part of index tuning,
+so its cost matters) and records the predicted filter/validate/overall values
+plus the recommended theta_C in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import cost_model_inputs_for
+from repro.core.cost_model import CostModel
+
+from _utils import run_once
+
+THETA = 0.2
+GRID = [round(0.05 * i, 2) for i in range(16)]
+
+
+@pytest.mark.benchmark(group="figure3-cost-model")
+@pytest.mark.parametrize("dataset", ["nyt", "yago"])
+def test_figure3_cost_curve(benchmark, dataset, nyt_setup, yago_setup):
+    setup = nyt_setup if dataset == "nyt" else yago_setup
+    inputs = cost_model_inputs_for(setup.rankings, sample_pairs=5000)
+    model = CostModel(inputs)
+    feasible = [value for value in GRID if value + THETA < 1.0]
+
+    def evaluate():
+        return model.recommend_theta_c(THETA, feasible)
+
+    recommendation = run_once(benchmark, evaluate)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["zipf_s"] = round(inputs.zipf_s, 3)
+    benchmark.extra_info["recommended_theta_c"] = recommendation.theta_c
+    benchmark.extra_info["curve_overall"] = {
+        str(point.theta_c): round(point.total, 2) for point in recommendation.curve
+    }
+    benchmark.extra_info["curve_filter"] = {
+        str(point.theta_c): round(point.filter_cost, 2) for point in recommendation.curve
+    }
+    benchmark.extra_info["curve_validate"] = {
+        str(point.theta_c): round(point.validate_cost, 2) for point in recommendation.curve
+    }

@@ -1,0 +1,66 @@
+"""Figure 5 — M-tree versus BK-tree query time (NYT-like dataset).
+
+Left panel: vary the ranking size k at theta = 0.1.
+Right panel: vary theta at k = 10.
+Expected shape: the BK-tree answers queries faster than the M-tree (both are
+orders of magnitude behind the inverted-index methods of Figure 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+from repro.experiments.harness import run_workload
+
+from _utils import attach_counters, run_once
+from conftest import BENCH_METRIC_N
+
+KS = (5, 10, 20)
+THETAS = (0.1, 0.2, 0.3)
+TREES = {"BK-tree": BKTreeSearch, "M-tree": MTreeSearch}
+
+_datasets = {}
+_algorithms = {}
+
+
+def _setup(k: int):
+    if k not in _datasets:
+        rankings = nyt_like_dataset(n=BENCH_METRIC_N, k=k)
+        queries = sample_queries(rankings, 5, seed=3)
+        _datasets[k] = (rankings, queries)
+    return _datasets[k]
+
+
+def _algorithm(name: str, k: int):
+    key = (name, k)
+    if key not in _algorithms:
+        rankings, _queries = _setup(k)
+        _algorithms[key] = TREES[name].build(rankings)
+    return _algorithms[key]
+
+
+@pytest.mark.benchmark(group="figure5-vary-k")
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("tree", list(TREES))
+def test_figure5_vary_k(benchmark, tree, k):
+    """Left panel: query time for theta = 0.1 as k grows."""
+    _rankings, queries = _setup(k)
+    algorithm = _algorithm(tree, k)
+    measurement = run_once(benchmark, run_workload, algorithm, queries, 0.1)
+    benchmark.extra_info["k"] = k
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="figure5-vary-theta")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("tree", list(TREES))
+def test_figure5_vary_theta(benchmark, tree, theta):
+    """Right panel: query time at k = 10 as theta grows."""
+    _rankings, queries = _setup(10)
+    algorithm = _algorithm(tree, 10)
+    measurement = run_once(benchmark, run_workload, algorithm, queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)

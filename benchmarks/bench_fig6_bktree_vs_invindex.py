@@ -1,0 +1,66 @@
+"""Figure 6 — BK-tree versus the plain inverted index (F&V), NYT-like dataset.
+
+Expected shape: F&V outperforms the BK-tree across all k and theta values,
+which is the paper's motivation for building on inverted indices rather than
+metric trees alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.metric_search import BKTreeSearch
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+from repro.experiments.harness import run_workload
+
+from _utils import attach_counters, run_once
+from conftest import BENCH_METRIC_N
+
+KS = (5, 10, 20)
+THETAS = (0.1, 0.2, 0.3)
+ALGORITHMS = {"BK-tree": BKTreeSearch, "F&V": FilterValidate}
+
+_datasets = {}
+_algorithms = {}
+
+
+def _setup(k: int):
+    if k not in _datasets:
+        rankings = nyt_like_dataset(n=BENCH_METRIC_N, k=k)
+        queries = sample_queries(rankings, 5, seed=3)
+        _datasets[k] = (rankings, queries)
+    return _datasets[k]
+
+
+def _algorithm(name: str, k: int):
+    key = (name, k)
+    if key not in _algorithms:
+        rankings, _queries = _setup(k)
+        _algorithms[key] = ALGORITHMS[name].build(rankings)
+    return _algorithms[key]
+
+
+@pytest.mark.benchmark(group="figure6-vary-k")
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_figure6_vary_k(benchmark, name, k):
+    """Left panel: query time for theta = 0.1 as k grows."""
+    _rankings, queries = _setup(k)
+    algorithm = _algorithm(name, k)
+    measurement = run_once(benchmark, run_workload, algorithm, queries, 0.1)
+    benchmark.extra_info["k"] = k
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="figure6-vary-theta")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_figure6_vary_theta(benchmark, name, theta):
+    """Right panel: query time at k = 10 as theta grows."""
+    _rankings, queries = _setup(10)
+    algorithm = _algorithm(name, 10)
+    measurement = run_once(benchmark, run_workload, algorithm, queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)

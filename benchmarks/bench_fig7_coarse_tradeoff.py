@@ -1,0 +1,44 @@
+"""Figure 7 — measured coarse-index filtering/validation trade-off over theta_C.
+
+One benchmark per (dataset, theta_C) grid point at theta = 0.2, k = 10.  The
+filtering and validation phase times are attached as extra_info so the two
+curves of the paper's figure can be read off the benchmark JSON; the expected
+shape is decreasing filtering time, increasing validation time, and an
+interior minimum of the total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.coarse import CoarseSearch
+from repro.experiments.harness import run_workload
+
+from _utils import attach_counters, run_once
+
+THETA = 0.2
+THETA_C_GRID = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
+
+_algorithms = {}
+
+
+def _algorithm(setup, theta_c: float) -> CoarseSearch:
+    key = (setup.name, theta_c)
+    if key not in _algorithms:
+        _algorithms[key] = CoarseSearch.build(setup.rankings, theta_c=theta_c)
+    return _algorithms[key]
+
+
+@pytest.mark.benchmark(group="figure7-coarse-tradeoff")
+@pytest.mark.parametrize("theta_c", THETA_C_GRID)
+@pytest.mark.parametrize("dataset", ["nyt", "yago"])
+def test_figure7_tradeoff(benchmark, dataset, theta_c, nyt_setup, yago_setup):
+    setup = nyt_setup if dataset == "nyt" else yago_setup
+    algorithm = _algorithm(setup, theta_c)
+    measurement = run_once(benchmark, run_workload, algorithm, setup.queries, THETA)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["theta_c"] = theta_c
+    benchmark.extra_info["filter_seconds"] = round(measurement.stats.filter_seconds, 6)
+    benchmark.extra_info["validate_seconds"] = round(measurement.stats.validate_seconds, 6)
+    benchmark.extra_info["num_partitions"] = algorithm.coarse_index.num_partitions()
+    attach_counters(benchmark, measurement)

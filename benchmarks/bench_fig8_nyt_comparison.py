@@ -1,0 +1,51 @@
+"""Figure 8 — full algorithm comparison on the NYT-like dataset (k = 10 and k = 20).
+
+One benchmark per (algorithm, theta, k).  Expected shapes from the paper:
+Coarse+Drop is the overall winner, F&V+Drop runs close to the Minimal F&V
+oracle, the threshold-agnostic baselines (F&V, ListMerge) are flat in theta,
+and AdaptSearch is beaten by the coarse variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+from repro.algorithms.registry import COMPARISON_ALGORITHMS, make_algorithm
+from repro.experiments.harness import run_workload
+
+from _utils import attach_counters, run_once
+from conftest import BENCH_THETAS, COARSE_KWARGS
+
+_algorithms = {}
+
+
+def _algorithm(setup, name: str):
+    key = (setup.name, setup.k, name)
+    if key not in _algorithms:
+        _algorithms[key] = make_algorithm(name, setup.rankings, **COARSE_KWARGS.get(name, {}))
+    return _algorithms[key]
+
+
+@pytest.mark.benchmark(group="figure8-nyt-k10")
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+@pytest.mark.parametrize("name", COMPARISON_ALGORITHMS)
+def test_figure8_nyt_k10(benchmark, name, theta, nyt_setup):
+    algorithm = _algorithm(nyt_setup, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(nyt_setup.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="figure8-nyt-k20")
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+@pytest.mark.parametrize("name", COMPARISON_ALGORITHMS)
+def test_figure8_nyt_k20(benchmark, name, theta, nyt_setup_k20):
+    algorithm = _algorithm(nyt_setup_k20, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(nyt_setup_k20.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, nyt_setup_k20.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)

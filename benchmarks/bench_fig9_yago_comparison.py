@@ -1,0 +1,62 @@
+"""Figure 9 — full algorithm comparison on the Yago-like dataset (k = 10).
+
+Expected shapes from the paper: on the low-skew dataset the simple ListMerge
+baseline and AdaptSearch become competitive, Minimal F&V is far ahead of
+everything, but Coarse+Drop still beats AdaptSearch for small thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+from repro.algorithms.registry import COMPARISON_ALGORITHMS, make_algorithm
+from repro.experiments.harness import ExperimentSetup, run_workload
+
+from _utils import attach_counters, run_once
+from conftest import BENCH_N, BENCH_QUERIES, BENCH_THETAS, COARSE_KWARGS
+
+_algorithms = {}
+_setups = {}
+
+
+def _setup(k: int, yago_setup) -> ExperimentSetup:
+    if k == 10:
+        return yago_setup
+    if k not in _setups:
+        _setups[k] = ExperimentSetup.create(
+            dataset="yago", n=BENCH_N, k=k, num_queries=BENCH_QUERIES
+        )
+    return _setups[k]
+
+
+def _algorithm(setup, name: str):
+    key = (setup.name, setup.k, name)
+    if key not in _algorithms:
+        _algorithms[key] = make_algorithm(name, setup.rankings, **COARSE_KWARGS.get(name, {}))
+    return _algorithms[key]
+
+
+@pytest.mark.benchmark(group="figure9-yago-k10")
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+@pytest.mark.parametrize("name", COMPARISON_ALGORITHMS)
+def test_figure9_yago_k10(benchmark, name, theta, yago_setup):
+    algorithm = _algorithm(yago_setup, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(yago_setup.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, yago_setup.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)
+
+
+@pytest.mark.benchmark(group="figure9-yago-k20")
+@pytest.mark.parametrize("theta", (0.1, 0.3))
+@pytest.mark.parametrize("name", COMPARISON_ALGORITHMS)
+def test_figure9_yago_k20(benchmark, name, theta, yago_setup):
+    setup = _setup(20, yago_setup)
+    algorithm = _algorithm(setup, name)
+    if isinstance(algorithm, MinimalFilterValidate):
+        algorithm.prepare_workload(setup.queries, theta)
+    measurement = run_once(benchmark, run_workload, algorithm, setup.queries, theta)
+    benchmark.extra_info["theta"] = theta
+    attach_counters(benchmark, measurement)

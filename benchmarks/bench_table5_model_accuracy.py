@@ -1,0 +1,74 @@
+"""Table 5 — accuracy of the cost model's theta_C recommendation.
+
+For each dataset and each theta in {0.1, 0.2, 0.3} the coarse index is swept
+over a theta_C grid; the benchmark measures the sweep and attaches the gap
+(in milliseconds) between the best measured configuration and the
+configuration the calibrated cost model recommends.  The paper reports gaps
+of a few milliseconds up to ~30 ms; the expected shape here is that the gap
+is a small fraction of the workload runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import calibrate_costs
+from repro.analysis.stats import cost_model_inputs_for
+from repro.algorithms.coarse import CoarseSearch
+from repro.core.cost_model import CostModel
+from repro.experiments.harness import run_workload
+
+from _utils import run_once
+
+THETA_C_GRID = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
+THETAS = (0.1, 0.2, 0.3)
+
+_algorithms = {}
+_models = {}
+
+
+def _algorithm(setup, theta_c: float) -> CoarseSearch:
+    key = (setup.name, theta_c)
+    if key not in _algorithms:
+        _algorithms[key] = CoarseSearch.build(setup.rankings, theta_c=theta_c)
+    return _algorithms[key]
+
+
+def _model(setup) -> CostModel:
+    if setup.name not in _models:
+        calibration = calibrate_costs(setup.k, repetitions=300)
+        inputs = cost_model_inputs_for(
+            setup.rankings,
+            cost_footrule=calibration.cost_footrule,
+            cost_merge=calibration.cost_merge,
+            sample_pairs=5000,
+        )
+        _models[setup.name] = CostModel(inputs)
+    return _models[setup.name]
+
+
+@pytest.mark.benchmark(group="table5-model-accuracy")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("dataset", ["nyt", "yago"])
+def test_table5_model_vs_best(benchmark, dataset, theta, nyt_setup, yago_setup):
+    setup = nyt_setup if dataset == "nyt" else yago_setup
+    model = _model(setup)
+    feasible = [value for value in THETA_C_GRID if value + theta < 1.0]
+    recommended = model.recommend_theta_c(theta, feasible).theta_c
+
+    def sweep():
+        timings = {}
+        for theta_c in feasible:
+            algorithm = _algorithm(setup, theta_c)
+            timings[theta_c] = run_workload(algorithm, setup.queries, theta).wall_seconds
+        return timings
+
+    timings = run_once(benchmark, sweep)
+    best_theta_c = min(timings, key=timings.get)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["theta"] = theta
+    benchmark.extra_info["model_theta_c"] = recommended
+    benchmark.extra_info["best_theta_c"] = best_theta_c
+    benchmark.extra_info["difference_ms"] = round(
+        (timings[recommended] - timings[best_theta_c]) * 1000.0, 3
+    )

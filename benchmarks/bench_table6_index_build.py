@@ -1,0 +1,47 @@
+"""Table 6 — index size and construction time for every index structure.
+
+One benchmark per (dataset, index structure); the construction is the timed
+operation and the size estimate plus construction distance calls are attached
+as extra_info.  Expected shapes: the plain inverted index is the cheapest to
+build, the rank-augmented index is the largest, and the coarse index is the
+most expensive to construct (it builds a BK-tree and partitions it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coarse_index import CoarseIndex
+from repro.core.distances import footrule_topk_raw
+from repro.invindex.augmented import AugmentedInvertedIndex
+from repro.invindex.blocked import BlockedInvertedIndex
+from repro.invindex.delta import DeltaInvertedIndex
+from repro.invindex.plain import PlainInvertedIndex
+from repro.metric.bktree import BKTree
+from repro.metric.mtree import MTree
+
+from _utils import run_once
+
+BUILDERS = {
+    "plain-inverted-index": lambda rankings: PlainInvertedIndex.build(rankings),
+    "augmented-inverted-index": lambda rankings: AugmentedInvertedIndex.build(rankings),
+    "blocked-inverted-index": lambda rankings: BlockedInvertedIndex.build(rankings),
+    "delta-inverted-index": lambda rankings: DeltaInvertedIndex.build(rankings),
+    "bk-tree": lambda rankings: BKTree.build(rankings.rankings, footrule_topk_raw),
+    "m-tree": lambda rankings: MTree.build(rankings.rankings, footrule_topk_raw, capacity=16),
+    "coarse-index": lambda rankings: CoarseIndex.build(rankings, theta_c=0.5),
+}
+
+
+@pytest.mark.benchmark(group="table6-index-build")
+@pytest.mark.parametrize("index_name", list(BUILDERS))
+@pytest.mark.parametrize("dataset", ["nyt", "yago"])
+def test_table6_build(benchmark, dataset, index_name, nyt_setup, yago_setup):
+    setup = nyt_setup if dataset == "nyt" else yago_setup
+    builder = BUILDERS[index_name]
+    built = run_once(benchmark, builder, setup.rankings)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["size_mb"] = round(built.memory_estimate_bytes() / (1024 * 1024), 4)
+    benchmark.extra_info["construction_distance_calls"] = getattr(
+        built, "construction_distance_calls", 0
+    )

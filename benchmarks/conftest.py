@@ -1,0 +1,59 @@
+"""Shared fixtures and scale configuration for the benchmark suite.
+
+Every benchmark regenerates one figure or table of the paper at a
+laptop-friendly scale.  The scale can be raised through environment
+variables without touching the code:
+
+``REPRO_BENCH_N``        collection size (default 800)
+``REPRO_BENCH_QUERIES``  queries per workload (default 15)
+``REPRO_BENCH_METRIC_N`` collection size for the metric-tree benches (default 400)
+
+The benchmark timings are the "figures"; the counter series (distance calls,
+candidates, ...) are attached to each benchmark's ``extra_info`` so they end
+up in the pytest-benchmark JSON output as well.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentSetup
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "800"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "15"))
+BENCH_METRIC_N = int(os.environ.get("REPRO_BENCH_METRIC_N", "400"))
+
+#: Thresholds the paper sweeps in its comparison figures.
+BENCH_THETAS = (0.1, 0.2, 0.3)
+
+#: Coarse-index tuning used in the paper's comparison figures.
+COARSE_KWARGS = {"Coarse": {"theta_c": 0.5}, "Coarse+Drop": {"theta_c": 0.06}}
+
+
+@pytest.fixture(scope="session")
+def nyt_setup() -> ExperimentSetup:
+    """NYT-like dataset plus query workload shared by all benchmarks."""
+    return ExperimentSetup.create(dataset="nyt", n=BENCH_N, k=10, num_queries=BENCH_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def yago_setup() -> ExperimentSetup:
+    """Yago-like dataset plus query workload shared by all benchmarks."""
+    return ExperimentSetup.create(dataset="yago", n=BENCH_N, k=10, num_queries=BENCH_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def nyt_setup_k20() -> ExperimentSetup:
+    """NYT-like dataset with k = 20 (the second panel of Figures 8 and 10)."""
+    return ExperimentSetup.create(dataset="nyt", n=BENCH_N, k=20, num_queries=BENCH_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def nyt_metric_setup() -> ExperimentSetup:
+    """Smaller NYT-like dataset for the metric-tree benchmarks (Figures 5-6)."""
+    setup = ExperimentSetup.create(
+        dataset="nyt", n=BENCH_METRIC_N, k=10, num_queries=max(5, BENCH_QUERIES // 3)
+    )
+    return setup

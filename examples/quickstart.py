@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: index a small collection of top-k rankings and query it.
+
+This example walks through the public API end to end:
+
+1. build a ranking collection,
+2. compute Footrule distances directly,
+3. build the coarse hybrid index (the paper's contribution) and two
+   baselines through the algorithm registry,
+4. run the same similarity query against all of them and compare the
+   work they performed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Ranking, RankingSet, footrule_topk, make_algorithm
+
+
+def main() -> None:
+    # -- 1. a tiny collection of top-5 rankings (favourite-movie lists, say) ----
+    rankings = RankingSet.from_lists(
+        [
+            [1, 2, 3, 4, 5],     # tau_0
+            [1, 2, 3, 5, 4],     # tau_1: near-duplicate of tau_0
+            [2, 1, 3, 4, 5],     # tau_2: near-duplicate of tau_0
+            [1, 2, 9, 8, 3],     # tau_3
+            [9, 8, 1, 2, 4],     # tau_4
+            [7, 1, 9, 4, 5],     # tau_5
+            [6, 1, 5, 2, 3],     # tau_6
+            [40, 41, 42, 43, 44],  # tau_7: unrelated to everything else
+        ]
+    )
+    print(f"indexed {len(rankings)} rankings of size k={rankings.k}")
+
+    # -- 2. distances can be computed directly ---------------------------------
+    query = Ranking([1, 2, 3, 4, 5])
+    for ranking in rankings:
+        distance = footrule_topk(query, ranking)
+        print(f"  F(query, tau_{ranking.rid}) = {distance:.3f}")
+
+    # -- 3. build three algorithms over the same collection --------------------
+    theta = 0.25  # normalised similarity threshold, chosen at query time
+    algorithms = [
+        make_algorithm("F&V", rankings),                      # inverted-index baseline
+        make_algorithm("BK-tree", rankings),                  # metric-space baseline
+        make_algorithm("Coarse+Drop", rankings, theta_c=0.1),  # the paper's hybrid
+    ]
+
+    # -- 4. run the same ad-hoc query against all of them ----------------------
+    print(f"\nquery = {list(query.items)}, theta = {theta}")
+    for algorithm in algorithms:
+        result = algorithm.search(query, theta)
+        matched = ", ".join(f"tau_{match.rid}({match.distance:.2f})" for match in result)
+        print(
+            f"  {algorithm.name:12s} -> {len(result)} results [{matched}] "
+            f"| distance calls: {result.stats.distance_calls}, "
+            f"postings scanned: {result.stats.postings_scanned}"
+        )
+
+    print(
+        "\nAll algorithms return the same result set; they differ in how much "
+        "work they do to find it — which is exactly what the paper studies."
+    )
+
+
+if __name__ == "__main__":
+    main()

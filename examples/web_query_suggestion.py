@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Query suggestion over web-search result rankings (the paper's NYT scenario).
+
+A search engine keeps, for every historic query, the top-10 result documents.
+Given the result list of a *currently issued* query, it wants all historic
+queries whose result lists are similar — those are good suggestion candidates.
+
+This example:
+
+1. generates an NYT-like collection of query-result rankings (skewed document
+   popularity, many near-duplicate result lists),
+2. tunes the coarse index with the analytical cost model (the "sweet spot"),
+3. answers a stream of ad-hoc suggestion queries and compares the coarse
+   index against the plain Filter & Validate baseline and the AdaptSearch
+   competitor.
+
+Run with::
+
+    python examples/web_query_suggestion.py [n_rankings]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import CostModel, cost_model_inputs_for, make_algorithm, nyt_like_dataset, sample_queries
+from repro.analysis.calibration import calibrate_costs
+
+
+def main(n: int = 2000) -> None:
+    k = 10
+    theta = 0.2
+
+    print(f"generating NYT-like query-result rankings: n={n}, k={k} ...")
+    rankings = nyt_like_dataset(n=n, k=k)
+    queries = sample_queries(rankings, 25, seed=17)
+
+    # -- tune the partitioning threshold with the cost model --------------------
+    print("calibrating unit costs and fitting the cost model ...")
+    calibration = calibrate_costs(k, repetitions=500)
+    inputs = cost_model_inputs_for(
+        rankings,
+        cost_footrule=calibration.cost_footrule,
+        cost_merge=calibration.cost_merge,
+    )
+    model = CostModel(inputs)
+    recommendation = model.recommend_theta_c(theta)
+    print(
+        f"  estimated Zipf skew s = {inputs.zipf_s:.2f}, "
+        f"recommended theta_C = {recommendation.theta_c:.2f}"
+    )
+
+    # -- build the contenders ----------------------------------------------------
+    contenders = {
+        "F&V": make_algorithm("F&V", rankings),
+        "AdaptSearch": make_algorithm("AdaptSearch", rankings),
+        "Coarse+Drop": make_algorithm("Coarse+Drop", rankings, theta_c=0.06),
+        "Coarse (model theta_C)": make_algorithm(
+            "Coarse", rankings, theta_c=recommendation.theta_c
+        ),
+    }
+
+    # -- answer the suggestion workload ------------------------------------------
+    print(f"\nanswering {len(queries)} suggestion queries with theta = {theta}:\n")
+    reference = None
+    for name, algorithm in contenders.items():
+        start = time.perf_counter()
+        total_results = 0
+        total_distance_calls = 0
+        result_sets = []
+        for query in queries:
+            result = algorithm.search(query, theta)
+            total_results += len(result)
+            total_distance_calls += result.stats.distance_calls
+            result_sets.append(result.rids)
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = result_sets
+        assert result_sets == reference, "all algorithms must return identical answers"
+        print(
+            f"  {name:24s} {elapsed * 1000:8.1f} ms total "
+            f"| {total_results} suggestions | {total_distance_calls} distance calls"
+        )
+
+    print(
+        "\nEvery contender returns the same suggestions; the coarse index gets "
+        "there with far fewer distance computations on this clustered, skewed "
+        "workload — the Figure 8 story of the paper."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    main(size)

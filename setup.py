@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured declaratively in ``pyproject.toml``; this file only
+exists so ``pip install -e .`` keeps working in fully offline environments
+where the PEP-517 editable build path is unavailable (no ``wheel`` package
+and no index to fetch build requirements from).
+"""
+
+from setuptools import setup
+
+setup()

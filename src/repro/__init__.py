@@ -1,0 +1,81 @@
+"""repro — top-k-list similarity search with a hybrid coarse index.
+
+A from-scratch reproduction of "The Sweet Spot between Inverted Indices and
+Metric-Space Indexing for Top-K-List Similarity Search" (Milchevski, Anand,
+Michel; EDBT 2015).
+
+Quickstart
+----------
+>>> from repro import RankingSet, Ranking, make_algorithm
+>>> rankings = RankingSet.from_lists([[1, 2, 3, 4, 5], [1, 2, 3, 5, 4], [9, 8, 7, 6, 5]])
+>>> coarse = make_algorithm("Coarse+Drop", rankings, theta_c=0.1)
+>>> result = coarse.search(Ranking([1, 2, 3, 4, 5]), theta=0.1)
+>>> sorted(result.rids)
+[0, 1]
+
+The public API re-exported here covers the ranking model, the distance
+functions, the coarse index and its cost model, the query algorithms (through
+the registry), the dataset generators and the experiment entry points; see
+README.md for the architecture overview.
+"""
+
+from repro.core import (
+    CoarseIndex,
+    CostModel,
+    CostModelInputs,
+    Ranking,
+    RankingSet,
+    SearchMatch,
+    SearchResult,
+    SearchStats,
+    footrule_topk,
+    footrule_topk_raw,
+    kendall_tau_topk,
+    max_footrule_distance,
+)
+from repro.algorithms import (
+    ALGORITHM_NAMES,
+    RankingSearchAlgorithm,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.analysis import cost_model_inputs_for
+from repro.datasets import (
+    DatasetSpec,
+    generate_clustered_rankings,
+    load_rankings,
+    nyt_like_dataset,
+    sample_queries,
+    save_rankings,
+    yago_like_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ranking",
+    "RankingSet",
+    "SearchResult",
+    "SearchMatch",
+    "SearchStats",
+    "CoarseIndex",
+    "CostModel",
+    "CostModelInputs",
+    "cost_model_inputs_for",
+    "footrule_topk",
+    "footrule_topk_raw",
+    "kendall_tau_topk",
+    "max_footrule_distance",
+    "RankingSearchAlgorithm",
+    "ALGORITHM_NAMES",
+    "available_algorithms",
+    "make_algorithm",
+    "DatasetSpec",
+    "generate_clustered_rankings",
+    "nyt_like_dataset",
+    "yago_like_dataset",
+    "sample_queries",
+    "save_rankings",
+    "load_rankings",
+    "__version__",
+]

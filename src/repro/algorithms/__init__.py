@@ -1,0 +1,60 @@
+"""Query-processing algorithms evaluated in the paper.
+
+Every algorithm implements :class:`RankingSearchAlgorithm` and is registered
+under its paper name in :mod:`repro.algorithms.registry`, so the experiment
+harness, the CLI and the benchmarks can run the full suite uniformly:
+
+================  ==========================================================
+Registry name      Description
+================  ==========================================================
+``F&V``            Filter & Validate over a plain inverted index
+``F&V+Drop``       F&V accessing only the lists required by Lemma 2
+``ListMerge``      Merge join of id-sorted, rank-augmented lists
+``Blocked+Prune``  Blocked list access with NRA-style bound pruning
+``Blocked+Prune+Drop``  Blocked access, pruning, and list dropping combined
+``Coarse``         Coarse index, medoid filtering via F&V
+``Coarse+Drop``    Coarse index, medoid filtering via F&V+Drop
+``AdaptSearch``    Adaptive prefix-filtering competitor
+``MinimalF&V``     Oracle lower bound (one materialised list per query)
+``BK-tree``        BK-tree range search baseline
+``M-tree``         M-tree range search baseline
+``VP-tree``        VP-tree range search baseline (extension)
+================  ==========================================================
+"""
+
+from repro.algorithms.adaptsearch import AdaptSearch
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.batch import BatchCoarseSearch
+from repro.algorithms.blocked_prune import BlockedPrune, BlockedPruneDrop
+from repro.algorithms.knn import BKTreeKNN, BruteForceKNN, KnnResult, RangeExpansionKNN
+from repro.algorithms.coarse import CoarseSearch, CoarseDropSearch
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.fv_drop import FilterValidateDrop
+from repro.algorithms.listmerge import ListMerge
+from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch, VPTreeSearch
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+from repro.algorithms.registry import ALGORITHM_NAMES, available_algorithms, make_algorithm
+
+__all__ = [
+    "RankingSearchAlgorithm",
+    "FilterValidate",
+    "FilterValidateDrop",
+    "ListMerge",
+    "BlockedPrune",
+    "BlockedPruneDrop",
+    "CoarseSearch",
+    "CoarseDropSearch",
+    "AdaptSearch",
+    "MinimalFilterValidate",
+    "BKTreeSearch",
+    "MTreeSearch",
+    "VPTreeSearch",
+    "BatchCoarseSearch",
+    "BruteForceKNN",
+    "BKTreeKNN",
+    "RangeExpansionKNN",
+    "KnnResult",
+    "ALGORITHM_NAMES",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,188 @@
+"""Blocked list access with NRA-style pruning (Sections 6.2 and 6.3).
+
+``Blocked+Prune`` processes the query's index lists one item at a time
+(list-at-a-time) over the rank-sorted, blocked inverted index.  Blocks whose
+rank differs from the item's query rank by more than the raw threshold are
+skipped entirely — every ranking inside them already carries a partial
+distance above the threshold from that single item.  For the rankings seen in
+the admissible blocks, lower and upper Footrule bounds are maintained
+(Section 6.2): candidates whose lower bound exceeds the threshold are evicted
+early, candidates whose upper bound is at or below the threshold are reported
+early without a final distance computation.  Survivors are validated with an
+exact Footrule evaluation.
+
+``Blocked+Prune+Drop`` additionally drops entire index lists using the
+overlap bound of Section 6.1, exactly like ``F&V+Drop``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.distances import footrule_topk_raw
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import PhaseTimer
+from repro.invindex.blocked import BlockedInvertedIndex
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.fv_drop import select_query_items
+
+
+@dataclass
+class _CandidateState:
+    """Partial information accumulated for one candidate ranking."""
+
+    seen_ranks: dict[int, int] = field(default_factory=dict)
+    exact_partial: int = 0
+    decided: bool = False
+
+
+class BlockedPrune(RankingSearchAlgorithm):
+    """Blocked list access with bound-based pruning of candidates."""
+
+    name = "Blocked+Prune"
+
+    #: Whether the overlap-based list dropping of Section 6.1 is applied.
+    drop_lists = False
+
+    def __init__(
+        self, rankings: RankingSet, index: Optional[BlockedInvertedIndex] = None
+    ) -> None:
+        super().__init__(rankings)
+        self._index = index if index is not None else BlockedInvertedIndex.build(rankings)
+
+    @classmethod
+    def build(cls, rankings: RankingSet) -> "BlockedPrune":
+        """Build the algorithm together with its blocked inverted index."""
+        return cls(rankings)
+
+    @property
+    def index(self) -> BlockedInvertedIndex:
+        """The underlying blocked inverted index."""
+        return self._index
+
+    def _query_items(self, query: Ranking, theta_raw: float) -> list[int]:
+        """Which query items' lists to process (all of them unless dropping)."""
+        if not self.drop_lists:
+            return list(query.items)
+        lengths = {item: self._index.list_length(item) for item in query.items}
+        return select_query_items(lengths, query, theta_raw)
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        k = self.k
+        theta_raw = self.theta_raw(theta)
+        stats = result.stats
+        query_ranks = query.rank_map()
+
+        candidates: dict[int, _CandidateState] = {}
+        accepted: set[int] = set()
+
+        with PhaseTimer(stats, "filter_seconds"):
+            items = self._query_items(query, theta_raw)
+            stats.lists_dropped += query.size - len(items)
+            # shortest lists first: early prunes remove bookkeeping sooner
+            items = sorted(items, key=self._index.list_length)
+            processed: list[int] = []
+
+            for item in items:
+                stats.lists_accessed += 1
+                query_rank = query.rank_of(item)
+                for block in self._index.admissible_blocks(item, query_rank, theta_raw, stats=stats):
+                    contribution = abs(block.rank - query_rank)
+                    for posting in block.postings:
+                        state = candidates.get(posting.rid)
+                        if state is None:
+                            state = _CandidateState()
+                            candidates[posting.rid] = state
+                            stats.candidates += 1
+                        if state.decided:
+                            continue
+                        state.seen_ranks[item] = posting.rank
+                        state.exact_partial += contribution
+
+                processed.append(item)
+                self._apply_bounds(candidates, accepted, query, theta_raw, k, processed, stats)
+
+        with PhaseTimer(stats, "validate_seconds"):
+            # early-accepted candidates are reported without a final distance
+            # evaluation (their upper bound already certifies membership); the
+            # reported distance is that certified (possibly loose) bound
+            for rid in accepted:
+                state = candidates[rid]
+                occupied = set(state.seen_ranks.values())
+                candidate_penalty = sum(k - rank for rank in range(k) if rank not in occupied)
+                upper = min(theta_raw, state.exact_partial + candidate_penalty)
+                self._add_raw_match(result, self._rankings[rid], upper)
+            survivors = [
+                rid for rid, state in candidates.items() if not state.decided
+            ]
+            for rid in survivors:
+                ranking = self._rankings[rid]
+                stats.distance_calls += 1
+                separation = footrule_topk_raw(query, ranking)
+                if separation <= theta_raw:
+                    self._add_raw_match(result, ranking, separation)
+
+    def _apply_bounds(
+        self,
+        candidates: dict[int, _CandidateState],
+        accepted: set[int],
+        query: Ranking,
+        theta_raw: float,
+        k: int,
+        processed: list[int],
+        stats,
+    ) -> None:
+        """Evict candidates that can no longer qualify, accept sure winners early.
+
+        Block skipping makes absence ambiguous: a candidate missing from the
+        processed (admissible) part of a list is either missing the item
+        entirely — contributing ``k - q(i)`` — or holds it in a skipped
+        block — contributing more than ``theta_raw``.  Both cases contribute
+        at least ``min(k - q(i), floor(theta_raw) + 1)``, which is what the
+        lower bound charges for every processed-but-unseen query item.  The
+        upper bound charges every unseen query item its worst case
+        ``max(q(i), k - q(i))`` (present anywhere or absent) plus the worst
+        case for every candidate rank slot not occupied by a seen item; it is
+        deliberately loose but always safe, so early accepts never introduce
+        false positives.
+        """
+        skip_floor = int(math.floor(theta_raw)) + 1
+        missing_lower = {
+            item: min(k - query.rank_of(item), skip_floor) for item in processed
+        }
+        unseen_upper = {item: max(query.rank_of(item), k - query.rank_of(item)) for item in query.items}
+        for rid, state in candidates.items():
+            if state.decided:
+                continue
+            lower = state.exact_partial + sum(
+                penalty for item, penalty in missing_lower.items() if item not in state.seen_ranks
+            )
+            if lower > theta_raw:
+                state.decided = True
+                stats.bound_prunes += 1
+                continue
+            occupied = set(state.seen_ranks.values())
+            candidate_penalty = sum(k - rank for rank in range(k) if rank not in occupied)
+            query_penalty = sum(
+                penalty for item, penalty in unseen_upper.items() if item not in state.seen_ranks
+            )
+            upper = state.exact_partial + query_penalty + candidate_penalty
+            if upper <= theta_raw:
+                state.decided = True
+                accepted.add(rid)
+                stats.bound_accepts += 1
+
+
+class BlockedPruneDrop(BlockedPrune):
+    """Blocked access with pruning *and* overlap-based list dropping."""
+
+    name = "Blocked+Prune+Drop"
+    drop_lists = True
+
+    @classmethod
+    def build(cls, rankings: RankingSet) -> "BlockedPruneDrop":
+        """Build the algorithm together with its blocked inverted index."""
+        return cls(rankings)

@@ -1,0 +1,169 @@
+"""Query processing over the coarse hybrid index (Algorithm 1 of the paper).
+
+``Coarse`` answers a query in two phases:
+
+1. **Filtering** — the medoids (which are rankings themselves) are indexed in
+   a plain inverted index; the query is executed against it with the relaxed
+   threshold ``theta + theta_C`` using plain F&V, which by Lemma 1 retrieves
+   every medoid whose partition could contain a result.
+2. **Validation** — each retrieved medoid's partition, stored as a BK-tree,
+   is range-searched with the *original* threshold ``theta``, eliminating the
+   false positives without an exhaustive scan of the partition.
+
+``Coarse+Drop`` replaces the medoid filtering with F&V+Drop (overlap-based
+list dropping, Section 6.1), which the paper found to be the overall winner.
+
+If ``theta + theta_C >= 1`` the inverted index can no longer guarantee that
+all relevant medoids overlap the query, so the implementation falls back to
+validating every partition (correct but slow) instead of silently missing
+results; the paper simply assumes ``theta + theta_C < 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.coarse_index import CoarseIndex
+from repro.core.distances import footrule_topk_raw
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import PhaseTimer
+from repro.invindex.plain import PlainInvertedIndex
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.fv_drop import select_query_items
+
+
+class CoarseSearch(RankingSearchAlgorithm):
+    """Coarse index with plain F&V medoid filtering.
+
+    Parameters
+    ----------
+    rankings:
+        The collection to index.
+    theta_c:
+        Normalised partitioning threshold (the paper's comparison runs use
+        0.5, the model-optimal value for ``theta = 0.3``).
+    coarse_index:
+        Optionally a pre-built :class:`CoarseIndex` (so several algorithms or
+        benchmark repetitions can share the expensive construction).
+    exhaustive_validation:
+        Validate partitions by scanning every member instead of using their
+        BK-trees (ablation switch).
+    """
+
+    name = "Coarse"
+
+    #: Whether medoid filtering applies the +Drop list-dropping optimisation.
+    drop_lists = False
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        theta_c: float = 0.5,
+        coarse_index: Optional[CoarseIndex] = None,
+        exhaustive_validation: bool = False,
+    ) -> None:
+        super().__init__(rankings)
+        self._coarse = (
+            coarse_index
+            if coarse_index is not None
+            else CoarseIndex.build(rankings, theta_c=theta_c)
+        )
+        self._medoid_index = PlainInvertedIndex.build(self._coarse.medoids)
+        self._exhaustive_validation = exhaustive_validation
+
+    @classmethod
+    def build(cls, rankings: RankingSet, theta_c: float = 0.5) -> "CoarseSearch":
+        """Build the coarse index, its medoid inverted index, and the algorithm."""
+        return cls(rankings, theta_c=theta_c)
+
+    @property
+    def coarse_index(self) -> CoarseIndex:
+        """The underlying coarse index."""
+        return self._coarse
+
+    @property
+    def medoid_index(self) -> PlainInvertedIndex:
+        """The inverted index over the medoid rankings."""
+        return self._medoid_index
+
+    @property
+    def theta_c(self) -> float:
+        """The partitioning threshold the coarse index was built with."""
+        return self._coarse.theta_c
+
+    # -- query processing -------------------------------------------------------------
+
+    def _medoid_query_items(self, query: Ranking, relaxed_raw: float) -> list[int]:
+        if not self.drop_lists:
+            return list(query.items)
+        lengths = {item: self._medoid_index.list_length(item) for item in query.items}
+        return select_query_items(lengths, query, relaxed_raw)
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        stats = result.stats
+        theta_raw = self.theta_raw(theta)
+        relaxed = theta + self._coarse.theta_c
+        relaxed_raw = self.theta_raw(min(relaxed, 1.0))
+
+        with PhaseTimer(stats, "filter_seconds"):
+            if relaxed >= 1.0:
+                # Lemma 1 precondition violated; validate every partition
+                medoid_ids = list(range(len(self._coarse.medoids)))
+                stats.extra["relaxed_threshold_fallback"] = (
+                    stats.extra.get("relaxed_threshold_fallback", 0.0) + 1.0
+                )
+            else:
+                query_items = self._medoid_query_items(query, relaxed_raw)
+                stats.lists_dropped += query.size - len(query_items)
+                candidate_medoids = self._medoid_index.candidates(
+                    query, stats=stats, query_items=query_items
+                )
+                medoid_ids = []
+                for medoid_id in candidate_medoids:
+                    medoid = self._coarse.medoids[medoid_id]
+                    stats.distance_calls += 1
+                    if footrule_topk_raw(query, medoid) <= relaxed_raw:
+                        medoid_ids.append(medoid_id)
+
+        with PhaseTimer(stats, "validate_seconds"):
+            matches = self._coarse.validate_partitions(
+                medoid_ids,
+                query,
+                theta_raw,
+                stats=stats,
+                exhaustive=self._exhaustive_validation,
+            )
+            for ranking, separation in matches:
+                self._add_raw_match(result, ranking, separation)
+
+
+class CoarseDropSearch(CoarseSearch):
+    """Coarse index with F&V+Drop medoid filtering.
+
+    The paper tunes this variant with a much smaller partitioning threshold
+    (``theta_C = 0.06``) because a small relaxed threshold lets the +Drop
+    criterion skip more medoid index lists.
+    """
+
+    name = "Coarse+Drop"
+    drop_lists = True
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        theta_c: float = 0.06,
+        coarse_index: Optional[CoarseIndex] = None,
+        exhaustive_validation: bool = False,
+    ) -> None:
+        super().__init__(
+            rankings,
+            theta_c=theta_c,
+            coarse_index=coarse_index,
+            exhaustive_validation=exhaustive_validation,
+        )
+
+    @classmethod
+    def build(cls, rankings: RankingSet, theta_c: float = 0.06) -> "CoarseDropSearch":
+        """Build the coarse index with the +Drop default partitioning threshold."""
+        return cls(rankings, theta_c=theta_c)

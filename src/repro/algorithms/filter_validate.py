@@ -1,0 +1,52 @@
+"""Filter & Validate (F&V): the plain inverted-index baseline.
+
+The filtering phase unions the index lists of every query item, producing all
+rankings that share at least one item with the query (rankings without any
+overlap are at the maximum distance and can never qualify for ``theta < 1``).
+The validation phase evaluates the exact Footrule distance of every candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import PhaseTimer
+from repro.invindex.plain import PlainInvertedIndex
+from repro.algorithms.base import RankingSearchAlgorithm
+
+
+class FilterValidate(RankingSearchAlgorithm):
+    """F&V over a plain inverted index.
+
+    Examples
+    --------
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [1, 3, 2], [7, 8, 9]])
+    >>> algorithm = FilterValidate.build(rankings)
+    >>> result = algorithm.search(Ranking([1, 2, 3]), theta=0.2)
+    >>> sorted(result.rids)
+    [0, 1]
+    """
+
+    name = "F&V"
+
+    def __init__(self, rankings: RankingSet, index: Optional[PlainInvertedIndex] = None) -> None:
+        super().__init__(rankings)
+        self._index = index if index is not None else PlainInvertedIndex.build(rankings)
+
+    @classmethod
+    def build(cls, rankings: RankingSet) -> "FilterValidate":
+        """Build the algorithm together with its plain inverted index."""
+        return cls(rankings)
+
+    @property
+    def index(self) -> PlainInvertedIndex:
+        """The underlying plain inverted index."""
+        return self._index
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        with PhaseTimer(result.stats, "filter_seconds"):
+            candidates = self._index.candidates(query, stats=result.stats)
+        with PhaseTimer(result.stats, "validate_seconds"):
+            self._validate_candidates(candidates, query, theta, result)

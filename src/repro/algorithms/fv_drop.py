@@ -1,0 +1,103 @@
+"""F&V+Drop: Filter & Validate with entire index lists dropped (Section 6.1).
+
+Lemma 2 shows that any result ranking must share at least
+``omega = floor(0.5 * (1 + 2k - sqrt(1 + 4 * theta_raw)))`` items with the
+query, so accessing ``k - omega + 1`` query lists (any of them) is enough to
+see every candidate at least once; the positional refinement accesses only
+``k - omega`` lists provided one of them belongs to an item ranked in the
+query's top ``omega`` positions.  Dropping the *longest* lists yields the
+largest savings, which is how the query items to keep are selected here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bounds import min_overlap_for_threshold
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import PhaseTimer
+from repro.invindex.plain import PlainInvertedIndex
+from repro.algorithms.base import RankingSearchAlgorithm
+
+
+def select_query_items(
+    index_lengths: dict[int, int],
+    query: Ranking,
+    theta_raw: float,
+    positional: bool = False,
+) -> list[int]:
+    """Choose which query items' index lists to access (drop the longest lists).
+
+    Parameters
+    ----------
+    index_lengths:
+        Item -> index-list length for the query's items.
+    query:
+        The query ranking (needed for the positional refinement).
+    theta_raw:
+        Raw query threshold.
+    positional:
+        Use the refined ``k - omega``-list variant of Lemma 2, which requires
+        at least one accessed item to sit in the query's top ``omega``
+        positions.  The paper itself notes this variant may miss rankings
+        whose ``omega`` overlapping items are not top-positioned, so the safe
+        ``k - omega + 1`` variant is the default.
+
+    Returns
+    -------
+    list[int]
+        The query items whose lists must be accessed.
+    """
+    k = query.size
+    omega = min_overlap_for_threshold(k, theta_raw)
+    if omega <= 0:
+        return list(query.items)
+    keep_count = (k - omega) if positional else (k - omega + 1)
+    keep_count = max(1, min(k, keep_count))
+    # keep the shortest lists (drop the longest ones)
+    by_length = sorted(query.items, key=lambda item: (index_lengths.get(item, 0), query.rank_of(item)))
+    kept = by_length[:keep_count]
+    if positional and not any(query.rank_of(item) < omega for item in kept):
+        # swap the longest kept list for the shortest top-omega item list to
+        # satisfy the positional requirement of the refined bound
+        top_items = [item for item in by_length if query.rank_of(item) < omega]
+        if top_items:
+            kept[-1] = top_items[0]
+    return kept
+
+
+class FilterValidateDrop(RankingSearchAlgorithm):
+    """F&V accessing only the index lists required by the overlap bound."""
+
+    name = "F&V+Drop"
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        index: Optional[PlainInvertedIndex] = None,
+        positional: bool = False,
+    ) -> None:
+        super().__init__(rankings)
+        self._index = index if index is not None else PlainInvertedIndex.build(rankings)
+        self._positional = positional
+
+    @classmethod
+    def build(cls, rankings: RankingSet, positional: bool = False) -> "FilterValidateDrop":
+        """Build the algorithm together with its plain inverted index."""
+        return cls(rankings, positional=positional)
+
+    @property
+    def index(self) -> PlainInvertedIndex:
+        """The underlying plain inverted index."""
+        return self._index
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        theta_raw = self.theta_raw(theta)
+        with PhaseTimer(result.stats, "filter_seconds"):
+            lengths = {item: self._index.list_length(item) for item in query.items}
+            kept_items = select_query_items(lengths, query, theta_raw, positional=self._positional)
+            result.stats.lists_dropped += query.size - len(kept_items)
+            candidates = self._index.candidates(query, stats=result.stats, query_items=kept_items)
+        with PhaseTimer(result.stats, "validate_seconds"):
+            self._validate_candidates(candidates, query, theta, result)

@@ -1,0 +1,96 @@
+"""ListMerge: merge join of id-sorted, rank-augmented index lists.
+
+The baseline described in Section 7 ("Merge of Id-Sorted Lists with
+Aggregation"): every index list of the rank-augmented inverted index is
+sorted by ranking id, so a classical k-way merge visits each candidate
+ranking exactly once and can finalise its Footrule distance on the fly
+without any bookkeeping.  The algorithm is threshold-agnostic — the lists are
+always read completely — and performs no explicit distance-function calls,
+because the distance is assembled incrementally from the postings:
+
+Writing the Footrule distance of a candidate ``tau`` as
+
+``F(q, tau) = L(k) + sum_{i in q ∩ tau} (|q(i) - tau(i)| - (k - q(i)) - (k - tau(i)))``
+
+with ``L(k) = k * (k + 1)``, every posting ``(tau, tau(i))`` read from the
+list of query item ``i`` contributes one summand, so the merge needs nothing
+beyond the postings themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.bounds import lower_bound_zero_overlap
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import PhaseTimer
+from repro.invindex.augmented import AugmentedInvertedIndex
+from repro.algorithms.base import RankingSearchAlgorithm
+
+
+class ListMerge(RankingSearchAlgorithm):
+    """Threshold-agnostic merge join over the rank-augmented inverted index."""
+
+    name = "ListMerge"
+
+    def __init__(
+        self, rankings: RankingSet, index: Optional[AugmentedInvertedIndex] = None
+    ) -> None:
+        super().__init__(rankings)
+        self._index = index if index is not None else AugmentedInvertedIndex.build(rankings)
+
+    @classmethod
+    def build(cls, rankings: RankingSet) -> "ListMerge":
+        """Build the algorithm together with its rank-augmented inverted index."""
+        return cls(rankings)
+
+    @property
+    def index(self) -> AugmentedInvertedIndex:
+        """The underlying rank-augmented inverted index."""
+        return self._index
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        k = self.k
+        theta_raw = self.theta_raw(theta)
+        base_distance = lower_bound_zero_overlap(k)
+
+        with PhaseTimer(result.stats, "filter_seconds"):
+            # one cursor per query item list; the heap yields postings in
+            # increasing ranking-id order across all lists
+            heap: list[tuple[int, int, int, int]] = []
+            lists = []
+            for list_index, item in enumerate(query.items):
+                postings = self._index.postings_for(item)
+                result.stats.lists_accessed += 1
+                lists.append((item, postings))
+                if len(postings) > 0:
+                    first = postings[0]
+                    heapq.heappush(heap, (first.rid, list_index, 0, first.rank))
+
+            current_rid: Optional[int] = None
+            current_distance = base_distance
+            while heap:
+                rid, list_index, offset, rank = heapq.heappop(heap)
+                result.stats.postings_scanned += 1
+                item, postings = lists[list_index]
+                if offset + 1 < len(postings):
+                    nxt = postings[offset + 1]
+                    heapq.heappush(heap, (nxt.rid, list_index, offset + 1, nxt.rank))
+
+                if current_rid is None or rid != current_rid:
+                    if current_rid is not None:
+                        self._finalize(current_rid, current_distance, theta_raw, result)
+                    current_rid = rid
+                    current_distance = base_distance
+                    result.stats.candidates += 1
+                query_rank = query.rank_of(item)
+                current_distance += abs(query_rank - rank) - (k - query_rank) - (k - rank)
+
+            if current_rid is not None:
+                self._finalize(current_rid, current_distance, theta_raw, result)
+
+    def _finalize(self, rid: int, raw_distance: float, theta_raw: float, result: SearchResult) -> None:
+        if raw_distance <= theta_raw:
+            self._add_raw_match(result, self._rankings[rid], raw_distance)

@@ -1,0 +1,118 @@
+"""Metric-tree range-search baselines (BK-tree, M-tree, VP-tree).
+
+These wrap the metric index structures of :mod:`repro.metric` behind the same
+:class:`RankingSearchAlgorithm` interface as the inverted-index algorithms so
+the experiment harness can compare both indexing paradigms directly
+(Figures 5 and 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.distances import footrule_topk_raw
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import PhaseTimer
+from repro.metric.bktree import BKTree
+from repro.metric.mtree import MTree
+from repro.metric.vptree import VPTree
+from repro.algorithms.base import RankingSearchAlgorithm
+
+
+class BKTreeSearch(RankingSearchAlgorithm):
+    """Range search over a BK-tree built on the raw Footrule distance."""
+
+    name = "BK-tree"
+
+    def __init__(self, rankings: RankingSet, tree: Optional[BKTree] = None) -> None:
+        super().__init__(rankings)
+        self._tree = (
+            tree if tree is not None else BKTree.build(rankings.rankings, footrule_topk_raw)
+        )
+
+    @classmethod
+    def build(cls, rankings: RankingSet) -> "BKTreeSearch":
+        """Build the BK-tree over the full collection."""
+        return cls(rankings)
+
+    @property
+    def tree(self) -> BKTree:
+        """The underlying BK-tree."""
+        return self._tree
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        theta_raw = self.theta_raw(theta)
+        with PhaseTimer(result.stats, "validate_seconds"):
+            for ranking, separation in self._tree.range_search(query, theta_raw, stats=result.stats):
+                self._add_raw_match(result, ranking, separation)
+
+
+class MTreeSearch(RankingSearchAlgorithm):
+    """Range search over an M-tree built on the raw Footrule distance."""
+
+    name = "M-tree"
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        tree: Optional[MTree] = None,
+        capacity: int = 16,
+        promotion: str = "max_spread",
+    ) -> None:
+        super().__init__(rankings)
+        self._tree = (
+            tree
+            if tree is not None
+            else MTree.build(
+                rankings.rankings, footrule_topk_raw, capacity=capacity, promotion=promotion
+            )
+        )
+
+    @classmethod
+    def build(cls, rankings: RankingSet, capacity: int = 16) -> "MTreeSearch":
+        """Build the M-tree over the full collection."""
+        return cls(rankings, capacity=capacity)
+
+    @property
+    def tree(self) -> MTree:
+        """The underlying M-tree."""
+        return self._tree
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        theta_raw = self.theta_raw(theta)
+        with PhaseTimer(result.stats, "validate_seconds"):
+            for ranking, separation in self._tree.range_search(query, theta_raw, stats=result.stats):
+                self._add_raw_match(result, ranking, separation)
+
+
+class VPTreeSearch(RankingSearchAlgorithm):
+    """Range search over a VP-tree built on the raw Footrule distance."""
+
+    name = "VP-tree"
+
+    def __init__(
+        self, rankings: RankingSet, tree: Optional[VPTree] = None, leaf_size: int = 8
+    ) -> None:
+        super().__init__(rankings)
+        self._tree = (
+            tree
+            if tree is not None
+            else VPTree.build(rankings.rankings, footrule_topk_raw, leaf_size=leaf_size)
+        )
+
+    @classmethod
+    def build(cls, rankings: RankingSet, leaf_size: int = 8) -> "VPTreeSearch":
+        """Build the VP-tree over the full collection."""
+        return cls(rankings, leaf_size=leaf_size)
+
+    @property
+    def tree(self) -> VPTree:
+        """The underlying VP-tree."""
+        return self._tree
+
+    def _search(self, query: Ranking, theta: float, result: SearchResult) -> None:
+        theta_raw = self.theta_raw(theta)
+        with PhaseTimer(result.stats, "validate_seconds"):
+            for ranking, separation in self._tree.range_search(query, theta_raw, stats=result.stats):
+                self._add_raw_match(result, ranking, separation)

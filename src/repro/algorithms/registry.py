@@ -1,0 +1,95 @@
+"""Registry mapping the paper's algorithm names to constructors.
+
+The experiment harness, the CLI, and the benchmarks all instantiate
+algorithms through this registry so a single string (exactly the name used in
+the paper's figures) selects the implementation and its default parameters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.ranking import RankingSet
+from repro.algorithms.adaptsearch import AdaptSearch
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.blocked_prune import BlockedPrune, BlockedPruneDrop
+from repro.algorithms.coarse import CoarseDropSearch, CoarseSearch
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.fv_drop import FilterValidateDrop
+from repro.algorithms.listmerge import ListMerge
+from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch, VPTreeSearch
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+
+AlgorithmFactory = Callable[..., RankingSearchAlgorithm]
+
+_REGISTRY: dict[str, AlgorithmFactory] = {
+    FilterValidate.name: FilterValidate.build,
+    FilterValidateDrop.name: FilterValidateDrop.build,
+    ListMerge.name: ListMerge.build,
+    BlockedPrune.name: BlockedPrune.build,
+    BlockedPruneDrop.name: BlockedPruneDrop.build,
+    CoarseSearch.name: CoarseSearch.build,
+    CoarseDropSearch.name: CoarseDropSearch.build,
+    AdaptSearch.name: AdaptSearch.build,
+    MinimalFilterValidate.name: MinimalFilterValidate.build,
+    BKTreeSearch.name: BKTreeSearch.build,
+    MTreeSearch.name: MTreeSearch.build,
+    VPTreeSearch.name: VPTreeSearch.build,
+}
+
+#: Names of all registered algorithms, in the order the paper lists them.
+ALGORITHM_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+#: The inverted-index-based subset compared in Figures 8 and 9.
+COMPARISON_ALGORITHMS: tuple[str, ...] = (
+    FilterValidate.name,
+    ListMerge.name,
+    AdaptSearch.name,
+    MinimalFilterValidate.name,
+    CoarseSearch.name,
+    CoarseDropSearch.name,
+    BlockedPrune.name,
+    BlockedPruneDrop.name,
+    FilterValidateDrop.name,
+)
+
+#: The subset whose distance-function calls are reported in Figure 10.
+DFC_ALGORITHMS: tuple[str, ...] = (
+    FilterValidate.name,
+    FilterValidateDrop.name,
+    BlockedPruneDrop.name,
+    CoarseSearch.name,
+    CoarseDropSearch.name,
+    MinimalFilterValidate.name,
+)
+
+
+def available_algorithms() -> list[str]:
+    """All registered algorithm names."""
+    return list(_REGISTRY)
+
+
+def make_algorithm(name: str, rankings: RankingSet, **kwargs) -> RankingSearchAlgorithm:
+    """Instantiate the algorithm registered under ``name`` over ``rankings``.
+
+    Extra keyword arguments are forwarded to the algorithm's ``build``
+    classmethod (for example ``theta_c`` for the coarse variants).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; available: {known}") from None
+    return factory(rankings, **kwargs)
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory, overwrite: bool = False) -> None:
+    """Register a custom algorithm factory (used by extensions and tests)."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def algorithms_for_names(names: Iterable[str], rankings: RankingSet, **kwargs) -> list[RankingSearchAlgorithm]:
+    """Instantiate several algorithms at once (shared keyword arguments)."""
+    return [make_algorithm(name, rankings, **kwargs) for name in names]

@@ -1,0 +1,21 @@
+"""Dataset analysis, cost calibration and report formatting utilities."""
+
+from repro.analysis.calibration import CalibrationResult, calibrate_costs
+from repro.analysis.report import format_series, format_table
+from repro.analysis.stats import (
+    EmpiricalDistanceDistribution,
+    estimate_intrinsic_dimensionality,
+    estimate_zipf_skew,
+    cost_model_inputs_for,
+)
+
+__all__ = [
+    "EmpiricalDistanceDistribution",
+    "estimate_zipf_skew",
+    "estimate_intrinsic_dimensionality",
+    "cost_model_inputs_for",
+    "CalibrationResult",
+    "calibrate_costs",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,104 @@
+"""Calibration of the cost model's unit costs.
+
+The cost model expresses both cost components in a common unit by
+pre-measuring (Section 5):
+
+* ``CostFootrule(k)`` — the runtime of a single Footrule evaluation for
+  rankings of size ``k``, and
+* ``Costmerge(k, size)`` — the runtime of merging ``k`` id-sorted lists
+  containing ``size`` postings altogether.
+
+This module measures both on the current machine with small timed loops and
+fits ``Costmerge`` as a linear function of the merged size (merging is a
+streaming operation, so a per-posting cost plus a per-list constant describes
+it well).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.distances import footrule_topk_raw
+from repro.core.ranking import Ranking
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured unit costs, in seconds."""
+
+    k: int
+    cost_footrule: float
+    merge_cost_per_posting: float
+    merge_cost_constant: float
+
+    def cost_merge(self, k: int, size: float) -> float:
+        """``Costmerge(k, size)`` as a callable for the cost model."""
+        return self.merge_cost_constant * k + self.merge_cost_per_posting * size
+
+
+def _random_ranking(rng: random.Random, k: int, domain: int) -> Ranking:
+    return Ranking(rng.sample(range(domain), k))
+
+
+def measure_footrule_cost(k: int, repetitions: int = 2000, seed: int = 3) -> float:
+    """Average runtime (seconds) of one Footrule evaluation for size ``k``."""
+    if repetitions <= 0:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    rng = random.Random(seed)
+    domain = max(10 * k, 100)
+    pairs = [
+        (_random_ranking(rng, k, domain), _random_ranking(rng, k, domain))
+        for _ in range(min(repetitions, 200))
+    ]
+    start = time.perf_counter()
+    for repetition in range(repetitions):
+        left, right = pairs[repetition % len(pairs)]
+        footrule_topk_raw(left, right)
+    elapsed = time.perf_counter() - start
+    return elapsed / repetitions
+
+
+def measure_merge_cost(
+    k: int, sizes: Sequence[int] = (100, 1000, 5000), repetitions: int = 20, seed: int = 3
+) -> tuple[float, float]:
+    """Fit ``Costmerge`` as ``constant * k + per_posting * size``.
+
+    Returns ``(per_posting, constant)`` in seconds.  The merge performed is a
+    k-way heap merge over id-sorted integer lists, matching what the query
+    algorithms do in their filtering phase.
+    """
+    rng = random.Random(seed)
+    measured_sizes: list[float] = []
+    measured_times: list[float] = []
+    for size in sizes:
+        per_list = max(1, size // k)
+        lists = [sorted(rng.sample(range(size * 10), per_list)) for _ in range(k)]
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            merged = heapq.merge(*lists)
+            count = 0
+            for _value in merged:
+                count += 1
+        elapsed = (time.perf_counter() - start) / repetitions
+        measured_sizes.append(per_list * k)
+        measured_times.append(elapsed)
+    per_posting, constant = np.polyfit(measured_sizes, measured_times, deg=1)
+    return max(float(per_posting), 1e-12), max(float(constant), 0.0) / k
+
+
+def calibrate_costs(k: int, repetitions: int = 2000, seed: int = 3) -> CalibrationResult:
+    """Measure both unit costs on the current machine."""
+    cost_footrule = measure_footrule_cost(k, repetitions=repetitions, seed=seed)
+    per_posting, constant = measure_merge_cost(k, seed=seed)
+    return CalibrationResult(
+        k=k,
+        cost_footrule=cost_footrule,
+        merge_cost_per_posting=per_posting,
+        merge_cost_constant=constant,
+    )

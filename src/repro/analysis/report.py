@@ -1,0 +1,87 @@
+"""Plain-text report formatting for experiment output.
+
+The experiment harness produces rows of measurements (dictionaries); this
+module renders them as aligned text tables and as "series" blocks (one line
+per x-value with one column per algorithm), which is how the repository
+reports each figure of the paper without requiring a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of measurements as an aligned, pipe-separated text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [len(column) for column in header]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(column.ljust(width) for column, width in zip(header, widths)))
+    lines.append(separator)
+    for line in body:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render several named series over a shared x-axis as a text table.
+
+    ``series`` maps a series name (for example an algorithm) to a mapping of
+    x-value -> y-value.  Missing points are rendered as blanks.
+    """
+    x_values = sorted({x for points in series.values() for x in points})
+    rows = []
+    for x in x_values:
+        row: dict[str, object] = {x_label: x}
+        for name, points in series.items():
+            if x in points:
+                row[name] = points[x]
+            else:
+                row[name] = ""
+        rows.append(row)
+    columns = [x_label] + list(series.keys())
+    return format_table(rows, columns=columns, title=title)
+
+
+def format_kv(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat key/value mapping, one aligned line per entry."""
+    if not values:
+        return (title + "\n" if title else "") + "(empty)"
+    width = max(len(str(key)) for key in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_value(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Dataset statistics feeding the cost model.
+
+The cost model of Section 5 is "assumption-lean": it only needs the empirical
+cumulative distribution of pairwise distances, the Zipf skew of item
+popularity, and the collection parameters (n, k, v).  This module estimates
+all of them from a ranking collection:
+
+* :class:`EmpiricalDistanceDistribution` — the pairwise-distance CDF
+  ``P[X <= x]`` estimated from a random sample of ranking pairs.
+* :func:`estimate_zipf_skew` — a least-squares fit of the Zipf exponent to
+  the item document-frequency histogram (log-log regression).
+* :func:`estimate_intrinsic_dimensionality` — the Chavez et al. (2001)
+  measure ``mu^2 / (2 * sigma^2)`` of the pairwise-distance distribution,
+  which the paper reports as roughly 13 for both datasets.
+* :func:`cost_model_inputs_for` — a convenience constructor assembling a
+  :class:`repro.core.cost_model.CostModelInputs` from a collection plus
+  calibrated unit costs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost_model import CostModelInputs, MergeCost
+from repro.core.distances import footrule_topk, footrule_topk_raw
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import RankingSet
+
+
+class EmpiricalDistanceDistribution:
+    """Empirical CDF of pairwise (normalised) Footrule distances.
+
+    Parameters
+    ----------
+    rankings:
+        The collection to sample from.
+    sample_pairs:
+        Number of random ranking pairs used to estimate the distribution.
+    seed:
+        Random seed for reproducibility.
+    """
+
+    def __init__(self, rankings: RankingSet, sample_pairs: int = 20000, seed: int = 11) -> None:
+        if len(rankings) < 2:
+            raise EmptyDatasetError("need at least two rankings to estimate pairwise distances")
+        if sample_pairs <= 0:
+            raise ValueError(f"sample_pairs must be positive, got {sample_pairs}")
+        rng = random.Random(seed)
+        n = len(rankings)
+        distances: list[float] = []
+        for _ in range(sample_pairs):
+            left = rng.randrange(n)
+            right = rng.randrange(n - 1)
+            if right >= left:
+                right += 1
+            distances.append(footrule_topk(rankings[left], rankings[right]))
+        distances.sort()
+        self._distances = distances
+
+    def cdf(self, x: float) -> float:
+        """``P[X <= x]`` for a normalised distance ``x``."""
+        if x < 0.0:
+            return 0.0
+        if x >= 1.0:
+            return 1.0
+        position = bisect.bisect_right(self._distances, x)
+        return position / len(self._distances)
+
+    __call__ = cdf
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sampled pairwise distances."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        position = min(len(self._distances) - 1, max(0, int(q * len(self._distances))))
+        return self._distances[position]
+
+    def mean(self) -> float:
+        """Mean sampled pairwise distance."""
+        return float(np.mean(self._distances))
+
+    def std(self) -> float:
+        """Standard deviation of the sampled pairwise distances."""
+        return float(np.std(self._distances))
+
+    def __len__(self) -> int:
+        return len(self._distances)
+
+
+def estimate_zipf_skew(rankings: RankingSet, max_items: Optional[int] = None) -> float:
+    """Estimate the Zipf exponent of item popularity by log-log regression.
+
+    Items are sorted by decreasing document frequency; the slope of
+    ``log(frequency)`` against ``log(rank)`` over the most frequent
+    ``max_items`` items (all by default) gives ``-s``.
+    """
+    frequencies = sorted(rankings.item_frequencies().values(), reverse=True)
+    if not frequencies:
+        raise EmptyDatasetError("cannot estimate Zipf skew of an empty collection")
+    if max_items is not None:
+        frequencies = frequencies[:max_items]
+    if len(frequencies) < 2:
+        return 0.0
+    ranks = np.arange(1, len(frequencies) + 1, dtype=np.float64)
+    counts = np.asarray(frequencies, dtype=np.float64)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(counts), deg=1)
+    return max(0.0, float(-slope))
+
+
+def estimate_intrinsic_dimensionality(
+    rankings: RankingSet, sample_pairs: int = 5000, seed: int = 11
+) -> float:
+    """Intrinsic dimensionality ``mu^2 / (2 sigma^2)`` of the distance distribution.
+
+    Chavez, Navarro, Baeza-Yates, Marroquin (2001) use this measure to explain
+    why balanced metric trees degrade in "high-dimensional" metric spaces; the
+    paper reports a value of roughly 13 for both of its datasets.
+    """
+    distribution = EmpiricalDistanceDistribution(rankings, sample_pairs=sample_pairs, seed=seed)
+    sigma = distribution.std()
+    if sigma == 0.0:
+        return float("inf")
+    mu = distribution.mean()
+    return (mu * mu) / (2.0 * sigma * sigma)
+
+
+def cost_model_inputs_for(
+    rankings: RankingSet,
+    cost_footrule: float = 1.0,
+    cost_merge: Optional[MergeCost] = None,
+    sample_pairs: int = 20000,
+    seed: int = 11,
+) -> CostModelInputs:
+    """Assemble the cost-model inputs for a ranking collection.
+
+    ``cost_footrule`` and ``cost_merge`` default to abstract units (one unit
+    per Footrule call, one unit per merged posting); pass the values measured
+    by :func:`repro.analysis.calibration.calibrate_costs` to obtain estimates
+    in seconds.
+    """
+    distribution = EmpiricalDistanceDistribution(rankings, sample_pairs=sample_pairs, seed=seed)
+    merge_cost: MergeCost = cost_merge if cost_merge is not None else (lambda k, size: float(size))
+    return CostModelInputs(
+        n=len(rankings),
+        k=rankings.k,
+        v=len(rankings.item_domain()),
+        zipf_s=estimate_zipf_skew(rankings),
+        distance_cdf=distribution.cdf,
+        cost_footrule=cost_footrule,
+        cost_merge=merge_cost,
+    )
+
+
+def distance_histogram(rankings: RankingSet, sample_pairs: int = 5000, bins: int = 20, seed: int = 11):
+    """Histogram (bin edges, counts) of sampled pairwise raw distances.
+
+    Provided for exploratory analysis and the documentation notebooks; raw
+    distances expose the discrete structure that the normalised CDF smooths
+    over.
+    """
+    rng = random.Random(seed)
+    n = len(rankings)
+    if n < 2:
+        raise EmptyDatasetError("need at least two rankings")
+    raw = []
+    for _ in range(sample_pairs):
+        left = rng.randrange(n)
+        right = rng.randrange(n - 1)
+        if right >= left:
+            right += 1
+        raw.append(footrule_topk_raw(rankings[left], rankings[right]))
+    counts, edges = np.histogram(raw, bins=bins)
+    return edges, counts

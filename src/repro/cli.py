@@ -1,0 +1,164 @@
+"""Command-line interface: ``repro-topk``.
+
+Subcommands
+-----------
+``generate``
+    Generate a synthetic dataset preset (NYT-like or Yago-like) and write it
+    to a TSV/JSON file.
+``query``
+    Load a ranking file, build one of the registered algorithms, and answer a
+    query supplied on the command line.
+``compare``
+    Run the full algorithm comparison on a dataset preset and print the
+    resulting table (a small-scale Figure 8/9).
+``figure`` / ``table``
+    Regenerate one of the paper's figures or tables and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.report import format_table
+from repro.core.ranking import Ranking
+from repro.algorithms.registry import COMPARISON_ALGORITHMS, available_algorithms, make_algorithm
+from repro.datasets.loader import load_rankings, save_rankings
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.yago import yago_like_dataset
+from repro.experiments import figures as figure_module
+from repro.experiments import tables as table_module
+from repro.experiments.harness import ExperimentSetup, compare_algorithms
+
+_FIGURES = {
+    "3": lambda args: figure_module.figure3_cost_model(n=args.n, k=args.k, print_report=True),
+    "5": lambda args: figure_module.figure5_metric_trees(n=args.n, print_report=True),
+    "6": lambda args: figure_module.figure6_bktree_vs_invindex(n=args.n, print_report=True),
+    "7": lambda args: figure_module.figure7_coarse_tradeoff(n=args.n, k=args.k, print_report=True),
+    "8": lambda args: figure_module.figure8_nyt_comparison(n=args.n, print_report=True),
+    "9": lambda args: figure_module.figure9_yago_comparison(n=args.n, print_report=True),
+    "10": lambda args: figure_module.figure10_distance_calls(n=args.n, print_report=True),
+}
+
+_TABLES = {
+    "5": lambda args: table_module.table5_model_accuracy(n=args.n, k=args.k, print_report=True),
+    "6": lambda args: table_module.table6_index_build(n=args.n, k=args.k, print_report=True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-topk",
+        description="Top-k-list similarity search (EDBT 2015 coarse-index reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset preset")
+    generate.add_argument("output", help="output file (.tsv or .json)")
+    generate.add_argument("--dataset", choices=("nyt", "yago"), default="nyt")
+    generate.add_argument("--n", type=int, default=5000, help="number of rankings")
+    generate.add_argument("--k", type=int, default=10, help="ranking size")
+
+    query = subparsers.add_parser("query", help="answer one similarity query over a ranking file")
+    query.add_argument("rankings", help="ranking file produced by 'generate' (or your own TSV)")
+    query.add_argument("--algorithm", default="Coarse+Drop", choices=available_algorithms())
+    query.add_argument("--query", required=True, help="comma-separated item ids, best first")
+    query.add_argument("--theta", type=float, default=0.2, help="normalised distance threshold")
+    query.add_argument("--theta-c", type=float, default=None, help="coarse partitioning threshold")
+    query.add_argument("--limit", type=int, default=20, help="print at most this many matches")
+
+    compare = subparsers.add_parser("compare", help="run the algorithm comparison on a preset")
+    compare.add_argument("--dataset", choices=("nyt", "yago"), default="nyt")
+    compare.add_argument("--n", type=int, default=1500)
+    compare.add_argument("--k", type=int, default=10)
+    compare.add_argument("--queries", type=int, default=30)
+    compare.add_argument("--thetas", default="0.1,0.2,0.3", help="comma-separated thresholds")
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("number", choices=sorted(_FIGURES))
+    figure.add_argument("--n", type=int, default=1000)
+    figure.add_argument("--k", type=int, default=10)
+
+    table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
+    table.add_argument("number", choices=sorted(_TABLES))
+    table.add_argument("--n", type=int, default=1000)
+    table.add_argument("--k", type=int, default=10)
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "nyt":
+        rankings = nyt_like_dataset(n=args.n, k=args.k)
+    else:
+        rankings = yago_like_dataset(n=args.n, k=args.k)
+    fmt = "json" if args.output.endswith(".json") else "tsv"
+    path = save_rankings(rankings, args.output, fmt=fmt)
+    print(f"wrote {len(rankings)} rankings (k={rankings.k}) to {path}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    rankings = load_rankings(args.rankings)
+    try:
+        items = [int(token) for token in args.query.split(",") if token.strip()]
+    except ValueError:
+        print("error: --query must be a comma-separated list of integer item ids", file=sys.stderr)
+        return 2
+    query = Ranking(items)
+    kwargs = {}
+    if args.theta_c is not None and args.algorithm in ("Coarse", "Coarse+Drop"):
+        kwargs["theta_c"] = args.theta_c
+    algorithm = make_algorithm(args.algorithm, rankings, **kwargs)
+    if args.algorithm == "MinimalF&V":
+        algorithm.prepare(query, args.theta)
+    result = algorithm.search(query, args.theta)
+    print(f"{len(result)} rankings within theta={args.theta} ({args.algorithm})")
+    for match in list(result)[: args.limit]:
+        print(f"  rid={match.rid}  distance={match.distance:.4f}  items={list(match.ranking.items)}")
+    stats = result.stats.as_dict()
+    print(
+        f"distance calls: {stats['distance_calls']:.0f}  "
+        f"postings scanned: {stats['postings_scanned']:.0f}  "
+        f"candidates: {stats['candidates']:.0f}"
+    )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    thetas = [float(token) for token in args.thetas.split(",") if token.strip()]
+    setup = ExperimentSetup.create(
+        dataset=args.dataset, n=args.n, k=args.k, num_queries=args.queries
+    )
+    measurements = compare_algorithms(
+        setup, COMPARISON_ALGORITHMS, thetas, figure_module.DEFAULT_COARSE_KWARGS
+    )
+    rows = [measurement.as_row() for measurement in measurements]
+    columns = ["algorithm", "theta", "wall_seconds", "distance_calls", "candidates", "results"]
+    print(format_table(rows, columns=columns, title=f"Comparison on {args.dataset} (n={args.n}, k={args.k})"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "figure":
+        _FIGURES[args.number](args)
+        return 0
+    if args.command == "table":
+        _TABLES[args.number](args)
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

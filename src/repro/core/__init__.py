@@ -1,0 +1,73 @@
+"""Core building blocks for top-k-list similarity search.
+
+This subpackage holds the paper's primary contribution (the coarse hybrid
+index and its cost model) together with the ranking value type, the distance
+functions, the distance bounds used for pruning, and the result/statistics
+containers shared by every query-processing algorithm.
+"""
+
+from repro.core.bounds import (
+    block_skip_bound,
+    lower_bound_zero_overlap,
+    min_overlap_for_threshold,
+    minimal_distance_for_overlap,
+    partial_distance_bounds,
+    sufficient_lists,
+)
+from repro.core.coarse_index import CoarseIndex, Partition
+from repro.core.cost_model import CostModel, CostModelInputs, ThetaCRecommendation
+from repro.core.distances import (
+    footrule_complete,
+    footrule_topk,
+    footrule_topk_raw,
+    kendall_tau_complete,
+    kendall_tau_topk,
+    max_footrule_distance,
+    normalize_distance,
+    unnormalize_distance,
+)
+from repro.core.errors import (
+    DuplicateItemError,
+    EmptyDatasetError,
+    InvalidRankingError,
+    InvalidThresholdError,
+    RankingSizeMismatchError,
+    ReproError,
+)
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult, SearchMatch
+from repro.core.stats import PhaseTimer, SearchStats
+
+__all__ = [
+    "Ranking",
+    "RankingSet",
+    "SearchResult",
+    "SearchMatch",
+    "SearchStats",
+    "PhaseTimer",
+    "CoarseIndex",
+    "Partition",
+    "CostModel",
+    "CostModelInputs",
+    "ThetaCRecommendation",
+    "footrule_complete",
+    "footrule_topk",
+    "footrule_topk_raw",
+    "kendall_tau_complete",
+    "kendall_tau_topk",
+    "max_footrule_distance",
+    "normalize_distance",
+    "unnormalize_distance",
+    "block_skip_bound",
+    "lower_bound_zero_overlap",
+    "min_overlap_for_threshold",
+    "minimal_distance_for_overlap",
+    "partial_distance_bounds",
+    "sufficient_lists",
+    "ReproError",
+    "InvalidRankingError",
+    "DuplicateItemError",
+    "RankingSizeMismatchError",
+    "InvalidThresholdError",
+    "EmptyDatasetError",
+]

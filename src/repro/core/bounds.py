@@ -1,0 +1,182 @@
+"""Distance bounds used for pruning (Sections 6.1 - 6.3 of the paper).
+
+Three families of bounds are implemented:
+
+* **Overlap bounds** (Section 6.1): the smallest possible Footrule distance
+  between two rankings with a given overlap, the minimum overlap required to
+  stay within a threshold (Lemma 2), and the number of index lists that are
+  sufficient to retrieve every candidate.
+* **Partial-information bounds** (Section 6.2): NRA-style lower and upper
+  bounds for a candidate of which only some item/rank pairs have been seen
+  while scanning the query's index lists.
+* **Block bound** (Section 6.3): the minimum partial distance contributed by
+  a block ``B_{i@j}`` (item ``i`` at rank ``j``) given the item's rank in the
+  query, used to skip entire blocks.
+
+All bounds in this module operate on the *raw* (integer) Footrule scale;
+conversion from normalised thresholds happens at the call sites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+
+def lower_bound_zero_overlap(k: int) -> int:
+    """``L(k)``: the Footrule distance of two disjoint rankings of size ``k``."""
+    if k < 0:
+        raise ValueError(f"ranking size must be non-negative, got {k}")
+    return k * (k + 1)
+
+
+def minimal_distance_for_overlap(k: int, overlap: int) -> int:
+    """``L(k, omega)``: smallest possible distance given an overlap of ``omega``.
+
+    The minimum is attained when the ``omega`` overlapping items occupy the
+    top ``omega`` positions of both rankings in the same order, so only the
+    ``k - omega`` non-shared items of each ranking contribute, exactly as if
+    two disjoint rankings of size ``k - omega`` were compared:
+    ``L(k, omega) = L(k - omega)``.
+    """
+    if not 0 <= overlap <= k:
+        raise ValueError(f"overlap must lie in [0, {k}], got {overlap}")
+    return lower_bound_zero_overlap(k - overlap)
+
+
+def min_overlap_for_threshold(k: int, theta_raw: float) -> int:
+    """Minimum overlap any result ranking must have with the query (Lemma 2).
+
+    Solving ``L(k, omega) <= theta`` for ``omega`` yields
+    ``omega = floor(0.5 * (1 + 2k - sqrt(1 + 4 * theta)))``.  Rankings whose
+    overlap with the query is smaller than the returned value cannot be
+    within raw distance ``theta_raw`` of the query.
+    """
+    if theta_raw < 0:
+        raise ValueError(f"threshold must be non-negative, got {theta_raw}")
+    if theta_raw >= lower_bound_zero_overlap(k):
+        return 0
+    omega = math.floor(0.5 * (1.0 + 2.0 * k - math.sqrt(1.0 + 4.0 * theta_raw)))
+    return max(0, min(k, omega))
+
+
+def sufficient_lists(k: int, theta_raw: float, positional: bool = False) -> int:
+    """Number of query index lists that must be accessed to avoid false negatives.
+
+    With a minimum required overlap ``omega`` (Lemma 2), any result ranking
+    shares at least ``omega`` items with the query, so it is guaranteed to
+    appear in at least one list of *any* subset of ``k - omega + 1`` query
+    lists.  If ``positional`` is true the refined variant of the paper is
+    used: ``k - omega`` lists suffice provided at least one of the accessed
+    lists belongs to an item ranked in the query's top ``omega`` positions
+    (the caller is responsible for that placement).
+    """
+    omega = min_overlap_for_threshold(k, theta_raw)
+    if omega == 0:
+        return k
+    required = k - omega if positional else k - omega + 1
+    return max(1, min(k, required))
+
+
+def block_skip_bound(query_rank: int, block_rank: int) -> int:
+    """Minimum partial distance contributed by block ``B_{i@j}``.
+
+    Every ranking stored in the block has item ``i`` at rank ``j``; the item
+    is ranked ``query_rank`` in the query, so its contribution to the
+    Footrule distance is exactly ``|j - query_rank|``, which lower-bounds the
+    total distance of every ranking in the block.
+    """
+    return abs(block_rank - query_rank)
+
+
+@dataclass(frozen=True)
+class PartialBounds:
+    """Lower and upper Footrule bounds for a partially seen candidate."""
+
+    lower: int
+    upper: int
+
+    def prunable(self, theta_raw: float) -> bool:
+        """True if the candidate can never qualify (``lower > theta``)."""
+        return self.lower > theta_raw
+
+    def acceptable(self, theta_raw: float) -> bool:
+        """True if the candidate is guaranteed to qualify (``upper <= theta``)."""
+        return self.upper <= theta_raw
+
+
+def partial_distance_bounds(
+    k: int,
+    query_ranks: Mapping[int, int],
+    seen_candidate_ranks: Mapping[int, int],
+    processed_query_items: Iterable[int],
+) -> PartialBounds:
+    """NRA-style lower/upper bounds for a candidate during list-at-a-time access.
+
+    Parameters
+    ----------
+    k:
+        Ranking size.
+    query_ranks:
+        Item -> rank map of the query.
+    seen_candidate_ranks:
+        Item -> rank map of the candidate entries observed so far.  These are
+        exactly the (query item, candidate rank) pairs read from the inverted
+        index lists processed up to now.
+    processed_query_items:
+        The query items whose index lists have already been fully processed.
+        For such an item that is *not* among ``seen_candidate_ranks`` we know
+        it is absent from the candidate, so it contributes exactly
+        ``k - query_rank``.
+
+    Returns
+    -------
+    PartialBounds
+        ``lower`` assumes every still-unseen candidate item coincides in rank
+        with a still-unseen query item (contribution 0); ``upper`` assumes no
+        further overlap, so every unseen candidate rank slot ``r`` contributes
+        ``k - r`` and every unprocessed query item ``i`` contributes
+        ``k - query_ranks[i]``.
+    """
+    processed = set(processed_query_items)
+    exact = 0
+    for item, candidate_rank in seen_candidate_ranks.items():
+        exact += abs(query_ranks.get(item, k) - candidate_rank)
+    for item in processed:
+        if item not in seen_candidate_ranks:
+            # the candidate provably does not contain this query item
+            exact += k - query_ranks[item]
+
+    lower = exact
+
+    # Upper bound: remaining (unseen) query items are absent from the candidate
+    # and the candidate's unseen rank slots are filled by items absent from the
+    # query.
+    unseen_query_penalty = sum(
+        k - rank
+        for item, rank in query_ranks.items()
+        if item not in processed and item not in seen_candidate_ranks
+    )
+    occupied_ranks = set(seen_candidate_ranks.values())
+    unseen_candidate_penalty = sum(k - rank for rank in range(k) if rank not in occupied_ranks)
+    upper = exact + unseen_query_penalty + unseen_candidate_penalty
+    return PartialBounds(lower=lower, upper=upper)
+
+
+def overlap_upper_bound_distance(k: int, overlap: int) -> int:
+    """Largest possible distance between two rankings sharing ``overlap`` items.
+
+    Used in tests as the dual of :func:`minimal_distance_for_overlap`.  The
+    exact combinatorial maximum is not needed by the paper's algorithms, so a
+    safe (possibly loose) bound is returned: the global maximum
+    ``k * (k + 1)`` minus the minimum saving the overlap guarantees.
+
+    The saving of one shared item placed at ranks ``r1`` and ``r2`` relative
+    to being unshared is ``(k - r1) + (k - r2) - |r1 - r2| = 2 * (k - max(r1, r2))``,
+    which is at least 2 because ranks are at most ``k - 1``.  Hence sharing
+    ``overlap`` items saves at least ``2 * overlap``.
+    """
+    if not 0 <= overlap <= k:
+        raise ValueError(f"overlap must lie in [0, {k}], got {overlap}")
+    return lower_bound_zero_overlap(k) - 2 * overlap

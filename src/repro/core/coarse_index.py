@@ -1,0 +1,252 @@
+"""The coarse hybrid index (Section 4 of the paper).
+
+The coarse index blends an inverted index with metric-space indexing:
+
+1. The ranking collection is partitioned into disjoint groups of
+   near-duplicates; each group is represented by a *medoid* and every member
+   is within the partitioning threshold ``theta_C`` of its medoid.
+2. Only the medoids are indexed in an inverted index (plain or
+   rank-augmented), which drastically shrinks the filtering structure.
+3. Each partition is held as a BK-tree so the validation phase can prune
+   inside the partition instead of evaluating every member.
+
+Query processing (Lemma 1): to answer a query ``q`` with threshold ``theta``,
+retrieve every medoid with ``d(medoid, q) <= theta + theta_C`` from the
+inverted index (relaxed threshold), then run a range search with the original
+``theta`` inside each retrieved medoid's partition BK-tree.  Lemma 1
+guarantees no false negatives as long as ``theta + theta_C < 1`` (a medoid
+that shares no item with the query cannot be retrieved from an inverted
+index).
+
+The query-processing algorithms that drive this structure live in
+:mod:`repro.algorithms.coarse`; this module owns the data structure itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from typing import Optional
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.errors import EmptyDatasetError, InvalidThresholdError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.metric.bktree import BKTree
+from repro.metric.partitioning import RawPartition, bktree_partition
+
+DiscreteDistance = Callable[[Ranking, Ranking], int]
+PartitionerFunction = Callable[[Sequence[Ranking], DiscreteDistance, float], list[RawPartition]]
+
+
+@dataclass
+class Partition:
+    """One coarse-index partition: a medoid, its members, and their BK-tree."""
+
+    medoid: Ranking
+    members: tuple[Ranking, ...]
+    tree: BKTree
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def range_search(
+        self, query: Ranking, theta_raw: float, stats: Optional[SearchStats] = None
+    ) -> list[tuple[Ranking, int]]:
+        """Rankings of this partition within raw distance ``theta_raw`` of the query."""
+        return self.tree.range_search(query, theta_raw, stats=stats)
+
+
+class CoarseIndex:
+    """Medoid inverted index plus per-partition BK-trees.
+
+    Parameters
+    ----------
+    rankings:
+        The collection to index.
+    theta_c:
+        Normalised partitioning threshold in ``[0, 1)``.  ``0`` groups only
+        exact duplicates; larger values produce fewer, larger partitions.
+    distance:
+        Discrete metric used for partitioning and validation; defaults to the
+        raw top-k Footrule distance.
+    partitioner:
+        Strategy producing the medoid partitions; defaults to the BK-tree
+        guided partitioning of the paper.
+
+    Examples
+    --------
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [1, 3, 2], [7, 8, 9]])
+    >>> index = CoarseIndex.build(rankings, theta_c=0.3)
+    >>> index.num_partitions() <= len(rankings)
+    True
+    """
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        theta_c: float,
+        distance: DiscreteDistance = footrule_topk_raw,
+        partitioner: PartitionerFunction = bktree_partition,
+    ) -> None:
+        if not 0.0 <= theta_c < 1.0:
+            raise InvalidThresholdError(theta_c, "theta_C must lie in [0, 1)")
+        if len(rankings) == 0:
+            raise EmptyDatasetError("cannot build a coarse index over an empty ranking set")
+        self._rankings = rankings
+        self._theta_c = theta_c
+        self._distance = distance
+        self._partitioner = partitioner
+        self._partitions: list[Partition] = []
+        self._medoid_set: Optional[RankingSet] = None
+        self._medoid_to_partition: dict[int, int] = {}
+        self._member_to_partition: dict[int, int] = {}
+        self._construction_distance_calls = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        rankings: RankingSet,
+        theta_c: float,
+        distance: DiscreteDistance = footrule_topk_raw,
+        partitioner: PartitionerFunction = bktree_partition,
+    ) -> "CoarseIndex":
+        """Partition the collection and assemble the coarse index."""
+        index = cls(rankings, theta_c, distance=distance, partitioner=partitioner)
+        index._build()
+        return index
+
+    def _build(self) -> None:
+        theta_c_raw = self._theta_c * max_footrule_distance(self._rankings.k)
+        raw_partitions = self._partitioner(
+            list(self._rankings.rankings), self._counting_distance, theta_c_raw
+        )
+        medoid_set = RankingSet(k=self._rankings.k)
+        for partition_id, raw in enumerate(raw_partitions):
+            tree = BKTree(self._counting_distance)
+            tree.insert(raw.medoid)
+            for member in raw.members:
+                if member.rid != raw.medoid.rid:
+                    tree.insert(member)
+                assert member.rid is not None
+                self._member_to_partition[member.rid] = partition_id
+            partition = Partition(medoid=raw.medoid, members=raw.members, tree=tree)
+            self._partitions.append(partition)
+            stored_medoid = medoid_set.add(raw.medoid.items)
+            assert stored_medoid.rid is not None
+            self._medoid_to_partition[stored_medoid.rid] = partition_id
+        self._medoid_set = medoid_set
+
+    def _counting_distance(self, left: Ranking, right: Ranking) -> int:
+        self._construction_distance_calls += 1
+        return self._distance(left, right)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def rankings(self) -> RankingSet:
+        """The full indexed collection."""
+        return self._rankings
+
+    @property
+    def theta_c(self) -> float:
+        """The normalised partitioning threshold."""
+        return self._theta_c
+
+    @property
+    def k(self) -> int:
+        """Ranking size of the indexed collection."""
+        return self._rankings.k
+
+    @property
+    def medoids(self) -> RankingSet:
+        """The medoid rankings as their own collection (ids are *medoid* ids)."""
+        assert self._medoid_set is not None, "coarse index not built"
+        return self._medoid_set
+
+    @property
+    def partitions(self) -> Sequence[Partition]:
+        """All partitions, indexable by partition id."""
+        return self._partitions
+
+    @property
+    def construction_distance_calls(self) -> int:
+        """Distance evaluations spent while partitioning and building trees."""
+        return self._construction_distance_calls
+
+    def num_partitions(self) -> int:
+        """Number of partitions (equals the number of medoids)."""
+        return len(self._partitions)
+
+    def partition_of_medoid(self, medoid_id: int) -> Partition:
+        """The partition represented by the medoid with the given *medoid* id."""
+        return self._partitions[self._medoid_to_partition[medoid_id]]
+
+    def partition_of_ranking(self, rid: int) -> Partition:
+        """The partition containing the ranking with the given *ranking* id."""
+        return self._partitions[self._member_to_partition[rid]]
+
+    def average_partition_size(self) -> float:
+        """Mean number of rankings per partition."""
+        if not self._partitions:
+            return 0.0
+        return len(self._rankings) / len(self._partitions)
+
+    def memory_estimate_bytes(self) -> int:
+        """Footprint: medoid inverted-index postings, partition trees, rankings.
+
+        The medoid inverted index is built by the query algorithms; here the
+        medoid postings are accounted for directly (8 bytes per medoid item
+        occurrence) so the estimate matches what the paper's Table 6 counts
+        for the coarse index (medoid index + BK-trees + raw rankings).
+        """
+        medoid_postings = 8 * sum(medoid.size for medoid in self.medoids)
+        tree_bytes = sum(partition.tree.memory_estimate_bytes() for partition in self._partitions)
+        return medoid_postings + tree_bytes
+
+    # -- query support (Algorithm 1) ----------------------------------------------------
+
+    def validate_partitions(
+        self,
+        medoid_ids: Sequence[int],
+        query: Ranking,
+        theta_raw: float,
+        stats: Optional[SearchStats] = None,
+        exhaustive: bool = False,
+    ) -> list[tuple[Ranking, int]]:
+        """Validate the partitions of the given medoids against the original threshold.
+
+        Parameters
+        ----------
+        medoid_ids:
+            Medoid ids retrieved by the filtering phase with the relaxed
+            threshold ``theta + theta_C``.
+        query, theta_raw:
+            The original query and its raw threshold.
+        exhaustive:
+            If true, evaluate the distance of every member directly instead
+            of using the partition BK-tree (the ablation variant).
+        """
+        results: list[tuple[Ranking, int]] = []
+        for medoid_id in medoid_ids:
+            partition = self.partition_of_medoid(medoid_id)
+            if stats is not None:
+                stats.partitions_visited += 1
+            if exhaustive:
+                for member in partition.members:
+                    if stats is not None:
+                        stats.distance_calls += 1
+                    separation = self._distance(query, member)
+                    if separation <= theta_raw:
+                        results.append((member, separation))
+            else:
+                results.extend(partition.range_search(query, theta_raw, stats=stats))
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"CoarseIndex(n={len(self._rankings)}, partitions={self.num_partitions()}, "
+            f"theta_c={self._theta_c})"
+        )

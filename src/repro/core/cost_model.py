@@ -1,0 +1,264 @@
+"""Analytical cost model for tuning the partitioning threshold (Section 5).
+
+The model predicts, for a candidate partitioning threshold ``theta_C``, the
+expected per-query cost of the coarse index as the sum of
+
+* the **filtering cost** — merging the ``k`` medoid index lists and
+  validating the retrieved medoids against the relaxed threshold, and
+* the **validation cost** — evaluating the distance of the candidate
+  rankings contained in the retrieved partitions.
+
+It is deliberately assumption-lean; its only inputs are
+
+* ``n`` (collection size), ``k`` (ranking size), ``v`` (global item-domain
+  size),
+* the empirical cumulative distribution of pairwise distances
+  ``P[X <= x]`` (normalised scale),
+* the Zipf skew ``s`` of item popularity, and
+* two calibrated unit costs: the runtime of one Footrule evaluation
+  (``cost_footrule``) and of merging ``k`` lists of a given total size
+  (``cost_merge``).
+
+The individual estimates mirror the paper exactly:
+
+* the expected number of medoids ``M(n, theta_C)`` follows the
+  batched coupon-collector argument (Equations 1-2),
+* the expected number of candidate rankings is ``n * P[X <= theta + theta_C]``
+  (Equation 4),
+* the expected medoid index-list length is ``sum_i M * f(i; s, v')^2``
+  (Equation 5) with ``v'`` the expected number of distinct items across the
+  medoids (Equation 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+from typing import Optional
+
+from repro.core.errors import InvalidThresholdError
+
+DistanceCdf = Callable[[float], float]
+MergeCost = Callable[[int, float], float]
+
+
+@dataclass
+class CostModelInputs:
+    """Everything the cost model needs to know about a dataset and machine.
+
+    Attributes
+    ----------
+    n:
+        Number of indexed rankings.
+    k:
+        Ranking size.
+    v:
+        Size of the global item domain (number of distinct items).
+    zipf_s:
+        Skew of the item-popularity Zipf law (estimated from the data).
+    distance_cdf:
+        ``P[X <= x]`` for the normalised pairwise Footrule distance.
+    cost_footrule:
+        Runtime (seconds) of one Footrule evaluation for rankings of size k.
+    cost_merge:
+        ``cost_merge(k, total_size)``: runtime (seconds) of merging ``k``
+        index lists holding ``total_size`` postings altogether.
+    """
+
+    n: int
+    k: int
+    v: int
+    zipf_s: float
+    distance_cdf: DistanceCdf
+    cost_footrule: float = 1.0
+    cost_merge: MergeCost = field(default=lambda k, size: float(size))
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"collection size must be positive, got {self.n}")
+        if self.k <= 0:
+            raise ValueError(f"ranking size must be positive, got {self.k}")
+        if self.v < self.k:
+            raise ValueError(f"domain size ({self.v}) must be at least k ({self.k})")
+        if self.zipf_s < 0:
+            raise ValueError(f"Zipf skew must be non-negative, got {self.zipf_s}")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted per-query cost components for one value of ``theta_C``."""
+
+    theta_c: float
+    filter_cost: float
+    validate_cost: float
+
+    @property
+    def total(self) -> float:
+        """Sum of filtering and validation cost."""
+        return self.filter_cost + self.validate_cost
+
+
+@dataclass(frozen=True)
+class ThetaCRecommendation:
+    """Result of the sweet-spot search over a grid of ``theta_C`` values."""
+
+    theta_c: float
+    estimate: CostEstimate
+    curve: tuple[CostEstimate, ...]
+
+
+def generalized_harmonic(count: int, s: float) -> float:
+    """The generalised harmonic number ``H_{count, s} = sum_{i=1..count} i^-s``."""
+    if count <= 0:
+        return 0.0
+    return sum(1.0 / (i ** s) for i in range(1, count + 1))
+
+
+def zipf_frequency(rank: int, s: float, count: int, harmonic: Optional[float] = None) -> float:
+    """Relative frequency of the ``rank``-th most popular item under Zipf(s).
+
+    ``f(i; s, v) = 1 / (i^s * H_{v, s})``.
+    """
+    if rank < 1 or rank > count:
+        raise ValueError(f"rank must lie in [1, {count}], got {rank}")
+    if harmonic is None:
+        harmonic = generalized_harmonic(count, s)
+    return 1.0 / ((rank ** s) * harmonic)
+
+
+class CostModel:
+    """Predicts the coarse-index query cost and picks the sweet-spot ``theta_C``."""
+
+    def __init__(self, inputs: CostModelInputs) -> None:
+        self._inputs = inputs
+
+    @property
+    def inputs(self) -> CostModelInputs:
+        """The dataset/machine parameters driving the model."""
+        return self._inputs
+
+    # -- building blocks (Equations 1-6) ---------------------------------------------
+
+    def expected_num_medoids(self, theta_c: float) -> float:
+        """``M(n, theta_C)``: expected number of medoids (Equations 1-2).
+
+        The batched coupon-collector argument: selecting a medoid assigns a
+        "package" of ``p = P[X <= theta_C] * n`` rankings at once; the number
+        of packages needed to cover all ``n`` rankings is ``M``.
+        """
+        self._check_theta("theta_c", theta_c)
+        n = self._inputs.n
+        package = self._inputs.distance_cdf(theta_c) * n
+        package = min(float(n), max(1.0, package))
+        total_picks = 0.0
+        for i in range(n):
+            within_package = math.fmod(i, package)
+            if within_package == 0.0:
+                total_picks += 1.0
+            else:
+                total_picks += (n - within_package) / (n - i)
+        medoids = total_picks / package
+        return min(float(n), max(1.0, medoids))
+
+    def expected_retrieved_medoids(self, theta: float, theta_c: float) -> float:
+        """Expected number of medoids within the relaxed threshold (Equation 3)."""
+        medoids = self.expected_num_medoids(theta_c)
+        return self._inputs.distance_cdf(theta + theta_c) * medoids
+
+    def expected_candidate_rankings(self, theta: float, theta_c: float) -> float:
+        """Expected number of candidate rankings to validate (Equation 4)."""
+        return self._inputs.distance_cdf(theta + theta_c) * self._inputs.n
+
+    def expected_distinct_medoid_items(self, num_medoids: float) -> float:
+        """``E[v']``: expected number of distinct items across the medoids (Equation 6)."""
+        v = self._inputs.v
+        k = self._inputs.k
+        missing_probability = (1.0 - k / v) ** num_medoids
+        return v * (1.0 - missing_probability)
+
+    def expected_index_list_length(self, num_medoids: float) -> float:
+        """Expected medoid index-list length under query/data Zipf skew (Equation 5).
+
+        Items are both indexed and queried according to the same Zipf law, so
+        the expected length of the list hit by a random query item is
+        ``sum_i M * f(i; s, v')^2``.
+        """
+        v_prime = max(1, int(round(self.expected_distinct_medoid_items(num_medoids))))
+        s = self._inputs.zipf_s
+        harmonic = generalized_harmonic(v_prime, s)
+        squared_sum = sum(
+            zipf_frequency(i, s, v_prime, harmonic) ** 2 for i in range(1, v_prime + 1)
+        )
+        return num_medoids * squared_sum
+
+    # -- cost components (Table 3) ------------------------------------------------------
+
+    def filter_cost(self, theta: float, theta_c: float) -> float:
+        """Cost of finding the medoids for a query (inverted index + medoid validation)."""
+        self._check_query(theta, theta_c)
+        medoids = self.expected_num_medoids(theta_c)
+        list_length = self.expected_index_list_length(medoids)
+        k = self._inputs.k
+        merge_cost = self._inputs.cost_merge(k, list_length * k)
+        medoid_validation = k * list_length * self._inputs.cost_footrule
+        return merge_cost + medoid_validation
+
+    def validate_cost(self, theta: float, theta_c: float) -> float:
+        """Cost of validating the candidate rankings of the retrieved partitions."""
+        self._check_query(theta, theta_c)
+        candidates = self.expected_candidate_rankings(theta, theta_c)
+        return candidates * self._inputs.cost_footrule
+
+    def estimate(self, theta: float, theta_c: float) -> CostEstimate:
+        """Both cost components for one ``(theta, theta_C)`` combination."""
+        return CostEstimate(
+            theta_c=theta_c,
+            filter_cost=self.filter_cost(theta, theta_c),
+            validate_cost=self.validate_cost(theta, theta_c),
+        )
+
+    # -- sweet-spot search -----------------------------------------------------------------
+
+    def cost_curve(
+        self, theta: float, theta_c_grid: Optional[Sequence[float]] = None
+    ) -> list[CostEstimate]:
+        """Cost estimates over a grid of ``theta_C`` values (Figure 3)."""
+        grid = list(theta_c_grid) if theta_c_grid is not None else self.default_grid(theta)
+        return [self.estimate(theta, theta_c) for theta_c in grid]
+
+    def recommend_theta_c(
+        self, theta: float, theta_c_grid: Optional[Sequence[float]] = None
+    ) -> ThetaCRecommendation:
+        """Pick the ``theta_C`` minimising the predicted total cost."""
+        curve = self.cost_curve(theta, theta_c_grid)
+        if not curve:
+            raise InvalidThresholdError(theta, "no feasible theta_C (theta + theta_C must be < 1)")
+        best = min(curve, key=lambda estimate: estimate.total)
+        return ThetaCRecommendation(theta_c=best.theta_c, estimate=best, curve=tuple(curve))
+
+    def default_grid(self, theta: float, step: float = 0.02) -> list[float]:
+        """Feasible ``theta_C`` grid: ``[0, 1 - theta)`` in increments of ``step``."""
+        self._check_theta("theta", theta)
+        grid = []
+        value = 0.0
+        while value + theta < 1.0 - 1e-9:
+            grid.append(round(value, 10))
+            value += step
+        return grid
+
+    # -- validation helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _check_theta(name: str, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise InvalidThresholdError(value, f"{name} must lie in [0, 1)")
+
+    def _check_query(self, theta: float, theta_c: float) -> None:
+        self._check_theta("theta", theta)
+        self._check_theta("theta_c", theta_c)
+        if theta + theta_c >= 1.0:
+            raise InvalidThresholdError(
+                theta + theta_c,
+                "theta + theta_C must be < 1 so medoids overlap the query (Lemma 1)",
+            )

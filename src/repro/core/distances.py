@@ -1,0 +1,195 @@
+"""Distance functions between rankings.
+
+The paper's query model is built on **Spearman's Footrule** adapted to top-k
+lists (Fagin, Kumar, Sivakumar 2003): an item that is missing from a ranking
+is assigned the artificial rank ``l = k`` and the distance is the L1 distance
+of the rank vectors over the union of both domains.  With ranks ``0..k-1``
+the largest possible value is ``k * (k + 1)``, attained by two disjoint
+rankings, and all public thresholds in the library are expressed on the
+normalised scale ``[0, 1]`` obtained by dividing by this maximum.
+
+Kendall's tau (with the optimistic ``p = 0`` handling of item pairs missing
+from both lists) is provided as well so the metric-generic parts of the
+library (coarse index, metric trees) can be exercised with a second distance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Callable
+
+from repro.core.errors import RankingSizeMismatchError
+from repro.core.ranking import Ranking
+
+DistanceFunction = Callable[[Ranking, Ranking], float]
+
+
+def max_footrule_distance(k: int) -> int:
+    """Maximum raw Footrule distance between two top-k lists of size ``k``.
+
+    Two disjoint rankings realise the maximum: every item of either ranking
+    at rank ``r`` contributes ``k - r`` against the artificial rank ``k``,
+    which sums to ``k * (k + 1)`` over both rankings.
+    """
+    if k <= 0:
+        raise ValueError(f"ranking size must be positive, got {k}")
+    return k * (k + 1)
+
+
+def normalize_distance(raw: float, k: int) -> float:
+    """Map a raw Footrule distance into the normalised range ``[0, 1]``."""
+    return raw / max_footrule_distance(k)
+
+
+def unnormalize_distance(theta: float, k: int) -> float:
+    """Map a normalised threshold back to the raw (integer) distance scale."""
+    return theta * max_footrule_distance(k)
+
+
+def _check_same_size(tau1: Ranking, tau2: Ranking) -> int:
+    if tau1.size != tau2.size:
+        raise RankingSizeMismatchError(tau1.size, tau2.size)
+    return tau1.size
+
+
+# ---------------------------------------------------------------------------
+# Spearman's Footrule
+# ---------------------------------------------------------------------------
+
+
+def footrule_complete(sigma1: Sequence[int] | Ranking, sigma2: Sequence[int] | Ranking) -> int:
+    """Footrule distance between two complete rankings of the same domain.
+
+    Both arguments must be permutations of the same item set.  The result is
+    ``sum_i |sigma1(i) - sigma2(i)|``.
+    """
+    r1 = sigma1 if isinstance(sigma1, Ranking) else Ranking(sigma1)
+    r2 = sigma2 if isinstance(sigma2, Ranking) else Ranking(sigma2)
+    if r1.domain != r2.domain:
+        raise ValueError("complete rankings must be permutations of the same domain")
+    return sum(abs(r1.rank_of(item) - r2.rank_of(item)) for item in r1.items)
+
+
+def footrule_topk_raw(tau1: Ranking, tau2: Ranking) -> int:
+    """Raw (integer) Footrule distance between two top-k lists.
+
+    Missing items take the artificial rank ``l = k``.  The result lies in
+    ``[0, k * (k + 1)]``.
+    """
+    k = _check_same_size(tau1, tau2)
+    distance = 0
+    for item in tau1.items:
+        distance += abs(tau1.rank_of(item) - tau2.rank_of(item, default=k))
+    for item in tau2.items:
+        if item not in tau1:
+            distance += abs(tau2.rank_of(item) - k)
+    return distance
+
+
+def footrule_topk(tau1: Ranking, tau2: Ranking) -> float:
+    """Normalised Footrule distance between two top-k lists (range ``[0, 1]``)."""
+    k = _check_same_size(tau1, tau2)
+    return footrule_topk_raw(tau1, tau2) / max_footrule_distance(k)
+
+
+def footrule_partial(
+    query_ranks: Mapping[int, int],
+    candidate_ranks: Mapping[int, int],
+    k: int,
+) -> int:
+    """Footrule contribution of the items present in ``candidate_ranks``.
+
+    Helper used by the list-at-a-time algorithms: given the ranks of the
+    candidate items *seen so far* (a subset of the candidate's domain that
+    intersects the query), return the exact partial distance contributed by
+    those items, i.e. ``sum |q(i) - tau(i)|`` over the seen items.
+    """
+    partial = 0
+    for item, candidate_rank in candidate_ranks.items():
+        partial += abs(query_ranks.get(item, k) - candidate_rank)
+    return partial
+
+
+# ---------------------------------------------------------------------------
+# Kendall's tau
+# ---------------------------------------------------------------------------
+
+
+def kendall_tau_complete(sigma1: Sequence[int] | Ranking, sigma2: Sequence[int] | Ranking) -> int:
+    """Kendall's tau distance (number of discordant pairs) between permutations."""
+    r1 = sigma1 if isinstance(sigma1, Ranking) else Ranking(sigma1)
+    r2 = sigma2 if isinstance(sigma2, Ranking) else Ranking(sigma2)
+    if r1.domain != r2.domain:
+        raise ValueError("complete rankings must be permutations of the same domain")
+    items = list(r1.items)
+    discordant = 0
+    for a_index in range(len(items)):
+        for b_index in range(a_index + 1, len(items)):
+            a, b = items[a_index], items[b_index]
+            order1 = r1.rank_of(a) - r1.rank_of(b)
+            order2 = r2.rank_of(a) - r2.rank_of(b)
+            if order1 * order2 < 0:
+                discordant += 1
+    return discordant
+
+
+def kendall_tau_topk(tau1: Ranking, tau2: Ranking, penalty: float = 0.0) -> float:
+    """Kendall's tau distance between two top-k lists, K^(p) of Fagin et al.
+
+    The four standard cases are handled:
+
+    1. Both items in both lists: count 1 if the orders disagree.
+    2. Both items in one list, only one of them in the other: count 1 if the
+       item ranked ahead in the one-item list is behind in the two-item list.
+    3. One item only in one list, the other item only in the other list:
+       always discordant, count 1.
+    4. Both items in one list, neither in the other: count ``penalty``
+       (``p = 0`` is the optimistic variant, ``p = 0.5`` the neutral one).
+
+    Returns the raw (possibly fractional) distance.
+    """
+    _check_same_size(tau1, tau2)
+    union = sorted(tau1.domain | tau2.domain)
+    distance = 0.0
+    for a_index in range(len(union)):
+        for b_index in range(a_index + 1, len(union)):
+            a, b = union[a_index], union[b_index]
+            in1 = (a in tau1, b in tau1)
+            in2 = (a in tau2, b in tau2)
+            if all(in1) and all(in2):
+                if (tau1.rank_of(a) - tau1.rank_of(b)) * (tau2.rank_of(a) - tau2.rank_of(b)) < 0:
+                    distance += 1.0
+            elif all(in1) and any(in2):
+                present = a if a in tau2 else b
+                absent = b if present == a else a
+                # absent is implicitly ranked behind every present item in tau2
+                if tau1.rank_of(absent) < tau1.rank_of(present):
+                    distance += 1.0
+            elif all(in2) and any(in1):
+                present = a if a in tau1 else b
+                absent = b if present == a else a
+                if tau2.rank_of(absent) < tau2.rank_of(present):
+                    distance += 1.0
+            elif all(in1) or all(in2):
+                # both items live in exactly one of the lists, neither in the other
+                distance += penalty
+            elif (a in tau1 and b in tau2) or (a in tau2 and b in tau1):
+                distance += 1.0
+    return distance
+
+
+def max_kendall_tau_distance(k: int) -> float:
+    """Maximum K^(0) distance between two disjoint top-k lists.
+
+    For disjoint lists every cross pair (k * k of them) is discordant and the
+    within-list pairs contribute the penalty (0 for the optimistic variant).
+    """
+    if k <= 0:
+        raise ValueError(f"ranking size must be positive, got {k}")
+    return float(k * k)
+
+
+def kendall_tau_topk_normalized(tau1: Ranking, tau2: Ranking) -> float:
+    """K^(0) distance between top-k lists normalised into ``[0, 1]``."""
+    k = _check_same_size(tau1, tau2)
+    return kendall_tau_topk(tau1, tau2, penalty=0.0) / max_kendall_tau_distance(k)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidRankingError(ReproError):
+    """A ranking violates the top-k list model (wrong type, empty, ...)."""
+
+
+class DuplicateItemError(InvalidRankingError):
+    """A ranking contains the same item at two different ranks."""
+
+    def __init__(self, item: int) -> None:
+        super().__init__(f"item {item!r} appears more than once in the ranking")
+        self.item = item
+
+
+class RankingSizeMismatchError(ReproError):
+    """Two rankings (or a ranking and an index) have incompatible sizes k."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(f"expected ranking of size {expected}, got size {actual}")
+        self.expected = expected
+        self.actual = actual
+
+
+class InvalidThresholdError(ReproError):
+    """A similarity threshold lies outside its valid range."""
+
+    def __init__(self, theta: float, reason: str = "") -> None:
+        message = f"invalid threshold {theta!r}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.theta = theta
+
+
+class EmptyDatasetError(ReproError):
+    """An index or model was asked to operate on an empty collection."""
+
+
+class IndexNotBuiltError(ReproError):
+    """A query was issued against an index that has not been built yet."""

@@ -1,0 +1,83 @@
+"""Result containers returned by every similarity-search algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+
+
+@dataclass(frozen=True, order=True)
+class SearchMatch:
+    """One ranking in a query answer together with its (normalised) distance."""
+
+    distance: float
+    rid: int
+    ranking: Ranking = field(compare=False)
+
+
+@dataclass
+class SearchResult:
+    """The answer to one similarity range query.
+
+    Attributes
+    ----------
+    query:
+        The query ranking.
+    theta:
+        The normalised query threshold.
+    matches:
+        All rankings with normalised distance at most ``theta``, sorted by
+        increasing distance (ties broken by ranking id).
+    stats:
+        Counters and timings recorded while producing the answer.
+    algorithm:
+        The registry name of the algorithm that produced the result.
+    """
+
+    query: Ranking
+    theta: float
+    matches: list[SearchMatch] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+    algorithm: str = ""
+
+    def add(self, rid: int, ranking: Ranking, distance: float) -> None:
+        """Record one qualifying ranking."""
+        self.matches.append(SearchMatch(distance=distance, rid=rid, ranking=ranking))
+
+    def finalize(self) -> "SearchResult":
+        """Sort matches, deduplicate by ranking id and sync the result counter."""
+        unique: dict[int, SearchMatch] = {}
+        for match in self.matches:
+            existing = unique.get(match.rid)
+            if existing is None or match.distance < existing.distance:
+                unique[match.rid] = match
+        self.matches = sorted(unique.values())
+        self.stats.results = len(self.matches)
+        return self
+
+    @property
+    def rids(self) -> set[int]:
+        """The ids of all matching rankings."""
+        return {match.rid for match in self.matches}
+
+    def distances(self) -> dict[int, float]:
+        """Mapping of ranking id to its normalised distance from the query."""
+        return {match.rid: match.distance for match in self.matches}
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self) -> Iterator[SearchMatch]:
+        return iter(self.matches)
+
+    def __contains__(self, rid: object) -> bool:
+        return any(match.rid == rid for match in self.matches)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResult(algorithm={self.algorithm!r}, theta={self.theta}, "
+            f"matches={len(self.matches)})"
+        )

@@ -1,0 +1,147 @@
+"""Machine-independent instrumentation shared by every query algorithm.
+
+The paper reports two performance measures: wall-clock time and the number of
+distance-function calls (DFC).  Timing in a pure-Python reproduction is noisy
+and not comparable to the original Java/Trove implementation, so every
+algorithm in this library additionally records counters that are independent
+of the machine: distance-function calls, postings scanned, candidates
+produced, index lists accessed and dropped, and partitions visited.  Figure
+10 of the paper is regenerated purely from these counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters and per-phase timings collected while answering one query.
+
+    Counters
+    --------
+    distance_calls:
+        Full Footrule (or other metric) evaluations — the paper's DFC metric.
+    postings_scanned:
+        Number of inverted-index postings (ranking id entries) read.
+    candidates:
+        Number of distinct candidate rankings produced by the filtering phase.
+    results:
+        Number of rankings in the final answer.
+    lists_accessed / lists_dropped:
+        Query index lists processed vs skipped by the +Drop optimisation.
+    blocks_accessed / blocks_skipped:
+        Blocks processed vs skipped by the blocked-access optimisation.
+    partitions_visited:
+        Coarse index only: number of medoid partitions validated.
+    bound_prunes / bound_accepts:
+        Candidates discarded early (lower bound above theta) and accepted
+        early (upper bound at or below theta) by the +Prune optimisation.
+    nodes_visited:
+        Metric-tree algorithms: number of tree nodes touched.
+    """
+
+    distance_calls: int = 0
+    postings_scanned: int = 0
+    candidates: int = 0
+    results: int = 0
+    lists_accessed: int = 0
+    lists_dropped: int = 0
+    blocks_accessed: int = 0
+    blocks_skipped: int = 0
+    partitions_visited: int = 0
+    bound_prunes: int = 0
+    bound_accepts: int = 0
+    nodes_visited: int = 0
+    filter_seconds: float = 0.0
+    validate_seconds: float = 0.0
+    total_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats object into this one (for workload totals)."""
+        self.distance_calls += other.distance_calls
+        self.postings_scanned += other.postings_scanned
+        self.candidates += other.candidates
+        self.results += other.results
+        self.lists_accessed += other.lists_accessed
+        self.lists_dropped += other.lists_dropped
+        self.blocks_accessed += other.blocks_accessed
+        self.blocks_skipped += other.blocks_skipped
+        self.partitions_visited += other.partitions_visited
+        self.bound_prunes += other.bound_prunes
+        self.bound_accepts += other.bound_accepts
+        self.nodes_visited += other.nodes_visited
+        self.filter_seconds += other.filter_seconds
+        self.validate_seconds += other.validate_seconds
+        self.total_seconds += other.total_seconds
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary view used by the experiment harness and reports."""
+        payload: dict[str, float] = {
+            "distance_calls": self.distance_calls,
+            "postings_scanned": self.postings_scanned,
+            "candidates": self.candidates,
+            "results": self.results,
+            "lists_accessed": self.lists_accessed,
+            "lists_dropped": self.lists_dropped,
+            "blocks_accessed": self.blocks_accessed,
+            "blocks_skipped": self.blocks_skipped,
+            "partitions_visited": self.partitions_visited,
+            "bound_prunes": self.bound_prunes,
+            "bound_accepts": self.bound_accepts,
+            "nodes_visited": self.nodes_visited,
+            "filter_seconds": self.filter_seconds,
+            "validate_seconds": self.validate_seconds,
+            "total_seconds": self.total_seconds,
+        }
+        payload.update(self.extra)
+        return payload
+
+
+class PhaseTimer:
+    """Context manager adding elapsed wall-clock time to a stats attribute.
+
+    Examples
+    --------
+    >>> stats = SearchStats()
+    >>> with PhaseTimer(stats, "filter_seconds"):
+    ...     _ = sum(range(10))
+    >>> stats.filter_seconds >= 0.0
+    True
+    """
+
+    def __init__(self, stats: SearchStats, attribute: str) -> None:
+        if not hasattr(stats, attribute):
+            raise AttributeError(f"SearchStats has no attribute {attribute!r}")
+        self._stats = stats
+        self._attribute = attribute
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(self._stats, self._attribute, getattr(self._stats, self._attribute) + elapsed)
+
+
+class CountingDistance:
+    """Wrap a distance function so every invocation is counted in a stats object.
+
+    The wrapper is how all algorithms in the library report the paper's
+    "distance function calls" measure without littering counting code around
+    every distance evaluation.
+    """
+
+    def __init__(self, distance_function, stats: SearchStats) -> None:
+        self._distance_function = distance_function
+        self._stats = stats
+
+    def __call__(self, left, right) -> float:
+        self._stats.distance_calls += 1
+        return self._distance_function(left, right)

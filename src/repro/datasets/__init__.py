@@ -1,0 +1,26 @@
+"""Dataset generators, query workloads and (de)serialisation.
+
+The paper evaluates on two proprietary real-world datasets (NYT query-result
+rankings and Yago entity rankings).  Neither is redistributable, so this
+package provides synthetic generators that reproduce the properties the paper
+identifies as decisive: item-popularity skew (Zipf exponent), the prevalence
+of near-duplicate rankings (topic clusters), collection size and ranking
+length.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.loader import load_rankings, save_rankings
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import QueryWorkload, sample_queries
+from repro.datasets.synthetic import DatasetSpec, generate_clustered_rankings
+from repro.datasets.yago import yago_like_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "generate_clustered_rankings",
+    "nyt_like_dataset",
+    "yago_like_dataset",
+    "QueryWorkload",
+    "sample_queries",
+    "save_rankings",
+    "load_rankings",
+]

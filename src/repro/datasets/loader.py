@@ -1,0 +1,67 @@
+"""Saving and loading ranking collections.
+
+Two plain-text formats are supported:
+
+* **TSV** (default): one ranking per line, item ids separated by tabs.  This
+  is the interchange format a user would export their own rankings in.
+* **JSON**: a single object ``{"k": ..., "rankings": [[...], ...]}`` for
+  round-tripping with metadata.
+
+Both formats store item ids only; ranking ids are re-assigned densely on
+load, matching how :class:`repro.core.ranking.RankingSet` works.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.errors import InvalidRankingError
+from repro.core.ranking import RankingSet
+
+
+def save_rankings(rankings: RankingSet, path: str | Path, fmt: str = "tsv") -> Path:
+    """Write a ranking collection to ``path`` in the given format."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "tsv":
+        lines = ["\t".join(str(item) for item in ranking.items) for ranking in rankings]
+        target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    elif fmt == "json":
+        payload = {"k": rankings.k, "rankings": [list(ranking.items) for ranking in rankings]}
+        target.write_text(json.dumps(payload), encoding="utf-8")
+    else:
+        raise ValueError(f"unknown format {fmt!r}; expected 'tsv' or 'json'")
+    return target
+
+
+def load_rankings(path: str | Path, fmt: str | None = None) -> RankingSet:
+    """Read a ranking collection from ``path``.
+
+    The format is inferred from the file extension unless given explicitly.
+    """
+    source = Path(path)
+    if fmt is None:
+        fmt = "json" if source.suffix.lower() == ".json" else "tsv"
+    text = source.read_text(encoding="utf-8")
+    if fmt == "json":
+        payload = json.loads(text)
+        try:
+            lists = payload["rankings"]
+        except (TypeError, KeyError) as error:
+            raise InvalidRankingError(f"malformed ranking JSON in {source}") from error
+        return RankingSet.from_lists(lists)
+    if fmt == "tsv":
+        lists = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                lists.append([int(token) for token in stripped.split("\t")])
+            except ValueError as error:
+                raise InvalidRankingError(
+                    f"non-integer item id on line {line_number} of {source}"
+                ) from error
+        return RankingSet.from_lists(lists)
+    raise ValueError(f"unknown format {fmt!r}; expected 'tsv' or 'json'")

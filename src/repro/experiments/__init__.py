@@ -1,0 +1,34 @@
+"""Experiment harness regenerating every figure and table of the paper."""
+
+from repro.experiments.harness import (
+    ExperimentSetup,
+    WorkloadMeasurement,
+    compare_algorithms,
+    run_workload,
+)
+from repro.experiments.figures import (
+    figure3_cost_model,
+    figure5_metric_trees,
+    figure6_bktree_vs_invindex,
+    figure7_coarse_tradeoff,
+    figure8_nyt_comparison,
+    figure9_yago_comparison,
+    figure10_distance_calls,
+)
+from repro.experiments.tables import table5_model_accuracy, table6_index_build
+
+__all__ = [
+    "ExperimentSetup",
+    "WorkloadMeasurement",
+    "run_workload",
+    "compare_algorithms",
+    "figure3_cost_model",
+    "figure5_metric_trees",
+    "figure6_bktree_vs_invindex",
+    "figure7_coarse_tradeoff",
+    "figure8_nyt_comparison",
+    "figure9_yago_comparison",
+    "figure10_distance_calls",
+    "table5_model_accuracy",
+    "table6_index_build",
+]

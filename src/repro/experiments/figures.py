@@ -1,0 +1,320 @@
+"""One function per figure of the paper's evaluation section.
+
+Every function returns a plain dictionary with the series the corresponding
+figure plots (so tests and benchmarks can assert on the shapes) and accepts
+scale parameters so the same code regenerates the figure at laptop scale or
+closer to the paper's original sizes.  ``print_report=True`` renders the
+series as a text table via :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.calibration import calibrate_costs
+from repro.analysis.report import format_series
+from repro.analysis.stats import cost_model_inputs_for
+from repro.core.cost_model import CostModel
+from repro.core.ranking import RankingSet
+from repro.algorithms.registry import COMPARISON_ALGORITHMS, DFC_ALGORITHMS
+from repro.experiments.harness import (
+    ExperimentSetup,
+    compare_algorithms,
+    measurements_as_series,
+    run_workload,
+)
+from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.coarse import CoarseSearch
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+from repro.datasets.yago import yago_like_dataset
+
+#: Default comparison thresholds used throughout the paper's evaluation.
+DEFAULT_THETAS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3)
+
+#: Default coarse-index tuning used in the paper's comparison figures.
+DEFAULT_COARSE_KWARGS = {"Coarse": {"theta_c": 0.5}, "Coarse+Drop": {"theta_c": 0.06}}
+
+
+def _dataset(name: str, n: int, k: int) -> RankingSet:
+    if name == "nyt":
+        return nyt_like_dataset(n=n, k=k)
+    if name == "yago":
+        return yago_like_dataset(n=n, k=k)
+    raise ValueError(f"unknown dataset preset {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — cost-model curves
+# ---------------------------------------------------------------------------
+
+
+def figure3_cost_model(
+    datasets: Sequence[str] = ("nyt", "yago"),
+    n: int = 2000,
+    k: int = 10,
+    theta: float = 0.2,
+    theta_c_grid: Sequence[float] | None = None,
+    calibrate: bool = False,
+    print_report: bool = False,
+) -> dict:
+    """Model-predicted filter/validate/overall cost versus theta_C (Figure 3)."""
+    grid = list(theta_c_grid) if theta_c_grid is not None else [round(0.05 * i, 2) for i in range(16)]
+    output: dict = {"theta": theta, "datasets": {}}
+    for name in datasets:
+        rankings = _dataset(name, n, k)
+        if calibrate:
+            calibration = calibrate_costs(k)
+            inputs = cost_model_inputs_for(
+                rankings,
+                cost_footrule=calibration.cost_footrule,
+                cost_merge=calibration.cost_merge,
+            )
+        else:
+            inputs = cost_model_inputs_for(rankings)
+        model = CostModel(inputs)
+        feasible = [value for value in grid if value + theta < 1.0]
+        curve = model.cost_curve(theta, feasible)
+        series = {
+            "filter": {point.theta_c: point.filter_cost for point in curve},
+            "validate": {point.theta_c: point.validate_cost for point in curve},
+            "overall": {point.theta_c: point.total for point in curve},
+        }
+        recommendation = model.recommend_theta_c(theta, feasible)
+        output["datasets"][name] = {
+            "series": series,
+            "recommended_theta_c": recommendation.theta_c,
+            "zipf_s": inputs.zipf_s,
+        }
+        if print_report:
+            print(format_series(series, x_label="theta_C", title=f"Figure 3 ({name}), theta={theta}"))
+            print(f"model-recommended theta_C: {recommendation.theta_c}\n")
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — M-tree vs BK-tree
+# ---------------------------------------------------------------------------
+
+
+def figure5_metric_trees(
+    n: int = 1000,
+    ks: Sequence[int] = (5, 10, 15, 20, 25),
+    theta_for_k_sweep: float = 0.1,
+    thetas: Sequence[float] = (0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3),
+    k_for_theta_sweep: int = 10,
+    num_queries: int = 20,
+    print_report: bool = False,
+) -> dict:
+    """BK-tree versus M-tree query time: vary k and vary theta (Figure 5, NYT)."""
+    by_k: dict[str, dict[float, float]] = {"BK-tree": {}, "M-tree": {}}
+    for k in ks:
+        rankings = nyt_like_dataset(n=n, k=k)
+        queries = sample_queries(rankings, num_queries)
+        for cls in (BKTreeSearch, MTreeSearch):
+            algorithm = cls.build(rankings)
+            measurement = run_workload(algorithm, queries, theta_for_k_sweep)
+            by_k[algorithm.name][k] = measurement.wall_seconds
+
+    rankings = nyt_like_dataset(n=n, k=k_for_theta_sweep)
+    queries = sample_queries(rankings, num_queries)
+    by_theta: dict[str, dict[float, float]] = {"BK-tree": {}, "M-tree": {}}
+    for cls in (BKTreeSearch, MTreeSearch):
+        algorithm = cls.build(rankings)
+        for theta in thetas:
+            measurement = run_workload(algorithm, queries, theta)
+            by_theta[algorithm.name][theta] = measurement.wall_seconds
+
+    if print_report:
+        print(format_series(by_k, x_label="k", title=f"Figure 5 (left): vary k, theta={theta_for_k_sweep}"))
+        print(format_series(by_theta, x_label="theta", title=f"Figure 5 (right): vary theta, k={k_for_theta_sweep}"))
+    return {"by_k": by_k, "by_theta": by_theta}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — BK-tree vs inverted index (F&V)
+# ---------------------------------------------------------------------------
+
+
+def figure6_bktree_vs_invindex(
+    n: int = 1000,
+    ks: Sequence[int] = (5, 10, 15, 20, 25),
+    theta_for_k_sweep: float = 0.1,
+    thetas: Sequence[float] = (0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3),
+    k_for_theta_sweep: int = 10,
+    num_queries: int = 20,
+    print_report: bool = False,
+) -> dict:
+    """BK-tree versus plain inverted index (F&V) query time (Figure 6, NYT)."""
+    by_k: dict[str, dict[float, float]] = {"BK-tree": {}, "F&V": {}}
+    for k in ks:
+        rankings = nyt_like_dataset(n=n, k=k)
+        queries = sample_queries(rankings, num_queries)
+        for cls in (BKTreeSearch, FilterValidate):
+            algorithm = cls.build(rankings)
+            measurement = run_workload(algorithm, queries, theta_for_k_sweep)
+            by_k[algorithm.name][k] = measurement.wall_seconds
+
+    rankings = nyt_like_dataset(n=n, k=k_for_theta_sweep)
+    queries = sample_queries(rankings, num_queries)
+    by_theta: dict[str, dict[float, float]] = {"BK-tree": {}, "F&V": {}}
+    for cls in (BKTreeSearch, FilterValidate):
+        algorithm = cls.build(rankings)
+        for theta in thetas:
+            measurement = run_workload(algorithm, queries, theta)
+            by_theta[algorithm.name][theta] = measurement.wall_seconds
+
+    if print_report:
+        print(format_series(by_k, x_label="k", title=f"Figure 6 (left): vary k, theta={theta_for_k_sweep}"))
+        print(format_series(by_theta, x_label="theta", title=f"Figure 6 (right): vary theta, k={k_for_theta_sweep}"))
+    return {"by_k": by_k, "by_theta": by_theta}
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — measured coarse-index trade-off over theta_C
+# ---------------------------------------------------------------------------
+
+
+def figure7_coarse_tradeoff(
+    datasets: Sequence[str] = ("nyt", "yago"),
+    n: int = 1500,
+    k: int = 10,
+    theta: float = 0.2,
+    theta_c_grid: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+    num_queries: int = 30,
+    print_report: bool = False,
+) -> dict:
+    """Measured filtering/validation/overall time versus theta_C (Figure 7).
+
+    Also reports the theta_C the cost model recommends and the measured
+    performance at that recommendation (the small rectangle in the paper's
+    plots) so Table 5 can be derived from the same data.
+    """
+    output: dict = {"theta": theta, "datasets": {}}
+    for name in datasets:
+        setup = ExperimentSetup.create(dataset=name, n=n, k=k, num_queries=num_queries)
+        series: dict[str, dict[float, float]] = {"filtering": {}, "validation": {}, "overall": {}}
+        for theta_c in theta_c_grid:
+            if theta + theta_c >= 1.0:
+                continue
+            algorithm = CoarseSearch.build(setup.rankings, theta_c=theta_c)
+            measurement = run_workload(algorithm, setup.queries, theta)
+            series["filtering"][theta_c] = measurement.stats.filter_seconds
+            series["validation"][theta_c] = measurement.stats.validate_seconds
+            series["overall"][theta_c] = measurement.wall_seconds
+        calibration = calibrate_costs(k, repetitions=500)
+        inputs = cost_model_inputs_for(
+            setup.rankings,
+            cost_footrule=calibration.cost_footrule,
+            cost_merge=calibration.cost_merge,
+        )
+        model = CostModel(inputs)
+        recommendation = model.recommend_theta_c(theta, [value for value in theta_c_grid if value + theta < 1.0])
+        best_measured_theta_c = min(series["overall"], key=series["overall"].get)
+        output["datasets"][name] = {
+            "series": series,
+            "model_theta_c": recommendation.theta_c,
+            "model_overall_seconds": series["overall"].get(recommendation.theta_c),
+            "best_measured_theta_c": best_measured_theta_c,
+            "best_measured_seconds": series["overall"][best_measured_theta_c],
+        }
+        if print_report:
+            print(format_series(series, x_label="theta_C", title=f"Figure 7 ({name}), theta={theta}"))
+            print(
+                f"model theta_C={recommendation.theta_c}  "
+                f"best measured theta_C={best_measured_theta_c}\n"
+            )
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 and 9 — algorithm comparison on both datasets
+# ---------------------------------------------------------------------------
+
+
+def _comparison_figure(
+    dataset: str,
+    n: int,
+    ks: Sequence[int],
+    thetas: Sequence[float],
+    num_queries: int,
+    algorithms: Sequence[str],
+    print_report: bool,
+    title: str,
+) -> dict:
+    output: dict = {"dataset": dataset, "by_k": {}}
+    for k in ks:
+        setup = ExperimentSetup.create(dataset=dataset, n=n, k=k, num_queries=num_queries)
+        measurements = compare_algorithms(setup, algorithms, thetas, DEFAULT_COARSE_KWARGS)
+        series = measurements_as_series(measurements, value="wall_seconds")
+        output["by_k"][k] = {
+            "series": series,
+            "rows": [measurement.as_row() for measurement in measurements],
+        }
+        if print_report:
+            print(format_series(series, x_label="theta", title=f"{title}, k={k}"))
+    return output
+
+
+def figure8_nyt_comparison(
+    n: int = 1500,
+    ks: Sequence[int] = (10, 20),
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    num_queries: int = 30,
+    algorithms: Sequence[str] = COMPARISON_ALGORITHMS,
+    print_report: bool = False,
+) -> dict:
+    """All algorithms on the NYT-like dataset (Figure 8)."""
+    return _comparison_figure(
+        "nyt", n, ks, thetas, num_queries, algorithms, print_report, "Figure 8 (NYT)"
+    )
+
+
+def figure9_yago_comparison(
+    n: int = 1500,
+    ks: Sequence[int] = (10, 20),
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    num_queries: int = 30,
+    algorithms: Sequence[str] = COMPARISON_ALGORITHMS,
+    print_report: bool = False,
+) -> dict:
+    """All algorithms on the Yago-like dataset (Figure 9)."""
+    return _comparison_figure(
+        "yago", n, ks, thetas, num_queries, algorithms, print_report, "Figure 9 (Yago)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — distance-function calls
+# ---------------------------------------------------------------------------
+
+
+def figure10_distance_calls(
+    datasets: Sequence[str] = ("nyt", "yago"),
+    n: int = 1500,
+    ks: Sequence[int] = (10, 20),
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    num_queries: int = 30,
+    algorithms: Sequence[str] = DFC_ALGORITHMS,
+    print_report: bool = False,
+) -> dict:
+    """Number of distance-function calls per algorithm (Figure 10)."""
+    output: dict = {}
+    for dataset in datasets:
+        output[dataset] = {}
+        for k in ks:
+            setup = ExperimentSetup.create(dataset=dataset, n=n, k=k, num_queries=num_queries)
+            measurements = compare_algorithms(setup, algorithms, thetas, DEFAULT_COARSE_KWARGS)
+            series = measurements_as_series(measurements, value="distance_calls")
+            output[dataset][k] = {
+                "series": series,
+                "rows": [measurement.as_row() for measurement in measurements],
+            }
+            if print_report:
+                print(
+                    format_series(
+                        series, x_label="theta", title=f"Figure 10 ({dataset}), k={k} — DFC"
+                    )
+                )
+    return output

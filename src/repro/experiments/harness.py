@@ -1,0 +1,150 @@
+"""Shared machinery for running query workloads over suites of algorithms.
+
+The harness mirrors the paper's measurement protocol: a workload of queries
+is executed against one algorithm at a time with a fixed threshold; the
+wall-clock time of the whole workload and the accumulated counters (distance
+function calls, postings scanned, ...) are reported per algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+from repro.algorithms.registry import make_algorithm
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+from repro.datasets.yago import yago_like_dataset
+
+
+@dataclass
+class ExperimentSetup:
+    """A dataset plus a query workload, the unit every experiment runs on.
+
+    Use :meth:`create` to build one of the two named presets ("nyt" or
+    "yago") at a chosen scale.
+    """
+
+    name: str
+    rankings: RankingSet
+    queries: list[Ranking] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        dataset: str = "nyt",
+        n: int = 2000,
+        k: int = 10,
+        num_queries: int = 50,
+        seed: int = 7,
+    ) -> "ExperimentSetup":
+        """Generate a named dataset preset and sample a query workload from it."""
+        if dataset == "nyt":
+            rankings = nyt_like_dataset(n=n, k=k)
+        elif dataset == "yago":
+            rankings = yago_like_dataset(n=n, k=k)
+        else:
+            raise ValueError(f"unknown dataset preset {dataset!r}; expected 'nyt' or 'yago'")
+        queries = sample_queries(rankings, num_queries, seed=seed)
+        return cls(name=dataset, rankings=rankings, queries=queries)
+
+    @property
+    def k(self) -> int:
+        """Ranking size of the dataset."""
+        return self.rankings.k
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Aggregated outcome of running one workload with one algorithm."""
+
+    algorithm: str
+    theta: float
+    num_queries: int
+    wall_seconds: float
+    stats: SearchStats
+    total_results: int
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary for report tables."""
+        row: dict[str, object] = {
+            "algorithm": self.algorithm,
+            "theta": self.theta,
+            "queries": self.num_queries,
+            "wall_seconds": self.wall_seconds,
+            "results": self.total_results,
+        }
+        row.update({key: value for key, value in self.stats.as_dict().items() if key != "results"})
+        return row
+
+
+def run_workload(
+    algorithm: RankingSearchAlgorithm,
+    queries: Sequence[Ranking],
+    theta: float,
+) -> WorkloadMeasurement:
+    """Execute every query with ``theta`` and aggregate counters and wall-clock time.
+
+    Minimal F&V queries are materialised beforehand (outside the timed
+    region), matching the paper's protocol for the oracle baseline.
+    """
+    if isinstance(algorithm, MinimalFilterValidate):
+        for query in queries:
+            if not algorithm.is_prepared(query, theta):
+                algorithm.prepare(query, theta)
+    totals = SearchStats()
+    total_results = 0
+    start = time.perf_counter()
+    for query in queries:
+        answer = algorithm.search(query, theta)
+        totals.merge(answer.stats)
+        total_results += len(answer)
+    wall_seconds = time.perf_counter() - start
+    return WorkloadMeasurement(
+        algorithm=algorithm.name,
+        theta=theta,
+        num_queries=len(queries),
+        wall_seconds=wall_seconds,
+        stats=totals,
+        total_results=total_results,
+    )
+
+
+def compare_algorithms(
+    setup: ExperimentSetup,
+    algorithm_names: Iterable[str],
+    thetas: Sequence[float],
+    algorithm_kwargs: dict[str, dict] | None = None,
+) -> list[WorkloadMeasurement]:
+    """Run the workload for every (algorithm, theta) combination.
+
+    ``algorithm_kwargs`` maps algorithm names to extra keyword arguments for
+    their ``build`` constructors (for example ``{"Coarse": {"theta_c": 0.5}}``).
+    Indices are built once per algorithm and reused across thresholds, as in
+    the paper (index construction is reported separately in Table 6).
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    measurements: list[WorkloadMeasurement] = []
+    for name in algorithm_names:
+        kwargs = algorithm_kwargs.get(name, {})
+        algorithm = make_algorithm(name, setup.rankings, **kwargs)
+        for theta in thetas:
+            measurements.append(run_workload(algorithm, setup.queries, theta))
+    return measurements
+
+
+def measurements_as_series(
+    measurements: Sequence[WorkloadMeasurement],
+    value: str = "wall_seconds",
+) -> dict[str, dict[float, float]]:
+    """Pivot measurements into per-algorithm series over theta (for reports)."""
+    series: dict[str, dict[float, float]] = {}
+    for measurement in measurements:
+        row = measurement.as_row()
+        series.setdefault(measurement.algorithm, {})[measurement.theta] = float(row[value])
+    return series

@@ -1,0 +1,113 @@
+"""One function per table of the paper's evaluation section."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro.analysis.report import format_table
+from repro.core.coarse_index import CoarseIndex
+from repro.core.distances import footrule_topk_raw
+from repro.core.ranking import RankingSet
+from repro.invindex.augmented import AugmentedInvertedIndex
+from repro.invindex.blocked import BlockedInvertedIndex
+from repro.invindex.delta import DeltaInvertedIndex
+from repro.invindex.plain import PlainInvertedIndex
+from repro.metric.bktree import BKTree
+from repro.metric.mtree import MTree
+from repro.experiments.figures import figure7_coarse_tradeoff
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.yago import yago_like_dataset
+
+
+def table5_model_accuracy(
+    datasets: Sequence[str] = ("nyt", "yago"),
+    n: int = 1500,
+    k: int = 10,
+    thetas: Sequence[float] = (0.1, 0.2, 0.3),
+    num_queries: int = 30,
+    print_report: bool = False,
+) -> list[dict]:
+    """Gap between the best measured coarse performance and the model's pick (Table 5).
+
+    For every dataset and query threshold the coarse index is swept over a
+    grid of theta_C values; the row reports the wall-clock difference (in
+    milliseconds, per workload) between the best measured configuration and
+    the configuration the cost model recommends.
+    """
+    rows: list[dict] = []
+    for theta in thetas:
+        figure = figure7_coarse_tradeoff(
+            datasets=datasets, n=n, k=k, theta=theta, num_queries=num_queries
+        )
+        for dataset, payload in figure["datasets"].items():
+            best_seconds = payload["best_measured_seconds"]
+            model_seconds = payload["model_overall_seconds"]
+            if model_seconds is None:
+                # the recommended theta_C was not on the measured grid; take
+                # the closest measured grid point
+                overall = payload["series"]["overall"]
+                closest = min(overall, key=lambda value: abs(value - payload["model_theta_c"]))
+                model_seconds = overall[closest]
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "theta": theta,
+                    "best_theta_c": payload["best_measured_theta_c"],
+                    "model_theta_c": payload["model_theta_c"],
+                    "difference_ms": (model_seconds - best_seconds) * 1000.0,
+                }
+            )
+    if print_report:
+        print(format_table(rows, title="Table 5 — cost-model accuracy"))
+    return rows
+
+
+def _timed_build(builder) -> tuple[object, float]:
+    start = time.perf_counter()
+    built = builder()
+    return built, time.perf_counter() - start
+
+
+def table6_index_build(
+    datasets: Sequence[str] = ("nyt", "yago"),
+    n: int = 1500,
+    k: int = 10,
+    coarse_theta_c: float = 0.5,
+    print_report: bool = False,
+) -> list[dict]:
+    """Size and construction time of every index structure (Table 6)."""
+    rows: list[dict] = []
+    for dataset in datasets:
+        if dataset == "nyt":
+            rankings: RankingSet = nyt_like_dataset(n=n, k=k)
+        elif dataset == "yago":
+            rankings = yago_like_dataset(n=n, k=k)
+        else:
+            raise ValueError(f"unknown dataset preset {dataset!r}")
+
+        builders = {
+            "Plain Inverted Index": lambda r=rankings: PlainInvertedIndex.build(r),
+            "Augmented Inverted Index": lambda r=rankings: AugmentedInvertedIndex.build(r),
+            "Blocked Inverted Index": lambda r=rankings: BlockedInvertedIndex.build(r),
+            "Delta Inverted Index": lambda r=rankings: DeltaInvertedIndex.build(r),
+            "BK-tree": lambda r=rankings: BKTree.build(r.rankings, footrule_topk_raw),
+            "M-tree": lambda r=rankings: MTree.build(r.rankings, footrule_topk_raw),
+            "Coarse Index": lambda r=rankings: CoarseIndex.build(r, theta_c=coarse_theta_c),
+        }
+        for index_name, builder in builders.items():
+            built, seconds = _timed_build(builder)
+            size_bytes = built.memory_estimate_bytes()
+            distance_calls = getattr(built, "construction_distance_calls", 0)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "index": index_name,
+                    "size_mb": size_bytes / (1024.0 * 1024.0),
+                    "construction_seconds": seconds,
+                    "construction_distance_calls": distance_calls,
+                }
+            )
+    if print_report:
+        print(format_table(rows, title="Table 6 — index size and construction time"))
+    return rows

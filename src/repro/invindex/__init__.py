@@ -1,0 +1,31 @@
+"""Inverted-index substrates.
+
+Four flavours of inverted index over rankings are provided:
+
+* :class:`PlainInvertedIndex` — item -> list of ranking ids, the classic
+  set-valued-attribute index used by the Filter & Validate baseline.
+* :class:`AugmentedInvertedIndex` — item -> list of (ranking id, rank)
+  postings, enabling on-the-fly Footrule computation and the NRA-style
+  pruning of Section 6.2.
+* :class:`BlockedInvertedIndex` — rank-sorted augmented lists with a
+  secondary per-list block directory (Section 6.3), enabling block skipping.
+* :class:`DeltaInvertedIndex` — the prefix-extension index used by the
+  AdaptSearch competitor: level ``l`` holds, for each ranking, only the item
+  at prefix position ``l``.
+"""
+
+from repro.invindex.augmented import AugmentedInvertedIndex
+from repro.invindex.blocked import Block, BlockedInvertedIndex
+from repro.invindex.delta import DeltaInvertedIndex
+from repro.invindex.plain import PlainInvertedIndex
+from repro.invindex.postings import Posting, PostingList
+
+__all__ = [
+    "Posting",
+    "PostingList",
+    "PlainInvertedIndex",
+    "AugmentedInvertedIndex",
+    "BlockedInvertedIndex",
+    "Block",
+    "DeltaInvertedIndex",
+]

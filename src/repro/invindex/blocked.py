@@ -1,0 +1,167 @@
+"""Blocked inverted index (Section 6.3 of the paper).
+
+Each index list is sorted by rank value; consecutive postings with the same
+rank form a *block* ``B_{i@j}`` (item ``i`` at rank ``j``).  A secondary
+per-list directory stores the offset and length of each block, so a query can
+skip every block whose rank differs from the item's query rank by more than
+the (raw) query threshold — the partial distance contributed by the block
+alone already exceeds the threshold for all rankings stored in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.invindex.postings import Posting
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block ``B_{i@j}``: all rankings holding ``item`` at rank ``rank``."""
+
+    item: int
+    rank: int
+    postings: tuple[Posting, ...]
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def rids(self) -> list[int]:
+        """The ranking ids stored in the block."""
+        return [posting.rid for posting in self.postings]
+
+
+class BlockedInvertedIndex:
+    """Rank-sorted inverted index with a per-list block directory.
+
+    Examples
+    --------
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [2, 1, 3], [1, 3, 2]])
+    >>> index = BlockedInvertedIndex.build(rankings)
+    >>> [block.rank for block in index.blocks_for(1)]
+    [0, 1]
+    >>> [len(block) for block in index.blocks_for(1)]
+    [2, 1]
+    """
+
+    def __init__(self, rankings: RankingSet) -> None:
+        self._rankings = rankings
+        self._blocks: dict[int, list[Block]] = {}
+        self._built = False
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, rankings: RankingSet) -> "BlockedInvertedIndex":
+        """Build the index over all rankings in the collection."""
+        if len(rankings) == 0:
+            raise EmptyDatasetError("cannot build an inverted index over an empty ranking set")
+        index = cls(rankings)
+        raw_lists: dict[int, list[Posting]] = {}
+        for ranking in rankings:
+            assert ranking.rid is not None
+            for rank, item in enumerate(ranking.items):
+                raw_lists.setdefault(item, []).append(Posting(rid=ranking.rid, rank=rank))
+        for item, postings in raw_lists.items():
+            postings.sort(key=lambda posting: (posting.rank, posting.rid))
+            index._blocks[item] = _split_into_blocks(item, postings)
+        index._built = True
+        return index
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def rankings(self) -> RankingSet:
+        """The indexed ranking collection."""
+        return self._rankings
+
+    @property
+    def k(self) -> int:
+        """Ranking size of the indexed collection."""
+        return self._rankings.k
+
+    def items(self) -> Iterable[int]:
+        """All indexed items."""
+        return self._blocks.keys()
+
+    def blocks_for(self, item: int) -> list[Block]:
+        """All blocks of ``item`` in increasing rank order (empty if unknown)."""
+        return self._blocks.get(item, [])
+
+    def list_length(self, item: int) -> int:
+        """Total number of postings for ``item``."""
+        return sum(len(block) for block in self._blocks.get(item, ()))
+
+    def num_postings(self) -> int:
+        """Total number of postings stored."""
+        return sum(self.list_length(item) for item in self._blocks)
+
+    def num_items(self) -> int:
+        """Number of distinct indexed items."""
+        return len(self._blocks)
+
+    def num_blocks(self) -> int:
+        """Total number of blocks across all index lists."""
+        return sum(len(blocks) for blocks in self._blocks.values())
+
+    def memory_estimate_bytes(self) -> int:
+        """Footprint: augmented postings plus the per-block directory entries."""
+        postings_bytes = 16 * self.num_postings()
+        directory_bytes = 16 * self.num_blocks()
+        dictionary_bytes = 16 * self.num_items()
+        ranking_bytes = 8 * sum(ranking.size for ranking in self._rankings)
+        return postings_bytes + directory_bytes + dictionary_bytes + ranking_bytes
+
+    # -- query support ----------------------------------------------------------------
+
+    def admissible_blocks(
+        self,
+        item: int,
+        query_rank: int,
+        theta_raw: float,
+        stats: Optional[SearchStats] = None,
+    ) -> Iterator[Block]:
+        """Yield blocks of ``item`` whose rank is within ``theta_raw`` of ``query_rank``.
+
+        Blocks with ``|block.rank - query_rank| > theta_raw`` cannot contain
+        any result ranking (their partial distance already exceeds the
+        threshold) and are skipped; the skip is recorded in ``stats``.
+        """
+        for block in self._blocks.get(item, ()):
+            if abs(block.rank - query_rank) > theta_raw:
+                if stats is not None:
+                    stats.blocks_skipped += 1
+                continue
+            if stats is not None:
+                stats.blocks_accessed += 1
+                stats.postings_scanned += len(block)
+            yield block
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockedInvertedIndex(items={self.num_items()}, blocks={self.num_blocks()}, "
+            f"postings={self.num_postings()})"
+        )
+
+
+def _split_into_blocks(item: int, postings: list[Posting]) -> list[Block]:
+    """Group rank-sorted postings of one item into same-rank blocks."""
+    blocks: list[Block] = []
+    current_rank: Optional[int] = None
+    current: list[Posting] = []
+    for posting in postings:
+        if current_rank is None or posting.rank != current_rank:
+            if current:
+                blocks.append(Block(item=item, rank=current_rank, postings=tuple(current)))
+            current_rank = posting.rank
+            current = [posting]
+        else:
+            current.append(posting)
+    if current and current_rank is not None:
+        blocks.append(Block(item=item, rank=current_rank, postings=tuple(current)))
+    return blocks

@@ -1,0 +1,70 @@
+"""Posting and posting-list primitives shared by the inverted-index flavours."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """One entry of an augmented index list: a ranking id and the item's rank.
+
+    Ordering is by ranking id first so posting lists are naturally usable by
+    id-sorted merge algorithms; rank-sorted orderings are produced explicitly
+    where needed (blocked index).
+    """
+
+    rid: int
+    rank: int
+
+
+class PostingList:
+    """A sequence of postings for one item, kept sorted by ranking id.
+
+    The list supports the two access patterns needed by the paper's
+    algorithms: sequential scans (filter phase, merge join) and binary
+    estimation of its length for list-dropping decisions.
+    """
+
+    __slots__ = ("_postings", "_sorted_by_rid")
+
+    def __init__(self, postings: Iterable[Posting] | None = None) -> None:
+        self._postings: list[Posting] = list(postings) if postings is not None else []
+        self._sorted_by_rid = False
+        if self._postings:
+            self._ensure_sorted()
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted_by_rid:
+            self._postings.sort(key=lambda posting: posting.rid)
+            self._sorted_by_rid = True
+
+    def append(self, rid: int, rank: int) -> None:
+        """Add one posting.  Postings are re-sorted lazily on first read."""
+        self._postings.append(Posting(rid=rid, rank=rank))
+        self._sorted_by_rid = False
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        self._ensure_sorted()
+        return iter(self._postings)
+
+    def __getitem__(self, index: int) -> Posting:
+        self._ensure_sorted()
+        return self._postings[index]
+
+    def rids(self) -> list[int]:
+        """All ranking ids in the list, in increasing order."""
+        self._ensure_sorted()
+        return [posting.rid for posting in self._postings]
+
+    def sorted_by_rank(self) -> list[Posting]:
+        """The postings ordered by rank (stable on ranking id)."""
+        self._ensure_sorted()
+        return sorted(self._postings, key=lambda posting: (posting.rank, posting.rid))
+
+    def __repr__(self) -> str:
+        return f"PostingList(len={len(self._postings)})"

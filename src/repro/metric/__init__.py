@@ -1,0 +1,20 @@
+"""Metric-space index substrates: BK-tree, M-tree, VP-tree and partitioning."""
+
+from repro.metric.bktree import BKTree, BKTreeNode
+from repro.metric.mtree import MTree
+from repro.metric.partitioning import (
+    Partitioner,
+    bktree_partition,
+    random_medoid_partition,
+)
+from repro.metric.vptree import VPTree
+
+__all__ = [
+    "BKTree",
+    "BKTreeNode",
+    "MTree",
+    "VPTree",
+    "Partitioner",
+    "bktree_partition",
+    "random_medoid_partition",
+]

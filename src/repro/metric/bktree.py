@@ -1,0 +1,210 @@
+"""Burkhard-Keller tree for discrete metrics (Burkhard & Keller 1973).
+
+The BK-tree is an n-ary tree in which every node holds one object and points
+to one subtree per *discrete* distance value: the child subtree at edge label
+``d`` contains exactly the objects whose distance to the node's object is
+``d``.  Range queries exploit the triangle inequality: when searching for
+objects within distance ``theta`` of a query whose distance to the current
+node is ``d_q``, only the child edges labelled within ``[d_q - theta,
+d_q + theta]`` can contain results.
+
+The raw (integer) Footrule distance between top-k lists is a discrete metric,
+which is why the paper uses the BK-tree both as a standalone baseline and as
+the partition container of the coarse index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator
+from typing import Optional
+
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+
+DiscreteDistance = Callable[[Ranking, Ranking], int]
+
+
+@dataclass
+class BKTreeNode:
+    """One node of a BK-tree: a ranking plus children keyed by distance."""
+
+    ranking: Ranking
+    children: dict[int, "BKTreeNode"] = field(default_factory=dict)
+
+    def subtree_size(self) -> int:
+        """Number of rankings stored in the subtree rooted at this node."""
+        return 1 + sum(child.subtree_size() for child in self.children.values())
+
+    def iter_subtree(self) -> Iterator["BKTreeNode"]:
+        """Yield every node of the subtree (pre-order)."""
+        yield self
+        for child in self.children.values():
+            yield from child.iter_subtree()
+
+
+class BKTree:
+    """BK-tree over rankings with a user-supplied discrete distance.
+
+    Parameters
+    ----------
+    distance:
+        A discrete (integer-valued) metric between rankings, typically
+        :func:`repro.core.distances.footrule_topk_raw`.
+
+    Examples
+    --------
+    >>> from repro.core.distances import footrule_topk_raw
+    >>> from repro.core.ranking import RankingSet
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [1, 3, 2], [7, 8, 9]])
+    >>> tree = BKTree.build(rankings.rankings, footrule_topk_raw)
+    >>> sorted(r.rid for r, d in tree.range_search(rankings[0], 4))
+    [0, 1]
+    """
+
+    def __init__(self, distance: DiscreteDistance) -> None:
+        self._distance = distance
+        self._root: Optional[BKTreeNode] = None
+        self._size = 0
+        self._construction_distance_calls = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, rankings: Iterable[Ranking], distance: DiscreteDistance) -> "BKTree":
+        """Insert all rankings one by one (construction order = iteration order)."""
+        tree = cls(distance)
+        for ranking in rankings:
+            tree.insert(ranking)
+        return tree
+
+    def insert(self, ranking: Ranking) -> None:
+        """Insert one ranking.
+
+        Exact duplicates (distance 0 to an existing node) are chained below
+        that node via the distance-0 edge so they are preserved and retrieved
+        together.
+        """
+        if self._root is None:
+            self._root = BKTreeNode(ranking=ranking)
+            self._size = 1
+            return
+        node = self._root
+        while True:
+            self._construction_distance_calls += 1
+            separation = self._distance(ranking, node.ranking)
+            child = node.children.get(separation)
+            if child is None:
+                node.children[separation] = BKTreeNode(ranking=ranking)
+                self._size += 1
+                return
+            node = child
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Optional[BKTreeNode]:
+        """The root node, or ``None`` for an empty tree."""
+        return self._root
+
+    @property
+    def distance(self) -> DiscreteDistance:
+        """The discrete metric the tree was built with."""
+        return self._distance
+
+    @property
+    def construction_distance_calls(self) -> int:
+        """Distance evaluations spent during construction (Table 6 discussion)."""
+        return self._construction_distance_calls
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Ranking]:
+        if self._root is None:
+            return iter(())
+        return (node.ranking for node in self._root.iter_subtree())
+
+    def depth(self) -> int:
+        """Height of the tree (0 for an empty tree, 1 for a single node)."""
+
+        def node_depth(node: Optional[BKTreeNode]) -> int:
+            if node is None:
+                return 0
+            if not node.children:
+                return 1
+            return 1 + max(node_depth(child) for child in node.children.values())
+
+        return node_depth(self._root)
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough footprint: node overhead plus the stored rankings."""
+        if self._root is None:
+            return 0
+        per_node_overhead = 48
+        ranking_bytes = sum(8 * node.ranking.size for node in self._root.iter_subtree())
+        return per_node_overhead * self._size + ranking_bytes
+
+    # -- queries ------------------------------------------------------------------------
+
+    def range_search(
+        self,
+        query: Ranking,
+        theta_raw: float,
+        stats: Optional[SearchStats] = None,
+    ) -> list[tuple[Ranking, int]]:
+        """All rankings within raw distance ``theta_raw`` of the query.
+
+        Returns (ranking, raw distance) pairs.  The traversal only descends
+        into child edges whose label lies in ``[d_q - theta, d_q + theta]``.
+        """
+        if self._root is None:
+            return []
+        results: list[tuple[Ranking, int]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if stats is not None:
+                stats.nodes_visited += 1
+                stats.distance_calls += 1
+            separation = self._distance(query, node.ranking)
+            if separation <= theta_raw:
+                results.append((node.ranking, separation))
+            low = separation - theta_raw
+            high = separation + theta_raw
+            for edge, child in node.children.items():
+                if low <= edge <= high:
+                    stack.append(child)
+        return results
+
+    def range_search_subtree(
+        self,
+        node: BKTreeNode,
+        query: Ranking,
+        theta_raw: float,
+        stats: Optional[SearchStats] = None,
+    ) -> list[tuple[Ranking, int]]:
+        """Range search restricted to the subtree rooted at ``node``.
+
+        The coarse index stores each partition as a BK-(sub)tree and calls
+        this method to validate a partition against the original threshold.
+        """
+        results: list[tuple[Ranking, int]] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if stats is not None:
+                stats.nodes_visited += 1
+                stats.distance_calls += 1
+            separation = self._distance(query, current.ranking)
+            if separation <= theta_raw:
+                results.append((current.ranking, separation))
+            low = separation - theta_raw
+            high = separation + theta_raw
+            for edge, child in current.children.items():
+                if low <= edge <= high:
+                    stack.append(child)
+        return results
+
+    def __repr__(self) -> str:
+        return f"BKTree(size={self._size}, depth={self.depth()})"

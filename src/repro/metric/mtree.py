@@ -1,0 +1,333 @@
+"""M-tree: a balanced, paged metric index (Ciaccia, Patella, Zezula 1997).
+
+The M-tree is the metric-space baseline the paper compares against.  It is a
+height-balanced tree built by bottom-up node splits (like a B-tree): leaf
+nodes store objects with their distance to the parent routing object;
+internal nodes store routing objects with a covering radius.  Range queries
+prune subtrees whose covering ball cannot intersect the query ball, using the
+triangle inequality on the precomputed parent distances.
+
+This is a from-scratch implementation supporting:
+
+* configurable node capacity,
+* random or max-spread promotion of routing objects at split time,
+* generalised-hyperplane partitioning of the split entries,
+* range search with parent-distance pruning.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator
+from typing import Optional
+
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+
+MetricDistance = Callable[[Ranking, Ranking], float]
+
+
+@dataclass
+class _Entry:
+    """One entry of an M-tree node.
+
+    In a leaf node the entry holds a data object; in an internal node it
+    holds a routing object with its covering radius and a child node.
+    """
+
+    ranking: Ranking
+    parent_distance: float = 0.0
+    covering_radius: float = 0.0
+    subtree: Optional["_Node"] = None
+
+    @property
+    def is_routing(self) -> bool:
+        return self.subtree is not None
+
+
+@dataclass
+class _Node:
+    """An M-tree node holding up to ``capacity`` entries."""
+
+    is_leaf: bool
+    entries: list[_Entry] = field(default_factory=list)
+    parent_entry: Optional[_Entry] = None
+
+    def is_full(self, capacity: int) -> bool:
+        return len(self.entries) > capacity
+
+
+class MTree:
+    """M-tree over rankings with a user-supplied metric.
+
+    Parameters
+    ----------
+    distance:
+        Any metric between rankings (raw Footrule by default in callers).
+    capacity:
+        Maximum number of entries per node before a split (>= 2).
+    promotion:
+        ``"max_spread"`` (default) promotes the two entries that are farthest
+        apart; ``"random"`` promotes a random pair — the cheaper policy of
+        the original paper.
+    seed:
+        Seed for the random promotion policy, for reproducibility.
+
+    Examples
+    --------
+    >>> from repro.core.distances import footrule_topk_raw
+    >>> from repro.core.ranking import RankingSet
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [1, 3, 2], [7, 8, 9], [7, 9, 8]])
+    >>> tree = MTree.build(rankings.rankings, footrule_topk_raw, capacity=2)
+    >>> sorted(r.rid for r, d in tree.range_search(rankings[0], 4))
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        distance: MetricDistance,
+        capacity: int = 16,
+        promotion: str = "max_spread",
+        seed: int = 7,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(f"node capacity must be at least 2, got {capacity}")
+        if promotion not in ("max_spread", "random"):
+            raise ValueError(f"unknown promotion policy {promotion!r}")
+        self._distance = distance
+        self._capacity = capacity
+        self._promotion = promotion
+        self._rng = random.Random(seed)
+        self._root: _Node = _Node(is_leaf=True)
+        self._size = 0
+        self._construction_distance_calls = 0
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        rankings: Iterable[Ranking],
+        distance: MetricDistance,
+        capacity: int = 16,
+        promotion: str = "max_spread",
+        seed: int = 7,
+    ) -> "MTree":
+        """Insert all rankings one by one."""
+        tree = cls(distance, capacity=capacity, promotion=promotion, seed=seed)
+        for ranking in rankings:
+            tree.insert(ranking)
+        return tree
+
+    def _measure(self, left: Ranking, right: Ranking) -> float:
+        self._construction_distance_calls += 1
+        return self._distance(left, right)
+
+    def insert(self, ranking: Ranking) -> None:
+        """Insert one ranking, splitting nodes on overflow."""
+        self._insert_into(self._root, ranking, parent_distance=0.0)
+        self._size += 1
+
+    def _insert_into(self, node: _Node, ranking: Ranking, parent_distance: float) -> None:
+        if node.is_leaf:
+            node.entries.append(_Entry(ranking=ranking, parent_distance=parent_distance))
+            if node.is_full(self._capacity):
+                self._split(node)
+            return
+        # choose the routing entry whose covering radius needs the least enlargement
+        best_entry: Optional[_Entry] = None
+        best_distance = 0.0
+        best_enlargement = float("inf")
+        for entry in node.entries:
+            separation = self._measure(ranking, entry.ranking)
+            enlargement = max(0.0, separation - entry.covering_radius)
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement
+                and best_entry is not None
+                and separation < best_distance
+            ):
+                best_entry = entry
+                best_distance = separation
+                best_enlargement = enlargement
+        assert best_entry is not None and best_entry.subtree is not None
+        if best_distance > best_entry.covering_radius:
+            best_entry.covering_radius = best_distance
+        self._insert_into(best_entry.subtree, ranking, parent_distance=best_distance)
+
+    # -- node splitting -----------------------------------------------------------------
+
+    def _split(self, node: _Node) -> None:
+        entries = node.entries
+        first, second = self._promote(entries)
+        group_one, group_two = self._partition(entries, first, second)
+
+        node_one = _Node(is_leaf=node.is_leaf, entries=group_one)
+        node_two = _Node(is_leaf=node.is_leaf, entries=group_two)
+        entry_one = self._make_routing_entry(first.ranking, node_one)
+        entry_two = self._make_routing_entry(second.ranking, node_two)
+        node_one.parent_entry = entry_one
+        node_two.parent_entry = entry_two
+
+        parent = self._find_parent(self._root, node)
+        if parent is None:
+            # the split node is the root: grow the tree by one level
+            new_root = _Node(is_leaf=False, entries=[entry_one, entry_two])
+            self._root = new_root
+            return
+        # replace the routing entry that pointed at the overflowing node
+        parent.entries = [entry for entry in parent.entries if entry.subtree is not node]
+        for entry in (entry_one, entry_two):
+            if parent.parent_entry is not None:
+                entry.parent_distance = self._measure(entry.ranking, parent.parent_entry.ranking)
+            parent.entries.append(entry)
+        if parent.is_full(self._capacity):
+            self._split(parent)
+
+    def _promote(self, entries: list[_Entry]) -> tuple[_Entry, _Entry]:
+        if self._promotion == "random" or len(entries) <= 2:
+            pair = self._rng.sample(entries, 2)
+            return pair[0], pair[1]
+        best_pair = (entries[0], entries[1])
+        best_spread = -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                spread = self._measure(entries[i].ranking, entries[j].ranking)
+                if spread > best_spread:
+                    best_spread = spread
+                    best_pair = (entries[i], entries[j])
+        return best_pair
+
+    def _partition(
+        self, entries: list[_Entry], first: _Entry, second: _Entry
+    ) -> tuple[list[_Entry], list[_Entry]]:
+        """Generalised-hyperplane partitioning: assign to the closer promoted entry."""
+        group_one: list[_Entry] = []
+        group_two: list[_Entry] = []
+        for entry in entries:
+            to_first = self._measure(entry.ranking, first.ranking)
+            to_second = self._measure(entry.ranking, second.ranking)
+            if to_first <= to_second:
+                entry.parent_distance = to_first
+                group_one.append(entry)
+            else:
+                entry.parent_distance = to_second
+                group_two.append(entry)
+        # every group must be non-empty for the tree to stay valid
+        if not group_one:
+            group_one.append(group_two.pop())
+        if not group_two:
+            group_two.append(group_one.pop())
+        return group_one, group_two
+
+    def _make_routing_entry(self, ranking: Ranking, subtree: _Node) -> _Entry:
+        radius = 0.0
+        for entry in subtree.entries:
+            reach = entry.parent_distance + (entry.covering_radius if entry.is_routing else 0.0)
+            radius = max(radius, reach)
+        return _Entry(ranking=ranking, covering_radius=radius, subtree=subtree)
+
+    def _find_parent(self, current: _Node, target: _Node) -> Optional[_Node]:
+        if current.is_leaf:
+            return None
+        for entry in current.entries:
+            if entry.subtree is target:
+                return current
+            if entry.subtree is not None:
+                found = self._find_parent(entry.subtree, target)
+                if found is not None:
+                    return found
+        return None
+
+    # -- accessors ---------------------------------------------------------------------------
+
+    @property
+    def construction_distance_calls(self) -> int:
+        """Distance evaluations spent during construction."""
+        return self._construction_distance_calls
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Ranking]:
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node: _Node) -> Iterator[Ranking]:
+        for entry in node.entries:
+            if node.is_leaf:
+                yield entry.ranking
+            elif entry.subtree is not None:
+                yield from self._iter_node(entry.subtree)
+
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+        node = self._root
+        levels = 1
+        while not node.is_leaf:
+            child = next((e.subtree for e in node.entries if e.subtree is not None), None)
+            if child is None:
+                break
+            node = child
+            levels += 1
+        return levels
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough footprint: per-entry overhead plus the stored rankings."""
+        per_entry_overhead = 40
+        total_entries = 0
+        ranking_bytes = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total_entries += len(node.entries)
+            for entry in node.entries:
+                if node.is_leaf:
+                    ranking_bytes += 8 * entry.ranking.size
+                if entry.subtree is not None:
+                    stack.append(entry.subtree)
+        return per_entry_overhead * total_entries + ranking_bytes
+
+    # -- queries -----------------------------------------------------------------------------
+
+    def range_search(
+        self,
+        query: Ranking,
+        theta_raw: float,
+        stats: Optional[SearchStats] = None,
+    ) -> list[tuple[Ranking, float]]:
+        """All rankings within distance ``theta_raw`` of the query."""
+        results: list[tuple[Ranking, float]] = []
+        self._range_search_node(self._root, query, theta_raw, None, results, stats)
+        return results
+
+    def _range_search_node(
+        self,
+        node: _Node,
+        query: Ranking,
+        theta_raw: float,
+        query_to_parent: Optional[float],
+        results: list[tuple[Ranking, float]],
+        stats: Optional[SearchStats],
+    ) -> None:
+        if stats is not None:
+            stats.nodes_visited += 1
+        for entry in node.entries:
+            # triangle-inequality pre-filter on the stored parent distance
+            if query_to_parent is not None:
+                slack = theta_raw + (entry.covering_radius if entry.is_routing else 0.0)
+                if abs(query_to_parent - entry.parent_distance) > slack:
+                    continue
+            if stats is not None:
+                stats.distance_calls += 1
+            separation = self._distance(query, entry.ranking)
+            if entry.is_routing:
+                assert entry.subtree is not None
+                if separation <= theta_raw + entry.covering_radius:
+                    self._range_search_node(
+                        entry.subtree, query, theta_raw, separation, results, stats
+                    )
+            elif separation <= theta_raw:
+                results.append((entry.ranking, separation))
+
+    def __repr__(self) -> str:
+        return f"MTree(size={self._size}, height={self.height()}, capacity={self._capacity})"

@@ -1,0 +1,180 @@
+"""Partitioning rankings into medoid-led groups of bounded diameter.
+
+The coarse index groups rankings into disjoint partitions ``P_i``, each
+represented by a medoid ``tau_m`` such that every member satisfies
+``d(tau_m, tau) <= theta_C`` (the partitioning threshold).  Two strategies
+are provided:
+
+``bktree_partition``
+    The paper's strategy: build a BK-tree over all rankings and carve
+    partitions out of it.  Medoids are picked in breadth-first tree order
+    (the root first); every still-unassigned ranking within ``theta_C`` of
+    the current medoid joins its partition.  Using the tree both to find the
+    members (a range search) and to seed the medoids keeps construction
+    close to the paper's "traverse the BK-tree" description while upholding
+    the distance guarantee needed by Lemma 1.
+
+``random_medoid_partition``
+    The Chavez & Navarro (2005) strategy the cost model reasons about:
+    repeatedly pick a random unassigned ranking as medoid and assign every
+    unassigned ranking within ``theta_C`` to it, until nothing is left.
+
+Both return plain ``(medoid, members)`` structures; the coarse index wraps
+them into per-partition BK-trees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking
+
+DiscreteDistance = Callable[[Ranking, Ranking], int]
+
+
+@dataclass(frozen=True)
+class RawPartition:
+    """A medoid and its members (members always include the medoid itself)."""
+
+    medoid: Ranking
+    members: tuple[Ranking, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class Partitioner:
+    """Base class for partitioning strategies (callable protocol).
+
+    Subclasses (or plain functions with the same signature) take the ranking
+    collection, the discrete distance, and the raw partitioning threshold and
+    return a list of :class:`RawPartition` covering every ranking exactly
+    once.
+    """
+
+    def __call__(
+        self,
+        rankings: Sequence[Ranking],
+        distance: DiscreteDistance,
+        theta_c_raw: float,
+    ) -> list[RawPartition]:
+        raise NotImplementedError
+
+
+def bktree_partition(
+    rankings: Sequence[Ranking],
+    distance: DiscreteDistance,
+    theta_c_raw: float,
+) -> list[RawPartition]:
+    """Partition rankings guided by a BK-tree (the paper's strategy).
+
+    The BK-tree is built over the full collection; candidate medoids are
+    visited in breadth-first order starting at the root.  When an unassigned
+    node is reached it becomes a medoid and a range search with radius
+    ``theta_c_raw`` collects every still-unassigned ranking into its
+    partition.  The result is a set of disjoint partitions whose members are
+    all within ``theta_c_raw`` of their medoid.
+    """
+    from repro.metric.bktree import BKTree
+
+    if not rankings:
+        raise EmptyDatasetError("cannot partition an empty ranking collection")
+    tree = BKTree.build(rankings, distance)
+    assigned: set[int] = set()
+    partitions: list[RawPartition] = []
+
+    assert tree.root is not None
+    queue = [tree.root]
+    order: list[Ranking] = []
+    while queue:
+        node = queue.pop(0)
+        order.append(node.ranking)
+        # visit closer children first so medoids stay spread out
+        for edge in sorted(node.children):
+            queue.append(node.children[edge])
+
+    for medoid in order:
+        rid = _require_rid(medoid)
+        if rid in assigned:
+            continue
+        neighbourhood = tree.range_search(medoid, theta_c_raw)
+        members: list[Ranking] = []
+        for ranking, _separation in neighbourhood:
+            member_rid = _require_rid(ranking)
+            if member_rid in assigned:
+                continue
+            assigned.add(member_rid)
+            members.append(ranking)
+        if rid not in {_require_rid(member) for member in members}:
+            assigned.add(rid)
+            members.insert(0, medoid)
+        partitions.append(RawPartition(medoid=medoid, members=tuple(members)))
+    return partitions
+
+
+def random_medoid_partition(
+    rankings: Sequence[Ranking],
+    distance: DiscreteDistance,
+    theta_c_raw: float,
+    seed: int = 42,
+) -> list[RawPartition]:
+    """Chavez-Navarro style random-medoid, fixed-radius partitioning."""
+    if not rankings:
+        raise EmptyDatasetError("cannot partition an empty ranking collection")
+    rng = random.Random(seed)
+    remaining = list(rankings)
+    rng.shuffle(remaining)
+    unassigned = {_require_rid(ranking): ranking for ranking in remaining}
+    order = [_require_rid(ranking) for ranking in remaining]
+    partitions: list[RawPartition] = []
+    for rid in order:
+        if rid not in unassigned:
+            continue
+        medoid = unassigned.pop(rid)
+        members = [medoid]
+        for other_rid in list(unassigned):
+            other = unassigned[other_rid]
+            if distance(medoid, other) <= theta_c_raw:
+                members.append(other)
+                del unassigned[other_rid]
+        partitions.append(RawPartition(medoid=medoid, members=tuple(members)))
+    return partitions
+
+
+def validate_partitions(
+    partitions: Sequence[RawPartition],
+    rankings: Sequence[Ranking],
+    distance: DiscreteDistance,
+    theta_c_raw: float,
+) -> None:
+    """Raise ``ValueError`` if the partitions violate the coarse-index invariants.
+
+    Checks that (1) every ranking is assigned to exactly one partition and
+    (2) every member is within ``theta_c_raw`` of its medoid.  Used by tests
+    and available to callers supplying their own partitioner.
+    """
+    seen: set[int] = set()
+    for partition in partitions:
+        for member in partition.members:
+            rid = _require_rid(member)
+            if rid in seen:
+                raise ValueError(f"ranking {rid} assigned to more than one partition")
+            seen.add(rid)
+            if distance(partition.medoid, member) > theta_c_raw:
+                raise ValueError(
+                    f"ranking {rid} violates the partition radius "
+                    f"(> {theta_c_raw} from its medoid)"
+                )
+    expected = {_require_rid(ranking) for ranking in rankings}
+    if seen != expected:
+        missing = expected - seen
+        raise ValueError(f"rankings not assigned to any partition: {sorted(missing)[:10]}")
+
+
+def _require_rid(ranking: Ranking) -> int:
+    if ranking.rid is None:
+        raise ValueError("partitioning requires rankings with assigned ids (use a RankingSet)")
+    return ranking.rid

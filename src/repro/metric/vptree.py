@@ -1,0 +1,165 @@
+"""Vantage-point tree (Uhlmann 1991, Yianilos 1993).
+
+The VP-tree is not part of the paper's main evaluation but belongs to the
+family of metric index structures the related-work section surveys; it is
+included as an extra metric-space baseline for the ablation benchmarks.  Each
+node picks a vantage point and splits the remaining objects into an inner
+ball (distance at most the median) and an outer shell, recursively.  Range
+queries descend into a side only if the query ball can intersect it.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Sequence
+from typing import Optional
+
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+
+MetricDistance = Callable[[Ranking, Ranking], float]
+
+
+@dataclass
+class _VPNode:
+    vantage: Ranking
+    radius: float
+    inside: Optional["_VPNode"]
+    outside: Optional["_VPNode"]
+    bucket: tuple[Ranking, ...] = ()
+
+
+class VPTree:
+    """Vantage-point tree over rankings with a user-supplied metric.
+
+    Parameters
+    ----------
+    distance:
+        Any metric between rankings.
+    leaf_size:
+        Subtrees with at most this many objects are stored as flat buckets.
+    seed:
+        Seed for the random vantage-point choice.
+    """
+
+    def __init__(self, distance: MetricDistance, leaf_size: int = 8, seed: int = 13) -> None:
+        if leaf_size < 1:
+            raise ValueError(f"leaf size must be positive, got {leaf_size}")
+        self._distance = distance
+        self._leaf_size = leaf_size
+        self._rng = random.Random(seed)
+        self._root: Optional[_VPNode] = None
+        self._size = 0
+        self._construction_distance_calls = 0
+
+    @classmethod
+    def build(
+        cls,
+        rankings: Iterable[Ranking],
+        distance: MetricDistance,
+        leaf_size: int = 8,
+        seed: int = 13,
+    ) -> "VPTree":
+        """Build the tree over all rankings in one recursive pass."""
+        tree = cls(distance, leaf_size=leaf_size, seed=seed)
+        materialised = list(rankings)
+        tree._size = len(materialised)
+        tree._root = tree._build_node(materialised)
+        return tree
+
+    def _measure(self, left: Ranking, right: Ranking) -> float:
+        self._construction_distance_calls += 1
+        return self._distance(left, right)
+
+    def _build_node(self, rankings: Sequence[Ranking]) -> Optional[_VPNode]:
+        if not rankings:
+            return None
+        if len(rankings) <= self._leaf_size:
+            vantage = rankings[0]
+            return _VPNode(vantage=vantage, radius=0.0, inside=None, outside=None,
+                           bucket=tuple(rankings))
+        pool = list(rankings)
+        vantage = pool.pop(self._rng.randrange(len(pool)))
+        separations = [(self._measure(vantage, other), other) for other in pool]
+        radius = statistics.median(separation for separation, _ in separations)
+        inside = [other for separation, other in separations if separation <= radius]
+        outside = [other for separation, other in separations if separation > radius]
+        # degenerate split (all points equidistant): fall back to a bucket
+        if not inside or not outside:
+            return _VPNode(vantage=vantage, radius=0.0, inside=None, outside=None,
+                           bucket=tuple(rankings))
+        return _VPNode(
+            vantage=vantage,
+            radius=radius,
+            inside=self._build_node(inside),
+            outside=self._build_node(outside),
+        )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def construction_distance_calls(self) -> int:
+        """Distance evaluations spent during construction."""
+        return self._construction_distance_calls
+
+    def __len__(self) -> int:
+        return self._size
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough footprint: node overhead plus the stored rankings."""
+        per_node_overhead = 56
+        nodes = 0
+        ranking_bytes = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            if node.bucket:
+                ranking_bytes += sum(8 * ranking.size for ranking in node.bucket)
+            else:
+                ranking_bytes += 8 * node.vantage.size
+            for child in (node.inside, node.outside):
+                if child is not None:
+                    stack.append(child)
+        return per_node_overhead * nodes + ranking_bytes
+
+    # -- queries -------------------------------------------------------------------
+
+    def range_search(
+        self,
+        query: Ranking,
+        theta_raw: float,
+        stats: Optional[SearchStats] = None,
+    ) -> list[tuple[Ranking, float]]:
+        """All rankings within distance ``theta_raw`` of the query."""
+        results: list[tuple[Ranking, float]] = []
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if stats is not None:
+                stats.nodes_visited += 1
+            if node.bucket:
+                for ranking in node.bucket:
+                    if stats is not None:
+                        stats.distance_calls += 1
+                    separation = self._distance(query, ranking)
+                    if separation <= theta_raw:
+                        results.append((ranking, separation))
+                continue
+            if stats is not None:
+                stats.distance_calls += 1
+            separation = self._distance(query, node.vantage)
+            if separation <= theta_raw:
+                results.append((node.vantage, separation))
+            if node.inside is not None and separation - theta_raw <= node.radius:
+                stack.append(node.inside)
+            if node.outside is not None and separation + theta_raw > node.radius:
+                stack.append(node.outside)
+        return results
+
+    def __repr__(self) -> str:
+        return f"VPTree(size={self._size}, leaf_size={self._leaf_size})"

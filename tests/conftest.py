@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of rankings, not thousands) so the
+whole suite runs in seconds; the benchmarks exercise larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ranking import Ranking, RankingSet
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.yago import yago_like_dataset
+from repro.datasets.queries import sample_queries
+
+
+@pytest.fixture(scope="session")
+def paper_rankings() -> RankingSet:
+    """The sample set T of Table 4 in the paper (k = 5)."""
+    return RankingSet.from_lists(
+        [
+            [1, 2, 3, 4, 5],   # tau_0
+            [1, 2, 9, 8, 3],   # tau_1
+            [9, 8, 1, 2, 4],   # tau_2
+            [7, 1, 9, 4, 5],   # tau_3
+            [6, 1, 5, 2, 3],   # tau_4
+            [4, 5, 1, 2, 3],   # tau_5
+            [1, 6, 2, 3, 7],   # tau_6
+            [7, 1, 6, 5, 2],   # tau_7
+            [2, 5, 9, 8, 1],   # tau_8
+            [6, 3, 2, 1, 4],   # tau_9
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_rankings() -> RankingSet:
+    """A tiny hand-written collection with obvious near-duplicates (k = 4)."""
+    return RankingSet.from_lists(
+        [
+            [2, 5, 4, 3],
+            [2, 5, 3, 4],
+            [5, 2, 4, 3],
+            [1, 4, 5, 9],
+            [1, 4, 9, 5],
+            [0, 8, 5, 7],
+            [10, 11, 12, 13],
+            [13, 12, 11, 10],
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def nyt_small() -> RankingSet:
+    """A small NYT-like collection (skewed item popularity, near-duplicates)."""
+    return nyt_like_dataset(n=300, k=10)
+
+
+@pytest.fixture(scope="session")
+def yago_small() -> RankingSet:
+    """A small Yago-like collection (mild skew, small clusters)."""
+    return yago_like_dataset(n=300, k=10)
+
+
+@pytest.fixture(scope="session")
+def nyt_queries(nyt_small) -> list[Ranking]:
+    """Query workload derived from the NYT-like collection."""
+    return sample_queries(nyt_small, 10, seed=3)
+
+
+@pytest.fixture(scope="session")
+def yago_queries(yago_small) -> list[Ranking]:
+    """Query workload derived from the Yago-like collection."""
+    return sample_queries(yago_small, 10, seed=3)
+
+
+@pytest.fixture()
+def query_k4() -> Ranking:
+    """A k=4 query overlapping the first cluster of ``small_rankings``."""
+    return Ranking([2, 5, 4, 3])
+
+
+@pytest.fixture()
+def query_k5() -> Ranking:
+    """The worked query of the paper's Section 6.2 example (k = 5)."""
+    return Ranking([7, 6, 3, 9, 5])

@@ -1,0 +1,60 @@
+"""Behavioural tests for the AdaptSearch competitor."""
+
+import pytest
+
+from repro.core.distances import max_footrule_distance
+from repro.algorithms.adaptsearch import AdaptSearch
+from repro.algorithms.filter_validate import FilterValidate
+
+
+class TestAdaptSearch:
+    def test_prefix_length_recorded(self, nyt_small, nyt_queries):
+        algorithm = AdaptSearch.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.1)
+        assert result.stats.extra.get("prefix_length", 0) >= 1
+
+    def test_prefix_shorter_for_smaller_threshold(self, nyt_small, nyt_queries):
+        algorithm = AdaptSearch.build(nyt_small)
+        small = algorithm.search(nyt_queries[0], 0.05).stats.extra["prefix_length"]
+        large = algorithm.search(nyt_queries[0], 0.3).stats.extra["prefix_length"]
+        assert small <= large
+
+    def test_base_prefix_formula(self, nyt_small):
+        algorithm = AdaptSearch.build(nyt_small)
+        k = nyt_small.k
+        assert algorithm._base_prefix(0.0) == 1
+        assert algorithm._base_prefix(max_footrule_distance(k)) == k
+
+    def test_extension_selection_in_range(self, nyt_small, nyt_queries):
+        algorithm = AdaptSearch.build(nyt_small)
+        theta_raw = 0.2 * max_footrule_distance(nyt_small.k)
+        extension = algorithm.select_prefix_extension(nyt_queries[0], theta_raw)
+        base = algorithm._base_prefix(theta_raw)
+        assert 1 <= extension <= nyt_small.k - base + 1
+
+    def test_fewer_candidates_than_fv_for_small_threshold(self, nyt_small, nyt_queries):
+        adapt = AdaptSearch.build(nyt_small)
+        fv = FilterValidate.build(nyt_small)
+        theta = 0.05
+        adapt_candidates = sum(
+            adapt.search(query, theta).stats.candidates for query in nyt_queries[:5]
+        )
+        fv_candidates = sum(fv.search(query, theta).stats.candidates for query in nyt_queries[:5])
+        assert adapt_candidates <= fv_candidates
+
+    def test_same_results_as_fv(self, yago_small, yago_queries):
+        adapt = AdaptSearch.build(yago_small)
+        fv = FilterValidate.build(yago_small)
+        for theta in (0.05, 0.2, 0.3):
+            for query in yago_queries[:5]:
+                assert adapt.search(query, theta).rids == fv.search(query, theta).rids
+
+    def test_candidate_cost_weight_configurable(self, nyt_small, nyt_queries):
+        cheap_validation = AdaptSearch(nyt_small, candidate_cost_weight=0.0)
+        expensive_validation = AdaptSearch(nyt_small, candidate_cost_weight=1000.0)
+        query = nyt_queries[0]
+        theta = 0.2
+        cheap_prefix = cheap_validation.search(query, theta).stats.extra["prefix_length"]
+        expensive_prefix = expensive_validation.search(query, theta).stats.extra["prefix_length"]
+        # expensive validation justifies longer prefixes (fewer candidates)
+        assert expensive_prefix >= cheap_prefix

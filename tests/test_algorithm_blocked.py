@@ -1,0 +1,90 @@
+"""Behavioural tests for Blocked+Prune and Blocked+Prune+Drop."""
+
+import pytest
+
+from repro.algorithms.blocked_prune import BlockedPrune, BlockedPruneDrop
+from repro.algorithms.filter_validate import FilterValidate
+
+
+class TestBlockedPrune:
+    def test_blocks_skipped_for_small_threshold(self, nyt_small, nyt_queries):
+        algorithm = BlockedPrune.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.05)
+        assert result.stats.blocks_skipped > 0
+
+    def test_fewer_blocks_skipped_for_larger_threshold(self, nyt_small, nyt_queries):
+        algorithm = BlockedPrune.build(nyt_small)
+        small = algorithm.search(nyt_queries[0], 0.05).stats.blocks_skipped
+        large = algorithm.search(nyt_queries[0], 0.3).stats.blocks_skipped
+        assert small >= large
+
+    def test_postings_scanned_less_than_full_lists(self, nyt_small, nyt_queries):
+        algorithm = BlockedPrune.build(nyt_small)
+        query = nyt_queries[0]
+        full = sum(algorithm.index.list_length(item) for item in query.items)
+        result = algorithm.search(query, 0.05)
+        assert result.stats.postings_scanned < full
+
+    def test_pruning_reduces_distance_calls_vs_fv(self, nyt_small, nyt_queries):
+        blocked = BlockedPrune.build(nyt_small)
+        fv = FilterValidate.build(nyt_small)
+        total_blocked = sum(
+            blocked.search(query, 0.05).stats.distance_calls for query in nyt_queries[:5]
+        )
+        total_fv = sum(fv.search(query, 0.05).stats.distance_calls for query in nyt_queries[:5])
+        assert total_blocked <= total_fv
+
+    def test_bound_prunes_recorded_for_small_threshold(self, nyt_small, nyt_queries):
+        algorithm = BlockedPrune.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.05)
+        assert result.stats.bound_prunes >= 0
+        assert result.stats.bound_prunes + result.stats.distance_calls <= result.stats.candidates + 1
+
+    def test_same_results_as_fv(self, yago_small, yago_queries):
+        blocked = BlockedPrune.build(yago_small)
+        fv = FilterValidate.build(yago_small)
+        for theta in (0.05, 0.15, 0.3):
+            for query in yago_queries[:5]:
+                assert blocked.search(query, theta).rids == fv.search(query, theta).rids
+
+    def test_exact_match_search_is_cheap(self, nyt_small):
+        """Searching for an exact duplicate (theta = 0) touches only rank-aligned blocks."""
+        from repro.core.ranking import Ranking
+
+        algorithm = BlockedPrune.build(nyt_small)
+        query = Ranking(nyt_small[0].items)
+        result = algorithm.search(query, 0.0)
+        assert 0 in result.rids
+        full = sum(algorithm.index.list_length(item) for item in query.items)
+        assert result.stats.postings_scanned <= full
+
+
+class TestBlockedPruneDrop:
+    def test_lists_dropped(self, nyt_small, nyt_queries):
+        algorithm = BlockedPruneDrop.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.1)
+        assert result.stats.lists_dropped > 0
+
+    def test_combines_both_optimisations(self, nyt_small, nyt_queries):
+        algorithm = BlockedPruneDrop.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.05)
+        assert result.stats.lists_dropped > 0
+        assert result.stats.blocks_skipped >= 0
+
+    def test_fewer_postings_than_prune_only(self, nyt_small, nyt_queries):
+        drop = BlockedPruneDrop.build(nyt_small)
+        prune = BlockedPrune.build(nyt_small)
+        total_drop = sum(
+            drop.search(query, 0.1).stats.postings_scanned for query in nyt_queries[:5]
+        )
+        total_prune = sum(
+            prune.search(query, 0.1).stats.postings_scanned for query in nyt_queries[:5]
+        )
+        assert total_drop <= total_prune
+
+    def test_same_results_as_fv(self, nyt_small, nyt_queries):
+        drop = BlockedPruneDrop.build(nyt_small)
+        fv = FilterValidate.build(nyt_small)
+        for theta in (0.05, 0.2):
+            for query in nyt_queries[:5]:
+                assert drop.search(query, theta).rids == fv.search(query, theta).rids

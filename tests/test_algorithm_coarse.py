@@ -1,0 +1,89 @@
+"""Behavioural tests for the Coarse and Coarse+Drop query algorithms."""
+
+import pytest
+
+from repro.core.coarse_index import CoarseIndex
+from repro.algorithms.coarse import CoarseDropSearch, CoarseSearch
+from repro.algorithms.filter_validate import FilterValidate
+
+
+class TestCoarseSearch:
+    def test_partitions_visited_recorded(self, nyt_small, nyt_queries):
+        algorithm = CoarseSearch.build(nyt_small, theta_c=0.3)
+        result = algorithm.search(nyt_queries[0], 0.2)
+        assert result.stats.partitions_visited >= 0
+        assert result.stats.partitions_visited <= algorithm.coarse_index.num_partitions()
+
+    def test_medoid_index_smaller_than_full_index(self, nyt_small):
+        algorithm = CoarseSearch.build(nyt_small, theta_c=0.3)
+        full = FilterValidate.build(nyt_small)
+        assert algorithm.medoid_index.num_postings() <= full.index.num_postings()
+
+    def test_same_results_as_fv(self, nyt_small, nyt_queries):
+        coarse = CoarseSearch.build(nyt_small, theta_c=0.3)
+        fv = FilterValidate.build(nyt_small)
+        for theta in (0.05, 0.2):
+            for query in nyt_queries[:5]:
+                assert coarse.search(query, theta).rids == fv.search(query, theta).rids
+
+    def test_shared_prebuilt_coarse_index(self, nyt_small, nyt_queries):
+        index = CoarseIndex.build(nyt_small, theta_c=0.3)
+        first = CoarseSearch(nyt_small, coarse_index=index)
+        second = CoarseSearch(nyt_small, coarse_index=index)
+        assert first.coarse_index is second.coarse_index
+        assert first.search(nyt_queries[0], 0.2).rids == second.search(nyt_queries[0], 0.2).rids
+
+    def test_exhaustive_validation_ablation_matches(self, nyt_small, nyt_queries):
+        index = CoarseIndex.build(nyt_small, theta_c=0.3)
+        tree_based = CoarseSearch(nyt_small, coarse_index=index)
+        exhaustive = CoarseSearch(nyt_small, coarse_index=index, exhaustive_validation=True)
+        for query in nyt_queries[:5]:
+            assert tree_based.search(query, 0.2).rids == exhaustive.search(query, 0.2).rids
+
+    def test_fallback_when_relaxed_threshold_reaches_one(self, nyt_small, nyt_queries):
+        """theta + theta_C >= 1 forces the exhaustive-partition fallback, still correct."""
+        coarse = CoarseSearch.build(nyt_small, theta_c=0.8)
+        fv = FilterValidate.build(nyt_small)
+        query = nyt_queries[0]
+        result = coarse.search(query, 0.3)
+        assert result.rids == fv.search(query, 0.3).rids
+        assert result.stats.extra.get("relaxed_threshold_fallback", 0.0) >= 1.0
+
+    def test_duplicate_rankings_share_distance_computations(self, small_rankings, query_k4):
+        """Exact duplicates live in one partition, so fewer distance calls than F&V."""
+        coarse = CoarseSearch.build(small_rankings, theta_c=0.2)
+        fv = FilterValidate.build(small_rankings)
+        coarse_calls = coarse.search(query_k4, 0.2).stats.distance_calls
+        fv_calls = fv.search(query_k4, 0.2).stats.distance_calls
+        assert coarse_calls <= fv_calls + coarse.coarse_index.num_partitions()
+
+    def test_theta_c_property(self, nyt_small):
+        algorithm = CoarseSearch.build(nyt_small, theta_c=0.25)
+        assert algorithm.theta_c == pytest.approx(0.25)
+
+
+class TestCoarseDropSearch:
+    def test_drops_medoid_lists(self, nyt_small, nyt_queries):
+        algorithm = CoarseDropSearch.build(nyt_small, theta_c=0.06)
+        result = algorithm.search(nyt_queries[0], 0.1)
+        assert result.stats.lists_dropped > 0
+
+    def test_same_results_as_fv(self, nyt_small, nyt_queries):
+        coarse = CoarseDropSearch.build(nyt_small, theta_c=0.06)
+        fv = FilterValidate.build(nyt_small)
+        for theta in (0.05, 0.2, 0.3):
+            for query in nyt_queries[:5]:
+                assert coarse.search(query, theta).rids == fv.search(query, theta).rids
+
+    def test_default_theta_c_is_small(self, nyt_small):
+        algorithm = CoarseDropSearch.build(nyt_small)
+        assert algorithm.theta_c == pytest.approx(0.06)
+
+    def test_fewer_distance_calls_than_plain_fv_on_clustered_data(self, nyt_small, nyt_queries):
+        """The headline DFC reduction of Figure 10 at small thresholds."""
+        coarse = CoarseDropSearch.build(nyt_small, theta_c=0.06)
+        fv = FilterValidate.build(nyt_small)
+        theta = 0.1
+        coarse_calls = sum(coarse.search(q, theta).stats.distance_calls for q in nyt_queries[:8])
+        fv_calls = sum(fv.search(q, theta).stats.distance_calls for q in nyt_queries[:8])
+        assert coarse_calls < fv_calls

@@ -1,0 +1,135 @@
+"""Behavioural tests for F&V and F&V+Drop (candidates, counters, dropping)."""
+
+import pytest
+
+from repro.core.bounds import min_overlap_for_threshold
+from repro.core.distances import max_footrule_distance
+from repro.core.ranking import Ranking
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.fv_drop import FilterValidateDrop, select_query_items
+
+
+class TestFilterValidate:
+    def test_candidates_equal_distance_calls(self, nyt_small, nyt_queries):
+        """F&V validates every candidate exactly once."""
+        algorithm = FilterValidate.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.2)
+        assert result.stats.distance_calls == result.stats.candidates
+
+    def test_threshold_agnostic_filtering(self, nyt_small, nyt_queries):
+        """The candidate set (and hence DFC) does not depend on theta."""
+        algorithm = FilterValidate.build(nyt_small)
+        low = algorithm.search(nyt_queries[0], 0.0)
+        high = algorithm.search(nyt_queries[0], 0.3)
+        assert low.stats.candidates == high.stats.candidates
+        assert low.stats.distance_calls == high.stats.distance_calls
+
+    def test_accesses_all_query_lists(self, nyt_small, nyt_queries):
+        algorithm = FilterValidate.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.2)
+        assert result.stats.lists_accessed == nyt_small.k
+        assert result.stats.lists_dropped == 0
+
+    def test_phase_times_recorded(self, nyt_small, nyt_queries):
+        algorithm = FilterValidate.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.2)
+        assert result.stats.filter_seconds > 0.0
+        assert result.stats.validate_seconds > 0.0
+
+    def test_shared_prebuilt_index(self, nyt_small, nyt_queries):
+        from repro.invindex.plain import PlainInvertedIndex
+
+        index = PlainInvertedIndex.build(nyt_small)
+        first = FilterValidate(nyt_small, index=index)
+        second = FilterValidate(nyt_small, index=index)
+        assert first.index is second.index
+        assert first.search(nyt_queries[0], 0.2).rids == second.search(nyt_queries[0], 0.2).rids
+
+
+class TestSelectQueryItems:
+    def test_keeps_all_items_for_large_threshold(self):
+        query = Ranking(list(range(10)))
+        lengths = {item: item + 1 for item in query.items}
+        kept = select_query_items(lengths, query, max_footrule_distance(10))
+        assert set(kept) == set(query.items)
+
+    def test_keeps_k_minus_omega_plus_one_lists(self):
+        k = 10
+        query = Ranking(list(range(k)))
+        lengths = {item: 100 - item for item in query.items}
+        theta_raw = 0.1 * max_footrule_distance(k)
+        omega = min_overlap_for_threshold(k, theta_raw)
+        kept = select_query_items(lengths, query, theta_raw, positional=False)
+        assert len(kept) == k - omega + 1
+
+    def test_positional_variant_keeps_one_fewer(self):
+        k = 10
+        query = Ranking(list(range(k)))
+        lengths = {item: 100 - item for item in query.items}
+        theta_raw = 0.1 * max_footrule_distance(k)
+        safe = select_query_items(lengths, query, theta_raw, positional=False)
+        refined = select_query_items(lengths, query, theta_raw, positional=True)
+        assert len(refined) == len(safe) - 1
+
+    def test_positional_variant_includes_a_top_omega_item(self):
+        k = 10
+        query = Ranking(list(range(k)))
+        # make the top-ranked items own the longest lists so they would be dropped
+        lengths = {item: 1000 - 100 * query.rank_of(item) for item in query.items}
+        theta_raw = 0.1 * max_footrule_distance(k)
+        omega = min_overlap_for_threshold(k, theta_raw)
+        kept = select_query_items(lengths, query, theta_raw, positional=True)
+        assert any(query.rank_of(item) < omega for item in kept)
+
+    def test_drops_longest_lists(self):
+        k = 5
+        query = Ranking([10, 20, 30, 40, 50])
+        lengths = {10: 1, 20: 2, 30: 3, 40: 100, 50: 200}
+        theta_raw = 6.0  # omega >= 1, at least one list droppable
+        kept = select_query_items(lengths, query, theta_raw, positional=False)
+        assert 200 not in [lengths[item] for item in kept] or len(kept) == k
+
+
+class TestFilterValidateDrop:
+    def test_drops_lists_for_small_threshold(self, nyt_small, nyt_queries):
+        algorithm = FilterValidateDrop.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.1)
+        assert result.stats.lists_dropped > 0
+        assert result.stats.lists_accessed < nyt_small.k
+
+    def test_no_drop_for_threshold_close_to_one(self, nyt_small, nyt_queries):
+        algorithm = FilterValidateDrop.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.99)
+        assert result.stats.lists_dropped == 0
+
+    def test_fewer_candidates_than_plain_fv(self, nyt_small, nyt_queries):
+        plain = FilterValidate.build(nyt_small)
+        drop = FilterValidateDrop.build(nyt_small)
+        for query in nyt_queries[:5]:
+            assert (
+                drop.search(query, 0.1).stats.candidates
+                <= plain.search(query, 0.1).stats.candidates
+            )
+
+    def test_same_results_as_plain_fv(self, nyt_small, nyt_queries):
+        plain = FilterValidate.build(nyt_small)
+        drop = FilterValidateDrop.build(nyt_small)
+        for theta in (0.05, 0.15, 0.25):
+            for query in nyt_queries[:5]:
+                assert drop.search(query, theta).rids == plain.search(query, theta).rids
+
+    def test_positional_variant_results_on_clustered_data(self, nyt_small, nyt_queries):
+        """The paper's refined k - omega variant; kept as an opt-in heuristic."""
+        refined = FilterValidateDrop.build(nyt_small, positional=True)
+        plain = FilterValidate.build(nyt_small)
+        for query in nyt_queries[:5]:
+            missed = plain.search(query, 0.1).rids - refined.search(query, 0.1).rids
+            # the heuristic may miss borderline rankings, but on near-duplicate
+            # clusters it should find the overwhelming majority
+            assert len(missed) <= max(1, len(plain.search(query, 0.1).rids) // 2)
+
+    def test_more_drops_for_smaller_threshold(self, nyt_small, nyt_queries):
+        algorithm = FilterValidateDrop.build(nyt_small)
+        small = algorithm.search(nyt_queries[0], 0.05).stats.lists_dropped
+        large = algorithm.search(nyt_queries[0], 0.3).stats.lists_dropped
+        assert small >= large

@@ -1,0 +1,59 @@
+"""Behavioural tests for the ListMerge baseline."""
+
+import pytest
+
+from repro.core.distances import footrule_topk
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.listmerge import ListMerge
+
+
+class TestListMerge:
+    def test_no_distance_function_calls(self, nyt_small, nyt_queries):
+        """Distances are aggregated from postings; no full Footrule evaluations."""
+        algorithm = ListMerge.build(nyt_small)
+        result = algorithm.search(nyt_queries[0], 0.2)
+        assert result.stats.distance_calls == 0
+
+    def test_threshold_agnostic_postings_scanned(self, nyt_small, nyt_queries):
+        algorithm = ListMerge.build(nyt_small)
+        low = algorithm.search(nyt_queries[0], 0.0)
+        high = algorithm.search(nyt_queries[0], 0.3)
+        assert low.stats.postings_scanned == high.stats.postings_scanned
+
+    def test_reads_every_posting_of_the_query_lists(self, nyt_small, nyt_queries):
+        algorithm = ListMerge.build(nyt_small)
+        query = nyt_queries[0]
+        expected = sum(algorithm.index.list_length(item) for item in query.items)
+        result = algorithm.search(query, 0.2)
+        assert result.stats.postings_scanned == expected
+
+    def test_candidates_counted_once_per_ranking(self, nyt_small, nyt_queries):
+        algorithm = ListMerge.build(nyt_small)
+        query = nyt_queries[0]
+        overlapping = {r.rid for r in nyt_small if query.overlap(r) > 0}
+        result = algorithm.search(query, 0.3)
+        assert result.stats.candidates == len(overlapping)
+
+    def test_aggregated_distances_are_exact(self, nyt_small, nyt_queries):
+        algorithm = ListMerge.build(nyt_small)
+        for query in nyt_queries[:5]:
+            result = algorithm.search(query, 0.3)
+            for match in result:
+                assert match.distance == pytest.approx(footrule_topk(query, nyt_small[match.rid]))
+
+    def test_same_results_as_fv(self, yago_small, yago_queries):
+        merge = ListMerge.build(yago_small)
+        fv = FilterValidate.build(yago_small)
+        for theta in (0.1, 0.2, 0.3):
+            for query in yago_queries[:5]:
+                assert merge.search(query, theta).rids == fv.search(query, theta).rids
+
+    def test_handles_query_with_unseen_items(self, nyt_small):
+        """Query items absent from the index simply contribute empty lists."""
+        from repro.core.ranking import Ranking
+
+        domain_max = max(nyt_small.item_domain())
+        items = list(nyt_small[0].items)[:-1] + [domain_max + 10]
+        algorithm = ListMerge.build(nyt_small)
+        result = algorithm.search(Ranking(items), 0.3)
+        assert all(match.distance <= 0.3 for match in result)

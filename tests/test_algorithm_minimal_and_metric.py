@@ -1,0 +1,83 @@
+"""Behavioural tests for Minimal F&V and the metric-tree search wrappers."""
+
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch, VPTreeSearch
+from repro.algorithms.minimal_fv import MinimalFilterValidate, QueryNotPreparedError
+
+
+class TestMinimalFilterValidate:
+    def test_unprepared_query_raises(self, nyt_small, nyt_queries):
+        algorithm = MinimalFilterValidate.build(nyt_small)
+        with pytest.raises(QueryNotPreparedError):
+            algorithm.search(nyt_queries[0], 0.2)
+
+    def test_prepare_returns_result_count(self, nyt_small, nyt_queries):
+        algorithm = MinimalFilterValidate.build(nyt_small)
+        fv = FilterValidate.build(nyt_small)
+        count = algorithm.prepare(nyt_queries[0], 0.2)
+        assert count == len(fv.search(nyt_queries[0], 0.2))
+
+    def test_is_prepared(self, nyt_small, nyt_queries):
+        algorithm = MinimalFilterValidate.build(nyt_small)
+        assert not algorithm.is_prepared(nyt_queries[0], 0.2)
+        algorithm.prepare(nyt_queries[0], 0.2)
+        assert algorithm.is_prepared(nyt_queries[0], 0.2)
+        assert not algorithm.is_prepared(nyt_queries[0], 0.3)
+
+    def test_prepare_workload(self, nyt_small, nyt_queries):
+        algorithm = MinimalFilterValidate.build(nyt_small)
+        algorithm.prepare_workload(nyt_queries, 0.1)
+        assert all(algorithm.is_prepared(query, 0.1) for query in nyt_queries)
+
+    def test_distance_calls_equal_result_size(self, nyt_small, nyt_queries):
+        """The oracle touches exactly the true results — the lower bound of Figure 10."""
+        algorithm = MinimalFilterValidate.build(nyt_small)
+        for query in nyt_queries[:5]:
+            algorithm.prepare(query, 0.2)
+            result = algorithm.search(query, 0.2)
+            assert result.stats.distance_calls == len(result)
+            assert result.stats.candidates == len(result)
+            assert result.stats.lists_accessed == 1
+
+    def test_dfc_lower_bound_versus_fv(self, nyt_small, nyt_queries):
+        minimal = MinimalFilterValidate.build(nyt_small)
+        fv = FilterValidate.build(nyt_small)
+        for query in nyt_queries[:5]:
+            minimal.prepare(query, 0.2)
+            assert (
+                minimal.search(query, 0.2).stats.distance_calls
+                <= fv.search(query, 0.2).stats.distance_calls
+            )
+
+
+@pytest.mark.parametrize("algorithm_class", [BKTreeSearch, MTreeSearch, VPTreeSearch])
+class TestMetricSearchWrappers:
+    def test_results_match_fv(self, algorithm_class, yago_small, yago_queries):
+        metric = algorithm_class.build(yago_small)
+        fv = FilterValidate.build(yago_small)
+        for query in yago_queries[:5]:
+            assert metric.search(query, 0.2).rids == fv.search(query, 0.2).rids
+
+    def test_nodes_visited_recorded(self, algorithm_class, nyt_small, nyt_queries):
+        metric = algorithm_class.build(nyt_small)
+        result = metric.search(nyt_queries[0], 0.1)
+        assert result.stats.nodes_visited > 0
+
+    def test_tree_exposed(self, algorithm_class, nyt_small):
+        metric = algorithm_class.build(nyt_small)
+        assert len(metric.tree) == len(nyt_small)
+
+    def test_distance_calls_bracketed_by_results_and_collection(
+        self, algorithm_class, nyt_small, nyt_queries
+    ):
+        """Metric trees pay at least one distance evaluation per reported result
+        and never more than one per indexed ranking per query."""
+        metric = algorithm_class.build(nyt_small)
+        theta = 0.1
+        for query in nyt_queries[:5]:
+            result = metric.search(query, theta)
+            assert result.stats.distance_calls >= len(result)
+            assert result.stats.distance_calls <= len(nyt_small)

@@ -1,0 +1,140 @@
+"""Tests for dataset statistics, cost calibration and report formatting."""
+
+import pytest
+
+from repro.analysis.calibration import CalibrationResult, calibrate_costs, measure_footrule_cost
+from repro.analysis.report import format_kv, format_series, format_table
+from repro.analysis.stats import (
+    EmpiricalDistanceDistribution,
+    distance_histogram,
+    estimate_intrinsic_dimensionality,
+    estimate_zipf_skew,
+)
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import RankingSet
+
+
+class TestEmpiricalDistanceDistribution:
+    def test_cdf_boundaries(self, nyt_small):
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=500)
+        assert distribution.cdf(-0.5) == 0.0
+        assert distribution.cdf(1.0) == 1.0
+
+    def test_cdf_monotone(self, nyt_small):
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=500)
+        values = [distribution.cdf(x / 10) for x in range(11)]
+        assert values == sorted(values)
+
+    def test_callable_interface(self, nyt_small):
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=200)
+        assert distribution(0.5) == distribution.cdf(0.5)
+
+    def test_quantile_within_range(self, nyt_small):
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=500)
+        assert 0.0 <= distribution.quantile(0.5) <= 1.0
+        with pytest.raises(ValueError):
+            distribution.quantile(1.5)
+
+    def test_mean_and_std(self, nyt_small):
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=500)
+        assert 0.0 < distribution.mean() <= 1.0
+        assert distribution.std() >= 0.0
+
+    def test_len(self, nyt_small):
+        assert len(EmpiricalDistanceDistribution(nyt_small, sample_pairs=321)) == 321
+
+    def test_rejects_tiny_collections(self):
+        with pytest.raises(EmptyDatasetError):
+            EmpiricalDistanceDistribution(RankingSet.from_lists([[1, 2, 3]]))
+
+    def test_rejects_non_positive_sample(self, nyt_small):
+        with pytest.raises(ValueError):
+            EmpiricalDistanceDistribution(nyt_small, sample_pairs=0)
+
+    def test_clustered_data_has_mass_at_small_distances(self, nyt_small):
+        """Near-duplicate clusters put noticeable probability mass below 0.3."""
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=2000)
+        assert distribution.cdf(0.3) > 0.0
+
+
+class TestZipfAndDimensionality:
+    def test_zipf_skew_positive_for_skewed_data(self, nyt_small):
+        assert estimate_zipf_skew(nyt_small) > 0.1
+
+    def test_zipf_skew_near_zero_for_uniform_frequencies(self):
+        rankings = RankingSet.from_lists([[i, i + 1000] for i in range(200)])
+        assert estimate_zipf_skew(rankings) < 0.2
+
+    def test_zipf_skew_empty_collection_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            estimate_zipf_skew(RankingSet(k=2))
+
+    def test_zipf_skew_max_items_truncation(self, nyt_small):
+        full = estimate_zipf_skew(nyt_small)
+        truncated = estimate_zipf_skew(nyt_small, max_items=50)
+        assert truncated >= 0.0
+        assert isinstance(full, float)
+
+    def test_intrinsic_dimensionality_positive(self, nyt_small):
+        assert estimate_intrinsic_dimensionality(nyt_small, sample_pairs=1000) > 0.0
+
+    def test_distance_histogram_shape(self, nyt_small):
+        edges, counts = distance_histogram(nyt_small, sample_pairs=500, bins=10)
+        assert len(edges) == 11
+        assert counts.sum() == 500
+
+
+class TestCalibration:
+    def test_footrule_cost_positive(self):
+        assert measure_footrule_cost(10, repetitions=50) > 0.0
+
+    def test_footrule_cost_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            measure_footrule_cost(10, repetitions=0)
+
+    def test_calibrate_costs_fields(self):
+        calibration = calibrate_costs(5, repetitions=50)
+        assert isinstance(calibration, CalibrationResult)
+        assert calibration.cost_footrule > 0.0
+        assert calibration.merge_cost_per_posting > 0.0
+        assert calibration.merge_cost_constant >= 0.0
+
+    def test_cost_merge_scales_with_size(self):
+        calibration = calibrate_costs(5, repetitions=50)
+        assert calibration.cost_merge(5, 10000) > calibration.cost_merge(5, 10)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment_and_rows(self):
+        rows = [{"algorithm": "F&V", "time": 1.5}, {"algorithm": "Coarse", "time": 0.25}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "F&V" in text and "Coarse" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        series = {"F&V": {0.1: 1.0, 0.2: 2.0}, "Coarse": {0.1: 0.5}}
+        text = format_series(series, x_label="theta")
+        assert "theta" in text
+        assert "F&V" in text and "Coarse" in text
+
+    def test_format_large_and_small_numbers(self):
+        rows = [{"value": 1234567.0}, {"value": 0.000123}, {"value": 0}]
+        text = format_table(rows)
+        assert "1,234,567" in text
+
+    def test_format_kv(self):
+        text = format_kv({"n": 100, "k": 10}, title="params")
+        assert "params" in text
+        assert "n" in text and "100" in text
+
+    def test_format_kv_empty(self):
+        assert "(empty)" in format_kv({})

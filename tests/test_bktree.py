@@ -1,0 +1,114 @@
+"""Tests for the BK-tree."""
+
+import pytest
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+from repro.metric.bktree import BKTree
+
+
+def brute_force(rankings, query, theta_raw):
+    return {
+        r.rid: footrule_topk_raw(query, r)
+        for r in rankings
+        if footrule_topk_raw(query, r) <= theta_raw
+    }
+
+
+@pytest.fixture()
+def tree(paper_rankings):
+    return BKTree.build(paper_rankings.rankings, footrule_topk_raw)
+
+
+class TestConstruction:
+    def test_size(self, tree, paper_rankings):
+        assert len(tree) == len(paper_rankings)
+
+    def test_all_rankings_stored(self, tree, paper_rankings):
+        stored = {r.rid for r in tree}
+        assert stored == {r.rid for r in paper_rankings}
+
+    def test_empty_tree(self):
+        tree = BKTree(footrule_topk_raw)
+        assert len(tree) == 0
+        assert tree.depth() == 0
+        assert tree.range_search(Ranking([1, 2, 3]), 10) == []
+
+    def test_children_edges_match_distance_to_parent(self, tree):
+        def check(node):
+            for edge, child in node.children.items():
+                assert footrule_topk_raw(node.ranking, child.ranking) == edge
+                check(child)
+
+        assert tree.root is not None
+        check(tree.root)
+
+    def test_duplicates_chained_under_distance_zero(self):
+        tree = BKTree(footrule_topk_raw)
+        tree.insert(Ranking([1, 2, 3], rid=0))
+        tree.insert(Ranking([1, 2, 3], rid=1))
+        assert len(tree) == 2
+        results = tree.range_search(Ranking([1, 2, 3]), 0)
+        assert len(results) == 2
+
+    def test_construction_distance_calls_counted(self, paper_rankings):
+        tree = BKTree.build(paper_rankings.rankings, footrule_topk_raw)
+        # every insertion after the first needs at least one distance evaluation
+        assert tree.construction_distance_calls >= len(paper_rankings) - 1
+
+    def test_depth_and_subtree_size(self, tree, paper_rankings):
+        assert 1 <= tree.depth() <= len(paper_rankings)
+        assert tree.root.subtree_size() == len(paper_rankings)
+
+    def test_memory_estimate_positive(self, tree):
+        assert tree.memory_estimate_bytes() > 0
+
+    def test_repr(self, tree):
+        assert "BKTree" in repr(tree)
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("theta", [0.0, 0.1, 0.2, 0.3, 0.5, 0.9])
+    def test_matches_brute_force(self, tree, paper_rankings, query_k5, theta):
+        theta_raw = theta * max_footrule_distance(paper_rankings.k)
+        expected = brute_force(paper_rankings, query_k5, theta_raw)
+        found = {r.rid: d for r, d in tree.range_search(query_k5, theta_raw)}
+        assert found == expected
+
+    def test_exact_match_search(self, tree, paper_rankings):
+        results = tree.range_search(paper_rankings[4], 0)
+        assert {r.rid for r, _ in results} == {4}
+
+    def test_stats_recorded(self, tree, query_k5):
+        stats = SearchStats()
+        tree.range_search(query_k5, 10, stats=stats)
+        assert stats.nodes_visited >= 1
+        assert stats.distance_calls == stats.nodes_visited
+
+    def test_search_visits_fewer_nodes_for_small_radius(self, nyt_small):
+        tree = BKTree.build(nyt_small.rankings, footrule_topk_raw)
+        query = nyt_small[0]
+        small_stats, large_stats = SearchStats(), SearchStats()
+        tree.range_search(query, 5, stats=small_stats)
+        tree.range_search(query, max_footrule_distance(nyt_small.k), stats=large_stats)
+        assert small_stats.nodes_visited < large_stats.nodes_visited
+        assert large_stats.nodes_visited == len(nyt_small)
+
+    def test_subtree_search_restricted(self, tree, paper_rankings, query_k5):
+        assert tree.root is not None
+        for child in tree.root.children.values():
+            subtree_ids = {node.ranking.rid for node in child.iter_subtree()}
+            results = tree.range_search_subtree(child, query_k5, 100)
+            assert {r.rid for r, _ in results} <= subtree_ids
+
+    def test_subtree_search_correct_within_subtree(self, tree, query_k5):
+        assert tree.root is not None
+        theta_raw = 20
+        for child in tree.root.children.values():
+            members = [node.ranking for node in child.iter_subtree()]
+            expected = {
+                r.rid for r in members if footrule_topk_raw(query_k5, r) <= theta_raw
+            }
+            found = {r.rid for r, _ in tree.range_search_subtree(child, query_k5, theta_raw)}
+            assert found == expected

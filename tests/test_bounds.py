@@ -1,0 +1,219 @@
+"""Tests for the distance bounds of Section 6, including the paper's example."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    block_skip_bound,
+    lower_bound_zero_overlap,
+    min_overlap_for_threshold,
+    minimal_distance_for_overlap,
+    overlap_upper_bound_distance,
+    partial_distance_bounds,
+    sufficient_lists,
+)
+from repro.core.distances import footrule_topk_raw
+from repro.core.ranking import Ranking
+
+
+class TestOverlapBounds:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10, 20])
+    def test_zero_overlap_bound_matches_disjoint_distance(self, k):
+        left = Ranking(list(range(k)))
+        right = Ranking(list(range(k, 2 * k)))
+        assert footrule_topk_raw(left, right) == lower_bound_zero_overlap(k)
+
+    def test_zero_overlap_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lower_bound_zero_overlap(-1)
+
+    @pytest.mark.parametrize("k,overlap", [(5, 0), (5, 2), (5, 5), (10, 3), (10, 10)])
+    def test_minimal_distance_for_overlap_formula(self, k, overlap):
+        assert minimal_distance_for_overlap(k, overlap) == (k - overlap) * (k - overlap + 1)
+
+    def test_minimal_distance_for_overlap_is_attained(self):
+        """The bound is tight: top-omega items aligned, the rest disjoint."""
+        k, overlap = 5, 2
+        left = Ranking([1, 2, 10, 11, 12])
+        right = Ranking([1, 2, 20, 21, 22])
+        assert footrule_topk_raw(left, right) == minimal_distance_for_overlap(k, overlap)
+
+    def test_minimal_distance_for_overlap_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            minimal_distance_for_overlap(5, 6)
+        with pytest.raises(ValueError):
+            minimal_distance_for_overlap(5, -1)
+
+    def test_minimal_distance_lower_bounds_all_pairs(self, paper_rankings):
+        """No pair of rankings can be closer than L(k, overlap)."""
+        for left in paper_rankings:
+            for right in paper_rankings:
+                overlap = left.overlap(right)
+                assert footrule_topk_raw(left, right) >= minimal_distance_for_overlap(5, overlap)
+
+    def test_overlap_upper_bound_dominates_all_pairs(self, paper_rankings):
+        for left in paper_rankings:
+            for right in paper_rankings:
+                overlap = left.overlap(right)
+                assert footrule_topk_raw(left, right) <= overlap_upper_bound_distance(5, overlap)
+
+    def test_overlap_upper_bound_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            overlap_upper_bound_distance(5, 6)
+
+
+class TestMinOverlapForThreshold:
+    def test_formula_matches_paper(self):
+        """omega = floor(0.5 * (1 + 2k - sqrt(1 + 4 theta)))."""
+        k = 10
+        for theta_raw in (0.0, 5.0, 11.0, 20.0, 33.0, 50.0):
+            expected = math.floor(0.5 * (1 + 2 * k - math.sqrt(1 + 4 * theta_raw)))
+            assert min_overlap_for_threshold(k, theta_raw) == expected
+
+    def test_zero_threshold_requires_full_overlap(self):
+        assert min_overlap_for_threshold(10, 0.0) == 10
+
+    def test_threshold_at_maximum_requires_no_overlap(self):
+        k = 10
+        assert min_overlap_for_threshold(k, lower_bound_zero_overlap(k)) == 0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            min_overlap_for_threshold(10, -1.0)
+
+    def test_consistency_with_minimal_distance(self):
+        """Rankings within theta have overlap at least omega (the bound's guarantee)."""
+        k = 10
+        for theta_raw in (2.0, 11.0, 22.0, 33.0):
+            omega = min_overlap_for_threshold(k, theta_raw)
+            if omega > 0:
+                # overlap omega - 1 already forces a distance above theta, so
+                # no result ranking can have a smaller overlap: the bound is safe
+                assert minimal_distance_for_overlap(k, omega - 1) > theta_raw
+            if omega < k:
+                # the bound is not overly pessimistic: one more shared item is
+                # always compatible with the threshold
+                assert minimal_distance_for_overlap(k, omega + 1) <= theta_raw
+
+    def test_monotone_in_threshold(self):
+        k = 10
+        values = [min_overlap_for_threshold(k, t) for t in range(0, 111, 5)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestSufficientLists:
+    def test_safe_variant_counts(self):
+        k = 10
+        theta_raw = 11.0  # omega = 7 for k = 10
+        omega = min_overlap_for_threshold(k, theta_raw)
+        assert sufficient_lists(k, theta_raw, positional=False) == k - omega + 1
+
+    def test_positional_variant_drops_one_more(self):
+        k = 10
+        theta_raw = 11.0
+        assert (
+            sufficient_lists(k, theta_raw, positional=True)
+            == sufficient_lists(k, theta_raw, positional=False) - 1
+        )
+
+    def test_no_lists_dropped_for_huge_threshold(self):
+        k = 10
+        assert sufficient_lists(k, lower_bound_zero_overlap(k), positional=False) == k
+
+    def test_at_least_one_list(self):
+        assert sufficient_lists(3, 0.0, positional=True) >= 1
+
+
+class TestBlockSkipBound:
+    def test_exact_difference(self):
+        assert block_skip_bound(2, 7) == 5
+        assert block_skip_bound(7, 2) == 5
+        assert block_skip_bound(4, 4) == 0
+
+
+class TestPartialBounds:
+    def test_paper_example_lower_bounds(self, query_k5):
+        """Worked example from Section 6.2: index list of item 7 over Table 4."""
+        k = 5
+        query_ranks = query_k5.rank_map()
+        # tau_3 = [7, 1, 9, 4, 5]: item 7 at rank 0, query rank of 7 is 0
+        bounds3 = partial_distance_bounds(k, query_ranks, {7: 0}, processed_query_items=[])
+        # tau_6 = [1, 6, 2, 3, 7]: item 7 at rank 4
+        bounds6 = partial_distance_bounds(k, query_ranks, {7: 4}, processed_query_items=[])
+        # tau_7 = [7, 1, 6, 5, 2]: item 7 at rank 0
+        bounds7 = partial_distance_bounds(k, query_ranks, {7: 0}, processed_query_items=[])
+        assert bounds3.lower == 0
+        assert bounds7.lower == 0
+        assert bounds6.lower == 4
+
+    def test_paper_example_upper_bounds(self, query_k5):
+        """U(tau_3) = U(tau_7) = 20 as in the paper.
+
+        For tau_6 the paper reports 24, which is the worst case of the unseen
+        elements alone (10 from the query side plus 14 from the candidate
+        side) without the already-seen partial contribution of 4; our bound
+        adds the seen contribution and is therefore 28.  Both are valid upper
+        bounds for the true distance of 16.
+        """
+        k = 5
+        query_ranks = query_k5.rank_map()
+        bounds3 = partial_distance_bounds(k, query_ranks, {7: 0}, processed_query_items=[])
+        bounds6 = partial_distance_bounds(k, query_ranks, {7: 4}, processed_query_items=[])
+        assert bounds3.upper == 20
+        assert bounds6.upper == 28
+        assert bounds6.upper >= 24 >= 16
+
+    def test_bounds_bracket_true_distance(self, paper_rankings, query_k5):
+        """For every candidate and every prefix of processed lists, L <= F <= U."""
+        k = 5
+        query_ranks = query_k5.rank_map()
+        for candidate in paper_rankings:
+            true_distance = footrule_topk_raw(query_k5, candidate)
+            for prefix_length in range(len(query_k5.items) + 1):
+                processed = list(query_k5.items)[:prefix_length]
+                seen = {
+                    item: candidate.rank_of(item)
+                    for item in processed
+                    if item in candidate
+                }
+                bounds = partial_distance_bounds(k, query_ranks, seen, processed)
+                assert bounds.lower <= true_distance <= bounds.upper
+
+    def test_bounds_converge_when_all_lists_processed(self, paper_rankings, query_k5):
+        """After all k lists are processed the lower bound equals the true distance
+        whenever the candidate's unseen slots cannot hide query items."""
+        k = 5
+        query_ranks = query_k5.rank_map()
+        processed = list(query_k5.items)
+        for candidate in paper_rankings:
+            seen = {item: candidate.rank_of(item) for item in processed if item in candidate}
+            bounds = partial_distance_bounds(k, query_ranks, seen, processed)
+            true_distance = footrule_topk_raw(query_k5, candidate)
+            # lower bound misses only the candidate's non-query items
+            assert bounds.lower <= true_distance
+            non_query_penalty = sum(
+                k - candidate.rank_of(item) for item in candidate.items if item not in query_k5
+            )
+            assert bounds.lower + non_query_penalty == true_distance
+
+    def test_lower_monotone_in_processed_lists(self, paper_rankings, query_k5):
+        """The lower bound never decreases as more lists are processed."""
+        k = 5
+        query_ranks = query_k5.rank_map()
+        for candidate in paper_rankings:
+            previous = -1
+            for prefix_length in range(len(query_k5.items) + 1):
+                processed = list(query_k5.items)[:prefix_length]
+                seen = {
+                    item: candidate.rank_of(item) for item in processed if item in candidate
+                }
+                bounds = partial_distance_bounds(k, query_ranks, seen, processed)
+                assert bounds.lower >= previous
+                previous = bounds.lower
+
+    def test_prunable_and_acceptable_predicates(self):
+        bounds = partial_distance_bounds(3, {1: 0, 2: 1, 3: 2}, {1: 0, 2: 1, 3: 2}, [1, 2, 3])
+        assert bounds.lower == 0
+        assert bounds.acceptable(0)
+        assert not bounds.prunable(0)

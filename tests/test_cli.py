@@ -1,0 +1,90 @@
+"""Tests for the repro-topk command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.loader import load_rankings
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "rankings.tsv"
+    exit_code = main(["generate", str(path), "--dataset", "yago", "--n", "120", "--k", "10"])
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_tsv(self, dataset_file):
+        rankings = load_rankings(dataset_file)
+        assert len(rankings) == 120
+        assert rankings.k == 10
+
+    def test_generates_json(self, tmp_path, capsys):
+        path = tmp_path / "rankings.json"
+        assert main(["generate", str(path), "--n", "50", "--k", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "50 rankings" in captured.out
+        assert len(load_rankings(path)) == 50
+
+
+class TestQuery:
+    def test_query_with_coarse_drop(self, dataset_file, capsys):
+        rankings = load_rankings(dataset_file)
+        query_items = ",".join(str(item) for item in rankings[0].items)
+        exit_code = main(
+            ["query", str(dataset_file), "--query", query_items, "--theta", "0.1",
+             "--algorithm", "Coarse+Drop", "--theta-c", "0.05"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "rankings within theta" in captured.out
+        assert "rid=0" in captured.out
+
+    def test_query_with_minimal_fv(self, dataset_file, capsys):
+        rankings = load_rankings(dataset_file)
+        query_items = ",".join(str(item) for item in rankings[3].items)
+        exit_code = main(
+            ["query", str(dataset_file), "--query", query_items, "--algorithm", "MinimalF&V"]
+        )
+        assert exit_code == 0
+        assert "distance calls" in capsys.readouterr().out
+
+    def test_query_rejects_malformed_items(self, dataset_file, capsys):
+        exit_code = main(["query", str(dataset_file), "--query", "1,two,3"])
+        assert exit_code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_query_unknown_algorithm_rejected(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(["query", str(dataset_file), "--query", "1,2,3", "--algorithm", "Nope"])
+
+
+class TestCompareAndReports:
+    def test_compare_prints_table(self, capsys):
+        exit_code = main(
+            ["compare", "--dataset", "yago", "--n", "80", "--k", "10",
+             "--queries", "3", "--thetas", "0.1"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "algorithm" in output
+        assert "Coarse+Drop" in output
+
+    def test_figure3_report(self, capsys):
+        exit_code = main(["figure", "3", "--n", "150", "--k", "10"])
+        assert exit_code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_table6_report(self, capsys):
+        exit_code = main(["table", "6", "--n", "100", "--k", "10"])
+        assert exit_code == 0
+        assert "Table 6" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "42"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

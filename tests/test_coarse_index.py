@@ -1,0 +1,155 @@
+"""Tests for the coarse hybrid index data structure."""
+
+import pytest
+
+from repro.core.coarse_index import CoarseIndex
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.errors import EmptyDatasetError, InvalidThresholdError
+from repro.core.ranking import RankingSet
+from repro.core.stats import SearchStats
+from repro.metric.partitioning import random_medoid_partition
+
+
+@pytest.fixture(scope="module", params=[0.1, 0.3, 0.6])
+def coarse(request, nyt_small):
+    return CoarseIndex.build(nyt_small, theta_c=request.param)
+
+
+class TestBuild:
+    def test_rejects_bad_theta_c(self, small_rankings):
+        with pytest.raises(InvalidThresholdError):
+            CoarseIndex.build(small_rankings, theta_c=1.0)
+        with pytest.raises(InvalidThresholdError):
+            CoarseIndex.build(small_rankings, theta_c=-0.1)
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(EmptyDatasetError):
+            CoarseIndex.build(RankingSet(k=3), theta_c=0.2)
+
+    def test_every_ranking_in_exactly_one_partition(self, coarse, nyt_small):
+        seen = set()
+        for partition in coarse.partitions:
+            for member in partition.members:
+                assert member.rid not in seen
+                seen.add(member.rid)
+        assert seen == {r.rid for r in nyt_small}
+
+    def test_partition_radius_invariant(self, coarse, nyt_small):
+        radius = coarse.theta_c * max_footrule_distance(nyt_small.k)
+        for partition in coarse.partitions:
+            for member in partition.members:
+                assert footrule_topk_raw(partition.medoid, member) <= radius
+
+    def test_medoid_count_matches_partitions(self, coarse):
+        assert len(coarse.medoids) == coarse.num_partitions()
+
+    def test_partition_tree_holds_all_members(self, coarse):
+        for partition in coarse.partitions:
+            assert len(partition.tree) == len(partition.members)
+
+    def test_lookup_by_medoid_and_ranking(self, coarse, nyt_small):
+        for medoid_id in range(len(coarse.medoids)):
+            partition = coarse.partition_of_medoid(medoid_id)
+            assert partition.medoid.items == coarse.medoids[medoid_id].items
+        for ranking in list(nyt_small)[:20]:
+            partition = coarse.partition_of_ranking(ranking.rid)
+            assert any(member.rid == ranking.rid for member in partition.members)
+
+    def test_average_partition_size(self, coarse, nyt_small):
+        assert coarse.average_partition_size() == pytest.approx(
+            len(nyt_small) / coarse.num_partitions()
+        )
+
+    def test_larger_theta_c_fewer_partitions(self, nyt_small):
+        small = CoarseIndex.build(nyt_small, theta_c=0.05)
+        large = CoarseIndex.build(nyt_small, theta_c=0.6)
+        assert large.num_partitions() <= small.num_partitions()
+
+    def test_theta_c_zero_groups_duplicates_only(self, small_rankings):
+        coarse = CoarseIndex.build(small_rankings, theta_c=0.0)
+        assert coarse.num_partitions() == len(small_rankings)
+
+    def test_construction_distance_calls_counted(self, coarse):
+        assert coarse.construction_distance_calls > 0
+
+    def test_memory_estimate_positive(self, coarse):
+        assert coarse.memory_estimate_bytes() > 0
+
+    def test_custom_partitioner(self, small_rankings):
+        coarse = CoarseIndex.build(
+            small_rankings, theta_c=0.2, partitioner=random_medoid_partition
+        )
+        seen = {member.rid for partition in coarse.partitions for member in partition.members}
+        assert seen == {r.rid for r in small_rankings}
+
+    def test_repr(self, coarse):
+        assert "CoarseIndex" in repr(coarse)
+
+    def test_metric_generic_construction_with_kendall_tau(self, paper_rankings):
+        """The coarse index only needs *a* metric; build it on Kendall's tau.
+
+        The paper stresses that the structure applies to any metric distance
+        function; the partition-radius invariant must then hold with respect
+        to that metric (the radius here is expressed on the same raw scale
+        the distance function returns).
+        """
+        from repro.core.distances import kendall_tau_topk, max_footrule_distance
+
+        def kendall(left, right):
+            return kendall_tau_topk(left, right, penalty=0.5)
+
+        coarse = CoarseIndex.build(paper_rankings, theta_c=0.3, distance=kendall)
+        radius = 0.3 * max_footrule_distance(paper_rankings.k)
+        seen = set()
+        for partition in coarse.partitions:
+            for member in partition.members:
+                assert kendall(partition.medoid, member) <= radius
+                seen.add(member.rid)
+        assert seen == {r.rid for r in paper_rankings}
+
+
+class TestValidatePartitions:
+    def test_validation_returns_only_true_results(self, coarse, nyt_small, nyt_queries):
+        theta = 0.2
+        theta_raw = theta * max_footrule_distance(nyt_small.k)
+        query = nyt_queries[0]
+        medoid_ids = list(range(len(coarse.medoids)))
+        matches = coarse.validate_partitions(medoid_ids, query, theta_raw)
+        expected = {
+            r.rid for r in nyt_small if footrule_topk_raw(query, r) <= theta_raw
+        }
+        assert {ranking.rid for ranking, _ in matches} == expected
+
+    def test_exhaustive_validation_agrees_with_tree_validation(self, coarse, nyt_small, nyt_queries):
+        theta_raw = 0.15 * max_footrule_distance(nyt_small.k)
+        query = nyt_queries[1]
+        medoid_ids = list(range(len(coarse.medoids)))
+        tree_matches = {r.rid for r, _ in coarse.validate_partitions(medoid_ids, query, theta_raw)}
+        exhaustive_matches = {
+            r.rid
+            for r, _ in coarse.validate_partitions(medoid_ids, query, theta_raw, exhaustive=True)
+        }
+        assert tree_matches == exhaustive_matches
+
+    def test_stats_partitions_visited(self, coarse, nyt_queries, nyt_small):
+        stats = SearchStats()
+        coarse.validate_partitions([0, 1], nyt_queries[0], 10, stats=stats)
+        assert stats.partitions_visited == 2
+
+    def test_relaxed_threshold_retrieval_has_no_false_negatives(self, coarse, nyt_small, nyt_queries):
+        """Lemma 1: medoids within theta + theta_C cover all result rankings."""
+        theta = 0.15
+        maximum = max_footrule_distance(nyt_small.k)
+        theta_raw = theta * maximum
+        relaxed_raw = (theta + coarse.theta_c) * maximum
+        for query in nyt_queries[:5]:
+            qualifying_medoids = [
+                medoid_id
+                for medoid_id in range(len(coarse.medoids))
+                if footrule_topk_raw(query, coarse.medoids[medoid_id]) <= relaxed_raw
+            ]
+            found = {
+                r.rid for r, _ in coarse.validate_partitions(qualifying_medoids, query, theta_raw)
+            }
+            expected = {r.rid for r in nyt_small if footrule_topk_raw(query, r) <= theta_raw}
+            assert found == expected

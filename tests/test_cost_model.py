@@ -1,0 +1,178 @@
+"""Tests for the analytical cost model (Section 5)."""
+
+import pytest
+
+from repro.analysis.stats import EmpiricalDistanceDistribution, cost_model_inputs_for
+from repro.core.cost_model import (
+    CostModel,
+    CostModelInputs,
+    generalized_harmonic,
+    zipf_frequency,
+)
+from repro.core.errors import InvalidThresholdError
+
+
+def linear_cdf(x: float) -> float:
+    """A simple synthetic distance CDF used by the closed-form tests."""
+    return min(1.0, max(0.0, x))
+
+
+@pytest.fixture()
+def inputs():
+    return CostModelInputs(
+        n=1000, k=10, v=5000, zipf_s=0.8, distance_cdf=linear_cdf, cost_footrule=1.0
+    )
+
+
+@pytest.fixture()
+def model(inputs):
+    return CostModel(inputs)
+
+
+class TestZipfHelpers:
+    def test_harmonic_number_s_zero(self):
+        assert generalized_harmonic(10, 0.0) == pytest.approx(10.0)
+
+    def test_harmonic_number_s_one(self):
+        assert generalized_harmonic(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_harmonic_empty(self):
+        assert generalized_harmonic(0, 1.0) == 0.0
+
+    def test_zipf_frequencies_sum_to_one(self):
+        total = sum(zipf_frequency(i, 0.7, 50) for i in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_zipf_frequency_decreasing(self):
+        values = [zipf_frequency(i, 0.9, 20) for i in range(1, 21)]
+        assert values == sorted(values, reverse=True)
+
+    def test_zipf_frequency_bad_rank(self):
+        with pytest.raises(ValueError):
+            zipf_frequency(0, 0.5, 10)
+        with pytest.raises(ValueError):
+            zipf_frequency(11, 0.5, 10)
+
+
+class TestCostModelInputs:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CostModelInputs(n=0, k=10, v=100, zipf_s=0.5, distance_cdf=linear_cdf)
+        with pytest.raises(ValueError):
+            CostModelInputs(n=10, k=0, v=100, zipf_s=0.5, distance_cdf=linear_cdf)
+        with pytest.raises(ValueError):
+            CostModelInputs(n=10, k=10, v=5, zipf_s=0.5, distance_cdf=linear_cdf)
+        with pytest.raises(ValueError):
+            CostModelInputs(n=10, k=10, v=100, zipf_s=-1.0, distance_cdf=linear_cdf)
+
+
+class TestMedoidCount:
+    def test_theta_c_zero_gives_n_medoids(self, model, inputs):
+        """With only duplicates grouped (package size 1), every ranking is a medoid."""
+        zero_cdf_inputs = CostModelInputs(
+            n=inputs.n, k=inputs.k, v=inputs.v, zipf_s=inputs.zipf_s,
+            distance_cdf=lambda x: 0.0 if x < 1.0 else 1.0,
+        )
+        assert CostModel(zero_cdf_inputs).expected_num_medoids(0.0) == pytest.approx(inputs.n)
+
+    def test_full_coverage_gives_one_medoid(self, inputs):
+        """If every ranking is within theta_C of any other, one medoid suffices."""
+        all_cdf_inputs = CostModelInputs(
+            n=inputs.n, k=inputs.k, v=inputs.v, zipf_s=inputs.zipf_s, distance_cdf=lambda x: 1.0
+        )
+        assert CostModel(all_cdf_inputs).expected_num_medoids(0.5) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_theta_c(self, model):
+        values = [model.expected_num_medoids(theta_c) for theta_c in (0.0, 0.1, 0.3, 0.6, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bounded_by_collection_size(self, model, inputs):
+        for theta_c in (0.0, 0.2, 0.5, 0.9):
+            medoids = model.expected_num_medoids(theta_c)
+            assert 1.0 <= medoids <= inputs.n
+
+    def test_rejects_out_of_range_theta_c(self, model):
+        with pytest.raises(InvalidThresholdError):
+            model.expected_num_medoids(1.5)
+
+
+class TestExpectations:
+    def test_candidate_rankings_equation4(self, model, inputs):
+        assert model.expected_candidate_rankings(0.2, 0.3) == pytest.approx(
+            linear_cdf(0.5) * inputs.n
+        )
+
+    def test_retrieved_medoids_fraction_of_medoids(self, model):
+        medoids = model.expected_num_medoids(0.3)
+        retrieved = model.expected_retrieved_medoids(0.2, 0.3)
+        assert 0.0 <= retrieved <= medoids
+
+    def test_distinct_medoid_items_bounded_by_domain(self, model, inputs):
+        for medoids in (1.0, 10.0, 500.0, 10000.0):
+            distinct = model.expected_distinct_medoid_items(medoids)
+            assert 0.0 < distinct <= inputs.v
+
+    def test_distinct_items_increase_with_medoids(self, model):
+        assert model.expected_distinct_medoid_items(10) < model.expected_distinct_medoid_items(500)
+
+    def test_index_list_length_scales_with_medoids(self, model):
+        assert model.expected_index_list_length(10) < model.expected_index_list_length(800)
+
+
+class TestCosts:
+    def test_validate_cost_increases_with_theta_c(self, model):
+        costs = [model.validate_cost(0.2, theta_c) for theta_c in (0.0, 0.2, 0.4, 0.7)]
+        assert costs == sorted(costs)
+
+    def test_filter_cost_decreases_with_theta_c(self, model):
+        costs = [model.filter_cost(0.2, theta_c) for theta_c in (0.0, 0.2, 0.4, 0.7)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_estimate_total_is_sum(self, model):
+        estimate = model.estimate(0.2, 0.3)
+        assert estimate.total == pytest.approx(estimate.filter_cost + estimate.validate_cost)
+
+    def test_infeasible_combination_rejected(self, model):
+        with pytest.raises(InvalidThresholdError):
+            model.filter_cost(0.5, 0.6)
+
+    def test_recommendation_minimises_curve(self, model):
+        recommendation = model.recommend_theta_c(0.2)
+        totals = [estimate.total for estimate in recommendation.curve]
+        assert recommendation.estimate.total == pytest.approx(min(totals))
+
+    def test_default_grid_respects_feasibility(self, model):
+        grid = model.default_grid(0.3)
+        assert all(value + 0.3 < 1.0 for value in grid)
+        assert grid[0] == 0.0
+
+    def test_cost_curve_custom_grid(self, model):
+        curve = model.cost_curve(0.2, [0.1, 0.2])
+        assert [estimate.theta_c for estimate in curve] == [0.1, 0.2]
+
+
+class TestModelOnRealDatasets:
+    def test_inputs_from_rankings(self, nyt_small):
+        inputs = cost_model_inputs_for(nyt_small, sample_pairs=2000)
+        assert inputs.n == len(nyt_small)
+        assert inputs.k == nyt_small.k
+        assert inputs.v == len(nyt_small.item_domain())
+        assert inputs.zipf_s > 0.0
+
+    def test_interior_minimum_exists_for_clustered_data(self, nyt_small):
+        """The predicted overall cost has its minimum strictly inside the grid
+        (the coarse index beats both extremes), which is the paper's core claim."""
+        inputs = cost_model_inputs_for(nyt_small, sample_pairs=3000)
+        model = CostModel(inputs)
+        recommendation = model.recommend_theta_c(0.2, [round(0.05 * i, 2) for i in range(16)])
+        first = recommendation.curve[0].total
+        assert recommendation.estimate.total <= first
+
+    def test_empirical_distribution_is_monotone_cdf(self, nyt_small):
+        distribution = EmpiricalDistanceDistribution(nyt_small, sample_pairs=2000)
+        previous = 0.0
+        for x in (0.0, 0.1, 0.3, 0.5, 0.8, 1.0):
+            value = distribution.cdf(x)
+            assert 0.0 <= value <= 1.0
+            assert value >= previous
+            previous = value

@@ -1,0 +1,173 @@
+"""Tests for the synthetic dataset generators and their presets."""
+
+import pytest
+
+from repro.analysis.stats import estimate_zipf_skew
+from repro.core.distances import footrule_topk
+from repro.datasets.nyt import NYT_ZIPF_S, nyt_like_dataset, nyt_like_spec
+from repro.datasets.synthetic import DatasetSpec, generate_clustered_rankings
+from repro.datasets.yago import YAGO_ZIPF_S, yago_like_dataset, yago_like_spec
+
+
+class TestDatasetSpec:
+    def test_valid_spec_accepted(self):
+        spec = DatasetSpec(n=10, k=3, domain_size=100)
+        assert spec.n == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"k": 0},
+            {"domain_size": 2, "k": 5},
+            {"cluster_size": 0},
+            {"swap_probability": 1.5},
+            {"substitution_probability": -0.1},
+            {"zipf_s": -1.0},
+            {"topic_count": -1},
+            {"topic_count": 3, "topic_pool_size": 2},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        base = {"n": 10, "k": 5, "domain_size": 100}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            DatasetSpec(**base)
+
+
+class TestGenerator:
+    def test_generates_requested_size(self):
+        spec = DatasetSpec(n=123, k=7, domain_size=1000, seed=1)
+        rankings = generate_clustered_rankings(spec)
+        assert len(rankings) == 123
+        assert rankings.k == 7
+
+    def test_deterministic_for_fixed_seed(self):
+        spec = DatasetSpec(n=50, k=5, domain_size=300, seed=9)
+        first = generate_clustered_rankings(spec)
+        second = generate_clustered_rankings(spec)
+        assert [r.items for r in first] == [r.items for r in second]
+
+    def test_different_seeds_differ(self):
+        base = dict(n=50, k=5, domain_size=300)
+        first = generate_clustered_rankings(DatasetSpec(seed=1, **base))
+        second = generate_clustered_rankings(DatasetSpec(seed=2, **base))
+        assert [r.items for r in first] != [r.items for r in second]
+
+    def test_no_duplicate_items_within_rankings(self):
+        spec = DatasetSpec(n=200, k=10, domain_size=500, zipf_s=1.0, seed=3)
+        rankings = generate_clustered_rankings(spec)
+        for ranking in rankings:
+            assert len(set(ranking.items)) == ranking.size
+
+    def test_items_within_domain(self):
+        spec = DatasetSpec(n=100, k=5, domain_size=50, seed=4)
+        rankings = generate_clustered_rankings(spec)
+        assert max(rankings.item_domain()) < 50
+
+    def test_clustering_produces_near_duplicates(self):
+        clustered = generate_clustered_rankings(
+            DatasetSpec(n=100, k=10, domain_size=5000, cluster_size=5, seed=6,
+                        swap_probability=0.3, substitution_probability=0.05)
+        )
+        unclustered = generate_clustered_rankings(
+            DatasetSpec(n=100, k=10, domain_size=5000, cluster_size=1, seed=6)
+        )
+
+        def mean_nearest_neighbour_distance(rankings):
+            total = 0.0
+            for left in rankings:
+                nearest = min(
+                    footrule_topk(left, right) for right in rankings if right.rid != left.rid
+                )
+                total += nearest
+            return total / len(rankings)
+
+        assert mean_nearest_neighbour_distance(clustered) < mean_nearest_neighbour_distance(
+            unclustered
+        )
+
+    def test_topic_structure_creates_mid_range_distances(self):
+        """With topics, a noticeable share of pairs lands at medium distances,
+        which is what distinguishes real query-result collections from a
+        bimodal near-duplicate-or-unrelated mixture."""
+        from repro.analysis.stats import EmpiricalDistanceDistribution
+
+        with_topics = generate_clustered_rankings(
+            DatasetSpec(n=300, k=10, domain_size=1200, zipf_s=0.75, cluster_size=8,
+                        topic_count=8, topic_pool_size=15, seed=2)
+        )
+        without_topics = generate_clustered_rankings(
+            DatasetSpec(n=300, k=10, domain_size=1200, zipf_s=0.75, cluster_size=8,
+                        topic_count=0, seed=2)
+        )
+        mid_with = EmpiricalDistanceDistribution(with_topics, sample_pairs=2000).cdf(0.8)
+        mid_without = EmpiricalDistanceDistribution(without_topics, sample_pairs=2000).cdf(0.8)
+        assert mid_with > mid_without
+
+    def test_topic_rankings_draw_from_topic_pools(self):
+        """With a single topic every ranking's items come from that topic's pool."""
+        spec = DatasetSpec(n=60, k=5, domain_size=500, topic_count=1, topic_pool_size=12, seed=3)
+        rankings = generate_clustered_rankings(spec)
+        assert len(rankings.item_domain()) <= spec.topic_pool_size + spec.n  # substitutions stay in pool
+        assert len(rankings.item_domain()) <= 12
+
+    def test_graded_perturbation_spreads_cluster_distances(self):
+        """Within one cluster the first derived copy stays closer to the seed
+        than the last derived copy (graded perturbation strength)."""
+        from repro.core.distances import footrule_topk
+
+        spec = DatasetSpec(n=8, k=10, domain_size=200, cluster_size=8, zipf_s=0.5,
+                           swap_probability=0.3, substitution_probability=0.3, seed=11)
+        rankings = generate_clustered_rankings(spec)
+        seed_ranking = rankings[0]
+        first_copy = footrule_topk(seed_ranking, rankings[1])
+        last_copy = footrule_topk(seed_ranking, rankings[7])
+        assert first_copy <= last_copy
+
+    def test_higher_skew_concentrates_popularity(self):
+        skewed = generate_clustered_rankings(
+            DatasetSpec(n=400, k=10, domain_size=2000, zipf_s=1.2, cluster_size=1, seed=8)
+        )
+        flat = generate_clustered_rankings(
+            DatasetSpec(n=400, k=10, domain_size=2000, zipf_s=0.0, cluster_size=1, seed=8)
+        )
+        top_share = max(skewed.item_frequencies().values()) / len(skewed)
+        flat_share = max(flat.item_frequencies().values()) / len(flat)
+        assert top_share > flat_share
+
+
+class TestPresets:
+    def test_nyt_preset_shape(self):
+        rankings = nyt_like_dataset(n=400, k=10)
+        assert len(rankings) == 400
+        assert rankings.k == 10
+
+    def test_yago_preset_shape(self):
+        rankings = yago_like_dataset(n=400, k=10)
+        assert len(rankings) == 400
+        assert rankings.k == 10
+
+    def test_nyt_more_skewed_than_yago(self):
+        nyt = nyt_like_dataset(n=600, k=10)
+        yago = yago_like_dataset(n=600, k=10)
+        assert estimate_zipf_skew(nyt) > estimate_zipf_skew(yago)
+
+    def test_nyt_items_more_reused_than_yago(self):
+        """NYT-style popular documents appear in many rankings; Yago entities in few."""
+        nyt = nyt_like_dataset(n=600, k=10)
+        yago = yago_like_dataset(n=600, k=10)
+        nyt_max_frequency = max(nyt.item_frequencies().values())
+        yago_max_frequency = max(yago.item_frequencies().values())
+        assert nyt_max_frequency > yago_max_frequency
+
+    def test_spec_accessors(self):
+        """The generator base skews preserve the paper's ordering (NYT more skewed)."""
+        assert nyt_like_spec(n=100).zipf_s > yago_like_spec(n=100).zipf_s
+        assert NYT_ZIPF_S > YAGO_ZIPF_S
+        assert nyt_like_spec(n=100).topic_count >= 1
+        assert yago_like_spec(n=100).topic_count >= 1
+
+    def test_presets_parameterise_k(self):
+        assert nyt_like_dataset(n=50, k=20).k == 20
+        assert yago_like_dataset(n=50, k=5).k == 5

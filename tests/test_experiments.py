@@ -1,0 +1,181 @@
+"""Tests for the experiment harness and the figure/table generators (tiny scale)."""
+
+import pytest
+
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.minimal_fv import MinimalFilterValidate
+from repro.experiments.harness import (
+    ExperimentSetup,
+    compare_algorithms,
+    measurements_as_series,
+    run_workload,
+)
+from repro.experiments.figures import (
+    figure3_cost_model,
+    figure5_metric_trees,
+    figure6_bktree_vs_invindex,
+    figure7_coarse_tradeoff,
+    figure8_nyt_comparison,
+    figure9_yago_comparison,
+    figure10_distance_calls,
+)
+from repro.experiments.tables import table5_model_accuracy, table6_index_build
+
+
+class TestExperimentSetup:
+    def test_create_nyt_preset(self):
+        setup = ExperimentSetup.create(dataset="nyt", n=100, k=10, num_queries=5)
+        assert setup.name == "nyt"
+        assert len(setup.rankings) == 100
+        assert len(setup.queries) == 5
+        assert setup.k == 10
+
+    def test_create_yago_preset(self):
+        setup = ExperimentSetup.create(dataset="yago", n=80, k=5, num_queries=3)
+        assert setup.name == "yago"
+        assert setup.rankings.k == 5
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSetup.create(dataset="unknown")
+
+
+class TestRunWorkload:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return ExperimentSetup.create(dataset="nyt", n=150, k=10, num_queries=6)
+
+    def test_measurement_fields(self, setup):
+        algorithm = FilterValidate.build(setup.rankings)
+        measurement = run_workload(algorithm, setup.queries, 0.2)
+        assert measurement.algorithm == "F&V"
+        assert measurement.num_queries == 6
+        assert measurement.wall_seconds > 0.0
+        assert measurement.stats.distance_calls > 0
+
+    def test_minimal_fv_prepared_automatically(self, setup):
+        algorithm = MinimalFilterValidate.build(setup.rankings)
+        measurement = run_workload(algorithm, setup.queries, 0.2)
+        assert measurement.total_results >= 0
+
+    def test_as_row_flattens_counters(self, setup):
+        algorithm = FilterValidate.build(setup.rankings)
+        row = run_workload(algorithm, setup.queries, 0.2).as_row()
+        assert row["algorithm"] == "F&V"
+        assert "distance_calls" in row
+        assert "wall_seconds" in row
+
+    def test_compare_algorithms_covers_all_combinations(self, setup):
+        measurements = compare_algorithms(setup, ["F&V", "ListMerge"], [0.1, 0.2])
+        assert len(measurements) == 4
+        assert {m.algorithm for m in measurements} == {"F&V", "ListMerge"}
+
+    def test_measurements_as_series_pivot(self, setup):
+        measurements = compare_algorithms(setup, ["F&V"], [0.1, 0.2])
+        series = measurements_as_series(measurements, value="results")
+        assert set(series["F&V"]) == {0.1, 0.2}
+
+
+class TestFigureGenerators:
+    def test_figure3_shapes(self):
+        figure = figure3_cost_model(datasets=("nyt",), n=200, k=10, theta=0.2,
+                                    theta_c_grid=[0.0, 0.1, 0.3, 0.5])
+        payload = figure["datasets"]["nyt"]
+        assert set(payload["series"]) == {"filter", "validate", "overall"}
+        assert 0.0 <= payload["recommended_theta_c"] < 1.0
+        overall = payload["series"]["overall"]
+        for theta_c, total in overall.items():
+            assert total == pytest.approx(
+                payload["series"]["filter"][theta_c] + payload["series"]["validate"][theta_c]
+            )
+
+    def test_figure3_validate_cost_monotone(self):
+        figure = figure3_cost_model(datasets=("yago",), n=200, k=10, theta=0.2,
+                                    theta_c_grid=[0.0, 0.2, 0.4, 0.6])
+        validate = figure["datasets"]["yago"]["series"]["validate"]
+        ordered = [validate[x] for x in sorted(validate)]
+        assert ordered == sorted(ordered)
+
+    def test_figure7_series_and_recommendation(self):
+        figure = figure7_coarse_tradeoff(
+            datasets=("nyt",), n=200, k=10, theta=0.2,
+            theta_c_grid=(0.1, 0.3, 0.5), num_queries=5,
+        )
+        payload = figure["datasets"]["nyt"]
+        assert set(payload["series"]) == {"filtering", "validation", "overall"}
+        assert payload["best_measured_theta_c"] in (0.1, 0.3, 0.5)
+
+    def test_figure5_series_cover_both_trees(self):
+        figure = figure5_metric_trees(
+            n=80, ks=(5,), theta_for_k_sweep=0.1, thetas=(0.1, 0.2),
+            k_for_theta_sweep=5, num_queries=3,
+        )
+        assert set(figure["by_k"]) == {"BK-tree", "M-tree"}
+        assert set(figure["by_theta"]["M-tree"]) == {0.1, 0.2}
+        for series in figure["by_theta"].values():
+            assert all(value >= 0.0 for value in series.values())
+
+    def test_figure6_series_cover_both_algorithms(self):
+        figure = figure6_bktree_vs_invindex(
+            n=80, ks=(5,), theta_for_k_sweep=0.1, thetas=(0.1,),
+            k_for_theta_sweep=5, num_queries=3,
+        )
+        assert set(figure["by_k"]) == {"BK-tree", "F&V"}
+        assert 5 in figure["by_k"]["F&V"]
+
+    def test_figure8_and_9_rows_cover_requested_algorithms(self):
+        for generator, dataset in ((figure8_nyt_comparison, "nyt"), (figure9_yago_comparison, "yago")):
+            figure = generator(
+                n=100, ks=(10,), thetas=(0.1,), num_queries=3,
+                algorithms=("F&V", "ListMerge"),
+            )
+            assert figure["dataset"] == dataset
+            series = figure["by_k"][10]["series"]
+            assert set(series) == {"F&V", "ListMerge"}
+            rows = figure["by_k"][10]["rows"]
+            assert len(rows) == 2
+            assert all(row["results"] >= 0 for row in rows)
+
+    def test_figure10_counts_only_dfc_algorithms(self):
+        figure = figure10_distance_calls(
+            datasets=("nyt",), n=150, ks=(10,), thetas=(0.1,), num_queries=4,
+            algorithms=("F&V", "MinimalF&V"),
+        )
+        series = figure["nyt"][10]["series"]
+        assert set(series) == {"F&V", "MinimalF&V"}
+        assert series["MinimalF&V"][0.1] <= series["F&V"][0.1]
+
+
+class TestTableGenerators:
+    def test_table6_rows(self):
+        rows = table6_index_build(datasets=("yago",), n=120, k=10)
+        names = {row["index"] for row in rows}
+        assert {"Plain Inverted Index", "Augmented Inverted Index", "BK-tree",
+                "M-tree", "Coarse Index", "Delta Inverted Index"} <= names
+        for row in rows:
+            assert row["size_mb"] > 0.0
+            assert row["construction_seconds"] >= 0.0
+
+    def test_table6_augmented_larger_than_plain(self):
+        rows = table6_index_build(datasets=("yago",), n=120, k=10)
+        by_name = {row["index"]: row for row in rows}
+        assert (
+            by_name["Augmented Inverted Index"]["size_mb"]
+            > by_name["Plain Inverted Index"]["size_mb"]
+        )
+
+    def test_table6_inverted_index_has_no_construction_distance_calls(self):
+        rows = table6_index_build(datasets=("yago",), n=120, k=10)
+        by_name = {row["index"]: row for row in rows}
+        assert by_name["Plain Inverted Index"]["construction_distance_calls"] == 0
+        assert by_name["Coarse Index"]["construction_distance_calls"] > 0
+
+    def test_table5_rows(self):
+        rows = table5_model_accuracy(
+            datasets=("nyt",), n=150, k=10, thetas=(0.2,), num_queries=4
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "nyt"
+        assert row["theta"] == 0.2
+        assert "difference_ms" in row

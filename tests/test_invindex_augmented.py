@@ -1,0 +1,105 @@
+"""Tests for the rank-augmented inverted index and posting primitives."""
+
+import pytest
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.invindex.augmented import AugmentedInvertedIndex
+from repro.invindex.postings import Posting, PostingList
+
+
+class TestPosting:
+    def test_ordering_by_rid(self):
+        assert Posting(rid=1, rank=5) < Posting(rid=2, rank=0)
+
+    def test_equality(self):
+        assert Posting(rid=1, rank=2) == Posting(rid=1, rank=2)
+
+
+class TestPostingList:
+    def test_append_and_iterate_sorted_by_rid(self):
+        postings = PostingList()
+        postings.append(5, 1)
+        postings.append(2, 3)
+        postings.append(9, 0)
+        assert [p.rid for p in postings] == [2, 5, 9]
+
+    def test_len_and_getitem(self):
+        postings = PostingList([Posting(3, 0), Posting(1, 2)])
+        assert len(postings) == 2
+        assert postings[0].rid == 1
+
+    def test_rids(self):
+        postings = PostingList([Posting(3, 0), Posting(1, 2)])
+        assert postings.rids() == [1, 3]
+
+    def test_sorted_by_rank(self):
+        postings = PostingList([Posting(3, 4), Posting(1, 2), Posting(2, 2)])
+        ordered = postings.sorted_by_rank()
+        assert [(p.rank, p.rid) for p in ordered] == [(2, 1), (2, 2), (4, 3)]
+
+    def test_empty_list(self):
+        assert len(PostingList()) == 0
+        assert PostingList().rids() == []
+
+
+@pytest.fixture()
+def index(paper_rankings):
+    return AugmentedInvertedIndex.build(paper_rankings)
+
+
+class TestAugmentedIndex:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            AugmentedInvertedIndex.build(RankingSet(k=3))
+
+    def test_postings_store_ranks(self, paper_rankings, index):
+        for ranking in paper_rankings:
+            for rank, item in enumerate(ranking.items):
+                matching = [p for p in index.postings_for(item) if p.rid == ranking.rid]
+                assert len(matching) == 1
+                assert matching[0].rank == rank
+
+    def test_paper_figure4_item1_list(self, index):
+        """Item 1 appears in rankings tau_0..tau_9 exactly as in Figure 4 (minus tau_10)."""
+        postings = {(p.rid, p.rank) for p in index.postings_for(1)}
+        expected = {(0, 0), (1, 0), (6, 0), (3, 1), (4, 1), (7, 1), (2, 2), (5, 2), (9, 3), (8, 4)}
+        assert postings == expected
+
+    def test_num_postings(self, paper_rankings, index):
+        assert index.num_postings() == len(paper_rankings) * paper_rankings.k
+
+    def test_unknown_item_empty(self, index):
+        assert len(index.postings_for(12345)) == 0
+        assert index.list_length(12345) == 0
+
+    def test_candidate_ranks_collects_seen_items(self, index, query_k5):
+        accumulator = index.candidate_ranks(query_k5)
+        # tau_3 = [7, 1, 9, 4, 5] shares items 7, 9, 5 with the query
+        assert accumulator[3] == {7: 0, 9: 2, 5: 4}
+
+    def test_candidate_ranks_subset_of_items(self, index, query_k5):
+        accumulator = index.candidate_ranks(query_k5, query_items=[7])
+        assert set(accumulator) == {3, 6, 7}
+
+    def test_candidate_ranks_stats(self, index, query_k5):
+        stats = SearchStats()
+        accumulator = index.candidate_ranks(query_k5, stats=stats)
+        assert stats.lists_accessed == query_k5.size
+        assert stats.candidates == len(accumulator)
+
+    def test_iter_lists_shortest_first(self, index, query_k5):
+        pairs = index.iter_lists_shortest_first(query_k5.items)
+        lengths = [len(postings) for _item, postings in pairs]
+        assert lengths == sorted(lengths)
+
+    def test_memory_estimate_larger_than_plain(self, paper_rankings):
+        from repro.invindex.plain import PlainInvertedIndex
+
+        plain = PlainInvertedIndex.build(paper_rankings)
+        augmented = AugmentedInvertedIndex.build(paper_rankings)
+        assert augmented.memory_estimate_bytes() > plain.memory_estimate_bytes()
+
+    def test_repr(self, index):
+        assert "AugmentedInvertedIndex" in repr(index)

@@ -1,0 +1,107 @@
+"""Tests for the blocked inverted index (Section 6.3)."""
+
+import pytest
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.invindex.blocked import BlockedInvertedIndex
+
+
+@pytest.fixture()
+def index(paper_rankings):
+    return BlockedInvertedIndex.build(paper_rankings)
+
+
+class TestBuild:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            BlockedInvertedIndex.build(RankingSet(k=3))
+
+    def test_blocks_sorted_by_rank(self, index, paper_rankings):
+        for item in paper_rankings.item_domain():
+            ranks = [block.rank for block in index.blocks_for(item)]
+            assert ranks == sorted(ranks)
+            assert len(ranks) == len(set(ranks)), "one block per rank value"
+
+    def test_blocks_partition_the_postings(self, index, paper_rankings):
+        for item in paper_rankings.item_domain():
+            rids = [p.rid for block in index.blocks_for(item) for p in block.postings]
+            expected = [r.rid for r in paper_rankings if item in r]
+            assert sorted(rids) == sorted(expected)
+
+    def test_block_members_have_the_block_rank(self, index, paper_rankings):
+        for item in paper_rankings.item_domain():
+            for block in index.blocks_for(item):
+                for posting in block.postings:
+                    assert paper_rankings[posting.rid].rank_of(item) == block.rank
+
+    def test_paper_figure4_item1_blocks(self, index):
+        """Item 1's blocks match Figure 4: ranks 0,1,2,3,4 with sizes 3,3,2,1,1."""
+        blocks = index.blocks_for(1)
+        assert [(block.rank, len(block)) for block in blocks] == [
+            (0, 3),
+            (1, 3),
+            (2, 2),
+            (3, 1),
+            (4, 1),
+        ]
+
+    def test_num_postings_and_blocks(self, index, paper_rankings):
+        assert index.num_postings() == len(paper_rankings) * paper_rankings.k
+        assert index.num_blocks() >= index.num_items()
+
+    def test_unknown_item(self, index):
+        assert index.blocks_for(98765) == []
+        assert index.list_length(98765) == 0
+
+    def test_memory_estimate_positive(self, index):
+        assert index.memory_estimate_bytes() > 0
+
+    def test_repr(self, index):
+        assert "BlockedInvertedIndex" in repr(index)
+
+
+class TestAdmissibleBlocks:
+    def test_only_blocks_within_threshold_returned(self, index):
+        # query places item 1 at rank 0; with theta_raw = 1 only blocks at
+        # ranks 0 and 1 are admissible
+        admissible = list(index.admissible_blocks(1, query_rank=0, theta_raw=1))
+        assert [block.rank for block in admissible] == [0, 1]
+
+    def test_all_blocks_admissible_for_large_threshold(self, index):
+        admissible = list(index.admissible_blocks(1, query_rank=0, theta_raw=100))
+        assert len(admissible) == len(index.blocks_for(1))
+
+    def test_skip_counters(self, index):
+        stats = SearchStats()
+        list(index.admissible_blocks(1, query_rank=0, theta_raw=1, stats=stats))
+        assert stats.blocks_accessed == 2
+        assert stats.blocks_skipped == len(index.blocks_for(1)) - 2
+
+    def test_paper_block_access_example(self):
+        """The Section 6.3 example: q=[3,2,1], theta=1 accesses less than half the postings."""
+        rankings = RankingSet.from_lists(
+            [
+                [1, 2, 3],
+                [1, 2, 9],
+                [9, 8, 1],
+                [7, 1, 9],
+                [6, 1, 5],
+                [4, 5, 1],
+                [1, 6, 2],
+                [7, 1, 6],
+                [2, 5, 9],
+                [6, 3, 2],
+            ]
+        )
+        index = BlockedInvertedIndex.build(rankings)
+        query = Ranking([3, 2, 1])
+        stats = SearchStats()
+        total = 0
+        for item in query.items:
+            for block in index.admissible_blocks(item, query.rank_of(item), 1, stats=stats):
+                total += len(block)
+        full = sum(index.list_length(item) for item in query.items)
+        assert total < full
+        assert stats.blocks_skipped > 0

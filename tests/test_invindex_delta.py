@@ -1,0 +1,107 @@
+"""Tests for the delta (prefix-extension) inverted index used by AdaptSearch."""
+
+import pytest
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.invindex.delta import DeltaInvertedIndex, _global_item_order
+
+
+@pytest.fixture()
+def index(paper_rankings):
+    return DeltaInvertedIndex.build(paper_rankings)
+
+
+class TestGlobalItemOrder:
+    def test_rare_items_first(self, paper_rankings):
+        order = _global_item_order(paper_rankings)
+        frequencies = paper_rankings.item_frequencies()
+        ordered_items = sorted(order, key=order.get)
+        ordered_frequencies = [frequencies[item] for item in ordered_items]
+        assert ordered_frequencies == sorted(ordered_frequencies)
+
+    def test_order_is_total(self, paper_rankings):
+        order = _global_item_order(paper_rankings)
+        assert len(set(order.values())) == len(order)
+
+
+class TestBuild:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            DeltaInvertedIndex.build(RankingSet(k=3))
+
+    def test_one_posting_per_ranking_per_level(self, paper_rankings, index):
+        for level in range(1, paper_rankings.k + 1):
+            level_postings = sum(
+                len(index.level_list(level, item)) for item in paper_rankings.item_domain()
+            )
+            assert level_postings == len(paper_rankings)
+
+    def test_total_postings(self, paper_rankings, index):
+        assert index.num_postings() == len(paper_rankings) * paper_rankings.k
+
+    def test_max_prefix_limits_levels(self, paper_rankings):
+        truncated = DeltaInvertedIndex.build(paper_rankings, max_prefix=2)
+        assert truncated.num_postings() == len(paper_rankings) * 2
+
+    def test_level_lists_respect_frequency_order(self, paper_rankings, index):
+        """The level-1 element of each ranking is its rarest item."""
+        frequencies = paper_rankings.item_frequencies()
+        for ranking in paper_rankings:
+            rarest = min(ranking.items, key=lambda item: (frequencies[item], item))
+            assert ranking.rid in index.level_list(1, rarest)
+
+    def test_ordered_query_items(self, index, paper_rankings, query_k5):
+        ordered = index.ordered_query_items(query_k5)
+        assert sorted(ordered) == sorted(query_k5.items)
+        positions = [index.item_order(item) for item in ordered]
+        assert positions == sorted(positions)
+
+    def test_item_order_unknown_item_is_last(self, index, paper_rankings):
+        highest_known = max(index.item_order(item) for item in paper_rankings.item_domain())
+        assert index.item_order(999999) > highest_known
+
+    def test_memory_estimate_positive(self, index):
+        assert index.memory_estimate_bytes() > 0
+
+    def test_repr(self, index):
+        assert "DeltaInvertedIndex" in repr(index)
+
+
+class TestCandidates:
+    def test_full_prefix_retrieves_all_overlapping_rankings(self, paper_rankings, index, query_k5):
+        k = paper_rankings.k
+        candidates = index.candidates_for_prefix(query_k5, k, k)
+        expected = {r.rid for r in paper_rankings if query_k5.overlap(r) > 0}
+        assert candidates == expected
+
+    def test_prefix_filtering_never_loses_high_overlap_rankings(self, paper_rankings, index):
+        """With prefixes of length k - omega + 1, every ranking sharing >= omega items survives."""
+        k = paper_rankings.k
+        query = Ranking([1, 2, 3, 4, 5])
+        for omega in range(1, k + 1):
+            prefix = k - omega + 1
+            candidates = index.candidates_for_prefix(query, prefix, prefix)
+            for ranking in paper_rankings:
+                if query.overlap(ranking) >= omega:
+                    assert ranking.rid in candidates
+
+    def test_candidates_subset_of_full_prefix(self, index, query_k5, paper_rankings):
+        k = paper_rankings.k
+        all_candidates = index.candidates_for_prefix(query_k5, k, k)
+        small = index.candidates_for_prefix(query_k5, 2, 2)
+        assert small <= all_candidates
+
+    def test_stats_recorded(self, index, query_k5):
+        stats = SearchStats()
+        index.candidates_for_prefix(query_k5, 3, 3, stats=stats)
+        assert stats.lists_accessed == 9
+        assert stats.candidates >= 0
+
+    def test_estimate_upper_bounds_candidates(self, index, query_k5, paper_rankings):
+        k = paper_rankings.k
+        for prefix in range(1, k + 1):
+            estimate = index.estimate_candidates(query_k5, prefix, prefix)
+            actual = len(index.candidates_for_prefix(query_k5, prefix, prefix))
+            assert estimate >= actual

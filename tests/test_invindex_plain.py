@@ -1,0 +1,79 @@
+"""Tests for the plain inverted index."""
+
+import pytest
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.stats import SearchStats
+from repro.invindex.plain import PlainInvertedIndex
+
+
+@pytest.fixture()
+def index(small_rankings):
+    return PlainInvertedIndex.build(small_rankings)
+
+
+class TestBuild:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            PlainInvertedIndex.build(RankingSet(k=3))
+
+    def test_every_item_indexed(self, small_rankings, index):
+        assert set(index.items()) == small_rankings.item_domain()
+
+    def test_num_postings_equals_n_times_k(self, small_rankings, index):
+        assert index.num_postings() == len(small_rankings) * small_rankings.k
+
+    def test_list_contains_exactly_the_rankings_with_the_item(self, small_rankings, index):
+        for item in small_rankings.item_domain():
+            expected = {r.rid for r in small_rankings if item in r}
+            assert set(index.list_for(item)) == expected
+
+    def test_lists_are_id_sorted(self, index, small_rankings):
+        for item in small_rankings.item_domain():
+            entries = index.list_for(item)
+            assert entries == sorted(entries)
+
+    def test_list_length_matches_frequency(self, small_rankings, index):
+        frequencies = small_rankings.item_frequencies()
+        for item, frequency in frequencies.items():
+            assert index.list_length(item) == frequency
+
+    def test_unknown_item_has_empty_list(self, index):
+        assert index.list_for(99999) == []
+        assert index.list_length(99999) == 0
+
+    def test_k_property(self, index, small_rankings):
+        assert index.k == small_rankings.k
+
+    def test_memory_estimate_positive_and_grows(self, small_rankings):
+        index = PlainInvertedIndex.build(small_rankings)
+        bigger = RankingSet.from_lists(
+            [list(r.items) for r in small_rankings] + [[100, 101, 102, 103]]
+        )
+        assert PlainInvertedIndex.build(bigger).memory_estimate_bytes() > index.memory_estimate_bytes()
+
+    def test_repr(self, index):
+        assert "PlainInvertedIndex" in repr(index)
+
+
+class TestCandidates:
+    def test_candidates_are_overlapping_rankings(self, small_rankings, index, query_k4):
+        candidates = index.candidates(query_k4)
+        expected = {r.rid for r in small_rankings if query_k4.overlap(r) > 0}
+        assert candidates == expected
+
+    def test_disjoint_query_has_no_candidates(self, index):
+        assert index.candidates(Ranking([500, 501, 502, 503])) == set()
+
+    def test_candidates_with_subset_of_items(self, small_rankings, index, query_k4):
+        candidates = index.candidates(query_k4, query_items=[2])
+        expected = {r.rid for r in small_rankings if 2 in r}
+        assert candidates == expected
+
+    def test_stats_recorded(self, index, query_k4):
+        stats = SearchStats()
+        candidates = index.candidates(query_k4, stats=stats)
+        assert stats.lists_accessed == query_k4.size
+        assert stats.candidates == len(candidates)
+        assert stats.postings_scanned >= len(candidates)

@@ -1,0 +1,95 @@
+"""Tests for the k-nearest-neighbour extension."""
+
+import pytest
+
+from repro.core.distances import footrule_topk
+from repro.algorithms.coarse import CoarseSearch
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.knn import BKTreeKNN, BruteForceKNN, RangeExpansionKNN
+
+
+def brute_force_order(rankings, query):
+    return sorted(
+        (footrule_topk(query, ranking), ranking.rid) for ranking in rankings
+    )
+
+
+@pytest.fixture(scope="module")
+def knn_variants(nyt_small):
+    return {
+        "brute": BruteForceKNN(nyt_small),
+        "bktree": BKTreeKNN(nyt_small),
+        "range-fv": RangeExpansionKNN(FilterValidate.build(nyt_small)),
+        "range-coarse": RangeExpansionKNN(CoarseSearch.build(nyt_small, theta_c=0.3)),
+    }
+
+
+@pytest.mark.parametrize("variant", ["brute", "bktree", "range-fv", "range-coarse"])
+class TestKnnCorrectness:
+    @pytest.mark.parametrize("n_neighbours", [1, 3, 10])
+    def test_distances_match_true_nearest(self, variant, n_neighbours, knn_variants, nyt_small, nyt_queries):
+        searcher = knn_variants[variant]
+        for query in nyt_queries[:4]:
+            expected = brute_force_order(nyt_small, query)[:n_neighbours]
+            result = searcher.search(query, n_neighbours)
+            assert len(result) == n_neighbours
+            measured = [neighbour.distance for neighbour in result.neighbours]
+            assert measured == pytest.approx([distance for distance, _ in expected])
+
+    def test_neighbours_sorted(self, variant, knn_variants, nyt_queries):
+        result = knn_variants[variant].search(nyt_queries[0], 5)
+        distances = [neighbour.distance for neighbour in result.neighbours]
+        assert distances == sorted(distances)
+
+    def test_rejects_non_positive_k(self, variant, knn_variants, nyt_queries):
+        with pytest.raises(ValueError):
+            knn_variants[variant].search(nyt_queries[0], 0)
+
+    def test_indexed_query_is_its_own_nearest_neighbour(self, variant, knn_variants, nyt_small):
+        from repro.core.ranking import Ranking
+
+        query = Ranking(nyt_small[7].items)
+        result = knn_variants[variant].search(query, 1)
+        assert result.neighbours[0].distance == pytest.approx(0.0)
+
+
+class TestKnnBehaviour:
+    def test_bktree_prunes_versus_brute_force(self, nyt_small, nyt_queries):
+        brute = BruteForceKNN(nyt_small)
+        tree = BKTreeKNN(nyt_small)
+        query = nyt_queries[0]
+        assert (
+            tree.search(query, 3).stats.distance_calls
+            <= brute.search(query, 3).stats.distance_calls
+        )
+
+    def test_brute_force_distance_calls_equal_collection_size(self, nyt_small, nyt_queries):
+        brute = BruteForceKNN(nyt_small)
+        assert brute.search(nyt_queries[0], 5).stats.distance_calls == len(nyt_small)
+
+    def test_range_expansion_records_attempts(self, nyt_small, nyt_queries):
+        searcher = RangeExpansionKNN(FilterValidate.build(nyt_small), initial_theta=0.01)
+        result = searcher.search(nyt_queries[0], 5)
+        assert result.stats.extra["range_attempts"] >= 1
+
+    def test_range_expansion_rejects_bad_parameters(self, nyt_small):
+        algorithm = FilterValidate.build(nyt_small)
+        with pytest.raises(ValueError):
+            RangeExpansionKNN(algorithm, initial_theta=0.0)
+        with pytest.raises(ValueError):
+            RangeExpansionKNN(algorithm, growth=1.0)
+
+    def test_knn_result_rids_accessor(self, nyt_small, nyt_queries):
+        result = BruteForceKNN(nyt_small).search(nyt_queries[0], 4)
+        assert len(result.rids) == 4
+        assert result.rids == [neighbour.rid for neighbour in result.neighbours]
+
+    def test_larger_k_extends_smaller_k(self, nyt_small, nyt_queries):
+        """The first neighbours of a larger request equal the smaller request."""
+        brute = BruteForceKNN(nyt_small)
+        query = nyt_queries[1]
+        small = brute.search(query, 3)
+        large = brute.search(query, 8)
+        small_d = [n.distance for n in small.neighbours]
+        large_d = [n.distance for n in large.neighbours][:3]
+        assert small_d == pytest.approx(large_d)

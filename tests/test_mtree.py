@@ -1,0 +1,118 @@
+"""Tests for the M-tree."""
+
+import pytest
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+from repro.metric.mtree import MTree
+
+
+def brute_force(rankings, query, theta_raw):
+    return {
+        r.rid for r in rankings if footrule_topk_raw(query, r) <= theta_raw
+    }
+
+
+@pytest.fixture(params=[2, 4, 16])
+def tree(request, paper_rankings):
+    return MTree.build(paper_rankings.rankings, footrule_topk_raw, capacity=request.param)
+
+
+class TestConstruction:
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            MTree(footrule_topk_raw, capacity=1)
+
+    def test_rejects_unknown_promotion(self):
+        with pytest.raises(ValueError):
+            MTree(footrule_topk_raw, promotion="best")
+
+    def test_size(self, tree, paper_rankings):
+        assert len(tree) == len(paper_rankings)
+
+    def test_all_rankings_stored(self, tree, paper_rankings):
+        assert {r.rid for r in tree} == {r.rid for r in paper_rankings}
+
+    def test_small_capacity_grows_height(self, paper_rankings):
+        small = MTree.build(paper_rankings.rankings, footrule_topk_raw, capacity=2)
+        large = MTree.build(paper_rankings.rankings, footrule_topk_raw, capacity=64)
+        assert small.height() >= large.height()
+        assert large.height() == 1
+
+    def test_covering_radius_invariant(self, tree):
+        """Every object in a routing entry's subtree lies within its covering radius."""
+
+        def check(node):
+            for entry in node.entries:
+                if entry.subtree is None:
+                    continue
+                for ranking in collect(entry.subtree):
+                    assert footrule_topk_raw(entry.ranking, ranking) <= entry.covering_radius + 1e-9
+                check(entry.subtree)
+
+        def collect(node):
+            output = []
+            for entry in node.entries:
+                if entry.subtree is None:
+                    output.append(entry.ranking)
+                else:
+                    output.extend(collect(entry.subtree))
+            return output
+
+        check(tree._root)
+
+    def test_random_promotion_also_correct(self, paper_rankings, query_k5):
+        tree = MTree.build(
+            paper_rankings.rankings, footrule_topk_raw, capacity=3, promotion="random"
+        )
+        theta_raw = 20
+        expected = brute_force(paper_rankings, query_k5, theta_raw)
+        assert {r.rid for r, _ in tree.range_search(query_k5, theta_raw)} == expected
+
+    def test_construction_distance_calls_positive_for_small_capacity(self, paper_rankings):
+        tree = MTree.build(paper_rankings.rankings, footrule_topk_raw, capacity=2)
+        assert tree.construction_distance_calls > 0
+
+    def test_memory_estimate_positive(self, tree):
+        assert tree.memory_estimate_bytes() > 0
+
+    def test_repr(self, tree):
+        assert "MTree" in repr(tree)
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("theta", [0.0, 0.1, 0.2, 0.3, 0.5, 0.9])
+    def test_matches_brute_force(self, tree, paper_rankings, query_k5, theta):
+        theta_raw = theta * max_footrule_distance(paper_rankings.k)
+        expected = brute_force(paper_rankings, query_k5, theta_raw)
+        assert {r.rid for r, _ in tree.range_search(query_k5, theta_raw)} == expected
+
+    def test_exact_match(self, tree, paper_rankings):
+        results = tree.range_search(paper_rankings[2], 0)
+        assert {r.rid for r, _ in results} == {2}
+
+    def test_distances_reported_correctly(self, tree, paper_rankings, query_k5):
+        for ranking, separation in tree.range_search(query_k5, 40):
+            assert separation == footrule_topk_raw(query_k5, ranking)
+
+    def test_stats_recorded(self, tree, query_k5):
+        stats = SearchStats()
+        tree.range_search(query_k5, 10, stats=stats)
+        assert stats.nodes_visited >= 1
+        assert stats.distance_calls >= 0
+
+    def test_larger_collection_correct(self, nyt_small):
+        tree = MTree.build(nyt_small.rankings, footrule_topk_raw, capacity=8)
+        query = nyt_small[3]
+        theta_raw = 0.2 * max_footrule_distance(nyt_small.k)
+        expected = brute_force(nyt_small, query, theta_raw)
+        assert {r.rid for r, _ in tree.range_search(query, theta_raw)} == expected
+
+    def test_pruning_reduces_distance_calls(self, nyt_small):
+        tree = MTree.build(nyt_small.rankings, footrule_topk_raw, capacity=8)
+        query = nyt_small[3]
+        small_stats, large_stats = SearchStats(), SearchStats()
+        tree.range_search(query, 2, stats=small_stats)
+        tree.range_search(query, max_footrule_distance(nyt_small.k), stats=large_stats)
+        assert small_stats.distance_calls <= large_stats.distance_calls

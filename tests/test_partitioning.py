@@ -1,0 +1,102 @@
+"""Tests for the medoid partitioning strategies."""
+
+import pytest
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.errors import EmptyDatasetError
+from repro.core.ranking import Ranking
+from repro.metric.partitioning import (
+    bktree_partition,
+    random_medoid_partition,
+    validate_partitions,
+)
+
+
+THETA_C_VALUES = [0.0, 0.1, 0.3, 0.5, 0.8]
+
+
+def _raw(theta_c, k):
+    return theta_c * max_footrule_distance(k)
+
+
+@pytest.mark.parametrize("strategy", [bktree_partition, random_medoid_partition])
+class TestPartitioningInvariants:
+    @pytest.mark.parametrize("theta_c", THETA_C_VALUES)
+    def test_partitions_cover_every_ranking_exactly_once(self, strategy, theta_c, small_rankings):
+        partitions = strategy(
+            list(small_rankings.rankings), footrule_topk_raw, _raw(theta_c, small_rankings.k)
+        )
+        validate_partitions(
+            partitions, list(small_rankings.rankings), footrule_topk_raw, _raw(theta_c, small_rankings.k)
+        )
+
+    @pytest.mark.parametrize("theta_c", THETA_C_VALUES)
+    def test_members_within_radius_of_medoid(self, strategy, theta_c, nyt_small):
+        radius = _raw(theta_c, nyt_small.k)
+        partitions = strategy(list(nyt_small.rankings), footrule_topk_raw, radius)
+        for partition in partitions:
+            for member in partition.members:
+                assert footrule_topk_raw(partition.medoid, member) <= radius
+
+    def test_zero_threshold_groups_only_duplicates(self, strategy, small_rankings):
+        partitions = strategy(list(small_rankings.rankings), footrule_topk_raw, 0)
+        for partition in partitions:
+            for member in partition.members:
+                assert member.items == partition.medoid.items
+
+    def test_maximum_threshold_yields_single_partition(self, strategy, small_rankings):
+        radius = max_footrule_distance(small_rankings.k)
+        partitions = strategy(list(small_rankings.rankings), footrule_topk_raw, radius)
+        assert len(partitions) == 1
+        assert len(partitions[0]) == len(small_rankings)
+
+    def test_larger_threshold_gives_no_more_partitions(self, strategy, nyt_small):
+        counts = []
+        for theta_c in (0.05, 0.2, 0.5):
+            partitions = strategy(
+                list(nyt_small.rankings), footrule_topk_raw, _raw(theta_c, nyt_small.k)
+            )
+            counts.append(len(partitions))
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_collection_rejected(self, strategy):
+        with pytest.raises(EmptyDatasetError):
+            strategy([], footrule_topk_raw, 5)
+
+    def test_medoid_is_a_member(self, strategy, small_rankings):
+        partitions = strategy(list(small_rankings.rankings), footrule_topk_raw, 4)
+        for partition in partitions:
+            assert any(member.rid == partition.medoid.rid for member in partition.members)
+
+
+class TestRandomMedoidSpecifics:
+    def test_deterministic_for_fixed_seed(self, small_rankings):
+        first = random_medoid_partition(list(small_rankings.rankings), footrule_topk_raw, 4, seed=5)
+        second = random_medoid_partition(list(small_rankings.rankings), footrule_topk_raw, 4, seed=5)
+        assert [p.medoid.rid for p in first] == [p.medoid.rid for p in second]
+
+    def test_different_seed_may_change_medoids(self, nyt_small):
+        radius = _raw(0.2, nyt_small.k)
+        first = random_medoid_partition(list(nyt_small.rankings), footrule_topk_raw, radius, seed=1)
+        second = random_medoid_partition(list(nyt_small.rankings), footrule_topk_raw, radius, seed=2)
+        # the partitionings stay valid either way; medoid choice is seed-dependent
+        assert {p.medoid.rid for p in first} != {p.medoid.rid for p in second} or len(first) == len(
+            nyt_small
+        )
+
+    def test_requires_rids(self):
+        with pytest.raises(ValueError):
+            random_medoid_partition([Ranking([1, 2, 3])], footrule_topk_raw, 2)
+
+
+class TestValidatePartitions:
+    def test_detects_radius_violation(self, small_rankings):
+        partitions = bktree_partition(list(small_rankings.rankings), footrule_topk_raw, 6)
+        with pytest.raises(ValueError):
+            validate_partitions(partitions, list(small_rankings.rankings), footrule_topk_raw, 0)
+
+    def test_detects_missing_ranking(self, small_rankings):
+        partitions = bktree_partition(list(small_rankings.rankings), footrule_topk_raw, 4)
+        with pytest.raises(ValueError):
+            validate_partitions(partitions[:-1] if len(partitions) > 1 else [],
+                                list(small_rankings.rankings), footrule_topk_raw, 4)

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The strategies generate random top-k rankings over a small item domain so
+overlaps are common; the properties cover the metric axioms, the distance
+bounds, the partitioning invariants, the NRA bounds and end-to-end algorithm
+equivalence on random collections.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    min_overlap_for_threshold,
+    minimal_distance_for_overlap,
+    partial_distance_bounds,
+)
+from repro.core.distances import (
+    footrule_topk,
+    footrule_topk_raw,
+    kendall_tau_topk,
+    max_footrule_distance,
+)
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.coarse_index import CoarseIndex
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.fv_drop import FilterValidateDrop
+from repro.algorithms.listmerge import ListMerge
+from repro.algorithms.blocked_prune import BlockedPruneDrop
+from repro.algorithms.coarse import CoarseSearch
+from repro.metric.bktree import BKTree
+from repro.metric.partitioning import bktree_partition, validate_partitions
+
+# -- strategies -------------------------------------------------------------------
+
+K = 5
+DOMAIN = list(range(20))
+
+
+def ranking_strategy(k: int = K, domain=None):
+    pool = domain if domain is not None else DOMAIN
+    return st.permutations(pool).map(lambda permutation: Ranking(list(permutation)[:k]))
+
+
+def ranking_set_strategy(min_size: int = 2, max_size: int = 20):
+    return st.lists(ranking_strategy(), min_size=min_size, max_size=max_size).map(
+        lambda rankings: RankingSet.from_lists([list(r.items) for r in rankings])
+    )
+
+
+# -- metric axioms -----------------------------------------------------------------
+
+
+class TestFootruleMetricProperties:
+    @given(ranking_strategy(), ranking_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, left, right):
+        assert footrule_topk_raw(left, right) == footrule_topk_raw(right, left)
+
+    @given(ranking_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, ranking):
+        assert footrule_topk_raw(ranking, ranking) == 0
+
+    @given(ranking_strategy(), ranking_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_positivity(self, left, right):
+        distance = footrule_topk_raw(left, right)
+        if left.items == right.items:
+            assert distance == 0
+        else:
+            assert distance > 0
+
+    @given(ranking_strategy(), ranking_strategy(), ranking_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert footrule_topk_raw(a, c) <= footrule_topk_raw(a, b) + footrule_topk_raw(b, c)
+
+    @given(ranking_strategy(), ranking_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_range_and_normalisation(self, left, right):
+        raw = footrule_topk_raw(left, right)
+        assert 0 <= raw <= max_footrule_distance(K)
+        assert 0.0 <= footrule_topk(left, right) <= 1.0
+
+    @given(ranking_strategy(), ranking_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_lower_bound(self, left, right):
+        """L(k, overlap) lower-bounds the distance of any pair with that overlap."""
+        overlap = left.overlap(right)
+        assert footrule_topk_raw(left, right) >= minimal_distance_for_overlap(K, overlap)
+
+    @given(ranking_strategy(), ranking_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_kendall_bounded_by_footrule(self, left, right):
+        assert kendall_tau_topk(left, right) <= footrule_topk_raw(left, right)
+
+
+class TestOverlapBoundProperty:
+    @given(
+        ranking_strategy(),
+        ranking_strategy(),
+        st.floats(min_value=0.0, max_value=float(max_footrule_distance(K))),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_results_have_at_least_omega_overlap(self, query, candidate, theta_raw):
+        """Lemma 2's guarantee: distance <= theta implies overlap >= omega."""
+        omega = min_overlap_for_threshold(K, theta_raw)
+        if footrule_topk_raw(query, candidate) <= theta_raw:
+            assert query.overlap(candidate) >= omega
+
+
+class TestPartialBoundsProperty:
+    @given(ranking_strategy(), ranking_strategy(), st.integers(min_value=0, max_value=K))
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_bracket_true_distance(self, query, candidate, prefix_length):
+        processed = list(query.items)[:prefix_length]
+        seen = {item: candidate.rank_of(item) for item in processed if item in candidate}
+        bounds = partial_distance_bounds(K, query.rank_map(), seen, processed)
+        true_distance = footrule_topk_raw(query, candidate)
+        assert bounds.lower <= true_distance <= bounds.upper
+
+
+class TestBKTreeProperty:
+    @given(ranking_set_strategy(), ranking_strategy(), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_range_search_equals_brute_force(self, rankings, query, theta_raw):
+        tree = BKTree.build(rankings.rankings, footrule_topk_raw)
+        expected = {
+            r.rid for r in rankings if footrule_topk_raw(query, r) <= theta_raw
+        }
+        assert {r.rid for r, _ in tree.range_search(query, theta_raw)} == expected
+
+
+class TestPartitioningProperty:
+    @given(ranking_set_strategy(min_size=3, max_size=25), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_bktree_partitioning_invariants(self, rankings, radius):
+        partitions = bktree_partition(list(rankings.rankings), footrule_topk_raw, radius)
+        validate_partitions(partitions, list(rankings.rankings), footrule_topk_raw, radius)
+
+
+class TestCoarseIndexProperty:
+    @given(
+        ranking_set_strategy(min_size=4, max_size=25),
+        ranking_strategy(),
+        st.sampled_from([0.1, 0.2, 0.3]),
+        st.sampled_from([0.1, 0.3, 0.5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coarse_search_has_no_false_negatives_or_positives(
+        self, rankings, query, theta, theta_c
+    ):
+        coarse = CoarseSearch(rankings, theta_c=theta_c)
+        expected = {
+            r.rid
+            for r in rankings
+            if footrule_topk_raw(query, r) <= theta * max_footrule_distance(K)
+        }
+        assert coarse.search(query, theta).rids == expected
+
+
+class TestAlgorithmEquivalenceProperty:
+    @given(
+        ranking_set_strategy(min_size=4, max_size=30),
+        ranking_strategy(),
+        st.sampled_from([0.05, 0.15, 0.25]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_inverted_index_algorithms_agree(self, rankings, query, theta):
+        reference = FilterValidate(rankings).search(query, theta).rids
+        assert FilterValidateDrop(rankings).search(query, theta).rids == reference
+        assert ListMerge(rankings).search(query, theta).rids == reference
+        assert BlockedPruneDrop(rankings).search(query, theta).rids == reference

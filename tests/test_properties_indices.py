@@ -1,0 +1,93 @@
+"""Additional property-based tests for the metric trees and competitor algorithms.
+
+These complement ``test_properties.py`` (which covers the distance axioms,
+bounds, BK-tree and the main inverted-index algorithms) with randomised
+checks of the M-tree, the VP-tree, AdaptSearch and the Coarse+Drop pipeline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.ranking import Ranking, RankingSet
+from repro.algorithms.adaptsearch import AdaptSearch
+from repro.algorithms.coarse import CoarseDropSearch
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.knn import BKTreeKNN, BruteForceKNN
+from repro.metric.mtree import MTree
+from repro.metric.vptree import VPTree
+
+K = 5
+DOMAIN = list(range(18))
+
+
+def ranking_strategy():
+    return st.permutations(DOMAIN).map(lambda permutation: Ranking(list(permutation)[:K]))
+
+
+def ranking_set_strategy(min_size=3, max_size=24):
+    return st.lists(ranking_strategy(), min_size=min_size, max_size=max_size).map(
+        lambda rankings: RankingSet.from_lists([list(r.items) for r in rankings])
+    )
+
+
+def brute_force(rankings, query, theta_raw):
+    return {r.rid for r in rankings if footrule_topk_raw(query, r) <= theta_raw}
+
+
+class TestMetricTreeProperties:
+    @given(
+        ranking_set_strategy(),
+        ranking_strategy(),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mtree_range_search_equals_brute_force(self, rankings, query, theta_raw, capacity):
+        tree = MTree.build(rankings.rankings, footrule_topk_raw, capacity=capacity)
+        found = {r.rid for r, _ in tree.range_search(query, theta_raw)}
+        assert found == brute_force(rankings, query, theta_raw)
+
+    @given(
+        ranking_set_strategy(),
+        ranking_strategy(),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vptree_range_search_equals_brute_force(self, rankings, query, theta_raw, leaf_size):
+        tree = VPTree.build(rankings.rankings, footrule_topk_raw, leaf_size=leaf_size)
+        found = {r.rid for r, _ in tree.range_search(query, theta_raw)}
+        assert found == brute_force(rankings, query, theta_raw)
+
+
+class TestCompetitorProperties:
+    @given(ranking_set_strategy(), ranking_strategy(), st.sampled_from([0.05, 0.15, 0.25, 0.35]))
+    @settings(max_examples=30, deadline=None)
+    def test_adaptsearch_agrees_with_fv(self, rankings, query, theta):
+        reference = FilterValidate(rankings).search(query, theta).rids
+        assert AdaptSearch(rankings).search(query, theta).rids == reference
+
+    @given(
+        ranking_set_strategy(),
+        ranking_strategy(),
+        st.sampled_from([0.1, 0.2, 0.3]),
+        st.sampled_from([0.05, 0.1, 0.2]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_coarse_drop_agrees_with_fv(self, rankings, query, theta, theta_c):
+        reference = FilterValidate(rankings).search(query, theta).rids
+        assert CoarseDropSearch(rankings, theta_c=theta_c).search(query, theta).rids == reference
+
+
+class TestKnnProperties:
+    @given(ranking_set_strategy(min_size=4), ranking_strategy(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_bktree_knn_matches_brute_force_distances(self, rankings, query, n_neighbours):
+        n_neighbours = min(n_neighbours, len(rankings))
+        brute = BruteForceKNN(rankings).search(query, n_neighbours)
+        tree = BKTreeKNN(rankings).search(query, n_neighbours)
+        brute_distances = [round(n.distance, 9) for n in brute.neighbours]
+        tree_distances = [round(n.distance, 9) for n in tree.neighbours]
+        assert tree_distances == brute_distances

@@ -1,0 +1,93 @@
+"""Tests for query-workload sampling and ranking (de)serialisation."""
+
+import pytest
+
+from repro.core.errors import InvalidRankingError
+from repro.datasets.loader import load_rankings, save_rankings
+from repro.datasets.queries import QueryWorkload, make_workload, sample_queries
+
+
+class TestSampleQueries:
+    def test_number_of_queries(self, nyt_small):
+        assert len(sample_queries(nyt_small, 17)) == 17
+
+    def test_queries_have_collection_ranking_size(self, nyt_small):
+        for query in sample_queries(nyt_small, 5):
+            assert query.size == nyt_small.k
+
+    def test_deterministic_for_fixed_seed(self, nyt_small):
+        first = sample_queries(nyt_small, 10, seed=4)
+        second = sample_queries(nyt_small, 10, seed=4)
+        assert [q.items for q in first] == [q.items for q in second]
+
+    def test_unperturbed_queries_are_indexed_rankings(self, nyt_small):
+        indexed = {ranking.items for ranking in nyt_small}
+        for query in sample_queries(nyt_small, 10, perturb=False):
+            assert query.items in indexed
+
+    def test_perturbed_queries_overlap_their_source(self, nyt_small):
+        """Perturbation only swaps adjacent items, so the item set is preserved."""
+        indexed_domains = [set(ranking.items) for ranking in nyt_small]
+        for query in sample_queries(nyt_small, 10, perturb=True):
+            assert any(set(query.items) == domain for domain in indexed_domains)
+
+    def test_oversampling_with_replacement(self, small_rankings):
+        queries = sample_queries(small_rankings, 3 * len(small_rankings))
+        assert len(queries) == 3 * len(small_rankings)
+
+    def test_rejects_non_positive_count(self, nyt_small):
+        with pytest.raises(ValueError):
+            sample_queries(nyt_small, 0)
+
+    def test_make_workload(self, nyt_small):
+        workload = make_workload("smoke", nyt_small, 5, thetas=(0.1, 0.2))
+        assert isinstance(workload, QueryWorkload)
+        assert len(workload) == 5
+        assert workload.thetas == (0.1, 0.2)
+        assert len(list(iter(workload))) == 5
+
+
+class TestLoader:
+    def test_tsv_roundtrip(self, small_rankings, tmp_path):
+        path = save_rankings(small_rankings, tmp_path / "rankings.tsv")
+        loaded = load_rankings(path)
+        assert [r.items for r in loaded] == [r.items for r in small_rankings]
+
+    def test_json_roundtrip(self, small_rankings, tmp_path):
+        path = save_rankings(small_rankings, tmp_path / "rankings.json", fmt="json")
+        loaded = load_rankings(path)
+        assert [r.items for r in loaded] == [r.items for r in small_rankings]
+
+    def test_format_inferred_from_extension(self, small_rankings, tmp_path):
+        json_path = save_rankings(small_rankings, tmp_path / "data.json", fmt="json")
+        tsv_path = save_rankings(small_rankings, tmp_path / "data.tsv", fmt="tsv")
+        assert len(load_rankings(json_path)) == len(load_rankings(tsv_path))
+
+    def test_tsv_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "with_comments.tsv"
+        path.write_text("# header\n1\t2\t3\n\n4\t5\t6\n", encoding="utf-8")
+        loaded = load_rankings(path)
+        assert len(loaded) == 2
+
+    def test_tsv_rejects_non_integer_items(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tx\t3\n", encoding="utf-8")
+        with pytest.raises(InvalidRankingError):
+            load_rankings(path)
+
+    def test_json_rejects_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"not_rankings\": []}", encoding="utf-8")
+        with pytest.raises(InvalidRankingError):
+            load_rankings(path)
+
+    def test_unknown_format_rejected(self, small_rankings, tmp_path):
+        with pytest.raises(ValueError):
+            save_rankings(small_rankings, tmp_path / "data.bin", fmt="binary")
+        path = save_rankings(small_rankings, tmp_path / "data.tsv")
+        with pytest.raises(ValueError):
+            load_rankings(path, fmt="binary")
+
+    def test_creates_parent_directories(self, small_rankings, tmp_path):
+        path = save_rankings(small_rankings, tmp_path / "nested" / "dir" / "data.tsv")
+        assert path.exists()

@@ -1,0 +1,125 @@
+"""Tests for the algorithm registry and the batch-query extension."""
+
+import pytest
+
+from repro.core.ranking import RankingSet
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.batch import BatchCoarseSearch
+from repro.algorithms.coarse import CoarseSearch
+from repro.algorithms.filter_validate import FilterValidate
+from repro.algorithms.registry import (
+    ALGORITHM_NAMES,
+    COMPARISON_ALGORITHMS,
+    DFC_ALGORITHMS,
+    algorithms_for_names,
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+)
+from repro.datasets.queries import sample_queries
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = set(available_algorithms())
+        expected = {
+            "F&V",
+            "F&V+Drop",
+            "ListMerge",
+            "Blocked+Prune",
+            "Blocked+Prune+Drop",
+            "Coarse",
+            "Coarse+Drop",
+            "AdaptSearch",
+            "MinimalF&V",
+            "BK-tree",
+            "M-tree",
+            "VP-tree",
+        }
+        assert expected <= names
+
+    def test_algorithm_names_tuple_matches_registry(self):
+        assert set(ALGORITHM_NAMES) == set(available_algorithms())
+
+    def test_comparison_and_dfc_subsets_are_registered(self):
+        names = set(available_algorithms())
+        assert set(COMPARISON_ALGORITHMS) <= names
+        assert set(DFC_ALGORITHMS) <= names
+
+    def test_make_algorithm_returns_named_instance(self, small_rankings):
+        algorithm = make_algorithm("F&V", small_rankings)
+        assert isinstance(algorithm, RankingSearchAlgorithm)
+        assert algorithm.name == "F&V"
+
+    def test_make_algorithm_forwards_kwargs(self, small_rankings):
+        coarse = make_algorithm("Coarse", small_rankings, theta_c=0.25)
+        assert isinstance(coarse, CoarseSearch)
+        assert coarse.theta_c == pytest.approx(0.25)
+
+    def test_unknown_name_raises_with_suggestions(self, small_rankings):
+        with pytest.raises(KeyError, match="available"):
+            make_algorithm("NoSuchAlgorithm", small_rankings)
+
+    def test_register_custom_algorithm(self, small_rankings):
+        register_algorithm("custom-fv-test", FilterValidate.build, overwrite=True)
+        algorithm = make_algorithm("custom-fv-test", small_rankings)
+        assert isinstance(algorithm, FilterValidate)
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_algorithm("F&V", FilterValidate.build)
+
+    def test_algorithms_for_names(self, small_rankings):
+        algorithms = algorithms_for_names(["F&V", "ListMerge"], small_rankings)
+        assert [algorithm.name for algorithm in algorithms] == ["F&V", "ListMerge"]
+
+
+class TestBatchCoarseSearch:
+    @pytest.fixture(scope="class")
+    def batch_setup(self, nyt_small):
+        inner = CoarseSearch.build(nyt_small, theta_c=0.2)
+        batch = BatchCoarseSearch(inner, query_theta_c=0.1)
+        queries = sample_queries(nyt_small, 12, seed=5)
+        return batch, queries
+
+    def test_rejects_bad_query_theta_c(self, nyt_small):
+        inner = FilterValidate.build(nyt_small)
+        with pytest.raises(ValueError):
+            BatchCoarseSearch(inner, query_theta_c=1.0)
+
+    def test_one_result_per_query_in_order(self, batch_setup):
+        batch, queries = batch_setup
+        outcome = batch.search_batch(queries, theta=0.15)
+        assert len(outcome) == len(queries)
+        for query, result in zip(queries, outcome.results):
+            assert result.query.items == query.items
+
+    def test_batch_results_match_single_query_processing(self, nyt_small, batch_setup):
+        batch, queries = batch_setup
+        fv = FilterValidate.build(nyt_small)
+        outcome = batch.search_batch(queries, theta=0.15)
+        for query, result in zip(queries, outcome.results):
+            assert result.rids == fv.search(query, 0.15).rids
+
+    def test_groups_do_not_exceed_queries(self, batch_setup):
+        batch, queries = batch_setup
+        outcome = batch.search_batch(queries, theta=0.1)
+        assert 1 <= outcome.group_count <= len(queries)
+
+    def test_stats_aggregated(self, batch_setup):
+        batch, queries = batch_setup
+        outcome = batch.search_batch(queries, theta=0.1)
+        assert outcome.stats.distance_calls > 0
+
+    def test_near_duplicate_queries_share_group_work(self, nyt_small):
+        """A batch of perturbed copies of one ranking collapses into few groups."""
+        inner = CoarseSearch.build(nyt_small, theta_c=0.2)
+        batch = BatchCoarseSearch(inner, query_theta_c=0.3)
+        base_items = list(nyt_small[0].items)
+        queries = [nyt_small[0]]
+        for offset in range(1, 6):
+            items = list(base_items)
+            items[0], items[1] = items[1], items[0]
+            queries.append(type(nyt_small[0])(items))
+        outcome = batch.search_batch(queries, theta=0.1)
+        assert outcome.group_count < len(queries)

@@ -1,0 +1,106 @@
+"""Tests for the SearchStats / SearchResult containers and timers."""
+
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.core.result import SearchMatch, SearchResult
+from repro.core.stats import CountingDistance, PhaseTimer, SearchStats
+
+
+class TestSearchStats:
+    def test_defaults_are_zero(self):
+        stats = SearchStats()
+        assert stats.distance_calls == 0
+        assert stats.postings_scanned == 0
+        assert stats.total_seconds == 0.0
+
+    def test_merge_accumulates_counters(self):
+        first = SearchStats(distance_calls=2, candidates=5, filter_seconds=0.5)
+        second = SearchStats(distance_calls=3, candidates=1, filter_seconds=0.25)
+        first.merge(second)
+        assert first.distance_calls == 5
+        assert first.candidates == 6
+        assert first.filter_seconds == pytest.approx(0.75)
+
+    def test_merge_accumulates_extra(self):
+        first = SearchStats(extra={"prefix_length": 2.0})
+        second = SearchStats(extra={"prefix_length": 3.0, "other": 1.0})
+        first.merge(second)
+        assert first.extra == {"prefix_length": 5.0, "other": 1.0}
+
+    def test_as_dict_contains_all_counters(self):
+        stats = SearchStats(distance_calls=7, blocks_skipped=2, extra={"x": 1.0})
+        payload = stats.as_dict()
+        assert payload["distance_calls"] == 7
+        assert payload["blocks_skipped"] == 2
+        assert payload["x"] == 1.0
+
+    def test_phase_timer_accumulates(self):
+        stats = SearchStats()
+        with PhaseTimer(stats, "filter_seconds"):
+            pass
+        first = stats.filter_seconds
+        with PhaseTimer(stats, "filter_seconds"):
+            pass
+        assert stats.filter_seconds >= first >= 0.0
+
+    def test_phase_timer_rejects_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            PhaseTimer(SearchStats(), "nonexistent_seconds")
+
+    def test_counting_distance_wrapper(self):
+        stats = SearchStats()
+        counted = CountingDistance(lambda a, b: 42, stats)
+        assert counted(None, None) == 42
+        assert counted(None, None) == 42
+        assert stats.distance_calls == 2
+
+
+class TestSearchResult:
+    def test_add_and_len(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.1)
+        result.add(0, Ranking([1, 2]), 0.0)
+        assert len(result) == 1
+
+    def test_finalize_sorts_by_distance(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.5)
+        result.add(3, Ranking([5, 6]), 0.4)
+        result.add(1, Ranking([1, 2]), 0.0)
+        result.finalize()
+        assert [match.rid for match in result] == [1, 3]
+
+    def test_finalize_deduplicates_keeping_smallest_distance(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.5)
+        result.add(1, Ranking([1, 2]), 0.3)
+        result.add(1, Ranking([1, 2]), 0.1)
+        result.finalize()
+        assert len(result) == 1
+        assert result.matches[0].distance == pytest.approx(0.1)
+
+    def test_finalize_updates_result_counter(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.5)
+        result.add(1, Ranking([1, 2]), 0.1)
+        result.finalize()
+        assert result.stats.results == 1
+
+    def test_rids_and_distances(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.5)
+        result.add(4, Ranking([3, 4]), 0.2)
+        result.finalize()
+        assert result.rids == {4}
+        assert result.distances() == {4: 0.2}
+
+    def test_contains(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.5)
+        result.add(4, Ranking([3, 4]), 0.2)
+        assert 4 in result
+        assert 5 not in result
+
+    def test_match_ordering(self):
+        near = SearchMatch(distance=0.1, rid=7, ranking=Ranking([1, 2]))
+        far = SearchMatch(distance=0.9, rid=2, ranking=Ranking([3, 4]))
+        assert near < far
+
+    def test_repr_mentions_algorithm(self):
+        result = SearchResult(query=Ranking([1, 2]), theta=0.5, algorithm="F&V")
+        assert "F&V" in repr(result)

@@ -1,0 +1,75 @@
+"""Tests for the VP-tree."""
+
+import pytest
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.ranking import Ranking
+from repro.core.stats import SearchStats
+from repro.metric.vptree import VPTree
+
+
+def brute_force(rankings, query, theta_raw):
+    return {r.rid for r in rankings if footrule_topk_raw(query, r) <= theta_raw}
+
+
+@pytest.fixture(params=[1, 4, 16])
+def tree(request, paper_rankings):
+    return VPTree.build(paper_rankings.rankings, footrule_topk_raw, leaf_size=request.param)
+
+
+class TestConstruction:
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            VPTree(footrule_topk_raw, leaf_size=0)
+
+    def test_size(self, tree, paper_rankings):
+        assert len(tree) == len(paper_rankings)
+
+    def test_empty_tree(self):
+        tree = VPTree.build([], footrule_topk_raw)
+        assert len(tree) == 0
+        assert tree.range_search(Ranking([1, 2, 3]), 100) == []
+
+    def test_memory_estimate_positive(self, tree):
+        assert tree.memory_estimate_bytes() > 0
+
+    def test_construction_distance_calls_counted(self, paper_rankings):
+        tree = VPTree.build(paper_rankings.rankings, footrule_topk_raw, leaf_size=1)
+        assert tree.construction_distance_calls > 0
+
+    def test_repr(self, tree):
+        assert "VPTree" in repr(tree)
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("theta", [0.0, 0.1, 0.2, 0.3, 0.5, 0.9])
+    def test_matches_brute_force(self, tree, paper_rankings, query_k5, theta):
+        theta_raw = theta * max_footrule_distance(paper_rankings.k)
+        expected = brute_force(paper_rankings, query_k5, theta_raw)
+        assert {r.rid for r, _ in tree.range_search(query_k5, theta_raw)} == expected
+
+    def test_exact_match(self, tree, paper_rankings):
+        results = tree.range_search(paper_rankings[5], 0)
+        assert {r.rid for r, _ in results} == {5}
+
+    def test_distances_reported_correctly(self, tree, paper_rankings, query_k5):
+        for ranking, separation in tree.range_search(query_k5, 40):
+            assert separation == footrule_topk_raw(query_k5, ranking)
+
+    def test_larger_collection_correct(self, yago_small):
+        tree = VPTree.build(yago_small.rankings, footrule_topk_raw, leaf_size=4)
+        query = yago_small[7]
+        theta_raw = 0.25 * max_footrule_distance(yago_small.k)
+        expected = brute_force(yago_small, query, theta_raw)
+        assert {r.rid for r, _ in tree.range_search(query, theta_raw)} == expected
+
+    def test_stats_recorded(self, tree, query_k5):
+        stats = SearchStats()
+        tree.range_search(query_k5, 10, stats=stats)
+        assert stats.nodes_visited >= 1
+
+    def test_duplicate_heavy_collection(self):
+        """All-equidistant collections degenerate into buckets but stay correct."""
+        rankings = [Ranking([1, 2, 3], rid=i) for i in range(10)]
+        tree = VPTree.build(rankings, footrule_topk_raw, leaf_size=2)
+        assert len(tree.range_search(Ranking([1, 2, 3]), 0)) == 10
