@@ -1,0 +1,94 @@
+"""Throughput of the query-service engine: QPS vs shard count and cache.
+
+Serves the shared NYT-like query workload through
+:class:`repro.service.QueryEngine` for every combination of shard count
+{1, 2, 4} and result cache on/off.  The per-shard indices are built and the
+planner's exploration is completed in an untimed warm-up pass, so the timed
+region measures steady-state serving; ``extra_info`` carries the derived
+queries-per-second figure and the observed cache hit rate.
+
+Run under pytest-benchmark as part of the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import QueryEngine
+
+from _utils import run_once
+
+#: Shard counts the ROADMAP's scaling story sweeps.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Timed passes over the workload (with the cache on, passes after the
+#: warm-up are answered from the cache).
+PASSES = 2
+
+
+def _serve_workload(engine: QueryEngine, queries, theta: float) -> int:
+    served = 0
+    for _ in range(PASSES):
+        served += len(engine.batch_query(queries, theta))
+    return served
+
+
+@pytest.mark.benchmark(group="service-throughput")
+@pytest.mark.parametrize("cache_mode", ["cache-off", "cache-on"])
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_service_throughput(benchmark, nyt_setup, shards, cache_mode):
+    """Steady-state engine QPS for one (shard count, cache) configuration."""
+    capacity = 1024 if cache_mode == "cache-on" else 0
+    theta = 0.2
+    with QueryEngine(nyt_setup.rankings, num_shards=shards, cache_capacity=capacity) as engine:
+        engine.batch_query(nyt_setup.queries, theta)  # warm-up: builds + exploration
+
+        start = time.perf_counter()
+        served = run_once(benchmark, _serve_workload, engine, nyt_setup.queries, theta)
+        elapsed = time.perf_counter() - start
+
+        totals = engine.stats()
+        benchmark.extra_info["shards"] = shards
+        benchmark.extra_info["cache"] = cache_mode
+        benchmark.extra_info["requests"] = served
+        benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+        benchmark.extra_info["cache_hit_rate"] = round(totals.cache.hit_rate, 3)
+        benchmark.extra_info["algorithm_picks"] = dict(totals.algorithm_counts)
+
+
+def main() -> None:
+    """Standalone report: QPS for shard counts {1, 2, 4} x cache on/off."""
+    from repro.datasets.nyt import nyt_like_dataset
+    from repro.datasets.queries import sample_queries
+
+    rankings = nyt_like_dataset(n=800, k=10)
+    queries = sample_queries(rankings, 30, seed=3)
+    theta = 0.2
+    print(f"service throughput on NYT-like n={len(rankings)}, k={rankings.k}, "
+          f"{len(queries)} queries x {PASSES} passes, theta={theta}")
+    print(f"{'shards':>6s}  {'cache':>9s}  {'QPS':>8s}  {'hit rate':>8s}  picks")
+    for shards in SHARD_COUNTS:
+        for cache_mode, capacity in (("cache-off", 0), ("cache-on", 1024)):
+            with QueryEngine(rankings, num_shards=shards, cache_capacity=capacity) as engine:
+                engine.batch_query(queries, theta)
+                start = time.perf_counter()
+                served = _serve_workload(engine, queries, theta)
+                elapsed = time.perf_counter() - start
+                totals = engine.stats()
+                picks = ", ".join(
+                    f"{name} x{count}"
+                    for name, count in sorted(totals.algorithm_counts.items())
+                )
+                qps = served / elapsed if elapsed > 0 else float("inf")
+                print(
+                    f"{shards:>6d}  {cache_mode:>9s}  {qps:>8.1f}  "
+                    f"{totals.cache.hit_rate:>8.1%}  {picks}"
+                )
+
+
+if __name__ == "__main__":
+    main()

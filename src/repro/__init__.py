@@ -49,6 +49,14 @@ from repro.datasets import (
     save_rankings,
     yago_like_dataset,
 )
+from repro.service import (
+    AdaptivePlanner,
+    EngineResponse,
+    LRUResultCache,
+    QueryEngine,
+    QueryStats,
+    ShardedIndex,
+)
 
 __version__ = "1.0.0"
 
@@ -77,5 +85,11 @@ __all__ = [
     "sample_queries",
     "save_rankings",
     "load_rankings",
+    "QueryEngine",
+    "EngineResponse",
+    "QueryStats",
+    "ShardedIndex",
+    "AdaptivePlanner",
+    "LRUResultCache",
     "__version__",
 ]

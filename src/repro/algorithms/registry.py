@@ -53,6 +53,18 @@ COMPARISON_ALGORITHMS: tuple[str, ...] = (
     FilterValidateDrop.name,
 )
 
+#: Default candidate set of the service-layer planner (``repro.service``):
+#: one representative per index family that builds per shard without
+#: per-query offline work (Minimal F&V needs its oracle lists materialised
+#: per query, so it is only usable through an explicit override).
+SERVICE_ALGORITHMS: tuple[str, ...] = (
+    FilterValidate.name,
+    ListMerge.name,
+    AdaptSearch.name,
+    CoarseDropSearch.name,
+    BKTreeSearch.name,
+)
+
 #: The subset whose distance-function calls are reported in Figure 10.
 DFC_ALGORITHMS: tuple[str, ...] = (
     FilterValidate.name,

@@ -11,6 +11,9 @@ Subcommands
 ``compare``
     Run the full algorithm comparison on a dataset preset and print the
     resulting table (a small-scale Figure 8/9).
+``batch-query``
+    Serve a query workload through the sharded query engine (planner +
+    result cache) and print per-request decisions plus throughput totals.
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -19,12 +22,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.analysis.report import format_table
 from repro.core.ranking import Ranking
 from repro.algorithms.registry import COMPARISON_ALGORITHMS, available_algorithms, make_algorithm
 from repro.datasets.loader import load_rankings, save_rankings
+from repro.datasets.queries import sample_queries
+from repro.service import QueryEngine
 from repro.datasets.nyt import nyt_like_dataset
 from repro.datasets.yago import yago_like_dataset
 from repro.experiments import figures as figure_module
@@ -74,6 +80,31 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--k", type=int, default=10)
     compare.add_argument("--queries", type=int, default=30)
     compare.add_argument("--thetas", default="0.1,0.2,0.3", help="comma-separated thresholds")
+
+    batch = subparsers.add_parser(
+        "batch-query", help="serve a query workload through the sharded engine"
+    )
+    batch.add_argument("rankings", help="ranking file produced by 'generate' (or your own TSV)")
+    batch.add_argument("--queries", type=int, default=50, help="queries sampled from the collection")
+    batch.add_argument("--seed", type=int, default=3, help="query sampling seed")
+    batch.add_argument("--theta", type=float, default=0.2, help="normalised distance threshold")
+    batch.add_argument("--shards", type=int, default=2, help="number of index shards")
+    batch.add_argument(
+        "--algorithm",
+        default=None,
+        # Minimal F&V needs its oracle lists materialised per query and
+        # cannot serve ad-hoc traffic, so it is not offered here.
+        choices=[name for name in available_algorithms() if name != "MinimalF&V"],
+        help="pin one algorithm instead of letting the planner choose",
+    )
+    batch.add_argument("--cache-capacity", type=int, default=1024, help="result-cache entries")
+    batch.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    batch.add_argument(
+        "--repeat", type=int, default=1, help="passes over the batch (later passes hit the cache)"
+    )
+    batch.add_argument(
+        "--show", type=int, default=10, help="print the first N per-request planner decisions"
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", choices=sorted(_FIGURES))
@@ -126,6 +157,63 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch_query(args: argparse.Namespace) -> int:
+    if args.queries <= 0 or args.repeat <= 0:
+        print("error: --queries and --repeat must be positive", file=sys.stderr)
+        return 2
+    if args.shards <= 0:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+    if args.cache_capacity < 0:
+        print("error: --cache-capacity must be non-negative", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.theta < 1.0:
+        print("error: --theta must lie in [0, 1)", file=sys.stderr)
+        return 2
+    rankings = load_rankings(args.rankings)
+    queries = sample_queries(rankings, args.queries, seed=args.seed)
+    algorithms = None if args.algorithm is None else [args.algorithm]
+    capacity = 0 if args.no_cache else args.cache_capacity
+    with QueryEngine(
+        rankings, num_shards=args.shards, algorithms=algorithms, cache_capacity=capacity
+    ) as engine:
+        shown = 0
+        start = time.perf_counter()
+        for round_number in range(args.repeat):
+            for response in engine.batch_query(queries, args.theta):
+                stats = response.stats
+                if shown < args.show:
+                    shown += 1
+                    origin = "cache" if stats.cache_hit else stats.planner_source
+                    print(
+                        f"  [{shown:3d}] {stats.algorithm:12s} via {origin:8s} "
+                        f"results={stats.results:<4d} "
+                        f"latency={stats.latency_seconds * 1000.0:7.2f}ms"
+                    )
+        elapsed = time.perf_counter() - start
+        totals = engine.stats()
+        requests = totals.requests
+        qps = requests / elapsed if elapsed > 0 else float("inf")
+        planner_names = ", ".join(engine.planner.candidates)
+        print(
+            f"\nserved {requests} requests in {elapsed:.3f}s over "
+            f"{engine.num_shards} shard(s): {qps:.1f} QPS"
+        )
+        print(f"planner candidates: {planner_names}")
+        picks = ", ".join(
+            f"{name} x{count}" for name, count in sorted(totals.algorithm_counts.items())
+        )
+        print(f"algorithm picks: {picks or 'none (all cache hits)'}")
+        cache_stats = totals.cache
+        cache_state = "off" if capacity == 0 else f"capacity {capacity}"
+        print(
+            f"cache ({cache_state}): {cache_stats.hits} hits / {cache_stats.lookups} lookups "
+            f"(hit rate {cache_stats.hit_rate:.1%})"
+        )
+        print(f"mean latency: {totals.mean_latency_seconds * 1000.0:.2f}ms")
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     thetas = [float(token) for token in args.thetas.split(",") if token.strip()]
     setup = ExperimentSetup.create(
@@ -150,6 +238,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_query(args)
     if args.command == "compare":
         return _command_compare(args)
+    if args.command == "batch-query":
+        return _command_batch_query(args)
     if args.command == "figure":
         _FIGURES[args.number](args)
         return 0

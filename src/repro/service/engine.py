@@ -1,0 +1,323 @@
+"""The request layer: cache -> planner -> sharded fan-out, with stats.
+
+:class:`QueryEngine` is the one object a serving deployment holds onto.  It
+owns a :class:`~repro.service.sharding.ShardedIndex`, an
+:class:`~repro.service.planner.AdaptivePlanner`, and an
+:class:`~repro.service.cache.LRUResultCache`, and exposes three request
+entry points:
+
+``query(query, theta)``
+    One similarity range query.  Cache lookup first; on a miss the planner
+    picks the algorithm, the shards answer concurrently, the observation
+    feeds the planner, and the answer is cached.
+``batch_query(queries, theta)``
+    A batch of range queries, answered through the same path (duplicate
+    queries inside a batch hit the cache naturally).
+``knn(query, n_neighbours)``
+    One exact k-nearest-neighbour query over the sharded collection.
+
+Every response carries a :class:`QueryStats` describing what the engine did
+for that request — cache hit or miss, the plan and where it came from,
+shard count, latency, and the merged algorithm counters — and
+:meth:`QueryEngine.stats` aggregates the running totals a dashboard would
+scrape.
+
+``rebuild(num_shards=...)`` repartitions the collection online and
+invalidates the cache, the seam later PRs (persistence, replication,
+async backends) build on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import Optional, Union
+
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.algorithms.knn import KnnResult
+from repro.service.cache import CacheStats, LRUResultCache, knn_fingerprint, range_fingerprint
+from repro.service.planner import AdaptivePlanner, PlanDecision
+from repro.service.sharding import ShardedIndex
+
+#: Nominal threshold used to bucket planner statistics for k-NN requests
+#: (k-NN has no client-supplied theta; expansion starts near this radius).
+_KNN_PLANNING_THETA = 0.1
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """What the engine did for one request."""
+
+    kind: str
+    algorithm: str
+    cache_hit: bool
+    latency_seconds: float
+    shard_count: int
+    planner_source: str
+    theta: float = 0.0
+    n_neighbours: int = 0
+    results: int = 0
+    distance_calls: int = 0
+    candidates: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary view for logs and reports."""
+        return {
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "cache_hit": self.cache_hit,
+            "latency_seconds": self.latency_seconds,
+            "shard_count": self.shard_count,
+            "planner_source": self.planner_source,
+            "theta": self.theta,
+            "n_neighbours": self.n_neighbours,
+            "results": self.results,
+            "distance_calls": self.distance_calls,
+            "candidates": self.candidates,
+        }
+
+
+@dataclass(frozen=True)
+class EngineResponse:
+    """One answered request: the result plus the per-request stats."""
+
+    result: Union[SearchResult, KnnResult]
+    stats: QueryStats
+
+
+@dataclass
+class EngineStats:
+    """Running totals across the engine's lifetime."""
+
+    queries: int = 0
+    knn_queries: int = 0
+    cache_hits: int = 0
+    rebuilds: int = 0
+    total_latency_seconds: float = 0.0
+    algorithm_counts: dict[str, int] = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def requests(self) -> int:
+        """All requests served (range + knn)."""
+        return self.queries + self.knn_queries
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Average request latency (0.0 before any traffic)."""
+        if self.requests == 0:
+            return 0.0
+        return self.total_latency_seconds / self.requests
+
+
+class QueryEngine:
+    """Sharded, planned, cached query service over a ranking collection.
+
+    Parameters
+    ----------
+    rankings:
+        The collection to serve.
+    num_shards:
+        Number of index shards (1 = single-index serving).
+    algorithms:
+        Candidate algorithm names the planner chooses from; defaults to the
+        registry's service set.  A single-element list pins the algorithm.
+    cache_capacity:
+        LRU capacity; ``0`` disables result caching.
+    planner / cache / sharded:
+        Pre-built components, for tests and custom deployments.
+
+    Examples
+    --------
+    >>> from repro.core.ranking import RankingSet
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [1, 3, 2], [7, 8, 9], [2, 1, 3]])
+    >>> engine = QueryEngine(rankings, num_shards=2, algorithms=["F&V"])
+    >>> response = engine.query(Ranking([1, 2, 3]), theta=0.3)
+    >>> sorted(response.result.rids), response.stats.cache_hit
+    ([0, 1, 3], False)
+    >>> engine.query(Ranking([1, 2, 3]), theta=0.3).stats.cache_hit
+    True
+    """
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        num_shards: int = 1,
+        algorithms: Optional[list[str]] = None,
+        cache_capacity: int = 1024,
+        planner: Optional[AdaptivePlanner] = None,
+        cache: Optional[LRUResultCache] = None,
+        sharded: Optional[ShardedIndex] = None,
+    ) -> None:
+        self._sharded = sharded if sharded is not None else ShardedIndex.build(rankings, num_shards)
+        self._planner = (
+            planner
+            if planner is not None
+            else AdaptivePlanner(self._sharded.rankings, candidates=algorithms)
+        )
+        self._cache = cache if cache is not None else LRUResultCache(cache_capacity)
+        self._stats = EngineStats(cache=self._cache.stats)
+
+    # -- component access ---------------------------------------------------------
+
+    @property
+    def rankings(self) -> RankingSet:
+        """The served collection."""
+        return self._sharded.rankings
+
+    @property
+    def sharded_index(self) -> ShardedIndex:
+        """The partitioned index behind the engine."""
+        return self._sharded
+
+    @property
+    def planner(self) -> AdaptivePlanner:
+        """The per-query planner."""
+        return self._planner
+
+    @property
+    def cache(self) -> LRUResultCache:
+        """The result cache."""
+        return self._cache
+
+    @property
+    def num_shards(self) -> int:
+        """Current shard count."""
+        return self._sharded.num_shards
+
+    def stats(self) -> EngineStats:
+        """The engine's running totals (live object, do not mutate)."""
+        return self._stats
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def rebuild(self, num_shards: Optional[int] = None) -> None:
+        """Repartition the shards and invalidate every cached result."""
+        self._sharded.rebuild(num_shards=num_shards)
+        self._cache.invalidate()
+        self._stats.rebuilds += 1
+
+    def close(self) -> None:
+        """Release the fan-out thread pool."""
+        self._sharded.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request entry points ------------------------------------------------------
+
+    def query(
+        self, query: Ranking, theta: float, algorithm: Optional[str] = None
+    ) -> EngineResponse:
+        """Answer one similarity range query (``algorithm`` pins the plan)."""
+        start = time.perf_counter()
+        fingerprint = range_fingerprint(query, theta)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return self._record(
+                kind="range", result=cached, decision=None, cache_hit=True,
+                latency=time.perf_counter() - start, theta=theta,
+            )
+        decision = self._plan(query, theta, kind="range", algorithm=algorithm)
+        result = self._sharded.range_query(query, theta, decision.algorithm, **decision.params)
+        latency = time.perf_counter() - start
+        self._planner.observe(decision, latency, candidates=float(result.stats.candidates))
+        self._cache.put(fingerprint, result)
+        return self._record(
+            kind="range", result=result, decision=decision, cache_hit=False,
+            latency=latency, theta=theta,
+        )
+
+    def batch_query(
+        self, queries: Sequence[Ranking], theta: float, algorithm: Optional[str] = None
+    ) -> list[EngineResponse]:
+        """Answer a batch of range queries through the full serving path."""
+        return [self.query(query, theta, algorithm=algorithm) for query in queries]
+
+    def knn(
+        self, query: Ranking, n_neighbours: int, algorithm: Optional[str] = None
+    ) -> EngineResponse:
+        """Answer one exact k-nearest-neighbour query."""
+        start = time.perf_counter()
+        fingerprint = knn_fingerprint(query, n_neighbours)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return self._record(
+                kind="knn", result=cached, decision=None, cache_hit=True,
+                latency=time.perf_counter() - start, n_neighbours=n_neighbours,
+            )
+        decision = self._plan(query, _KNN_PLANNING_THETA, kind="knn", algorithm=algorithm)
+        result = self._sharded.knn(query, n_neighbours, decision.algorithm, **decision.params)
+        latency = time.perf_counter() - start
+        self._planner.observe(decision, latency, candidates=float(result.stats.candidates))
+        self._cache.put(fingerprint, result)
+        return self._record(
+            kind="knn", result=result, decision=decision, cache_hit=False,
+            latency=latency, n_neighbours=n_neighbours,
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _plan(
+        self, query: Ranking, theta: float, kind: str, algorithm: Optional[str]
+    ) -> PlanDecision:
+        if algorithm is None:
+            return self._planner.plan(query, theta, kind=kind)
+        return PlanDecision(
+            algorithm=algorithm,
+            params=self._planner.params_for(algorithm, theta),
+            source="pinned",
+            kind=kind,
+            theta_bucket=self._planner.bucket(theta),
+        )
+
+    def _record(
+        self,
+        kind: str,
+        result: Union[SearchResult, KnnResult],
+        decision: Optional[PlanDecision],
+        cache_hit: bool,
+        latency: float,
+        theta: float = 0.0,
+        n_neighbours: int = 0,
+    ) -> EngineResponse:
+        if kind == "knn":
+            self._stats.knn_queries += 1
+            result_count = len(result.neighbours)  # type: ignore[union-attr]
+        else:
+            self._stats.queries += 1
+            result_count = len(result)
+        if cache_hit:
+            self._stats.cache_hits += 1
+            algorithm = getattr(result, "algorithm", "") or "cached"
+        else:
+            assert decision is not None
+            algorithm = decision.algorithm
+            counts = self._stats.algorithm_counts
+            counts[algorithm] = counts.get(algorithm, 0) + 1
+        self._stats.total_latency_seconds += latency
+        stats = QueryStats(
+            kind=kind,
+            algorithm=algorithm,
+            cache_hit=cache_hit,
+            latency_seconds=latency,
+            shard_count=self._sharded.num_shards,
+            planner_source=decision.source if decision is not None else "cache",
+            theta=theta,
+            n_neighbours=n_neighbours,
+            results=result_count,
+            distance_calls=result.stats.distance_calls,
+            candidates=result.stats.candidates,
+        )
+        return EngineResponse(result=result, stats=stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(n={len(self.rankings)}, shards={self.num_shards}, "
+            f"requests={self._stats.requests})"
+        )

@@ -1,0 +1,294 @@
+"""Adaptive per-query planner: cost-model priors + runtime EWMAs.
+
+Choosing the right algorithm per query is the paper's Section-5 theme — its
+cost model picks the coarse index's partitioning threshold offline.  The
+service layer generalises that decision to *which algorithm at all*, per
+query, using two signal sources:
+
+1. **Model priors** (cold start).  Before any traffic is seen, candidates
+   are ranked by analytical estimates in the cost model's abstract units:
+   the coarse variants are priced by :class:`repro.core.cost_model.CostModel`
+   (which also recommends their ``theta_C``), and the inverted-index and
+   metric-tree families by the same building blocks the model is made of —
+   expected postings under the fitted Zipf law and expected result counts
+   under the empirical distance CDF.
+
+2. **Runtime statistics** (steady state).  Every executed plan reports its
+   observed latency and candidate count back via :meth:`observe`; the
+   planner keeps an exponentially weighted moving average per
+   ``(kind, algorithm, theta bucket)``.  Once every candidate has been tried
+   in a bucket, planning switches from the prior to the measured EWMAs, so
+   the planner converges on whatever is actually fastest on this machine and
+   this workload — the priors only order the initial exploration.
+
+Thresholds are bucketed to one decimal (the paper sweeps 0.1/0.2/0.3), so
+statistics pool across queries with nearby radii.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cost_model import CostModel, CostModelInputs, generalized_harmonic, zipf_frequency
+from repro.core.ranking import Ranking, RankingSet
+from repro.analysis.stats import cost_model_inputs_for
+
+#: Algorithms priced by the paper's coarse-index cost model.
+_COARSE_ALGORITHMS = frozenset({"Coarse", "Coarse+Drop"})
+
+#: Metric-tree algorithms (no inverted-index filtering phase).
+_METRIC_ALGORITHMS = frozenset({"BK-tree", "M-tree", "VP-tree"})
+
+#: Per-family discount on the validation work relative to plain F&V, a
+#: coarse stand-in for each optimisation's pruning power.  Only the relative
+#: order matters: the priors merely sequence the cold-start exploration.
+_VALIDATION_FACTOR = {
+    "F&V": 1.0,
+    "F&V+Drop": 0.75,
+    "AdaptSearch": 0.6,
+    "Blocked+Prune": 0.6,
+    "Blocked+Prune+Drop": 0.45,
+    "ListMerge": 0.0,
+    "MinimalF&V": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's verdict for one query.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the chosen algorithm.
+    params:
+        Extra build keyword arguments (``theta_c`` for the coarse variants).
+    predicted_cost:
+        The score the decision was based on — model units when
+        ``source == "model"``, seconds when ``source == "observed"``.
+    source:
+        ``"model"`` while the bucket is still being explored, ``"observed"``
+        once every candidate has latency statistics there.
+    kind:
+        Query kind the plan is for (``"range"`` or ``"knn"``).
+    theta_bucket:
+        The bucket whose statistics backed the decision.
+    """
+
+    algorithm: str
+    params: dict = field(default_factory=dict)
+    predicted_cost: float = 0.0
+    source: str = "model"
+    kind: str = "range"
+    theta_bucket: float = 0.0
+
+
+@dataclass
+class _Ewma:
+    """Latency/candidate moving averages for one (kind, algorithm, bucket)."""
+
+    count: int = 0
+    latency_seconds: float = 0.0
+    candidates: float = 0.0
+
+    def update(self, latency_seconds: float, candidates: float, alpha: float) -> None:
+        if self.count == 0:
+            self.latency_seconds = latency_seconds
+            self.candidates = candidates
+        else:
+            self.latency_seconds += alpha * (latency_seconds - self.latency_seconds)
+            self.candidates += alpha * (candidates - self.candidates)
+        self.count += 1
+
+
+class AdaptivePlanner:
+    """Pick the algorithm (and parameters) for each query.
+
+    Parameters
+    ----------
+    rankings:
+        The served collection; its size, Zipf skew, and empirical distance
+        distribution feed the model priors.
+    candidates:
+        Algorithm names the planner may choose from (defaults to the
+        registry's :data:`~repro.algorithms.registry.SERVICE_ALGORITHMS`).
+    smoothing:
+        EWMA weight ``alpha`` of the newest observation, in ``(0, 1]``.
+    sample_pairs:
+        Pairwise distance samples drawn when fitting the empirical CDF
+        (kept small: the planner needs the CDF's shape, not its tails).
+    model_inputs:
+        Pre-assembled :class:`CostModelInputs`, to skip the sampling pass
+        (tests, or an engine that already calibrated a model).
+    """
+
+    def __init__(
+        self,
+        rankings: RankingSet,
+        candidates: Optional[list[str]] = None,
+        smoothing: float = 0.3,
+        sample_pairs: int = 2000,
+        model_inputs: Optional[CostModelInputs] = None,
+    ) -> None:
+        from repro.algorithms.registry import SERVICE_ALGORITHMS
+
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in (0, 1], got {smoothing}")
+        self._rankings = rankings
+        self._candidates = list(candidates) if candidates is not None else list(SERVICE_ALGORITHMS)
+        if not self._candidates:
+            raise ValueError("planner needs at least one candidate algorithm")
+        self._smoothing = smoothing
+        self._sample_pairs = sample_pairs
+        self._inputs = model_inputs
+        self._model: Optional[CostModel] = None
+        self._zipf_hit_mass: Optional[float] = None
+        self._theta_c_cache: dict[float, float] = {}
+        self._ewmas: dict[tuple[str, str, float], _Ewma] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def candidates(self) -> list[str]:
+        """The algorithm names the planner chooses between."""
+        return list(self._candidates)
+
+    # -- model priors ----------------------------------------------------------------
+
+    @property
+    def model_inputs(self) -> CostModelInputs:
+        """Dataset statistics backing the priors (assembled on first use)."""
+        if self._inputs is None:
+            self._inputs = cost_model_inputs_for(self._rankings, sample_pairs=self._sample_pairs)
+        return self._inputs
+
+    def _cost_model(self) -> CostModel:
+        if self._model is None:
+            self._model = CostModel(self.model_inputs)
+        return self._model
+
+    def _hit_mass(self) -> float:
+        """``sum_i f(i)^2``: probability a random query item hits a random posting."""
+        if self._zipf_hit_mass is None:
+            inputs = self.model_inputs
+            harmonic = generalized_harmonic(inputs.v, inputs.zipf_s)
+            self._zipf_hit_mass = sum(
+                zipf_frequency(i, inputs.zipf_s, inputs.v, harmonic) ** 2
+                for i in range(1, inputs.v + 1)
+            )
+        return self._zipf_hit_mass
+
+    def recommended_theta_c(self, theta: float) -> float:
+        """The cost model's sweet-spot ``theta_C`` for this threshold bucket."""
+        bucket = self.bucket(theta)
+        cached = self._theta_c_cache.get(bucket)
+        if cached is None:
+            cached = self._cost_model().recommend_theta_c(min(bucket, 0.9)).theta_c
+            self._theta_c_cache[bucket] = cached
+        return cached
+
+    def prior_cost(self, algorithm: str, theta: float) -> float:
+        """Analytical cost estimate (model units) for one candidate.
+
+        Coarse variants use the paper's cost model verbatim.  Inverted-index
+        variants are priced as merge(postings) + validation, with the
+        expected postings derived from the fitted Zipf law (the same
+        Equation-5 idiom the cost model uses for medoid lists).  Metric
+        trees pay one distance call per visited node, estimated as the
+        expected result count plus a traversal overhead.
+        """
+        inputs = self.model_inputs
+        if algorithm in _COARSE_ALGORITHMS:
+            model = self._cost_model()
+            theta_c = self.recommended_theta_c(theta)
+            return model.estimate(min(theta, 0.9), theta_c).total
+        expected_results = inputs.distance_cdf(theta) * inputs.n
+        if algorithm in _METRIC_ALGORITHMS:
+            # visited nodes shrink with theta but never below a root-to-leaf core
+            traversal = inputs.n * max(inputs.distance_cdf(theta + 0.2), 0.05)
+            return (expected_results + traversal) * inputs.cost_footrule
+        postings = inputs.k * (inputs.n * inputs.k) * self._hit_mass()
+        factor = _VALIDATION_FACTOR.get(algorithm, 1.0)
+        return inputs.cost_merge(inputs.k, postings) + factor * postings * inputs.cost_footrule
+
+    def params_for(self, algorithm: str, theta: float) -> dict:
+        """Build parameters the plan should carry (``theta_c`` for coarse)."""
+        if algorithm in _COARSE_ALGORITHMS:
+            return {"theta_c": self.recommended_theta_c(theta)}
+        return {}
+
+    # -- runtime statistics -------------------------------------------------------------
+
+    @staticmethod
+    def bucket(theta: float) -> float:
+        """Statistics bucket of a threshold (one decimal)."""
+        return round(theta, 1)
+
+    def observe(
+        self,
+        decision: PlanDecision,
+        latency_seconds: float,
+        candidates: float = 0.0,
+    ) -> None:
+        """Feed one executed plan's measurements back into the EWMAs."""
+        key = (decision.kind, decision.algorithm, decision.theta_bucket)
+        with self._lock:
+            ewma = self._ewmas.get(key)
+            if ewma is None:
+                ewma = self._ewmas[key] = _Ewma()
+            ewma.update(latency_seconds, candidates, self._smoothing)
+
+    def snapshot(self) -> dict[tuple[str, str, float], dict[str, float]]:
+        """Copy of the per-(kind, algorithm, bucket) statistics, for reports."""
+        with self._lock:
+            return {
+                key: {
+                    "count": float(ewma.count),
+                    "latency_seconds": ewma.latency_seconds,
+                    "candidates": ewma.candidates,
+                }
+                for key, ewma in self._ewmas.items()
+            }
+
+    # -- planning ------------------------------------------------------------------------
+
+    def plan(self, query: Ranking, theta: float, kind: str = "range") -> PlanDecision:
+        """Choose the algorithm for one query.
+
+        While any candidate lacks observations in this bucket, the cheapest
+        *unobserved* candidate (by model prior) runs next, so all candidates
+        get measured in prior order; afterwards the lowest latency EWMA wins.
+        """
+        bucket = self.bucket(theta)
+        with self._lock:
+            unobserved = [
+                name
+                for name in self._candidates
+                if (kind, name, bucket) not in self._ewmas
+            ]
+            if not unobserved:
+                best_name = min(
+                    self._candidates,
+                    key=lambda name: self._ewmas[(kind, name, bucket)].latency_seconds,
+                )
+                predicted = self._ewmas[(kind, best_name, bucket)].latency_seconds
+                source = "observed"
+        if unobserved:
+            best_name = min(unobserved, key=lambda name: self.prior_cost(name, theta))
+            predicted = self.prior_cost(best_name, theta)
+            source = "model"
+        return PlanDecision(
+            algorithm=best_name,
+            params=self.params_for(best_name, theta),
+            predicted_cost=predicted,
+            source=source,
+            kind=kind,
+            theta_bucket=bucket,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptivePlanner(candidates={self._candidates!r}, "
+            f"observed_buckets={len(self._ewmas)})"
+        )

@@ -1,0 +1,356 @@
+"""Sharded index: partition the collection, fan out queries, merge answers.
+
+The collection is split round-robin over ``num_shards`` disjoint
+:class:`RankingSet` shards.  Round-robin keeps shard sizes within one ranking
+of each other and — because shard-local ids are assigned in increasing
+global-id order — keeps the local id order of every shard consistent with
+the global id order, so distance ties are broken identically with and
+without sharding.
+
+Any registered algorithm can serve as the per-shard index: instances are
+built lazily (per shard, per parameter set) through the algorithm registry
+and kept until the next :meth:`ShardedIndex.rebuild`.  Queries fan out over
+a thread pool, one task per shard, and the per-shard answers are merged:
+
+* **range queries** concatenate the per-shard matches (shards are disjoint,
+  so no deduplication is needed) and re-sort by distance;
+* **k-NN queries** take each shard's exact local top-k and keep the ``k``
+  globally smallest ``(distance, rid)`` pairs — a bounded merge that never
+  materialises more than ``num_shards * k`` candidates.
+
+Both merges are exact: the sharded answer equals the single-index answer for
+every query, which the property tests in ``tests/test_service_sharding.py``
+assert across algorithms, datasets, and shard counts.
+
+Rebuilds are safe under concurrent queries: each partitioning epoch is an
+immutable :class:`_Build` snapshot, every query pins the snapshot it started
+on (per-shard index instances are keyed by epoch), and the executor is
+swapped out under the lock but shut down outside it — an in-flight query
+either completes on its old epoch (still a correct answer over the same
+collection) or retries on a fresh pool.
+
+Pure-Python distance evaluation holds the GIL, so the fan-out does not buy
+CPU parallelism here; it buys the *architecture* — per-shard build times,
+bounded merges, and an executor seam where process pools, async backends, or
+remote shard servers can be plugged in without touching the algorithms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import SearchStats
+from repro.algorithms.base import RankingSearchAlgorithm
+from repro.algorithms.knn import KnnResult, Neighbour
+from repro.algorithms.registry import make_algorithm
+
+#: Largest threshold forwarded to a range search (theta must stay below 1).
+_MAX_RANGE_THETA = 0.999
+
+
+@dataclass(frozen=True)
+class _Build:
+    """One immutable partitioning epoch; queries pin the one they started on."""
+
+    version: int
+    shards: tuple[RankingSet, ...]
+    global_rids: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+def _partition_round_robin(rankings: RankingSet, num_shards: int, version: int) -> _Build:
+    """Split ``rankings`` into ``num_shards`` sets plus local-to-global id maps."""
+    shards = [RankingSet(k=rankings.k) for _ in range(num_shards)]
+    global_rids: list[list[int]] = [[] for _ in range(num_shards)]
+    for ranking in rankings:
+        assert ranking.rid is not None
+        shard = ranking.rid % num_shards
+        shards[shard].add(ranking.items)
+        global_rids[shard].append(ranking.rid)
+    return _Build(
+        version=version,
+        shards=tuple(shards),
+        global_rids=tuple(tuple(rids) for rids in global_rids),
+    )
+
+
+class ShardedIndex:
+    """A ranking collection partitioned over shards, queried by fan-out.
+
+    Parameters
+    ----------
+    rankings:
+        The full collection; kept so merged answers carry the global
+        (id-bearing) ranking objects.
+    num_shards:
+        Number of partitions; must be positive.  One shard degenerates to
+        the single-index case and skips the thread pool entirely.
+
+    Examples
+    --------
+    >>> rankings = RankingSet.from_lists([[1, 2, 3], [1, 3, 2], [7, 8, 9], [2, 1, 3]])
+    >>> sharded = ShardedIndex.build(rankings, num_shards=2)
+    >>> result = sharded.range_query(Ranking([1, 2, 3]), theta=0.3, algorithm="F&V")
+    >>> sorted(result.rids)
+    [0, 1, 3]
+    """
+
+    def __init__(self, rankings: RankingSet, num_shards: int = 1) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if len(rankings) == 0:
+            raise ValueError("cannot shard an empty collection")
+        self._rankings = rankings
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._instances: dict[tuple, RankingSearchAlgorithm] = {}
+        self._build_state = _partition_round_robin(
+            rankings, min(num_shards, len(rankings)), version=0
+        )
+
+    @classmethod
+    def build(cls, rankings: RankingSet, num_shards: int = 1) -> "ShardedIndex":
+        """Partition ``rankings``; per-shard indices are built lazily per algorithm."""
+        return cls(rankings, num_shards=num_shards)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def rebuild(self, num_shards: Optional[int] = None) -> None:
+        """Repartition the collection, dropping every per-shard index.
+
+        Cached results referring to the previous build are stale afterwards;
+        the engine invalidates its result cache whenever this is called (the
+        :attr:`version` counter is what the cache keys that decision on).
+        In-flight queries finish on the epoch they started with.
+        """
+        if num_shards is not None and num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        with self._lock:
+            build = self._build_state
+            count = (
+                min(num_shards, len(self._rankings)) if num_shards is not None else build.num_shards
+            )
+            version = build.version + 1
+            self._build_state = _partition_round_robin(self._rankings, count, version)
+            # drop index instances of superseded epochs; in-flight queries
+            # keep theirs alive through their pinned snapshot
+            self._instances = {
+                key: value for key, value in self._instances.items() if key[0] == version
+            }
+            executor, self._executor = self._executor, None
+        if executor is not None:  # shut down OUTSIDE the lock: tasks may need it
+            executor.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- accessors ---------------------------------------------------------------
+
+    def _current_build(self) -> _Build:
+        with self._lock:
+            return self._build_state
+
+    @property
+    def rankings(self) -> RankingSet:
+        """The full (unpartitioned) collection."""
+        return self._rankings
+
+    @property
+    def num_shards(self) -> int:
+        """The current number of shards."""
+        return self._current_build().num_shards
+
+    @property
+    def version(self) -> int:
+        """Build epoch, bumped by every :meth:`rebuild`."""
+        return self._current_build().version
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Number of rankings in each shard."""
+        return [len(shard) for shard in self._current_build().shards]
+
+    def shard_algorithm(self, shard: int, name: str, **kwargs) -> RankingSearchAlgorithm:
+        """The (lazily built) instance of algorithm ``name`` on one shard."""
+        return self._instance(self._current_build(), shard, name, kwargs)
+
+    def _instance(
+        self, build: _Build, shard: int, name: str, kwargs: dict
+    ) -> RankingSearchAlgorithm:
+        key = (build.version, shard, name, tuple(sorted(kwargs.items())))
+        with self._lock:
+            instance = self._instances.get(key)
+        if instance is None:
+            # build outside the lock: index construction can be expensive and
+            # concurrent shards should not serialise on it
+            instance = make_algorithm(name, build.shards[shard], **kwargs)
+            with self._lock:
+                instance = self._instances.setdefault(key, instance)
+        return instance
+
+    def prepare(self, query: Ranking, theta: float, algorithm: str, **kwargs) -> None:
+        """Forward per-query materialisation (Minimal F&V) to every shard."""
+        build = self._current_build()
+        for shard in range(build.num_shards):
+            instance = self._instance(build, shard, algorithm, kwargs)
+            prepare = getattr(instance, "prepare", None)
+            if prepare is None:
+                raise TypeError(f"algorithm {algorithm!r} has no prepare() step")
+            prepare(query, theta)
+
+    # -- fan-out machinery ---------------------------------------------------------
+
+    def _get_executor(self, workers: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+            return self._executor
+
+    def _fan_out(self, task, count: int) -> list:
+        """Run ``task(shard_index)`` for every shard, concurrently if > 1."""
+        if count == 1:
+            return [task(0)]
+        while True:
+            executor = self._get_executor(count)
+            try:
+                return list(executor.map(task, range(count)))
+            except RuntimeError:
+                # the pool was shut down by a concurrent rebuild/close between
+                # lookup and submission; retry on a fresh one (tasks are
+                # read-only against their pinned epoch, so re-running is safe)
+                continue
+
+    @staticmethod
+    def _merge_shard_stats(merged: SearchStats, shard_stats: list[SearchStats], wall: float) -> None:
+        """Sum per-shard counters; report wall time, keep CPU-sum as an extra."""
+        for stats in shard_stats:
+            merged.merge(stats)
+        merged.extra["shard_seconds"] = merged.total_seconds
+        merged.extra["shards_queried"] = float(len(shard_stats))
+        merged.total_seconds = wall
+
+    # -- range queries ---------------------------------------------------------------
+
+    def range_query(self, query: Ranking, theta: float, algorithm: str, **kwargs) -> SearchResult:
+        """Answer one similarity range query through every shard.
+
+        The merged answer is exactly the single-index answer: shards are
+        disjoint and range predicates are independent per ranking.
+        """
+        build = self._current_build()
+
+        def run_shard(shard: int) -> SearchResult:
+            instance = self._instance(build, shard, algorithm, kwargs)
+            return instance.search(query, theta)
+
+        start = time.perf_counter()
+        shard_results = self._fan_out(run_shard, build.num_shards)
+        wall = time.perf_counter() - start
+
+        merged = SearchResult(query=query, theta=theta, algorithm=f"sharded:{algorithm}")
+        for shard, shard_result in enumerate(shard_results):
+            rid_map = build.global_rids[shard]
+            for match in shard_result.matches:
+                global_rid = rid_map[match.rid]
+                merged.add(global_rid, self._rankings[global_rid], match.distance)
+        self._merge_shard_stats(merged.stats, [r.stats for r in shard_results], wall)
+        return merged.finalize()
+
+    # -- k-NN queries -----------------------------------------------------------------
+
+    def knn(
+        self,
+        query: Ranking,
+        n_neighbours: int,
+        algorithm: str,
+        initial_theta: float = 0.05,
+        growth: float = 2.0,
+        **kwargs,
+    ) -> KnnResult:
+        """Exact k-nearest neighbours through per-shard search + bounded merge.
+
+        Each shard answers its local top-``n_neighbours`` by expanding range
+        queries (radius doubled until enough results qualify).  Rankings at
+        the maximum possible distance are unreachable by any range query with
+        ``theta < 1``, so a shard that still comes up short finishes with a
+        brute-force scan — this keeps the sharded answer exact even on
+        collections with fully disjoint rankings.  Ties are broken by global
+        ranking id, matching a ``sorted((distance, rid))`` brute-force scan.
+        """
+        if n_neighbours <= 0:
+            raise ValueError(f"n_neighbours must be positive, got {n_neighbours}")
+
+        build = self._current_build()
+        maximum = max_footrule_distance(self._rankings.k)
+
+        def run_shard(shard: int) -> tuple[list[tuple[float, int]], SearchStats]:
+            instance = self._instance(build, shard, algorithm, kwargs)
+            stats = SearchStats()
+            target = min(n_neighbours, len(build.shards[shard]))
+            theta = initial_theta
+            attempts = 0
+            while True:
+                attempts += 1
+                result = instance.search(query, min(theta, _MAX_RANGE_THETA))
+                stats.merge(result.stats)
+                if len(result) >= target or theta >= 1.0:
+                    break
+                theta *= growth
+            stats.extra["range_attempts"] = float(attempts)
+            rid_map = build.global_rids[shard]
+            if len(result) >= target:
+                top = [(match.distance, rid_map[match.rid]) for match in list(result)[:target]]
+            else:
+                # exact fallback: distance-1.0 rankings never match a range query
+                entries = []
+                for local_rid, ranking in enumerate(build.shards[shard]):
+                    stats.distance_calls += 1
+                    raw = footrule_topk_raw(query, ranking)
+                    entries.append((raw / maximum, rid_map[local_rid]))
+                top = heapq.nsmallest(target, entries)
+            return top, stats
+
+        start = time.perf_counter()
+        shard_answers = self._fan_out(run_shard, build.num_shards)
+        wall = time.perf_counter() - start
+
+        best = heapq.nsmallest(
+            n_neighbours, (entry for top, _ in shard_answers for entry in top)
+        )
+        neighbours = [
+            Neighbour(distance=distance, rid=rid, ranking=self._rankings[rid])
+            for distance, rid in best
+        ]
+        merged_stats = SearchStats()
+        self._merge_shard_stats(merged_stats, [stats for _, stats in shard_answers], wall)
+        return KnnResult(query=query, neighbours=neighbours, stats=merged_stats)
+
+    def __repr__(self) -> str:
+        build = self._current_build()
+        return (
+            f"ShardedIndex(n={len(self._rankings)}, shards={build.num_shards}, "
+            f"version={build.version})"
+        )

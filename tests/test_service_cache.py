@@ -1,0 +1,129 @@
+"""Behavioural tests of the LRU result cache.
+
+Covers the satellite checklist explicitly: eviction order, the capacity
+bound, invalidation on shard rebuild, and the hit/miss counters, plus the
+fingerprint normalisation that makes near-identical thresholds share an
+entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ranking import Ranking, RankingSet
+from repro.service import QueryEngine
+from repro.service.cache import LRUResultCache, knn_fingerprint, range_fingerprint
+
+
+def test_capacity_bound_is_hard():
+    cache = LRUResultCache(capacity=3)
+    for index in range(10):
+        cache.put(index, index * 10)
+    assert len(cache) == 3
+    assert cache.stats.evictions == 7
+
+
+def test_eviction_order_is_least_recently_used():
+    cache = LRUResultCache(capacity=3)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert cache.get("a") == 1  # refresh "a": now "b" is the oldest
+    cache.put("d", 4)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.get("d") == 4
+
+
+def test_put_refreshes_recency_and_overwrites():
+    cache = LRUResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 100)  # overwrite refreshes recency; no eviction
+    assert len(cache) == 2
+    cache.put("c", 3)  # evicts "b", the least recently touched
+    assert cache.get("b") is None
+    assert cache.get("a") == 100
+    assert cache.stats.evictions == 1
+
+
+def test_hit_and_miss_counters():
+    cache = LRUResultCache(capacity=2)
+    assert cache.get("nope") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("a") == 1
+    assert cache.get("gone") is None
+    stats = cache.stats
+    assert stats.hits == 2
+    assert stats.misses == 2
+    assert stats.lookups == 4
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_hit_rate_is_zero_before_any_lookup():
+    assert LRUResultCache(capacity=2).stats.hit_rate == 0.0
+
+
+def test_invalidate_clears_everything_and_counts():
+    cache = LRUResultCache(capacity=4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.invalidate() == 2
+    assert len(cache) == 0
+    assert cache.get("a") is None
+    assert cache.stats.invalidations == 1
+
+
+def test_capacity_zero_disables_the_cache():
+    cache = LRUResultCache(capacity=0)
+    assert not cache.enabled
+    cache.put("a", 1)
+    assert len(cache) == 0
+    assert cache.get("a") is None
+    assert cache.stats.misses == 1
+
+
+def test_negative_capacity_is_rejected():
+    with pytest.raises(ValueError):
+        LRUResultCache(capacity=-1)
+
+
+def test_keys_are_ordered_least_recently_used_first():
+    cache = LRUResultCache(capacity=3)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")
+    assert cache.keys() == ["b", "a"]
+
+
+def test_range_fingerprint_normalises_threshold_drift():
+    query = Ranking([1, 2, 3])
+    assert range_fingerprint(query, 0.2) == range_fingerprint(query, 0.2 + 1e-12)
+    assert range_fingerprint(query, 0.2) != range_fingerprint(query, 0.21)
+    assert range_fingerprint(query, 0.2) != range_fingerprint(Ranking([1, 3, 2]), 0.2)
+
+
+def test_knn_fingerprint_distinguishes_neighbour_counts():
+    query = Ranking([1, 2, 3])
+    assert knn_fingerprint(query, 5) != knn_fingerprint(query, 6)
+    assert knn_fingerprint(query, 5) != range_fingerprint(query, 5.0)
+
+
+def test_engine_rebuild_invalidates_cached_results():
+    """The satellite requirement: shard rebuild -> explicit cache invalidation."""
+    rankings = RankingSet.from_lists(
+        [[1, 2, 3], [1, 3, 2], [7, 8, 9], [2, 1, 3], [3, 2, 1], [8, 7, 9]]
+    )
+    query = Ranking([1, 2, 3])
+    with QueryEngine(rankings, num_shards=2, algorithms=["F&V"]) as engine:
+        first = engine.query(query, 0.4)
+        assert not first.stats.cache_hit
+        assert engine.query(query, 0.4).stats.cache_hit
+        engine.rebuild(num_shards=3)
+        assert len(engine.cache) == 0
+        assert engine.cache.stats.invalidations == 1
+        refreshed = engine.query(query, 0.4)
+        assert not refreshed.stats.cache_hit
+        assert refreshed.result.rids == first.result.rids

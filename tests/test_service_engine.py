@@ -1,0 +1,187 @@
+"""Tests of the engine request layer and its CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.loader import save_rankings
+from repro.datasets.queries import sample_queries
+from repro.datasets.synthetic import DatasetSpec, generate_clustered_rankings
+from repro.algorithms.filter_validate import FilterValidate
+from repro.service import QueryEngine
+from repro import cli
+
+
+@pytest.fixture(scope="module")
+def rankings():
+    return generate_clustered_rankings(
+        DatasetSpec(n=80, k=6, domain_size=200, zipf_s=0.6, cluster_size=4, seed=21)
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(rankings):
+    return sample_queries(rankings, 5, seed=4)
+
+
+def test_query_returns_single_index_answer(rankings, queries):
+    baseline = FilterValidate.build(rankings)
+    with QueryEngine(rankings, num_shards=3, algorithms=["F&V"]) as engine:
+        for query in queries:
+            response = engine.query(query, 0.25)
+            expected = baseline.search(query, 0.25)
+            assert response.result.rids == expected.rids
+            assert response.result.distances() == pytest.approx(expected.distances())
+
+
+def test_query_stats_describe_the_request(rankings, queries):
+    with QueryEngine(rankings, num_shards=2, algorithms=["F&V"]) as engine:
+        stats = engine.query(queries[0], 0.2).stats
+        assert stats.kind == "range"
+        assert stats.algorithm == "F&V"
+        assert not stats.cache_hit
+        assert stats.shard_count == 2
+        assert stats.theta == 0.2
+        assert stats.latency_seconds > 0.0
+        assert stats.distance_calls > 0
+        assert stats.results == len(engine.query(queries[0], 0.2).result)
+        payload = stats.as_dict()
+        assert payload["algorithm"] == "F&V"
+        assert payload["cache_hit"] is False
+
+
+def test_cache_hit_path_and_counters(rankings, queries):
+    with QueryEngine(rankings, num_shards=2, algorithms=["F&V"]) as engine:
+        miss = engine.query(queries[0], 0.2)
+        hit = engine.query(queries[0], 0.2)
+        assert not miss.stats.cache_hit
+        assert hit.stats.cache_hit
+        assert hit.stats.planner_source == "cache"
+        assert hit.result is miss.result  # memoised object, not a recomputation
+        totals = engine.stats()
+        assert totals.queries == 2
+        assert totals.cache_hits == 1
+        assert totals.cache.hits == 1
+        assert totals.cache.misses == 1
+
+
+def test_cache_disabled_never_hits(rankings, queries):
+    with QueryEngine(rankings, num_shards=1, algorithms=["F&V"], cache_capacity=0) as engine:
+        engine.query(queries[0], 0.2)
+        assert not engine.query(queries[0], 0.2).stats.cache_hit
+        assert engine.stats().cache_hits == 0
+
+
+def test_batch_query_answers_every_query_in_order(rankings, queries):
+    baseline = FilterValidate.build(rankings)
+    with QueryEngine(rankings, num_shards=4, algorithms=["F&V"]) as engine:
+        responses = engine.batch_query(queries, 0.2)
+        assert len(responses) == len(queries)
+        for query, response in zip(queries, responses):
+            assert response.result.query == query
+            assert response.result.rids == baseline.search(query, 0.2).rids
+
+
+def test_knn_through_engine_is_exact_and_cached(rankings, queries):
+    from repro.core.distances import footrule_topk_raw, max_footrule_distance
+
+    maximum = max_footrule_distance(rankings.k)
+    with QueryEngine(rankings, num_shards=3, algorithms=["F&V"]) as engine:
+        query = queries[0]
+        response = engine.knn(query, 4)
+        expected = sorted(
+            (footrule_topk_raw(query, ranking) / maximum, ranking.rid) for ranking in rankings
+        )[:4]
+        assert [n.rid for n in response.result.neighbours] == [rid for _, rid in expected]
+        assert response.stats.kind == "knn"
+        assert response.stats.n_neighbours == 4
+        assert engine.knn(query, 4).stats.cache_hit
+        assert not engine.knn(query, 5).stats.cache_hit
+        assert engine.stats().knn_queries == 3
+
+
+def test_planner_auto_mode_explores_then_exploits(rankings, queries):
+    with QueryEngine(rankings, num_shards=2, algorithms=["F&V", "ListMerge"]) as engine:
+        sources = [engine.query(query, 0.2).stats.planner_source for query in queries]
+        assert sources[:2] == ["model", "model"]
+        assert set(sources[2:]) <= {"observed"}
+        picks = engine.stats().algorithm_counts
+        assert sum(picks.values()) == len(queries)
+        assert set(picks) <= {"F&V", "ListMerge"}
+
+
+def test_pinned_algorithm_bypasses_the_planner(rankings, queries):
+    with QueryEngine(rankings, num_shards=2) as engine:
+        stats = engine.query(queries[0], 0.2, algorithm="ListMerge").stats
+        assert stats.algorithm == "ListMerge"
+        assert stats.planner_source == "pinned"
+
+
+def test_engine_stats_aggregate_latency(rankings, queries):
+    with QueryEngine(rankings, num_shards=1, algorithms=["F&V"]) as engine:
+        assert engine.stats().mean_latency_seconds == 0.0
+        engine.batch_query(queries, 0.2)
+        totals = engine.stats()
+        assert totals.requests == len(queries)
+        assert totals.total_latency_seconds > 0.0
+        assert totals.mean_latency_seconds > 0.0
+
+
+def test_rebuild_changes_shard_count_and_keeps_answers(rankings, queries):
+    with QueryEngine(rankings, num_shards=1, algorithms=["F&V"]) as engine:
+        before = engine.query(queries[0], 0.2)
+        engine.rebuild(num_shards=4)
+        assert engine.num_shards == 4
+        assert engine.stats().rebuilds == 1
+        after = engine.query(queries[0], 0.2)
+        assert not after.stats.cache_hit
+        assert after.result.rids == before.result.rids
+
+
+def test_cli_batch_query_reports_throughput(tmp_path, capsys, rankings):
+    path = str(save_rankings(rankings, str(tmp_path / "rankings.tsv"), fmt="tsv"))
+    exit_code = cli.main(
+        [
+            "batch-query",
+            path,
+            "--queries", "6",
+            "--theta", "0.2",
+            "--shards", "2",
+            "--algorithm", "F&V",
+            "--repeat", "2",
+            "--show", "3",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "served 12 requests" in captured
+    assert "QPS" in captured
+    assert "hit rate 50.0%" in captured
+    assert "F&V x6" in captured
+
+
+def test_cli_batch_query_no_cache(tmp_path, capsys, rankings):
+    path = str(save_rankings(rankings, str(tmp_path / "rankings.tsv"), fmt="tsv"))
+    exit_code = cli.main(
+        ["batch-query", path, "--queries", "4", "--shards", "1",
+         "--algorithm", "F&V", "--no-cache", "--repeat", "2", "--show", "0"]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "cache (off)" in captured
+    assert "hit rate 0.0%" in captured
+
+
+def test_cli_batch_query_rejects_bad_arguments(tmp_path, rankings):
+    path = str(save_rankings(rankings, str(tmp_path / "rankings.tsv"), fmt="tsv"))
+    assert cli.main(["batch-query", path, "--queries", "0"]) == 2
+    assert cli.main(["batch-query", path, "--shards", "0"]) == 2
+    assert cli.main(["batch-query", path, "--theta", "1.5"]) == 2
+    assert cli.main(["batch-query", path, "--cache-capacity", "-1"]) == 2
+
+
+def test_cli_batch_query_refuses_minimal_fv(tmp_path, rankings):
+    """Minimal F&V cannot serve ad-hoc traffic; argparse rejects it up front."""
+    path = str(save_rankings(rankings, str(tmp_path / "rankings.tsv"), fmt="tsv"))
+    with pytest.raises(SystemExit):
+        cli.main(["batch-query", path, "--algorithm", "MinimalF&V"])

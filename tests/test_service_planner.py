@@ -1,0 +1,128 @@
+"""Tests of the adaptive planner: priors, exploration, EWMA convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import CostModelInputs
+from repro.datasets.synthetic import DatasetSpec, generate_clustered_rankings
+from repro.service.planner import AdaptivePlanner, PlanDecision
+
+
+@pytest.fixture(scope="module")
+def rankings():
+    return generate_clustered_rankings(
+        DatasetSpec(n=100, k=8, domain_size=250, zipf_s=0.7, cluster_size=4, seed=13)
+    )
+
+
+@pytest.fixture()
+def planner(rankings):
+    return AdaptivePlanner(
+        rankings, candidates=["F&V", "ListMerge", "Coarse+Drop"], sample_pairs=500
+    )
+
+
+def test_default_candidates_come_from_registry(rankings):
+    from repro.algorithms.registry import SERVICE_ALGORITHMS
+
+    assert AdaptivePlanner(rankings).candidates == list(SERVICE_ALGORITHMS)
+
+
+def test_invalid_configuration_is_rejected(rankings):
+    with pytest.raises(ValueError):
+        AdaptivePlanner(rankings, candidates=[])
+    with pytest.raises(ValueError):
+        AdaptivePlanner(rankings, smoothing=0.0)
+    with pytest.raises(ValueError):
+        AdaptivePlanner(rankings, smoothing=1.5)
+
+
+def test_cold_start_explores_every_candidate_in_prior_order(planner, rankings):
+    query = rankings[0]
+    prior_order = sorted(planner.candidates, key=lambda name: planner.prior_cost(name, 0.2))
+    seen = []
+    for _ in planner.candidates:
+        decision = planner.plan(query, 0.2)
+        assert decision.source == "model"
+        seen.append(decision.algorithm)
+        planner.observe(decision, latency_seconds=0.01, candidates=5.0)
+    assert seen == prior_order
+    assert len(set(seen)) == len(planner.candidates)
+
+
+def test_switches_to_observed_latencies_once_bucket_is_covered(planner, rankings):
+    query = rankings[0]
+    latencies = {"F&V": 0.5, "ListMerge": 0.003, "Coarse+Drop": 0.2}
+    for _ in planner.candidates:
+        decision = planner.plan(query, 0.2)
+        planner.observe(decision, latency_seconds=latencies[decision.algorithm])
+    decision = planner.plan(query, 0.2)
+    assert decision.source == "observed"
+    assert decision.algorithm == "ListMerge"
+    assert decision.predicted_cost == pytest.approx(0.003)
+
+
+def test_buckets_keep_statistics_separate(planner, rankings):
+    query = rankings[0]
+    for _ in planner.candidates:
+        decision = planner.plan(query, 0.2)
+        planner.observe(decision, latency_seconds=0.01)
+    # theta=0.4 lands in a fresh bucket: back to model-driven exploration
+    assert planner.plan(query, 0.4).source == "model"
+    assert planner.plan(query, 0.21).theta_bucket == planner.plan(query, 0.2).theta_bucket
+
+
+def test_kind_separates_range_and_knn_statistics(planner, rankings):
+    query = rankings[0]
+    for _ in planner.candidates:
+        decision = planner.plan(query, 0.1, kind="range")
+        planner.observe(decision, latency_seconds=0.01)
+    assert planner.plan(query, 0.1, kind="knn").source == "model"
+
+
+def test_ewma_smoothing_converges_on_new_level(planner, rankings):
+    query = rankings[0]
+    decision = planner.plan(query, 0.3)
+    planner.observe(decision, latency_seconds=1.0, candidates=10.0)
+    for _ in range(30):
+        planner.observe(decision, latency_seconds=0.1, candidates=2.0)
+    key = (decision.kind, decision.algorithm, decision.theta_bucket)
+    stats = planner.snapshot()[key]
+    assert stats["count"] == 31.0
+    assert stats["latency_seconds"] == pytest.approx(0.1, abs=0.01)
+    assert stats["candidates"] == pytest.approx(2.0, abs=0.2)
+
+
+def test_coarse_params_carry_recommended_theta_c(planner):
+    params = planner.params_for("Coarse+Drop", 0.2)
+    assert set(params) == {"theta_c"}
+    assert 0.0 <= params["theta_c"] < 1.0
+    assert planner.params_for("F&V", 0.2) == {}
+
+
+def test_prior_cost_is_positive_for_all_registered_candidates(rankings):
+    from repro.algorithms.registry import ALGORITHM_NAMES
+
+    planner = AdaptivePlanner(rankings, sample_pairs=500)
+    for name in ALGORITHM_NAMES:
+        assert planner.prior_cost(name, 0.2) > 0.0
+
+
+def test_validation_factors_reference_registered_algorithms():
+    """Guard against registry-name drift in the prior table."""
+    from repro.algorithms.registry import ALGORITHM_NAMES
+    from repro.service.planner import _VALIDATION_FACTOR
+
+    assert set(_VALIDATION_FACTOR) <= set(ALGORITHM_NAMES)
+
+
+def test_explicit_model_inputs_skip_sampling(rankings):
+    inputs = CostModelInputs(
+        n=len(rankings), k=rankings.k, v=300, zipf_s=0.7, distance_cdf=lambda x: min(1.0, x)
+    )
+    planner = AdaptivePlanner(rankings, candidates=["F&V"], model_inputs=inputs)
+    assert planner.model_inputs is inputs
+    decision = planner.plan(rankings[0], 0.2)
+    assert isinstance(decision, PlanDecision)
+    assert decision.algorithm == "F&V"
