@@ -1,0 +1,153 @@
+"""Live-update store under churn: mutation throughput and query latency.
+
+Streams a mixed mutation workload (inserts, deletes, upserts drawn from an
+NYT-like generator) into a :class:`repro.live.LiveCollection` at several
+memtable/segment thresholds, answering range and k-NN probes throughout.
+Two figures per configuration land in ``extra_info``:
+
+* ``updates_per_second`` — mutations applied per second, WAL included when
+  the configuration is durable;
+* ``query_mean_ms`` / ``query_max_ms`` — latency of the probes answered
+  mid-churn, i.e. against a mix of base, segments, memtable, and tombstones.
+
+Run under pytest-benchmark as part of the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_live_updates.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.live import LiveCollection
+
+from _utils import run_once
+
+#: (memtable threshold, max segments) configurations swept by the benchmark.
+THRESHOLDS = ((32, 2), (128, 4), (512, 8))
+
+#: Mutation mix: mostly inserts, a realistic sliver of deletes and upserts.
+INSERT_WEIGHT, DELETE_WEIGHT = 0.8, 0.1
+
+MUTATIONS = 1200
+PROBE_EVERY = 100
+K = 10
+DOMAIN = 1000
+THETA = 0.2
+NEIGHBOURS = 10
+
+
+def _mutation_stream(rng: random.Random, count: int):
+    """Yield ``(op, key_index, items)`` triples; key_index picks a live key."""
+    for _ in range(count):
+        roll = rng.random()
+        if roll < INSERT_WEIGHT:
+            yield "insert", 0, rng.sample(range(DOMAIN), K)
+        elif roll < INSERT_WEIGHT + DELETE_WEIGHT:
+            yield "delete", rng.random(), None
+        else:
+            yield "upsert", rng.random(), rng.sample(range(DOMAIN), K)
+
+
+def _churn(live: LiveCollection, seed: int, mutations: int) -> dict[str, float]:
+    """Apply the workload with interleaved probes; return the derived figures."""
+    rng = random.Random(seed)
+    probe = Ranking(rng.sample(range(DOMAIN), K))
+    applied = 0
+    latencies: list[float] = []
+    mutation_seconds = 0.0
+    for op, pick, items in _mutation_stream(rng, mutations):
+        keys = None
+        if op != "insert":
+            keys = live.live_keys()
+            if not keys:
+                op, items = "insert", rng.sample(range(DOMAIN), K)
+        start = time.perf_counter()
+        if op == "insert":
+            live.insert(items)
+        elif op == "delete":
+            live.delete(keys[int(pick * len(keys))])
+        else:
+            live.upsert(keys[int(pick * len(keys))], items)
+        mutation_seconds += time.perf_counter() - start
+        applied += 1
+        if applied % PROBE_EVERY == 0:
+            start = time.perf_counter()
+            live.range_query(probe, THETA)
+            live.knn(probe, NEIGHBOURS)
+            latencies.append(time.perf_counter() - start)
+    return {
+        "applied": applied,
+        "mutation_seconds": mutation_seconds,
+        "query_mean_ms": 1000.0 * sum(latencies) / len(latencies),
+        "query_max_ms": 1000.0 * max(latencies),
+    }
+
+
+@pytest.mark.benchmark(group="live-updates")
+@pytest.mark.parametrize("memtable_threshold,max_segments", THRESHOLDS)
+def test_live_update_churn(benchmark, memtable_threshold, max_segments):
+    """Throughput/latency of one (memtable threshold, segment bound) config."""
+    with LiveCollection(
+        memtable_threshold=memtable_threshold, max_segments=max_segments
+    ) as live:
+        figures = run_once(benchmark, _churn, live, seed=17, mutations=MUTATIONS)
+        stats = live.stats()
+        benchmark.extra_info["memtable_threshold"] = memtable_threshold
+        benchmark.extra_info["max_segments"] = max_segments
+        benchmark.extra_info["updates_per_second"] = round(
+            figures["applied"] / figures["mutation_seconds"], 1
+        )
+        benchmark.extra_info["query_mean_ms"] = round(figures["query_mean_ms"], 2)
+        benchmark.extra_info["query_max_ms"] = round(figures["query_max_ms"], 2)
+        benchmark.extra_info["flushes"] = stats.flushes
+        benchmark.extra_info["compactions"] = stats.compactions
+        benchmark.extra_info["live_rankings"] = len(live)
+
+
+def main() -> None:
+    """Standalone report: churn figures per threshold, in-memory and durable."""
+    import tempfile
+
+    print(
+        f"live-update churn: {MUTATIONS} mutations "
+        f"({INSERT_WEIGHT:.0%} insert / {DELETE_WEIGHT:.0%} delete / "
+        f"{1 - INSERT_WEIGHT - DELETE_WEIGHT:.0%} upsert), "
+        f"probe every {PROBE_EVERY} (range theta={THETA} + {NEIGHBOURS}-NN)"
+    )
+    header = (
+        f"{'memtable':>8s}  {'segments':>8s}  {'wal':>5s}  {'updates/s':>10s}  "
+        f"{'query mean':>10s}  {'query max':>9s}  {'flushes':>7s}  {'compactions':>11s}"
+    )
+    print(header)
+    for memtable_threshold, max_segments in THRESHOLDS:
+        for durable in (False, True):
+            if durable:
+                directory = tempfile.mkdtemp(prefix="repro-live-bench-")
+                live = LiveCollection.open(
+                    directory,
+                    memtable_threshold=memtable_threshold,
+                    max_segments=max_segments,
+                )
+            else:
+                live = LiveCollection(
+                    memtable_threshold=memtable_threshold, max_segments=max_segments
+                )
+            with live:
+                figures = _churn(live, seed=17, mutations=MUTATIONS)
+                stats = live.stats()
+                print(
+                    f"{memtable_threshold:>8d}  {max_segments:>8d}  "
+                    f"{'on' if durable else 'off':>5s}  "
+                    f"{figures['applied'] / figures['mutation_seconds']:>10.0f}  "
+                    f"{figures['query_mean_ms']:>8.2f}ms  {figures['query_max_ms']:>7.2f}ms  "
+                    f"{stats.flushes:>7d}  {stats.compactions:>11d}"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ from repro.core import (
 )
 from repro.algorithms import (
     ALGORITHM_NAMES,
+    LIVE_ALGORITHMS,
     RankingSearchAlgorithm,
     available_algorithms,
     make_algorithm,
@@ -48,6 +49,13 @@ from repro.datasets import (
     sample_queries,
     save_rankings,
     yago_like_dataset,
+)
+from repro.live import (
+    LiveCollection,
+    LiveQueryEngine,
+    LiveStats,
+    WalRecord,
+    WriteAheadLog,
 )
 from repro.service import (
     AdaptivePlanner,
@@ -76,6 +84,7 @@ __all__ = [
     "max_footrule_distance",
     "RankingSearchAlgorithm",
     "ALGORITHM_NAMES",
+    "LIVE_ALGORITHMS",
     "available_algorithms",
     "make_algorithm",
     "DatasetSpec",
@@ -91,5 +100,10 @@ __all__ = [
     "ShardedIndex",
     "AdaptivePlanner",
     "LRUResultCache",
+    "LiveCollection",
+    "LiveQueryEngine",
+    "LiveStats",
+    "WalRecord",
+    "WriteAheadLog",
     "__version__",
 ]

@@ -33,7 +33,12 @@ from repro.algorithms.fv_drop import FilterValidateDrop
 from repro.algorithms.listmerge import ListMerge
 from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch, VPTreeSearch
 from repro.algorithms.minimal_fv import MinimalFilterValidate
-from repro.algorithms.registry import ALGORITHM_NAMES, available_algorithms, make_algorithm
+from repro.algorithms.registry import (
+    ALGORITHM_NAMES,
+    LIVE_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+)
 
 __all__ = [
     "RankingSearchAlgorithm",
@@ -55,6 +60,7 @@ __all__ = [
     "RangeExpansionKNN",
     "KnnResult",
     "ALGORITHM_NAMES",
+    "LIVE_ALGORITHMS",
     "available_algorithms",
     "make_algorithm",
 ]

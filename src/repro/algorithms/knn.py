@@ -31,6 +31,57 @@ from repro.core.stats import SearchStats
 from repro.metric.bktree import BKTree
 from repro.algorithms.base import RankingSearchAlgorithm
 
+#: Largest threshold forwarded to a range search (theta must stay below 1).
+_MAX_RANGE_THETA = 0.999
+
+
+def exact_local_top(
+    algorithm: RankingSearchAlgorithm,
+    rankings: RankingSet,
+    query: Ranking,
+    n: int,
+    initial_theta: float = 0.05,
+    growth: float = 2.0,
+) -> tuple[list[tuple[float, int]], SearchStats]:
+    """Exact top-``n`` of one indexed collection as ``(distance, local rid)``.
+
+    The building block shared by the sharded k-NN fan-out and the live
+    store's per-segment k-NN: range queries with a geometrically growing
+    radius until ``n`` results qualify, then — because rankings at the
+    maximum possible distance are unreachable by any range query with
+    ``theta < 1`` — a brute-force fallback over the collection if the
+    answer is still short.  Pairs come back sorted by ``(distance, rid)``.
+    """
+    if not 0.0 < initial_theta < 1.0:
+        raise ValueError(f"initial_theta must lie in (0, 1), got {initial_theta}")
+    if growth <= 1.0:
+        raise ValueError(f"growth must be greater than 1, got {growth}")
+    stats = SearchStats()
+    target = min(n, len(rankings))
+    if target <= 0:
+        return [], stats
+    theta = initial_theta
+    attempts = 0
+    while True:
+        attempts += 1
+        result = algorithm.search(query, min(theta, _MAX_RANGE_THETA))
+        stats.merge(result.stats)
+        if len(result) >= target or theta >= 1.0:
+            break
+        theta *= growth
+    stats.extra["range_attempts"] = float(attempts)
+    if len(result) >= target:
+        top = [(match.distance, match.rid) for match in list(result)[:target]]
+    else:
+        maximum = max_footrule_distance(rankings.k)
+        entries = []
+        for local_rid, ranking in enumerate(rankings):
+            stats.distance_calls += 1
+            raw = footrule_topk_raw(query, ranking)
+            entries.append((raw / maximum, local_rid))
+        top = heapq.nsmallest(target, entries)
+    return top, stats
+
 
 @dataclass(frozen=True, order=True)
 class Neighbour:
@@ -177,28 +228,22 @@ class RangeExpansionKNN:
     def search(self, query: Ranking, n_neighbours: int) -> KnnResult:
         """Return the ``n_neighbours`` rankings closest to the query.
 
-        The radius is enlarged geometrically until the range query returns at
-        least ``n_neighbours`` rankings (or the radius reaches the maximum
-        distance), then the closest ``n_neighbours`` of that answer are
-        reported.  Because range results are exact, the KNN answer is exact
-        whenever enough results are found below radius 1.0; rankings at the
-        maximum possible distance can only be reached by the final full-range
-        fallback.
+        Delegates to :func:`exact_local_top`: the radius is enlarged
+        geometrically until the range query returns at least
+        ``n_neighbours`` rankings, and rankings at the maximum possible
+        distance — unreachable by any range query with ``theta < 1`` — are
+        picked up by its brute-force fallback, so the answer is always the
+        exact top ``n_neighbours``.
         """
         if n_neighbours <= 0:
             raise ValueError(f"n_neighbours must be positive, got {n_neighbours}")
-        stats = SearchStats()
-        theta = self._initial_theta
-        attempts = 0
-        while True:
-            attempts += 1
-            result = self._algorithm.search(query, min(theta, 0.999))
-            stats.merge(result.stats)
-            if len(result) >= n_neighbours or theta >= 1.0:
-                stats.extra["range_attempts"] = float(attempts)
-                neighbours = [
-                    Neighbour(distance=match.distance, rid=match.rid, ranking=match.ranking)
-                    for match in list(result)[:n_neighbours]
-                ]
-                return KnnResult(query=query, neighbours=neighbours, stats=stats)
-            theta *= self._growth
+        rankings = self._algorithm.rankings
+        top, stats = exact_local_top(
+            self._algorithm, rankings, query, n_neighbours,
+            initial_theta=self._initial_theta, growth=self._growth,
+        )
+        neighbours = [
+            Neighbour(distance=distance, rid=rid, ranking=rankings[rid])
+            for distance, rid in top
+        ]
+        return KnnResult(query=query, neighbours=neighbours, stats=stats)

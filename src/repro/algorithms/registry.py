@@ -65,6 +65,11 @@ SERVICE_ALGORITHMS: tuple[str, ...] = (
     BKTreeSearch.name,
 )
 
+#: Algorithms the live-update store (``repro.live``) may use as segment and
+#: base indices: built per immutable run with no per-query offline step, the
+#: same constraint the service planner imposes.
+LIVE_ALGORITHMS: tuple[str, ...] = SERVICE_ALGORITHMS
+
 #: The subset whose distance-function calls are reported in Figure 10.
 DFC_ALGORITHMS: tuple[str, ...] = (
     FilterValidate.name,

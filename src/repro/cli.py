@@ -14,6 +14,10 @@ Subcommands
 ``batch-query``
     Serve a query workload through the sharded query engine (planner +
     result cache) and print per-request decisions plus throughput totals.
+``ingest``
+    Apply a JSONL mutation stream (insert/delete/upsert) to a live-update
+    collection, optionally answering query probes mid-stream, and print
+    mutation/flush/compaction statistics.
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -21,15 +25,23 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Sequence
 
 from repro.analysis.report import format_table
+from repro.core.errors import ReproError
 from repro.core.ranking import Ranking
-from repro.algorithms.registry import COMPARISON_ALGORITHMS, available_algorithms, make_algorithm
+from repro.algorithms.registry import (
+    COMPARISON_ALGORITHMS,
+    LIVE_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+)
 from repro.datasets.loader import load_rankings, save_rankings
 from repro.datasets.queries import sample_queries
+from repro.live import LiveCollection
 from repro.service import QueryEngine
 from repro.datasets.nyt import nyt_like_dataset
 from repro.datasets.yago import yago_like_dataset
@@ -104,6 +116,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--show", type=int, default=10, help="print the first N per-request planner decisions"
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest", help="apply a JSONL mutation stream to a live-update collection"
+    )
+    ingest.add_argument(
+        "mutations",
+        help='JSONL stream: {"op": "insert"|"delete"|"upsert", "items": [...], "key": ...}'
+        " (one mutation per line; '-' reads stdin)",
+    )
+    ingest.add_argument(
+        "--dir", default=None, help="persistence directory (WAL + snapshots); in-memory if omitted"
+    )
+    ingest.add_argument(
+        "--memtable-threshold", type=int, default=256, help="memtable size sealed into a segment"
+    )
+    ingest.add_argument(
+        "--max-segments", type=int, default=4, help="segment count that triggers compaction"
+    )
+    ingest.add_argument("--shards", type=int, default=1, help="shard count of the compacted base")
+    ingest.add_argument(
+        "--algorithm", default="F&V", choices=list(LIVE_ALGORITHMS),
+        help="index algorithm for base and segment queries",
+    )
+    ingest.add_argument(
+        "--query", default=None, help="comma-separated item ids probed during ingestion"
+    )
+    ingest.add_argument("--theta", type=float, default=0.2, help="probe threshold")
+    ingest.add_argument("--knn", type=int, default=0, help="also probe k nearest neighbours")
+    ingest.add_argument(
+        "--probe-every", type=int, default=100, help="mutations between --query probes"
+    )
+    ingest.add_argument(
+        "--snapshot", action="store_true", help="write a snapshot when the stream ends"
     )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
@@ -214,6 +260,127 @@ def _command_batch_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_items(text: str) -> list[int]:
+    return [int(token) for token in text.split(",") if token.strip()]
+
+
+def _run_ingest_probe(live: LiveCollection, args: argparse.Namespace, applied: int) -> None:
+    query = Ranking(_parse_query_items(args.query))
+    start = time.perf_counter()
+    result = live.range_query(query, args.theta, algorithm=args.algorithm)
+    elapsed = time.perf_counter() - start
+    line = (
+        f"  probe @{applied:>6d} mutations: {len(result):4d} results "
+        f"in {elapsed * 1000.0:7.2f}ms"
+    )
+    if args.knn > 0:
+        start = time.perf_counter()
+        knn = live.knn(query, args.knn, algorithm=args.algorithm)
+        knn_elapsed = time.perf_counter() - start
+        line += f"  |  {args.knn}-NN in {knn_elapsed * 1000.0:7.2f}ms (best rid={knn.rids[0] if knn.rids else '-'})"
+    print(line)
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    if args.memtable_threshold <= 0 or args.max_segments <= 0 or args.shards <= 0:
+        print(
+            "error: --memtable-threshold, --max-segments and --shards must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.probe_every <= 0:
+        print("error: --probe-every must be positive", file=sys.stderr)
+        return 2
+    if args.query is not None:
+        try:
+            _parse_query_items(args.query)
+        except ValueError:
+            print("error: --query must be a comma-separated list of integer item ids", file=sys.stderr)
+            return 2
+    if args.snapshot and args.dir is None:
+        print("error: --snapshot requires --dir", file=sys.stderr)
+        return 2
+    if args.dir is not None:
+        live = LiveCollection.open(
+            args.dir,
+            memtable_threshold=args.memtable_threshold,
+            max_segments=args.max_segments,
+            num_shards=args.shards,
+        )
+        if live.stats().replayed:
+            print(f"replayed {live.stats().replayed} WAL record(s) from {args.dir}")
+    else:
+        live = LiveCollection(
+            memtable_threshold=args.memtable_threshold,
+            max_segments=args.max_segments,
+            num_shards=args.shards,
+        )
+    try:
+        if args.mutations == "-":
+            stream = sys.stdin
+        else:
+            stream = open(args.mutations, encoding="utf-8")
+    except OSError as error:
+        live.close()
+        print(f"error: cannot read mutation stream: {error}", file=sys.stderr)
+        return 2
+    applied = 0
+    errors = 0
+    try:  # from here on the collection is always closed, even on a probe failure
+        start = time.perf_counter()
+        try:
+            for line_number, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    payload = json.loads(line)
+                    op = payload["op"]
+                    if op == "insert":
+                        live.insert(payload["items"])
+                    elif op == "delete":
+                        live.delete(int(payload["key"]))
+                    elif op == "upsert":
+                        live.upsert(int(payload["key"]), payload["items"])
+                    else:
+                        raise ValueError(f"unknown op {op!r}")
+                except Exception as error:  # report and continue: a stream may be dirty
+                    errors += 1
+                    print(f"  line {line_number}: skipped ({error})", file=sys.stderr)
+                    continue
+                applied += 1
+                if args.query is not None and applied % args.probe_every == 0:
+                    _run_ingest_probe(live, args, applied)
+        finally:
+            if stream is not sys.stdin:
+                stream.close()
+        elapsed = time.perf_counter() - start
+        if args.query is not None and applied % args.probe_every != 0:
+            _run_ingest_probe(live, args, applied)
+        stats = live.stats()
+        rate = applied / elapsed if elapsed > 0 else float("inf")
+        print(f"\napplied {applied} mutation(s) in {elapsed:.3f}s ({rate:.0f} mutations/s)"
+              + (f", skipped {errors}" if errors else ""))
+        print(
+            f"  inserts={stats.inserts} deletes={stats.deletes} upserts={stats.upserts} "
+            f"flushes={stats.flushes} compactions={stats.compactions}"
+        )
+        print(
+            f"  live rankings: {len(live)}  memtable: {live.memtable_size}  "
+            f"segments: {live.segment_count}  base: {live.base_size}  "
+            f"tombstones: {live.tombstone_count}"
+        )
+        if args.snapshot:
+            path = live.snapshot()
+            print(f"snapshot written to {path}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        live.close()
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     thetas = [float(token) for token in args.thetas.split(",") if token.strip()]
     setup = ExperimentSetup.create(
@@ -240,6 +407,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_compare(args)
     if args.command == "batch-query":
         return _command_batch_query(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "figure":
         _FIGURES[args.number](args)
         return 0

@@ -15,7 +15,7 @@ from collections.abc import Iterable, Iterator
 from typing import Optional
 
 from repro.core.errors import EmptyDatasetError
-from repro.core.ranking import Ranking, RankingSet
+from repro.core.ranking import RankingSet
 from repro.core.stats import SearchStats
 from repro.invindex.postings import Posting
 

@@ -14,7 +14,6 @@ produce few candidates.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from typing import Optional
 
 from repro.core.errors import EmptyDatasetError

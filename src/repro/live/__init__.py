@@ -1,0 +1,47 @@
+"""Live-update store: LSM-style mutable collection over the search stack.
+
+The rest of the library serves frozen :class:`~repro.core.ranking.RankingSet`
+collections; this package makes the collection *mutable at service speed*
+without giving up exact answers:
+
+Layering (write path top to bottom)::
+
+    wal.py         JSONL write-ahead log: durable before applied
+    memtable.py    recent writes, answered by exact brute-force scan
+    segment.py     sealed immutable runs indexed by any registry algorithm
+    tombstones.py  superseded locations filtering segment/base answers
+    compactor.py   background merge into a fresh ShardedIndex base epoch
+    collection.py  LiveCollection facade: insert/delete/upsert/query/knn,
+                   flush/compact, snapshot/restore
+    engine.py      LiveQueryEngine: cached serving with per-epoch invalidation
+
+The guarantee throughout: after any interleaving of mutations, flushes, and
+compactions, query answers equal a from-scratch index over the logical
+collection.
+"""
+
+from repro.live.collection import (
+    DEFAULT_LIVE_ALGORITHM,
+    LiveCollection,
+    LiveStats,
+)
+from repro.live.compactor import Compactor
+from repro.live.engine import LiveQueryEngine
+from repro.live.memtable import MemTable
+from repro.live.segment import Segment
+from repro.live.tombstones import TombstoneSet
+from repro.live.wal import CorruptWalError, WalRecord, WriteAheadLog
+
+__all__ = [
+    "Compactor",
+    "CorruptWalError",
+    "DEFAULT_LIVE_ALGORITHM",
+    "LiveCollection",
+    "LiveQueryEngine",
+    "LiveStats",
+    "MemTable",
+    "Segment",
+    "TombstoneSet",
+    "WalRecord",
+    "WriteAheadLog",
+]

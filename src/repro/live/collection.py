@@ -1,0 +1,618 @@
+"""The live-update store: an LSM-style mutable ranking collection.
+
+Every algorithm in the library serves a frozen :class:`RankingSet`; the only
+way to change the collection used to be a full rebuild.  ``LiveCollection``
+opens the write path with the classic log-structured design:
+
+* every accepted mutation is first made durable in the
+  :class:`~repro.live.wal.WriteAheadLog` (when one is attached),
+* recent inserts and upserts live in a :class:`~repro.live.memtable.MemTable`
+  answered by exact brute-force scan,
+* a full memtable is sealed into an immutable
+  :class:`~repro.live.segment.Segment` indexed by any registry algorithm,
+* deletes and upserts of sealed rankings tombstone the superseded *location*
+  (:class:`~repro.live.tombstones.TombstoneSet`) instead of touching the
+  immutable layers, and
+* the :class:`~repro.live.compactor.Compactor` merges base + segments minus
+  tombstones into a fresh :class:`~repro.service.sharding.ShardedIndex`
+  epoch, optionally on a background thread.
+
+**Exactness invariant.**  Rankings are addressed by a stable integer *key*
+(assigned at insert, preserved by upsert).  For any interleaving of
+mutations, flushes, and compactions, ``range_query`` and ``knn`` return
+exactly the answer a from-scratch index over the logical collection (the
+live rankings in ascending key order) would return: same rankings, same
+distances, and ``(distance, key)`` tie order — keys ascend with insertion
+order, so the tie order matches a fresh ``RankingSet``'s ``(distance, id)``
+order.  The property tests in ``tests/test_live_equivalence.py`` assert this
+across algorithms and churn patterns.
+
+Snapshots persist the logical state plus the WAL position, so a restart
+loads the snapshot and replays only the WAL tail.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.errors import InvalidThresholdError, RankingSizeMismatchError
+from repro.core.ranking import Ranking, RankingSet
+from repro.core.result import SearchResult
+from repro.core.stats import SearchStats
+from repro.algorithms.knn import KnnResult, Neighbour
+from repro.live.compactor import Compactor
+from repro.live.memtable import MemTable, scan_entries, top_entries
+from repro.live.segment import Segment
+from repro.live.tombstones import TombstoneSet
+from repro.live.wal import WalRecord, WriteAheadLog
+from repro.service.sharding import ShardedIndex
+
+#: File names used inside a persistence directory.
+WAL_FILENAME = "wal.jsonl"
+SNAPSHOT_FILENAME = "snapshot.json"
+
+#: Default algorithm used when a query does not name one.
+DEFAULT_LIVE_ALGORITHM = "F&V"
+
+#: A storage location: ("mem", 0, key), ("seg", id, local rid), ("base", epoch, rid).
+Location = tuple[str, int, int]
+
+
+@dataclass
+class LiveStats:
+    """Mutation and maintenance counters over the collection's lifetime."""
+
+    inserts: int = 0
+    deletes: int = 0
+    upserts: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    replayed: int = 0
+
+    @property
+    def mutations(self) -> int:
+        """All accepted mutations (inserts + deletes + upserts)."""
+        return self.inserts + self.deletes + self.upserts
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dictionary view for logs and reports."""
+        return {
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "upserts": self.upserts,
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+            "replayed": self.replayed,
+        }
+
+
+class LiveCollection:
+    """Mutable ranking collection with exact merged queries and durability.
+
+    Parameters
+    ----------
+    initial:
+        Optional pre-existing collection; it becomes the base index directly
+        (keys ``0..n-1``) and is treated as already durable — the WAL only
+        records subsequent mutations.
+    memtable_threshold:
+        Memtable size at which it is sealed into a segment.
+    max_segments:
+        Sealed-segment count above which a compaction is triggered.
+    num_shards:
+        Shard count of the compacted base index.
+    wal:
+        Optional write-ahead log; without one the collection is in-memory
+        only (still fully queryable, just not durable).
+    background_compaction:
+        Run triggered compactions on a daemon thread instead of inline.
+
+    Examples
+    --------
+    >>> live = LiveCollection()
+    >>> key = live.insert([1, 2, 3])
+    >>> live.insert([7, 8, 9])
+    1
+    >>> result = live.range_query(Ranking([1, 2, 3]), theta=0.1)
+    >>> [match.rid for match in result.matches]
+    [0]
+    >>> live.delete(key)
+    >>> len(live)
+    1
+    """
+
+    def __init__(
+        self,
+        initial: Optional[RankingSet] = None,
+        *,
+        memtable_threshold: int = 256,
+        max_segments: int = 4,
+        num_shards: int = 1,
+        wal: Optional[WriteAheadLog] = None,
+        background_compaction: bool = False,
+        directory: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if memtable_threshold <= 0:
+            raise ValueError(f"memtable_threshold must be positive, got {memtable_threshold}")
+        if max_segments <= 0:
+            raise ValueError(f"max_segments must be positive, got {max_segments}")
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self._memtable_threshold = memtable_threshold
+        self._max_segments = max_segments
+        self._num_shards = num_shards
+        self._wal = wal
+        self._directory = Path(directory) if directory is not None else None
+
+        self._lock = threading.RLock()
+        self._k: Optional[int] = None
+        self._next_key = 0
+        self._seq = 0
+        self._version = 0
+        self._memtable = MemTable()
+        self._segments: dict[int, Segment] = {}
+        self._next_segment_id = 0
+        self._base: Optional[ShardedIndex] = None
+        self._base_keys: tuple[int, ...] = ()
+        self._base_epoch = 0
+        self._current: dict[int, Location] = {}
+        self._tombstones = TombstoneSet()
+        self._stats = LiveStats()
+        self._compactor = Compactor(self, background=background_compaction)
+
+        if initial is not None and len(initial) > 0:
+            self._k = initial.k
+            self._base = ShardedIndex.build(initial, num_shards=num_shards)
+            self._base_keys = tuple(range(len(initial)))
+            self._next_key = len(initial)
+            for rid in self._base_keys:
+                self._current[rid] = ("base", 0, rid)
+
+    # -- persistence lifecycle ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        *,
+        memtable_threshold: int = 256,
+        max_segments: int = 4,
+        num_shards: int = 1,
+        background_compaction: bool = False,
+        sync: bool = False,
+    ) -> "LiveCollection":
+        """Open (or create) a durable collection in ``directory``.
+
+        Loads the newest snapshot if one exists, then replays only the WAL
+        records after the snapshot's sequence number — the WAL tail.
+        """
+        directory = Path(directory)
+        wal = WriteAheadLog(directory / WAL_FILENAME, sync=sync)
+        collection = cls(
+            memtable_threshold=memtable_threshold,
+            max_segments=max_segments,
+            num_shards=num_shards,
+            wal=wal,
+            background_compaction=background_compaction,
+            directory=directory,
+        )
+        snapshot_path = directory / SNAPSHOT_FILENAME
+        if snapshot_path.exists():
+            collection._load_snapshot(snapshot_path)
+        for record in wal.replay(after_seq=collection._seq):
+            collection._apply_record(record)
+            collection._stats.replayed += 1
+            collection._maintain()
+        return collection
+
+    def snapshot(self, directory: Optional[Union[str, Path]] = None) -> Path:
+        """Persist the logical state; later restarts replay only the WAL tail.
+
+        The snapshot holds every live ``(key, items)`` pair in key order plus
+        the WAL sequence number it covers, and is written atomically
+        (temp file + rename).  Once it is on disk, the WAL records it covers
+        are truncated away, so log size — and restart cost — tracks the tail
+        since the last snapshot rather than the collection's lifetime.
+        """
+        target_dir = Path(directory) if directory is not None else self._directory
+        if target_dir is None:
+            raise ValueError("no directory: pass one or open the collection with .open()")
+        with self._lock:
+            entries = [
+                [key, list(self._ranking_at(location).items)]
+                for key, location in sorted(self._current.items())
+            ]
+            payload = {
+                "k": self._k,
+                "next_key": self._next_key,
+                "last_seq": self._seq,
+                "entries": entries,
+            }
+        target_dir.mkdir(parents=True, exist_ok=True)
+        path = target_dir / SNAPSHOT_FILENAME
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload), encoding="utf-8")
+        temporary.replace(path)
+        # only after the snapshot is durable; records appended since the
+        # payload was captured have larger sequence numbers and are kept
+        if self._wal is not None and target_dir == self._directory:
+            with self._lock:
+                self._wal.truncate_through(payload["last_seq"])
+        return path
+
+    def _load_snapshot(self, path: Path) -> None:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload["entries"]
+        self._k = payload["k"]
+        self._next_key = int(payload["next_key"])
+        self._seq = int(payload["last_seq"])
+        if entries:
+            keys = tuple(int(key) for key, _ in entries)
+            rankings = RankingSet.from_lists([items for _, items in entries])
+            self._base = ShardedIndex.build(rankings, num_shards=self._num_shards)
+            self._base_keys = keys
+            for rid, key in enumerate(keys):
+                self._current[key] = ("base", self._base_epoch, rid)
+
+    def close(self) -> None:
+        """Finish background compaction and release files and thread pools."""
+        self._compactor.join()
+        if self._wal is not None:
+            self._wal.close()
+        with self._lock:
+            base = self._base
+        if base is not None:
+            base.close()
+
+    def __enter__(self) -> "LiveCollection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def k(self) -> Optional[int]:
+        """Uniform ranking size (``None`` until the first insert)."""
+        with self._lock:
+            return self._k
+
+    @property
+    def version(self) -> int:
+        """Bumped by every mutation, flush, and compaction (cache epoch)."""
+        with self._lock:
+            return self._version
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count used for compacted base epochs."""
+        return self._num_shards
+
+    @property
+    def memtable_size(self) -> int:
+        """Number of rankings buffered in the memtable."""
+        with self._lock:
+            return len(self._memtable)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of sealed, not-yet-compacted segments."""
+        with self._lock:
+            return len(self._segments)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of superseded versions awaiting compaction."""
+        with self._lock:
+            return len(self._tombstones)
+
+    @property
+    def base_size(self) -> int:
+        """Number of rankings in the compacted base (live or tombstoned)."""
+        with self._lock:
+            return len(self._base_keys)
+
+    def stats(self) -> LiveStats:
+        """Lifetime mutation/maintenance counters (live object)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._current)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._current
+
+    def live_keys(self) -> list[int]:
+        """The live logical keys in ascending order."""
+        with self._lock:
+            return sorted(self._current)
+
+    def get(self, key: int) -> Optional[Ranking]:
+        """The current ranking stored under ``key``, or ``None``."""
+        with self._lock:
+            location = self._current.get(key)
+            if location is None:
+                return None
+            return self._ranking_at(location)
+
+    def to_ranking_set(self) -> RankingSet:
+        """The logical collection: live rankings in ascending key order.
+
+        This is the from-scratch baseline the live answers are equivalent
+        to — dense id ``i`` corresponds to the i-th smallest live key.
+        """
+        with self._lock:
+            return RankingSet.from_rankings(
+                self._ranking_at(location) for _, location in sorted(self._current.items())
+            )
+
+    def _ranking_at(self, location: Location) -> Ranking:
+        layer, container, position = location
+        if layer == "mem":
+            ranking = self._memtable.get(position)
+            assert ranking is not None
+            return ranking
+        if layer == "seg":
+            return self._segments[container].rankings[position]
+        assert self._base is not None
+        return self._base.rankings[position]
+
+    # -- mutations ------------------------------------------------------------------
+
+    def insert(self, items: Union[Ranking, list[int], tuple[int, ...]]) -> int:
+        """Add one ranking; returns its (stable) logical key."""
+        ranking = self._coerce(items)
+        with self._lock:
+            self._check_size(ranking)
+            key = self._next_key
+            self._write_record("insert", key, ranking)
+            self._do_insert(key, ranking)
+        self._maintain()
+        return key
+
+    def delete(self, key: int) -> None:
+        """Remove the ranking stored under ``key`` (raises ``KeyError`` if absent)."""
+        with self._lock:
+            if key not in self._current:
+                raise KeyError(f"no live ranking under key {key}")
+            self._write_record("delete", key, None)
+            self._do_delete(key)
+        self._maintain()
+
+    def upsert(self, key: int, items: Union[Ranking, list[int], tuple[int, ...]]) -> None:
+        """Replace the ranking under ``key`` (or insert it there if absent)."""
+        ranking = self._coerce(items)
+        with self._lock:
+            self._check_size(ranking)
+            self._write_record("upsert", key, ranking)
+            self._do_upsert(key, ranking)
+        self._maintain()
+
+    @staticmethod
+    def _coerce(items: Union[Ranking, list[int], tuple[int, ...]]) -> Ranking:
+        return items if isinstance(items, Ranking) else Ranking(items)
+
+    def _check_size(self, ranking: Ranking) -> None:
+        if self._k is not None and ranking.size != self._k:
+            raise RankingSizeMismatchError(self._k, ranking.size)
+
+    def _write_record(self, op: str, key: int, ranking: Optional[Ranking]) -> None:
+        self._seq += 1
+        if self._wal is not None:
+            items = None if ranking is None else ranking.items
+            self._wal.append(WalRecord(seq=self._seq, op=op, key=key, items=items))
+
+    def _do_insert(self, key: int, ranking: Ranking) -> None:
+        if self._k is None:
+            self._k = ranking.size
+        self._memtable.put(key, ranking)
+        self._current[key] = ("mem", 0, key)
+        self._next_key = max(self._next_key, key + 1)
+        self._version += 1
+        self._stats.inserts += 1
+
+    def _do_delete(self, key: int) -> None:
+        location = self._current.pop(key)
+        if location[0] == "mem":
+            self._memtable.remove(key)
+        else:
+            self._tombstones.add(location)
+        self._version += 1
+        self._stats.deletes += 1
+
+    def _do_upsert(self, key: int, ranking: Ranking) -> None:
+        if self._k is None:
+            self._k = ranking.size
+        old = self._current.get(key)
+        if old is not None and old[0] != "mem":
+            self._tombstones.add(old)
+        self._memtable.put(key, ranking)
+        self._current[key] = ("mem", 0, key)
+        self._next_key = max(self._next_key, key + 1)
+        self._version += 1
+        self._stats.upserts += 1
+
+    def _apply_record(self, record: WalRecord) -> None:
+        """Re-apply one durable mutation during replay (no re-logging)."""
+        with self._lock:
+            if record.op == "insert":
+                self._do_insert(record.key, Ranking(record.items))
+            elif record.op == "delete":
+                self._do_delete(record.key)
+            else:
+                self._do_upsert(record.key, Ranking(record.items))
+            self._seq = record.seq
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def _maintain(self) -> None:
+        with self._lock:
+            needs_flush = len(self._memtable) >= self._memtable_threshold
+        if needs_flush:
+            self.flush()
+        self._compactor.maybe_trigger()
+
+    def flush(self) -> Optional[int]:
+        """Seal the memtable into a segment; returns the segment id (or None)."""
+        with self._lock:
+            if len(self._memtable) == 0:
+                return None
+            entries = self._memtable.drain()
+            segment_id = self._next_segment_id
+            self._next_segment_id += 1
+            segment = Segment.seal(entries)
+            self._segments[segment_id] = segment
+            # every drained entry was the live version of its key
+            for local_rid, key in enumerate(segment.keys):
+                self._current[key] = ("seg", segment_id, local_rid)
+            self._version += 1
+            self._stats.flushes += 1
+            return segment_id
+
+    def compact(self, wait: bool = True) -> bool:
+        """Merge base + segments minus tombstones into a fresh base epoch.
+
+        Runs inline (or waits for the background run when
+        ``background_compaction`` is on and ``wait`` is true); returns
+        whether a compaction actually ran.
+        """
+        return self._compactor.run(wait=wait)
+
+    # -- queries --------------------------------------------------------------------
+
+    def _check_query(self, query: Ranking) -> None:
+        with self._lock:
+            if self._k is not None and query.size != self._k:
+                raise RankingSizeMismatchError(self._k, query.size)
+
+    def _query_snapshot(self):
+        """One atomic view of every layer, taken under the lock."""
+        with self._lock:
+            base = self._base
+            base_keys = self._base_keys
+            base_epoch = self._base_epoch
+            base_dead = self._tombstones.count_for(("base", base_epoch))
+            segments = [
+                (segment_id, segment, self._tombstones.count_for(("seg", segment_id)))
+                for segment_id, segment in self._segments.items()
+            ]
+            memtable_entries = self._memtable.items()
+            tombstones = self._tombstones.snapshot()
+        return base, base_keys, base_epoch, base_dead, segments, memtable_entries, tombstones
+
+    def range_query(
+        self,
+        query: Ranking,
+        theta: float,
+        algorithm: str = DEFAULT_LIVE_ALGORITHM,
+        **kwargs,
+    ) -> SearchResult:
+        """Answer one range query over the logical collection (rids are keys).
+
+        The base, every segment, and the memtable are queried independently
+        and their answers merged, dropping tombstoned versions; the result is
+        exactly a from-scratch index's answer, ordered by ``(distance, key)``.
+        """
+        if not 0.0 <= theta < 1.0:
+            raise InvalidThresholdError(theta, "theta must lie in [0, 1)")
+        self._check_query(query)
+        base, base_keys, base_epoch, _, segments, memtable_entries, tombstones = (
+            self._query_snapshot()
+        )
+        stats = SearchStats()
+        result = SearchResult(query=query, theta=theta, algorithm=f"live:{algorithm}")
+        if base is not None:
+            base_answer = base.range_query(query, theta, algorithm, **kwargs)
+            stats.merge(base_answer.stats)
+            for match in base_answer.matches:
+                if ("base", base_epoch, match.rid) not in tombstones:
+                    result.add(base_keys[match.rid], match.ranking, match.distance)
+        for segment_id, segment, _ in segments:
+            segment_answer = segment.search(query, theta, algorithm, **kwargs)
+            stats.merge(segment_answer.stats)
+            for match in segment_answer.matches:
+                if ("seg", segment_id, match.rid) not in tombstones:
+                    result.add(segment.keys[match.rid], segment.rankings[match.rid], match.distance)
+        if memtable_entries:
+            stats.distance_calls += len(memtable_entries)
+            for distance, key, ranking in scan_entries(memtable_entries, query, theta):
+                result.add(key, ranking, distance)
+        stats.extra["segments_queried"] = float(len(segments))
+        stats.extra["memtable_scanned"] = float(len(memtable_entries))
+        result.stats = stats
+        return result.finalize()
+
+    def knn(
+        self,
+        query: Ranking,
+        n_neighbours: int,
+        algorithm: str = DEFAULT_LIVE_ALGORITHM,
+        initial_theta: float = 0.05,
+        growth: float = 2.0,
+        **kwargs,
+    ) -> KnnResult:
+        """Exact k-nearest neighbours over the logical collection (rids are keys).
+
+        Each layer contributes its exact local top candidates — over-fetched
+        by the layer's tombstone count, so filtering cannot cost an answer —
+        and a bounded merge keeps the ``n_neighbours`` globally smallest
+        ``(distance, key)`` pairs.
+        """
+        if n_neighbours <= 0:
+            raise ValueError(f"n_neighbours must be positive, got {n_neighbours}")
+        self._check_query(query)
+        base, base_keys, base_epoch, base_dead, segments, memtable_entries, tombstones = (
+            self._query_snapshot()
+        )
+        stats = SearchStats()
+        candidates: list[tuple[float, int, Ranking]] = []
+        if base is not None:
+            target = min(n_neighbours + base_dead, len(base_keys))
+            base_answer = base.knn(
+                query, target, algorithm, initial_theta=initial_theta, growth=growth, **kwargs
+            )
+            stats.merge(base_answer.stats)
+            live = [
+                (neighbour.distance, base_keys[neighbour.rid], neighbour.ranking)
+                for neighbour in base_answer.neighbours
+                if ("base", base_epoch, neighbour.rid) not in tombstones
+            ]
+            candidates.extend(live[:n_neighbours])
+        for segment_id, segment, segment_dead in segments:
+            target = min(n_neighbours + segment_dead, len(segment))
+            top, segment_stats = segment.top(
+                query, target, algorithm, initial_theta=initial_theta, growth=growth, **kwargs
+            )
+            stats.merge(segment_stats)
+            live = [
+                (distance, segment.keys[local_rid], segment.rankings[local_rid])
+                for distance, local_rid in top
+                if ("seg", segment_id, local_rid) not in tombstones
+            ]
+            candidates.extend(live[:n_neighbours])
+        if memtable_entries:
+            stats.distance_calls += len(memtable_entries)
+            candidates.extend(top_entries(memtable_entries, query, n_neighbours))
+        best = heapq.nsmallest(n_neighbours, candidates, key=lambda entry: entry[:2])
+        neighbours = [
+            Neighbour(distance=distance, rid=key, ranking=ranking)
+            for distance, key, ranking in best
+        ]
+        stats.results = len(neighbours)
+        return KnnResult(query=query, neighbours=neighbours, stats=stats)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"LiveCollection(live={len(self._current)}, memtable={len(self._memtable)}, "
+                f"segments={len(self._segments)}, base={len(self._base_keys)}, "
+                f"tombstones={len(self._tombstones)}, version={self._version})"
+            )

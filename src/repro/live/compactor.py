@@ -1,0 +1,174 @@
+"""Background compaction: fold segments and tombstones into a fresh base.
+
+Compaction takes an immutable snapshot of the current base epoch, the sealed
+segments, and the tombstone set; merges the surviving ``(key, ranking)``
+pairs in ascending key order; and builds a fresh
+:class:`~repro.service.sharding.ShardedIndex` over them — all outside the
+collection lock, so mutations and queries proceed while the new epoch is
+under construction.
+
+The swap step reconciles whatever happened during the build: keys still
+pointing into a consumed layer are repointed to the new base; keys deleted
+or rewritten mid-build leave a stale copy in the new base, which is
+tombstoned immediately (epoch tags keep old and new base tombstones apart).
+Tombstones of consumed layers are discarded — compaction is what finally
+reclaims them.
+
+One compaction runs at a time; ``background=True`` moves triggered runs onto
+a daemon thread while :meth:`Compactor.run` stays available for synchronous
+callers (tests, the CLI, snapshots).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.ranking import RankingSet
+from repro.service.sharding import ShardedIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.live.collection import LiveCollection
+
+
+class Compactor:
+    """Merges a :class:`LiveCollection`'s immutable layers into a new base.
+
+    Parameters
+    ----------
+    collection:
+        The collection whose layers are compacted (the compactor reaches
+        into its internals; both live in ``repro.live``).
+    background:
+        When true, :meth:`maybe_trigger` starts runs on a daemon thread
+        instead of blocking the mutating caller.
+    """
+
+    def __init__(self, collection: "LiveCollection", background: bool = False) -> None:
+        self._collection = collection
+        self._background = background
+        self._running = False
+        self._idle = threading.Event()  # cleared while a run (any mode) is in flight
+        self._idle.set()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- triggering ----------------------------------------------------------------
+
+    def maybe_trigger(self) -> None:
+        """Start a compaction when the segment count exceeds the threshold."""
+        collection = self._collection
+        with collection._lock:
+            needed = len(collection._segments) > collection._max_segments
+            if not needed or self._running:
+                return
+            if self._background:
+                self._claim_locked()
+                self._thread = threading.Thread(
+                    target=self._run_claimed, name="repro-compactor", daemon=True
+                )
+                self._thread.start()
+                return
+        self.run()
+
+    def join(self) -> None:
+        """Wait for an in-flight compaction (inline or background) to finish."""
+        self._idle.wait()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join()
+
+    def run(self, wait: bool = True) -> bool:
+        """Run one compaction now; returns whether one actually ran.
+
+        If a run is already in flight — inline on another thread or on the
+        background thread — waits for it (``wait=True``) instead of
+        starting a second one.
+        """
+        collection = self._collection
+        with collection._lock:
+            if self._running:
+                in_flight = True
+            else:
+                self._claim_locked()
+                in_flight = False
+        if in_flight:
+            if wait:
+                self.join()
+            return False
+        return self._run_claimed()
+
+    def _claim_locked(self) -> None:
+        """Mark a run as in flight (caller holds the collection lock)."""
+        self._running = True
+        self._idle.clear()
+
+    def _run_claimed(self) -> bool:
+        """Execute a run whose ``_running`` flag the caller already claimed."""
+        collection = self._collection
+        try:
+            return self._compact()
+        finally:
+            with collection._lock:
+                self._running = False
+                self._idle.set()
+
+    # -- the merge -----------------------------------------------------------------
+
+    def _compact(self) -> bool:
+        collection = self._collection
+        # 1. snapshot the immutable layers under the lock
+        with collection._lock:
+            base = collection._base
+            base_keys = collection._base_keys
+            base_epoch = collection._base_epoch
+            segments = dict(collection._segments)
+            tombstones = collection._tombstones.snapshot()
+            base_dead = collection._tombstones.count_for(("base", base_epoch))
+            if not segments and base_dead == 0:
+                return False  # nothing to merge, nothing to reclaim
+        # 2. merge + rebuild outside the lock (mutations/queries keep flowing)
+        merged: list[tuple[int, object]] = []
+        if base is not None:
+            for rid, key in enumerate(base_keys):
+                if ("base", base_epoch, rid) not in tombstones:
+                    merged.append((key, base.rankings[rid]))
+        for segment_id, segment in segments.items():
+            for local_rid, key in enumerate(segment.keys):
+                if ("seg", segment_id, local_rid) not in tombstones:
+                    merged.append((key, segment.rankings[local_rid]))
+        merged.sort(key=lambda entry: entry[0])
+        new_keys = tuple(key for key, _ in merged)
+        if merged:
+            rankings = RankingSet.from_rankings(ranking for _, ranking in merged)
+            new_base: Optional[ShardedIndex] = ShardedIndex.build(
+                rankings, num_shards=collection._num_shards
+            )
+        else:
+            new_base = None
+        # 3. swap the new epoch in, reconciling mutations that raced the build
+        consumed = {("base", base_epoch)} | {("seg", segment_id) for segment_id in segments}
+        with collection._lock:
+            new_epoch = base_epoch + 1
+            for rid, key in enumerate(new_keys):
+                location = collection._current.get(key)
+                if location is not None and location[:2] in consumed:
+                    collection._current[key] = ("base", new_epoch, rid)
+                else:
+                    # deleted or rewritten while we were building: stale copy
+                    collection._tombstones.add(("base", new_epoch, rid))
+            for layer in consumed:
+                collection._tombstones.discard_layer(layer)
+            for segment_id in segments:
+                del collection._segments[segment_id]
+            old_base = collection._base
+            collection._base = new_base
+            collection._base_keys = new_keys
+            collection._base_epoch = new_epoch
+            collection._version += 1
+            collection._stats.compactions += 1
+        if old_base is not None:
+            old_base.close()
+        return True
+
+    def __repr__(self) -> str:
+        return f"Compactor(background={self._background}, running={self._running})"

@@ -1,0 +1,257 @@
+"""Serving layer over a mutable collection: cached queries + mutations.
+
+:class:`LiveQueryEngine` is the live-update counterpart of
+:class:`~repro.service.engine.QueryEngine`: the same request API
+(``query`` / ``batch_query`` / ``knn`` returning
+:class:`~repro.service.engine.EngineResponse` with per-request
+:class:`~repro.service.engine.QueryStats`), the same
+:class:`~repro.service.cache.LRUResultCache` — but over a
+:class:`~repro.live.collection.LiveCollection` that also accepts
+``insert`` / ``delete`` / ``upsert`` between queries.
+
+Cache correctness under mutation is epoch-based: the collection bumps its
+``version`` on every mutation, flush, and compaction, and the engine
+invalidates the whole cache the first time it sees a new version.  A burst
+of writes therefore costs exactly one invalidation, and read-only periods
+keep their hit rate — the same discipline ``QueryEngine`` applies around
+``rebuild()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from typing import Optional, Union
+
+from repro.core.ranking import Ranking
+from repro.algorithms.registry import LIVE_ALGORITHMS
+from repro.live.collection import DEFAULT_LIVE_ALGORITHM, LiveCollection
+from repro.service.cache import LRUResultCache, knn_fingerprint, range_fingerprint
+from repro.service.engine import EngineResponse, EngineStats, QueryStats
+
+
+class LiveQueryEngine:
+    """Cached query service over a mutable :class:`LiveCollection`.
+
+    Parameters
+    ----------
+    collection:
+        The live collection to serve; a fresh empty one by default.
+    algorithm:
+        Default index algorithm for base and segment queries; must be one of
+        the registry's :data:`~repro.algorithms.registry.LIVE_ALGORITHMS`
+        (per-request overrides are unrestricted).
+    cache_capacity:
+        LRU capacity; ``0`` disables result caching.
+
+    Examples
+    --------
+    >>> engine = LiveQueryEngine()
+    >>> engine.insert([1, 2, 3])
+    0
+    >>> engine.query(Ranking([1, 2, 3]), theta=0.1).stats.cache_hit
+    False
+    >>> engine.query(Ranking([1, 2, 3]), theta=0.1).stats.cache_hit
+    True
+    >>> engine.insert([7, 8, 9])                # bumps the collection version
+    1
+    >>> engine.query(Ranking([1, 2, 3]), theta=0.1).stats.cache_hit
+    False
+    """
+
+    def __init__(
+        self,
+        collection: Optional[LiveCollection] = None,
+        *,
+        algorithm: str = DEFAULT_LIVE_ALGORITHM,
+        cache_capacity: int = 1024,
+    ) -> None:
+        if algorithm not in LIVE_ALGORITHMS:
+            known = ", ".join(LIVE_ALGORITHMS)
+            raise ValueError(f"algorithm {algorithm!r} cannot serve live traffic; use one of {known}")
+        self._collection = collection if collection is not None else LiveCollection()
+        self._algorithm = algorithm
+        self._cache = LRUResultCache(cache_capacity)
+        self._stats = EngineStats(cache=self._cache.stats)
+        self._epoch_lock = threading.Lock()
+        self._cached_version = self._collection.version
+
+    # -- component access ---------------------------------------------------------
+
+    @property
+    def collection(self) -> LiveCollection:
+        """The served mutable collection."""
+        return self._collection
+
+    @property
+    def cache(self) -> LRUResultCache:
+        """The result cache."""
+        return self._cache
+
+    @property
+    def algorithm(self) -> str:
+        """The default index algorithm."""
+        return self._algorithm
+
+    def stats(self) -> EngineStats:
+        """Running totals (``rebuilds`` counts cache-invalidation epochs)."""
+        return self._stats
+
+    # -- mutations (delegate; the version bump invalidates lazily) ----------------
+
+    def insert(self, items: Union[Ranking, list[int], tuple[int, ...]]) -> int:
+        """Insert one ranking; returns its logical key."""
+        return self._collection.insert(items)
+
+    def delete(self, key: int) -> None:
+        """Delete the ranking stored under ``key``."""
+        self._collection.delete(key)
+
+    def upsert(self, key: int, items: Union[Ranking, list[int], tuple[int, ...]]) -> None:
+        """Replace (or insert) the ranking under ``key``."""
+        self._collection.upsert(key, items)
+
+    def flush(self) -> Optional[int]:
+        """Seal the memtable into a segment."""
+        return self._collection.flush()
+
+    def compact(self) -> bool:
+        """Fold segments and tombstones into a fresh base epoch."""
+        return self._collection.compact()
+
+    def close(self) -> None:
+        """Close the collection (WAL handle, thread pools, compactor)."""
+        self._collection.close()
+
+    def __enter__(self) -> "LiveQueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request entry points ------------------------------------------------------
+
+    def query(
+        self, query: Ranking, theta: float, algorithm: Optional[str] = None
+    ) -> EngineResponse:
+        """Answer one range query over the current logical collection."""
+        start = time.perf_counter()
+        version = self._refresh_epoch()
+        fingerprint = range_fingerprint(query, theta)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return self._record(
+                kind="range", result=cached, cache_hit=True,
+                latency=time.perf_counter() - start, theta=theta,
+            )
+        chosen = algorithm if algorithm is not None else self._algorithm
+        result = self._collection.range_query(query, theta, algorithm=chosen)
+        self._put_if_current(fingerprint, result, version)
+        return self._record(
+            kind="range", result=result, cache_hit=False, algorithm=chosen,
+            latency=time.perf_counter() - start, theta=theta,
+        )
+
+    def batch_query(
+        self, queries: Sequence[Ranking], theta: float, algorithm: Optional[str] = None
+    ) -> list[EngineResponse]:
+        """Answer a batch of range queries through the cached path."""
+        return [self.query(query, theta, algorithm=algorithm) for query in queries]
+
+    def knn(
+        self, query: Ranking, n_neighbours: int, algorithm: Optional[str] = None
+    ) -> EngineResponse:
+        """Answer one exact k-nearest-neighbour query."""
+        start = time.perf_counter()
+        version = self._refresh_epoch()
+        fingerprint = knn_fingerprint(query, n_neighbours)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return self._record(
+                kind="knn", result=cached, cache_hit=True,
+                latency=time.perf_counter() - start, n_neighbours=n_neighbours,
+            )
+        chosen = algorithm if algorithm is not None else self._algorithm
+        result = self._collection.knn(query, n_neighbours, algorithm=chosen)
+        self._put_if_current(fingerprint, result, version)
+        return self._record(
+            kind="knn", result=result, cache_hit=False, algorithm=chosen,
+            latency=time.perf_counter() - start, n_neighbours=n_neighbours,
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _refresh_epoch(self) -> int:
+        """Invalidate the cache once per observed collection version change.
+
+        An empty cache has nothing stale in it, so write bursts that arrive
+        before any query re-populates it cost zero invalidations.  Returns
+        the version the caller's answer will be computed against.
+        """
+        with self._epoch_lock:
+            version = self._collection.version
+            if version != self._cached_version:
+                if len(self._cache) > 0:
+                    self._cache.invalidate()
+                    self._stats.rebuilds += 1
+                self._cached_version = version
+            return version
+
+    def _put_if_current(self, fingerprint, result, version: int) -> None:
+        """Cache an answer unless a mutation landed while it was computed.
+
+        Without the check, a result computed against version ``v`` could be
+        stored after a concurrent invalidation already advanced the epoch —
+        and then be served as a fresh hit.  A mutation that lands after the
+        put is still safe: the epoch it bumps invalidates on the next query.
+        """
+        with self._epoch_lock:
+            if self._collection.version == version and self._cached_version == version:
+                self._cache.put(fingerprint, result)
+
+    def _record(
+        self,
+        kind: str,
+        result,
+        cache_hit: bool,
+        latency: float,
+        algorithm: str = "",
+        theta: float = 0.0,
+        n_neighbours: int = 0,
+    ) -> EngineResponse:
+        result_count = len(result.neighbours) if kind == "knn" else len(result)
+        if cache_hit:
+            algorithm = getattr(result, "algorithm", "") or "cached"
+        # counters are shared across concurrently served requests
+        with self._epoch_lock:
+            if kind == "knn":
+                self._stats.knn_queries += 1
+            else:
+                self._stats.queries += 1
+            if cache_hit:
+                self._stats.cache_hits += 1
+            else:
+                counts = self._stats.algorithm_counts
+                counts[algorithm] = counts.get(algorithm, 0) + 1
+            self._stats.total_latency_seconds += latency
+        stats = QueryStats(
+            kind=kind,
+            algorithm=algorithm,
+            cache_hit=cache_hit,
+            latency_seconds=latency,
+            shard_count=self._collection.num_shards,
+            planner_source="cache" if cache_hit else "pinned",
+            theta=theta,
+            n_neighbours=n_neighbours,
+            results=result_count,
+            distance_calls=result.stats.distance_calls,
+            candidates=result.stats.candidates,
+        )
+        return EngineResponse(result=result, stats=stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveQueryEngine(live={len(self._collection)}, "
+            f"version={self._collection.version}, requests={self._stats.requests})"
+        )

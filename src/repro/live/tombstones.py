@@ -1,0 +1,69 @@
+"""Tombstones: which stored versions are no longer the live one.
+
+A delete or upsert cannot touch an immutable segment or the sealed base
+index, so instead the *location* of the superseded version — ``("base",
+epoch, global id)`` or ``("seg", segment id, local id)`` — is tombstoned.
+Query merging then filters every base/segment match through the set, and
+compaction consumes the tombstones of the layers it rewrites.
+
+Per-layer counts are maintained alongside the set because exact k-NN over a
+tombstoned layer must over-fetch: a layer's top ``n + dead(layer)`` answers
+are guaranteed to contain its top ``n`` live ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: A tombstoned location: ("base", epoch, rid) or ("seg", segment_id, local_rid).
+TombstoneLocation = tuple[str, int, int]
+
+
+class TombstoneSet:
+    """Set of superseded storage locations with per-layer counts.
+
+    Examples
+    --------
+    >>> tombstones = TombstoneSet()
+    >>> tombstones.add(("seg", 0, 2))
+    >>> ("seg", 0, 2) in tombstones
+    True
+    >>> tombstones.count_for(("seg", 0))
+    1
+    """
+
+    def __init__(self) -> None:
+        self._locations: set[TombstoneLocation] = set()
+        self._per_layer: Counter = Counter()
+
+    def add(self, location: TombstoneLocation) -> None:
+        """Mark one stored version as dead."""
+        if location not in self._locations:
+            self._locations.add(location)
+            self._per_layer[location[:2]] += 1
+
+    def __contains__(self, location: object) -> bool:
+        return location in self._locations
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def count_for(self, layer: tuple[str, int]) -> int:
+        """Dead versions inside one layer (``("base", epoch)`` / ``("seg", id)``)."""
+        return self._per_layer.get(layer, 0)
+
+    def snapshot(self) -> frozenset[TombstoneLocation]:
+        """Immutable copy for lock-free readers (queries, the compactor)."""
+        return frozenset(self._locations)
+
+    def discard_layer(self, layer: tuple[str, int]) -> int:
+        """Drop every tombstone of one layer (it was compacted away)."""
+        doomed = [location for location in self._locations if location[:2] == layer]
+        for location in doomed:
+            self._locations.discard(location)
+        if layer in self._per_layer:
+            del self._per_layer[layer]
+        return len(doomed)
+
+    def __repr__(self) -> str:
+        return f"TombstoneSet(size={len(self._locations)})"

@@ -1,0 +1,231 @@
+"""Write-ahead log: every mutation is durable before it is applied.
+
+The log is a JSONL file — one mutation per line, in the order the mutations
+were accepted — so a crashed or restarted service can rebuild its logical
+state by replaying the file.  Records carry a monotonically increasing
+sequence number; a snapshot remembers the last sequence it covers, and a
+restart replays only the records *after* it (the WAL tail).
+
+Durability model
+----------------
+``append`` writes the line and flushes the Python buffer to the OS; with
+``sync=True`` it additionally ``fsync``\\ s, trading throughput for
+power-loss durability.  A torn final line (a crash mid-append) is tolerated
+by :meth:`replay` — the partial record never took effect, so it is skipped —
+while corruption anywhere *before* the tail raises :class:`CorruptWalError`,
+because silently dropping an interior mutation would diverge the replayed
+state from the served one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.errors import ReproError
+
+#: The mutation kinds a WAL record may carry.
+WAL_OPERATIONS = ("insert", "delete", "upsert")
+
+
+class CorruptWalError(ReproError):
+    """An interior WAL record could not be decoded."""
+
+    def __init__(self, path: Path, line_number: int, reason: str) -> None:
+        self.path = path
+        self.line_number = line_number
+        super().__init__(f"corrupt WAL record at {path}:{line_number}: {reason}")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable mutation: sequence number, operation, key, payload."""
+
+    seq: int
+    op: str
+    key: int
+    items: Optional[tuple[int, ...]] = None
+
+    def to_json(self) -> str:
+        """Serialise to one JSONL line (no trailing newline)."""
+        payload: dict = {"seq": self.seq, "op": self.op, "key": self.key}
+        if self.items is not None:
+            payload["items"] = list(self.items)
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "WalRecord":
+        """Parse one JSONL line; raises ``ValueError`` on malformed input."""
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ValueError("WAL record must be a JSON object")
+        op = payload.get("op")
+        if op not in WAL_OPERATIONS:
+            raise ValueError(f"unknown WAL operation {op!r}")
+        items = payload.get("items")
+        if op == "delete":
+            items = None
+        elif not isinstance(items, list) or not items:
+            raise ValueError(f"{op} record requires a non-empty 'items' list")
+        return cls(
+            seq=int(payload["seq"]),
+            op=op,
+            key=int(payload["key"]),
+            items=None if items is None else tuple(int(item) for item in items),
+        )
+
+
+class WriteAheadLog:
+    """Append-only JSONL mutation log with tail-tolerant replay.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (with parents) on first append.
+    sync:
+        ``fsync`` after every append.  Off by default: the benchmarks
+        measure the in-process write path, and crash-consistency against
+        power loss is a deployment decision.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> wal = WriteAheadLog(path)
+    >>> wal.append(WalRecord(seq=1, op="insert", key=0, items=(1, 2, 3)))
+    >>> [record.key for record in wal.replay()]
+    [0]
+    >>> wal.close()
+    """
+
+    def __init__(self, path: str | Path, sync: bool = False) -> None:
+        self._path = Path(path)
+        self._sync = sync
+        self._handle = None
+
+    @property
+    def path(self) -> Path:
+        """The log file location."""
+        return self._path
+
+    @property
+    def exists(self) -> bool:
+        """Whether the log file is present on disk."""
+        return self._path.exists()
+
+    # -- writing -----------------------------------------------------------------
+
+    def append(self, record: WalRecord) -> None:
+        """Make one mutation durable (buffered write + flush, optional fsync)."""
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._trim_torn_tail()
+            self._handle = open(self._path, "a", encoding="utf-8")
+        self._handle.write(record.to_json() + "\n")
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+
+    def _trim_torn_tail(self) -> None:
+        """Drop a partial final line left by a crash mid-append.
+
+        The torn record never committed (replay skips it), but appending
+        after it would glue the next record onto the same line and corrupt
+        the log — so the tail is truncated back to the last newline before
+        the first post-reopen append.
+        """
+        if not self._path.exists():
+            return
+        with open(self._path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            content = handle.read(size)
+            keep = content.rfind(b"\n") + 1  # 0 when the whole file is one torn line
+            handle.truncate(keep)
+
+    def close(self) -> None:
+        """Close the append handle (idempotent); replay still works."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------------
+
+    def replay(self, after_seq: int = 0) -> Iterator[WalRecord]:
+        """Yield the records with ``seq > after_seq`` in log order.
+
+        The file is streamed line by line (replay cost is bounded by the log
+        length, not by available memory).  A torn final line is skipped (the
+        mutation never committed); a malformed interior line raises
+        :class:`CorruptWalError`.
+        """
+        if not self._path.exists():
+            return
+        with open(self._path, encoding="utf-8") as handle:
+            pending: Optional[tuple[int, str]] = None
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                if pending is not None:
+                    record = self._decode(*pending, torn_ok=False)
+                    assert record is not None
+                    if record.seq > after_seq:
+                        yield record
+                pending = (line_number, line)
+            if pending is not None:
+                record = self._decode(*pending, torn_ok=True)
+                if record is not None and record.seq > after_seq:
+                    yield record
+
+    def _decode(self, line_number: int, line: str, torn_ok: bool) -> Optional[WalRecord]:
+        try:
+            return WalRecord.from_json(line)
+        except (ValueError, KeyError, TypeError) as error:
+            if torn_ok:
+                return None  # torn tail: the append never completed
+            raise CorruptWalError(self._path, line_number, str(error)) from error
+
+    def last_seq(self) -> int:
+        """Sequence number of the newest committed record (0 when empty)."""
+        seq = 0
+        for record in self.replay():
+            seq = record.seq
+        return seq
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop every committed record with ``seq`` at or below the given one.
+
+        Called after a snapshot has durably captured the state through
+        ``seq``, so restarts replay (and startup reads) only the tail.  The
+        rewrite is atomic (temp file + rename); returns the number of
+        records kept.
+        """
+        if not self._path.exists():
+            return 0
+        kept = list(self.replay(after_seq=seq))
+        self.close()
+        temporary = self._path.with_suffix(".jsonl.tmp")
+        temporary.write_text(
+            "".join(record.to_json() + "\n" for record in kept), encoding="utf-8"
+        )
+        temporary.replace(self._path)
+        return len(kept)
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog(path={str(self._path)!r}, sync={self._sync})"

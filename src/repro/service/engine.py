@@ -29,6 +29,7 @@ async backends) build on.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from collections.abc import Sequence
@@ -159,6 +160,7 @@ class QueryEngine:
         )
         self._cache = cache if cache is not None else LRUResultCache(cache_capacity)
         self._stats = EngineStats(cache=self._cache.stats)
+        self._stats_lock = threading.Lock()
 
     # -- component access ---------------------------------------------------------
 
@@ -286,21 +288,24 @@ class QueryEngine:
         theta: float = 0.0,
         n_neighbours: int = 0,
     ) -> EngineResponse:
-        if kind == "knn":
-            self._stats.knn_queries += 1
-            result_count = len(result.neighbours)  # type: ignore[union-attr]
-        else:
-            self._stats.queries += 1
-            result_count = len(result)
+        result_count = len(result.neighbours) if kind == "knn" else len(result)  # type: ignore[union-attr]
         if cache_hit:
-            self._stats.cache_hits += 1
             algorithm = getattr(result, "algorithm", "") or "cached"
         else:
             assert decision is not None
             algorithm = decision.algorithm
-            counts = self._stats.algorithm_counts
-            counts[algorithm] = counts.get(algorithm, 0) + 1
-        self._stats.total_latency_seconds += latency
+        # counters are shared across concurrently served requests
+        with self._stats_lock:
+            if kind == "knn":
+                self._stats.knn_queries += 1
+            else:
+                self._stats.queries += 1
+            if cache_hit:
+                self._stats.cache_hits += 1
+            else:
+                counts = self._stats.algorithm_counts
+                counts[algorithm] = counts.get(algorithm, 0) + 1
+            self._stats.total_latency_seconds += latency
         stats = QueryStats(
             kind=kind,
             algorithm=algorithm,

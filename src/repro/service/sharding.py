@@ -44,16 +44,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.distances import footrule_topk_raw, max_footrule_distance
 from repro.core.ranking import Ranking, RankingSet
 from repro.core.result import SearchResult
 from repro.core.stats import SearchStats
 from repro.algorithms.base import RankingSearchAlgorithm
-from repro.algorithms.knn import KnnResult, Neighbour
+from repro.algorithms.knn import KnnResult, Neighbour, exact_local_top
 from repro.algorithms.registry import make_algorithm
-
-#: Largest threshold forwarded to a range search (theta must stay below 1).
-_MAX_RANGE_THETA = 0.999
 
 
 @dataclass(frozen=True)
@@ -113,6 +109,7 @@ class ShardedIndex:
             raise ValueError("cannot shard an empty collection")
         self._rankings = rankings
         self._lock = threading.Lock()
+        self._closed = False
         self._executor: Optional[ThreadPoolExecutor] = None
         self._instances: dict[tuple, RankingSearchAlgorithm] = {}
         self._build_state = _partition_round_robin(
@@ -153,8 +150,14 @@ class ShardedIndex:
             executor.shutdown(wait=True)
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent)."""
+        """Shut the fan-out thread pool down (idempotent).
+
+        Queries that race (or follow) the close still answer correctly —
+        they fall back to running their shard tasks serially instead of
+        resurrecting a pool nothing would ever shut down again.
+        """
         with self._lock:
+            self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
@@ -221,8 +224,11 @@ class ShardedIndex:
 
     # -- fan-out machinery ---------------------------------------------------------
 
-    def _get_executor(self, workers: int) -> ThreadPoolExecutor:
+    def _get_executor(self, workers: int) -> Optional[ThreadPoolExecutor]:
+        """The fan-out pool, or ``None`` once the index is closed."""
         with self._lock:
+            if self._closed:
+                return None
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=workers, thread_name_prefix="repro-shard"
@@ -235,12 +241,18 @@ class ShardedIndex:
             return [task(0)]
         while True:
             executor = self._get_executor(count)
+            if executor is None:  # closed: answer serially rather than leak a pool
+                return [task(shard) for shard in range(count)]
             try:
                 return list(executor.map(task, range(count)))
-            except RuntimeError:
-                # the pool was shut down by a concurrent rebuild/close between
-                # lookup and submission; retry on a fresh one (tasks are
-                # read-only against their pinned epoch, so re-running is safe)
+            except RuntimeError as error:
+                # Only a pool shut down by a concurrent rebuild/close between
+                # lookup and submission is retryable (tasks are read-only
+                # against their pinned epoch, so re-running is safe); a
+                # RuntimeError raised by the task itself must propagate or
+                # the retry would loop forever on a failing query.
+                if "shutdown" not in str(error):
+                    raise
                 continue
 
     @staticmethod
@@ -304,34 +316,15 @@ class ShardedIndex:
             raise ValueError(f"n_neighbours must be positive, got {n_neighbours}")
 
         build = self._current_build()
-        maximum = max_footrule_distance(self._rankings.k)
 
         def run_shard(shard: int) -> tuple[list[tuple[float, int]], SearchStats]:
             instance = self._instance(build, shard, algorithm, kwargs)
-            stats = SearchStats()
-            target = min(n_neighbours, len(build.shards[shard]))
-            theta = initial_theta
-            attempts = 0
-            while True:
-                attempts += 1
-                result = instance.search(query, min(theta, _MAX_RANGE_THETA))
-                stats.merge(result.stats)
-                if len(result) >= target or theta >= 1.0:
-                    break
-                theta *= growth
-            stats.extra["range_attempts"] = float(attempts)
+            local_top, stats = exact_local_top(
+                instance, build.shards[shard], query, n_neighbours,
+                initial_theta=initial_theta, growth=growth,
+            )
             rid_map = build.global_rids[shard]
-            if len(result) >= target:
-                top = [(match.distance, rid_map[match.rid]) for match in list(result)[:target]]
-            else:
-                # exact fallback: distance-1.0 rankings never match a range query
-                entries = []
-                for local_rid, ranking in enumerate(build.shards[shard]):
-                    stats.distance_calls += 1
-                    raw = footrule_topk_raw(query, ranking)
-                    entries.append((raw / maximum, rid_map[local_rid]))
-                top = heapq.nsmallest(target, entries)
-            return top, stats
+            return [(distance, rid_map[local_rid]) for distance, local_rid in local_top], stats
 
         start = time.perf_counter()
         shard_answers = self._fan_out(run_shard, build.num_shards)

@@ -1,7 +1,5 @@
 """Behavioural tests for the AdaptSearch competitor."""
 
-import pytest
-
 from repro.core.distances import max_footrule_distance
 from repro.algorithms.adaptsearch import AdaptSearch
 from repro.algorithms.filter_validate import FilterValidate

@@ -1,7 +1,5 @@
 """Behavioural tests for Blocked+Prune and Blocked+Prune+Drop."""
 
-import pytest
-
 from repro.algorithms.blocked_prune import BlockedPrune, BlockedPruneDrop
 from repro.algorithms.filter_validate import FilterValidate
 

@@ -1,7 +1,5 @@
 """Behavioural tests for F&V and F&V+Drop (candidates, counters, dropping)."""
 
-import pytest
-
 from repro.core.bounds import min_overlap_for_threshold
 from repro.core.distances import max_footrule_distance
 from repro.core.ranking import Ranking

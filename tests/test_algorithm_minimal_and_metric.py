@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.ranking import Ranking
 from repro.algorithms.filter_validate import FilterValidate
 from repro.algorithms.metric_search import BKTreeSearch, MTreeSearch, VPTreeSearch
 from repro.algorithms.minimal_fv import MinimalFilterValidate, QueryNotPreparedError

@@ -88,3 +88,88 @@ class TestCompareAndReports:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestIngest:
+    @staticmethod
+    def write_stream(path, mutations):
+        import json
+
+        path.write_text("\n".join(json.dumps(mutation) for mutation in mutations) + "\n")
+        return path
+
+    @pytest.fixture()
+    def mutation_file(self, tmp_path):
+        mutations = [{"op": "insert", "items": [i, i + 10, i + 20, i + 30]} for i in range(12)]
+        mutations.append({"op": "delete", "key": 2})
+        mutations.append({"op": "upsert", "key": 0, "items": [9, 19, 29, 39]})
+        return self.write_stream(tmp_path / "mutations.jsonl", mutations)
+
+    def test_ingest_reports_stats(self, mutation_file, capsys):
+        exit_code = main(
+            ["ingest", str(mutation_file), "--memtable-threshold", "4", "--max-segments", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "applied 14 mutation(s)" in output
+        assert "inserts=12 deletes=1 upserts=1" in output
+        assert "live rankings: 11" in output
+
+    def test_ingest_with_probes(self, mutation_file, capsys):
+        exit_code = main(
+            ["ingest", str(mutation_file), "--query", "0,10,20,30", "--theta", "0.2",
+             "--knn", "2", "--probe-every", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.count("probe @") == 3  # after 5, 10, and the final 14
+        assert "2-NN" in output
+
+    def test_ingest_persists_and_replays(self, mutation_file, tmp_path, capsys):
+        live_dir = tmp_path / "live"
+        assert main(["ingest", str(mutation_file), "--dir", str(live_dir)]) == 0
+        capsys.readouterr()
+        more = self.write_stream(
+            tmp_path / "more.jsonl", [{"op": "insert", "items": [100, 101, 102, 103]}]
+        )
+        assert main(["ingest", str(more), "--dir", str(live_dir), "--snapshot"]) == 0
+        output = capsys.readouterr().out
+        assert "replayed 14 WAL record(s)" in output
+        assert "live rankings: 12" in output
+        assert "snapshot written" in output
+        assert (live_dir / "snapshot.json").exists()
+
+    def test_ingest_skips_malformed_lines(self, tmp_path, capsys):
+        stream = self.write_stream(
+            tmp_path / "dirty.jsonl",
+            [
+                {"op": "insert", "items": [1, 2, 3]},
+                {"op": "explode"},
+                {"op": "delete", "key": 99},
+                {"op": "insert", "items": [4, 5, 6]},
+            ],
+        )
+        assert main(["ingest", str(stream)]) == 0
+        captured = capsys.readouterr()
+        assert "applied 2 mutation(s)" in captured.out
+        assert "skipped 2" in captured.out
+        assert "line 2" in captured.err
+        assert "line 3" in captured.err
+
+    def test_ingest_rejects_bad_flags(self, mutation_file, capsys):
+        assert main(["ingest", str(mutation_file), "--memtable-threshold", "0"]) == 2
+        assert main(["ingest", str(mutation_file), "--snapshot"]) == 2
+        assert main(["ingest", str(mutation_file), "--query", "1,two"]) == 2
+        assert capsys.readouterr().err.count("error:") == 3
+
+    def test_ingest_missing_stream_reports_error(self, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read mutation stream" in capsys.readouterr().err
+
+    def test_ingest_probe_size_mismatch_reports_error(self, mutation_file, capsys):
+        # data has k=4; a k=2 probe must produce an error message, not a traceback
+        exit_code = main(
+            ["ingest", str(mutation_file), "--query", "1,2", "--probe-every", "5"]
+        )
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err

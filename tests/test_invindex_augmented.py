@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import EmptyDatasetError
-from repro.core.ranking import Ranking, RankingSet
+from repro.core.ranking import RankingSet
 from repro.core.stats import SearchStats
 from repro.invindex.augmented import AugmentedInvertedIndex
 from repro.invindex.postings import Posting, PostingList

@@ -3,9 +3,15 @@
 import pytest
 
 from repro.core.distances import footrule_topk
+from repro.core.ranking import RankingSet
 from repro.algorithms.coarse import CoarseSearch
 from repro.algorithms.filter_validate import FilterValidate
-from repro.algorithms.knn import BKTreeKNN, BruteForceKNN, RangeExpansionKNN
+from repro.algorithms.knn import (
+    BKTreeKNN,
+    BruteForceKNN,
+    RangeExpansionKNN,
+    exact_local_top,
+)
 
 
 def brute_force_order(rankings, query):
@@ -93,3 +99,21 @@ class TestKnnBehaviour:
         small_d = [n.distance for n in small.neighbours]
         large_d = [n.distance for n in large.neighbours][:3]
         assert small_d == pytest.approx(large_d)
+
+    def test_range_expansion_reaches_fully_disjoint_rankings(self):
+        """Distance-1.0 rankings are unreachable by range queries; the
+        brute-force fallback must still deliver the full answer."""
+        from repro.core.ranking import Ranking
+
+        rankings = RankingSet.from_lists([[10, 11, 12], [20, 21, 22], [30, 31, 32]])
+        searcher = RangeExpansionKNN(FilterValidate.build(rankings))
+        result = searcher.search(Ranking([1, 2, 3]), 3)
+        assert result.rids == [0, 1, 2]  # ties at 1.0 break by ranking id
+        assert [n.distance for n in result.neighbours] == [1.0, 1.0, 1.0]
+
+    def test_exact_local_top_validates_parameters(self, nyt_small):
+        algorithm = FilterValidate.build(nyt_small)
+        with pytest.raises(ValueError):
+            exact_local_top(algorithm, nyt_small, nyt_small[0], 3, initial_theta=0.0)
+        with pytest.raises(ValueError):
+            exact_local_top(algorithm, nyt_small, nyt_small[0], 3, growth=1.0)

@@ -1,0 +1,113 @@
+"""LiveQueryEngine tests: epoch-based cache invalidation and request stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.live import LiveCollection, LiveQueryEngine
+
+
+@pytest.fixture
+def engine():
+    with LiveQueryEngine(LiveCollection(memtable_threshold=4, max_segments=2)) as engine:
+        engine.insert([1, 2, 3])
+        engine.insert([1, 3, 2])
+        engine.insert([7, 8, 9])
+        yield engine
+
+
+def test_repeat_query_hits_cache(engine):
+    query = Ranking([1, 2, 3])
+    first = engine.query(query, theta=0.3)
+    second = engine.query(query, theta=0.3)
+    assert not first.stats.cache_hit
+    assert second.stats.cache_hit
+    assert second.result is first.result
+    assert sorted(first.result.rids) == [0, 1]
+
+
+def test_mutation_invalidates_cached_results(engine):
+    query = Ranking([1, 2, 3])
+    engine.query(query, theta=0.3)
+    engine.insert([2, 1, 3])
+    response = engine.query(query, theta=0.3)
+    assert not response.stats.cache_hit
+    assert 3 in response.result.rids
+    assert engine.stats().rebuilds == 1
+
+
+def test_delete_invalidates_and_shrinks_answer(engine):
+    query = Ranking([1, 2, 3])
+    assert sorted(engine.query(query, theta=0.3).result.rids) == [0, 1]
+    engine.delete(1)
+    response = engine.query(query, theta=0.3)
+    assert not response.stats.cache_hit
+    assert sorted(response.result.rids) == [0]
+
+
+def test_burst_of_writes_costs_one_invalidation(engine):
+    engine.query(Ranking([1, 2, 3]), theta=0.3)
+    for i in range(5):
+        engine.insert([10 + i, 20 + i, 30 + i])
+    engine.query(Ranking([1, 2, 3]), theta=0.3)
+    assert engine.cache.stats.invalidations == 1
+
+
+def test_knn_caching_and_invalidation(engine):
+    query = Ranking([1, 2, 3])
+    first = engine.knn(query, 2)
+    assert not first.stats.cache_hit
+    assert first.result.rids == [0, 1]
+    assert engine.knn(query, 2).stats.cache_hit
+    engine.upsert(1, [9, 8, 7])
+    refreshed = engine.knn(query, 2)
+    assert not refreshed.stats.cache_hit
+    # key 1 is now disjoint from the query: ties at the max distance break by key
+    assert refreshed.result.rids == [0, 1]
+    assert refreshed.result.neighbours[1].distance == 1.0
+
+
+def test_flush_and_compact_pass_through(engine):
+    for i in range(6):
+        engine.insert([40 + i, 50 + i, 60 + i])
+    engine.flush()
+    assert engine.compact() in (True, False)
+    response = engine.query(Ranking([1, 2, 3]), theta=0.3)
+    assert sorted(response.result.rids) == [0, 1]
+
+
+def test_request_stats_and_totals(engine):
+    engine.query(Ranking([1, 2, 3]), theta=0.3)
+    engine.query(Ranking([1, 2, 3]), theta=0.3)
+    engine.knn(Ranking([1, 2, 3]), 1)
+    totals = engine.stats()
+    assert totals.queries == 2
+    assert totals.knn_queries == 1
+    assert totals.cache_hits == 1
+    assert totals.requests == 3
+    assert totals.mean_latency_seconds >= 0.0
+    assert totals.algorithm_counts.get("F&V") == 2
+
+
+def test_batch_query(engine):
+    queries = [Ranking([1, 2, 3]), Ranking([7, 8, 9]), Ranking([1, 2, 3])]
+    responses = engine.batch_query(queries, theta=0.2)
+    assert [response.stats.cache_hit for response in responses] == [False, False, True]
+
+
+def test_per_request_algorithm_override(engine):
+    response = engine.query(Ranking([1, 2, 3]), theta=0.3, algorithm="Coarse+Drop")
+    assert response.stats.algorithm == "Coarse+Drop"
+    assert sorted(response.result.rids) == [0, 1]
+
+
+def test_unknown_default_algorithm_rejected():
+    with pytest.raises(ValueError):
+        LiveQueryEngine(algorithm="MinimalF&V")
+
+
+def test_engine_builds_default_collection():
+    with LiveQueryEngine() as engine:
+        assert engine.insert([1, 2, 3]) == 0
+        assert len(engine.collection) == 1

@@ -1,0 +1,160 @@
+"""Live-vs-rebuild equivalence: the live store's core guarantee.
+
+After any interleaving of inserts, deletes, and upserts — with flushes and
+compactions forced at arbitrary points — ``LiveCollection.range_query`` and
+``LiveCollection.knn`` must return byte-identical answers to a from-scratch
+single index built over the logical collection (the live rankings in
+ascending key order): the same rankings, the same distances, and the same
+``(distance, id)`` tie order.  Dense baseline id ``i`` corresponds to the
+i-th smallest live key, which is what ``LiveCollection.live_keys`` reports.
+
+The property is asserted across two registry algorithms from different index
+families, two churn patterns (insert-heavy growth vs delete/upsert-heavy
+turnover), several random seeds, and checkpoints placed before and after
+flush/compact boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.ranking import Ranking
+from repro.live import LiveCollection
+from repro.algorithms.filter_validate import FilterValidate
+
+#: One inverted-index algorithm and the paper's hybrid coarse index.
+EQUIVALENCE_ALGORITHMS = ("F&V", "Coarse+Drop")
+
+#: (insert, delete, upsert) weights: growth-heavy vs turnover-heavy churn.
+CHURN_PATTERNS = {
+    "growth": (0.8, 0.1, 0.1),
+    "turnover": (0.4, 0.3, 0.3),
+}
+
+SEEDS = (11, 47)
+
+K = 7
+DOMAIN = 60
+OPERATIONS = 90
+THETAS = (0.15, 0.4)
+NEIGHBOUR_COUNTS = (1, 6)
+
+
+def random_items(rng: random.Random) -> list[int]:
+    return rng.sample(range(DOMAIN), K)
+
+
+def apply_random_operation(live: LiveCollection, rng: random.Random, weights) -> None:
+    insert_w, delete_w, upsert_w = weights
+    keys = live.live_keys()
+    roll = rng.random()
+    if roll < insert_w or not keys:
+        live.insert(random_items(rng))
+    elif roll < insert_w + delete_w:
+        live.delete(rng.choice(keys))
+    else:
+        live.upsert(rng.choice(keys), random_items(rng))
+
+
+def assert_equivalent(live: LiveCollection, rng: random.Random, algorithm: str) -> None:
+    baseline_set = live.to_ranking_set()
+    live_keys = live.live_keys()
+    assert len(baseline_set) == len(live_keys)
+    if not live_keys:
+        return
+    baseline = FilterValidate.build(baseline_set)
+    maximum = max_footrule_distance(baseline_set.k)
+    queries = [Ranking(random_items(rng)) for _ in range(3)]
+    # a query that is an exact live ranking exercises distance-zero ties
+    queries.append(live.get(rng.choice(live_keys)))
+    for query in queries:
+        for theta in THETAS:
+            expected = baseline.search(query, theta)
+            answer = live.range_query(query, theta, algorithm=algorithm)
+            expected_triples = [
+                (match.distance, live_keys[match.rid], match.ranking.items)
+                for match in expected.matches
+            ]
+            answer_triples = [
+                (match.distance, match.rid, match.ranking.items) for match in answer.matches
+            ]
+            assert answer_triples == expected_triples
+        for n_neighbours in NEIGHBOUR_COUNTS:
+            expected_knn = sorted(
+                (footrule_topk_raw(query, ranking) / maximum, live_keys[ranking.rid])
+                for ranking in baseline_set
+            )[:n_neighbours]
+            answer_knn = live.knn(query, n_neighbours, algorithm=algorithm)
+            assert [
+                (neighbour.distance, neighbour.rid) for neighbour in answer_knn.neighbours
+            ] == expected_knn
+            for neighbour in answer_knn.neighbours:
+                assert neighbour.ranking == live.get(neighbour.rid)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("pattern", sorted(CHURN_PATTERNS))
+@pytest.mark.parametrize("algorithm", EQUIVALENCE_ALGORITHMS)
+def test_random_churn_matches_fresh_rebuild(algorithm, pattern, seed):
+    rng = random.Random(seed)
+    weights = CHURN_PATTERNS[pattern]
+    live = LiveCollection(memtable_threshold=6, max_segments=2)
+    checkpoints = {OPERATIONS // 3, (2 * OPERATIONS) // 3, OPERATIONS - 1}
+    for step in range(OPERATIONS):
+        apply_random_operation(live, rng, weights)
+        if step in checkpoints:
+            assert_equivalent(live, rng, algorithm)
+    live.close()
+
+
+@pytest.mark.parametrize("algorithm", EQUIVALENCE_ALGORITHMS)
+def test_equivalence_across_flush_and_compact_boundaries(algorithm):
+    rng = random.Random(3)
+    live = LiveCollection(memtable_threshold=50, max_segments=50)  # manual control
+    for _ in range(25):
+        apply_random_operation(live, rng, CHURN_PATTERNS["turnover"])
+    assert_equivalent(live, rng, algorithm)          # memtable only
+    live.flush()
+    assert_equivalent(live, rng, algorithm)          # one segment, empty memtable
+    for _ in range(15):
+        apply_random_operation(live, rng, CHURN_PATTERNS["turnover"])
+    assert_equivalent(live, rng, algorithm)          # memtable + segment + tombstones
+    live.flush()
+    live.compact()
+    assert_equivalent(live, rng, algorithm)          # everything in the base
+    for _ in range(15):
+        apply_random_operation(live, rng, CHURN_PATTERNS["growth"])
+    live.flush()
+    assert_equivalent(live, rng, algorithm)          # base + fresh segment
+    live.close()
+
+
+def test_equivalence_with_sharded_base():
+    rng = random.Random(19)
+    live = LiveCollection(memtable_threshold=5, max_segments=2, num_shards=3)
+    for _ in range(70):
+        apply_random_operation(live, rng, CHURN_PATTERNS["growth"])
+    live.flush()
+    live.compact()
+    assert_equivalent(live, rng, "F&V")
+    live.close()
+
+
+def test_delete_everything_then_requery():
+    live = LiveCollection(memtable_threshold=3, max_segments=2)
+    keys = [live.insert([i, i + 10, i + 20]) for i in range(6)]
+    live.flush()
+    for key in keys:
+        live.delete(key)
+    assert len(live) == 0
+    assert live.range_query(Ranking([0, 10, 20]), theta=0.5).matches == []
+    assert live.knn(Ranking([0, 10, 20]), 3).neighbours == []
+    # compaction of an all-tombstone base leaves an empty collection
+    live.compact()
+    assert live.base_size == 0
+    key = live.insert([1, 2, 3])
+    assert live.knn(Ranking([1, 2, 3]), 1).rids == [key]
+    live.close()

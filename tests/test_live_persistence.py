@@ -1,0 +1,175 @@
+"""Durability tests: WAL replay, snapshot/restore, and restart equivalence."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core.ranking import Ranking
+from repro.live import LiveCollection
+from repro.live.collection import SNAPSHOT_FILENAME, WAL_FILENAME
+
+
+def logical_state(live: LiveCollection) -> list[tuple[int, tuple[int, ...]]]:
+    return [(key, live.get(key).items) for key in live.live_keys()]
+
+
+def churn(live: LiveCollection, rng: random.Random, operations: int) -> None:
+    for _ in range(operations):
+        keys = live.live_keys()
+        roll = rng.random()
+        if roll < 0.6 or not keys:
+            live.insert(rng.sample(range(50), 5))
+        elif roll < 0.8:
+            live.delete(rng.choice(keys))
+        else:
+            live.upsert(rng.choice(keys), rng.sample(range(50), 5))
+
+
+def test_restart_replays_wal(tmp_path):
+    rng = random.Random(5)
+    live = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    churn(live, rng, 40)
+    expected = logical_state(live)
+    next_key = live._next_key
+    live.close()
+
+    reopened = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    assert reopened.stats().replayed == 40
+    assert logical_state(reopened) == expected
+    assert reopened._next_key == next_key
+    reopened.close()
+
+
+def test_restart_answers_equal_pre_restart_answers(tmp_path):
+    rng = random.Random(8)
+    live = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    churn(live, rng, 50)
+    query = Ranking(rng.sample(range(50), 5))
+    before_range = [(m.distance, m.rid) for m in live.range_query(query, 0.4).matches]
+    before_knn = [(n.distance, n.rid) for n in live.knn(query, 5).neighbours]
+    live.close()
+
+    reopened = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    after_range = [(m.distance, m.rid) for m in reopened.range_query(query, 0.4).matches]
+    after_knn = [(n.distance, n.rid) for n in reopened.knn(query, 5).neighbours]
+    assert after_range == before_range
+    assert after_knn == before_knn
+    reopened.close()
+
+
+def test_snapshot_limits_replay_to_wal_tail(tmp_path):
+    rng = random.Random(13)
+    live = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    churn(live, rng, 30)
+    live.snapshot()
+    churn(live, rng, 7)  # the tail
+    expected = logical_state(live)
+    live.close()
+
+    reopened = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    assert reopened.stats().replayed == 7
+    assert logical_state(reopened) == expected
+    reopened.close()
+
+
+def test_snapshot_round_trip_without_tail(tmp_path):
+    rng = random.Random(21)
+    live = LiveCollection.open(tmp_path, memtable_threshold=4, max_segments=2)
+    churn(live, rng, 25)
+    expected = logical_state(live)
+    path = live.snapshot()
+    live.close()
+    assert path.name == SNAPSHOT_FILENAME
+
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert [tuple(entry[1]) for entry in payload["entries"]] == [items for _, items in expected]
+
+    reopened = LiveCollection.open(tmp_path)
+    assert reopened.stats().replayed == 0
+    assert logical_state(reopened) == expected
+    # the restored base serves queries directly
+    key, items = expected[0]
+    assert reopened.knn(Ranking(list(items)), 1).rids == [key]
+    reopened.close()
+
+
+def test_snapshot_truncates_covered_wal_records(tmp_path):
+    live = LiveCollection.open(tmp_path)
+    for i in range(20):
+        live.insert([i, i + 30, i + 60])
+    live.snapshot()
+    wal_path = tmp_path / WAL_FILENAME
+    assert wal_path.read_text(encoding="utf-8") == ""  # fully covered
+    for i in range(3):
+        live.insert([100 + i, 200 + i, 300 + i])
+    assert len(wal_path.read_text(encoding="utf-8").splitlines()) == 3  # tail only
+    live.close()
+
+    reopened = LiveCollection.open(tmp_path)
+    assert reopened.stats().replayed == 3
+    assert len(reopened) == 23
+    reopened.close()
+
+
+def test_snapshot_preserves_key_gaps_and_counter(tmp_path):
+    live = LiveCollection.open(tmp_path)
+    keys = [live.insert([i, i + 10, i + 20]) for i in range(5)]
+    live.delete(keys[1])
+    live.delete(keys[3])
+    live.snapshot()
+    live.close()
+
+    reopened = LiveCollection.open(tmp_path)
+    assert reopened.live_keys() == [0, 2, 4]
+    assert reopened.insert([50, 60, 70]) == 5  # counter survives the round trip
+    reopened.close()
+
+
+def test_torn_wal_tail_is_ignored_on_restart(tmp_path):
+    live = LiveCollection.open(tmp_path)
+    live.insert([1, 2, 3])
+    live.insert([4, 5, 6])
+    live.close()
+    with open(tmp_path / WAL_FILENAME, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 3, "op": "insert", "key": 2, "items": [7,')
+    reopened = LiveCollection.open(tmp_path)
+    assert reopened.live_keys() == [0, 1]
+    # the next mutation reuses the uncommitted sequence number
+    reopened.insert([7, 8, 9])
+    assert reopened._seq == 3
+    reopened.close()
+    # and that mutation survives another restart: the torn line was repaired,
+    # not glued onto (which would silently drop the acknowledged insert)
+    final = LiveCollection.open(tmp_path)
+    assert final.live_keys() == [0, 1, 2]
+    assert final.get(2) == Ranking([7, 8, 9])
+    final.close()
+
+
+def test_open_on_empty_directory_starts_empty(tmp_path):
+    live = LiveCollection.open(tmp_path / "fresh")
+    assert len(live) == 0
+    assert live.insert([1, 2, 3]) == 0
+    live.close()
+
+
+def test_in_memory_collection_rejects_snapshot():
+    live = LiveCollection()
+    live.insert([1, 2, 3])
+    try:
+        live.snapshot()
+    except ValueError as error:
+        assert "directory" in str(error)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("snapshot without a directory should fail")
+
+
+def test_snapshot_to_explicit_directory(tmp_path):
+    live = LiveCollection()
+    live.insert([1, 2, 3])
+    path = live.snapshot(tmp_path / "backup")
+    assert path.exists()
+    restored = LiveCollection.open(tmp_path / "backup")
+    assert logical_state(restored) == [(0, (1, 2, 3))]
+    restored.close()

@@ -1,0 +1,146 @@
+"""Write-ahead log unit tests: append/replay, tails, and corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.wal import CorruptWalError, WalRecord, WriteAheadLog
+
+
+def make_records(count: int) -> list[WalRecord]:
+    records = []
+    for seq in range(1, count + 1):
+        if seq % 3 == 0:
+            records.append(WalRecord(seq=seq, op="delete", key=seq - 1))
+        else:
+            records.append(WalRecord(seq=seq, op="insert", key=seq - 1, items=(seq, seq + 1, seq + 2)))
+    return records
+
+
+def test_append_replay_round_trip(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    records = make_records(7)
+    for record in records:
+        wal.append(record)
+    wal.close()
+    assert list(wal.replay()) == records
+
+
+def test_replay_skips_up_to_sequence(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    records = make_records(10)
+    for record in records:
+        wal.append(record)
+    tail = list(wal.replay(after_seq=6))
+    assert [record.seq for record in tail] == [7, 8, 9, 10]
+    assert list(wal.replay(after_seq=10)) == []
+
+
+def test_replay_of_missing_file_is_empty(tmp_path):
+    wal = WriteAheadLog(tmp_path / "never-created.jsonl")
+    assert list(wal.replay()) == []
+    assert wal.last_seq() == 0
+    assert not wal.exists
+
+
+def test_last_seq_reports_newest_record(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    for record in make_records(5):
+        wal.append(record)
+    assert wal.last_seq() == 5
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    wal = WriteAheadLog(path)
+    records = make_records(4)
+    for record in records:
+        wal.append(record)
+    wal.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 5, "op": "ins')  # crash mid-append
+    assert list(wal.replay()) == records
+
+
+def test_append_after_torn_tail_repairs_the_log(tmp_path):
+    """A post-crash append must not glue onto the torn line (data loss)."""
+    path = tmp_path / "wal.jsonl"
+    wal = WriteAheadLog(path)
+    records = make_records(2)
+    for record in records:
+        wal.append(record)
+    wal.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 3, "op": "ins')  # crash mid-append
+    reopened = WriteAheadLog(path)
+    fresh = WalRecord(seq=3, op="insert", key=2, items=(7, 8, 9))
+    reopened.append(fresh)
+    reopened.close()
+    # the torn line is gone and the new record is a committed, parseable tail
+    assert list(reopened.replay()) == records + [fresh]
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 3
+    assert path.read_text(encoding="utf-8").endswith("\n")
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    wal = WriteAheadLog(path)
+    for record in make_records(4):
+        wal.append(record)
+    wal.close()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    lines[1] = "not json at all"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(CorruptWalError) as excinfo:
+        list(wal.replay())
+    assert excinfo.value.line_number == 2
+
+
+def test_truncate_through_drops_covered_records(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    for record in make_records(10):
+        wal.append(record)
+    kept = wal.truncate_through(7)
+    assert kept == 3
+    assert [record.seq for record in wal.replay()] == [8, 9, 10]
+    # appending after a truncation keeps working
+    wal.append(WalRecord(seq=11, op="delete", key=1))
+    assert wal.last_seq() == 11
+    wal.close()
+
+
+def test_truncate_through_everything_leaves_empty_log(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    for record in make_records(4):
+        wal.append(record)
+    assert wal.truncate_through(4) == 0
+    assert list(wal.replay()) == []
+    assert wal.exists  # the file stays, just empty
+    wal.close()
+
+
+def test_unknown_operation_is_rejected():
+    with pytest.raises(ValueError):
+        WalRecord.from_json('{"seq": 1, "op": "truncate", "key": 0}')
+
+
+def test_insert_requires_items():
+    with pytest.raises(ValueError):
+        WalRecord.from_json('{"seq": 1, "op": "insert", "key": 0}')
+
+
+def test_reopened_log_appends_after_existing_records(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with WriteAheadLog(path) as wal:
+        for record in make_records(3):
+            wal.append(record)
+    with WriteAheadLog(path) as wal:
+        wal.append(WalRecord(seq=4, op="insert", key=3, items=(9, 8, 7)))
+        assert [record.seq for record in wal.replay()] == [1, 2, 3, 4]
+
+
+def test_delete_record_drops_payload():
+    record = WalRecord.from_json('{"seq": 2, "op": "delete", "key": 5, "items": [1, 2]}')
+    assert record.items is None
+    assert "items" not in record.to_json()

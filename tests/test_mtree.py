@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.distances import footrule_topk_raw, max_footrule_distance
-from repro.core.ranking import Ranking
 from repro.core.stats import SearchStats
 from repro.metric.mtree import MTree
 

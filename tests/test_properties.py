@@ -8,7 +8,6 @@ equivalence on random collections.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bounds import (
@@ -23,7 +22,6 @@ from repro.core.distances import (
     max_footrule_distance,
 )
 from repro.core.ranking import Ranking, RankingSet
-from repro.core.coarse_index import CoarseIndex
 from repro.algorithms.filter_validate import FilterValidate
 from repro.algorithms.fv_drop import FilterValidateDrop
 from repro.algorithms.listmerge import ListMerge

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.distances import footrule_topk_raw, max_footrule_distance
+from repro.core.distances import footrule_topk_raw
 from repro.core.ranking import Ranking, RankingSet
 from repro.algorithms.adaptsearch import AdaptSearch
 from repro.algorithms.coarse import CoarseDropSearch

@@ -1,0 +1,79 @@
+"""Public-API hygiene: every package's ``__all__`` matches what it exports.
+
+Guards the satellite guarantee of PR 2: ``repro`` and each of its
+subpackages declare an ``__all__`` whose names are all importable, free of
+duplicates, and in sync with ``from package import *`` — so the documented
+surface and the real surface cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PUBLIC_PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.algorithms",
+    "repro.datasets",
+    "repro.invindex",
+    "repro.metric",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.service",
+    "repro.live",
+)
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_package_declares_all(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must declare __all__"
+    assert package.__all__, f"{package_name}.__all__ must not be empty"
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_all_names_are_importable_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert len(names) == len(set(names)), f"duplicates in {package_name}.__all__"
+    for name in names:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_star_import_matches_all(package_name):
+    package = importlib.import_module(package_name)
+    namespace: dict = {}
+    exec(f"from {package_name} import *", namespace)  # noqa: S102 - the point of the test
+    imported = {name for name in namespace if not name.startswith("_")}
+    declared = {name for name in package.__all__ if not name.startswith("_")}
+    assert imported == declared
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_public_attributes_are_exported_or_submodules(package_name):
+    """Anything public and not a module must be covered by ``__all__``.
+
+    Submodules (and re-imported stdlib modules) are reachable by qualified
+    import and deliberately excluded from the star-import surface.
+    """
+    import types
+
+    package = importlib.import_module(package_name)
+    public = {
+        name
+        for name, value in vars(package).items()
+        if not name.startswith("_") and not isinstance(value, types.ModuleType)
+    }
+    uncovered = public - set(package.__all__)
+    assert not uncovered, f"{package_name} exports undeclared names: {sorted(uncovered)}"
+
+
+def test_live_classes_reachable_from_top_level():
+    import repro
+
+    for name in ("LiveCollection", "LiveQueryEngine", "LiveStats", "WalRecord", "WriteAheadLog"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.ranking import RankingSet
 from repro.algorithms.base import RankingSearchAlgorithm
 from repro.algorithms.batch import BatchCoarseSearch
 from repro.algorithms.coarse import CoarseSearch
