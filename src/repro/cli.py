@@ -17,7 +17,10 @@ Subcommands
 ``ingest``
     Apply a JSONL mutation stream (insert/delete/upsert) to a live-update
     collection, optionally answering query probes mid-stream, and print
-    mutation/flush/compaction statistics.
+    mutation/flush/compaction statistics.  ``--fsync`` / ``--commit-batch``
+    / ``--commit-interval`` pick the WAL durability mode and
+    ``--snapshot-every`` tunes the automatic snapshot policy; the summary
+    names the guarantee the run executed under.
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -150,6 +153,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument(
         "--snapshot", action="store_true", help="write a snapshot when the stream ends"
+    )
+    ingest.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the WAL after every mutation (per-record durability; requires --dir)",
+    )
+    ingest.add_argument(
+        "--commit-batch", type=int, default=None,
+        help="group-commit: fsync the WAL once per this many mutations (requires --dir)",
+    )
+    ingest.add_argument(
+        "--commit-interval", type=float, default=None,
+        help="group-commit: fsync the WAL once a batch is this many seconds old (requires --dir)",
+    )
+    ingest.add_argument(
+        "--snapshot-every", type=int, default=1024,
+        help="auto-snapshot once this many WAL records accumulate (0 disables the policy)",
     )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
@@ -300,12 +319,32 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if args.snapshot and args.dir is None:
         print("error: --snapshot requires --dir", file=sys.stderr)
         return 2
+    durability_flags = args.fsync or args.commit_batch is not None or args.commit_interval is not None
+    if durability_flags and args.dir is None:
+        print("error: --fsync/--commit-batch/--commit-interval require --dir", file=sys.stderr)
+        return 2
+    if args.fsync and (args.commit_batch is not None or args.commit_interval is not None):
+        print("error: --fsync conflicts with --commit-batch/--commit-interval", file=sys.stderr)
+        return 2
+    if args.commit_batch is not None and args.commit_batch <= 0:
+        print("error: --commit-batch must be positive", file=sys.stderr)
+        return 2
+    if args.commit_interval is not None and args.commit_interval <= 0:
+        print("error: --commit-interval must be positive", file=sys.stderr)
+        return 2
+    if args.snapshot_every < 0:
+        print("error: --snapshot-every must be non-negative", file=sys.stderr)
+        return 2
     if args.dir is not None:
         live = LiveCollection.open(
             args.dir,
             memtable_threshold=args.memtable_threshold,
             max_segments=args.max_segments,
             num_shards=args.shards,
+            sync=args.fsync,
+            commit_batch=args.commit_batch,
+            commit_interval=args.commit_interval,
+            snapshot_every=args.snapshot_every or None,
         )
         if live.stats().replayed:
             print(f"replayed {live.stats().replayed} WAL record(s) from {args.dir}")
@@ -363,13 +402,25 @@ def _command_ingest(args: argparse.Namespace) -> int:
               + (f", skipped {errors}" if errors else ""))
         print(
             f"  inserts={stats.inserts} deletes={stats.deletes} upserts={stats.upserts} "
-            f"flushes={stats.flushes} compactions={stats.compactions}"
+            f"flushes={stats.flushes} compactions={stats.compactions} "
+            f"snapshots={stats.snapshots}"
         )
         print(
             f"  live rankings: {len(live)}  memtable: {live.memtable_size}  "
             f"segments: {live.segment_count}  base: {live.base_size}  "
             f"tombstones: {live.tombstone_count}"
         )
+        durability = stats.durability
+        if durability == "group-commit":
+            bounds = []
+            if args.commit_batch is not None:
+                bounds.append(f"batch={args.commit_batch}")
+            if args.commit_interval is not None:
+                bounds.append(f"interval={args.commit_interval}s")
+            durability += f" ({', '.join(bounds)})"
+        print(f"  durability: {durability}"
+              + ("  (acknowledged writes may be lost on power loss)"
+                 if stats.durability in ("in-memory", "no-sync") else ""))
         if args.snapshot:
             path = live.snapshot()
             print(f"snapshot written to {path}")

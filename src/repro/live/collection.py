@@ -27,8 +27,16 @@ order, so the tie order matches a fresh ``RankingSet``'s ``(distance, id)``
 order.  The property tests in ``tests/test_live_equivalence.py`` assert this
 across algorithms and churn patterns.
 
-Snapshots persist the logical state plus the WAL position, so a restart
-loads the snapshot and replays only the WAL tail.
+**Persistence.**  A durable collection (one opened with :meth:`open`) keeps
+a :class:`~repro.live.manifest.Manifest` next to the WAL.  Every checkpoint
+— a memtable flush, a compaction swap, or an explicit :meth:`snapshot` —
+spills the affected immutable run to disk and rewrites the manifest, so a
+restart loads the sealed layers directly and replays only the WAL records
+*after* the manifest's ``covered_seq``: the tail since the last seal, not
+the collection's lifetime.  An automatic snapshot policy
+(``snapshot_every``) additionally truncates the covered WAL prefix once the
+log grows past a bound, keeping both log size and restart cost bounded
+without user intervention.
 """
 
 from __future__ import annotations
@@ -46,6 +54,15 @@ from repro.core.result import SearchResult
 from repro.core.stats import SearchStats
 from repro.algorithms.knn import KnnResult, Neighbour
 from repro.live.compactor import Compactor
+from repro.live.manifest import (
+    MANIFEST_FILENAME,
+    SEGMENTS_DIRNAME,
+    Manifest,
+    base_filename,
+    read_run,
+    segment_filename,
+    write_run,
+)
 from repro.live.memtable import MemTable, scan_entries, top_entries
 from repro.live.segment import Segment
 from repro.live.tombstones import TombstoneSet
@@ -54,10 +71,14 @@ from repro.service.sharding import ShardedIndex
 
 #: File names used inside a persistence directory.
 WAL_FILENAME = "wal.jsonl"
+#: Legacy (pre-manifest) whole-state snapshot file, still readable.
 SNAPSHOT_FILENAME = "snapshot.json"
 
 #: Default algorithm used when a query does not name one.
 DEFAULT_LIVE_ALGORITHM = "F&V"
+
+#: Default WAL length (in records) that triggers an automatic snapshot.
+DEFAULT_SNAPSHOT_EVERY = 1024
 
 #: A storage location: ("mem", 0, key), ("seg", id, local rid), ("base", epoch, rid).
 Location = tuple[str, int, int]
@@ -65,7 +86,12 @@ Location = tuple[str, int, int]
 
 @dataclass
 class LiveStats:
-    """Mutation and maintenance counters over the collection's lifetime."""
+    """Mutation and maintenance counters over the collection's lifetime.
+
+    ``durability`` names the write-path guarantee the collection runs
+    under: ``in-memory`` (no WAL), ``no-sync`` (WAL without fsync),
+    ``fsync`` (per-record barrier), or ``group-commit`` (batched barrier).
+    """
 
     inserts: int = 0
     deletes: int = 0
@@ -73,13 +99,15 @@ class LiveStats:
     flushes: int = 0
     compactions: int = 0
     replayed: int = 0
+    snapshots: int = 0
+    durability: str = "in-memory"
 
     @property
     def mutations(self) -> int:
         """All accepted mutations (inserts + deletes + upserts)."""
         return self.inserts + self.deletes + self.upserts
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         """Flat dictionary view for logs and reports."""
         return {
             "inserts": self.inserts,
@@ -88,6 +116,8 @@ class LiveStats:
             "flushes": self.flushes,
             "compactions": self.compactions,
             "replayed": self.replayed,
+            "snapshots": self.snapshots,
+            "durability": self.durability,
         }
 
 
@@ -111,6 +141,15 @@ class LiveCollection:
         only (still fully queryable, just not durable).
     background_compaction:
         Run triggered compactions on a daemon thread instead of inline.
+    directory:
+        Persistence directory.  When set, sealed segments and compacted
+        bases are spilled to immutable run files and a manifest tracks
+        them, so restarts replay only the WAL tail.
+    snapshot_every:
+        Automatic snapshot policy: once this many WAL records accumulate
+        since the last truncation, a snapshot is taken and the covered
+        prefix dropped.  ``None`` disables the policy (snapshots stay
+        manual).  Only meaningful with both a WAL and a directory.
 
     Examples
     --------
@@ -136,6 +175,7 @@ class LiveCollection:
         wal: Optional[WriteAheadLog] = None,
         background_compaction: bool = False,
         directory: Optional[Union[str, Path]] = None,
+        snapshot_every: Optional[int] = DEFAULT_SNAPSHOT_EVERY,
     ) -> None:
         if memtable_threshold <= 0:
             raise ValueError(f"memtable_threshold must be positive, got {memtable_threshold}")
@@ -143,11 +183,14 @@ class LiveCollection:
             raise ValueError(f"max_segments must be positive, got {max_segments}")
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise ValueError(f"snapshot_every must be positive or None, got {snapshot_every}")
         self._memtable_threshold = memtable_threshold
         self._max_segments = max_segments
         self._num_shards = num_shards
         self._wal = wal
         self._directory = Path(directory) if directory is not None else None
+        self._snapshot_every = snapshot_every
 
         self._lock = threading.RLock()
         self._k: Optional[int] = None
@@ -156,13 +199,20 @@ class LiveCollection:
         self._version = 0
         self._memtable = MemTable()
         self._segments: dict[int, Segment] = {}
+        self._segment_files: dict[int, str] = {}
         self._next_segment_id = 0
         self._base: Optional[ShardedIndex] = None
         self._base_keys: tuple[int, ...] = ()
         self._base_epoch = 0
+        self._base_file: Optional[str] = None
         self._current: dict[int, Location] = {}
         self._tombstones = TombstoneSet()
-        self._stats = LiveStats()
+        self._covered_seq = 0
+        self._wal_records = 0
+        self._replaying = False
+        self._stats = LiveStats(
+            durability=wal.durability if wal is not None else "in-memory"
+        )
         self._compactor = Compactor(self, background=background_compaction)
 
         if initial is not None and len(initial) > 0:
@@ -185,14 +235,26 @@ class LiveCollection:
         num_shards: int = 1,
         background_compaction: bool = False,
         sync: bool = False,
+        commit_batch: Optional[int] = None,
+        commit_interval: Optional[float] = None,
+        snapshot_every: Optional[int] = DEFAULT_SNAPSHOT_EVERY,
     ) -> "LiveCollection":
         """Open (or create) a durable collection in ``directory``.
 
-        Loads the newest snapshot if one exists, then replays only the WAL
-        records after the snapshot's sequence number — the WAL tail.
+        Loads the manifest's sealed layers (base + segments + tombstones)
+        if one exists — falling back to a legacy whole-state snapshot —
+        then replays only the WAL records after the covered sequence
+        number: the tail.  ``sync`` / ``commit_batch`` / ``commit_interval``
+        pick the WAL durability mode (see
+        :class:`~repro.live.wal.WriteAheadLog`).
         """
         directory = Path(directory)
-        wal = WriteAheadLog(directory / WAL_FILENAME, sync=sync)
+        wal = WriteAheadLog(
+            directory / WAL_FILENAME,
+            sync=sync,
+            commit_batch=commit_batch,
+            commit_interval=commit_interval,
+        )
         collection = cls(
             memtable_threshold=memtable_threshold,
             max_segments=max_segments,
@@ -200,57 +262,76 @@ class LiveCollection:
             wal=wal,
             background_compaction=background_compaction,
             directory=directory,
+            snapshot_every=snapshot_every,
         )
+        manifest_path = directory / MANIFEST_FILENAME
         snapshot_path = directory / SNAPSHOT_FILENAME
-        if snapshot_path.exists():
-            collection._load_snapshot(snapshot_path)
-        for record in wal.replay(after_seq=collection._seq):
-            collection._apply_record(record)
-            collection._stats.replayed += 1
-            collection._maintain()
+        referenced: frozenset[str] = frozenset()
+        if manifest_path.exists():
+            manifest = Manifest.load(manifest_path)
+            collection._load_manifest(manifest)
+            referenced = manifest.referenced_files()
+        elif snapshot_path.exists():
+            collection._load_legacy_snapshot(snapshot_path)
+        collection._collect_garbage(referenced)
+        collection._replaying = True
+        try:
+            for record in wal.replay(after_seq=collection._seq):
+                collection._apply_record(record, tolerant=True)
+                collection._stats.replayed += 1
+                collection._maintain()
+        finally:
+            collection._replaying = False
+        if wal.exists:
+            # the file may still hold an untruncated covered prefix, so the
+            # policy counter tracks actual log length, not just the tail
+            collection._wal_records = wal.record_count()
+        collection._maybe_auto_snapshot()
         return collection
 
-    def snapshot(self, directory: Optional[Union[str, Path]] = None) -> Path:
-        """Persist the logical state; later restarts replay only the WAL tail.
+    def _load_manifest(self, manifest: Manifest) -> None:
+        assert self._directory is not None
+        self._k = manifest.k
+        self._next_key = manifest.next_key
+        self._seq = manifest.covered_seq
+        self._covered_seq = manifest.covered_seq
+        # resume the epoch counter: compactions after this restart must not
+        # reuse the surviving base run's numbered filename
+        self._base_epoch = manifest.base_epoch
+        if manifest.base is not None:
+            keys, rankings = read_run(self._directory / manifest.base)
+            if keys:
+                self._base = ShardedIndex.build(rankings, num_shards=self._num_shards)
+                self._base_keys = keys
+                self._base_file = manifest.base
+        for rid in manifest.base_tombstones:
+            self._tombstones.add(("base", self._base_epoch, rid))
+        for segment_id, filename in manifest.segments:
+            segment = Segment.load(self._directory / filename)
+            self._segments[segment_id] = segment
+            self._segment_files[segment_id] = filename
+            for local_rid in manifest.segment_tombstones.get(segment_id, ()):
+                self._tombstones.add(("seg", segment_id, local_rid))
+            self._next_segment_id = max(self._next_segment_id, segment_id + 1)
+        # every key has exactly one non-tombstoned location across the
+        # sealed layers (superseded locations are always tombstoned)
+        for rid, key in enumerate(self._base_keys):
+            if ("base", self._base_epoch, rid) not in self._tombstones:
+                self._current[key] = ("base", self._base_epoch, rid)
+        for segment_id, _ in manifest.segments:
+            segment = self._segments[segment_id]
+            for local_rid, key in enumerate(segment.keys):
+                if ("seg", segment_id, local_rid) not in self._tombstones:
+                    self._current[key] = ("seg", segment_id, local_rid)
 
-        The snapshot holds every live ``(key, items)`` pair in key order plus
-        the WAL sequence number it covers, and is written atomically
-        (temp file + rename).  Once it is on disk, the WAL records it covers
-        are truncated away, so log size — and restart cost — tracks the tail
-        since the last snapshot rather than the collection's lifetime.
-        """
-        target_dir = Path(directory) if directory is not None else self._directory
-        if target_dir is None:
-            raise ValueError("no directory: pass one or open the collection with .open()")
-        with self._lock:
-            entries = [
-                [key, list(self._ranking_at(location).items)]
-                for key, location in sorted(self._current.items())
-            ]
-            payload = {
-                "k": self._k,
-                "next_key": self._next_key,
-                "last_seq": self._seq,
-                "entries": entries,
-            }
-        target_dir.mkdir(parents=True, exist_ok=True)
-        path = target_dir / SNAPSHOT_FILENAME
-        temporary = path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(payload), encoding="utf-8")
-        temporary.replace(path)
-        # only after the snapshot is durable; records appended since the
-        # payload was captured have larger sequence numbers and are kept
-        if self._wal is not None and target_dir == self._directory:
-            with self._lock:
-                self._wal.truncate_through(payload["last_seq"])
-        return path
-
-    def _load_snapshot(self, path: Path) -> None:
+    def _load_legacy_snapshot(self, path: Path) -> None:
+        """Restore a pre-manifest whole-state snapshot (read-only support)."""
         payload = json.loads(path.read_text(encoding="utf-8"))
         entries = payload["entries"]
         self._k = payload["k"]
         self._next_key = int(payload["next_key"])
         self._seq = int(payload["last_seq"])
+        self._covered_seq = self._seq
         if entries:
             keys = tuple(int(key) for key, _ in entries)
             rankings = RankingSet.from_lists([items for _, items in entries])
@@ -258,6 +339,118 @@ class LiveCollection:
             self._base_keys = keys
             for rid, key in enumerate(keys):
                 self._current[key] = ("base", self._base_epoch, rid)
+
+    def _collect_garbage(self, referenced: frozenset[str]) -> None:
+        """Drop run files the surviving manifest does not name.
+
+        A crash between spilling a run and rewriting the manifest — or
+        between a manifest rewrite and deleting the files it superseded —
+        leaves orphans; they are harmless but would accumulate.
+        """
+        if self._directory is None or not self._directory.exists():
+            return
+        candidates = list(self._directory.glob("base-*.json"))
+        candidates += list((self._directory / SEGMENTS_DIRNAME).glob("segment-*.json"))
+        candidates += list(self._directory.glob("*.tmp"))
+        candidates += list((self._directory / SEGMENTS_DIRNAME).glob("*.tmp"))
+        for path in candidates:
+            if path.relative_to(self._directory).as_posix() not in referenced:
+                path.unlink(missing_ok=True)
+
+    def snapshot(self, directory: Optional[Union[str, Path]] = None) -> Path:
+        """Checkpoint the collection; restarts then replay only the WAL tail.
+
+        In the collection's own directory this seals the memtable, spills
+        it, rewrites the manifest with ``covered_seq`` equal to the last
+        accepted mutation, and truncates the WAL records the manifest
+        covers — every step ``fsync``\\ ed (run file, manifest, WAL rewrite,
+        and the directory entries), so a crash at any point leaves a
+        recoverable state with no acknowledged-and-committed write lost.
+        The whole operation runs under the collection lock: concurrent
+        snapshots serialize and mutations cannot interleave between the
+        state capture and the truncation.
+
+        With an explicit *other* ``directory`` the live state is exported
+        there as a standalone base run + manifest (the collection's own
+        WAL is left untouched).  Returns the manifest path.
+        """
+        target_dir = Path(directory) if directory is not None else self._directory
+        if target_dir is None:
+            raise ValueError("no directory: pass one or open the collection with .open()")
+        if (
+            self._directory is not None
+            and target_dir.resolve() == self._directory.resolve()
+        ):
+            return self._checkpoint()
+        return self._export_snapshot(target_dir)
+
+    def _checkpoint(self) -> Path:
+        assert self._directory is not None
+        with self._lock:
+            self._flush_locked(write_manifest=False)
+            self._write_manifest_locked(covered_seq=self._seq)
+            if self._wal is not None:
+                self._wal_records = self._wal.truncate_through(self._covered_seq)
+            self._stats.snapshots += 1
+        return self._directory / MANIFEST_FILENAME
+
+    def _export_snapshot(self, target_dir: Path) -> Path:
+        with self._lock:
+            entries = [
+                (key, self._ranking_at(location))
+                for key, location in sorted(self._current.items())
+            ]
+            manifest = Manifest(
+                k=self._k,
+                next_key=self._next_key,
+                covered_seq=self._seq,
+                base=base_filename(0) if entries else None,
+            )
+            self._stats.snapshots += 1
+        target_dir.mkdir(parents=True, exist_ok=True)
+        if entries:
+            keys = tuple(key for key, _ in entries)
+            rankings = RankingSet.from_rankings(ranking for _, ranking in entries)
+            write_run(target_dir / base_filename(0), keys, rankings)
+        return manifest.save(target_dir / MANIFEST_FILENAME)
+
+    def _write_manifest_locked(self, covered_seq: int) -> None:
+        """Rewrite the manifest to describe the current sealed layers.
+
+        Caller holds the collection lock and guarantees that every WAL
+        record with ``seq <= covered_seq`` is reflected in those layers.
+        """
+        assert self._directory is not None
+        if self._base is not None and self._base_file is None:
+            # base built in memory (initial= or a legacy snapshot): spill it
+            self._base_file = base_filename(self._base_epoch)
+            write_run(self._directory / self._base_file, self._base_keys, self._base.rankings)
+        tombstones = self._tombstones.snapshot()
+        base_tombstones = tuple(
+            sorted(rid for layer, epoch, rid in tombstones
+                   if layer == "base" and epoch == self._base_epoch)
+        )
+        segment_tombstones = {
+            segment_id: tuple(sorted(
+                rid for layer, container, rid in tombstones
+                if layer == "seg" and container == segment_id
+            ))
+            for segment_id in self._segment_files
+        }
+        manifest = Manifest(
+            k=self._k,
+            next_key=self._next_key,
+            covered_seq=covered_seq,
+            base=self._base_file if self._base is not None else None,
+            base_epoch=self._base_epoch,
+            segments=sorted(self._segment_files.items()),
+            base_tombstones=base_tombstones,
+            segment_tombstones=segment_tombstones,
+        )
+        manifest.save(self._directory / MANIFEST_FILENAME)
+        # the manifest supersedes any legacy whole-state snapshot
+        (self._directory / SNAPSHOT_FILENAME).unlink(missing_ok=True)
+        self._covered_seq = covered_seq
 
     def close(self) -> None:
         """Finish background compaction and release files and thread pools."""
@@ -293,6 +486,11 @@ class LiveCollection:
     def num_shards(self) -> int:
         """Shard count used for compacted base epochs."""
         return self._num_shards
+
+    @property
+    def durability(self) -> str:
+        """The write-path guarantee: in-memory / no-sync / fsync / group-commit."""
+        return self._wal.durability if self._wal is not None else "in-memory"
 
     @property
     def memtable_size(self) -> int:
@@ -396,6 +594,16 @@ class LiveCollection:
             self._do_upsert(key, ranking)
         self._maintain()
 
+    def sync(self) -> None:
+        """Force a WAL barrier: everything accepted so far becomes durable.
+
+        Useful under group-commit (commits a partial batch) and no-sync
+        (the only fsync those modes ever issue).  A no-op in-memory.
+        """
+        if self._wal is not None:
+            with self._lock:
+                self._wal.sync()
+
     @staticmethod
     def _coerce(items: Union[Ranking, list[int], tuple[int, ...]]) -> Ranking:
         return items if isinstance(items, Ranking) else Ranking(items)
@@ -409,6 +617,7 @@ class LiveCollection:
         if self._wal is not None:
             items = None if ranking is None else ranking.items
             self._wal.append(WalRecord(seq=self._seq, op=op, key=key, items=items))
+            self._wal_records += 1
 
     def _do_insert(self, key: int, ranking: Ranking) -> None:
         if self._k is None:
@@ -440,13 +649,20 @@ class LiveCollection:
         self._version += 1
         self._stats.upserts += 1
 
-    def _apply_record(self, record: WalRecord) -> None:
-        """Re-apply one durable mutation during replay (no re-logging)."""
+    def _apply_record(self, record: WalRecord, tolerant: bool = False) -> None:
+        """Re-apply one durable mutation during replay (no re-logging).
+
+        ``tolerant`` is set during recovery: a checkpoint written at a
+        compaction swap may already reflect tail mutations whose tombstones
+        the compaction consumed, so a replayed delete of an already-absent
+        key is a completed no-op, not an error.
+        """
         with self._lock:
             if record.op == "insert":
                 self._do_insert(record.key, Ranking(record.items))
             elif record.op == "delete":
-                self._do_delete(record.key)
+                if not tolerant or record.key in self._current:
+                    self._do_delete(record.key)
             else:
                 self._do_upsert(record.key, Ranking(record.items))
             self._seq = record.seq
@@ -459,23 +675,61 @@ class LiveCollection:
         if needs_flush:
             self.flush()
         self._compactor.maybe_trigger()
+        self._maybe_auto_snapshot()
+
+    def _maybe_auto_snapshot(self) -> None:
+        """Snapshot + truncate once the WAL grows past the policy bound.
+
+        Suppressed during recovery replay: the replay iterator streams the
+        very file a snapshot would rewrite, and the post-replay check in
+        :meth:`open` applies the policy once the file is quiescent.
+        """
+        if (
+            self._snapshot_every is None
+            or self._wal is None
+            or self._directory is None
+            or self._replaying
+        ):
+            return
+        # check-and-checkpoint under one lock hold: a concurrent writer that
+        # also saw the log past the bound must observe the reset counter, not
+        # run a second back-to-back checkpoint
+        with self._lock:
+            if self._wal_records >= self._snapshot_every:
+                self._checkpoint()
 
     def flush(self) -> Optional[int]:
-        """Seal the memtable into a segment; returns the segment id (or None)."""
+        """Seal the memtable into a segment; returns the segment id (or None).
+
+        With a persistence directory attached the sealed run is spilled to
+        disk and the manifest rewritten, so the flushed records leave the
+        WAL replay path immediately.
+        """
         with self._lock:
-            if len(self._memtable) == 0:
-                return None
-            entries = self._memtable.drain()
-            segment_id = self._next_segment_id
-            self._next_segment_id += 1
-            segment = Segment.seal(entries)
-            self._segments[segment_id] = segment
-            # every drained entry was the live version of its key
-            for local_rid, key in enumerate(segment.keys):
-                self._current[key] = ("seg", segment_id, local_rid)
-            self._version += 1
-            self._stats.flushes += 1
-            return segment_id
+            return self._flush_locked(write_manifest=True)
+
+    def _flush_locked(self, write_manifest: bool) -> Optional[int]:
+        if len(self._memtable) == 0:
+            return None
+        entries = self._memtable.drain()
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        segment = Segment.seal(entries)
+        self._segments[segment_id] = segment
+        # every drained entry was the live version of its key
+        for local_rid, key in enumerate(segment.keys):
+            self._current[key] = ("seg", segment_id, local_rid)
+        self._version += 1
+        self._stats.flushes += 1
+        if self._directory is not None:
+            filename = segment_filename(segment_id)
+            segment.save(self._directory / filename)
+            self._segment_files[segment_id] = filename
+            if write_manifest:
+                # the memtable is empty right now, so the sealed layers are
+                # complete through every record accepted so far
+                self._write_manifest_locked(covered_seq=self._seq)
+        return segment_id
 
     def compact(self, wait: bool = True) -> bool:
         """Merge base + segments minus tombstones into a fresh base epoch.

@@ -17,6 +17,13 @@ reclaims them.
 One compaction runs at a time; ``background=True`` moves triggered runs onto
 a daemon thread while :meth:`Compactor.run` stays available for synchronous
 callers (tests, the CLI, snapshots).
+
+On a durable collection the swap is also a checkpoint: the new epoch's run
+is spilled to disk *before* the swap publishes it, the manifest is rewritten
+under the collection lock to name the new base and drop the consumed
+segments, and the superseded run files are deleted afterwards — so a crash
+at any point leaves either the old checkpoint or the new one, with orphaned
+files garbage-collected on the next open.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import threading
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.ranking import RankingSet
+from repro.live.manifest import base_filename, write_run
 from repro.service.sharding import ShardedIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -138,17 +146,25 @@ class Compactor:
                     merged.append((key, segment.rankings[local_rid]))
         merged.sort(key=lambda entry: entry[0])
         new_keys = tuple(key for key, _ in merged)
+        new_epoch = base_epoch + 1  # only compaction bumps it, one run at a time
         if merged:
             rankings = RankingSet.from_rankings(ranking for _, ranking in merged)
             new_base: Optional[ShardedIndex] = ShardedIndex.build(
                 rankings, num_shards=collection._num_shards
             )
         else:
+            rankings = None
             new_base = None
+        # spill the new epoch's run before publishing it: if we crash here,
+        # the manifest still names the old layers and the file is an orphan
+        directory = collection._directory
+        new_base_file: Optional[str] = None
+        if directory is not None and new_base is not None:
+            new_base_file = base_filename(new_epoch)
+            write_run(directory / new_base_file, new_keys, rankings)
         # 3. swap the new epoch in, reconciling mutations that raced the build
         consumed = {("base", base_epoch)} | {("seg", segment_id) for segment_id in segments}
         with collection._lock:
-            new_epoch = base_epoch + 1
             for rid, key in enumerate(new_keys):
                 location = collection._current.get(key)
                 if location is not None and location[:2] in consumed:
@@ -161,13 +177,36 @@ class Compactor:
             for segment_id in segments:
                 del collection._segments[segment_id]
             old_base = collection._base
+            old_base_file = collection._base_file
+            doomed_files = [
+                collection._segment_files.pop(segment_id)
+                for segment_id in segments
+                if segment_id in collection._segment_files
+            ]
             collection._base = new_base
             collection._base_keys = new_keys
             collection._base_epoch = new_epoch
+            collection._base_file = new_base_file
             collection._version += 1
             collection._stats.compactions += 1
+            if directory is not None:
+                # with an empty memtable the sealed layers are complete
+                # through every accepted record; otherwise the covered
+                # boundary stays at the last flush checkpoint
+                covered = (
+                    collection._seq
+                    if len(collection._memtable) == 0
+                    else collection._covered_seq
+                )
+                collection._write_manifest_locked(covered_seq=covered)
         if old_base is not None:
             old_base.close()
+        if directory is not None:
+            # the manifest no longer references the consumed runs
+            if old_base_file is not None:
+                (directory / old_base_file).unlink(missing_ok=True)
+            for filename in doomed_files:
+                (directory / filename).unlink(missing_ok=True)
         return True
 
     def __repr__(self) -> str:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from collections.abc import Sequence
+from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.ranking import Ranking
@@ -119,6 +120,19 @@ class LiveQueryEngine:
     def compact(self) -> bool:
         """Fold segments and tombstones into a fresh base epoch."""
         return self._collection.compact()
+
+    def sync(self) -> None:
+        """Force a WAL barrier: everything accepted so far becomes durable."""
+        self._collection.sync()
+
+    def snapshot(self) -> Path:
+        """Checkpoint the collection so restarts replay only the WAL tail."""
+        return self._collection.snapshot()
+
+    @property
+    def durability(self) -> str:
+        """The served collection's write-path guarantee."""
+        return self._collection.durability
 
     def close(self) -> None:
         """Close the collection (WAL handle, thread pools, compactor)."""

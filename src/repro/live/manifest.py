@@ -1,0 +1,214 @@
+"""The manifest: which persisted files make up a live collection's state.
+
+A durable :class:`~repro.live.collection.LiveCollection` directory holds
+
+* ``wal.jsonl`` — the write-ahead log (see :mod:`repro.live.wal`),
+* ``base-<epoch>.json`` — the persisted base run, when one exists,
+* ``segments/segment-<id>.json`` — one immutable run per sealed segment,
+* ``manifest.json`` — this file: which base/segment runs are live, which
+  of their rows are tombstoned, and the WAL sequence number
+  (``covered_seq``) through which those layers are complete.
+
+Recovery loads the runs the manifest names and replays only the WAL records
+*after* ``covered_seq`` — the tail — instead of rebuilding the whole
+collection from the log.  The manifest is rewritten at every checkpoint
+(memtable flush, compaction swap, explicit snapshot), always atomically and
+durably: temp file, ``fsync`` of the temp file, rename, ``fsync`` of the
+directory.  A crash therefore leaves either the previous manifest or the
+new one, and any run files the surviving manifest does not name are orphans
+that :func:`Manifest.referenced_files` lets the opener garbage-collect.
+
+``base_epoch`` is persisted so a recovered collection's epoch counter — and
+with it the numbered base run filenames — continues where the previous
+process stopped; base tombstones are stored as bare row ids and re-tagged
+with that epoch at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.core.ranking import RankingSet
+from repro.live.wal import fsync_directory
+
+#: File and directory names inside a persistence directory.
+MANIFEST_FILENAME = "manifest.json"
+SEGMENTS_DIRNAME = "segments"
+
+#: Manifest payload format version, bumped on incompatible layout changes.
+MANIFEST_FORMAT = 1
+
+
+class CorruptManifestError(ReproError):
+    """The manifest file could not be decoded into a usable checkpoint."""
+
+    def __init__(self, path: Path, reason: str) -> None:
+        self.path = path
+        super().__init__(f"corrupt manifest at {path}: {reason}")
+
+
+def atomic_write_json(path: Path, payload: object) -> None:
+    """Write ``payload`` as JSON so a crash leaves the old file or the new.
+
+    The temp file is ``fsync``\\ ed before the rename and the containing
+    directory after it — the rename is what makes the write atomic, the
+    two syncs are what make it *durable* (without them the rename can
+    survive a crash while the bytes it points at do not).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    temporary.replace(path)
+    fsync_directory(path.parent)
+
+
+def write_run(path: Path, keys: tuple[int, ...], rankings: RankingSet) -> None:
+    """Persist one immutable run (a sealed segment or the base) durably.
+
+    A run is the full row list *including tombstoned rows*: tombstones are
+    row-id addressed, so the on-disk layout must match the in-memory one
+    exactly, dead rows and all.
+    """
+    payload = {
+        "keys": list(keys),
+        "items": [list(rankings[rid].items) for rid in range(len(rankings))],
+    }
+    atomic_write_json(path, payload)
+
+
+def read_run(path: Path) -> tuple[tuple[int, ...], RankingSet]:
+    """Load one immutable run written by :func:`write_run`."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    keys = tuple(int(key) for key in payload["keys"])
+    rankings = RankingSet.from_lists(payload["items"])
+    if len(keys) != len(rankings):
+        raise CorruptManifestError(path, f"{len(keys)} keys but {len(rankings)} rankings")
+    return keys, rankings
+
+
+def segment_filename(segment_id: int) -> str:
+    """Relative path of a sealed segment's run file."""
+    return f"{SEGMENTS_DIRNAME}/segment-{segment_id}.json"
+
+
+def base_filename(epoch: int) -> str:
+    """Relative path of a base epoch's run file."""
+    return f"base-{epoch}.json"
+
+
+@dataclass
+class Manifest:
+    """One checkpoint: the persisted layers and the WAL position they cover.
+
+    Attributes
+    ----------
+    k:
+        Uniform ranking size (``None`` before the first insert).
+    next_key:
+        The key the next insert will be assigned.
+    covered_seq:
+        Every WAL record with ``seq`` at or below this is reflected in the
+        named layers; recovery replays only the records after it.
+    base:
+        Relative filename of the base run, or ``None`` without a base.
+    base_epoch:
+        The base epoch counter at checkpoint time; recovery resumes from
+        it so future compactions never reuse a live run's filename.
+    segments:
+        ``(segment_id, relative filename)`` pairs, ascending id.
+    base_tombstones:
+        Row ids dead in the base run.
+    segment_tombstones:
+        ``segment_id -> dead local row ids``.
+    """
+
+    k: int | None = None
+    next_key: int = 0
+    covered_seq: int = 0
+    base: str | None = None
+    base_epoch: int = 0
+    segments: list[tuple[int, str]] = field(default_factory=list)
+    base_tombstones: tuple[int, ...] = ()
+    segment_tombstones: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """The JSON-serialisable form."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "k": self.k,
+            "next_key": self.next_key,
+            "covered_seq": self.covered_seq,
+            "base": self.base,
+            "base_epoch": self.base_epoch,
+            "segments": [[segment_id, file] for segment_id, file in self.segments],
+            "tombstones": {
+                "base": list(self.base_tombstones),
+                "segments": {
+                    str(segment_id): list(rids)
+                    for segment_id, rids in self.segment_tombstones.items()
+                    if rids
+                },
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, path: Path) -> "Manifest":
+        """Decode a payload written by :meth:`to_payload`."""
+        try:
+            version = payload["format"]
+            if version != MANIFEST_FORMAT:
+                raise ValueError(f"unsupported manifest format {version!r}")
+            tombstones = payload.get("tombstones", {})
+            return cls(
+                k=payload["k"],
+                next_key=int(payload["next_key"]),
+                covered_seq=int(payload["covered_seq"]),
+                base=payload.get("base"),
+                base_epoch=int(payload.get("base_epoch", 0)),
+                segments=sorted(
+                    (int(segment_id), str(file)) for segment_id, file in payload["segments"]
+                ),
+                base_tombstones=tuple(int(rid) for rid in tombstones.get("base", ())),
+                segment_tombstones={
+                    int(segment_id): tuple(int(rid) for rid in rids)
+                    for segment_id, rids in tombstones.get("segments", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CorruptManifestError(path, str(error)) from error
+
+    def save(self, path: Path) -> Path:
+        """Write the manifest atomically and durably; returns ``path``."""
+        atomic_write_json(path, self.to_payload())
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "Manifest":
+        """Read and decode the manifest at ``path``."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise CorruptManifestError(path, str(error)) from error
+        if not isinstance(payload, dict):
+            raise CorruptManifestError(path, "manifest must be a JSON object")
+        return cls.from_payload(payload, path)
+
+    def referenced_files(self) -> frozenset[str]:
+        """Relative filenames of every run this checkpoint depends on."""
+        files = {file for _, file in self.segments}
+        if self.base is not None:
+            files.add(self.base)
+        return frozenset(files)
+
+    def __repr__(self) -> str:
+        return (
+            f"Manifest(covered_seq={self.covered_seq}, base={self.base!r}, "
+            f"segments={len(self.segments)})"
+        )

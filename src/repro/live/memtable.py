@@ -8,6 +8,12 @@ construction, and an exact scan uses precisely the same qualification test
 (``raw <= theta * k * (k + 1)``) and the same normalisation
 (``raw / maximum``) as the indexed algorithms, so merged answers stay
 byte-identical to a from-scratch index.
+
+The memtable is the one layer a checkpoint never persists: its entries are
+covered by the WAL records *after* the manifest's ``covered_seq``, and
+sealing (``drain`` → ``Segment.seal``) is exactly the moment they move from
+the replayed tail into a spilled immutable run.  Restart cost is therefore
+bounded by the memtable threshold plus the snapshot policy's WAL bound.
 """
 
 from __future__ import annotations

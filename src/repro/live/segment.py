@@ -8,6 +8,11 @@ lazily per ``(algorithm, params)`` — exactly the discipline
 :class:`~repro.service.sharding.ShardedIndex` uses for its shards — and
 cached for the segment's lifetime, which is bounded by the next compaction.
 
+A durable collection spills every sealed segment to an immutable run file
+under ``segments/`` (:meth:`Segment.save` / :meth:`Segment.load`), so a
+restart reloads the run directly instead of replaying the WAL records that
+produced it.
+
 Local ids ascend with keys, so per-segment tie order is consistent with the
 global key order and bounded merges over segments reproduce a from-scratch
 index's ``(distance, id)`` ordering.
@@ -17,6 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.ranking import Ranking, RankingSet
 from repro.core.result import SearchResult
@@ -24,6 +30,7 @@ from repro.core.stats import SearchStats
 from repro.algorithms.base import RankingSearchAlgorithm
 from repro.algorithms.knn import exact_local_top
 from repro.algorithms.registry import make_algorithm
+from repro.live.manifest import read_run, write_run
 
 
 class Segment:
@@ -58,6 +65,22 @@ class Segment:
     def seal(cls, entries: Sequence[tuple[int, Ranking]]) -> "Segment":
         """Freeze drained memtable entries into an immutable segment."""
         return cls(entries)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Spill the sealed run to disk, atomically and ``fsync``\\ ed.
+
+        The on-disk row order is exactly the in-memory local-id order, so
+        tombstones recorded against this segment stay valid after a reload.
+        """
+        write_run(path, self._keys, self._rankings)
+
+    @classmethod
+    def load(cls, path: Path) -> "Segment":
+        """Reload a spilled run; indices are rebuilt lazily on first query."""
+        keys, rankings = read_run(path)
+        return cls(list(zip(keys, (rankings[rid] for rid in range(len(rankings))))))
 
     # -- accessors ---------------------------------------------------------------
 

@@ -3,24 +3,40 @@
 The log is a JSONL file — one mutation per line, in the order the mutations
 were accepted — so a crashed or restarted service can rebuild its logical
 state by replaying the file.  Records carry a monotonically increasing
-sequence number; a snapshot remembers the last sequence it covers, and a
+sequence number; a checkpoint remembers the last sequence it covers, and a
 restart replays only the records *after* it (the WAL tail).
 
 Durability model
 ----------------
-``append`` writes the line and flushes the Python buffer to the OS; with
-``sync=True`` it additionally ``fsync``\\ s, trading throughput for
-power-loss durability.  A torn final line (a crash mid-append) is tolerated
-by :meth:`replay` — the partial record never took effect, so it is skipped —
-while corruption anywhere *before* the tail raises :class:`CorruptWalError`,
-because silently dropping an interior mutation would diverge the replayed
-state from the served one.
+``append`` always writes the line and flushes the Python buffer to the OS;
+what happens next depends on the configured mode:
+
+``no-sync`` (``sync=False``, the default)
+    Never ``fsync``.  Power loss can drop acknowledged mutations that were
+    still in the OS page cache; process crash loses nothing.
+``fsync`` (``sync=True``)
+    ``fsync`` after every record.  A mutation is power-loss durable before
+    the caller sees it acknowledged, at one disk barrier per record.
+``group-commit`` (``commit_batch`` and/or ``commit_interval``)
+    Batch the barrier: records accumulate un-fsynced and one ``fsync``
+    commits the whole batch — when ``commit_batch`` records are pending,
+    when ``commit_interval`` seconds have passed since the batch opened,
+    or when :meth:`sync` is called explicitly.  Per-batch sequence
+    accounting is exposed as :attr:`appended_seq` (last record written)
+    and :attr:`durable_seq` (last record covered by a barrier).
+
+A torn final line (a crash mid-append) is tolerated by :meth:`replay` — the
+partial record never took effect, so it is skipped — while corruption
+anywhere *before* the tail raises :class:`CorruptWalError`, because silently
+dropping an interior mutation would diverge the replayed state from the
+served one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,6 +46,26 @@ from repro.core.errors import ReproError
 
 #: The mutation kinds a WAL record may carry.
 WAL_OPERATIONS = ("insert", "delete", "upsert")
+
+#: The durability modes a log can run under.
+DURABILITY_MODES = ("no-sync", "fsync", "group-commit")
+
+
+def fsync_directory(path: Path) -> None:
+    """``fsync`` a directory so a freshly created/renamed entry survives.
+
+    ``rename``/``create`` only become power-loss durable once the containing
+    directory's metadata hits the platter.  Platforms that cannot open a
+    directory for syncing (notably Windows) are silently skipped.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class CorruptWalError(ReproError):
@@ -87,25 +123,61 @@ class WriteAheadLog:
     path:
         Log file location; created (with parents) on first append.
     sync:
-        ``fsync`` after every append.  Off by default: the benchmarks
-        measure the in-process write path, and crash-consistency against
-        power loss is a deployment decision.
+        ``fsync`` after every append (the ``fsync`` mode).  Off by default:
+        the benchmarks measure the in-process write path, and
+        crash-consistency against power loss is a deployment decision.
+    commit_batch:
+        Group-commit: ``fsync`` once every this many pending records
+        instead of per record.  Implies durable mode regardless of
+        ``sync``.
+    commit_interval:
+        Group-commit: ``fsync`` once a batch has been open for this many
+        seconds (checked on the append path — no timer thread).  May be
+        combined with ``commit_batch``; whichever bound trips first
+        commits.
 
     Examples
     --------
     >>> import tempfile, os
     >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
-    >>> wal = WriteAheadLog(path)
+    >>> wal = WriteAheadLog(path, commit_batch=2)
     >>> wal.append(WalRecord(seq=1, op="insert", key=0, items=(1, 2, 3)))
+    >>> wal.durable_seq                       # batch of 2 not full yet
+    0
+    >>> wal.sync()                            # explicit barrier
+    >>> wal.durable_seq
+    1
     >>> [record.key for record in wal.replay()]
     [0]
     >>> wal.close()
     """
 
-    def __init__(self, path: str | Path, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        sync: bool = False,
+        commit_batch: Optional[int] = None,
+        commit_interval: Optional[float] = None,
+    ) -> None:
+        if commit_batch is not None and commit_batch <= 0:
+            raise ValueError(f"commit_batch must be positive, got {commit_batch}")
+        if commit_interval is not None and commit_interval <= 0:
+            raise ValueError(f"commit_interval must be positive, got {commit_interval}")
         self._path = Path(path)
-        self._sync = sync
+        self._commit_batch = commit_batch
+        self._commit_interval = commit_interval
+        if commit_batch is not None or commit_interval is not None:
+            self._durability = "group-commit"
+        elif sync:
+            self._durability = "fsync"
+        else:
+            self._durability = "no-sync"
         self._handle = None
+        self._pending = 0
+        self._batch_started: Optional[float] = None
+        self._appended_seq = 0
+        self._durable_seq = 0
+        self._commits = 0
 
     @property
     def path(self) -> Path:
@@ -117,18 +189,89 @@ class WriteAheadLog:
         """Whether the log file is present on disk."""
         return self._path.exists()
 
+    @property
+    def durability(self) -> str:
+        """One of :data:`DURABILITY_MODES`."""
+        return self._durability
+
+    @property
+    def appended_seq(self) -> int:
+        """Sequence number of the last record written by this handle."""
+        return self._appended_seq
+
+    @property
+    def durable_seq(self) -> int:
+        """Sequence number of the last record covered by an ``fsync`` barrier.
+
+        Always 0 in ``no-sync`` mode until :meth:`sync` is called; equal to
+        :attr:`appended_seq` after every append in ``fsync`` mode.
+        """
+        return self._durable_seq
+
+    @property
+    def pending_records(self) -> int:
+        """Records appended since the last barrier (the open batch)."""
+        return self._pending
+
+    @property
+    def commits(self) -> int:
+        """``fsync`` barriers issued so far (per-record or per-batch)."""
+        return self._commits
+
     # -- writing -----------------------------------------------------------------
 
     def append(self, record: WalRecord) -> None:
-        """Make one mutation durable (buffered write + flush, optional fsync)."""
+        """Write one mutation (buffered write + flush; barrier per the mode)."""
         if self._handle is None:
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            self._trim_torn_tail()
-            self._handle = open(self._path, "a", encoding="utf-8")
+            self._open_for_append()
         self._handle.write(record.to_json() + "\n")
         self._handle.flush()
-        if self._sync:
-            os.fsync(self._handle.fileno())
+        self._appended_seq = record.seq
+        if self._durability == "fsync":
+            self._commit()
+            return
+        self._pending += 1
+        if self._durability != "group-commit":
+            return
+        if self._batch_started is None:
+            self._batch_started = time.monotonic()
+        batch_full = self._commit_batch is not None and self._pending >= self._commit_batch
+        interval_up = (
+            self._commit_interval is not None
+            and time.monotonic() - self._batch_started >= self._commit_interval
+        )
+        if batch_full or interval_up:
+            self._commit()
+
+    def sync(self) -> None:
+        """Explicit barrier: ``fsync`` whatever has been appended so far.
+
+        Works in every mode — in ``no-sync`` it is the only way to get a
+        durability guarantee, in ``group-commit`` it commits a partial
+        batch, in ``fsync`` it is a no-op (nothing is ever pending).
+        """
+        if self._handle is None or self._durable_seq == self._appended_seq:
+            return
+        self._handle.flush()
+        self._commit()
+
+    def _commit(self) -> None:
+        """``fsync`` the handle and account the batch as durable."""
+        os.fsync(self._handle.fileno())
+        self._durable_seq = self._appended_seq
+        self._pending = 0
+        self._batch_started = None
+        self._commits += 1
+
+    def _open_for_append(self) -> None:
+        created_parent = not self._path.parent.exists()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self._path.exists()
+        self._trim_torn_tail()
+        self._handle = open(self._path, "a", encoding="utf-8")
+        if not existed or created_parent:
+            # make the new directory entry itself crash-durable
+            fsync_directory(self._path.parent)
 
     def _trim_torn_tail(self) -> None:
         """Drop a partial final line left by a crash mid-append.
@@ -154,8 +297,14 @@ class WriteAheadLog:
             handle.truncate(keep)
 
     def close(self) -> None:
-        """Close the append handle (idempotent); replay still works."""
+        """Commit a pending group-commit batch and close the handle.
+
+        Idempotent; replay still works afterwards.  ``no-sync`` mode stays
+        true to its name — close flushes to the OS but does not ``fsync``.
+        """
         if self._handle is not None:
+            if self._durability == "group-commit":
+                self.sync()
             self._handle.close()
             self._handle = None
 
@@ -201,6 +350,21 @@ class WriteAheadLog:
                 return None  # torn tail: the append never completed
             raise CorruptWalError(self._path, line_number, str(error)) from error
 
+    def record_count(self) -> int:
+        """Committed records currently in the file (torn tail excluded).
+
+        A raw line scan, no JSON decoding — startup accounting should not
+        re-parse the log the replay pass already decoded.
+        """
+        if not self._path.exists():
+            return 0
+        count = 0
+        with open(self._path, "rb") as handle:
+            for line in handle:
+                if line.endswith(b"\n") and line.strip():
+                    count += 1
+        return count
+
     def last_seq(self) -> int:
         """Sequence number of the newest committed record (0 when empty)."""
         seq = 0
@@ -211,21 +375,34 @@ class WriteAheadLog:
     def truncate_through(self, seq: int) -> int:
         """Drop every committed record with ``seq`` at or below the given one.
 
-        Called after a snapshot has durably captured the state through
+        Called after a checkpoint has durably captured the state through
         ``seq``, so restarts replay (and startup reads) only the tail.  The
-        rewrite is atomic (temp file + rename); returns the number of
-        records kept.
+        rewrite is atomic *and* durable: the temp file is ``fsync``\\ ed
+        before the rename and the directory after it, so a crash leaves
+        either the old complete log or the new one — never a torn rewrite
+        that loses acknowledged records.  Returns the number of records
+        kept.
         """
         if not self._path.exists():
             return 0
         kept = list(self.replay(after_seq=seq))
         self.close()
         temporary = self._path.with_suffix(".jsonl.tmp")
-        temporary.write_text(
-            "".join(record.to_json() + "\n" for record in kept), encoding="utf-8"
-        )
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write("".join(record.to_json() + "\n" for record in kept))
+            handle.flush()
+            os.fsync(handle.fileno())
         temporary.replace(self._path)
+        fsync_directory(self._path.parent)
+        # the rewrite itself was fsynced, so every kept record is durable
+        self._appended_seq = kept[-1].seq if kept else 0
+        self._durable_seq = self._appended_seq
+        self._pending = 0
+        self._batch_started = None
         return len(kept)
 
     def __repr__(self) -> str:
-        return f"WriteAheadLog(path={str(self._path)!r}, sync={self._sync})"
+        return (
+            f"WriteAheadLog(path={str(self._path)!r}, durability={self._durability!r}, "
+            f"pending={self._pending})"
+        )

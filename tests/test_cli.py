@@ -137,7 +137,35 @@ class TestIngest:
         assert "replayed 14 WAL record(s)" in output
         assert "live rankings: 12" in output
         assert "snapshot written" in output
-        assert (live_dir / "snapshot.json").exists()
+        assert (live_dir / "manifest.json").exists()
+        assert (live_dir / "wal.jsonl").read_text(encoding="utf-8") == ""  # truncated
+
+    def test_ingest_reports_durability_mode(self, mutation_file, tmp_path, capsys):
+        live_dir = tmp_path / "durable"
+        exit_code = main(
+            ["ingest", str(mutation_file), "--dir", str(live_dir), "--commit-batch", "4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "durability: group-commit (batch=4)" in output
+
+    def test_ingest_warns_about_non_durable_acknowledgements(self, mutation_file, capsys):
+        assert main(["ingest", str(mutation_file)]) == 0
+        output = capsys.readouterr().out
+        assert "durability: in-memory" in output
+        assert "may be lost" in output
+
+    def test_ingest_durability_flags_require_dir(self, mutation_file, capsys):
+        assert main(["ingest", str(mutation_file), "--fsync"]) == 2
+        assert "require --dir" in capsys.readouterr().err
+
+    def test_ingest_rejects_conflicting_durability_flags(self, mutation_file, tmp_path, capsys):
+        exit_code = main(
+            ["ingest", str(mutation_file), "--dir", str(tmp_path / "x"),
+             "--fsync", "--commit-batch", "8"]
+        )
+        assert exit_code == 2
+        assert "conflicts" in capsys.readouterr().err
 
     def test_ingest_skips_malformed_lines(self, tmp_path, capsys):
         stream = self.write_stream(

@@ -1,6 +1,8 @@
-"""Write-ahead log unit tests: append/replay, tails, and corruption."""
+"""Write-ahead log unit tests: append/replay, tails, corruption, group-commit."""
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -144,3 +146,130 @@ def test_delete_record_drops_payload():
     record = WalRecord.from_json('{"seq": 2, "op": "delete", "key": 5, "items": [1, 2]}')
     assert record.items is None
     assert "items" not in record.to_json()
+
+
+# -- durability modes ---------------------------------------------------------------
+
+
+def test_durability_mode_is_inferred_from_configuration(tmp_path):
+    assert WriteAheadLog(tmp_path / "a.jsonl").durability == "no-sync"
+    assert WriteAheadLog(tmp_path / "b.jsonl", sync=True).durability == "fsync"
+    assert WriteAheadLog(tmp_path / "c.jsonl", commit_batch=8).durability == "group-commit"
+    assert WriteAheadLog(tmp_path / "d.jsonl", commit_interval=1.0).durability == "group-commit"
+
+
+def test_invalid_commit_configuration_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        WriteAheadLog(tmp_path / "wal.jsonl", commit_batch=0)
+    with pytest.raises(ValueError):
+        WriteAheadLog(tmp_path / "wal.jsonl", commit_interval=0.0)
+
+
+def test_fsync_mode_commits_every_record(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", sync=True)
+    for record in make_records(5):
+        wal.append(record)
+    assert wal.commits == 5
+    assert wal.durable_seq == wal.appended_seq == 5
+    assert wal.pending_records == 0
+    wal.close()
+
+
+def test_group_commit_batches_fsyncs(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", commit_batch=4)
+    for record in make_records(10):
+        wal.append(record)
+    # two full batches committed, two records still pending
+    assert wal.commits == 2
+    assert wal.durable_seq == 8
+    assert wal.appended_seq == 10
+    assert wal.pending_records == 2
+    wal.sync()
+    assert wal.durable_seq == 10
+    assert wal.pending_records == 0
+    assert wal.commits == 3
+    wal.sync()  # barrier with nothing pending is free
+    assert wal.commits == 3
+    wal.close()
+
+
+def test_group_commit_interval_commits_an_aged_batch(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", commit_interval=0.02)
+    records = make_records(3)
+    wal.append(records[0])
+    assert wal.durable_seq == 0  # batch just opened
+    time.sleep(0.03)
+    wal.append(records[1])  # append path notices the batch age
+    assert wal.durable_seq == 2
+    wal.append(records[2])
+    assert wal.durable_seq == 2  # fresh batch, not old enough
+    wal.close()
+
+
+def test_group_commit_close_commits_the_tail(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", commit_batch=100)
+    for record in make_records(3):
+        wal.append(record)
+    assert wal.durable_seq == 0
+    wal.close()
+    assert wal.durable_seq == 3  # clean shutdown is a barrier
+
+
+def test_no_sync_mode_only_syncs_explicitly(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    for record in make_records(4):
+        wal.append(record)
+    assert wal.commits == 0
+    assert wal.durable_seq == 0
+    wal.sync()
+    assert wal.durable_seq == 4
+    assert wal.commits == 1
+    wal.close()
+
+
+def test_truncate_through_resets_batch_accounting(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", commit_batch=100)
+    for record in make_records(6):
+        wal.append(record)
+    assert wal.pending_records == 6
+    kept = wal.truncate_through(4)
+    assert kept == 2
+    # the fsynced rewrite made every kept record durable
+    assert wal.pending_records == 0
+    assert wal.durable_seq == wal.appended_seq == 6
+    wal.append(WalRecord(seq=7, op="delete", key=0))
+    assert [record.seq for record in wal.replay()] == [5, 6, 7]
+    wal.close()
+
+
+def test_record_count_scans_without_decoding(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    wal = WriteAheadLog(path)
+    assert wal.record_count() == 0
+    for record in make_records(5):
+        wal.append(record)
+    wal.close()
+    assert wal.record_count() == 5
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 6, "op": "ins')  # torn tail is not a record
+    assert wal.record_count() == 5
+
+
+def test_crash_after_commit_loses_nothing_before_the_barrier(tmp_path):
+    """Truncating the file back to a commit point recovers every durable record.
+
+    Simulates power loss: bytes written after the last ``fsync`` may vanish
+    (here: all of them), and a torn suffix must not take committed records
+    with it.
+    """
+    path = tmp_path / "wal.jsonl"
+    wal = WriteAheadLog(path, commit_batch=3)
+    records = make_records(7)
+    for record in records[:6]:
+        wal.append(record)
+    durable_size = path.stat().st_size  # seq 1..6 committed (two batches)
+    wal.append(records[6])  # pending, not yet committed
+    with open(path, "rb+") as handle:  # "crash": the un-fsynced suffix is lost
+        handle.truncate(durable_size)
+    survivor = WriteAheadLog(path)
+    assert [record.seq for record in survivor.replay()] == [1, 2, 3, 4, 5, 6]
