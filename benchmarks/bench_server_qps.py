@@ -1,0 +1,140 @@
+"""Served QPS over the wire: concurrent clients vs the in-process baseline.
+
+Boots a :class:`repro.api.DatabaseServer` over the shared NYT-like
+collection and measures queries-per-second for client counts {1, 2, 4, 8},
+each client issuing the same range-query workload over its own connection.
+The in-process :class:`~repro.api.database.Session` serving the identical
+workload is the baseline — the gap is pure transport (framing + JSON +
+loopback TCP), since the dispatch behind both paths is the same code.
+
+Run under pytest-benchmark as part of the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_server_qps.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Client, Database, DatabaseServer
+
+from _utils import run_once
+
+#: Concurrent client connections the sweep exercises.
+CLIENT_COUNTS = (1, 2, 4, 8)
+
+#: Passes each client makes over the query workload.
+PASSES = 2
+
+THETA = 0.2
+
+
+def _serve_clients(address, queries, n_clients: int) -> int:
+    """Run the workload from ``n_clients`` concurrent connections."""
+    host, port = address
+    served = [0] * n_clients
+    errors: list[Exception] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            with Client(host, port) as client:
+                for _ in range(PASSES):
+                    for query in queries:
+                        response = client.range_query(query, THETA, collection="news")
+                        assert response.ok, response.error
+                        served[worker_id] += 1
+        except Exception as error:  # noqa: BLE001 - reported by the caller
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return sum(served)
+
+
+def _serve_in_process(session, queries) -> int:
+    served = 0
+    for _ in range(PASSES):
+        for query in queries:
+            response = session.range_query(query, THETA, collection="news")
+            assert response.ok
+            served += 1
+    return served
+
+
+@pytest.fixture(scope="module")
+def served_database(nyt_setup):
+    database = Database()
+    database.create_static("news", nyt_setup.rankings, num_shards=2)
+    with DatabaseServer(database, port=0) as server:
+        # warm-up: planner exploration + cache fill happen untimed
+        session = database.session()
+        _serve_in_process(session, nyt_setup.queries)
+        yield server, database
+    database.close()
+
+
+@pytest.mark.benchmark(group="server-qps")
+def test_in_process_baseline(benchmark, served_database, nyt_setup):
+    """The same dispatch without the wire: the transport-free ceiling."""
+    _, database = served_database
+    session = database.session()
+    start = time.perf_counter()
+    served = run_once(benchmark, _serve_in_process, session, nyt_setup.queries)
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["clients"] = 0
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+
+
+@pytest.mark.benchmark(group="server-qps")
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_server_qps(benchmark, served_database, nyt_setup, n_clients):
+    """Wire-served QPS for one concurrent-client count."""
+    server, _ = served_database
+    start = time.perf_counter()
+    served = run_once(benchmark, _serve_clients, server.address, nyt_setup.queries, n_clients)
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["clients"] = n_clients
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+
+
+def main() -> None:
+    """Standalone report: QPS per client count vs the in-process baseline."""
+    from repro.datasets.nyt import nyt_like_dataset
+    from repro.datasets.queries import sample_queries
+
+    rankings = nyt_like_dataset(n=800, k=10)
+    queries = sample_queries(rankings, 30, seed=3)
+    database = Database()
+    database.create_static("news", rankings, num_shards=2)
+    session = database.session()
+    _serve_in_process(session, queries)  # warm-up
+    print(f"server QPS on NYT-like n={len(rankings)}, k={rankings.k}, "
+          f"{len(queries)} queries x {PASSES} passes, theta={THETA}")
+    print(f"{'clients':>8s}  {'QPS':>9s}  note")
+    start = time.perf_counter()
+    served = _serve_in_process(session, queries)
+    elapsed = time.perf_counter() - start
+    baseline = served / elapsed if elapsed > 0 else float("inf")
+    print(f"{'-':>8s}  {baseline:>9.1f}  in-process session (no wire)")
+    with DatabaseServer(database, port=0) as server:
+        for n_clients in CLIENT_COUNTS:
+            start = time.perf_counter()
+            served = _serve_clients(server.address, queries, n_clients)
+            elapsed = time.perf_counter() - start
+            qps = served / elapsed if elapsed > 0 else float("inf")
+            print(f"{n_clients:>8d}  {qps:>9.1f}  {qps / baseline:.0%} of baseline")
+    database.close()
+
+
+if __name__ == "__main__":
+    main()

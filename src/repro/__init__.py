@@ -50,6 +50,21 @@ from repro.datasets import (
     save_rankings,
     yago_like_dataset,
 )
+from repro.api import (
+    AdminRequest,
+    BatchRequest,
+    Client,
+    Database,
+    DatabaseServer,
+    DeleteRequest,
+    InsertRequest,
+    KnnRequest,
+    RangeQueryRequest,
+    Request,
+    Response,
+    Session,
+    UpsertRequest,
+)
 from repro.live import (
     LiveCollection,
     LiveQueryEngine,
@@ -105,5 +120,18 @@ __all__ = [
     "LiveStats",
     "WalRecord",
     "WriteAheadLog",
+    "Database",
+    "Session",
+    "DatabaseServer",
+    "Client",
+    "Request",
+    "Response",
+    "RangeQueryRequest",
+    "KnnRequest",
+    "BatchRequest",
+    "InsertRequest",
+    "DeleteRequest",
+    "UpsertRequest",
+    "AdminRequest",
     "__version__",
 ]

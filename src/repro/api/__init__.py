@@ -1,0 +1,89 @@
+"""Protocol-first serving API: one facade, typed envelopes, a wire layer.
+
+The library grew two signature-divergent serving engines —
+:class:`~repro.service.engine.QueryEngine` over frozen collections and
+:class:`~repro.live.engine.LiveQueryEngine` over mutable ones.  This
+package is the stable boundary in front of both:
+
+Layering (each module only depends on the ones above it)::
+
+    requests.py   typed request objects + strict wire-payload validation
+    responses.py  the Response envelope, error codes, canonical JSON
+    surface.py    ExecutorSurface: engine-shaped helpers over execute()
+    database.py   Database facade (named static/live collections) + Session
+    protocol.py   length-prefixed JSON frames, size limits, frame errors
+    server.py     threaded TCP server sharing one Database
+    client.py     blocking client speaking the same surface
+
+The invariant the whole package is built around: for any request, the
+response produced over the wire is **byte-identical** (modulo volatile
+latency stats — see :meth:`~repro.api.responses.Response.result_bytes`) to
+the response produced by an in-process :class:`~repro.api.database.Session`
+on the same database.
+"""
+
+from repro.api.client import Client
+from repro.api.database import CollectionInfo, Database, Session
+from repro.api.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    FrameTooLargeError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.api.requests import (
+    ADMIN_ACTIONS,
+    AdminRequest,
+    BatchRequest,
+    DEFAULT_COLLECTION,
+    DeleteRequest,
+    InsertRequest,
+    KnnRequest,
+    RangeQueryRequest,
+    Request,
+    UpsertRequest,
+    parse_request,
+)
+from repro.api.responses import (
+    MatchPayload,
+    Response,
+    ResponseError,
+    canonical_json,
+    error_response,
+)
+from repro.api.server import DEFAULT_HOST, DEFAULT_PORT, DatabaseServer
+from repro.api.surface import ExecutorSurface
+
+__all__ = [
+    "ADMIN_ACTIONS",
+    "AdminRequest",
+    "BatchRequest",
+    "Client",
+    "CollectionInfo",
+    "Database",
+    "DatabaseServer",
+    "DEFAULT_COLLECTION",
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_PORT",
+    "DeleteRequest",
+    "ExecutorSurface",
+    "FrameError",
+    "FrameTooLargeError",
+    "InsertRequest",
+    "KnnRequest",
+    "MatchPayload",
+    "RangeQueryRequest",
+    "Request",
+    "Response",
+    "ResponseError",
+    "Session",
+    "UpsertRequest",
+    "canonical_json",
+    "encode_frame",
+    "error_response",
+    "parse_request",
+    "read_frame",
+    "write_frame",
+]

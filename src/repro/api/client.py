@@ -1,0 +1,132 @@
+"""The blocking network client: the engine surface over one TCP connection.
+
+:class:`Client` speaks the length-prefixed JSON frame protocol to a
+:class:`~repro.api.server.DatabaseServer` and mixes in the same
+:class:`~repro.api.surface.ExecutorSurface` the in-process
+:class:`~repro.api.database.Session` uses, so swapping a local session for
+a remote client is a one-line change::
+
+    with Client(host, port) as client:
+        response = client.range_query([3, 1, 4], theta=0.2, collection="news")
+        key = client.insert([9, 9, 9], collection="updates")
+
+One request frame gets exactly one response frame; a lock serialises
+concurrent calls on the same client (open one client per thread for
+parallelism — connections are cheap).  Transport failures raise
+``ConnectionError``; everything the *server* caught comes back as a typed
+error envelope instead.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.api.protocol import DEFAULT_MAX_FRAME_BYTES, FrameError, encode_frame, read_frame
+from repro.api.requests import RequestLike, parse_request
+from repro.api.responses import Response
+from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
+from repro.api.surface import ExecutorSurface
+
+
+class Client(ExecutorSurface):
+    """Blocking client for one server connection.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address.
+    timeout:
+        Socket timeout in seconds for connect and each round trip.
+    max_frame_bytes:
+        Must not exceed the server's limit; larger requests are refused
+        locally before touching the wire.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: Optional[float] = 10.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._address = (host, port)
+        self._max_frame_bytes = max_frame_bytes
+        self._lock = threading.Lock()
+        self._socket = socket.create_connection(self._address, timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` this client is connected to."""
+        return self._address
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._stream.closed
+
+    def execute(self, request: RequestLike) -> Response:
+        """Send one request frame and return the response envelope.
+
+        Typed requests are validated locally first, so a malformed request
+        costs no round trip; raw dictionaries are passed through for the
+        server to validate (useful for protocol tests).
+
+        Any transport failure mid-round-trip (timeout, reset, bad frame)
+        closes the connection before re-raising as ``ConnectionError``: a
+        late or half-read response would desynchronise the stream and let
+        a *later* request read the wrong answer.
+        """
+        payload = parse_request(request).to_dict() if not isinstance(request, dict) else request
+        # local validation (including the size cap) before touching the wire
+        frame = encode_frame(payload, self._max_frame_bytes)
+        with self._lock:
+            if self._stream.closed:
+                raise ConnectionError("client is closed")
+            try:
+                self._stream.write(frame)
+                self._stream.flush()
+                reply = read_frame(self._stream, self._max_frame_bytes)
+            except FrameError as error:
+                self._close_stream()
+                raise ConnectionError(f"invalid response frame: {error}") from None
+            except OSError as error:  # includes socket.timeout
+                self._close_stream()
+                raise ConnectionError(f"connection failed: {error}") from None
+            if reply is None:
+                self._close_stream()
+                raise ConnectionError("server closed the connection")
+        return Response.from_dict(reply)
+
+    def shutdown_server(self) -> Response:
+        """Ask the server to stop after acknowledging (admin/shutdown)."""
+        return self.execute({"type": "admin", "action": "shutdown"})
+
+    def _close_stream(self) -> None:
+        """Close the transport; the caller holds the lock (or owns the client)."""
+        if not self._stream.closed:
+            try:
+                self._stream.close()
+            except OSError:
+                pass  # flushing a broken stream must not mask the real error
+            finally:
+                self._socket.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            self._close_stream()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        host, port = self._address
+        state = "closed" if self.closed else "open"
+        return f"Client({host}:{port}, {state})"

@@ -1,0 +1,99 @@
+"""Length-prefixed JSON framing shared by the server and the client.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON (the canonical encoding from
+:func:`repro.api.responses.canonical_json`: sorted keys, no whitespace)::
+
+    +----------------+----------------------------------+
+    | length  !I (4) | payload  UTF-8 JSON (length)     |
+    +----------------+----------------------------------+
+
+Both sides enforce ``max_frame_bytes``; an oversized or torn frame raises
+:class:`FrameError` subclasses, which the server answers with a
+``protocol`` error envelope before closing the connection (after refusing
+a frame the stream cannot be resynchronised).  A clean EOF *between*
+frames reads as ``None`` — that is how a client hangs up.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Optional
+
+from repro.core.errors import ReproError
+from repro.api.responses import canonical_json
+
+#: Frame header: one 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct("!I")
+
+#: Default upper bound on one frame's payload (requests *and* responses).
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class FrameError(ReproError):
+    """A wire frame violated the protocol (torn, oversized, or not JSON)."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame announced a payload larger than the negotiated maximum."""
+
+    def __init__(self, announced: int, maximum: int) -> None:
+        super().__init__(f"frame of {announced} bytes exceeds the {maximum}-byte maximum")
+        self.announced = announced
+        self.maximum = maximum
+
+
+def encode_frame(payload: dict, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Serialize one payload into a complete frame (header + body)."""
+    body = canonical_json(payload)
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(len(body), max_frame_bytes)
+    return HEADER.pack(len(body)) + body
+
+
+def write_frame(
+    stream: BinaryIO, payload: dict, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> None:
+    """Write one frame and flush it."""
+    stream.write(encode_frame(payload, max_frame_bytes))
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if chunks:
+                raise FrameError(
+                    f"connection closed mid-frame ({count - remaining} of {count} bytes read)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    stream: BinaryIO, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame's payload; ``None`` on clean EOF between frames."""
+    header = _read_exact(stream, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(length, max_frame_bytes)
+    body = _read_exact(stream, length)
+    if body is None:
+        raise FrameError("connection closed between frame header and payload")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame payload must be a JSON object, got {type(payload).__name__}")
+    return payload

@@ -1,0 +1,328 @@
+"""Typed, JSON-serializable request objects for the serving API.
+
+Every operation a client can ask of a :class:`~repro.api.database.Database`
+is one of the request classes below.  Each is a frozen dataclass that
+
+* validates itself on construction (so in-process callers fail fast with a
+  :class:`~repro.core.errors.InvalidRequestError`),
+* serializes to a plain dictionary via :meth:`to_dict` (the wire payload),
+* deserializes **strictly** via :meth:`from_dict` / :func:`parse_request`:
+  missing fields, unknown fields, wrong types, and out-of-range values all
+  raise :class:`InvalidRequestError` — the protocol layer turns that into a
+  typed error envelope instead of a deep stack trace.
+
+The ``type`` field of the payload names the request kind::
+
+    {"type": "range", "collection": "news", "items": [3, 1, 4], "theta": 0.2}
+
+Booleans are deliberately rejected wherever an integer is expected
+(``True`` *is* an ``int`` in Python, but ``{"key": true}`` on the wire is
+almost certainly a client bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Optional, Union
+
+from repro.core.errors import InvalidRequestError
+from repro.core.ranking import Ranking
+
+#: Name of the collection used when a request does not specify one.
+DEFAULT_COLLECTION = "default"
+
+#: Actions an :class:`AdminRequest` may carry.
+ADMIN_ACTIONS = (
+    "ping",
+    "collections",
+    "stats",
+    "flush",
+    "compact",
+    "snapshot",
+    "shutdown",
+)
+
+#: Admin actions that address one specific (live) collection.
+_COLLECTION_ADMIN_ACTIONS = ("stats", "flush", "compact", "snapshot")
+
+
+def _require_int(value: Any, field: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidRequestError(f"{field} must be an integer, got {value!r}")
+    return value
+
+
+def _require_number(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidRequestError(f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+def _require_str(value: Any, field: str) -> str:
+    if not isinstance(value, str):
+        raise InvalidRequestError(f"{field} must be a string, got {value!r}")
+    return value
+
+
+def coerce_items(value: Any, field: str = "items") -> tuple[int, ...]:
+    """Validate one ranked item list (a ranking's worth of integer ids)."""
+    if isinstance(value, Ranking):
+        return value.items
+    if not isinstance(value, (list, tuple)):
+        raise InvalidRequestError(f"{field} must be a list of item ids, got {value!r}")
+    if not value:
+        raise InvalidRequestError(f"{field} must not be empty")
+    return tuple(_require_int(item, f"{field}[{position}]") for position, item in enumerate(value))
+
+
+def _validate_theta(theta: float) -> float:
+    theta = _require_number(theta, "theta")
+    if not 0.0 <= theta < 1.0:
+        raise InvalidRequestError(f"theta must lie in [0, 1), got {theta!r}")
+    return theta
+
+
+def _validate_algorithm(algorithm: Any) -> Optional[str]:
+    if algorithm is None:
+        return None
+    return _require_str(algorithm, "algorithm")
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class: the collection address plus strict (de)serialization."""
+
+    #: Wire name of the request kind; set by each concrete class.
+    TYPE: ClassVar[str] = ""
+
+    collection: str = DEFAULT_COLLECTION
+
+    def __post_init__(self) -> None:
+        _require_str(self.collection, "collection")
+        if not self.collection:
+            raise InvalidRequestError("collection must not be empty")
+
+    def to_dict(self) -> dict:
+        """The JSON-serializable wire payload (``type`` + every field)."""
+        payload: dict = {"type": self.TYPE}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = [list(entry) if isinstance(entry, tuple) else entry for entry in value]
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Request":
+        """Strictly rebuild a request from its wire payload."""
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"request payload must be an object, got {payload!r}")
+        data = dict(payload)
+        declared_type = data.pop("type", cls.TYPE)
+        if declared_type != cls.TYPE:
+            raise InvalidRequestError(
+                f"payload type {declared_type!r} does not match request type {cls.TYPE!r}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown field(s) for {cls.TYPE!r} request: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as error:  # missing required fields
+            raise InvalidRequestError(f"malformed {cls.TYPE!r} request: {error}") from None
+
+
+@dataclass(frozen=True)
+class RangeQueryRequest(Request):
+    """One similarity range query, optionally paginated.
+
+    ``limit`` caps the number of matches returned and ``cursor`` is the
+    match offset to resume from; the response's ``cursor`` field carries
+    the next offset (or ``None`` when the answer is exhausted).
+    """
+
+    TYPE: ClassVar[str] = "range"
+
+    items: tuple[int, ...] = ()
+    theta: float = 0.0
+    algorithm: Optional[str] = None
+    limit: Optional[int] = None
+    cursor: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "items", coerce_items(self.items))
+        object.__setattr__(self, "theta", _validate_theta(self.theta))
+        object.__setattr__(self, "algorithm", _validate_algorithm(self.algorithm))
+        if self.limit is not None and _require_int(self.limit, "limit") <= 0:
+            raise InvalidRequestError(f"limit must be positive, got {self.limit}")
+        if _require_int(self.cursor, "cursor") < 0:
+            raise InvalidRequestError(f"cursor must be non-negative, got {self.cursor}")
+
+    @property
+    def query(self) -> Ranking:
+        """The query as a :class:`Ranking` (validates item distinctness)."""
+        return Ranking(self.items)
+
+
+@dataclass(frozen=True)
+class KnnRequest(Request):
+    """One exact k-nearest-neighbour query."""
+
+    TYPE: ClassVar[str] = "knn"
+
+    items: tuple[int, ...] = ()
+    k: int = 1
+    algorithm: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "items", coerce_items(self.items))
+        if _require_int(self.k, "k") <= 0:
+            raise InvalidRequestError(f"k must be positive, got {self.k}")
+        object.__setattr__(self, "algorithm", _validate_algorithm(self.algorithm))
+
+    @property
+    def query(self) -> Ranking:
+        """The query as a :class:`Ranking`."""
+        return Ranking(self.items)
+
+
+@dataclass(frozen=True)
+class BatchRequest(Request):
+    """A batch of range queries answered through one round trip."""
+
+    TYPE: ClassVar[str] = "batch"
+
+    queries: tuple[tuple[int, ...], ...] = ()
+    theta: float = 0.0
+    algorithm: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.queries, (list, tuple)) or not self.queries:
+            raise InvalidRequestError("queries must be a non-empty list of item lists")
+        object.__setattr__(
+            self,
+            "queries",
+            tuple(
+                coerce_items(entry, f"queries[{position}]")
+                for position, entry in enumerate(self.queries)
+            ),
+        )
+        object.__setattr__(self, "theta", _validate_theta(self.theta))
+        object.__setattr__(self, "algorithm", _validate_algorithm(self.algorithm))
+
+
+@dataclass(frozen=True)
+class InsertRequest(Request):
+    """Insert one ranking into a live collection; the response carries its key."""
+
+    TYPE: ClassVar[str] = "insert"
+
+    items: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "items", coerce_items(self.items))
+
+
+@dataclass(frozen=True)
+class DeleteRequest(Request):
+    """Delete the ranking stored under ``key`` in a live collection."""
+
+    TYPE: ClassVar[str] = "delete"
+
+    key: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if _require_int(self.key, "key") < 0:
+            raise InvalidRequestError(f"key must be non-negative, got {self.key}")
+
+
+@dataclass(frozen=True)
+class UpsertRequest(Request):
+    """Replace (or insert) the ranking under ``key`` in a live collection."""
+
+    TYPE: ClassVar[str] = "upsert"
+
+    key: int = 0
+    items: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if _require_int(self.key, "key") < 0:
+            raise InvalidRequestError(f"key must be non-negative, got {self.key}")
+        object.__setattr__(self, "items", coerce_items(self.items))
+
+
+@dataclass(frozen=True)
+class AdminRequest(Request):
+    """Maintenance and introspection: flush/compact/snapshot/stats/...
+
+    ``flush`` / ``compact`` / ``snapshot`` address one live collection;
+    ``stats`` reports engine totals and layer sizes for one collection;
+    ``collections`` and ``ping`` ignore the collection field.  ``shutdown``
+    asks a *server* to stop after replying; an in-process session simply
+    acknowledges it.
+    """
+
+    TYPE: ClassVar[str] = "admin"
+
+    action: str = "ping"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_str(self.action, "action")
+        if self.action not in ADMIN_ACTIONS:
+            raise InvalidRequestError(
+                f"unknown admin action {self.action!r}; use one of {', '.join(ADMIN_ACTIONS)}"
+            )
+
+    @property
+    def addresses_collection(self) -> bool:
+        """Whether the action operates on one specific collection."""
+        return self.action in _COLLECTION_ADMIN_ACTIONS
+
+
+#: Wire ``type`` -> request class, the protocol dispatch table.
+REQUEST_TYPES: dict[str, type[Request]] = {
+    cls.TYPE: cls
+    for cls in (
+        RangeQueryRequest,
+        KnnRequest,
+        BatchRequest,
+        InsertRequest,
+        DeleteRequest,
+        UpsertRequest,
+        AdminRequest,
+    )
+}
+
+#: Anything :func:`parse_request` accepts.
+RequestLike = Union[Request, dict]
+
+
+def parse_request(payload: RequestLike) -> Request:
+    """Turn a wire payload (or an already-typed request) into a request.
+
+    Raises :class:`InvalidRequestError` for anything malformed; never lets
+    a ``KeyError``/``TypeError`` escape, so the caller can map failures to
+    error envelopes uniformly.
+    """
+    if isinstance(payload, Request):
+        return payload
+    if not isinstance(payload, dict):
+        raise InvalidRequestError(f"request payload must be an object, got {type(payload).__name__}")
+    declared_type = payload.get("type")
+    if not isinstance(declared_type, str):
+        raise InvalidRequestError("request payload must carry a string 'type' field")
+    request_cls = REQUEST_TYPES.get(declared_type)
+    if request_cls is None:
+        known = ", ".join(sorted(REQUEST_TYPES))
+        raise InvalidRequestError(f"unknown request type {declared_type!r}; use one of {known}")
+    return request_cls.from_dict(payload)

@@ -1,0 +1,247 @@
+"""The single response envelope every serving request comes back in.
+
+A :class:`Response` is ``ok`` plus the fields the request kind fills in:
+
+* ``matches`` — the answer to a range or k-NN query, each match carrying
+  ``(rid, distance, items)``;
+* ``stats`` — the per-request :class:`~repro.service.recording.QueryStats`
+  as a flat dictionary;
+* ``cursor`` — the next pagination offset for a limited range query
+  (``None`` once the answer is exhausted);
+* ``key`` — the logical key a mutation touched (insert returns the newly
+  assigned key);
+* ``batch`` — one nested envelope per query of a batch request;
+* ``data`` — admin payloads (stats dumps, collection listings, ...);
+* ``error`` — a typed :class:`ResponseError` when ``ok`` is false.
+
+Envelopes are JSON-serializable (:meth:`to_dict` / :meth:`from_dict` are
+exact inverses) and **deterministically** so: :meth:`canonical_bytes`
+serializes with sorted keys and no whitespace, and :meth:`result_bytes`
+additionally strips the ``stats`` fields (latency and cache state are the
+only parts of an answer that legitimately differ between a cache hit and a
+miss, or between a remote and an in-process call) — two answers are *the
+same* exactly when their ``result_bytes`` are equal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.errors import (
+    CollectionClosedError,
+    InvalidRequestError,
+    ReproError,
+    UnknownCollectionError,
+    UnknownKeyError,
+)
+
+#: Error codes the protocol layer emits, mapped to the exception raised by
+#: :meth:`Response.raise_for_error` on the client side.
+ERROR_TYPES: dict[str, type[Exception]] = {
+    "invalid_request": InvalidRequestError,
+    "unknown_collection": UnknownCollectionError,
+    "unknown_key": UnknownKeyError,
+    "collection_closed": CollectionClosedError,
+    "protocol": ConnectionError,
+    "internal": RuntimeError,
+}
+
+
+@dataclass(frozen=True)
+class ResponseError:
+    """The typed error carried by a failed envelope.
+
+    ``details`` carries the structured constructor arguments of the
+    original exception (e.g. ``{"key": 42}`` for an unknown-key error), so
+    the client can rebuild the *same* typed exception, attributes and all.
+    """
+
+    code: str
+    message: str
+    details: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        payload = {"code": self.code, "message": self.message}
+        if self.details is not None:
+            payload["details"] = self.details
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResponseError":
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"error payload must be an object, got {payload!r}")
+        return cls(
+            code=str(payload.get("code", "internal")),
+            message=str(payload.get("message", "")),
+            details=payload.get("details"),
+        )
+
+
+@dataclass(frozen=True)
+class MatchPayload:
+    """One matched ranking: its logical id, distance, and items."""
+
+    rid: int
+    distance: float
+    items: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {"rid": self.rid, "distance": self.distance, "items": list(self.items)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MatchPayload":
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"match payload must be an object, got {payload!r}")
+        return cls(
+            rid=int(payload["rid"]),
+            distance=float(payload["distance"]),
+            items=tuple(int(item) for item in payload["items"]),
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """The envelope; see the module docstring for the field semantics."""
+
+    ok: bool = True
+    error: Optional[ResponseError] = None
+    matches: Optional[tuple[MatchPayload, ...]] = None
+    stats: Optional[dict] = None
+    cursor: Optional[int] = None
+    key: Optional[int] = None
+    batch: Optional[tuple["Response", ...]] = None
+    data: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """The JSON-serializable wire payload (unset fields omitted)."""
+        payload: dict = {"ok": self.ok}
+        if self.error is not None:
+            payload["error"] = self.error.to_dict()
+        if self.matches is not None:
+            payload["matches"] = [match.to_dict() for match in self.matches]
+        if self.stats is not None:
+            payload["stats"] = self.stats
+        if self.cursor is not None:
+            payload["cursor"] = self.cursor
+        if self.key is not None:
+            payload["key"] = self.key
+        if self.batch is not None:
+            payload["batch"] = [entry.to_dict() for entry in self.batch]
+        if self.data is not None:
+            payload["data"] = self.data
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Response":
+        """Rebuild an envelope from its wire payload."""
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"response payload must be an object, got {payload!r}")
+        error = payload.get("error")
+        matches = payload.get("matches")
+        batch = payload.get("batch")
+        return cls(
+            ok=bool(payload.get("ok", False)),
+            error=ResponseError.from_dict(error) if error is not None else None,
+            matches=(
+                tuple(MatchPayload.from_dict(match) for match in matches)
+                if matches is not None
+                else None
+            ),
+            stats=payload.get("stats"),
+            cursor=payload.get("cursor"),
+            key=payload.get("key"),
+            batch=(
+                tuple(cls.from_dict(entry) for entry in batch) if batch is not None else None
+            ),
+            data=payload.get("data"),
+        )
+
+    # -- determinism ---------------------------------------------------------------
+
+    def canonical_bytes(self) -> bytes:
+        """The full envelope, deterministically serialized."""
+        return canonical_json(self.to_dict())
+
+    def result_bytes(self) -> bytes:
+        """The answer without its volatile ``stats`` fields.
+
+        Latency and cache/planner provenance differ run to run; the rids,
+        distances, items, pagination cursor, mutation key, and error code
+        must not.  Two envelopes describe the same answer exactly when
+        their ``result_bytes`` are equal — the contract the server tests
+        hold remote execution to.
+        """
+        return canonical_json(_strip_stats(self.to_dict()))
+
+    # -- convenience ---------------------------------------------------------------
+
+    @property
+    def rids(self) -> list[int]:
+        """Matched ranking ids in answer order (empty when not a query)."""
+        return [match.rid for match in self.matches] if self.matches is not None else []
+
+    def raise_for_error(self) -> "Response":
+        """Raise the typed exception a failed envelope describes; else self.
+
+        The envelope's ``details`` rebuild structured exceptions faithfully
+        — a remote ``UnknownKeyError`` carries the same ``.key`` attribute
+        the in-process one does.
+        """
+        if self.ok:
+            return self
+        error = self.error if self.error is not None else ResponseError("internal", "unknown error")
+        details = error.details or {}
+        if error.code == "unknown_key" and "key" in details:
+            raise UnknownKeyError(details["key"])
+        if error.code == "unknown_collection" and "name" in details:
+            raise UnknownCollectionError(details["name"])
+        exception_type = ERROR_TYPES.get(error.code, RuntimeError)
+        if exception_type in (UnknownKeyError, UnknownCollectionError):
+            # no structured details available: bypass the structured
+            # constructor and carry the formatted message
+            exception = exception_type.__new__(exception_type)
+            Exception.__init__(exception, error.message)
+            raise exception
+        raise exception_type(error.message)
+
+
+def _strip_stats(payload: Any) -> Any:
+    if isinstance(payload, dict):
+        return {key: _strip_stats(value) for key, value in payload.items() if key != "stats"}
+    if isinstance(payload, list):
+        return [_strip_stats(entry) for entry in payload]
+    return payload
+
+
+def canonical_json(payload: Any) -> bytes:
+    """Deterministic JSON encoding: sorted keys, no whitespace, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def error_response(error: BaseException) -> Response:
+    """Map an exception to its typed error envelope."""
+    details = None
+    if isinstance(error, InvalidRequestError):
+        code = "invalid_request"
+    elif isinstance(error, UnknownCollectionError):
+        code = "unknown_collection"
+        details = {"name": error.name}
+    elif isinstance(error, UnknownKeyError):
+        code = "unknown_key"
+        details = {"key": error.key}
+    elif isinstance(error, CollectionClosedError):
+        code = "collection_closed"
+    elif isinstance(error, (ReproError, ValueError, KeyError)):
+        # remaining library/user-input failures (bad threshold, duplicate
+        # items, size mismatch, ...) are the client's to fix
+        code = "invalid_request"
+    else:
+        code = "internal"
+    message = str(error) or type(error).__name__
+    if code == "internal":
+        message = f"{type(error).__name__}: {message}"
+    return Response(ok=False, error=ResponseError(code=code, message=message, details=details))

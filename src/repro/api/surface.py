@@ -1,0 +1,148 @@
+"""The convenience surface shared by in-process sessions and network clients.
+
+:class:`ExecutorSurface` turns a single ``execute(request) -> Response``
+primitive into the familiar engine-shaped API — ``range_query`` / ``knn`` /
+``batch`` plus the mutations and admin verbs.  Both
+:class:`~repro.api.database.Session` (in-process) and
+:class:`~repro.api.client.Client` (over the wire) mix it in, which is what
+makes remote and local call sites interchangeable: same methods, same
+envelopes, same typed errors.
+
+Query verbs return the :class:`~repro.api.responses.Response` envelope
+as-is (callers inspect ``matches`` / ``stats`` / ``error``); mutation and
+admin verbs raise the envelope's typed error and return the useful part
+(the key, the stats dictionary, ...), mirroring the engines they wrap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.ranking import Ranking
+from repro.api.requests import (
+    AdminRequest,
+    BatchRequest,
+    DEFAULT_COLLECTION,
+    DeleteRequest,
+    InsertRequest,
+    KnnRequest,
+    RangeQueryRequest,
+    RequestLike,
+    UpsertRequest,
+)
+from repro.api.responses import Response
+
+#: Anything accepted where a ranking's items are expected.
+Items = Union[Ranking, Sequence[int]]
+
+
+class ExecutorSurface:
+    """Engine-shaped helpers defined purely in terms of :meth:`execute`."""
+
+    def execute(self, request: RequestLike) -> Response:
+        """Answer one request with an envelope (never raises for bad input)."""
+        raise NotImplementedError
+
+    # -- queries -------------------------------------------------------------------
+
+    def range_query(
+        self,
+        items: Items,
+        theta: float,
+        *,
+        collection: str = DEFAULT_COLLECTION,
+        algorithm: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: int = 0,
+    ) -> Response:
+        """One similarity range query; the envelope carries the matches."""
+        return self.execute(
+            RangeQueryRequest(
+                collection=collection, items=items, theta=theta,
+                algorithm=algorithm, limit=limit, cursor=cursor,
+            )
+        )
+
+    def knn(
+        self,
+        items: Items,
+        k: int,
+        *,
+        collection: str = DEFAULT_COLLECTION,
+        algorithm: Optional[str] = None,
+    ) -> Response:
+        """One exact k-nearest-neighbour query."""
+        return self.execute(
+            KnnRequest(collection=collection, items=items, k=k, algorithm=algorithm)
+        )
+
+    def batch(
+        self,
+        queries: Sequence[Items],
+        theta: float,
+        *,
+        collection: str = DEFAULT_COLLECTION,
+        algorithm: Optional[str] = None,
+    ) -> Response:
+        """A batch of range queries; the envelope nests one per query."""
+        return self.execute(
+            BatchRequest(
+                collection=collection, queries=tuple(queries), theta=theta, algorithm=algorithm
+            )
+        )
+
+    # -- mutations (live collections only) -----------------------------------------
+
+    def insert(self, items: Items, *, collection: str = DEFAULT_COLLECTION) -> int:
+        """Insert one ranking; returns its logical key."""
+        response = self.execute(InsertRequest(collection=collection, items=items))
+        response.raise_for_error()
+        assert response.key is not None
+        return response.key
+
+    def delete(self, key: int, *, collection: str = DEFAULT_COLLECTION) -> None:
+        """Delete the ranking stored under ``key``."""
+        self.execute(DeleteRequest(collection=collection, key=key)).raise_for_error()
+
+    def upsert(self, key: int, items: Items, *, collection: str = DEFAULT_COLLECTION) -> None:
+        """Replace (or insert) the ranking under ``key``."""
+        self.execute(UpsertRequest(collection=collection, key=key, items=items)).raise_for_error()
+
+    # -- admin ---------------------------------------------------------------------
+
+    def _admin(self, action: str, collection: str) -> Response:
+        return self.execute(AdminRequest(collection=collection, action=action)).raise_for_error()
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self._admin("ping", DEFAULT_COLLECTION).data)
+
+    def collections(self) -> list[dict]:
+        """Descriptors of every collection the database holds."""
+        response = self._admin("collections", DEFAULT_COLLECTION)
+        assert response.data is not None
+        return list(response.data["collections"])
+
+    def stats(self, collection: str = DEFAULT_COLLECTION) -> dict:
+        """Engine statistics for one collection."""
+        response = self._admin("stats", collection)
+        assert response.data is not None
+        return response.data
+
+    def flush(self, collection: str = DEFAULT_COLLECTION) -> Optional[int]:
+        """Seal a live collection's memtable; returns the segment id."""
+        response = self._admin("flush", collection)
+        assert response.data is not None
+        return response.data.get("segment_id")
+
+    def compact(self, collection: str = DEFAULT_COLLECTION) -> bool:
+        """Compact a live collection; returns whether a compaction ran."""
+        response = self._admin("compact", collection)
+        assert response.data is not None
+        return bool(response.data.get("compacted"))
+
+    def snapshot(self, collection: str = DEFAULT_COLLECTION) -> str:
+        """Checkpoint a live collection; returns the manifest path."""
+        response = self._admin("snapshot", collection)
+        assert response.data is not None
+        return str(response.data["path"])

@@ -21,6 +21,15 @@ Subcommands
     / ``--commit-interval`` pick the WAL durability mode and
     ``--snapshot-every`` tunes the automatic snapshot policy; the summary
     names the guarantee the run executed under.
+``serve``
+    Load a ranking file into a named collection (static, or live with
+    ``--live``) and serve it over TCP with length-prefixed JSON frames
+    until a client sends ``--admin shutdown`` (or Ctrl-C).
+``client``
+    Connect to a running server and issue one request: a range query
+    (``--query``), a k-NN query (``--query`` + ``--knn``), a mutation
+    (``--insert`` / ``--delete`` / ``--upsert``), or an admin action
+    (``--admin ping|collections|stats|flush|compact|snapshot|shutdown``).
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -29,11 +38,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from collections.abc import Sequence
 
 from repro.analysis.report import format_table
+from repro.api import ADMIN_ACTIONS, Client, Database, DatabaseServer
+from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.core.errors import ReproError
 from repro.core.ranking import Ranking
 from repro.algorithms.registry import (
@@ -44,7 +56,9 @@ from repro.algorithms.registry import (
 )
 from repro.datasets.loader import load_rankings, save_rankings
 from repro.datasets.queries import sample_queries
-from repro.live import LiveCollection
+from repro.live import DEFAULT_LIVE_ALGORITHM, LiveCollection
+from repro.live.collection import SNAPSHOT_FILENAME, WAL_FILENAME
+from repro.live.manifest import MANIFEST_FILENAME
 from repro.service import QueryEngine
 from repro.datasets.nyt import nyt_like_dataset
 from repro.datasets.yago import yago_like_dataset
@@ -170,6 +184,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=int, default=1024,
         help="auto-snapshot once this many WAL records accumulate (0 disables the policy)",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a ranking file over TCP (length-prefixed JSON frames)"
+    )
+    serve.add_argument(
+        "rankings", nargs="?", default=None,
+        help="ranking file produced by 'generate' (or your own TSV); optional when"
+        " '--live --dir' reopens existing durable state",
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--name", default="default", help="collection name clients address requests to"
+    )
+    serve.add_argument(
+        "--live", action="store_true",
+        help="serve as a mutable live collection (accepts insert/delete/upsert)",
+    )
+    serve.add_argument(
+        "--dir", default=None,
+        help="persistence directory for --live (WAL + snapshots; enables"
+        " '--admin snapshot'); in-memory if omitted",
+    )
+    serve.add_argument("--shards", type=int, default=1, help="number of index shards")
+    serve.add_argument(
+        "--algorithm", default=None, choices=list(LIVE_ALGORITHMS),
+        help="pin one algorithm (static: pins the planner; live: index algorithm)",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=1024, help="result-cache entries")
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the WAL after every mutation (per-record durability; needs --live --dir)",
+    )
+    serve.add_argument(
+        "--commit-batch", type=int, default=None,
+        help="group-commit: fsync the WAL once per this many mutations (needs --live --dir)",
+    )
+    serve.add_argument(
+        "--commit-interval", type=float, default=None,
+        help="group-commit: fsync the WAL once a batch is this many seconds old"
+        " (needs --live --dir)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None,
+        help="write 'host port' here once listening (for scripts and CI)",
+    )
+
+    client = subparsers.add_parser("client", help="issue one request to a running server")
+    client.add_argument("--host", default=DEFAULT_HOST, help="server address")
+    client.add_argument("--port", type=int, default=DEFAULT_PORT, help="server port")
+    client.add_argument("--collection", default="default", help="collection to address")
+    operation = client.add_mutually_exclusive_group(required=True)
+    operation.add_argument("--query", help="comma-separated item ids, best first")
+    operation.add_argument("--insert", help="comma-separated item ids to insert")
+    operation.add_argument("--delete", type=int, default=None, help="logical key to delete")
+    operation.add_argument("--upsert", type=int, default=None, help="logical key to upsert")
+    operation.add_argument("--admin", choices=list(ADMIN_ACTIONS), help="admin action")
+    client.add_argument("--items", default=None, help="item ids for --upsert")
+    client.add_argument("--theta", type=float, default=0.2, help="range-query threshold")
+    client.add_argument(
+        "--knn", type=int, default=0, help="answer --query as a k-NN query for this k"
+    )
+    client.add_argument(
+        "--algorithm", default=None, help="pin the serving algorithm for this request"
+    )
+    client.add_argument("--limit", type=int, default=20, help="print at most this many matches")
+    client.add_argument("--timeout", type=float, default=10.0, help="socket timeout (seconds)")
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", choices=sorted(_FIGURES))
@@ -432,6 +515,216 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.shards <= 0:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+    if args.cache_capacity < 0:
+        print("error: --cache-capacity must be non-negative", file=sys.stderr)
+        return 2
+    if args.dir is not None and not args.live:
+        print("error: --dir requires --live", file=sys.stderr)
+        return 2
+    durability_flags = (
+        args.fsync or args.commit_batch is not None or args.commit_interval is not None
+    )
+    if durability_flags and args.dir is None:
+        print("error: --fsync/--commit-batch/--commit-interval require --dir", file=sys.stderr)
+        return 2
+    if args.fsync and (args.commit_batch is not None or args.commit_interval is not None):
+        print("error: --fsync conflicts with --commit-batch/--commit-interval", file=sys.stderr)
+        return 2
+    if args.commit_batch is not None and args.commit_batch <= 0:
+        print("error: --commit-batch must be positive", file=sys.stderr)
+        return 2
+    if args.commit_interval is not None and args.commit_interval <= 0:
+        print("error: --commit-interval must be positive", file=sys.stderr)
+        return 2
+    if args.rankings is None and (not args.live or args.dir is None):
+        print(
+            "error: a rankings file is required unless '--live --dir' reopens existing state",
+            file=sys.stderr,
+        )
+        return 2
+    database = Database()
+    try:
+        if args.live:
+            if args.dir is not None:
+                # the state directory is self-contained: the TSV only seeds a
+                # brand-new directory and is never re-read on restarts — an
+                # existing (even emptied-out) state must not be re-seeded
+                fresh = not any(
+                    os.path.exists(os.path.join(args.dir, name))
+                    for name in (MANIFEST_FILENAME, WAL_FILENAME, SNAPSHOT_FILENAME)
+                )
+                collection = LiveCollection.open(
+                    args.dir,
+                    num_shards=args.shards,
+                    sync=args.fsync,
+                    commit_batch=args.commit_batch,
+                    commit_interval=args.commit_interval,
+                )
+                if not fresh:
+                    print(
+                        f"opened existing live state ({len(collection)} rankings, "
+                        f"{collection.stats().replayed} WAL record(s) replayed) from {args.dir}"
+                    )
+                elif args.rankings is not None:
+                    for ranking in load_rankings(args.rankings):
+                        collection.insert(ranking.items)
+            else:
+                collection = LiveCollection(
+                    initial=load_rankings(args.rankings), num_shards=args.shards
+                )
+            database.create_live(
+                args.name,
+                collection,
+                algorithm=args.algorithm or DEFAULT_LIVE_ALGORITHM,
+                cache_capacity=args.cache_capacity,
+            )
+            size, k = len(collection), collection.k
+        else:
+            rankings = load_rankings(args.rankings)
+            algorithms = None if args.algorithm is None else [args.algorithm]
+            database.create_static(
+                args.name,
+                rankings,
+                num_shards=args.shards,
+                algorithms=algorithms,
+                cache_capacity=args.cache_capacity,
+            )
+            size, k = len(rankings), rankings.k
+        server = DatabaseServer(database, host=args.host, port=args.port)
+    except (ReproError, OSError) as error:
+        database.close()
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    host, port = server.address
+    kind = "live" if args.live else "static"
+    print(
+        f"serving {kind} collection {args.name!r} "
+        f"({size} rankings, k={k}, {args.shards} shard(s)) on {host}:{port}"
+    )
+    if args.live:
+        durability = collection.durability
+        print(f"durability: {durability}"
+              + ("  (acknowledged writes may be lost on power loss)"
+                 if durability in ("in-memory", "no-sync") else ""))
+    print("stop with a client '--admin shutdown' request or Ctrl-C")
+    try:
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        server.close()
+        database.close()
+    print("server stopped")
+    return 0
+
+
+def _match_lines(response, limit: int) -> list[str]:
+    matches = response.matches or ()
+    lines = [
+        f"  rid={match.rid}  distance={match.distance:.4f}  items={list(match.items)}"
+        for match in list(matches)[:limit]
+    ]
+    stats = response.stats or {}
+    if stats:
+        lines.append(
+            f"{len(matches)} match(es) via {stats.get('algorithm', '?')} "
+            f"({'cache hit' if stats.get('cache_hit') else stats.get('planner_source', '?')}) "
+            f"in {float(stats.get('latency_seconds', 0.0)) * 1000.0:.2f}ms"
+        )
+    else:
+        lines.append(f"{len(matches)} match(es)")
+    return lines
+
+
+def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[str]]:
+    """Run the one requested operation; returns (exit code, stdout lines).
+
+    Network I/O and envelope handling happen here; *stdout* output is
+    returned for the caller to print once the connection is done, so a
+    broken stdout pipe (e.g. ``| head``) can never be mistaken for — or
+    mask — a server failure.  Error envelopes are reported to stderr
+    immediately.
+    """
+    if args.query is not None:
+        items = _parse_query_items(args.query)
+        if args.knn > 0:
+            response = client.knn(
+                items, args.knn, collection=args.collection, algorithm=args.algorithm
+            )
+        else:
+            # server-side pagination: only the asked-for page crosses the wire
+            response = client.range_query(
+                items, args.theta, collection=args.collection,
+                algorithm=args.algorithm, limit=args.limit,
+            )
+        if not response.ok:
+            print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
+            return 1, []
+        lines = _match_lines(response, args.limit)
+        if response.cursor is not None:
+            lines.append(f"... more matches beyond --limit {args.limit} (cursor={response.cursor})")
+        return 0, lines
+    if args.insert is not None:
+        key = client.insert(_parse_query_items(args.insert), collection=args.collection)
+        return 0, [f"inserted key={key}"]
+    if args.delete is not None:
+        client.delete(args.delete, collection=args.collection)
+        return 0, [f"deleted key={args.delete}"]
+    if args.upsert is not None:
+        client.upsert(args.upsert, _parse_query_items(args.items), collection=args.collection)
+        return 0, [f"upserted key={args.upsert}"]
+    response = client.execute(
+        {"type": "admin", "action": args.admin, "collection": args.collection}
+    )
+    if not response.ok:
+        print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
+        return 1, []
+    return 0, [json.dumps(response.data, indent=2, sort_keys=True)]
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    for flag, text in (("--query", args.query), ("--insert", args.insert), ("--items", args.items)):
+        if text is not None:
+            try:
+                _parse_query_items(text)
+            except ValueError:
+                print(
+                    f"error: {flag} must be a comma-separated list of integer item ids",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.upsert is not None and args.items is None:
+        print("error: --upsert needs --items", file=sys.stderr)
+        return 2
+    try:
+        client = Client(args.host, args.port, timeout=args.timeout)
+    except OSError as error:
+        print(f"error: cannot connect to {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    with client:
+        try:
+            exit_code, lines = _run_client_op(client, args)
+        except (ReproError, ValueError, KeyError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except (ConnectionError, OSError) as error:
+            print(f"error: connection failed: {error}", file=sys.stderr)
+            return 1
+    for line in lines:
+        print(line)
+    return exit_code
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     thetas = [float(token) for token in args.thetas.split(",") if token.strip()]
     setup = ExperimentSetup.create(
@@ -460,6 +753,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_batch_query(args)
     if args.command == "ingest":
         return _command_ingest(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "client":
+        return _command_client(args)
     if args.command == "figure":
         _FIGURES[args.number](args)
         return 0

@@ -27,12 +27,16 @@ from repro.core.distances import (
     unnormalize_distance,
 )
 from repro.core.errors import (
+    CollectionClosedError,
     DuplicateItemError,
     EmptyDatasetError,
     InvalidRankingError,
+    InvalidRequestError,
     InvalidThresholdError,
     RankingSizeMismatchError,
     ReproError,
+    UnknownCollectionError,
+    UnknownKeyError,
 )
 from repro.core.ranking import Ranking, RankingSet
 from repro.core.result import SearchResult, SearchMatch
@@ -70,4 +74,8 @@ __all__ = [
     "RankingSizeMismatchError",
     "InvalidThresholdError",
     "EmptyDatasetError",
+    "InvalidRequestError",
+    "UnknownKeyError",
+    "UnknownCollectionError",
+    "CollectionClosedError",
 ]

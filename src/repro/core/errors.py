@@ -50,3 +50,38 @@ class EmptyDatasetError(ReproError):
 
 class IndexNotBuiltError(ReproError):
     """A query was issued against an index that has not been built yet."""
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A serving request is malformed or references impossible parameters.
+
+    Subclasses ``ValueError`` so call sites that predate the typed API keep
+    working; the protocol layer maps it to an ``invalid_request`` envelope.
+    """
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """A mutation addressed a logical key that holds no live ranking."""
+
+    def __init__(self, key: int) -> None:
+        super().__init__(f"no live ranking under key {key}")
+        self.key = key
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its single argument; keep the message plain.
+        return self.args[0]
+
+
+class UnknownCollectionError(ReproError, KeyError):
+    """A request addressed a collection name the database does not hold."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown collection {name!r}")
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class CollectionClosedError(ReproError):
+    """A request reached a database or collection that was already closed."""

@@ -48,7 +48,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.core.errors import InvalidThresholdError, RankingSizeMismatchError
+from repro.core.errors import (
+    InvalidRequestError,
+    InvalidThresholdError,
+    RankingSizeMismatchError,
+    UnknownKeyError,
+)
 from repro.core.ranking import Ranking, RankingSet
 from repro.core.result import SearchResult
 from repro.core.stats import SearchStats
@@ -577,10 +582,10 @@ class LiveCollection:
         return key
 
     def delete(self, key: int) -> None:
-        """Remove the ranking stored under ``key`` (raises ``KeyError`` if absent)."""
+        """Remove the ranking stored under ``key`` (:class:`UnknownKeyError` if absent)."""
         with self._lock:
             if key not in self._current:
-                raise KeyError(f"no live ranking under key {key}")
+                raise UnknownKeyError(key)
             self._write_record("delete", key, None)
             self._do_delete(key)
         self._maintain()
@@ -821,7 +826,7 @@ class LiveCollection:
         ``(distance, key)`` pairs.
         """
         if n_neighbours <= 0:
-            raise ValueError(f"n_neighbours must be positive, got {n_neighbours}")
+            raise InvalidRequestError(f"n_neighbours must be positive, got {n_neighbours}")
         self._check_query(query)
         base, base_keys, base_epoch, base_dead, segments, memtable_entries, tombstones = (
             self._query_snapshot()

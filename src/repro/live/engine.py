@@ -3,9 +3,10 @@
 :class:`LiveQueryEngine` is the live-update counterpart of
 :class:`~repro.service.engine.QueryEngine`: the same request API
 (``query`` / ``batch_query`` / ``knn`` returning
-:class:`~repro.service.engine.EngineResponse` with per-request
-:class:`~repro.service.engine.QueryStats`), the same
-:class:`~repro.service.cache.LRUResultCache` — but over a
+:class:`~repro.service.recording.EngineResponse` with per-request
+:class:`~repro.service.recording.QueryStats`), the same
+:class:`~repro.service.cache.LRUResultCache`, the same shared request flow
+from :mod:`repro.service.recording` — but over a
 :class:`~repro.live.collection.LiveCollection` that also accepts
 ``insert`` / ``delete`` / ``upsert`` between queries.
 
@@ -20,16 +21,21 @@ keep their hit rate — the same discipline ``QueryEngine`` applies around
 from __future__ import annotations
 
 import threading
-import time
 from collections.abc import Sequence
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.core.errors import InvalidRequestError
 from repro.core.ranking import Ranking
 from repro.algorithms.registry import LIVE_ALGORITHMS
 from repro.live.collection import DEFAULT_LIVE_ALGORITHM, LiveCollection
 from repro.service.cache import LRUResultCache, knn_fingerprint, range_fingerprint
-from repro.service.engine import EngineResponse, EngineStats, QueryStats
+from repro.service.recording import (
+    EngineResponse,
+    EngineStats,
+    RequestRecorder,
+    serve_cached,
+)
 
 
 class LiveQueryEngine:
@@ -70,11 +76,13 @@ class LiveQueryEngine:
     ) -> None:
         if algorithm not in LIVE_ALGORITHMS:
             known = ", ".join(LIVE_ALGORITHMS)
-            raise ValueError(f"algorithm {algorithm!r} cannot serve live traffic; use one of {known}")
+            raise InvalidRequestError(
+                f"algorithm {algorithm!r} cannot serve live traffic; use one of {known}"
+            )
         self._collection = collection if collection is not None else LiveCollection()
         self._algorithm = algorithm
         self._cache = LRUResultCache(cache_capacity)
-        self._stats = EngineStats(cache=self._cache.stats)
+        self._recorder = RequestRecorder(self._cache.stats, lambda: self._collection.num_shards)
         self._epoch_lock = threading.Lock()
         self._cached_version = self._collection.version
 
@@ -97,7 +105,7 @@ class LiveQueryEngine:
 
     def stats(self) -> EngineStats:
         """Running totals (``rebuilds`` counts cache-invalidation epochs)."""
-        return self._stats
+        return self._recorder.stats
 
     # -- mutations (delegate; the version bump invalidates lazily) ----------------
 
@@ -150,21 +158,23 @@ class LiveQueryEngine:
         self, query: Ranking, theta: float, algorithm: Optional[str] = None
     ) -> EngineResponse:
         """Answer one range query over the current logical collection."""
-        start = time.perf_counter()
         version = self._refresh_epoch()
-        fingerprint = range_fingerprint(query, theta)
-        cached = self._cache.get(fingerprint)
-        if cached is not None:
-            return self._record(
-                kind="range", result=cached, cache_hit=True,
-                latency=time.perf_counter() - start, theta=theta,
-            )
         chosen = algorithm if algorithm is not None else self._algorithm
-        result = self._collection.range_query(query, theta, algorithm=chosen)
-        self._put_if_current(fingerprint, result, version)
-        return self._record(
-            kind="range", result=result, cache_hit=False, algorithm=chosen,
-            latency=time.perf_counter() - start, theta=theta,
+
+        def compute():
+            result = self._collection.range_query(query, theta, algorithm=chosen)
+            return result, chosen, "pinned" if algorithm is not None else "default"
+
+        return serve_cached(
+            kind="range",
+            fingerprint=range_fingerprint(query, theta),
+            cache_get=self._cache.get,
+            cache_put=lambda fingerprint, result: self._put_if_current(
+                fingerprint, result, version
+            ),
+            compute=compute,
+            recorder=self._recorder,
+            theta=theta,
         )
 
     def batch_query(
@@ -177,21 +187,23 @@ class LiveQueryEngine:
         self, query: Ranking, n_neighbours: int, algorithm: Optional[str] = None
     ) -> EngineResponse:
         """Answer one exact k-nearest-neighbour query."""
-        start = time.perf_counter()
         version = self._refresh_epoch()
-        fingerprint = knn_fingerprint(query, n_neighbours)
-        cached = self._cache.get(fingerprint)
-        if cached is not None:
-            return self._record(
-                kind="knn", result=cached, cache_hit=True,
-                latency=time.perf_counter() - start, n_neighbours=n_neighbours,
-            )
         chosen = algorithm if algorithm is not None else self._algorithm
-        result = self._collection.knn(query, n_neighbours, algorithm=chosen)
-        self._put_if_current(fingerprint, result, version)
-        return self._record(
-            kind="knn", result=result, cache_hit=False, algorithm=chosen,
-            latency=time.perf_counter() - start, n_neighbours=n_neighbours,
+
+        def compute():
+            result = self._collection.knn(query, n_neighbours, algorithm=chosen)
+            return result, chosen, "pinned" if algorithm is not None else "default"
+
+        return serve_cached(
+            kind="knn",
+            fingerprint=knn_fingerprint(query, n_neighbours),
+            cache_get=self._cache.get,
+            cache_put=lambda fingerprint, result: self._put_if_current(
+                fingerprint, result, version
+            ),
+            compute=compute,
+            recorder=self._recorder,
+            n_neighbours=n_neighbours,
         )
 
     # -- internals ------------------------------------------------------------------
@@ -208,7 +220,7 @@ class LiveQueryEngine:
             if version != self._cached_version:
                 if len(self._cache) > 0:
                     self._cache.invalidate()
-                    self._stats.rebuilds += 1
+                    self._recorder.count_rebuild()
                 self._cached_version = version
             return version
 
@@ -224,48 +236,8 @@ class LiveQueryEngine:
             if self._collection.version == version and self._cached_version == version:
                 self._cache.put(fingerprint, result)
 
-    def _record(
-        self,
-        kind: str,
-        result,
-        cache_hit: bool,
-        latency: float,
-        algorithm: str = "",
-        theta: float = 0.0,
-        n_neighbours: int = 0,
-    ) -> EngineResponse:
-        result_count = len(result.neighbours) if kind == "knn" else len(result)
-        if cache_hit:
-            algorithm = getattr(result, "algorithm", "") or "cached"
-        # counters are shared across concurrently served requests
-        with self._epoch_lock:
-            if kind == "knn":
-                self._stats.knn_queries += 1
-            else:
-                self._stats.queries += 1
-            if cache_hit:
-                self._stats.cache_hits += 1
-            else:
-                counts = self._stats.algorithm_counts
-                counts[algorithm] = counts.get(algorithm, 0) + 1
-            self._stats.total_latency_seconds += latency
-        stats = QueryStats(
-            kind=kind,
-            algorithm=algorithm,
-            cache_hit=cache_hit,
-            latency_seconds=latency,
-            shard_count=self._collection.num_shards,
-            planner_source="cache" if cache_hit else "pinned",
-            theta=theta,
-            n_neighbours=n_neighbours,
-            results=result_count,
-            distance_calls=result.stats.distance_calls,
-            candidates=result.stats.candidates,
-        )
-        return EngineResponse(result=result, stats=stats)
-
     def __repr__(self) -> str:
         return (
             f"LiveQueryEngine(live={len(self._collection)}, "
-            f"version={self._collection.version}, requests={self._stats.requests})"
+            f"version={self._collection.version}, requests={self._recorder.stats.requests})"
         )

@@ -11,6 +11,7 @@ per-request :class:`QueryStats`.
 Layering (each module only depends on the ones above it)::
 
     cache.py     LRU result cache keyed on normalised query fingerprints
+    recording.py per-request/lifetime stats + the shared cached request flow
     sharding.py  partitioned collection + concurrent fan-out / bounded merge
     planner.py   cost-model priors + runtime EWMAs -> per-query plan
     engine.py    request layer: cache -> planner -> shards
@@ -21,8 +22,15 @@ where, never the semantics.
 """
 
 from repro.service.cache import CacheStats, LRUResultCache, knn_fingerprint, range_fingerprint
-from repro.service.engine import EngineResponse, EngineStats, QueryEngine, QueryStats
+from repro.service.engine import QueryEngine
 from repro.service.planner import AdaptivePlanner, PlanDecision
+from repro.service.recording import (
+    EngineResponse,
+    EngineStats,
+    QueryStats,
+    RequestRecorder,
+    serve_cached,
+)
 from repro.service.sharding import ShardedIndex
 
 __all__ = [
@@ -34,7 +42,9 @@ __all__ = [
     "PlanDecision",
     "QueryEngine",
     "QueryStats",
+    "RequestRecorder",
     "ShardedIndex",
     "knn_fingerprint",
     "range_fingerprint",
+    "serve_cached",
 ]

@@ -16,11 +16,10 @@ entry points:
 ``knn(query, n_neighbours)``
     One exact k-nearest-neighbour query over the sharded collection.
 
-Every response carries a :class:`QueryStats` describing what the engine did
-for that request — cache hit or miss, the plan and where it came from,
-shard count, latency, and the merged algorithm counters — and
-:meth:`QueryEngine.stats` aggregates the running totals a dashboard would
-scrape.
+The cached request flow and all statistics bookkeeping live in
+:mod:`repro.service.recording` and are shared with the live-update engine;
+this module re-exports :class:`QueryStats` / :class:`EngineStats` /
+:class:`EngineResponse` from there so existing imports keep working.
 
 ``rebuild(num_shards=...)`` repartitions the collection online and
 invalidates the cache, the seam later PRs (persistence, replication,
@@ -29,88 +28,32 @@ async backends) build on.
 
 from __future__ import annotations
 
-import threading
 import time
-from dataclasses import dataclass, field
 from collections.abc import Sequence
-from typing import Optional, Union
+from typing import Optional
 
 from repro.core.ranking import Ranking, RankingSet
-from repro.core.result import SearchResult
-from repro.algorithms.knn import KnnResult
-from repro.service.cache import CacheStats, LRUResultCache, knn_fingerprint, range_fingerprint
+from repro.service.cache import LRUResultCache, knn_fingerprint, range_fingerprint
 from repro.service.planner import AdaptivePlanner, PlanDecision
+from repro.service.recording import (
+    EngineResponse,
+    EngineStats,
+    QueryStats,
+    RequestRecorder,
+    serve_cached,
+)
 from repro.service.sharding import ShardedIndex
+
+__all__ = [
+    "EngineResponse",
+    "EngineStats",
+    "QueryEngine",
+    "QueryStats",
+]
 
 #: Nominal threshold used to bucket planner statistics for k-NN requests
 #: (k-NN has no client-supplied theta; expansion starts near this radius).
 _KNN_PLANNING_THETA = 0.1
-
-
-@dataclass(frozen=True)
-class QueryStats:
-    """What the engine did for one request."""
-
-    kind: str
-    algorithm: str
-    cache_hit: bool
-    latency_seconds: float
-    shard_count: int
-    planner_source: str
-    theta: float = 0.0
-    n_neighbours: int = 0
-    results: int = 0
-    distance_calls: int = 0
-    candidates: int = 0
-
-    def as_dict(self) -> dict[str, float]:
-        """Flat dictionary view for logs and reports."""
-        return {
-            "kind": self.kind,
-            "algorithm": self.algorithm,
-            "cache_hit": self.cache_hit,
-            "latency_seconds": self.latency_seconds,
-            "shard_count": self.shard_count,
-            "planner_source": self.planner_source,
-            "theta": self.theta,
-            "n_neighbours": self.n_neighbours,
-            "results": self.results,
-            "distance_calls": self.distance_calls,
-            "candidates": self.candidates,
-        }
-
-
-@dataclass(frozen=True)
-class EngineResponse:
-    """One answered request: the result plus the per-request stats."""
-
-    result: Union[SearchResult, KnnResult]
-    stats: QueryStats
-
-
-@dataclass
-class EngineStats:
-    """Running totals across the engine's lifetime."""
-
-    queries: int = 0
-    knn_queries: int = 0
-    cache_hits: int = 0
-    rebuilds: int = 0
-    total_latency_seconds: float = 0.0
-    algorithm_counts: dict[str, int] = field(default_factory=dict)
-    cache: CacheStats = field(default_factory=CacheStats)
-
-    @property
-    def requests(self) -> int:
-        """All requests served (range + knn)."""
-        return self.queries + self.knn_queries
-
-    @property
-    def mean_latency_seconds(self) -> float:
-        """Average request latency (0.0 before any traffic)."""
-        if self.requests == 0:
-            return 0.0
-        return self.total_latency_seconds / self.requests
 
 
 class QueryEngine:
@@ -159,8 +102,7 @@ class QueryEngine:
             else AdaptivePlanner(self._sharded.rankings, candidates=algorithms)
         )
         self._cache = cache if cache is not None else LRUResultCache(cache_capacity)
-        self._stats = EngineStats(cache=self._cache.stats)
-        self._stats_lock = threading.Lock()
+        self._recorder = RequestRecorder(self._cache.stats, lambda: self._sharded.num_shards)
 
     # -- component access ---------------------------------------------------------
 
@@ -191,7 +133,7 @@ class QueryEngine:
 
     def stats(self) -> EngineStats:
         """The engine's running totals (live object, do not mutate)."""
-        return self._stats
+        return self._recorder.stats
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -199,7 +141,7 @@ class QueryEngine:
         """Repartition the shards and invalidate every cached result."""
         self._sharded.rebuild(num_shards=num_shards)
         self._cache.invalidate()
-        self._stats.rebuilds += 1
+        self._recorder.count_rebuild()
 
     def close(self) -> None:
         """Release the fan-out thread pool."""
@@ -217,22 +159,23 @@ class QueryEngine:
         self, query: Ranking, theta: float, algorithm: Optional[str] = None
     ) -> EngineResponse:
         """Answer one similarity range query (``algorithm`` pins the plan)."""
-        start = time.perf_counter()
-        fingerprint = range_fingerprint(query, theta)
-        cached = self._cache.get(fingerprint)
-        if cached is not None:
-            return self._record(
-                kind="range", result=cached, decision=None, cache_hit=True,
-                latency=time.perf_counter() - start, theta=theta,
-            )
-        decision = self._plan(query, theta, kind="range", algorithm=algorithm)
-        result = self._sharded.range_query(query, theta, decision.algorithm, **decision.params)
-        latency = time.perf_counter() - start
-        self._planner.observe(decision, latency, candidates=float(result.stats.candidates))
-        self._cache.put(fingerprint, result)
-        return self._record(
-            kind="range", result=result, decision=decision, cache_hit=False,
-            latency=latency, theta=theta,
+
+        def compute():
+            decision = self._plan(query, theta, kind="range", algorithm=algorithm)
+            start = time.perf_counter()
+            result = self._sharded.range_query(query, theta, decision.algorithm, **decision.params)
+            latency = time.perf_counter() - start
+            self._planner.observe(decision, latency, candidates=float(result.stats.candidates))
+            return result, decision.algorithm, decision.source
+
+        return serve_cached(
+            kind="range",
+            fingerprint=range_fingerprint(query, theta),
+            cache_get=self._cache.get,
+            cache_put=self._cache.put,
+            compute=compute,
+            recorder=self._recorder,
+            theta=theta,
         )
 
     def batch_query(
@@ -245,22 +188,23 @@ class QueryEngine:
         self, query: Ranking, n_neighbours: int, algorithm: Optional[str] = None
     ) -> EngineResponse:
         """Answer one exact k-nearest-neighbour query."""
-        start = time.perf_counter()
-        fingerprint = knn_fingerprint(query, n_neighbours)
-        cached = self._cache.get(fingerprint)
-        if cached is not None:
-            return self._record(
-                kind="knn", result=cached, decision=None, cache_hit=True,
-                latency=time.perf_counter() - start, n_neighbours=n_neighbours,
-            )
-        decision = self._plan(query, _KNN_PLANNING_THETA, kind="knn", algorithm=algorithm)
-        result = self._sharded.knn(query, n_neighbours, decision.algorithm, **decision.params)
-        latency = time.perf_counter() - start
-        self._planner.observe(decision, latency, candidates=float(result.stats.candidates))
-        self._cache.put(fingerprint, result)
-        return self._record(
-            kind="knn", result=result, decision=decision, cache_hit=False,
-            latency=latency, n_neighbours=n_neighbours,
+
+        def compute():
+            decision = self._plan(query, _KNN_PLANNING_THETA, kind="knn", algorithm=algorithm)
+            start = time.perf_counter()
+            result = self._sharded.knn(query, n_neighbours, decision.algorithm, **decision.params)
+            latency = time.perf_counter() - start
+            self._planner.observe(decision, latency, candidates=float(result.stats.candidates))
+            return result, decision.algorithm, decision.source
+
+        return serve_cached(
+            kind="knn",
+            fingerprint=knn_fingerprint(query, n_neighbours),
+            cache_get=self._cache.get,
+            cache_put=self._cache.put,
+            compute=compute,
+            recorder=self._recorder,
+            n_neighbours=n_neighbours,
         )
 
     # -- internals ------------------------------------------------------------------
@@ -278,51 +222,8 @@ class QueryEngine:
             theta_bucket=self._planner.bucket(theta),
         )
 
-    def _record(
-        self,
-        kind: str,
-        result: Union[SearchResult, KnnResult],
-        decision: Optional[PlanDecision],
-        cache_hit: bool,
-        latency: float,
-        theta: float = 0.0,
-        n_neighbours: int = 0,
-    ) -> EngineResponse:
-        result_count = len(result.neighbours) if kind == "knn" else len(result)  # type: ignore[union-attr]
-        if cache_hit:
-            algorithm = getattr(result, "algorithm", "") or "cached"
-        else:
-            assert decision is not None
-            algorithm = decision.algorithm
-        # counters are shared across concurrently served requests
-        with self._stats_lock:
-            if kind == "knn":
-                self._stats.knn_queries += 1
-            else:
-                self._stats.queries += 1
-            if cache_hit:
-                self._stats.cache_hits += 1
-            else:
-                counts = self._stats.algorithm_counts
-                counts[algorithm] = counts.get(algorithm, 0) + 1
-            self._stats.total_latency_seconds += latency
-        stats = QueryStats(
-            kind=kind,
-            algorithm=algorithm,
-            cache_hit=cache_hit,
-            latency_seconds=latency,
-            shard_count=self._sharded.num_shards,
-            planner_source=decision.source if decision is not None else "cache",
-            theta=theta,
-            n_neighbours=n_neighbours,
-            results=result_count,
-            distance_calls=result.stats.distance_calls,
-            candidates=result.stats.candidates,
-        )
-        return EngineResponse(result=result, stats=stats)
-
     def __repr__(self) -> str:
         return (
             f"QueryEngine(n={len(self.rankings)}, shards={self.num_shards}, "
-            f"requests={self._stats.requests})"
+            f"requests={self._recorder.stats.requests})"
         )

@@ -1,0 +1,237 @@
+"""Typed request/response envelopes: round trips and strict validation.
+
+Every request type must survive ``to_dict -> parse_request -> to_dict``
+unchanged (that triple is the wire contract), and every malformed payload
+must come back as an :class:`InvalidRequestError` — never a ``KeyError``
+or ``TypeError`` escaping from deep inside the parser.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidRequestError
+from repro.core.ranking import Ranking
+from repro.api.requests import (
+    ADMIN_ACTIONS,
+    AdminRequest,
+    BatchRequest,
+    DeleteRequest,
+    InsertRequest,
+    KnnRequest,
+    RangeQueryRequest,
+    REQUEST_TYPES,
+    UpsertRequest,
+    parse_request,
+)
+from repro.api.responses import (
+    MatchPayload,
+    Response,
+    ResponseError,
+    canonical_json,
+    error_response,
+)
+
+EXAMPLES = [
+    RangeQueryRequest(collection="news", items=(3, 1, 4), theta=0.2),
+    RangeQueryRequest(
+        collection="news", items=(3, 1, 4), theta=0.25, algorithm="F&V", limit=5, cursor=10
+    ),
+    KnnRequest(collection="news", items=(3, 1, 4), k=7),
+    KnnRequest(collection="live", items=(1, 2), k=1, algorithm="ListMerge"),
+    BatchRequest(collection="news", queries=((1, 2, 3), (4, 5, 6)), theta=0.3),
+    InsertRequest(collection="live", items=(9, 8, 7)),
+    DeleteRequest(collection="live", key=42),
+    UpsertRequest(collection="live", key=3, items=(5, 6, 7)),
+    *[AdminRequest(collection="live", action=action) for action in ADMIN_ACTIONS],
+]
+
+
+class TestRequestRoundTrips:
+    @pytest.mark.parametrize("request_obj", EXAMPLES, ids=lambda r: r.TYPE)
+    def test_to_dict_parse_round_trip(self, request_obj):
+        payload = request_obj.to_dict()
+        # the payload is honest JSON: a dump/load cycle must not change it
+        payload = json.loads(json.dumps(payload))
+        rebuilt = parse_request(payload)
+        assert rebuilt == request_obj
+        assert rebuilt.to_dict() == request_obj.to_dict()
+
+    def test_every_request_type_is_covered(self):
+        tested = {type(example) for example in EXAMPLES}
+        assert tested == set(REQUEST_TYPES.values())
+
+    def test_parse_accepts_typed_requests_unchanged(self):
+        request_obj = KnnRequest(items=(1, 2, 3), k=2)
+        assert parse_request(request_obj) is request_obj
+
+    def test_items_accept_rankings(self):
+        request_obj = RangeQueryRequest(items=Ranking([4, 5, 6]), theta=0.1)
+        assert request_obj.items == (4, 5, 6)
+        assert request_obj.query.items == (4, 5, 6)
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            ["not", "a", "dict"],
+            {},
+            {"type": 7},
+            {"type": "range-query"},  # unknown type name
+        ],
+    )
+    def test_malformed_payload_shape(self, payload):
+        with pytest.raises(InvalidRequestError):
+            parse_request(payload)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"type": "range", "items": [], "theta": 0.2},
+            {"type": "range", "items": "1,2,3", "theta": 0.2},
+            {"type": "range", "items": [1, "two"], "theta": 0.2},
+            {"type": "range", "items": [1, True], "theta": 0.2},
+            {"type": "range", "items": [1, 2], "theta": "0.2"},
+            {"type": "range", "items": [1, 2], "theta": 1.0},
+            {"type": "range", "items": [1, 2], "theta": -0.1},
+            {"type": "range", "items": [1, 2], "theta": 0.2, "limit": 0},
+            {"type": "range", "items": [1, 2], "theta": 0.2, "cursor": -1},
+            {"type": "range", "items": [1, 2], "theta": 0.2, "algorithm": 5},
+            {"type": "range", "items": [1, 2], "theta": 0.2, "surprise": 1},
+            {"type": "range", "items": [1, 2], "theta": 0.2, "collection": ""},
+            {"type": "range", "items": [1, 2], "theta": 0.2, "collection": 9},
+            {"type": "knn", "items": [1, 2], "k": 0},
+            {"type": "knn", "items": [1, 2], "k": True},
+            {"type": "knn", "items": [1, 2], "k": "three"},
+            {"type": "batch", "queries": [], "theta": 0.2},
+            {"type": "batch", "queries": [[1, 2], []], "theta": 0.2},
+            {"type": "batch", "queries": "nope", "theta": 0.2},
+            {"type": "insert", "items": []},
+            {"type": "delete", "key": -1},
+            {"type": "delete", "key": "five"},
+            {"type": "upsert", "key": 1, "items": [0.5]},
+            {"type": "admin", "action": "explode"},
+            {"type": "admin", "action": 3},
+        ],
+    )
+    def test_malformed_fields_raise_invalid_request(self, payload):
+        with pytest.raises(InvalidRequestError):
+            parse_request(payload)
+
+    def test_error_message_names_the_field(self):
+        with pytest.raises(InvalidRequestError, match="theta"):
+            parse_request({"type": "range", "items": [1, 2], "theta": 2.0})
+        with pytest.raises(InvalidRequestError, match="surprise"):
+            parse_request({"type": "range", "items": [1, 2], "theta": 0.1, "surprise": 1})
+
+    def test_direct_construction_validates_too(self):
+        with pytest.raises(InvalidRequestError):
+            RangeQueryRequest(items=(1, 2), theta=1.5)
+        with pytest.raises(InvalidRequestError):
+            KnnRequest(items=(), k=3)
+        with pytest.raises(InvalidRequestError):
+            AdminRequest(action="reboot")
+
+    def test_invalid_request_error_is_a_value_error(self):
+        # compatibility contract: pre-typed-API call sites catch ValueError
+        assert issubclass(InvalidRequestError, ValueError)
+
+
+class TestResponseEnvelope:
+    def _rich_response(self) -> Response:
+        return Response(
+            ok=True,
+            matches=(
+                MatchPayload(rid=3, distance=0.125, items=(1, 2, 3)),
+                MatchPayload(rid=9, distance=0.5, items=(4, 5, 6)),
+            ),
+            stats={"kind": "range", "latency_seconds": 0.001, "algorithm": "F&V"},
+            cursor=2,
+        )
+
+    def test_round_trip(self):
+        for response in (
+            self._rich_response(),
+            Response(ok=True, key=17),
+            Response(ok=True, data={"pong": True}),
+            Response(ok=True, batch=(Response(ok=True, matches=()), self._rich_response())),
+            Response(ok=False, error=ResponseError(code="invalid_request", message="nope")),
+        ):
+            payload = json.loads(json.dumps(response.to_dict()))
+            rebuilt = Response.from_dict(payload)
+            assert rebuilt == response
+            assert rebuilt.canonical_bytes() == response.canonical_bytes()
+
+    def test_canonical_bytes_are_deterministic(self):
+        response = self._rich_response()
+        assert response.canonical_bytes() == response.canonical_bytes()
+        # key order in the source dict must not matter
+        scrambled = dict(reversed(list(response.to_dict().items())))
+        assert canonical_json(scrambled) == response.canonical_bytes()
+
+    def test_result_bytes_ignore_stats(self):
+        fast = self._rich_response()
+        slow = Response(
+            ok=True,
+            matches=fast.matches,
+            stats={"kind": "range", "latency_seconds": 9.9, "cache_hit": True},
+            cursor=2,
+        )
+        assert fast.canonical_bytes() != slow.canonical_bytes()
+        assert fast.result_bytes() == slow.result_bytes()
+
+    def test_result_bytes_see_answer_changes(self):
+        base = self._rich_response()
+        different = Response(ok=True, matches=base.matches[:1], stats=base.stats, cursor=2)
+        assert base.result_bytes() != different.result_bytes()
+
+    def test_raise_for_error_reconstructs_typed_exceptions(self):
+        from repro.core.errors import CollectionClosedError, UnknownCollectionError
+
+        ok = Response(ok=True)
+        assert ok.raise_for_error() is ok
+        with pytest.raises(InvalidRequestError, match="bad theta"):
+            Response(
+                ok=False, error=ResponseError(code="invalid_request", message="bad theta")
+            ).raise_for_error()
+        with pytest.raises(UnknownCollectionError):
+            Response(
+                ok=False, error=ResponseError(code="unknown_collection", message="unknown 'x'")
+            ).raise_for_error()
+        with pytest.raises(CollectionClosedError):
+            Response(
+                ok=False, error=ResponseError(code="collection_closed", message="closed")
+            ).raise_for_error()
+        with pytest.raises(RuntimeError):
+            Response(
+                ok=False, error=ResponseError(code="never-heard-of-it", message="?")
+            ).raise_for_error()
+
+    def test_error_response_maps_exception_types(self):
+        from repro.core.errors import (
+            CollectionClosedError,
+            InvalidThresholdError,
+            UnknownCollectionError,
+            UnknownKeyError,
+        )
+
+        cases = [
+            (InvalidRequestError("x"), "invalid_request"),
+            (UnknownCollectionError("missing"), "unknown_collection"),
+            (UnknownKeyError(7), "unknown_key"),
+            (CollectionClosedError("closed"), "collection_closed"),
+            (InvalidThresholdError(2.0), "invalid_request"),
+            (ValueError("v"), "invalid_request"),
+            (KeyError("k"), "invalid_request"),
+            (ZeroDivisionError("boom"), "internal"),
+        ]
+        for exception, code in cases:
+            envelope = error_response(exception)
+            assert not envelope.ok
+            assert envelope.error.code == code, exception
+        internal = error_response(ZeroDivisionError("boom"))
+        assert "ZeroDivisionError" in internal.error.message

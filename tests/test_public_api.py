@@ -23,6 +23,7 @@ PUBLIC_PACKAGES = (
     "repro.analysis",
     "repro.service",
     "repro.live",
+    "repro.api",
 )
 
 
@@ -75,5 +76,27 @@ def test_live_classes_reachable_from_top_level():
     import repro
 
     for name in ("LiveCollection", "LiveQueryEngine", "LiveStats", "WalRecord", "WriteAheadLog"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+
+def test_api_classes_reachable_from_top_level():
+    import repro
+
+    for name in (
+        "Database",
+        "Session",
+        "DatabaseServer",
+        "Client",
+        "Request",
+        "Response",
+        "RangeQueryRequest",
+        "KnnRequest",
+        "BatchRequest",
+        "InsertRequest",
+        "DeleteRequest",
+        "UpsertRequest",
+        "AdminRequest",
+    ):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
