@@ -1,25 +1,39 @@
-"""Served QPS over the wire: concurrent clients vs the in-process baseline.
+"""Served QPS over the wire: serial, pipelined, and asyncio-server variants.
 
-Boots a :class:`repro.api.DatabaseServer` over the shared NYT-like
-collection and measures queries-per-second for client counts {1, 2, 4, 8},
-each client issuing the same range-query workload over its own connection.
+Boots servers over the shared NYT-like collection and measures
+queries-per-second along three axes:
+
+* **concurrency** — client counts {1, 2, 4, 8}, each over its own
+  connection (the PR 4 sweep);
+* **pipelining** — one protocol v2 connection with ``--pipeline N``
+  requests in flight: the wire carries the same frames but the client
+  stops paying one round trip per request;
+* **transport** — the threaded server vs the asyncio server
+  (:class:`repro.api.aserver.AsyncDatabaseServer`), same dispatch code.
+
 The in-process :class:`~repro.api.database.Session` serving the identical
 workload is the baseline — the gap is pure transport (framing + JSON +
-loopback TCP), since the dispatch behind both paths is the same code.
+loopback TCP), since the dispatch behind every path is the same code.
 
 Run under pytest-benchmark as part of the suite, or standalone::
 
     PYTHONPATH=src python benchmarks/bench_server_qps.py
+    PYTHONPATH=src python benchmarks/bench_server_qps.py --pipeline 8 --check
+
+``--check`` exits non-zero unless pipelined QPS beats the serial
+single-client path — the CI smoke guarding the protocol v2 win.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 import threading
 import time
 
 import pytest
 
-from repro.api import Client, Database, DatabaseServer
+from repro.api import AsyncDatabaseServer, Client, Database, DatabaseServer, RangeQueryRequest
 
 from _utils import run_once
 
@@ -28,6 +42,9 @@ CLIENT_COUNTS = (1, 2, 4, 8)
 
 #: Passes each client makes over the query workload.
 PASSES = 2
+
+#: Requests in flight per connection in the pipelined benchmarks.
+PIPELINE_DEPTH = 8
 
 THETA = 0.2
 
@@ -59,6 +76,23 @@ def _serve_clients(address, queries, n_clients: int) -> int:
     return sum(served)
 
 
+def _serve_pipelined(address, queries, depth: int) -> int:
+    """Run the workload through one connection, ``depth`` requests in flight."""
+    host, port = address
+    requests = [
+        RangeQueryRequest(collection="news", items=query, theta=THETA) for query in queries
+    ]
+    served = 0
+    with Client(host, port) as client:
+        assert client.protocol_version == 2, "pipelining needs a v2 server"
+        for _ in range(PASSES):
+            for start in range(0, len(requests), depth):
+                for response in client.pipeline(requests[start:start + depth]):
+                    assert response.ok, response.error
+                    served += 1
+    return served
+
+
 def _serve_in_process(session, queries) -> int:
     served = 0
     for _ in range(PASSES):
@@ -77,6 +111,17 @@ def served_database(nyt_setup):
         # warm-up: planner exploration + cache fill happen untimed
         session = database.session()
         _serve_in_process(session, nyt_setup.queries)
+        yield server, database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def served_async_database(nyt_setup):
+    database = Database()
+    database.create_static("news", nyt_setup.rankings, num_shards=2)
+    session = database.session()
+    _serve_in_process(session, nyt_setup.queries)  # warm-up
+    with AsyncDatabaseServer(database, port=0) as server:
         yield server, database
     database.close()
 
@@ -107,10 +152,71 @@ def test_server_qps(benchmark, served_database, nyt_setup, n_clients):
     benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
 
 
-def main() -> None:
-    """Standalone report: QPS per client count vs the in-process baseline."""
+@pytest.mark.benchmark(group="server-qps-pipelined")
+def test_server_qps_pipelined(benchmark, served_database, nyt_setup):
+    """One connection, PIPELINE_DEPTH requests in flight (protocol v2)."""
+    server, _ = served_database
+    start = time.perf_counter()
+    served = run_once(
+        benchmark, _serve_pipelined, server.address, nyt_setup.queries, PIPELINE_DEPTH
+    )
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["pipeline_depth"] = PIPELINE_DEPTH
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+
+
+@pytest.mark.benchmark(group="server-qps-async")
+@pytest.mark.parametrize("n_clients", (1, 4))
+def test_async_server_qps(benchmark, served_async_database, nyt_setup, n_clients):
+    """The asyncio transport under the serial-client workload."""
+    server, _ = served_async_database
+    start = time.perf_counter()
+    served = run_once(benchmark, _serve_clients, server.address, nyt_setup.queries, n_clients)
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["clients"] = n_clients
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+
+
+@pytest.mark.benchmark(group="server-qps-async")
+def test_async_server_qps_pipelined(benchmark, served_async_database, nyt_setup):
+    """Pipelining against the asyncio transport."""
+    server, _ = served_async_database
+    start = time.perf_counter()
+    served = run_once(
+        benchmark, _serve_pipelined, server.address, nyt_setup.queries, PIPELINE_DEPTH
+    )
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["pipeline_depth"] = PIPELINE_DEPTH
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+
+
+def _timed_qps(function, *args) -> float:
+    start = time.perf_counter()
+    served = function(*args)
+    elapsed = time.perf_counter() - start
+    return served / elapsed if elapsed > 0 else float("inf")
+
+
+def main(argv=None) -> int:
+    """Standalone report: QPS per client count, pipeline depth, and transport."""
     from repro.datasets.nyt import nyt_like_dataset
     from repro.datasets.queries import sample_queries
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pipeline", type=int, default=PIPELINE_DEPTH, metavar="N",
+        help="requests in flight per connection in the pipelined rows",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless pipelined QPS >= serial single-client QPS",
+    )
+    args = parser.parse_args(argv)
+    if args.pipeline <= 0:
+        parser.error("--pipeline must be positive")
 
     rankings = nyt_like_dataset(n=800, k=10)
     queries = sample_queries(rankings, 30, seed=3)
@@ -121,20 +227,33 @@ def main() -> None:
     print(f"server QPS on NYT-like n={len(rankings)}, k={rankings.k}, "
           f"{len(queries)} queries x {PASSES} passes, theta={THETA}")
     print(f"{'clients':>8s}  {'QPS':>9s}  note")
-    start = time.perf_counter()
-    served = _serve_in_process(session, queries)
-    elapsed = time.perf_counter() - start
-    baseline = served / elapsed if elapsed > 0 else float("inf")
+    baseline = _timed_qps(_serve_in_process, session, queries)
     print(f"{'-':>8s}  {baseline:>9.1f}  in-process session (no wire)")
+    serial_qps = pipelined_qps = 0.0
     with DatabaseServer(database, port=0) as server:
         for n_clients in CLIENT_COUNTS:
-            start = time.perf_counter()
-            served = _serve_clients(server.address, queries, n_clients)
-            elapsed = time.perf_counter() - start
-            qps = served / elapsed if elapsed > 0 else float("inf")
-            print(f"{n_clients:>8d}  {qps:>9.1f}  {qps / baseline:.0%} of baseline")
+            qps = _timed_qps(_serve_clients, server.address, queries, n_clients)
+            if n_clients == 1:
+                serial_qps = qps
+            print(f"{n_clients:>8d}  {qps:>9.1f}  {qps / baseline:.0%} of baseline, threaded")
+        pipelined_qps = _timed_qps(_serve_pipelined, server.address, queries, args.pipeline)
+        print(f"{1:>8d}  {pipelined_qps:>9.1f}  pipelined depth={args.pipeline}, threaded")
+    with AsyncDatabaseServer(database, port=0) as server:
+        async_qps = _timed_qps(_serve_clients, server.address, queries, 1)
+        print(f"{1:>8d}  {async_qps:>9.1f}  serial, asyncio transport")
+        async_pipelined = _timed_qps(_serve_pipelined, server.address, queries, args.pipeline)
+        print(f"{1:>8d}  {async_pipelined:>9.1f}  pipelined depth={args.pipeline}, asyncio")
     database.close()
+    gain = pipelined_qps / serial_qps if serial_qps else float("inf")
+    print(f"\npipelining gain (threaded, depth={args.pipeline}): {gain:.2f}x serial")
+    if args.check and pipelined_qps < serial_qps:
+        print(
+            f"CHECK FAILED: pipelined {pipelined_qps:.1f} QPS < serial {serial_qps:.1f} QPS",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -52,6 +52,8 @@ from repro.datasets import (
 )
 from repro.api import (
     AdminRequest,
+    AsyncClient,
+    AsyncDatabaseServer,
     BatchRequest,
     Client,
     Database,
@@ -60,6 +62,7 @@ from repro.api import (
     InsertRequest,
     KnnRequest,
     RangeQueryRequest,
+    RemoteShardExecutor,
     Request,
     Response,
     Session,
@@ -79,6 +82,7 @@ from repro.service import (
     QueryEngine,
     QueryStats,
     ShardedIndex,
+    partition_rankings,
 )
 
 __version__ = "1.0.0"
@@ -113,6 +117,7 @@ __all__ = [
     "EngineResponse",
     "QueryStats",
     "ShardedIndex",
+    "partition_rankings",
     "AdaptivePlanner",
     "LRUResultCache",
     "LiveCollection",
@@ -123,7 +128,10 @@ __all__ = [
     "Database",
     "Session",
     "DatabaseServer",
+    "AsyncDatabaseServer",
     "Client",
+    "AsyncClient",
+    "RemoteShardExecutor",
     "Request",
     "Response",
     "RangeQueryRequest",

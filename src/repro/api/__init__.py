@@ -11,31 +11,47 @@ Layering (each module only depends on the ones above it)::
     responses.py  the Response envelope, error codes, canonical JSON
     surface.py    ExecutorSurface: engine-shaped helpers over execute()
     database.py   Database facade (named static/live collections) + Session
-    protocol.py   length-prefixed JSON frames, size limits, frame errors
-    server.py     threaded TCP server sharing one Database
-    client.py     blocking client speaking the same surface
+    protocol.py   length-prefixed JSON frames + the protocol v2 envelope
+    server.py     threaded TCP server sharing one Database (v1 + v2)
+    client.py     blocking client: hello handshake, pipelining, v1 fallback
+    aserver.py    asyncio transport: many connections, no thread each
+    aclient.py    asyncio client: pipelining as plain await concurrency
+    remote.py     RemoteShardExecutor: ShardedIndex fan-out to shard servers
 
 The invariant the whole package is built around: for any request, the
 response produced over the wire is **byte-identical** (modulo volatile
 latency stats — see :meth:`~repro.api.responses.Response.result_bytes`) to
 the response produced by an in-process :class:`~repro.api.database.Session`
-on the same database.
+on the same database — whichever transport, protocol version, and
+pipelining depth carried it.
 """
 
-from repro.api.client import Client
+from repro.api.aclient import AsyncClient
+from repro.api.aserver import AsyncDatabaseServer, read_frame_async
+from repro.api.client import Client, PendingReply
 from repro.api.database import CollectionInfo, Database, Session
 from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameError,
     FrameTooLargeError,
+    HELLO_KIND,
+    InboundFrame,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    classify_frame,
     encode_frame,
+    hello_payload,
     read_frame,
+    request_envelope,
+    response_envelope,
     write_frame,
 )
+from repro.api.remote import RemoteShardExecutor
 from repro.api.requests import (
     ADMIN_ACTIONS,
     AdminRequest,
     BatchRequest,
+    COLLECTION_ENGINES,
     DEFAULT_COLLECTION,
     DeleteRequest,
     InsertRequest,
@@ -58,7 +74,10 @@ from repro.api.surface import ExecutorSurface
 __all__ = [
     "ADMIN_ACTIONS",
     "AdminRequest",
+    "AsyncClient",
+    "AsyncDatabaseServer",
     "BatchRequest",
+    "COLLECTION_ENGINES",
     "Client",
     "CollectionInfo",
     "Database",
@@ -71,19 +90,30 @@ __all__ = [
     "ExecutorSurface",
     "FrameError",
     "FrameTooLargeError",
+    "HELLO_KIND",
+    "InboundFrame",
     "InsertRequest",
     "KnnRequest",
     "MatchPayload",
+    "PROTOCOL_VERSION",
+    "PendingReply",
     "RangeQueryRequest",
+    "RemoteShardExecutor",
     "Request",
     "Response",
     "ResponseError",
+    "SUPPORTED_VERSIONS",
     "Session",
     "UpsertRequest",
     "canonical_json",
+    "classify_frame",
     "encode_frame",
     "error_response",
+    "hello_payload",
     "parse_request",
     "read_frame",
+    "read_frame_async",
+    "request_envelope",
+    "response_envelope",
     "write_frame",
 ]

@@ -1,7 +1,8 @@
 """The blocking network client: the engine surface over one TCP connection.
 
-:class:`Client` speaks the length-prefixed JSON frame protocol to a
-:class:`~repro.api.server.DatabaseServer` and mixes in the same
+:class:`Client` speaks the frame protocol of
+:class:`~repro.api.server.DatabaseServer` (or the asyncio transport in
+:mod:`repro.api.aserver`) and mixes in the same
 :class:`~repro.api.surface.ExecutorSurface` the in-process
 :class:`~repro.api.database.Session` uses, so swapping a local session for
 a remote client is a one-line change::
@@ -10,24 +11,98 @@ a remote client is a one-line change::
         response = client.range_query([3, 1, 4], theta=0.2, collection="news")
         key = client.insert([9, 9, 9], collection="updates")
 
-One request frame gets exactly one response frame; a lock serialises
-concurrent calls on the same client (open one client per thread for
-parallelism — connections are cheap).  Transport failures raise
-``ConnectionError``; everything the *server* caught comes back as a typed
-error envelope instead.
+On connect the client performs the protocol v2 ``hello`` handshake.  A v2
+server confirms it and the connection switches to correlated envelopes: a
+background reader thread matches each response to its request by ``id``,
+which unlocks **pipelining** — :meth:`Client.submit` sends a request
+without waiting, returns a :class:`PendingReply`, and any number of
+requests may be in flight at once::
+
+    replies = [client.submit(request) for request in requests]   # N sends
+    responses = [reply.result() for reply in replies]            # N receives
+
+A v1 server (PR 4) answers the handshake with an ``invalid_request``
+envelope instead; the client then falls back to v1 framing — one request
+in flight, a lock serialising round trips — unless ``protocol=2`` demanded
+v2.  ``protocol=1`` skips the handshake entirely and behaves exactly like
+the PR 4 client (useful against v1-only servers and in interop tests).
+
+Timeouts: under v2 a request that times out fails **only its own id** —
+the reply, when it eventually arrives, is discarded by the reader and
+every other in-flight request completes normally.  Frame-level corruption
+(torn frame, not-JSON, unannounced close) still poisons the whole
+connection, because a byte stream cannot be resynchronised; under v1 a
+timeout also poisons the connection, since without ids a late reply would
+be mistaken for the answer to the *next* request.
 """
 
 from __future__ import annotations
 
 import socket
+import struct
 import threading
 from typing import Optional
 
-from repro.api.protocol import DEFAULT_MAX_FRAME_BYTES, FrameError, encode_frame, read_frame
+from repro.api.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    PROTOCOL_VERSION,
+    encode_frame,
+    hello_payload,
+    read_frame,
+    request_envelope,
+)
 from repro.api.requests import RequestLike, parse_request
 from repro.api.responses import Response
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.api.surface import ExecutorSurface
+
+
+class PendingReply:
+    """One in-flight pipelined request, resolved by the reader thread."""
+
+    def __init__(self, client: "Client", request_id: int) -> None:
+        self._client = client
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[Response] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether the reply (or a connection failure) has arrived."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        """Block until the reply arrives; ``None`` uses the client's timeout.
+
+        Raises ``TimeoutError`` when the wait expires — abandoning *only*
+        this request: the connection and every other in-flight request
+        stay healthy, and the late reply is discarded on arrival.
+        """
+        effective = self._client.timeout if timeout is None else timeout
+        if not self._event.wait(effective):
+            self._client._abandon(self.request_id)
+            if not self._event.is_set():  # the reply did not race the abandonment
+                raise TimeoutError(
+                    f"request {self.request_id} timed out after {effective}s "
+                    "(only this request failed; the connection is still usable)"
+                )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: Response) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"PendingReply(id={self.request_id}, {state})"
 
 
 class Client(ExecutorSurface):
@@ -38,10 +113,15 @@ class Client(ExecutorSurface):
     host / port:
         The server's bind address.
     timeout:
-        Socket timeout in seconds for connect and each round trip.
+        Seconds to wait for connect, the handshake, and each reply.
     max_frame_bytes:
         Must not exceed the server's limit; larger requests are refused
         locally before touching the wire.
+    protocol:
+        ``None`` (default) negotiates: v2 when the server confirms the
+        handshake, v1 fallback otherwise.  ``2`` requires v2 (raises
+        ``ConnectionError`` against a v1 server); ``1`` skips the
+        handshake and forces v1 framing.
     """
 
     def __init__(
@@ -51,12 +131,32 @@ class Client(ExecutorSurface):
         *,
         timeout: Optional[float] = 10.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        protocol: Optional[int] = None,
     ) -> None:
+        if protocol not in (None, 1, 2):
+            raise ValueError(f"protocol must be None, 1 or 2, got {protocol!r}")
         self._address = (host, port)
         self._max_frame_bytes = max_frame_bytes
-        self._lock = threading.Lock()
+        self.timeout = timeout
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, PendingReply] = {}
+        self._next_id = 0
+        self._closed = False
+        self._version = 1
+        self._server_info: Optional[dict] = None
+        self._reader: Optional[threading.Thread] = None
         self._socket = socket.create_connection(self._address, timeout=timeout)
-        self._stream = self._socket.makefile("rwb")
+        # small request/response frames must not sit in Nagle's buffer
+        # waiting for delayed ACKs — that would turn a pipelined burst into
+        # one ~40ms round trip per frame
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._recv = self._socket.makefile("rb")
+        self._send = self._socket.makefile("wb")
+        if protocol != 1:
+            self._handshake(require_v2=protocol == 2)
+
+    # -- connection state ----------------------------------------------------------
 
     @property
     def address(self) -> tuple[str, int]:
@@ -65,39 +165,230 @@ class Client(ExecutorSurface):
 
     @property
     def closed(self) -> bool:
-        """Whether :meth:`close` has run."""
-        return self._stream.closed
+        """Whether the connection is gone (closed or poisoned)."""
+        return self._closed
+
+    @property
+    def protocol_version(self) -> int:
+        """The protocol the connection settled on (1 or 2)."""
+        return self._version
+
+    @property
+    def server_info(self) -> Optional[dict]:
+        """The server's handshake data (versions, frame limit); v2 only."""
+        return self._server_info
+
+    def _handshake(self, require_v2: bool) -> None:
+        """Open with ``hello``; confirm v2 or fall back to v1 framing."""
+        request_id = self._take_id()
+        try:
+            with self._send_lock:
+                self._send.write(
+                    encode_frame(hello_payload(request_id), self._max_frame_bytes)
+                )
+                self._send.flush()
+            reply = read_frame(self._recv, self._max_frame_bytes)
+        except (FrameError, OSError) as error:
+            self._teardown(ConnectionError(f"handshake failed: {error}"))
+            raise ConnectionError(f"handshake failed: {error}") from None
+        if reply is None:
+            self._teardown(ConnectionError("server closed the connection"))
+            raise ConnectionError("server closed the connection during the handshake")
+        if "id" not in reply:
+            # a v1 server treats the envelope as a malformed request and
+            # answers with an invalid_request error on a healthy connection
+            if require_v2:
+                self._teardown(ConnectionError("server does not speak protocol v2"))
+                raise ConnectionError(
+                    f"server at {self._address[0]}:{self._address[1]} does not speak"
+                    " protocol v2 (handshake refused); retry with protocol=1"
+                )
+            self._version = 1
+            return
+        response = Response.from_dict(reply.get("body") or {})
+        if not response.ok or response.data is None:
+            self._teardown(ConnectionError("handshake rejected"))
+            raise ConnectionError(f"handshake rejected: {response.error}")
+        self._version = PROTOCOL_VERSION
+        self._server_info = response.data
+        server_limit = response.data.get("max_frame_bytes")
+        if isinstance(server_limit, int) and 0 < server_limit < self._max_frame_bytes:
+            self._max_frame_bytes = server_limit
+        # replies are awaited on events, not socket timeouts, from here on —
+        # the reader thread must block indefinitely between frames
+        self._socket.settimeout(None)
+        # ... but sends must still be bounded, or a server that stops
+        # reading would block submit()/pipeline() forever once the TCP send
+        # buffer fills; SO_SNDTIMEO bounds only the send side (best effort:
+        # the struct layout is the POSIX timeval)
+        if self.timeout is not None and self.timeout > 0:
+            seconds = int(self.timeout)
+            microseconds = int((self.timeout - seconds) * 1_000_000)
+            try:
+                self._socket.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_SNDTIMEO,
+                    struct.pack("@ll", seconds, microseconds),
+                )
+            except (OSError, ValueError, struct.error):
+                pass  # platform without timeval sockopts: unbounded sends
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- pipelined (v2) path -------------------------------------------------------
+
+    def _take_id(self) -> int:
+        with self._state_lock:
+            request_id = self._next_id
+            self._next_id += 1
+            return request_id
+
+    def submit(self, request: RequestLike) -> PendingReply:
+        """Send one request without waiting; correlate via the returned reply.
+
+        Requires protocol v2 (ids are what make pipelining safe).  Typed
+        requests are validated locally first, so a malformed request costs
+        no round trip.
+        """
+        return self._post([request])[0]
+
+    def _post(self, requests: list) -> list[PendingReply]:
+        """Encode, register, and send a burst of requests with one flush."""
+        if self._version != PROTOCOL_VERSION:
+            raise ConnectionError(
+                "pipelining requires protocol v2; this connection fell back to v1"
+            )
+        # validate and encode everything *before* registering any id, so a
+        # malformed or oversized request in the middle of a burst cannot
+        # strand earlier requests as never-sent pending entries
+        payloads = [
+            parse_request(request).to_dict() if not isinstance(request, dict) else request
+            for request in requests
+        ]
+        with self._state_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            first_id = self._next_id
+            self._next_id += len(payloads)
+        frames = [
+            encode_frame(request_envelope(first_id + offset, payload), self._max_frame_bytes)
+            for offset, payload in enumerate(payloads)
+        ]
+        pendings = [PendingReply(self, first_id + offset) for offset in range(len(payloads))]
+        with self._state_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            for pending in pendings:
+                self._pending[pending.request_id] = pending
+        try:
+            with self._send_lock:
+                for frame in frames:
+                    self._send.write(frame)
+                self._send.flush()
+        except (OSError, ValueError) as error:
+            self._teardown(ConnectionError(f"connection failed: {error}"))
+            raise ConnectionError(f"connection failed: {error}") from None
+        return pendings
+
+    def pipeline(
+        self, requests: list, *, timeout: Optional[float] = None
+    ) -> list[Response]:
+        """Send every request back to back, then collect the replies in order.
+
+        One round of syscall-batched sends, one round of receives: the
+        wire carries ``len(requests)`` frames each way but the caller
+        waits roughly one round trip instead of ``len(requests)``.
+        """
+        return [reply.result(timeout) for reply in self._post(list(requests))]
+
+    def _abandon(self, request_id: int) -> None:
+        """Forget one timed-out request; its late reply will be discarded."""
+        with self._state_lock:
+            self._pending.pop(request_id, None)
+
+    def _read_loop(self) -> None:
+        """Reader thread: route every inbound envelope to its pending reply."""
+        try:
+            while True:
+                reply = read_frame(self._recv, self._max_frame_bytes)
+                if reply is None:
+                    raise FrameError("server closed the connection")
+                if "id" not in reply:
+                    raise FrameError(f"response frame without correlation id: {reply!r}")
+                body = reply.get("body")
+                if not isinstance(body, dict):
+                    raise FrameError(f"response envelope without body: {reply!r}")
+                with self._state_lock:
+                    pending = self._pending.pop(reply["id"], None)
+                # an unmatched id is a reply whose request timed out and was
+                # abandoned — exactly the late answer ids exist to absorb
+                if pending is not None:
+                    pending._resolve(Response.from_dict(body))
+        except (FrameError, OSError, ValueError) as error:
+            if isinstance(error, ValueError) and self._closed:
+                return  # reading a deliberately closed stream, not a failure
+            self._teardown(ConnectionError(f"connection failed: {error}"))
+
+    def _teardown(self, error: BaseException) -> None:
+        """Poison the connection: close the transport, fail every pending reply."""
+        with self._state_lock:
+            self._closed = True
+            pending = dict(self._pending)
+            self._pending.clear()
+        # shutdown() first: it unblocks a reader thread parked in recv(),
+        # which otherwise holds the buffered stream's lock and would make
+        # the stream close below deadlock against it
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        for stream in (self._send, self._recv):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+        for reply in pending.values():
+            reply._fail(error)
+
+    # -- the one-round-trip path (both protocols) ----------------------------------
 
     def execute(self, request: RequestLike) -> Response:
-        """Send one request frame and return the response envelope.
+        """Send one request and return its response envelope.
 
-        Typed requests are validated locally first, so a malformed request
-        costs no round trip; raw dictionaries are passed through for the
-        server to validate (useful for protocol tests).
-
-        Any transport failure mid-round-trip (timeout, reset, bad frame)
-        closes the connection before re-raising as ``ConnectionError``: a
-        late or half-read response would desynchronise the stream and let
-        a *later* request read the wrong answer.
+        Under v2 this is ``submit(...)`` + ``result()``: concurrent calls
+        from many threads interleave on the one connection and a timeout
+        fails only this request.  Under v1 a lock serialises the round
+        trip and any transport failure (including a timeout) closes the
+        connection — without ids, a late reply would desynchronise it.
         """
+        if self._version == PROTOCOL_VERSION:
+            return self.submit(request).result()
         payload = parse_request(request).to_dict() if not isinstance(request, dict) else request
         # local validation (including the size cap) before touching the wire
         frame = encode_frame(payload, self._max_frame_bytes)
-        with self._lock:
-            if self._stream.closed:
+        with self._send_lock:
+            if self._closed:
                 raise ConnectionError("client is closed")
             try:
-                self._stream.write(frame)
-                self._stream.flush()
-                reply = read_frame(self._stream, self._max_frame_bytes)
+                self._send.write(frame)
+                self._send.flush()
+                reply = read_frame(self._recv, self._max_frame_bytes)
             except FrameError as error:
-                self._close_stream()
+                self._teardown(ConnectionError(f"invalid response frame: {error}"))
                 raise ConnectionError(f"invalid response frame: {error}") from None
-            except OSError as error:  # includes socket.timeout
-                self._close_stream()
+            except (OSError, ValueError) as error:
+                # OSError covers socket.timeout; ValueError is a concurrent
+                # close() having shut the buffered streams mid-round-trip
+                self._teardown(ConnectionError(f"connection failed: {error}"))
                 raise ConnectionError(f"connection failed: {error}") from None
             if reply is None:
-                self._close_stream()
+                self._teardown(ConnectionError("server closed the connection"))
                 raise ConnectionError("server closed the connection")
         return Response.from_dict(reply)
 
@@ -105,20 +396,9 @@ class Client(ExecutorSurface):
         """Ask the server to stop after acknowledging (admin/shutdown)."""
         return self.execute({"type": "admin", "action": "shutdown"})
 
-    def _close_stream(self) -> None:
-        """Close the transport; the caller holds the lock (or owns the client)."""
-        if not self._stream.closed:
-            try:
-                self._stream.close()
-            except OSError:
-                pass  # flushing a broken stream must not mask the real error
-            finally:
-                self._socket.close()
-
     def close(self) -> None:
-        """Close the connection (idempotent)."""
-        with self._lock:
-            self._close_stream()
+        """Close the connection (idempotent); in-flight replies fail cleanly."""
+        self._teardown(ConnectionError("client is closed"))
 
     def __enter__(self) -> "Client":
         return self
@@ -128,5 +408,5 @@ class Client(ExecutorSurface):
 
     def __repr__(self) -> str:
         host, port = self._address
-        state = "closed" if self.closed else "open"
+        state = "closed" if self.closed else f"open, v{self._version}"
         return f"Client({host}:{port}, {state})"

@@ -346,6 +346,11 @@ class Session(ExecutorSurface):
             # sessions just acknowledge so the surface behaves uniformly
             database._check_open()
             return Response(ok=True, data={"acknowledged": True})
+        if request.action == "create":
+            return self._dispatch_create(request)
+        if request.action == "drop":
+            database.drop(request.collection)
+            return Response(ok=True, data={"dropped": request.collection})
         # everything below operates on one collection — keep this dispatch
         # and the request class's own grouping in lockstep
         assert request.addresses_collection, request.action
@@ -375,6 +380,44 @@ class Session(ExecutorSurface):
             return Response(ok=True, data={"compacted": engine.compact()})
         assert request.action == "snapshot"
         return Response(ok=True, data={"path": str(engine.snapshot())})
+
+    def _dispatch_create(self, request: AdminRequest) -> Response:
+        """Collection DDL: register a static or live collection over the wire."""
+        database = self._database
+        name = request.collection
+        num_shards = 1 if request.num_shards is None else request.num_shards
+        cache_capacity = 1024 if request.cache_capacity is None else request.cache_capacity
+        if request.engine == "static":
+            assert request.rankings is not None  # request validation guarantees it
+            rankings = RankingSet.from_lists([list(items) for items in request.rankings])
+            database.create_static(
+                name,
+                rankings,
+                num_shards=num_shards,
+                algorithms=[request.algorithm] if request.algorithm else None,
+                cache_capacity=cache_capacity,
+            )
+            size = len(rankings)
+        else:
+            collection = LiveCollection(num_shards=num_shards)
+            engine = database.create_live(
+                name,
+                collection,
+                algorithm=request.algorithm or DEFAULT_LIVE_ALGORITHM,
+                cache_capacity=cache_capacity,
+            )
+            try:
+                if request.rankings is not None:
+                    for items in request.rankings:
+                        engine.insert(list(items))
+            except BaseException:
+                # a bad seed row must not leave a half-created collection behind
+                database.drop(name)
+                raise
+            size = len(collection)
+        return Response(
+            ok=True, data={"created": name, "engine": request.engine, "size": size}
+        )
 
 
 def _range_response(

@@ -1,4 +1,4 @@
-"""Length-prefixed JSON framing shared by the server and the client.
+"""Length-prefixed JSON framing and the protocol v2 envelope.
 
 One frame is a 4-byte big-endian unsigned length followed by that many
 bytes of UTF-8 JSON (the canonical encoding from
@@ -13,13 +13,37 @@ Both sides enforce ``max_frame_bytes``; an oversized or torn frame raises
 ``protocol`` error envelope before closing the connection (after refusing
 a frame the stream cannot be resynchronised).  A clean EOF *between*
 frames reads as ``None`` — that is how a client hangs up.
+
+Two payload shapes travel inside frames:
+
+* **v1** (PR 4): the bare request payload, ``{"type": "range", ...}``,
+  answered by the bare response envelope ``{"ok": true, ...}``.  One
+  request is in flight per connection; replies arrive in send order.
+* **v2**: a uniform envelope carrying a client-assigned correlation id and
+  the request kind, with the request fields nested under ``body``::
+
+      request   {"id": 7, "kind": "range", "body": {"collection": ..., ...}}
+      response  {"id": 7, "body": {"ok": true, ...}}
+
+  Because every response echoes its request's ``id``, any number of
+  requests may be in flight on one connection (pipelining) and servers may
+  answer them as they complete (multiplexing).  A connection opens with a
+  ``hello`` handshake (:func:`hello_payload`), which the server answers
+  with its supported versions and frame limit; a v1 server answers it with
+  an ``invalid_request`` error envelope instead, which is how a v2 client
+  detects it must fall back to v1 framing.  Servers treat the two shapes
+  per frame — a v1 client needs no handshake at all.
+
+:func:`classify_frame` is the single decision point both servers (threaded
+and asyncio) use to tell the shapes apart and validate the envelope.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import BinaryIO, Optional
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Optional
 
 from repro.core.errors import ReproError
 from repro.api.responses import canonical_json
@@ -29,6 +53,15 @@ HEADER = struct.Struct("!I")
 
 #: Default upper bound on one frame's payload (requests *and* responses).
 DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: The newest protocol version this build speaks.
+PROTOCOL_VERSION = 2
+
+#: Every protocol version this build can serve.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Envelope ``kind`` of the version handshake (not a request type).
+HELLO_KIND = "hello"
 
 
 class FrameError(ReproError):
@@ -77,6 +110,17 @@ def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
+def decode_frame_body(body: bytes) -> dict:
+    """Parse and validate one frame's payload bytes (shared by both readers)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame payload must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
 def read_frame(
     stream: BinaryIO, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
 ) -> Optional[dict]:
@@ -90,10 +134,121 @@ def read_frame(
     body = _read_exact(stream, length)
     if body is None:
         raise FrameError("connection closed between frame header and payload")
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise FrameError(f"frame payload is not valid JSON: {error}") from None
-    if not isinstance(payload, dict):
-        raise FrameError(f"frame payload must be a JSON object, got {type(payload).__name__}")
-    return payload
+    return decode_frame_body(body)
+
+
+# -- protocol v2 envelopes -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InboundFrame:
+    """One classified inbound frame: which protocol shape it is and what it asks.
+
+    ``version`` is 1 or 2.  For v2 frames ``request_id`` carries the
+    client's correlation id and ``kind`` the envelope kind; ``payload`` is
+    the dispatchable v1-style request payload (``{"type": kind, **body}``),
+    or ``None`` for a ``hello`` handshake.  ``error`` is set (and
+    ``payload`` is ``None``) when the envelope itself is malformed — the
+    stream is still synchronised, so servers answer it on a healthy
+    connection instead of closing.
+    """
+
+    version: int
+    request_id: Any = None
+    kind: Optional[str] = None
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def is_hello(self) -> bool:
+        return self.version == 2 and self.kind == HELLO_KIND and self.error is None
+
+
+def valid_request_id(request_id: Any) -> bool:
+    """Whether a value may serve as a v2 correlation id (int or string)."""
+    if isinstance(request_id, bool):
+        return False
+    return isinstance(request_id, (int, str))
+
+
+def classify_frame(payload: dict) -> InboundFrame:
+    """Tell a v1 request payload from a v2 envelope and validate the latter.
+
+    A frame is a v2 envelope exactly when it carries a ``kind`` field (v1
+    request payloads carry ``type`` instead, and strict request validation
+    has always rejected stray fields, so the shapes cannot collide).
+    """
+    if "kind" not in payload and "id" not in payload and "body" not in payload:
+        return InboundFrame(version=1, payload=payload)
+    request_id = payload.get("id")
+    if not valid_request_id(request_id):
+        return InboundFrame(
+            version=2,
+            error=f"envelope 'id' must be an integer or string, got {request_id!r}",
+        )
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or not kind:
+        return InboundFrame(
+            version=2,
+            request_id=request_id,
+            error=f"envelope 'kind' must be a non-empty string, got {kind!r}",
+        )
+    unknown = set(payload) - {"id", "kind", "body"}
+    if unknown:
+        return InboundFrame(
+            version=2,
+            request_id=request_id,
+            kind=kind,
+            error=f"unknown envelope field(s): {', '.join(sorted(unknown))}",
+        )
+    body = payload.get("body", {})
+    if not isinstance(body, dict):
+        return InboundFrame(
+            version=2,
+            request_id=request_id,
+            kind=kind,
+            error=f"envelope 'body' must be an object, got {type(body).__name__}",
+        )
+    if kind == HELLO_KIND:
+        return InboundFrame(version=2, request_id=request_id, kind=kind)
+    if "type" in body:
+        return InboundFrame(
+            version=2,
+            request_id=request_id,
+            kind=kind,
+            error="envelope 'body' must not carry 'type'; the kind names the request",
+        )
+    return InboundFrame(
+        version=2, request_id=request_id, kind=kind, payload={"type": kind, **body}
+    )
+
+
+def request_envelope(request_id: Any, payload: dict) -> dict:
+    """Wrap a v1-style request payload (``{"type": ...}``) in a v2 envelope."""
+    if not valid_request_id(request_id):
+        raise FrameError(f"request id must be an integer or string, got {request_id!r}")
+    kind = payload.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise FrameError(f"request payload must carry a string 'type', got {kind!r}")
+    body = {key: value for key, value in payload.items() if key != "type"}
+    return {"id": request_id, "kind": kind, "body": body}
+
+
+def response_envelope(request_id: Any, payload: dict) -> dict:
+    """Wrap a response payload in the v2 envelope echoing ``request_id``."""
+    return {"id": request_id, "body": payload}
+
+
+def hello_payload(request_id: Any, version: int = PROTOCOL_VERSION) -> dict:
+    """The handshake frame a v2 client opens its connection with."""
+    return {"id": request_id, "kind": HELLO_KIND, "body": {"version": version}}
+
+
+def hello_data(max_frame_bytes: int) -> dict:
+    """The ``data`` payload a v2 server answers the handshake with."""
+    return {
+        "server": "repro-topk",
+        "version": PROTOCOL_VERSION,
+        "versions": list(SUPPORTED_VERSIONS),
+        "max_frame_bytes": max_frame_bytes,
+    }

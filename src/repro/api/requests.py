@@ -36,6 +36,8 @@ ADMIN_ACTIONS = (
     "ping",
     "collections",
     "stats",
+    "create",
+    "drop",
     "flush",
     "compact",
     "snapshot",
@@ -44,6 +46,9 @@ ADMIN_ACTIONS = (
 
 #: Admin actions that address one specific (live) collection.
 _COLLECTION_ADMIN_ACTIONS = ("stats", "flush", "compact", "snapshot")
+
+#: Engines an admin ``create`` may ask for.
+COLLECTION_ENGINES = ("static", "live")
 
 
 def _require_int(value: Any, field: str) -> int:
@@ -262,18 +267,31 @@ class UpsertRequest(Request):
 
 @dataclass(frozen=True)
 class AdminRequest(Request):
-    """Maintenance and introspection: flush/compact/snapshot/stats/...
+    """Maintenance, introspection, and collection DDL.
 
     ``flush`` / ``compact`` / ``snapshot`` address one live collection;
     ``stats`` reports engine totals and layer sizes for one collection;
     ``collections`` and ``ping`` ignore the collection field.  ``shutdown``
     asks a *server* to stop after replying; an in-process session simply
     acknowledges it.
+
+    ``create`` registers a new collection named by the ``collection``
+    field: ``engine`` picks ``"static"`` (read-only, requires ``rankings``
+    as its data) or ``"live"`` (mutable, ``rankings`` optionally seed it);
+    ``algorithm`` pins the serving algorithm, ``num_shards`` and
+    ``cache_capacity`` size the engine.  ``drop`` removes a collection and
+    closes its engine.  The DDL-only fields are rejected on every other
+    action, so a typo cannot silently change what a request does.
     """
 
     TYPE: ClassVar[str] = "admin"
 
     action: str = "ping"
+    engine: Optional[str] = None
+    rankings: Optional[tuple[tuple[int, ...], ...]] = None
+    algorithm: Optional[str] = None
+    num_shards: Optional[int] = None
+    cache_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -282,6 +300,60 @@ class AdminRequest(Request):
             raise InvalidRequestError(
                 f"unknown admin action {self.action!r}; use one of {', '.join(ADMIN_ACTIONS)}"
             )
+        if self.action == "create":
+            self._validate_create()
+        else:
+            for name in ("engine", "rankings", "algorithm", "num_shards", "cache_capacity"):
+                if getattr(self, name) is not None:
+                    raise InvalidRequestError(
+                        f"admin field {name!r} only applies to action 'create', "
+                        f"not {self.action!r}"
+                    )
+
+    def _validate_create(self) -> None:
+        if self.engine not in COLLECTION_ENGINES:
+            raise InvalidRequestError(
+                f"create needs engine set to one of {', '.join(COLLECTION_ENGINES)}, "
+                f"got {self.engine!r}"
+            )
+        if self.rankings is not None:
+            if not isinstance(self.rankings, (list, tuple)) or not self.rankings:
+                raise InvalidRequestError("rankings must be a non-empty list of item lists")
+            object.__setattr__(
+                self,
+                "rankings",
+                tuple(
+                    coerce_items(entry, f"rankings[{position}]")
+                    for position, entry in enumerate(self.rankings)
+                ),
+            )
+        elif self.engine == "static":
+            raise InvalidRequestError("create engine='static' needs rankings (its data)")
+        object.__setattr__(self, "algorithm", _validate_algorithm(self.algorithm))
+        if self.num_shards is not None and _require_int(self.num_shards, "num_shards") <= 0:
+            raise InvalidRequestError(f"num_shards must be positive, got {self.num_shards}")
+        if (
+            self.cache_capacity is not None
+            and _require_int(self.cache_capacity, "cache_capacity") < 0
+        ):
+            raise InvalidRequestError(
+                f"cache_capacity must be non-negative, got {self.cache_capacity}"
+            )
+
+    def to_dict(self) -> dict:
+        """The wire payload; DDL-only fields are omitted unless set.
+
+        Keeping plain admin payloads free of ``null`` DDL fields preserves
+        their PR 4 wire shape byte for byte, so v1 servers accept them.
+        """
+        payload: dict = {"type": self.TYPE, "collection": self.collection, "action": self.action}
+        for name in ("engine", "algorithm", "num_shards", "cache_capacity"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.rankings is not None:
+            payload["rankings"] = [list(entry) for entry in self.rankings]
+        return payload
 
     @property
     def addresses_collection(self) -> bool:

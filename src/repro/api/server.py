@@ -9,6 +9,16 @@ code the in-process facade runs, a remote answer's
 :meth:`~repro.api.responses.Response.result_bytes` equal the in-process
 answer's — the server adds transport, never semantics.
 
+The server speaks both protocol versions, decided per frame by
+:func:`~repro.api.protocol.classify_frame`: bare v1 request payloads are
+answered with bare response envelopes exactly as in PR 4, and v2 envelopes
+(``id`` + ``kind`` + ``body``, opened by a ``hello`` handshake) are
+answered with envelopes echoing the ``id`` — which is what lets a v2
+client pipeline many requests over one connection.  Requests on one
+connection are processed in arrival order (pipelining removes round-trip
+waits, not ordering); the asyncio transport in :mod:`repro.api.aserver`
+serves many *connections* without a thread each.
+
 Error discipline: malformed requests come back as typed error envelopes on
 a healthy connection; *frame-level* violations (torn frame, oversized
 payload, not-JSON) are answered with one final ``protocol`` envelope and
@@ -28,7 +38,11 @@ from repro.api.database import Database
 from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameError,
+    InboundFrame,
+    classify_frame,
+    hello_data,
     read_frame,
+    response_envelope,
     write_frame,
 )
 from repro.api.responses import Response, ResponseError
@@ -40,10 +54,54 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7421
 
 
+def envelope_error_payload(frame: InboundFrame) -> dict:
+    """The reply to a malformed v2 envelope (the stream itself is healthy)."""
+    response = Response(
+        ok=False, error=ResponseError(code="invalid_request", message=frame.error or "")
+    )
+    return response_envelope(frame.request_id, response.to_dict())
+
+
+def hello_reply_payload(frame: InboundFrame, max_frame_bytes: int) -> dict:
+    """The reply to a v2 ``hello`` handshake."""
+    response = Response(ok=True, data=hello_data(max_frame_bytes))
+    return response_envelope(frame.request_id, response.to_dict())
+
+
+def oversized_reply_response(error: FrameError) -> Response:
+    """The (small) error envelope sent when an answer exceeds the frame limit."""
+    return Response(
+        ok=False,
+        error=ResponseError(
+            code="protocol",
+            message=(
+                f"response exceeds frame limit: {error}; retry with a"
+                " smaller request (range queries support limit/cursor"
+                " pagination; batches can be split into single queries)"
+            ),
+        ),
+    )
+
+
+def is_shutdown_payload(payload: Optional[dict]) -> bool:
+    """Whether a dispatchable request payload asks the server to stop."""
+    return (
+        payload is not None
+        and payload.get("type") == "admin"
+        and payload.get("action") == "shutdown"
+    )
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One client connection: a frame loop over a dedicated session."""
 
     server: "_TCPServer"
+
+    # response frames are small; without this a pipelined client's replies
+    # queue behind Nagle + delayed ACKs (~40ms each, since a waiting client
+    # sends nothing to piggyback ACKs on).  The asyncio transport disables
+    # Nagle by default; this keeps both transports on equal footing.
+    disable_nagle_algorithm = True
 
     def handle(self) -> None:
         session = self.server.database.session()
@@ -53,49 +111,56 @@ class _Handler(socketserver.StreamRequestHandler):
                 payload = read_frame(self.rfile, limit)
             except FrameError as error:
                 self._try_reply(
-                    Response(ok=False, error=ResponseError(code="protocol", message=str(error)))
+                    Response(
+                        ok=False, error=ResponseError(code="protocol", message=str(error))
+                    ).to_dict()
                 )
                 return
             except OSError:  # client aborted (RST, timeout): a clean close, not a crash
                 return
             if payload is None:  # client hung up cleanly
                 return
-            response = session.execute(payload)
+            frame = classify_frame(payload)
+            if frame.version == 2 and frame.error is not None:
+                if not self._try_reply(envelope_error_payload(frame)):
+                    return
+                continue
+            if frame.is_hello:
+                if not self._try_reply(hello_reply_payload(frame, limit)):
+                    return
+                continue
+            assert frame.payload is not None
+            response = session.execute(frame.payload)
+            reply = response.to_dict()
+            if frame.version == 2:
+                reply = response_envelope(frame.request_id, reply)
             try:
-                write_frame(self.wfile, response.to_dict(), limit)
+                write_frame(self.wfile, reply, limit)
             except FrameError as error:
                 # the answer itself is too large for one frame: tell the
-                # client (the error envelope is small) instead of vanishing,
-                # then close — it can retry with pagination
-                self._try_reply(
-                    Response(
-                        ok=False,
-                        error=ResponseError(
-                            code="protocol",
-                            message=(
-                                f"response exceeds frame limit: {error}; retry with a"
-                                " smaller request (range queries support limit/cursor"
-                                " pagination; batches can be split into single queries)"
-                            ),
-                        ),
-                    )
-                )
+                # client (the error envelope is small) instead of vanishing.
+                # With a v2 correlation id only that request fails and the
+                # connection lives on; without one, close — a v1 client
+                # cannot tell which request the error belongs to.
+                oversized = oversized_reply_response(error).to_dict()
+                if frame.version == 2:
+                    if not self._try_reply(response_envelope(frame.request_id, oversized)):
+                        return
+                    continue
+                self._try_reply(oversized)
                 return
             except OSError:
                 return
-            if self._is_shutdown(payload) and response.ok:
+            if is_shutdown_payload(frame.payload) and response.ok:
                 self.server.initiate_shutdown()
                 return
 
-    @staticmethod
-    def _is_shutdown(payload: dict) -> bool:
-        return payload.get("type") == "admin" and payload.get("action") == "shutdown"
-
-    def _try_reply(self, response: Response) -> None:
+    def _try_reply(self, payload: dict) -> bool:
         try:
-            write_frame(self.wfile, response.to_dict(), self.server.max_frame_bytes)
+            write_frame(self.wfile, payload, self.server.max_frame_bytes)
+            return True
         except (FrameError, OSError):
-            pass
+            return False
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):

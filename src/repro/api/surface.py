@@ -123,6 +123,44 @@ class ExecutorSurface:
         assert response.data is not None
         return list(response.data["collections"])
 
+    def create_collection(
+        self,
+        name: str,
+        engine: str,
+        *,
+        rankings: Optional[Sequence[Items]] = None,
+        algorithm: Optional[str] = None,
+        num_shards: Optional[int] = None,
+        cache_capacity: Optional[int] = None,
+    ) -> dict:
+        """DDL: register a collection (``engine`` is ``"static"`` or ``"live"``).
+
+        Static collections require ``rankings`` (their data); live ones are
+        created empty unless ``rankings`` seed them.  Returns the server's
+        descriptor of what was created.
+        """
+        response = self.execute(
+            AdminRequest(
+                collection=name,
+                action="create",
+                engine=engine,
+                rankings=None if rankings is None else tuple(rankings),
+                algorithm=algorithm,
+                num_shards=num_shards,
+                cache_capacity=cache_capacity,
+            )
+        ).raise_for_error()
+        assert response.data is not None
+        return response.data
+
+    def drop_collection(self, name: str) -> dict:
+        """DDL: remove a collection and close its engine."""
+        response = self.execute(
+            AdminRequest(collection=name, action="drop")
+        ).raise_for_error()
+        assert response.data is not None
+        return response.data
+
     def stats(self, collection: str = DEFAULT_COLLECTION) -> dict:
         """Engine statistics for one collection."""
         response = self._admin("stats", collection)

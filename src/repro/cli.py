@@ -23,13 +23,19 @@ Subcommands
     names the guarantee the run executed under.
 ``serve``
     Load a ranking file into a named collection (static, or live with
-    ``--live``) and serve it over TCP with length-prefixed JSON frames
-    until a client sends ``--admin shutdown`` (or Ctrl-C).
+    ``--live``) and serve it over TCP until a client sends ``--admin
+    shutdown`` (or Ctrl-C).  ``--async`` picks the asyncio transport;
+    ``--shard I/N`` serves one round-robin shard of the file — boot N of
+    these and point ``batch-query --remote-shards`` (or a
+    ``RemoteShardExecutor``) at them for a scale-out topology.
 ``client``
-    Connect to a running server and issue one request: a range query
-    (``--query``), a k-NN query (``--query`` + ``--knn``), a mutation
-    (``--insert`` / ``--delete`` / ``--upsert``), or an admin action
-    (``--admin ping|collections|stats|flush|compact|snapshot|shutdown``).
+    Connect to a running server (protocol v2 with v1 fallback; pin with
+    ``--protocol``) and issue one request: a range query (``--query``), a
+    k-NN query (``--query`` + ``--knn``), a mutation (``--insert`` /
+    ``--delete`` / ``--upsert``), or an admin action (``--admin
+    ping|collections|stats|create|drop|flush|compact|snapshot|shutdown``
+    — ``create`` takes ``--engine static|live`` plus optionally
+    ``--rankings``, ``--shards``, ``--algorithm``).
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -44,7 +50,16 @@ import time
 from collections.abc import Sequence
 
 from repro.analysis.report import format_table
-from repro.api import ADMIN_ACTIONS, Client, Database, DatabaseServer
+from repro.api import (
+    ADMIN_ACTIONS,
+    AdminRequest,
+    AsyncDatabaseServer,
+    Client,
+    COLLECTION_ENGINES,
+    Database,
+    DatabaseServer,
+    RemoteShardExecutor,
+)
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.core.errors import ReproError
 from repro.core.ranking import Ranking
@@ -59,7 +74,7 @@ from repro.datasets.queries import sample_queries
 from repro.live import DEFAULT_LIVE_ALGORITHM, LiveCollection
 from repro.live.collection import SNAPSHOT_FILENAME, WAL_FILENAME
 from repro.live.manifest import MANIFEST_FILENAME
-from repro.service import QueryEngine
+from repro.service import QueryEngine, partition_rankings
 from repro.datasets.nyt import nyt_like_dataset
 from repro.datasets.yago import yago_like_dataset
 from repro.experiments import figures as figure_module
@@ -128,6 +143,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--cache-capacity", type=int, default=1024, help="result-cache entries")
     batch.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    batch.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="fan-out backend for the shards (process = real CPU parallelism)",
+    )
+    batch.add_argument(
+        "--remote-shards", default=None,
+        help="comma-separated host:port shard servers (protocol v2); overrides"
+        " --shards/--executor and fans sub-queries out over the network",
+    )
+    batch.add_argument(
+        "--remote-collection", default="default",
+        help="collection name each shard server serves its shard under",
+    )
     batch.add_argument(
         "--repeat", type=int, default=1, help="passes over the batch (later passes hit the cache)"
     )
@@ -211,6 +239,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--shards", type=int, default=1, help="number of index shards")
     serve.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="serve only shard I of an N-way round-robin partitioning (static"
+        " only) — the building block of a remote shard topology",
+    )
+    serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve on the asyncio transport (one event loop, no thread per"
+        " connection) instead of the threaded server",
+    )
+    serve.add_argument(
         "--algorithm", default=None, choices=list(LIVE_ALGORITHMS),
         help="pin one algorithm (static: pins the planner; live: index algorithm)",
     )
@@ -244,6 +282,23 @@ def _build_parser() -> argparse.ArgumentParser:
     operation.add_argument("--upsert", type=int, default=None, help="logical key to upsert")
     operation.add_argument("--admin", choices=list(ADMIN_ACTIONS), help="admin action")
     client.add_argument("--items", default=None, help="item ids for --upsert")
+    client.add_argument(
+        "--engine", choices=list(COLLECTION_ENGINES), default=None,
+        help="for '--admin create': the collection engine (static or live)",
+    )
+    client.add_argument(
+        "--rankings", default=None,
+        help="for '--admin create': ranking file whose rows become the"
+        " collection's data (static) or seed (live)",
+    )
+    client.add_argument(
+        "--shards", type=int, default=None,
+        help="for '--admin create': shard count of the new collection",
+    )
+    client.add_argument(
+        "--protocol", type=int, choices=(1, 2), default=None,
+        help="pin the wire protocol version (default: negotiate v2, fall back to v1)",
+    )
     client.add_argument("--theta", type=float, default=0.2, help="range-query threshold")
     client.add_argument(
         "--knn", type=int, default=0, help="answer --query as a k-NN query for this k"
@@ -322,8 +377,50 @@ def _command_batch_query(args: argparse.Namespace) -> int:
     queries = sample_queries(rankings, args.queries, seed=args.seed)
     algorithms = None if args.algorithm is None else [args.algorithm]
     capacity = 0 if args.no_cache else args.cache_capacity
+    executor = args.executor
+    remote = None
+    num_shards = args.shards
+    if args.remote_shards is not None:
+        addresses = [token.strip() for token in args.remote_shards.split(",") if token.strip()]
+        if not addresses:
+            print("error: --remote-shards must list host:port addresses", file=sys.stderr)
+            return 2
+        try:
+            remote = RemoteShardExecutor(addresses, collection=args.remote_collection)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        executor = remote
+        num_shards = len(addresses)
+        print(
+            f"fanning out to {num_shards} remote shard server(s): "
+            + ", ".join(f"{host}:{port}" for host, port in remote.addresses)
+        )
+    try:
+        return _serve_batch_workload(args, rankings, queries, algorithms, capacity,
+                                     num_shards, executor)
+    except (ConnectionError, TimeoutError) as error:
+        print(f"error: remote shard fan-out failed: {error}", file=sys.stderr)
+        return 1
+    except (ReproError, ValueError, KeyError) as error:
+        # typed shard-server failures (unknown collection, ...) and topology
+        # mismatches must exit like every other CLI error, not traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if remote is not None:
+            remote.close()
+
+
+def _serve_batch_workload(
+    args: argparse.Namespace, rankings, queries, algorithms, capacity, num_shards, executor
+) -> int:
     with QueryEngine(
-        rankings, num_shards=args.shards, algorithms=algorithms, cache_capacity=capacity
+        rankings,
+        num_shards=num_shards,
+        algorithms=algorithms,
+        cache_capacity=capacity,
+        executor=executor,
     ) as engine:
         shown = 0
         start = time.perf_counter()
@@ -515,10 +612,36 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard_spec(text: str) -> tuple[int, int]:
+    index_text, separator, count_text = text.partition("/")
+    try:
+        if not separator:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"--shard must look like I/N (e.g. 0/2), got {text!r}") from None
+    if count <= 0 or not 0 <= index < count:
+        raise ValueError(f"--shard needs 0 <= I < N, got {text!r}")
+    return index, count
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.shards <= 0:
         print("error: --shards must be positive", file=sys.stderr)
         return 2
+    shard_spec = None
+    if args.shard is not None:
+        if args.live:
+            print("error: --shard partitions a static collection; drop --live", file=sys.stderr)
+            return 2
+        if args.rankings is None:
+            print("error: --shard needs a rankings file to partition", file=sys.stderr)
+            return 2
+        try:
+            shard_spec = _parse_shard_spec(args.shard)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.cache_capacity < 0:
         print("error: --cache-capacity must be non-negative", file=sys.stderr)
         return 2
@@ -585,6 +708,15 @@ def _command_serve(args: argparse.Namespace) -> int:
             size, k = len(collection), collection.k
         else:
             rankings = load_rankings(args.rankings)
+            if shard_spec is not None:
+                index, count = shard_spec
+                shards = partition_rankings(rankings, count)
+                if index >= len(shards):
+                    raise ReproError(
+                        f"shard {index}/{count} is empty: the collection has only"
+                        f" {len(rankings)} ranking(s)"
+                    )
+                rankings = shards[index]
             algorithms = None if args.algorithm is None else [args.algorithm]
             database.create_static(
                 args.name,
@@ -594,16 +726,21 @@ def _command_serve(args: argparse.Namespace) -> int:
                 cache_capacity=args.cache_capacity,
             )
             size, k = len(rankings), rankings.k
-        server = DatabaseServer(database, host=args.host, port=args.port)
-    except (ReproError, OSError) as error:
+        server_type = AsyncDatabaseServer if args.use_async else DatabaseServer
+        server = server_type(database, host=args.host, port=args.port)
+        if args.use_async:
+            server.start()
+    except (ReproError, OSError, ValueError) as error:
         database.close()
         print(f"error: {error}", file=sys.stderr)
         return 1
     host, port = server.address
     kind = "live" if args.live else "static"
+    transport = "asyncio" if args.use_async else "threaded"
+    described = args.name if shard_spec is None else f"{args.name} (shard {args.shard})"
     print(
-        f"serving {kind} collection {args.name!r} "
-        f"({size} rankings, k={k}, {args.shards} shard(s)) on {host}:{port}"
+        f"serving {kind} collection {described!r} "
+        f"({size} rankings, k={k}, {args.shards} shard(s), {transport}) on {host}:{port}"
     )
     if args.live:
         durability = collection.durability
@@ -615,7 +752,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         if args.ready_file:
             with open(args.ready_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{host} {port}\n")
-        server.serve_forever()
+        if args.use_async:
+            server.wait()  # the bridge thread exits on admin/shutdown
+        else:
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     except OSError as error:
@@ -683,9 +823,24 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
     if args.upsert is not None:
         client.upsert(args.upsert, _parse_query_items(args.items), collection=args.collection)
         return 0, [f"upserted key={args.upsert}"]
-    response = client.execute(
-        {"type": "admin", "action": args.admin, "collection": args.collection}
-    )
+    if args.admin == "create":
+        seed = None
+        if args.rankings is not None:
+            seed = tuple(ranking.items for ranking in load_rankings(args.rankings))
+        response = client.execute(
+            AdminRequest(
+                collection=args.collection,
+                action="create",
+                engine=args.engine,
+                rankings=seed,
+                algorithm=args.algorithm,
+                num_shards=args.shards,
+            )
+        )
+    else:
+        response = client.execute(
+            {"type": "admin", "action": args.admin, "collection": args.collection}
+        )
     if not response.ok:
         print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
         return 1, []
@@ -707,8 +862,8 @@ def _command_client(args: argparse.Namespace) -> int:
         print("error: --upsert needs --items", file=sys.stderr)
         return 2
     try:
-        client = Client(args.host, args.port, timeout=args.timeout)
-    except OSError as error:
+        client = Client(args.host, args.port, timeout=args.timeout, protocol=args.protocol)
+    except (OSError, ConnectionError) as error:
         print(f"error: cannot connect to {args.host}:{args.port}: {error}", file=sys.stderr)
         return 1
     with client:

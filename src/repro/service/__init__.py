@@ -31,7 +31,11 @@ from repro.service.recording import (
     RequestRecorder,
     serve_cached,
 )
-from repro.service.sharding import ShardedIndex
+from repro.service.sharding import (
+    RemoteExecutorLike,
+    ShardedIndex,
+    partition_rankings,
+)
 
 __all__ = [
     "AdaptivePlanner",
@@ -42,9 +46,11 @@ __all__ = [
     "PlanDecision",
     "QueryEngine",
     "QueryStats",
+    "RemoteExecutorLike",
     "RequestRecorder",
     "ShardedIndex",
     "knn_fingerprint",
+    "partition_rankings",
     "range_fingerprint",
     "serve_cached",
 ]

@@ -42,7 +42,7 @@ from repro.service.recording import (
     RequestRecorder,
     serve_cached,
 )
-from repro.service.sharding import ShardedIndex
+from repro.service.sharding import ExecutorSpec, ShardedIndex
 
 __all__ = [
     "EngineResponse",
@@ -70,6 +70,11 @@ class QueryEngine:
         registry's service set.  A single-element list pins the algorithm.
     cache_capacity:
         LRU capacity; ``0`` disables result caching.
+    executor:
+        Fan-out backend for the sharded index: ``"thread"`` (default),
+        ``"process"`` for real CPU parallelism, or a
+        :class:`~repro.api.remote.RemoteShardExecutor` to fan sub-queries
+        out to shard servers (see :mod:`repro.service.sharding`).
     planner / cache / sharded:
         Pre-built components, for tests and custom deployments.
 
@@ -91,11 +96,16 @@ class QueryEngine:
         num_shards: int = 1,
         algorithms: Optional[list[str]] = None,
         cache_capacity: int = 1024,
+        executor: ExecutorSpec = "thread",
         planner: Optional[AdaptivePlanner] = None,
         cache: Optional[LRUResultCache] = None,
         sharded: Optional[ShardedIndex] = None,
     ) -> None:
-        self._sharded = sharded if sharded is not None else ShardedIndex.build(rankings, num_shards)
+        self._sharded = (
+            sharded
+            if sharded is not None
+            else ShardedIndex.build(rankings, num_shards, executor=executor)
+        )
         self._planner = (
             planner
             if planner is not None

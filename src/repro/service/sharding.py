@@ -10,7 +10,7 @@ without sharding.
 Any registered algorithm can serve as the per-shard index: instances are
 built lazily (per shard, per parameter set) through the algorithm registry
 and kept until the next :meth:`ShardedIndex.rebuild`.  Queries fan out over
-a thread pool, one task per shard, and the per-shard answers are merged:
+an **executor**, one task per shard, and the per-shard answers are merged:
 
 * **range queries** concatenate the per-shard matches (shards are disjoint,
   so no deduplication is needed) and re-sort by distance;
@@ -22,27 +22,53 @@ Both merges are exact: the sharded answer equals the single-index answer for
 every query, which the property tests in ``tests/test_service_sharding.py``
 assert across algorithms, datasets, and shard counts.
 
+Executors
+---------
+Every per-shard sub-query reduces to the same shape — a list of
+``(local rid, distance)`` pairs plus its stats — which is what makes the
+execution backend pluggable.  ``executor=`` picks it:
+
+``"thread"`` (default)
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Pure-Python
+    distance evaluation holds the GIL, so this buys the architecture
+    (bounded merges, per-shard builds) rather than CPU parallelism.
+``"process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` whose workers hold
+    the shard data (shipped once per partitioning epoch through the pool
+    initializer) and cache per-shard index instances.  This is real CPU
+    parallelism for local serving; shard data and algorithm parameters
+    must be picklable, which is guarded with a clear error up front.
+``RemoteShardExecutor``
+    Any object with ``range_shards`` / ``knn_shards`` — notably
+    :class:`repro.api.remote.RemoteShardExecutor`, which fans the
+    sub-queries out to *shard servers* speaking protocol v2 and turns the
+    single-process index into a scale-out one.  Tuning-only keyword
+    parameters (e.g. ``theta_c``) are not shipped — every registered
+    algorithm is exact, so remote answers are still identical; the shard
+    servers pick their own tuning.
+
 Rebuilds are safe under concurrent queries: each partitioning epoch is an
 immutable :class:`_Build` snapshot, every query pins the snapshot it started
-on (per-shard index instances are keyed by epoch), and the executor is
-swapped out under the lock but shut down outside it — an in-flight query
-either completes on its old epoch (still a correct answer over the same
-collection) or retries on a fresh pool.
-
-Pure-Python distance evaluation holds the GIL, so the fan-out does not buy
-CPU parallelism here; it buys the *architecture* — per-shard build times,
-bounded merges, and an executor seam where process pools, async backends, or
-remote shard servers can be plugged in without touching the algorithms.
+on, and executors are swapped under the lock but shut down outside it.  A
+process pool is bound to the epoch whose shards its workers hold; a query
+that pinned an older epoch (racing a rebuild) falls back to computing its
+shards serially in-process, which is always correct.
 """
 
 from __future__ import annotations
 
 import heapq
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from repro.core.ranking import Ranking, RankingSet
 from repro.core.result import SearchResult
@@ -50,6 +76,36 @@ from repro.core.stats import SearchStats
 from repro.algorithms.base import RankingSearchAlgorithm
 from repro.algorithms.knn import KnnResult, Neighbour, exact_local_top
 from repro.algorithms.registry import make_algorithm
+
+#: One shard's answer: ``(pairs, stats)`` — range pairs are
+#: ``(local rid, distance)``, k-NN pairs are ``(distance, local rid)``.
+ShardAnswer = tuple[list[tuple], SearchStats]
+
+#: What the ``executor`` parameter accepts.
+ExecutorSpec = Union[str, "RemoteExecutorLike"]
+
+
+class RemoteExecutorLike:
+    """Duck-typed interface a remote shard executor must provide.
+
+    Implementations answer every shard of one query and return the
+    per-shard pair lists in shard order; :class:`repro.api.remote.RemoteShardExecutor`
+    is the wire-backed one.  Defined here (and not in ``repro.api``) so the
+    service layer never imports the API layer — the dependency points the
+    other way.
+    """
+
+    def range_shards(
+        self, items: tuple[int, ...], theta: float, algorithm: str, num_shards: int
+    ) -> list[list[tuple[int, float]]]:
+        """Per-shard ``(local rid, distance)`` pairs for one range query."""
+        raise NotImplementedError
+
+    def knn_shards(
+        self, items: tuple[int, ...], n_neighbours: int, algorithm: str, num_shards: int
+    ) -> list[list[tuple[float, int]]]:
+        """Per-shard exact local top-k as ``(distance, local rid)`` pairs."""
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -81,6 +137,73 @@ def _partition_round_robin(rankings: RankingSet, num_shards: int, version: int) 
     )
 
 
+def partition_rankings(rankings: RankingSet, num_shards: int) -> list[RankingSet]:
+    """The round-robin shards of ``rankings``, exactly as :class:`ShardedIndex`
+    partitions them.
+
+    This is how a remote topology is provisioned: serve ``shards[i]`` from
+    shard server ``i`` and point a :class:`repro.api.remote.RemoteShardExecutor`
+    at the servers — local ids inside each shard then agree between the
+    coordinator and the servers, which is what makes remote answers
+    identical to local ones.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if len(rankings) == 0:
+        raise ValueError("cannot shard an empty collection")
+    return list(
+        _partition_round_robin(rankings, min(num_shards, len(rankings)), version=0).shards
+    )
+
+
+# -- process-pool workers (module level: they must be picklable by name) -------------
+
+#: Per-worker state installed by the pool initializer: the epoch's shards
+#: plus a cache of per-(shard, algorithm, params) index instances.
+_WORKER_STATE: dict = {}
+
+
+def _process_pool_init(version: int, shards: tuple[RankingSet, ...]) -> None:
+    _WORKER_STATE["version"] = version
+    _WORKER_STATE["shards"] = shards
+    _WORKER_STATE["instances"] = {}
+
+
+def _worker_instance(shard: int, name: str, kwargs_items: tuple) -> RankingSearchAlgorithm:
+    instances = _WORKER_STATE["instances"]
+    key = (shard, name, kwargs_items)
+    instance = instances.get(key)
+    if instance is None:
+        instance = make_algorithm(name, _WORKER_STATE["shards"][shard], **dict(kwargs_items))
+        instances[key] = instance
+    return instance
+
+
+def _process_range_task(
+    shard: int, name: str, kwargs_items: tuple, items: tuple[int, ...], theta: float
+) -> ShardAnswer:
+    instance = _worker_instance(shard, name, kwargs_items)
+    result = instance.search(Ranking(items), theta)
+    return [(match.rid, match.distance) for match in result.matches], result.stats
+
+
+def _process_knn_task(
+    shard: int,
+    name: str,
+    kwargs_items: tuple,
+    items: tuple[int, ...],
+    n_neighbours: int,
+    initial_theta: float,
+    growth: float,
+) -> ShardAnswer:
+    instance = _worker_instance(shard, name, kwargs_items)
+    top, stats = exact_local_top(
+        instance, _WORKER_STATE["shards"][shard], Ranking(items), n_neighbours,
+        initial_theta=initial_theta, growth=growth,
+    )
+    return top, stats
+
+
 class ShardedIndex:
     """A ranking collection partitioned over shards, queried by fan-out.
 
@@ -91,7 +214,11 @@ class ShardedIndex:
         (id-bearing) ranking objects.
     num_shards:
         Number of partitions; must be positive.  One shard degenerates to
-        the single-index case and skips the thread pool entirely.
+        the single-index case and skips the executor entirely.
+    executor:
+        ``"thread"`` (default), ``"process"``, or a remote shard executor —
+        see the module docstring.  Remote executors are *not* owned by the
+        index: :meth:`close` leaves them open for reuse.
 
     Examples
     --------
@@ -102,7 +229,12 @@ class ShardedIndex:
     [0, 1, 3]
     """
 
-    def __init__(self, rankings: RankingSet, num_shards: int = 1) -> None:
+    def __init__(
+        self,
+        rankings: RankingSet,
+        num_shards: int = 1,
+        executor: ExecutorSpec = "thread",
+    ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         if len(rankings) == 0:
@@ -110,16 +242,56 @@ class ShardedIndex:
         self._rankings = rankings
         self._lock = threading.Lock()
         self._closed = False
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[Executor] = None
+        self._executor_version = -1  # the epoch a process pool's workers hold
         self._instances: dict[tuple, RankingSearchAlgorithm] = {}
         self._build_state = _partition_round_robin(
             rankings, min(num_shards, len(rankings)), version=0
         )
+        self._remote: Optional[RemoteExecutorLike] = None
+        if isinstance(executor, str):
+            if executor not in ("thread", "process"):
+                raise ValueError(
+                    f"executor must be 'thread', 'process', or a remote shard executor, "
+                    f"got {executor!r}"
+                )
+            self._executor_kind = executor
+            if executor == "process":
+                self._check_picklable(self._build_state)
+        elif hasattr(executor, "range_shards") and hasattr(executor, "knn_shards"):
+            self._executor_kind = "remote"
+            self._remote = executor
+        else:
+            raise ValueError(
+                f"executor must be 'thread', 'process', or an object with "
+                f"range_shards/knn_shards (e.g. repro.api.remote.RemoteShardExecutor), "
+                f"got {type(executor).__name__}"
+            )
 
     @classmethod
-    def build(cls, rankings: RankingSet, num_shards: int = 1) -> "ShardedIndex":
+    def build(
+        cls, rankings: RankingSet, num_shards: int = 1, executor: ExecutorSpec = "thread"
+    ) -> "ShardedIndex":
         """Partition ``rankings``; per-shard indices are built lazily per algorithm."""
-        return cls(rankings, num_shards=num_shards)
+        return cls(rankings, num_shards=num_shards, executor=executor)
+
+    @staticmethod
+    def _check_picklable(build: _Build) -> None:
+        """The clear up-front failure for ``executor='process'``.
+
+        Shard data crosses the process boundary once per epoch (through the
+        pool initializer); anything unpicklable in it would otherwise fail
+        deep inside ``concurrent.futures`` on the first query.
+        """
+        try:
+            pickle.dumps(build.shards)
+        except Exception as error:
+            raise ValueError(
+                "executor='process' requires picklable shard data (the shards are"
+                " shipped to worker processes once per partitioning epoch), but"
+                f" pickling failed: {error!r}. Use executor='thread' for"
+                " unpicklable collections."
+            ) from error
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -146,19 +318,22 @@ class ShardedIndex:
                 key: value for key, value in self._instances.items() if key[0] == version
             }
             executor, self._executor = self._executor, None
+            self._executor_version = -1
         if executor is not None:  # shut down OUTSIDE the lock: tasks may need it
             executor.shutdown(wait=True)
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent).
+        """Shut the fan-out pool down (idempotent).
 
         Queries that race (or follow) the close still answer correctly —
         they fall back to running their shard tasks serially instead of
-        resurrecting a pool nothing would ever shut down again.
+        resurrecting a pool nothing would ever shut down again.  A remote
+        executor is caller-owned and stays open.
         """
         with self._lock:
             self._closed = True
             executor, self._executor = self._executor, None
+            self._executor_version = -1
         if executor is not None:
             executor.shutdown(wait=True)
 
@@ -190,6 +365,11 @@ class ShardedIndex:
         return self._current_build().version
 
     @property
+    def executor_kind(self) -> str:
+        """Which execution backend fan-outs use: thread, process, or remote."""
+        return self._executor_kind
+
+    @property
     def shard_sizes(self) -> list[int]:
         """Number of rankings in each shard."""
         return [len(shard) for shard in self._current_build().shards]
@@ -214,6 +394,12 @@ class ShardedIndex:
 
     def prepare(self, query: Ranking, theta: float, algorithm: str, **kwargs) -> None:
         """Forward per-query materialisation (Minimal F&V) to every shard."""
+        if self._executor_kind != "thread":
+            raise TypeError(
+                "per-query prepare() needs in-process shard instances; it is not"
+                f" supported with executor={self._executor_kind!r} (use"
+                " executor='thread')"
+            )
         build = self._current_build()
         for shard in range(build.num_shards):
             instance = self._instance(build, shard, algorithm, kwargs)
@@ -224,8 +410,8 @@ class ShardedIndex:
 
     # -- fan-out machinery ---------------------------------------------------------
 
-    def _get_executor(self, workers: int) -> Optional[ThreadPoolExecutor]:
-        """The fan-out pool, or ``None`` once the index is closed."""
+    def _get_thread_pool(self, workers: int) -> Optional[Executor]:
+        """The thread fan-out pool, or ``None`` once the index is closed."""
         with self._lock:
             if self._closed:
                 return None
@@ -235,16 +421,85 @@ class ShardedIndex:
                 )
             return self._executor
 
-    def _fan_out(self, task, count: int) -> list:
-        """Run ``task(shard_index)`` for every shard, concurrently if > 1."""
+    def _get_process_pool(self, build: _Build) -> Optional[Executor]:
+        """The process pool holding ``build``'s shards, or ``None``.
+
+        ``None`` means "compute serially in-process": the index is closed,
+        or the pool belongs to a different epoch (this query raced a
+        rebuild and pinned the older snapshot).
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            if self._executor is not None:
+                return self._executor if self._executor_version == build.version else None
+            # picklability was guarded in __init__ (same collection, so the
+            # epochs share it); the pool's initargs do the actual shipping
+            self._executor = ProcessPoolExecutor(
+                max_workers=build.num_shards,
+                initializer=_process_pool_init,
+                initargs=(build.version, build.shards),
+            )
+            self._executor_version = build.version
+            return self._executor
+
+    def _discard_broken_pool(self, pool: Executor) -> None:
+        """Drop a process pool whose workers died; the next query rebuilds one.
+
+        Without this, a crashed worker (OOM kill, native segfault) would
+        leave the broken pool cached and fail every later query, even
+        though the serial fallback answers correctly.
+        """
+        with self._lock:
+            if self._executor is pool:
+                self._executor = None
+                self._executor_version = -1
+        pool.shutdown(wait=False)
+
+    def _run_shards(
+        self,
+        build: _Build,
+        local_task: Callable[[int], ShardAnswer],
+        process_fn: Callable[..., ShardAnswer],
+        process_args: tuple,
+    ) -> list[ShardAnswer]:
+        """One :class:`ShardAnswer` per shard of ``build``, via the executor.
+
+        ``local_task`` computes one shard in-process (the thread pool and
+        every serial fallback use it); the process pool ships
+        ``process_fn(shard, *process_args)`` to its workers instead, since
+        closures cannot cross process boundaries.
+        """
+        count = build.num_shards
         if count == 1:
-            return [task(0)]
-        while True:
-            executor = self._get_executor(count)
-            if executor is None:  # closed: answer serially rather than leak a pool
-                return [task(shard) for shard in range(count)]
+            return [local_task(0)]
+        if self._executor_kind == "process":
+            pool = self._get_process_pool(build)
+            if pool is None:  # closed, or the pool serves another epoch
+                return [local_task(shard) for shard in range(count)]
             try:
-                return list(executor.map(task, range(count)))
+                futures = [
+                    pool.submit(process_fn, shard, *process_args) for shard in range(count)
+                ]
+                return [future.result() for future in futures]
+            except BrokenExecutor:
+                # a worker died (OOM kill, native crash): drop the broken
+                # pool so later queries get a fresh one, answer serially now
+                self._discard_broken_pool(pool)
+                return [local_task(shard) for shard in range(count)]
+            except RuntimeError as error:
+                # a close()/rebuild() raced the submission and shut the pool
+                # down; tasks are read-only against their pinned epoch, so
+                # answering serially is always correct
+                if "shutdown" not in str(error):
+                    raise
+                return [local_task(shard) for shard in range(count)]
+        while True:
+            executor = self._get_thread_pool(count)
+            if executor is None:  # closed: answer serially rather than leak a pool
+                return [local_task(shard) for shard in range(count)]
+            try:
+                return list(executor.map(local_task, range(count)))
             except RuntimeError as error:
                 # Only a pool shut down by a concurrent rebuild/close between
                 # lookup and submission is retryable (tasks are read-only
@@ -273,22 +528,36 @@ class ShardedIndex:
         disjoint and range predicates are independent per ranking.
         """
         build = self._current_build()
-
-        def run_shard(shard: int) -> SearchResult:
-            instance = self._instance(build, shard, algorithm, kwargs)
-            return instance.search(query, theta)
-
         start = time.perf_counter()
-        shard_results = self._fan_out(run_shard, build.num_shards)
+        if self._remote is not None:
+            shard_answers: list[ShardAnswer] = [
+                (pairs, SearchStats())
+                for pairs in self._remote.range_shards(
+                    query.items, theta, algorithm, build.num_shards
+                )
+            ]
+        else:
+
+            def run_shard(shard: int) -> ShardAnswer:
+                instance = self._instance(build, shard, algorithm, kwargs)
+                result = instance.search(query, theta)
+                return [(match.rid, match.distance) for match in result.matches], result.stats
+
+            shard_answers = self._run_shards(
+                build,
+                run_shard,
+                _process_range_task,
+                (algorithm, tuple(sorted(kwargs.items())), query.items, theta),
+            )
         wall = time.perf_counter() - start
 
         merged = SearchResult(query=query, theta=theta, algorithm=f"sharded:{algorithm}")
-        for shard, shard_result in enumerate(shard_results):
+        for shard, (pairs, _) in enumerate(shard_answers):
             rid_map = build.global_rids[shard]
-            for match in shard_result.matches:
-                global_rid = rid_map[match.rid]
-                merged.add(global_rid, self._rankings[global_rid], match.distance)
-        self._merge_shard_stats(merged.stats, [r.stats for r in shard_results], wall)
+            for local_rid, distance in pairs:
+                global_rid = rid_map[local_rid]
+                merged.add(global_rid, self._rankings[global_rid], distance)
+        self._merge_shard_stats(merged.stats, [stats for _, stats in shard_answers], wall)
         return merged.finalize()
 
     # -- k-NN queries -----------------------------------------------------------------
@@ -316,22 +585,45 @@ class ShardedIndex:
             raise ValueError(f"n_neighbours must be positive, got {n_neighbours}")
 
         build = self._current_build()
-
-        def run_shard(shard: int) -> tuple[list[tuple[float, int]], SearchStats]:
-            instance = self._instance(build, shard, algorithm, kwargs)
-            local_top, stats = exact_local_top(
-                instance, build.shards[shard], query, n_neighbours,
-                initial_theta=initial_theta, growth=growth,
-            )
-            rid_map = build.global_rids[shard]
-            return [(distance, rid_map[local_rid]) for distance, local_rid in local_top], stats
-
         start = time.perf_counter()
-        shard_answers = self._fan_out(run_shard, build.num_shards)
+        if self._remote is not None:
+            shard_answers: list[ShardAnswer] = [
+                (pairs, SearchStats())
+                for pairs in self._remote.knn_shards(
+                    query.items, n_neighbours, algorithm, build.num_shards
+                )
+            ]
+        else:
+
+            def run_shard(shard: int) -> ShardAnswer:
+                instance = self._instance(build, shard, algorithm, kwargs)
+                return exact_local_top(
+                    instance, build.shards[shard], query, n_neighbours,
+                    initial_theta=initial_theta, growth=growth,
+                )
+
+            shard_answers = self._run_shards(
+                build,
+                run_shard,
+                _process_knn_task,
+                (
+                    algorithm,
+                    tuple(sorted(kwargs.items())),
+                    query.items,
+                    n_neighbours,
+                    initial_theta,
+                    growth,
+                ),
+            )
         wall = time.perf_counter() - start
 
         best = heapq.nsmallest(
-            n_neighbours, (entry for top, _ in shard_answers for entry in top)
+            n_neighbours,
+            (
+                (distance, build.global_rids[shard][local_rid])
+                for shard, (pairs, _) in enumerate(shard_answers)
+                for distance, local_rid in pairs
+            ),
         )
         neighbours = [
             Neighbour(distance=distance, rid=rid, ranking=self._rankings[rid])
@@ -345,5 +637,5 @@ class ShardedIndex:
         build = self._current_build()
         return (
             f"ShardedIndex(n={len(self._rankings)}, shards={build.num_shards}, "
-            f"version={build.version})"
+            f"executor={self._executor_kind!r}, version={build.version})"
         )

@@ -274,3 +274,82 @@ class TestCompatibilityShims:
             LiveQueryEngine(algorithm="MinimalF&V")
         with pytest.raises(ValueError):  # the pre-typed-API contract
             LiveQueryEngine(algorithm="MinimalF&V")
+
+
+class TestCollectionDDL:
+    """create/drop as admin actions: the wire-facing collection lifecycle."""
+
+    def test_create_static_then_query_then_drop(self, session, rankings):
+        data = session.create_collection(
+            "archive",
+            "static",
+            rankings=[ranking.items for ranking in list(rankings)[:30]],
+            num_shards=2,
+        )
+        assert data == {"created": "archive", "engine": "static", "size": 30}
+        response = session.range_query(list(rankings)[0].items, THETA, collection="archive")
+        assert response.ok
+        assert session.drop_collection("archive") == {"dropped": "archive"}
+        gone = session.range_query(list(rankings)[0].items, THETA, collection="archive")
+        assert not gone.ok and gone.error.code == "unknown_collection"
+
+    def test_create_live_empty_and_seeded(self, session):
+        assert session.create_collection("scratch", "live") == {
+            "created": "scratch", "engine": "live", "size": 0,
+        }
+        key = session.insert([1, 2, 3, 4, 5], collection="scratch")
+        assert key == 0
+        seeded = session.create_collection(
+            "seeded", "live", rankings=[[1, 2, 3], [4, 5, 6], [7, 8, 9]], algorithm="F&V"
+        )
+        assert seeded["size"] == 3
+        response = session.knn([1, 2, 3], 2, collection="seeded")
+        assert response.ok and response.rids[0] == 0
+        session.drop_collection("scratch")
+        session.drop_collection("seeded")
+
+    def test_create_static_pins_algorithm_and_shards(self, session, rankings):
+        session.create_collection(
+            "pinned",
+            "static",
+            rankings=[ranking.items for ranking in list(rankings)[:20]],
+            algorithm="ListMerge",
+            num_shards=3,
+        )
+        infos = {info["name"]: info for info in session.collections()}
+        assert infos["pinned"]["algorithm"] == "ListMerge"
+        response = session.range_query(list(rankings)[0].items, THETA, collection="pinned")
+        assert response.ok and response.stats["algorithm"] == "ListMerge"
+        session.drop_collection("pinned")
+
+    def test_create_duplicate_name_is_invalid_request(self, session, rankings):
+        response = session.execute(
+            {"type": "admin", "action": "create", "collection": "news",
+             "engine": "static", "rankings": [[1, 2, 3]]}
+        )
+        assert not response.ok and response.error.code == "invalid_request"
+        assert "already exists" in response.error.message
+
+    def test_drop_unknown_collection_is_typed(self, session):
+        response = session.execute(
+            {"type": "admin", "action": "drop", "collection": "nope"}
+        )
+        assert not response.ok and response.error.code == "unknown_collection"
+
+    def test_bad_seed_rolls_the_creation_back(self, session):
+        response = session.execute(
+            {"type": "admin", "action": "create", "collection": "broken",
+             "engine": "live", "rankings": [[1, 2, 3], [4, 5]]}  # ragged k
+        )
+        assert not response.ok
+        assert "broken" not in [info["name"] for info in session.collections()]
+
+    def test_ddl_fields_rejected_on_other_actions(self):
+        from repro.api import AdminRequest
+
+        with pytest.raises(InvalidRequestError, match="only applies to action 'create'"):
+            AdminRequest(action="ping", engine="live")
+        with pytest.raises(InvalidRequestError, match="rankings"):
+            AdminRequest(action="create", engine="static")
+        with pytest.raises(InvalidRequestError, match="engine"):
+            AdminRequest(action="create")

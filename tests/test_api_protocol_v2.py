@@ -1,0 +1,572 @@
+"""Protocol v2: envelopes, handshake fallback, pipelining, both transports.
+
+The contracts under test:
+
+* **interop** — a v1 client (PR 4 framing) round-trips against the v2
+  servers unchanged, and a v2 client falls back to v1 framing against a
+  v1-only server (``protocol=2`` refuses instead);
+* **correlation** — responses match requests by ``id`` even when the
+  server answers out of order, and a timed-out request fails alone while
+  its late reply is silently discarded;
+* **equivalence** — a 100-deep pipelined mixed query+mutation stream is
+  byte-identical (``result_bytes``) to the same stream executed
+  sequentially in-process, on the threaded *and* the asyncio transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.ranking import RankingSet
+from repro.api import (
+    AsyncClient,
+    AsyncDatabaseServer,
+    Client,
+    Database,
+    DatabaseServer,
+    classify_frame,
+    hello_payload,
+    request_envelope,
+    response_envelope,
+)
+from repro.api.protocol import PROTOCOL_VERSION, read_frame, write_frame
+from repro.api.requests import (
+    DeleteRequest,
+    InsertRequest,
+    KnnRequest,
+    RangeQueryRequest,
+    UpsertRequest,
+)
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+
+THETA = 0.25
+K = 8
+
+
+@pytest.fixture(scope="module")
+def rankings() -> RankingSet:
+    return nyt_like_dataset(n=120, k=K, seed=11)
+
+
+def _make_database(rankings) -> Database:
+    database = Database()
+    database.create_static("news", rankings, num_shards=2)
+    live = database.create_live("updates")
+    for ranking in list(rankings)[:40]:
+        live.insert(ranking.items)
+    return database
+
+
+@pytest.fixture(params=["threaded", "asyncio"])
+def served(request, rankings):
+    """Both transports behind one fixture: the contracts must hold on each."""
+    database = _make_database(rankings)
+    server_type = DatabaseServer if request.param == "threaded" else AsyncDatabaseServer
+    with server_type(database, port=0) as server:
+        yield server, database
+    database.close()
+
+
+class _FakeV1Server:
+    """A PR 4-style server: bare frames, no envelopes, no handshake.
+
+    Exercises the "old server" half of the interop matrix without keeping
+    dead server code around: it answers exactly like the PR 4 loop did —
+    ``session.execute`` on every frame payload, bare response envelope back.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._session = database.session()
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()
+        return host, port
+
+    def _serve(self) -> None:
+        try:
+            while True:
+                connection, _ = self._listener.accept()
+                with connection:
+                    stream = connection.makefile("rwb")
+                    while True:
+                        payload = read_frame(stream)
+                        if payload is None:
+                            break
+                        write_frame(stream, self._session.execute(payload).to_dict())
+        except OSError:
+            return  # listener closed
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+class _ScriptedServer:
+    """Reads v2 envelopes off one connection and replies per a script."""
+
+    def __init__(self, script) -> None:
+        """``script(stream)`` drives one accepted connection."""
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._script = script
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()
+        return host, port
+
+    def _serve(self) -> None:
+        try:
+            connection, _ = self._listener.accept()
+        except OSError:
+            return
+        with connection:
+            stream = connection.makefile("rwb")
+            try:
+                self._script(stream)
+            except (OSError, ValueError):
+                pass
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+def _answer_hello(stream) -> None:
+    frame = read_frame(stream)
+    assert frame is not None and frame.get("kind") == "hello"
+    write_frame(
+        stream,
+        response_envelope(
+            frame["id"],
+            {"ok": True, "data": {"version": 2, "versions": [1, 2], "max_frame_bytes": 2**20}},
+        ),
+    )
+
+
+class TestClassifyFrame:
+    def test_v1_payloads_pass_through(self):
+        frame = classify_frame({"type": "range", "collection": "news", "items": [1], "theta": 0.1})
+        assert frame.version == 1 and frame.error is None
+        assert frame.payload == {"type": "range", "collection": "news", "items": [1], "theta": 0.1}
+
+    def test_v2_envelope_unwraps_to_v1_payload(self):
+        frame = classify_frame(request_envelope(7, {"type": "knn", "items": [1, 2], "k": 3}))
+        assert frame.version == 2 and frame.request_id == 7 and frame.kind == "knn"
+        assert frame.payload == {"type": "knn", "items": [1, 2], "k": 3}
+
+    def test_hello_is_recognised(self):
+        frame = classify_frame(hello_payload(0))
+        assert frame.is_hello and frame.payload is None
+
+    @pytest.mark.parametrize(
+        "payload, complaint",
+        [
+            ({"id": True, "kind": "range", "body": {}}, "id"),
+            ({"id": 1.5, "kind": "range", "body": {}}, "id"),
+            ({"kind": "range", "body": {}}, "id"),
+            ({"id": 1, "kind": "", "body": {}}, "kind"),
+            ({"id": 1, "body": {}}, "kind"),
+            ({"id": 1, "kind": "range", "body": []}, "body"),
+            ({"id": 1, "kind": "range", "body": {}, "extra": 1}, "envelope field"),
+            ({"id": 1, "kind": "range", "body": {"type": "knn"}}, "type"),
+        ],
+    )
+    def test_malformed_envelopes_are_reported_not_fatal(self, payload, complaint):
+        frame = classify_frame(payload)
+        assert frame.version == 2
+        assert frame.error is not None and complaint in frame.error
+
+    def test_admin_create_payload_is_not_mistaken_for_an_envelope(self):
+        # the DDL field is deliberately named 'engine', not 'kind' — a v1
+        # admin/create frame must classify as a v1 request
+        payload = {"type": "admin", "action": "create", "collection": "x",
+                   "engine": "live", "num_shards": 1}
+        assert classify_frame(payload).version == 1
+
+
+class TestHandshake:
+    def test_negotiated_client_lands_on_v2(self, served):
+        server, _ = served
+        with Client(*server.address) as client:
+            assert client.protocol_version == PROTOCOL_VERSION
+            assert client.server_info is not None
+            assert client.server_info["versions"] == [1, 2]
+            assert client.ping() is True
+
+    def test_forced_v1_client_works_against_v2_server(self, served):
+        """Old client vs new server: the PR 4 framing still round-trips."""
+        server, _ = served
+        with Client(*server.address, protocol=1) as client:
+            assert client.protocol_version == 1
+            assert client.ping() is True
+            response = client.range_query(list(range(1, K + 1)), 0.4, collection="news")
+            assert response.ok
+
+    def test_raw_v1_frames_work_against_v2_server(self, served, rankings):
+        """Byte-level old client: bare frames, no handshake, ordered replies."""
+        server, database = served
+        session = database.session()
+        query = list(rankings)[0].items
+        with socket.create_connection(server.address, timeout=10.0) as raw:
+            stream = raw.makefile("rwb")
+            payload = {"type": "range", "collection": "news",
+                       "items": list(query), "theta": THETA}
+            write_frame(stream, payload)
+            reply = read_frame(stream)
+            assert reply is not None and "id" not in reply  # a bare v1 envelope
+            from repro.api import Response
+
+            assert (
+                Response.from_dict(reply).result_bytes()
+                == session.execute(payload).result_bytes()
+            )
+
+    def test_v2_client_falls_back_against_v1_server(self, rankings):
+        database = _make_database(rankings)
+        fake = _FakeV1Server(database)
+        try:
+            with Client(*fake.address) as client:
+                assert client.protocol_version == 1
+                assert client.ping() is True
+                with pytest.raises(ConnectionError, match="protocol v2"):
+                    client.submit(RangeQueryRequest(collection="news", items=(1,), theta=0.1))
+        finally:
+            fake.close()
+            database.close()
+
+    def test_protocol_2_refuses_a_v1_server(self, rankings):
+        database = _make_database(rankings)
+        fake = _FakeV1Server(database)
+        try:
+            with pytest.raises(ConnectionError, match="does not speak protocol v2"):
+                Client(*fake.address, protocol=2)
+        finally:
+            fake.close()
+            database.close()
+
+    def test_malformed_envelope_gets_correlated_error_and_connection_survives(self, served):
+        server, _ = served
+        with socket.create_connection(server.address, timeout=10.0) as raw:
+            stream = raw.makefile("rwb")
+            write_frame(stream, {"id": 9, "kind": "range", "body": [], "junk": 1})
+            reply = read_frame(stream)
+            assert reply is not None and reply["id"] == 9
+            assert reply["body"]["ok"] is False
+            assert reply["body"]["error"]["code"] == "invalid_request"
+            # the stream is still synchronised: a follow-up request answers
+            write_frame(stream, request_envelope(10, {"type": "admin", "action": "ping"}))
+            reply = read_frame(stream)
+            assert reply["id"] == 10 and reply["body"]["ok"] is True
+
+
+class TestCorrelation:
+    def test_out_of_order_replies_reach_the_right_callers(self):
+        """The server may answer later requests first; ids route the replies."""
+
+        def script(stream) -> None:
+            _answer_hello(stream)
+            first = read_frame(stream)
+            second = read_frame(stream)
+            for frame in (second, first):  # reversed on purpose
+                write_frame(
+                    stream,
+                    response_envelope(
+                        frame["id"], {"ok": True, "data": {"echo": frame["body"]["action"]}}
+                    ),
+                )
+
+        fake = _ScriptedServer(script)
+        try:
+            with Client(*fake.address) as client:
+                early = client.submit({"type": "admin", "action": "ping"})
+                late = client.submit({"type": "admin", "action": "collections"})
+                assert late.result(5.0).data == {"echo": "collections"}
+                assert early.result(5.0).data == {"echo": "ping"}
+        finally:
+            fake.close()
+
+    def test_timeout_fails_only_its_own_id(self):
+        """A timed-out request leaves the connection healthy; the late
+        reply is discarded instead of poisoning later correlated replies."""
+        release = threading.Event()
+
+        def script(stream) -> None:
+            _answer_hello(stream)
+            slow = read_frame(stream)
+            fast = read_frame(stream)
+            write_frame(stream, response_envelope(fast["id"], {"ok": True, "data": {"x": 1}}))
+            release.wait(timeout=10.0)
+            # the late answer to the abandoned id, then a healthy follow-up
+            write_frame(stream, response_envelope(slow["id"], {"ok": True, "data": {"late": 1}}))
+            follow_up = read_frame(stream)
+            write_frame(stream, response_envelope(follow_up["id"], {"ok": True, "data": {"y": 2}}))
+
+        fake = _ScriptedServer(script)
+        try:
+            with Client(*fake.address) as client:
+                slow = client.submit({"type": "admin", "action": "stats"})
+                fast = client.submit({"type": "admin", "action": "ping"})
+                assert fast.result(5.0).data == {"x": 1}
+                with pytest.raises(TimeoutError, match="only this request"):
+                    slow.result(0.2)
+                assert not client.closed  # the connection survived the timeout
+                release.set()
+                follow_up = client.submit({"type": "admin", "action": "ping"})
+                assert follow_up.result(5.0).data == {"y": 2}
+        finally:
+            release.set()
+            fake.close()
+
+    def test_v2_timeout_against_real_server_does_not_poison(self, served):
+        """Same contract end to end: a too-tight timeout, then normal use."""
+        server, _ = served
+        with Client(*server.address) as client:
+            pending = client.submit(RangeQueryRequest(collection="news", items=(1, 2), theta=0.3))
+            try:
+                pending.result(0.0)  # zero-second wait: may or may not make it
+            except TimeoutError:
+                pass
+            assert not client.closed
+            assert client.ping() is True
+
+
+def _mixed_stream(rankings, queries) -> list:
+    """A deterministic 100-deep mixed query+mutation request stream."""
+    requests = []
+    base = 50_000
+    for index in range(100):
+        step = index % 5
+        query = queries[index % len(queries)]
+        if step == 0:
+            requests.append(
+                InsertRequest(collection="updates", items=tuple(base + index * K + i for i in range(K)))
+            )
+        elif step == 1:
+            requests.append(RangeQueryRequest(collection="news", items=query, theta=THETA))
+        elif step == 2:
+            requests.append(KnnRequest(collection="updates", items=query, k=3))
+        elif step == 3:
+            # upsert the key the step-0 insert four steps earlier created;
+            # live keys are assigned sequentially from the seed inserts
+            requests.append(
+                UpsertRequest(
+                    collection="updates",
+                    key=40 + index // 5,
+                    items=tuple(base + index * K + i for i in range(K)),
+                )
+            )
+        else:
+            requests.append(DeleteRequest(collection="updates", key=40 + index // 5))
+    return requests
+
+
+class TestPipelinedEquivalence:
+    def test_pipelined_stream_matches_sequential_execution(self, served, rankings):
+        """100 deep, mixed mutations+queries, byte-identical to sequential."""
+        server, _ = served
+        queries = sample_queries(rankings, 6, seed=3)
+        requests = _mixed_stream(rankings, queries)
+
+        twin = _make_database(rankings)  # same seed state, executed in-process
+        twin_session = twin.session()
+        try:
+            with Client(*server.address) as client:
+                pipelined = client.pipeline(requests, timeout=60.0)
+            sequential = [twin_session.execute(request) for request in requests]
+            assert len(pipelined) == len(requests)
+            for position, (remote, local) in enumerate(zip(pipelined, sequential)):
+                assert remote.result_bytes() == local.result_bytes(), (
+                    f"request {position} diverged: {requests[position]}"
+                )
+        finally:
+            twin.close()
+
+    def test_interleaved_pipelined_clients_stay_correct(self, served, rankings):
+        """Concurrent pipelined clients on disjoint key spaces converge to
+        the same logical collection a sequential run produces."""
+        server, database = served
+        queries = sample_queries(rankings, 4, seed=7)
+        n_clients = 4
+        errors: list = []
+        barrier = threading.Barrier(n_clients)
+
+        def worker(worker_id: int) -> None:
+            try:
+                with Client(*server.address) as client:
+                    barrier.wait(timeout=10.0)
+                    for round_number in range(5):
+                        items = tuple(
+                            90_000 + worker_id * 1_000 + round_number * K + offset
+                            for offset in range(K)
+                        )
+                        insert, query_reply = client.pipeline(
+                            [
+                                InsertRequest(collection="updates", items=items),
+                                RangeQueryRequest(
+                                    collection="news",
+                                    items=queries[round_number % len(queries)],
+                                    theta=THETA,
+                                ),
+                            ],
+                            timeout=30.0,
+                        )
+                        assert insert.ok and query_reply.ok
+                        assert client.execute(
+                            DeleteRequest(collection="updates", key=insert.key)
+                        ).ok
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append((worker_id, error))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+
+        # every transient insert was deleted: remote answers equal in-process
+        session = database.session()
+        with Client(*server.address) as client:
+            for query in queries:
+                remote = client.knn(query, 5, collection="updates")
+                local = session.knn(query, 5, collection="updates")
+                assert remote.result_bytes() == local.result_bytes()
+
+
+class TestAsyncClient:
+    def test_gather_pipelines_and_matches_in_process(self, rankings):
+        database = _make_database(rankings)
+        queries = sample_queries(rankings, 8, seed=5)
+        session = database.session()
+
+        async def scenario(address):
+            async with await AsyncClient.connect(*address) as client:
+                assert await client.ping() is True
+                burst = await asyncio.gather(
+                    *(client.range_query(query, THETA, collection="news") for query in queries)
+                )
+                key = await client.insert(list(range(1, K + 1)), collection="updates")
+                await client.upsert(key, list(range(K, 0, -1)), collection="updates")
+                await client.delete(key, collection="updates")
+                names = [info["name"] for info in await client.collections()]
+                return burst, names
+
+        with AsyncDatabaseServer(database, port=0) as server:
+            burst, names = asyncio.run(scenario(server.address))
+        assert names == ["news", "updates"]
+        for query, remote in zip(queries, burst):
+            local = session.range_query(query, THETA, collection="news")
+            assert remote.result_bytes() == local.result_bytes()
+        database.close()
+
+    def test_async_client_requires_v2(self, rankings):
+        database = _make_database(rankings)
+        fake = _FakeV1Server(database)
+
+        async def scenario(address):
+            await AsyncClient.connect(*address)
+
+        try:
+            with pytest.raises(ConnectionError, match="protocol v2"):
+                asyncio.run(scenario(fake.address))
+        finally:
+            fake.close()
+            database.close()
+
+    def test_async_timeout_fails_only_one_request(self, rankings):
+        """Slow first request times out; a second request still answers."""
+        database = _make_database(rankings)
+
+        async def scenario(address):
+            async with await AsyncClient.connect(*address) as client:
+                with pytest.raises(TimeoutError, match="only this request"):
+                    # zero timeout: the reply cannot possibly arrive in time
+                    await client.range_query(
+                        list(range(1, K + 1)), 0.3, collection="news", timeout=0.0
+                    )
+                assert not client.closed
+                response = await client.range_query(
+                    list(range(1, K + 1)), 0.3, collection="news"
+                )
+                assert response.ok
+
+        with AsyncDatabaseServer(database, port=0) as server:
+            asyncio.run(scenario(server.address))
+        database.close()
+
+
+class TestAsyncServer:
+    def test_shutdown_request_stops_the_async_server(self, rankings):
+        database = _make_database(rankings)
+        server = AsyncDatabaseServer(database, port=0)
+        host, port = server.start()
+        with Client(host, port) as client:
+            response = client.shutdown_server()
+            assert response.ok and response.data == {"acknowledged": True}
+        server.wait(timeout=10.0)
+        server.close()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+        database.close()
+
+    def test_many_concurrent_connections_on_one_loop(self, rankings):
+        database = _make_database(rankings)
+        queries = sample_queries(rankings, 4, seed=2)
+        errors: list = []
+        with AsyncDatabaseServer(database, port=0) as server:
+
+            def worker(worker_id: int) -> None:
+                try:
+                    with Client(*server.address) as client:
+                        for query in queries:
+                            assert client.range_query(query, THETA, collection="news").ok
+                except Exception as error:  # noqa: BLE001
+                    errors.append((worker_id, error))
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        assert not errors, errors
+        database.close()
+
+    def test_frame_error_answers_protocol_envelope_then_closes(self, rankings):
+        database = _make_database(rankings)
+        with AsyncDatabaseServer(database, port=0) as server:
+            with socket.create_connection(server.address, timeout=5.0) as raw:
+                stream = raw.makefile("rwb")
+                body = b"definitely not json"
+                stream.write(struct.pack("!I", len(body)) + body)
+                stream.flush()
+                reply = read_frame(stream)
+                assert reply is not None and reply["ok"] is False
+                assert reply["error"]["code"] == "protocol"
+                assert read_frame(stream) is None
+        database.close()
+
+
+class TestAsyncServerBoot:
+    def test_bind_failure_surfaces_as_oserror(self, rankings):
+        """serve --async on a taken port must fail like the threaded server
+        does (an OSError the CLI turns into 'error: ...'), not a raw
+        RuntimeError traceback."""
+        database = _make_database(rankings)
+        blocker = socket.create_server(("127.0.0.1", 0))
+        try:
+            port = blocker.getsockname()[1]
+            with pytest.raises(OSError):
+                AsyncDatabaseServer(database, port=port).start()
+        finally:
+            blocker.close()
+            database.close()

@@ -45,7 +45,24 @@ EXAMPLES = [
     InsertRequest(collection="live", items=(9, 8, 7)),
     DeleteRequest(collection="live", key=42),
     UpsertRequest(collection="live", key=3, items=(5, 6, 7)),
-    *[AdminRequest(collection="live", action=action) for action in ADMIN_ACTIONS],
+    *[
+        AdminRequest(collection="live", action=action)
+        for action in ADMIN_ACTIONS
+        if action != "create"  # create carries mandatory DDL fields, below
+    ],
+    AdminRequest(
+        collection="fresh", action="create", engine="static", rankings=((1, 2, 3), (4, 5, 6))
+    ),
+    AdminRequest(collection="fresh", action="create", engine="live"),
+    AdminRequest(
+        collection="fresh",
+        action="create",
+        engine="live",
+        rankings=((1, 2, 3),),
+        algorithm="F&V",
+        num_shards=2,
+        cache_capacity=64,
+    ),
 ]
 
 

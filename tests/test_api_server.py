@@ -167,6 +167,25 @@ class TestServerRoundTrips:
             assert stats["kind"] == "static"
             assert client.flush("updates") is not None
 
+    def test_ddl_round_trips_over_the_wire(self, served, rankings):
+        """create -> query -> drop entirely from the client side."""
+        server, database = served
+        with Client(*server.address) as client:
+            created = client.create_collection(
+                "wire-born",
+                "static",
+                rankings=[ranking.items for ranking in list(rankings)[:25]],
+                num_shards=2,
+            )
+            assert created == {"created": "wire-born", "engine": "static", "size": 25}
+            assert "wire-born" in database.names()  # visible in-process too
+            query = list(rankings)[0].items
+            remote = client.range_query(query, THETA, collection="wire-born")
+            local = database.session().range_query(query, THETA, collection="wire-born")
+            assert remote.result_bytes() == local.result_bytes()
+            assert client.drop_collection("wire-born") == {"dropped": "wire-born"}
+            assert "wire-born" not in database.names()
+
     def test_malformed_frame_gets_protocol_envelope_then_close(self, served):
         server, _ = served
         host, port = server.address
@@ -198,8 +217,9 @@ class TestServerRoundTrips:
         database.close()
 
     def test_client_refuses_oversized_request_locally(self, served):
+        # protocol=1: a 64-byte cap is smaller than the v2 handshake reply
         server, _ = served
-        with Client(*server.address, max_frame_bytes=64) as client:
+        with Client(*server.address, max_frame_bytes=64, protocol=1) as client:
             with pytest.raises(FrameTooLargeError):
                 client.execute(
                     {"type": "range", "collection": "news",
@@ -227,18 +247,30 @@ class TestServerRoundTrips:
                     assert page.ok and len(page.matches) == 2
         database.close()
 
-    def test_client_poisons_connection_on_timeout(self):
-        """After a round-trip timeout the client closes itself: the next
-        request must not read the previous request's late response."""
+    def test_v1_client_poisons_connection_on_timeout(self):
+        """Under v1 framing a round-trip timeout closes the client: without
+        correlation ids the next request must not read the previous
+        request's late response.  (Under v2 only the timed-out id fails —
+        see tests/test_api_protocol_v2.py.)"""
         listener = socket.create_server(("127.0.0.1", 0))  # accepts, never replies
         try:
             host, port = listener.getsockname()
-            client = Client(host, port, timeout=0.2)
+            client = Client(host, port, timeout=0.2, protocol=1)
             with pytest.raises(ConnectionError, match="connection failed"):
                 client.ping()
             assert client.closed  # poisoned, not silently desynchronized
             with pytest.raises(ConnectionError, match="closed"):
                 client.ping()
+        finally:
+            listener.close()
+
+    def test_negotiating_client_fails_fast_on_unresponsive_server(self):
+        """The handshake itself times out instead of hanging the constructor."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            host, port = listener.getsockname()
+            with pytest.raises(ConnectionError, match="handshake failed"):
+                Client(host, port, timeout=0.2)
         finally:
             listener.close()
 

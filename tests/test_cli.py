@@ -201,3 +201,28 @@ class TestIngest:
         )
         assert exit_code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeShardSpec:
+    """Validation of the remote-topology serve flags (no sockets involved)."""
+
+    def test_shard_requires_static_and_a_file(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        dataset = tmp_path / "data.tsv"
+        assert cli_main(["generate", str(dataset), "--n", "10", "--k", "4"]) == 0
+        capsys.readouterr()
+        assert cli_main(["serve", str(dataset), "--shard", "0/2", "--live"]) == 2
+        assert "--live" in capsys.readouterr().err
+        assert cli_main(["serve", "--shard", "0/2"]) == 2
+        assert "rankings file" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["2", "a/b", "2/2", "-1/2", "0/0"])
+    def test_malformed_shard_specs_are_rejected(self, tmp_path, capsys, spec):
+        from repro.cli import main as cli_main
+
+        dataset = tmp_path / "data.tsv"
+        assert cli_main(["generate", str(dataset), "--n", "10", "--k", "4"]) == 0
+        capsys.readouterr()
+        assert cli_main(["serve", str(dataset), f"--shard={spec}"]) == 2
+        assert "--shard" in capsys.readouterr().err

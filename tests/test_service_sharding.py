@@ -218,3 +218,96 @@ def test_merged_stats_aggregate_shard_counters(dataset):
         # the CPU sum across shards is preserved separately from wall time
         assert result.stats.extra["shard_seconds"] >= 0.0
         assert result.stats.results == len(result)
+
+
+class TestProcessExecutor:
+    """The ``executor="process"`` seam: real processes, identical answers."""
+
+    def test_range_and_knn_match_the_thread_executor(self):
+        rankings = random_dataset(7)
+        queries = sample_queries(rankings, 4, seed=3)
+        with ShardedIndex(rankings, num_shards=2) as threaded, ShardedIndex(
+            rankings, num_shards=2, executor="process"
+        ) as processed:
+            assert processed.executor_kind == "process"
+            for query in queries:
+                for theta in THETAS:
+                    expected = threaded.range_query(query, theta, "F&V")
+                    actual = processed.range_query(query, theta, "F&V")
+                    assert [(m.rid, m.distance) for m in actual] == [
+                        (m.rid, m.distance) for m in expected
+                    ]
+                expected_knn = threaded.knn(query, 5, "F&V")
+                actual_knn = processed.knn(query, 5, "F&V")
+                assert [(n.distance, n.rid) for n in actual_knn.neighbours] == [
+                    (n.distance, n.rid) for n in expected_knn.neighbours
+                ]
+
+    def test_single_shard_skips_the_pool(self):
+        rankings = random_dataset(23)
+        with ShardedIndex(rankings, num_shards=1, executor="process") as sharded:
+            result = sharded.range_query(sample_queries(rankings, 1, seed=1)[0], 0.2, "F&V")
+            assert result.stats.extra["shards_queried"] == 1.0
+            assert sharded._executor is None  # never built a pool
+
+    def test_queries_after_close_fall_back_serially(self):
+        rankings = random_dataset(7)
+        queries = sample_queries(rankings, 1, seed=2)
+        sharded = ShardedIndex(rankings, num_shards=2, executor="process")
+        baseline = sharded.range_query(queries[0], 0.3, "F&V")
+        sharded.close()
+        after_close = sharded.range_query(queries[0], 0.3, "F&V")
+        assert [(m.rid, m.distance) for m in after_close] == [
+            (m.rid, m.distance) for m in baseline
+        ]
+
+    def test_rebuild_swaps_the_pool_and_keeps_answers_exact(self):
+        rankings = random_dataset(91)
+        queries = sample_queries(rankings, 2, seed=5)
+        with ShardedIndex(rankings, num_shards=2, executor="process") as sharded:
+            before = sharded.range_query(queries[0], 0.3, "F&V")
+            sharded.rebuild(num_shards=3)
+            after = sharded.range_query(queries[0], 0.3, "F&V")
+            assert [(m.rid, m.distance) for m in after] == [
+                (m.rid, m.distance) for m in before
+            ]
+            assert after.stats.extra["shards_queried"] == 3.0
+
+    def test_unpicklable_shards_fail_with_a_clear_message(self, monkeypatch):
+        from repro.service import sharding as sharding_module
+
+        def refuse(*args, **kwargs):
+            raise TypeError("cannot pickle synthetic object")
+
+        monkeypatch.setattr(sharding_module.pickle, "dumps", refuse)
+        rankings = random_dataset(7)
+        with pytest.raises(ValueError, match="picklable shard data"):
+            ShardedIndex(rankings, num_shards=2, executor="process")
+
+    def test_prepare_rejected_on_process_executor(self):
+        rankings = random_dataset(7)
+        with ShardedIndex(rankings, num_shards=2, executor="process") as sharded:
+            with pytest.raises(TypeError, match="executor"):
+                sharded.prepare(sample_queries(rankings, 1, seed=1)[0], 0.2, "MinimalF&V")
+
+    def test_crashed_workers_fall_back_and_the_pool_is_replaced(self):
+        """A killed worker must not permanently break the index: the query
+        answers serially, the broken pool is discarded, and the next query
+        gets a fresh pool."""
+        rankings = random_dataset(7)
+        query = sample_queries(rankings, 1, seed=4)[0]
+        with ShardedIndex(rankings, num_shards=2, executor="process") as sharded:
+            baseline = sharded.range_query(query, 0.3, "F&V")
+            broken_pool = sharded._executor
+            assert broken_pool is not None
+            for process in broken_pool._processes.values():
+                process.kill()
+            recovered = sharded.range_query(query, 0.3, "F&V")
+            assert [(m.rid, m.distance) for m in recovered] == [
+                (m.rid, m.distance) for m in baseline
+            ]
+            assert sharded._executor is not broken_pool  # replaced, not cached
+            fresh = sharded.range_query(query, 0.3, "F&V")
+            assert [(m.rid, m.distance) for m in fresh] == [
+                (m.rid, m.distance) for m in baseline
+            ]
