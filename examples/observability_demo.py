@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Observability demo: metrics scrape, traced requests, slow-query log.
+
+One live server, mixed load, then the three pillars of ``repro.obs``:
+
+1. a :class:`repro.api.Database` with a static and a live collection is
+   served over TCP and driven with range / k-NN / batch queries plus a
+   burst of mutations — every layer instruments itself against the
+   process-default metrics registry as a side effect;
+2. ``admin metrics`` scrapes that registry over the wire — the structured
+   JSON snapshot and the Prometheus text exposition rendered from it;
+3. one request is traced end to end (``trace=True`` rides the protocol
+   v2 envelope) and its span tree printed;
+4. ``admin slow_queries`` lists the slowest requests the database has
+   served, with span trees for the ones that were traced.
+
+Run with::
+
+    PYTHONPATH=src python examples/observability_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.api import BatchRequest, Client, Database, DatabaseServer, KnnRequest
+from repro.obs.tracing import span_tree_lines
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+
+THETA = 0.25
+TOP_SLOW = 3
+
+
+def main() -> None:
+    rankings = nyt_like_dataset(n=600, k=10)
+    queries = sample_queries(rankings, 12, seed=5)
+
+    database = Database()
+    database.create_static("news", rankings, num_shards=2)
+    live = database.create_live("updates")
+    for ranking in list(rankings)[:100]:
+        live.insert(ranking.items)
+
+    with DatabaseServer(database, port=0) as server:
+        host, port = server.address
+        print(f"serving on {host}:{port}\n")
+
+        # -- 1. mixed load: queries on both collections, some mutations ---------
+        with Client(host, port) as client:
+            for query in queries:
+                assert client.range_query(query, THETA, collection="news").ok
+                assert client.knn(query, 5, collection="news").ok
+                assert client.range_query(query, THETA, collection="updates").ok
+            assert client.execute(
+                BatchRequest(collection="news", queries=tuple(queries), theta=THETA)
+            ).ok
+            for ranking in list(rankings)[100:120]:
+                client.insert(ranking.items, collection="updates")
+            print(f"drove {3 * len(queries) + 1} queries and 20 inserts\n")
+
+            # -- 2. scrape the metrics registry ---------------------------------
+            snapshot = client.metrics()
+            print(f"metric families: {len(snapshot['metrics'])}")
+            for family in snapshot["metrics"]:
+                print(f"  {family['name']} ({family['type']}, "
+                      f"{len(family['samples'])} samples)")
+
+            exposition = client.metrics(format="prometheus")["exposition"]
+            print("\nPrometheus exposition (cache + server families):")
+            for line in exposition.splitlines():
+                if line.startswith(("repro_cache", "repro_server")):
+                    print(f"  {line}")
+
+            # -- 3. one traced request (k=7 is uncached, so the tree shows
+            #       the planner and the shard fan-out, not a cache hit) --------
+            traced = client.execute(
+                KnnRequest(collection="news", items=queries[0], k=7), trace=True
+            )
+            assert traced.ok and traced.trace is not None
+            print("\ntraced k-NN request:")
+            for line in span_tree_lines(traced.trace):
+                print(f"  {line}")
+
+            # -- 4. the slow-query log ------------------------------------------
+            entries = client.slow_queries()
+            print(f"\nslow-query log holds {len(entries)} entries; "
+                  f"top {TOP_SLOW}:")
+            for rank, entry in enumerate(entries[:TOP_SLOW], start=1):
+                print(f"  #{rank} {entry['kind']} on {entry['collection']!r}: "
+                      f"{entry['wall_seconds'] * 1000.0:.3f} ms, "
+                      f"{entry['results']} results, "
+                      f"algorithm={entry['algorithm'] or '-'}")
+                if entry.get("trace"):
+                    for line in span_tree_lines(entry["trace"]):
+                        print(f"      {line}")
+
+    database.close()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

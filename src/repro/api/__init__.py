@@ -53,6 +53,7 @@ from repro.api.requests import (
     BatchRequest,
     COLLECTION_ENGINES,
     DEFAULT_COLLECTION,
+    METRICS_FORMATS,
     DeleteRequest,
     InsertRequest,
     KnnRequest,
@@ -94,6 +95,7 @@ __all__ = [
     "InboundFrame",
     "InsertRequest",
     "KnnRequest",
+    "METRICS_FORMATS",
     "MatchPayload",
     "PROTOCOL_VERSION",
     "PendingReply",

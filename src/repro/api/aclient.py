@@ -142,18 +142,23 @@ class AsyncClient:
     # -- the execute primitive -----------------------------------------------------
 
     async def execute(
-        self, request: RequestLike, *, timeout: Optional[float] = None
+        self, request: RequestLike, *, timeout: Optional[float] = None, trace=None
     ) -> Response:
         """Send one request; await its correlated response envelope.
 
         ``timeout=None`` uses the client default.  A timeout abandons only
         this request's id; other in-flight requests are unaffected.
+        ``trace=True`` asks the server to trace the request (a string
+        propagates an existing trace id); the response then carries its
+        span tree as :attr:`Response.trace`.
         """
         if self._closed:
             raise ConnectionError("client is closed")
         payload = parse_request(request).to_dict() if not isinstance(request, dict) else request
         request_id = self._take_id()
-        frame = encode_frame(request_envelope(request_id, payload), self._max_frame_bytes)
+        frame = encode_frame(
+            request_envelope(request_id, payload, trace=trace), self._max_frame_bytes
+        )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:

@@ -48,7 +48,9 @@ from repro.api.responses import Response, ResponseError, canonical_json
 from repro.api.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    ServerMetrics,
     envelope_error_payload,
+    execute_frame,
     hello_reply_payload,
     is_shutdown_payload,
     oversized_reply_response,
@@ -61,9 +63,15 @@ DEFAULT_DISPATCH_WORKERS = 8
 
 
 async def read_frame_async(
-    reader: asyncio.StreamReader, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    byte_counter=None,
 ) -> Optional[dict]:
-    """Async twin of :func:`repro.api.protocol.read_frame` (same contract)."""
+    """Async twin of :func:`repro.api.protocol.read_frame` (same contract).
+
+    ``byte_counter`` (a metrics counter) receives the exact wire size of
+    each complete frame read, header included.
+    """
     try:
         header = await reader.readexactly(HEADER.size)
     except asyncio.IncompleteReadError as error:
@@ -81,6 +89,8 @@ async def read_frame_async(
         raise FrameError(
             f"connection closed mid-frame ({len(error.partial)} of {length} bytes read)"
         ) from None
+    if byte_counter is not None:
+        byte_counter.inc(HEADER.size + length)
     return decode_frame_body(body)
 
 
@@ -131,6 +141,7 @@ class AsyncDatabaseServer:
         self._pool = ThreadPoolExecutor(
             max_workers=dispatch_workers, thread_name_prefix="repro-aserver"
         )
+        self._metrics = ServerMetrics("asyncio")
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -198,12 +209,16 @@ class AsyncDatabaseServer:
     ) -> None:
         session = self._database.session()
         limit = self.max_frame_bytes
+        metrics = self._metrics
+        metrics.connections.inc()
         loop = asyncio.get_running_loop()
         try:
             while self._stop_event is not None and not self._stop_event.is_set():
                 try:
-                    payload = await read_frame_async(reader, limit)
+                    payload = await read_frame_async(reader, limit, metrics.bytes_in)
                 except FrameError as error:
+                    if isinstance(error, FrameTooLargeError):
+                        metrics.oversized.inc()
                     response = Response(
                         ok=False, error=ResponseError(code="protocol", message=str(error))
                     )
@@ -211,6 +226,7 @@ class AsyncDatabaseServer:
                     return
                 if payload is None:
                     return
+                metrics.frames_in.inc()
                 frame = classify_frame(payload)
                 if frame.version == 2 and frame.error is not None:
                     await self._write(writer, envelope_error_payload(frame), limit)
@@ -221,9 +237,11 @@ class AsyncDatabaseServer:
                 assert frame.payload is not None
                 # CPU-bound dispatch happens off-loop so other connections'
                 # I/O keeps flowing; per-connection order is preserved by
-                # awaiting before reading the next frame
+                # awaiting before reading the next frame.  execute_frame
+                # installs the request's trace inside the worker thread, so
+                # tracing needs no contextvar propagation across the hop.
                 response = await loop.run_in_executor(
-                    self._pool, session.execute, frame.payload
+                    self._pool, execute_frame, session, frame
                 )
                 reply = response.to_dict()
                 if frame.version == 2:
@@ -231,6 +249,7 @@ class AsyncDatabaseServer:
                 try:
                     encoded = encode_frame(reply, limit)
                 except FrameError as error:
+                    metrics.oversized.inc()
                     oversized = oversized_reply_response(error).to_dict()
                     if frame.version == 2:
                         await self._write(
@@ -241,6 +260,8 @@ class AsyncDatabaseServer:
                     return
                 writer.write(encoded)
                 await writer.drain()
+                metrics.frames_out.inc()
+                metrics.bytes_out.inc(len(encoded))
                 if is_shutdown_payload(frame.payload) and response.ok:
                     self.stop()
                     return
@@ -253,13 +274,14 @@ class AsyncDatabaseServer:
             except (ConnectionError, OSError):
                 pass
 
-    @staticmethod
-    async def _write(writer: asyncio.StreamWriter, payload: dict, limit: int) -> None:
+    async def _write(self, writer: asyncio.StreamWriter, payload: dict, limit: int) -> None:
         body = canonical_json(payload)
         if len(body) > limit:
             return  # nothing sensible to send; the caller closes
         writer.write(HEADER.pack(len(body)) + body)
         await writer.drain()
+        self._metrics.frames_out.inc()
+        self._metrics.bytes_out.inc(HEADER.size + len(body))
 
     # -- sync bridge (runs a private event loop on a daemon thread) -----------------
 

@@ -245,16 +245,18 @@ class Client(ExecutorSurface):
             self._next_id += 1
             return request_id
 
-    def submit(self, request: RequestLike) -> PendingReply:
+    def submit(self, request: RequestLike, *, trace=None) -> PendingReply:
         """Send one request without waiting; correlate via the returned reply.
 
         Requires protocol v2 (ids are what make pipelining safe).  Typed
         requests are validated locally first, so a malformed request costs
-        no round trip.
+        no round trip.  ``trace=True`` asks the server to trace the request
+        (a string propagates an existing trace id); the response then
+        carries its span tree as :attr:`Response.trace`.
         """
-        return self._post([request])[0]
+        return self._post([request], trace=trace)[0]
 
-    def _post(self, requests: list) -> list[PendingReply]:
+    def _post(self, requests: list, trace=None) -> list[PendingReply]:
         """Encode, register, and send a burst of requests with one flush."""
         if self._version != PROTOCOL_VERSION:
             raise ConnectionError(
@@ -273,7 +275,10 @@ class Client(ExecutorSurface):
             first_id = self._next_id
             self._next_id += len(payloads)
         frames = [
-            encode_frame(request_envelope(first_id + offset, payload), self._max_frame_bytes)
+            encode_frame(
+                request_envelope(first_id + offset, payload, trace=trace),
+                self._max_frame_bytes,
+            )
             for offset, payload in enumerate(payloads)
         ]
         pendings = [PendingReply(self, first_id + offset) for offset in range(len(payloads))]
@@ -293,7 +298,7 @@ class Client(ExecutorSurface):
         return pendings
 
     def pipeline(
-        self, requests: list, *, timeout: Optional[float] = None
+        self, requests: list, *, timeout: Optional[float] = None, trace=None
     ) -> list[Response]:
         """Send every request back to back, then collect the replies in order.
 
@@ -301,7 +306,9 @@ class Client(ExecutorSurface):
         wire carries ``len(requests)`` frames each way but the caller
         waits roughly one round trip instead of ``len(requests)``.
         """
-        return [reply.result(timeout) for reply in self._post(list(requests))]
+        return [
+            reply.result(timeout) for reply in self._post(list(requests), trace=trace)
+        ]
 
     def _abandon(self, request_id: int) -> None:
         """Forget one timed-out request; its late reply will be discarded."""
@@ -358,7 +365,7 @@ class Client(ExecutorSurface):
 
     # -- the one-round-trip path (both protocols) ----------------------------------
 
-    def execute(self, request: RequestLike) -> Response:
+    def execute(self, request: RequestLike, *, trace=None) -> Response:
         """Send one request and return its response envelope.
 
         Under v2 this is ``submit(...)`` + ``result()``: concurrent calls
@@ -366,9 +373,11 @@ class Client(ExecutorSurface):
         fails only this request.  Under v1 a lock serialises the round
         trip and any transport failure (including a timeout) closes the
         connection — without ids, a late reply would desynchronise it.
+        A ``trace`` opt-in rides the v2 envelope; on a v1 connection it is
+        silently dropped (v1 has no field to carry it).
         """
         if self._version == PROTOCOL_VERSION:
-            return self.submit(request).result()
+            return self.submit(request, trace=trace).result()
         payload = parse_request(request).to_dict() if not isinstance(request, dict) else request
         # local validation (including the size cap) before touching the wire
         frame = encode_frame(payload, self._max_frame_bytes)

@@ -23,6 +23,7 @@ in-process ones.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -34,6 +35,9 @@ from repro.core.errors import (
 from repro.core.ranking import Ranking, RankingSet
 from repro.live.collection import DEFAULT_LIVE_ALGORITHM, LiveCollection
 from repro.live.engine import LiveQueryEngine
+from repro.obs.metrics import get_registry, render_prometheus
+from repro.obs.slowlog import DEFAULT_SLOWLOG_CAPACITY, SlowQueryEntry, SlowQueryLog
+from repro.obs.tracing import current_trace
 from repro.service.engine import QueryEngine
 from repro.service.recording import EngineResponse
 from repro.api.requests import (
@@ -53,6 +57,9 @@ from repro.api.surface import ExecutorSurface
 
 #: Engines a collection may be served by.
 Engine = Union[QueryEngine, LiveQueryEngine]
+
+#: Request kinds the slow-query log considers (queries, not mutations/admin).
+_SLOW_LOGGED_KINDS = frozenset({"range", "knn", "batch"})
 
 
 @dataclass(frozen=True)
@@ -113,10 +120,16 @@ class Database:
     >>> database.close()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, slow_query_capacity: int = DEFAULT_SLOWLOG_CAPACITY) -> None:
         self._collections: dict[str, _Collection] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._slow_log = SlowQueryLog(slow_query_capacity)
+
+    @property
+    def slow_log(self) -> SlowQueryLog:
+        """The N-slowest-queries ring every session of this database feeds."""
+        return self._slow_log
 
     # -- collection management -----------------------------------------------------
 
@@ -284,11 +297,44 @@ class Session(ExecutorSurface):
     def execute(self, request: RequestLike) -> Response:
         """Answer one request; failures become typed error envelopes."""
         try:
-            return self._dispatch(parse_request(request))
+            parsed = parse_request(request)
+        except Exception as error:
+            return error_response(error)
+        start = time.perf_counter()
+        try:
+            response = self._dispatch(parsed)
         except Exception as error:
             # error_response discriminates the typed/user-input failures from
             # true internals; a server must never crash a connection
             return error_response(error)
+        if response.ok and parsed.TYPE in _SLOW_LOGGED_KINDS:
+            self._record_slow(parsed, response, time.perf_counter() - start)
+        return response
+
+    def _record_slow(self, request: Request, response: Response, wall_seconds: float) -> None:
+        """Offer one answered query to the database's slow-query log."""
+        stats = response.stats or {}
+        if response.matches is not None:
+            results = len(response.matches)
+        elif response.batch is not None:
+            results = sum(len(entry.matches or ()) for entry in response.batch)
+        else:
+            results = 0
+        trace = current_trace()
+        self._database.slow_log.record(
+            SlowQueryEntry(
+                kind=request.TYPE,
+                collection=request.collection,
+                wall_seconds=wall_seconds,
+                algorithm=str(stats.get("algorithm", "")),
+                planner_source=str(stats.get("planner_source", "")),
+                results=results,
+                trace_id=trace.trace_id if trace is not None else "",
+                # the request's spans so far; the transport-level root span is
+                # still open, so its duration reads as time-to-here
+                trace=trace.to_dict() if trace is not None else None,
+            )
+        )
 
     # -- dispatch ------------------------------------------------------------------
 
@@ -346,6 +392,23 @@ class Session(ExecutorSurface):
             # sessions just acknowledge so the surface behaves uniformly
             database._check_open()
             return Response(ok=True, data={"acknowledged": True})
+        if request.action == "metrics":
+            database._check_open()
+            snapshot = get_registry().snapshot()
+            if request.format == "prometheus":
+                return Response(ok=True, data={"exposition": render_prometheus(snapshot)})
+            return Response(ok=True, data=snapshot)
+        if request.action == "slow_queries":
+            database._check_open()
+            return Response(
+                ok=True,
+                data={
+                    "capacity": database.slow_log.capacity,
+                    "slow_queries": [
+                        entry.as_dict() for entry in database.slow_log.entries()
+                    ],
+                },
+            )
         if request.action == "create":
             return self._dispatch_create(request)
         if request.action == "drop":

@@ -25,6 +25,16 @@ Two payload shapes travel inside frames:
       request   {"id": 7, "kind": "range", "body": {"collection": ..., ...}}
       response  {"id": 7, "body": {"ok": true, ...}}
 
+  A request envelope may additionally carry an optional ``trace`` field —
+  ``true`` to request tracing with a server-generated trace id, or a
+  non-empty string to propagate an existing id (what the remote shard
+  executor sends so shard-server spans correlate with the coordinator's).
+  Traced responses carry the span tree as a ``trace`` block *inside* the
+  response payload (see :mod:`repro.obs.tracing`); ``trace`` exists only
+  on the v2 envelope, so a client that fell back to v1 framing silently
+  drops the option rather than sending a field v1 validation would
+  reject.
+
   Because every response echoes its request's ``id``, any number of
   requests may be in flight on one connection (pipelining) and servers may
   answer them as they complete (multiplexing).  A connection opens with a
@@ -62,6 +72,10 @@ SUPPORTED_VERSIONS = (1, 2)
 
 #: Envelope ``kind`` of the version handshake (not a request type).
 HELLO_KIND = "hello"
+
+#: Longest propagated trace id the envelope accepts (matches
+#: :data:`repro.obs.tracing.MAX_TRACE_ID_LENGTH`).
+MAX_TRACE_ID_BYTES = 64
 
 
 class FrameError(ReproError):
@@ -147,10 +161,12 @@ class InboundFrame:
     ``version`` is 1 or 2.  For v2 frames ``request_id`` carries the
     client's correlation id and ``kind`` the envelope kind; ``payload`` is
     the dispatchable v1-style request payload (``{"type": kind, **body}``),
-    or ``None`` for a ``hello`` handshake.  ``error`` is set (and
-    ``payload`` is ``None``) when the envelope itself is malformed — the
-    stream is still synchronised, so servers answer it on a healthy
-    connection instead of closing.
+    or ``None`` for a ``hello`` handshake.  ``trace`` is ``None`` for an
+    untraced request, ``True`` when the client asked the server to
+    generate a trace id, or the propagated trace id string.  ``error`` is
+    set (and ``payload`` is ``None``) when the envelope itself is
+    malformed — the stream is still synchronised, so servers answer it on
+    a healthy connection instead of closing.
     """
 
     version: int
@@ -158,6 +174,12 @@ class InboundFrame:
     kind: Optional[str] = None
     payload: Optional[dict] = None
     error: Optional[str] = None
+    trace: Any = None
+
+    @property
+    def traced(self) -> bool:
+        """Whether the client opted into tracing for this request."""
+        return self.trace is not None
 
     @property
     def is_hello(self) -> bool:
@@ -193,13 +215,28 @@ def classify_frame(payload: dict) -> InboundFrame:
             request_id=request_id,
             error=f"envelope 'kind' must be a non-empty string, got {kind!r}",
         )
-    unknown = set(payload) - {"id", "kind", "body"}
+    unknown = set(payload) - {"id", "kind", "body", "trace"}
     if unknown:
         return InboundFrame(
             version=2,
             request_id=request_id,
             kind=kind,
             error=f"unknown envelope field(s): {', '.join(sorted(unknown))}",
+        )
+    trace = payload.get("trace")
+    if trace in (None, False):
+        trace = None
+    elif trace is not True and not (
+        isinstance(trace, str) and 0 < len(trace) <= MAX_TRACE_ID_BYTES
+    ):
+        return InboundFrame(
+            version=2,
+            request_id=request_id,
+            kind=kind,
+            error=(
+                "envelope 'trace' must be true or a non-empty string of at most"
+                f" {MAX_TRACE_ID_BYTES} characters, got {trace!r}"
+            ),
         )
     body = payload.get("body", {})
     if not isinstance(body, dict):
@@ -219,19 +256,26 @@ def classify_frame(payload: dict) -> InboundFrame:
             error="envelope 'body' must not carry 'type'; the kind names the request",
         )
     return InboundFrame(
-        version=2, request_id=request_id, kind=kind, payload={"type": kind, **body}
+        version=2, request_id=request_id, kind=kind, payload={"type": kind, **body}, trace=trace
     )
 
 
-def request_envelope(request_id: Any, payload: dict) -> dict:
-    """Wrap a v1-style request payload (``{"type": ...}``) in a v2 envelope."""
+def request_envelope(request_id: Any, payload: dict, trace: Any = None) -> dict:
+    """Wrap a v1-style request payload (``{"type": ...}``) in a v2 envelope.
+
+    ``trace`` opts the request into tracing: ``True`` asks the server to
+    generate a trace id, a non-empty string propagates an existing one.
+    """
     if not valid_request_id(request_id):
         raise FrameError(f"request id must be an integer or string, got {request_id!r}")
     kind = payload.get("type")
     if not isinstance(kind, str) or not kind:
         raise FrameError(f"request payload must carry a string 'type', got {kind!r}")
     body = {key: value for key, value in payload.items() if key != "type"}
-    return {"id": request_id, "kind": kind, "body": body}
+    envelope = {"id": request_id, "kind": kind, "body": body}
+    if trace:
+        envelope["trace"] = trace
+    return envelope
 
 
 def response_envelope(request_id: Any, payload: dict) -> dict:

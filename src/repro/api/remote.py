@@ -31,11 +31,14 @@ does not permanently sideline a shard.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional, Sequence, Union
 
 from repro.api.client import Client, PendingReply
 from repro.api.protocol import DEFAULT_MAX_FRAME_BYTES
 from repro.api.requests import DEFAULT_COLLECTION, KnnRequest, RangeQueryRequest, Request
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import current_trace
 
 #: One shard server's location: ``(host, port)`` or ``"host:port"``.
 Address = Union[tuple[str, int], str]
@@ -85,6 +88,23 @@ class RemoteShardExecutor:
         self._max_frame_bytes = max_frame_bytes
         self._clients: list[Optional[Client]] = [None] * len(self._addresses)
         self._lock = threading.Lock()  # guards the client slots, not the wire
+        registry = get_registry()
+        self._m_latency = [
+            registry.histogram(
+                "repro_remote_fanout_seconds",
+                "Wall time from fan-out start to each shard server's reply.",
+                shard=str(shard),
+            )
+            for shard in range(len(self._addresses))
+        ]
+        self._m_errors = [
+            registry.counter(
+                "repro_remote_fanout_errors_total",
+                "Sub-queries that failed (transport or typed error).",
+                shard=str(shard),
+            )
+            for shard in range(len(self._addresses))
+        ]
 
     @property
     def addresses(self) -> list[tuple[str, int]]:
@@ -145,19 +165,30 @@ class RemoteShardExecutor:
     # -- plumbing ------------------------------------------------------------------
 
     def _fan_out(self, num_shards: int, make_request) -> list:
-        """Submit one request per shard server, then collect every reply."""
+        """Submit one request per shard server, then collect every reply.
+
+        When a trace is active the coordinator's trace id is propagated on
+        every sub-query's envelope, and each shard server's span tree comes
+        back grafted under a ``shard-i`` span — one tree across processes.
+        """
         if num_shards != len(self._addresses):
             raise ValueError(
                 f"remote executor serves {len(self._addresses)} shard server(s) but the"
                 f" index fans out over {num_shards} shard(s); partition the collection"
                 f" with num_shards={len(self._addresses)} (see partition_rankings)"
             )
+        trace = current_trace()
+        propagated = trace.trace_id if trace is not None else None
+        start = time.perf_counter()
         pending: list[tuple[int, PendingReply]] = []
         for shard in range(num_shards):
             request: Request = make_request()
             try:
-                pending.append((shard, self._client(shard).submit(request)))
+                pending.append(
+                    (shard, self._client(shard).submit(request, trace=propagated))
+                )
             except (ConnectionError, OSError) as error:
+                self._m_errors[shard].inc()
                 self._discard(shard)
                 raise ConnectionError(
                     f"shard {shard} ({self._where(shard)}) failed: {error}"
@@ -167,12 +198,18 @@ class RemoteShardExecutor:
             try:
                 response = reply.result(self._timeout)
             except (ConnectionError, OSError, TimeoutError) as error:
+                self._m_errors[shard].inc()
                 if isinstance(error, ConnectionError):
                     self._discard(shard)
                 raise type(error)(
                     f"shard {shard} ({self._where(shard)}) failed: {error}"
                 ) from None
+            self._m_latency[shard].observe(time.perf_counter() - start)
+            if not response.ok:
+                self._m_errors[shard].inc()
             response.raise_for_error()
+            if trace is not None and response.trace is not None:
+                trace.attach_remote(f"shard-{shard}", response.trace, shard=shard)
             responses.append(response)
         return responses
 

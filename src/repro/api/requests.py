@@ -36,6 +36,8 @@ ADMIN_ACTIONS = (
     "ping",
     "collections",
     "stats",
+    "metrics",
+    "slow_queries",
     "create",
     "drop",
     "flush",
@@ -46,6 +48,9 @@ ADMIN_ACTIONS = (
 
 #: Admin actions that address one specific (live) collection.
 _COLLECTION_ADMIN_ACTIONS = ("stats", "flush", "compact", "snapshot")
+
+#: Formats an admin ``metrics`` dump may ask for.
+METRICS_FORMATS = ("json", "prometheus")
 
 #: Engines an admin ``create`` may ask for.
 COLLECTION_ENGINES = ("static", "live")
@@ -275,6 +280,13 @@ class AdminRequest(Request):
     asks a *server* to stop after replying; an in-process session simply
     acknowledges it.
 
+    ``metrics`` dumps the process metrics registry — structured JSON by
+    default, Prometheus text exposition when ``format`` is
+    ``"prometheus"`` (returned as the ``exposition`` string of the data
+    payload).  ``slow_queries`` dumps the database's slow-query ring,
+    slowest first.  Both are process-wide and ignore the collection
+    field; ``format`` is only valid on ``metrics``.
+
     ``create`` registers a new collection named by the ``collection``
     field: ``engine`` picks ``"static"`` (read-only, requires ``rankings``
     as its data) or ``"live"`` (mutable, ``rankings`` optionally seed it);
@@ -292,6 +304,7 @@ class AdminRequest(Request):
     algorithm: Optional[str] = None
     num_shards: Optional[int] = None
     cache_capacity: Optional[int] = None
+    format: Optional[str] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -309,6 +322,16 @@ class AdminRequest(Request):
                         f"admin field {name!r} only applies to action 'create', "
                         f"not {self.action!r}"
                     )
+        if self.format is not None:
+            if self.action != "metrics":
+                raise InvalidRequestError(
+                    f"admin field 'format' only applies to action 'metrics', not {self.action!r}"
+                )
+            if self.format not in METRICS_FORMATS:
+                raise InvalidRequestError(
+                    f"metrics format must be one of {', '.join(METRICS_FORMATS)}, "
+                    f"got {self.format!r}"
+                )
 
     def _validate_create(self) -> None:
         if self.engine not in COLLECTION_ENGINES:
@@ -347,7 +370,7 @@ class AdminRequest(Request):
         their PR 4 wire shape byte for byte, so v1 servers accept them.
         """
         payload: dict = {"type": self.TYPE, "collection": self.collection, "action": self.action}
-        for name in ("engine", "algorithm", "num_shards", "cache_capacity"):
+        for name in ("engine", "algorithm", "num_shards", "cache_capacity", "format"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value

@@ -12,15 +12,18 @@ A :class:`Response` is ``ok`` plus the fields the request kind fills in:
   assigned key);
 * ``batch`` — one nested envelope per query of a batch request;
 * ``data`` — admin payloads (stats dumps, collection listings, ...);
+* ``trace`` — the span tree of a traced request (opt-in via the v2
+  envelope's ``trace`` field; see :mod:`repro.obs.tracing`);
 * ``error`` — a typed :class:`ResponseError` when ``ok`` is false.
 
 Envelopes are JSON-serializable (:meth:`to_dict` / :meth:`from_dict` are
 exact inverses) and **deterministically** so: :meth:`canonical_bytes`
 serializes with sorted keys and no whitespace, and :meth:`result_bytes`
-additionally strips the ``stats`` fields (latency and cache state are the
-only parts of an answer that legitimately differ between a cache hit and a
-miss, or between a remote and an in-process call) — two answers are *the
-same* exactly when their ``result_bytes`` are equal.
+additionally strips the volatile ``stats`` and ``trace`` fields (latency,
+cache state, and span timings are the only parts of an answer that
+legitimately differ between a cache hit and a miss, or between a remote
+and an in-process call) — two answers are *the same* exactly when their
+``result_bytes`` are equal.
 """
 
 from __future__ import annotations
@@ -113,6 +116,7 @@ class Response:
     key: Optional[int] = None
     batch: Optional[tuple["Response", ...]] = None
     data: Optional[dict] = None
+    trace: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """The JSON-serializable wire payload (unset fields omitted)."""
@@ -131,6 +135,8 @@ class Response:
             payload["batch"] = [entry.to_dict() for entry in self.batch]
         if self.data is not None:
             payload["data"] = self.data
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
     @classmethod
@@ -156,6 +162,7 @@ class Response:
                 tuple(cls.from_dict(entry) for entry in batch) if batch is not None else None
             ),
             data=payload.get("data"),
+            trace=payload.get("trace"),
         )
 
     # -- determinism ---------------------------------------------------------------
@@ -165,15 +172,15 @@ class Response:
         return canonical_json(self.to_dict())
 
     def result_bytes(self) -> bytes:
-        """The answer without its volatile ``stats`` fields.
+        """The answer without its volatile ``stats`` and ``trace`` fields.
 
-        Latency and cache/planner provenance differ run to run; the rids,
-        distances, items, pagination cursor, mutation key, and error code
-        must not.  Two envelopes describe the same answer exactly when
-        their ``result_bytes`` are equal — the contract the server tests
-        hold remote execution to.
+        Latency, cache/planner provenance, and span timings differ run to
+        run; the rids, distances, items, pagination cursor, mutation key,
+        and error code must not.  Two envelopes describe the same answer
+        exactly when their ``result_bytes`` are equal — the contract the
+        server tests hold remote execution to.
         """
-        return canonical_json(_strip_stats(self.to_dict()))
+        return canonical_json(_strip_volatile(self.to_dict()))
 
     # -- convenience ---------------------------------------------------------------
 
@@ -207,11 +214,18 @@ class Response:
         raise exception_type(error.message)
 
 
-def _strip_stats(payload: Any) -> Any:
+_VOLATILE_KEYS = frozenset({"stats", "trace"})
+
+
+def _strip_volatile(payload: Any) -> Any:
     if isinstance(payload, dict):
-        return {key: _strip_stats(value) for key, value in payload.items() if key != "stats"}
+        return {
+            key: _strip_volatile(value)
+            for key, value in payload.items()
+            if key not in _VOLATILE_KEYS
+        }
     if isinstance(payload, list):
-        return [_strip_stats(entry) for entry in payload]
+        return [_strip_volatile(entry) for entry in payload]
     return payload
 
 

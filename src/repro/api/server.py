@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import socketserver
 import threading
+from dataclasses import replace
 from typing import Optional
 
-from repro.api.database import Database
+from repro.api.database import Database, Session
 from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameError,
+    FrameTooLargeError,
     InboundFrame,
     classify_frame,
     hello_data,
@@ -46,6 +48,8 @@ from repro.api.protocol import (
     write_frame,
 )
 from repro.api.responses import Response, ResponseError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Trace, use_trace
 
 #: Host the server binds by default (loopback: serving is opt-in).
 DEFAULT_HOST = "127.0.0.1"
@@ -92,6 +96,94 @@ def is_shutdown_payload(payload: Optional[dict]) -> bool:
     )
 
 
+class ServerMetrics:
+    """Per-transport wire counters, shared by both server implementations.
+
+    One instance per server; ``transport`` labels the samples so the two
+    transports (``threaded``, ``asyncio``) stay distinguishable when both
+    run in one process (the CLI never does, tests do).
+    """
+
+    def __init__(self, transport: str) -> None:
+        registry = get_registry()
+        self.connections = registry.counter(
+            "repro_server_connections_total",
+            "Client connections accepted.",
+            transport=transport,
+        )
+        self.frames_in = registry.counter(
+            "repro_server_frames_total",
+            "Wire frames processed.",
+            transport=transport,
+            direction="in",
+        )
+        self.frames_out = registry.counter(
+            "repro_server_frames_total",
+            "Wire frames processed.",
+            transport=transport,
+            direction="out",
+        )
+        self.bytes_in = registry.counter(
+            "repro_server_bytes_total",
+            "Wire bytes moved, frame headers included.",
+            transport=transport,
+            direction="in",
+        )
+        self.bytes_out = registry.counter(
+            "repro_server_bytes_total",
+            "Wire bytes moved, frame headers included.",
+            transport=transport,
+            direction="out",
+        )
+        self.oversized = registry.counter(
+            "repro_server_oversized_total",
+            "Frames refused for exceeding the frame limit.",
+            transport=transport,
+        )
+
+
+class _CountingStream:
+    """File-object proxy totalling the bytes moved into a counter."""
+
+    def __init__(self, stream, counter) -> None:
+        self._stream = stream
+        self._counter = counter
+
+    def read(self, size: int = -1):
+        data = self._stream.read(size)
+        if data:
+            self._counter.inc(len(data))
+        return data
+
+    def write(self, data) -> int:
+        written = self._stream.write(data)
+        self._counter.inc(len(data))
+        return written
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+
+def execute_frame(session: Session, frame: InboundFrame) -> Response:
+    """Dispatch one classified request frame, honouring its trace opt-in.
+
+    Untraced frames (every v1 frame, and v2 envelopes without ``trace``)
+    go straight to the session.  Traced frames get a :class:`Trace` —
+    carrying the propagated id when the client sent one — installed for
+    the dispatch, a root ``request:<kind>`` span, and the span tree
+    attached to the response.  Both servers call this, so tracing works
+    identically on either transport.
+    """
+    assert frame.payload is not None
+    if not frame.traced:
+        return session.execute(frame.payload)
+    trace = Trace(frame.trace if isinstance(frame.trace, str) else None)
+    with use_trace(trace):
+        with trace.span(f"request:{frame.payload.get('type', frame.kind)}"):
+            response = session.execute(frame.payload)
+    return replace(response, trace=trace.to_dict())
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One client connection: a frame loop over a dedicated session."""
 
@@ -106,10 +198,16 @@ class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         session = self.server.database.session()
         limit = self.server.max_frame_bytes
+        metrics = self.server.metrics
+        metrics.connections.inc()
+        self._counted_rfile = _CountingStream(self.rfile, metrics.bytes_in)
+        self._counted_wfile = _CountingStream(self.wfile, metrics.bytes_out)
         while not self.server.stopping:
             try:
-                payload = read_frame(self.rfile, limit)
+                payload = read_frame(self._counted_rfile, limit)
             except FrameError as error:
+                if isinstance(error, FrameTooLargeError):
+                    metrics.oversized.inc()
                 self._try_reply(
                     Response(
                         ok=False, error=ResponseError(code="protocol", message=str(error))
@@ -120,6 +218,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if payload is None:  # client hung up cleanly
                 return
+            metrics.frames_in.inc()
             frame = classify_frame(payload)
             if frame.version == 2 and frame.error is not None:
                 if not self._try_reply(envelope_error_payload(frame)):
@@ -130,13 +229,15 @@ class _Handler(socketserver.StreamRequestHandler):
                     return
                 continue
             assert frame.payload is not None
-            response = session.execute(frame.payload)
+            response = execute_frame(session, frame)
             reply = response.to_dict()
             if frame.version == 2:
                 reply = response_envelope(frame.request_id, reply)
             try:
-                write_frame(self.wfile, reply, limit)
+                write_frame(self._counted_wfile, reply, limit)
+                metrics.frames_out.inc()
             except FrameError as error:
+                metrics.oversized.inc()
                 # the answer itself is too large for one frame: tell the
                 # client (the error envelope is small) instead of vanishing.
                 # With a v2 correlation id only that request fails and the
@@ -157,7 +258,8 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def _try_reply(self, payload: dict) -> bool:
         try:
-            write_frame(self.wfile, payload, self.server.max_frame_bytes)
+            write_frame(self._counted_wfile, payload, self.server.max_frame_bytes)
+            self.server.metrics.frames_out.inc()
             return True
         except (FrameError, OSError):
             return False
@@ -171,6 +273,7 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _Handler)
         self.database = database
         self.max_frame_bytes = max_frame_bytes
+        self.metrics = ServerMetrics("threaded")
         self.stopping = False
         self._loop_lock = threading.Lock()
         self._loop_started = False

@@ -167,6 +167,25 @@ class ExecutorSurface:
         assert response.data is not None
         return response.data
 
+    def metrics(self, format: Optional[str] = None) -> dict:
+        """The process metrics registry behind this surface.
+
+        ``format=None``/``"json"`` returns the structured snapshot;
+        ``"prometheus"`` returns ``{"exposition": "<text>"}`` with the
+        scrape-ready text exposition.
+        """
+        response = self.execute(
+            AdminRequest(action="metrics", format=format)
+        ).raise_for_error()
+        assert response.data is not None
+        return response.data
+
+    def slow_queries(self) -> list[dict]:
+        """The database's slowest requests so far, slowest first."""
+        response = self._admin("slow_queries", DEFAULT_COLLECTION)
+        assert response.data is not None
+        return list(response.data["slow_queries"])
+
     def flush(self, collection: str = DEFAULT_COLLECTION) -> Optional[int]:
         """Seal a live collection's memtable; returns the segment id."""
         response = self._admin("flush", collection)

@@ -33,9 +33,13 @@ Subcommands
     ``--protocol``) and issue one request: a range query (``--query``), a
     k-NN query (``--query`` + ``--knn``), a mutation (``--insert`` /
     ``--delete`` / ``--upsert``), or an admin action (``--admin
-    ping|collections|stats|create|drop|flush|compact|snapshot|shutdown``
-    — ``create`` takes ``--engine static|live`` plus optionally
-    ``--rankings``, ``--shards``, ``--algorithm``).
+    ping|collections|stats|metrics|slow_queries|create|drop|flush|compact|
+    snapshot|shutdown`` — ``create`` takes ``--engine static|live`` plus
+    optionally ``--rankings``, ``--shards``, ``--algorithm``).  ``--trace``
+    asks the server to trace a query and prints the span tree it returns;
+    ``--admin metrics --format prometheus`` prints scrape-ready text
+    exposition; ``--admin slow_queries`` prints the N slowest requests
+    with their span trees.
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -60,8 +64,10 @@ from repro.api import (
     DatabaseServer,
     RemoteShardExecutor,
 )
+from repro.api.requests import KnnRequest, RangeQueryRequest
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.core.errors import ReproError
+from repro.obs.tracing import span_tree_lines
 from repro.core.ranking import Ranking
 from repro.algorithms.registry import (
     COMPARISON_ALGORITHMS,
@@ -308,6 +314,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument("--limit", type=int, default=20, help="print at most this many matches")
     client.add_argument("--timeout", type=float, default=10.0, help="socket timeout (seconds)")
+    client.add_argument(
+        "--trace", action="store_true",
+        help="ask the server to trace the request and print its span tree"
+        " (protocol v2 only; silently dropped on a v1 connection)",
+    )
+    client.add_argument(
+        "--format", choices=("json", "prometheus"), default=None,
+        help="for '--admin metrics': structured JSON (default) or Prometheus"
+        " text exposition",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", choices=sorted(_FIGURES))
@@ -795,24 +811,32 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
     mask — a server failure.  Error envelopes are reported to stderr
     immediately.
     """
+    trace = True if args.trace else None
     if args.query is not None:
         items = _parse_query_items(args.query)
         if args.knn > 0:
-            response = client.knn(
-                items, args.knn, collection=args.collection, algorithm=args.algorithm
+            request = KnnRequest(
+                collection=args.collection, items=tuple(items), k=args.knn,
+                algorithm=args.algorithm,
             )
         else:
             # server-side pagination: only the asked-for page crosses the wire
-            response = client.range_query(
-                items, args.theta, collection=args.collection,
+            request = RangeQueryRequest(
+                collection=args.collection, items=tuple(items), theta=args.theta,
                 algorithm=args.algorithm, limit=args.limit,
             )
+        response = client.execute(request, trace=trace)
         if not response.ok:
             print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
             return 1, []
         lines = _match_lines(response, args.limit)
         if response.cursor is not None:
             lines.append(f"... more matches beyond --limit {args.limit} (cursor={response.cursor})")
+        if args.trace:
+            if response.trace is not None:
+                lines.extend(span_tree_lines(response.trace))
+            else:
+                lines.append("(no trace: the connection fell back to protocol v1)")
         return 0, lines
     if args.insert is not None:
         key = client.insert(_parse_query_items(args.insert), collection=args.collection)
@@ -837,6 +861,10 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
                 num_shards=args.shards,
             )
         )
+    elif args.admin == "metrics":
+        response = client.execute(
+            AdminRequest(action="metrics", format=args.format), trace=trace
+        )
     else:
         response = client.execute(
             {"type": "admin", "action": args.admin, "collection": args.collection}
@@ -844,7 +872,32 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
     if not response.ok:
         print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
         return 1, []
+    if args.admin == "metrics" and args.format == "prometheus":
+        # scrape-ready output: the exposition text, nothing else
+        return 0, [str((response.data or {}).get("exposition", ""))]
+    if args.admin == "slow_queries":
+        return 0, _slow_query_lines(response.data or {})
     return 0, [json.dumps(response.data, indent=2, sort_keys=True)]
+
+
+def _slow_query_lines(data: dict) -> list[str]:
+    """Human-readable slow-query report: one header per entry + span trees."""
+    entries = data.get("slow_queries", [])
+    if not entries:
+        return [f"slow-query log empty (capacity {data.get('capacity', '?')})"]
+    lines = [f"{len(entries)} slow quer(ies), slowest first (capacity {data.get('capacity', '?')})"]
+    for position, entry in enumerate(entries, start=1):
+        header = (
+            f"[{position:2d}] {entry.get('kind', '?'):6s} on {entry.get('collection', '?')!r}"
+            f"  {float(entry.get('wall_seconds', 0.0)) * 1000.0:8.2f}ms"
+            f"  results={entry.get('results', 0)}"
+        )
+        if entry.get("algorithm"):
+            header += f"  via {entry['algorithm']} ({entry.get('planner_source') or '?'})"
+        lines.append(header)
+        if entry.get("trace"):
+            lines.extend("  " + line for line in span_tree_lines(entry["trace"]))
+    return lines
 
 
 def _command_client(args: argparse.Namespace) -> int:
@@ -860,6 +913,9 @@ def _command_client(args: argparse.Namespace) -> int:
                 return 2
     if args.upsert is not None and args.items is None:
         print("error: --upsert needs --items", file=sys.stderr)
+        return 2
+    if args.format is not None and args.admin != "metrics":
+        print("error: --format only applies to '--admin metrics'", file=sys.stderr)
         return 2
     try:
         client = Client(args.host, args.port, timeout=args.timeout, protocol=args.protocol)

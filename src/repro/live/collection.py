@@ -72,6 +72,8 @@ from repro.live.memtable import MemTable, scan_entries, top_entries
 from repro.live.segment import Segment
 from repro.live.tombstones import TombstoneSet
 from repro.live.wal import WalRecord, WriteAheadLog
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import trace_span
 from repro.service.sharding import ShardedIndex
 
 #: File names used inside a persistence directory.
@@ -113,7 +115,32 @@ class LiveStats:
         return self.inserts + self.deletes + self.upserts
 
     def as_dict(self) -> dict:
-        """Flat dictionary view for logs and reports."""
+        """Normalised dictionary view for logs and admin requests.
+
+        Mirrors :meth:`repro.service.recording.EngineStats.as_dict` —
+        snake_case keys grouped one level deep by category, integer
+        counters — so a metrics exporter maps static and live stats with
+        the same code.  The pre-normalisation flat shape survives as
+        :meth:`as_flat_dict`.
+        """
+        return {
+            "mutations": {
+                "total": self.mutations,
+                "inserts": self.inserts,
+                "deletes": self.deletes,
+                "upserts": self.upserts,
+            },
+            "maintenance": {
+                "flushes": self.flushes,
+                "compactions": self.compactions,
+                "snapshots": self.snapshots,
+                "replayed": self.replayed,
+            },
+            "durability": {"mode": self.durability},
+        }
+
+    def as_flat_dict(self) -> dict:
+        """Compatibility shim: the flat pre-PR-6 key layout."""
         return {
             "inserts": self.inserts,
             "deletes": self.deletes,
@@ -217,6 +244,19 @@ class LiveCollection:
         self._replaying = False
         self._stats = LiveStats(
             durability=wal.durability if wal is not None else "in-memory"
+        )
+        registry = get_registry()
+        self._m_mutations = {
+            op: registry.counter(
+                "repro_live_mutations_total", "Accepted live-store mutations.", op=op
+            )
+            for op in ("insert", "delete", "upsert")
+        }
+        self._m_flushes = registry.counter(
+            "repro_live_flushes_total", "Memtable seals into immutable segments."
+        )
+        self._m_snapshots = registry.counter(
+            "repro_live_snapshots_total", "Checkpoints (manual or policy-triggered)."
         )
         self._compactor = Compactor(self, background=background_compaction)
 
@@ -397,6 +437,7 @@ class LiveCollection:
             if self._wal is not None:
                 self._wal_records = self._wal.truncate_through(self._covered_seq)
             self._stats.snapshots += 1
+            self._m_snapshots.inc()
         return self._directory / MANIFEST_FILENAME
 
     def _export_snapshot(self, target_dir: Path) -> Path:
@@ -412,6 +453,7 @@ class LiveCollection:
                 base=base_filename(0) if entries else None,
             )
             self._stats.snapshots += 1
+            self._m_snapshots.inc()
         target_dir.mkdir(parents=True, exist_ok=True)
         if entries:
             keys = tuple(key for key, _ in entries)
@@ -632,6 +674,7 @@ class LiveCollection:
         self._next_key = max(self._next_key, key + 1)
         self._version += 1
         self._stats.inserts += 1
+        self._m_mutations["insert"].inc()
 
     def _do_delete(self, key: int) -> None:
         location = self._current.pop(key)
@@ -641,6 +684,7 @@ class LiveCollection:
             self._tombstones.add(location)
         self._version += 1
         self._stats.deletes += 1
+        self._m_mutations["delete"].inc()
 
     def _do_upsert(self, key: int, ranking: Ranking) -> None:
         if self._k is None:
@@ -653,6 +697,7 @@ class LiveCollection:
         self._next_key = max(self._next_key, key + 1)
         self._version += 1
         self._stats.upserts += 1
+        self._m_mutations["upsert"].inc()
 
     def _apply_record(self, record: WalRecord, tolerant: bool = False) -> None:
         """Re-apply one durable mutation during replay (no re-logging).
@@ -726,6 +771,7 @@ class LiveCollection:
             self._current[key] = ("seg", segment_id, local_rid)
         self._version += 1
         self._stats.flushes += 1
+        self._m_flushes.inc()
         if self._directory is not None:
             filename = segment_filename(segment_id)
             segment.save(self._directory / filename)
@@ -789,21 +835,26 @@ class LiveCollection:
         stats = SearchStats()
         result = SearchResult(query=query, theta=theta, algorithm=f"live:{algorithm}")
         if base is not None:
-            base_answer = base.range_query(query, theta, algorithm, **kwargs)
+            with trace_span("live:base", size=len(base_keys)):
+                base_answer = base.range_query(query, theta, algorithm, **kwargs)
             stats.merge(base_answer.stats)
             for match in base_answer.matches:
                 if ("base", base_epoch, match.rid) not in tombstones:
                     result.add(base_keys[match.rid], match.ranking, match.distance)
-        for segment_id, segment, _ in segments:
-            segment_answer = segment.search(query, theta, algorithm, **kwargs)
-            stats.merge(segment_answer.stats)
-            for match in segment_answer.matches:
-                if ("seg", segment_id, match.rid) not in tombstones:
-                    result.add(segment.keys[match.rid], segment.rankings[match.rid], match.distance)
+        with trace_span("live:segments", count=len(segments)):
+            for segment_id, segment, _ in segments:
+                segment_answer = segment.search(query, theta, algorithm, **kwargs)
+                stats.merge(segment_answer.stats)
+                for match in segment_answer.matches:
+                    if ("seg", segment_id, match.rid) not in tombstones:
+                        result.add(
+                            segment.keys[match.rid], segment.rankings[match.rid], match.distance
+                        )
         if memtable_entries:
             stats.distance_calls += len(memtable_entries)
-            for distance, key, ranking in scan_entries(memtable_entries, query, theta):
-                result.add(key, ranking, distance)
+            with trace_span("live:memtable", scanned=len(memtable_entries)):
+                for distance, key, ranking in scan_entries(memtable_entries, query, theta):
+                    result.add(key, ranking, distance)
         stats.extra["segments_queried"] = float(len(segments))
         stats.extra["memtable_scanned"] = float(len(memtable_entries))
         result.stats = stats
@@ -835,9 +886,10 @@ class LiveCollection:
         candidates: list[tuple[float, int, Ranking]] = []
         if base is not None:
             target = min(n_neighbours + base_dead, len(base_keys))
-            base_answer = base.knn(
-                query, target, algorithm, initial_theta=initial_theta, growth=growth, **kwargs
-            )
+            with trace_span("live:base", size=len(base_keys)):
+                base_answer = base.knn(
+                    query, target, algorithm, initial_theta=initial_theta, growth=growth, **kwargs
+                )
             stats.merge(base_answer.stats)
             live = [
                 (neighbour.distance, base_keys[neighbour.rid], neighbour.ranking)
@@ -845,21 +897,23 @@ class LiveCollection:
                 if ("base", base_epoch, neighbour.rid) not in tombstones
             ]
             candidates.extend(live[:n_neighbours])
-        for segment_id, segment, segment_dead in segments:
-            target = min(n_neighbours + segment_dead, len(segment))
-            top, segment_stats = segment.top(
-                query, target, algorithm, initial_theta=initial_theta, growth=growth, **kwargs
-            )
-            stats.merge(segment_stats)
-            live = [
-                (distance, segment.keys[local_rid], segment.rankings[local_rid])
-                for distance, local_rid in top
-                if ("seg", segment_id, local_rid) not in tombstones
-            ]
-            candidates.extend(live[:n_neighbours])
+        with trace_span("live:segments", count=len(segments)):
+            for segment_id, segment, segment_dead in segments:
+                target = min(n_neighbours + segment_dead, len(segment))
+                top, segment_stats = segment.top(
+                    query, target, algorithm, initial_theta=initial_theta, growth=growth, **kwargs
+                )
+                stats.merge(segment_stats)
+                live = [
+                    (distance, segment.keys[local_rid], segment.rankings[local_rid])
+                    for distance, local_rid in top
+                    if ("seg", segment_id, local_rid) not in tombstones
+                ]
+                candidates.extend(live[:n_neighbours])
         if memtable_entries:
             stats.distance_calls += len(memtable_entries)
-            candidates.extend(top_entries(memtable_entries, query, n_neighbours))
+            with trace_span("live:memtable", scanned=len(memtable_entries)):
+                candidates.extend(top_entries(memtable_entries, query, n_neighbours))
         best = heapq.nsmallest(n_neighbours, candidates, key=lambda entry: entry[:2])
         neighbours = [
             Neighbour(distance=distance, rid=key, ranking=ranking)

@@ -31,8 +31,11 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Optional
 
+import time
+
 from repro.core.ranking import RankingSet
 from repro.live.manifest import base_filename, write_run
+from repro.obs.metrics import get_registry
 from repro.service.sharding import ShardedIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -55,6 +58,13 @@ class Compactor:
     def __init__(self, collection: "LiveCollection", background: bool = False) -> None:
         self._collection = collection
         self._background = background
+        registry = get_registry()
+        self._m_runs = registry.counter(
+            "repro_compactions_total", "Compaction runs that actually merged layers."
+        )
+        self._m_seconds = registry.histogram(
+            "repro_compaction_seconds", "Wall time of one compaction run."
+        )
         self._running = False
         self._idle = threading.Event()  # cleared while a run (any mode) is in flight
         self._idle.set()
@@ -123,6 +133,14 @@ class Compactor:
     # -- the merge -----------------------------------------------------------------
 
     def _compact(self) -> bool:
+        started = time.perf_counter()
+        ran = self._compact_inner()
+        if ran:
+            self._m_runs.inc()
+            self._m_seconds.observe(time.perf_counter() - started)
+        return ran
+
+    def _compact_inner(self) -> bool:
         collection = self._collection
         # 1. snapshot the immutable layers under the lock
         with collection._lock:

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.core.errors import ReproError
+from repro.obs.metrics import COUNT_BUCKETS, get_registry
 
 #: The mutation kinds a WAL record may carry.
 WAL_OPERATIONS = ("insert", "delete", "upsert")
@@ -178,6 +179,21 @@ class WriteAheadLog:
         self._appended_seq = 0
         self._durable_seq = 0
         self._commits = 0
+        registry = get_registry()
+        self._m_appends = registry.counter(
+            "repro_wal_appends_total", "Mutation records appended to the WAL.",
+            durability=self._durability,
+        )
+        self._m_commits = registry.counter(
+            "repro_wal_commits_total", "fsync barriers issued (per record or per batch).",
+            durability=self._durability,
+        )
+        self._m_batch = registry.histogram(
+            "repro_wal_commit_batch_records",
+            "Records made durable by one fsync barrier.",
+            buckets=COUNT_BUCKETS,
+            durability=self._durability,
+        )
 
     @property
     def path(self) -> Path:
@@ -227,6 +243,7 @@ class WriteAheadLog:
         self._handle.write(record.to_json() + "\n")
         self._handle.flush()
         self._appended_seq = record.seq
+        self._m_appends.inc()
         if self._durability == "fsync":
             self._commit()
             return
@@ -258,10 +275,14 @@ class WriteAheadLog:
     def _commit(self) -> None:
         """``fsync`` the handle and account the batch as durable."""
         os.fsync(self._handle.fileno())
+        batch = self._appended_seq - self._durable_seq
         self._durable_seq = self._appended_seq
         self._pending = 0
         self._batch_started = None
         self._commits += 1
+        self._m_commits.inc()
+        if batch > 0:
+            self._m_batch.observe(batch)
 
     def _open_for_append(self) -> None:
         created_parent = not self._path.parent.exists()

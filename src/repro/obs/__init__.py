@@ -1,0 +1,62 @@
+"""Observability: metrics registry, request tracing, and the slow-query log.
+
+This package is dependency-free and sits *below* the service/live/api
+layers — anything may import it, it imports nothing of the serving stack.
+Three pillars:
+
+:mod:`repro.obs.metrics`
+    Thread-safe Counter/Gauge/Histogram families in a process-default
+    :class:`~repro.obs.metrics.MetricsRegistry`, with Prometheus text
+    exposition (:func:`~repro.obs.metrics.render_prometheus`).
+:mod:`repro.obs.tracing`
+    Per-request :class:`~repro.obs.tracing.Trace` span trees propagated
+    via contextvars and, over the wire, via the v2 envelope ``trace``
+    field — remote shard fan-outs come back with child spans from each
+    shard server.
+:mod:`repro.obs.slowlog`
+    A bounded :class:`~repro.obs.slowlog.SlowQueryLog` of the N slowest
+    requests, span trees included, served by ``admin slow_queries``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    current_trace,
+    new_trace_id,
+    record_span,
+    span_tree_lines,
+    trace_span,
+    use_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Trace",
+    "current_trace",
+    "get_registry",
+    "new_trace_id",
+    "record_span",
+    "render_prometheus",
+    "set_registry",
+    "span_tree_lines",
+    "trace_span",
+    "use_trace",
+]

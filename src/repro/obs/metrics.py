@@ -1,0 +1,387 @@
+"""Dependency-free metrics primitives with Prometheus text exposition.
+
+The serving stack already records plenty of numbers — cache hit counters,
+WAL durability fields, per-request latencies — but each subsystem kept them
+in its own shape, reachable only through its own objects.  This module is
+the uniform layer underneath: a process-wide :class:`MetricsRegistry` of
+named :class:`Counter` / :class:`Gauge` / :class:`Histogram` families that
+any component can write to cheaply and any admin surface can snapshot.
+
+Design points
+-------------
+* **No dependencies.**  The exposition format is the Prometheus text
+  format, emitted by :func:`render_prometheus`, so a scrape of
+  ``admin metrics`` drops straight into standard tooling — but nothing
+  here imports anything outside the standard library.
+* **Handles, not lookups.**  ``registry.counter(name, **labels)`` is
+  get-or-create and returns a stable handle; hot paths resolve their
+  handles once (usually at construction) and then pay only an uncontended
+  lock acquire per update.
+* **A process default.**  Components instrument themselves against
+  :func:`get_registry` so one scrape sees the whole process — every
+  engine, cache, WAL, and server in it.  Tests and benchmarks can swap
+  the default with :func:`set_registry`; a registry built with
+  ``enabled=False`` hands out shared no-op metrics, which is how
+  ``bench_server_qps.py --obs`` measures instrumentation overhead.
+
+Label values become part of the family's child key, exactly like the
+Prometheus client libraries: ``counter("x_total", shard="0")`` and
+``counter("x_total", shard="1")`` are two samples of one family.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "render_prometheus",
+    "set_registry",
+]
+
+#: Fixed latency buckets (seconds) shared by every duration histogram, so
+#: per-shard, per-kind, and per-server latencies are directly comparable.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Buckets for small integer quantities (batch sizes, fan-out widths).
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: A child key: the sorted ``(label, value)`` pairs of one sample.
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name: {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (events since process start)."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (sizes, depths, temperatures)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram over fixed upper bounds.
+
+    ``observe(v)`` increments every bucket whose upper bound is >= ``v``
+    at snapshot time (counts are stored per-bucket and accumulated on
+    export, which keeps the hot path to one index + two adds).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or sorted(bounds) != list(bounds):
+            raise ValueError(f"buckets must be non-empty and sorted, got {buckets!r}")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def buckets(self) -> dict[str, int]:
+        """Cumulative ``{upper_bound_label: count}`` view, ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            cumulative[format_number(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return cumulative
+
+
+class _NullMetric:
+    """Shared no-op standing in for every metric of a disabled registry."""
+
+    kind = "null"
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def buckets(self) -> dict[str, int]:
+        return {"+Inf": 0}
+
+
+_NULL_METRIC = _NullMetric()
+
+_Metric = Union[Counter, Gauge, Histogram, _NullMetric]
+
+
+class _Family:
+    """One named metric family: shared type/help, one child per label set."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: dict[_LabelKey, _Metric] = {}
+
+
+class MetricsRegistry:
+    """Thread-safe, name-addressed collection of metric families.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every accessor returns a shared no-op metric and
+        the registry records nothing — the knob benchmarks flip to price
+        the instrumentation itself.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def _child(self, name: str, kind: str, help_text: str, labels: dict[str, str],
+               factory) -> _Metric:
+        if not self._enabled:
+            return _NULL_METRIC
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(name, kind, help_text)
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, not {kind}"
+                )
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = factory()
+                if help_text and not family.help:
+                    family.help = help_text
+            return child
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter ``name{**labels}``."""
+        return self._child(name, "counter", help, labels, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge ``name{**labels}``."""
+        return self._child(name, "gauge", help, labels, Gauge)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram ``name{**labels}``."""
+        bounds = DEFAULT_LATENCY_BUCKETS if buckets is None else buckets
+        return self._child(  # type: ignore[return-value]
+            name, "histogram", help, labels, lambda: Histogram(bounds)
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every family, sample, and bucket.
+
+        The shape round-trips through the wire protocol and is what
+        :func:`render_prometheus` consumes, so a client can scrape the
+        structured form and render the text form locally.
+        """
+        with self._lock:
+            families = [
+                (family, list(family.children.items()))
+                for family in self._families.values()
+            ]
+        payload = []
+        for family, children in sorted(families, key=lambda pair: pair[0].name):
+            samples = []
+            for key, child in sorted(children, key=lambda pair: pair[0]):
+                sample: dict = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    sample["buckets"] = child.buckets()
+                    sample["sum"] = child.sum
+                    sample["count"] = child.count
+                else:
+                    sample["value"] = child.value
+                samples.append(sample)
+            payload.append(
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "samples": samples,
+                }
+            )
+        return {"metrics": payload}
+
+    def render_prometheus(self) -> str:
+        """The registry's current state in Prometheus text format."""
+        return render_prometheus(self.snapshot())
+
+    def reset(self) -> None:
+        """Drop every family (test isolation)."""
+        with self._lock:
+            self._families.clear()
+
+
+def format_number(value: float) -> str:
+    """Prometheus-style number: integral values lose the trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str], extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = list(labels.items())
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as exposition text.
+
+    Standalone so clients can render a snapshot fetched over the wire
+    without holding the registry that produced it.
+    """
+    lines: list[str] = []
+    for family in snapshot.get("metrics", []):
+        name, kind = family["name"], family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for bound, count in sample["buckets"].items():
+                    lines.append(
+                        f"{name}_bucket{_render_labels(labels, ('le', bound))} {count}"
+                    )
+                lines.append(f"{name}_sum{_render_labels(labels)} {format_number(sample['sum'])}")
+                lines.append(f"{name}_count{_render_labels(labels)} {sample['count']}")
+            else:
+                lines.append(f"{name}{_render_labels(labels)} {format_number(sample['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-default registry every subsystem instruments against.
+_DEFAULT_REGISTRY = MetricsRegistry()
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default registry (what ``admin metrics`` exposes)."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default; returns the previous one (restore it!)."""
+    global _DEFAULT_REGISTRY
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_REGISTRY
+        _DEFAULT_REGISTRY = registry
+        return previous

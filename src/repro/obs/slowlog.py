@@ -1,0 +1,117 @@
+"""Bounded log of the slowest requests a database has served.
+
+Percentile latency metrics say *that* requests were slow; the slow-query
+log says *which* requests, and — when the request was traced — *where the
+time went*.  :class:`SlowQueryLog` keeps the N slowest requests seen so
+far (a min-heap keyed on wall time, so a fast request never displaces a
+slow one), each entry carrying the request kind, collection, wall time,
+planner provenance, and the span tree if one was recorded.
+
+The log lives on the :class:`~repro.api.database.Database` and is fed by
+the session dispatch loop, so it sees every request regardless of which
+transport (in-process, threaded TCP, asyncio TCP) delivered it.  The
+``admin slow_queries`` request returns :meth:`SlowQueryLog.entries` over
+the wire, slowest first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+#: Default number of slow requests retained.
+DEFAULT_SLOWLOG_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One slow request: what it was, how long it took, where time went."""
+
+    kind: str
+    collection: str
+    wall_seconds: float
+    algorithm: str = ""
+    planner_source: str = ""
+    results: int = 0
+    trace_id: str = ""
+    trace: Optional[dict] = None
+    unix_time: float = field(default_factory=time.time)
+
+    def as_dict(self) -> dict:
+        """JSON-able view for the ``admin slow_queries`` response."""
+        payload: dict = {
+            "kind": self.kind,
+            "collection": self.collection,
+            "wall_seconds": self.wall_seconds,
+            "algorithm": self.algorithm,
+            "planner_source": self.planner_source,
+            "results": self.results,
+            "unix_time": self.unix_time,
+        }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
+
+
+class SlowQueryLog:
+    """Thread-safe keeper of the N slowest requests.
+
+    Parameters
+    ----------
+    capacity:
+        Number of entries retained; ``0`` disables the log entirely.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SLOWLOG_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        # heap of (wall_seconds, seq, entry); smallest wall time at the root
+        self._heap: list[tuple[float, int, SlowQueryEntry]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def record(self, entry: SlowQueryEntry) -> bool:
+        """Offer one request; returns whether it was retained."""
+        if self._capacity == 0:
+            return False
+        item = (entry.wall_seconds, next(self._seq), entry)
+        with self._lock:
+            if len(self._heap) < self._capacity:
+                heapq.heappush(self._heap, item)
+                return True
+            if entry.wall_seconds <= self._heap[0][0]:
+                return False
+            heapq.heapreplace(self._heap, item)
+            return True
+
+    def entries(self, limit: Optional[int] = None) -> list[SlowQueryEntry]:
+        """The retained requests, slowest first."""
+        with self._lock:
+            ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        entries = [item[2] for item in ordered]
+        return entries if limit is None else entries[:limit]
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._lock:
+            self._heap.clear()
+
+    def __repr__(self) -> str:
+        return f"SlowQueryLog(capacity={self._capacity}, size={len(self)})"

@@ -1,0 +1,233 @@
+"""Request tracing: one :class:`Trace` per request, spans at every boundary.
+
+A trace is created at the protocol boundary (or explicitly, for in-process
+callers), installed as the *current trace* for the duration of the request,
+and carried back to the client as a ``trace`` block on the response.  Code
+along the request path never threads a trace argument around — it calls the
+module-level helpers, which no-op when no trace is active:
+
+``trace_span(name, **attrs)``
+    Context manager timing a block as a child of the innermost open span.
+``record_span(name, duration_seconds, **attrs)``
+    After-the-fact span for work whose duration was measured elsewhere
+    (per-shard fan-out latencies collected from worker results).
+``current_trace()``
+    The active :class:`Trace`, or ``None``.
+
+Timings are monotonic (``time.perf_counter``), stored as offsets from the
+trace's start so span trees from different processes line up relatively.
+Remote child spans — a shard server's own trace block — are grafted under
+the calling span with :meth:`Trace.attach_remote`, which is how a traced
+2-shard k-NN query comes back with one tree spanning three processes.
+
+Propagation uses :mod:`contextvars`, so the asyncio server's per-connection
+tasks and the threaded server's per-connection threads each see their own
+current trace.  Spans opened from *other* threads (fan-out workers) should
+use :func:`record_span` from the collecting thread instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "Trace",
+    "current_trace",
+    "new_trace_id",
+    "record_span",
+    "span_tree_lines",
+    "trace_span",
+    "use_trace",
+]
+
+#: Maximum accepted length of a client-supplied trace id.
+MAX_TRACE_ID_LENGTH = 64
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation inside a trace (children nest beneath it)."""
+
+    __slots__ = ("name", "start_seconds", "duration_seconds", "attrs", "children")
+
+    def __init__(self, name: str, start_seconds: float, **attrs: Any) -> None:
+        self.name = name
+        self.start_seconds = start_seconds
+        self.duration_seconds: Optional[float] = None  # None while still open
+        self.attrs = attrs
+        self.children: list[Span] = []
+
+    def to_dict(self, now_offset: Optional[float] = None) -> dict:
+        """JSON-able span tree; open spans report their duration so far."""
+        duration = self.duration_seconds
+        if duration is None:
+            duration = 0.0 if now_offset is None else max(0.0, now_offset - self.start_seconds)
+        payload: dict = {
+            "name": self.name,
+            "start_ms": round(self.start_seconds * 1000.0, 3),
+            "duration_ms": round(duration * 1000.0, 3),
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [child.to_dict(now_offset) for child in self.children]
+        return payload
+
+
+class Trace:
+    """A request's span tree plus the id correlating it across processes.
+
+    Thread-safe for the operations the serving path needs: the request
+    thread opens/closes spans; collector code records after-the-fact spans
+    and grafts remote trees.  The *innermost open span* is tracked as a
+    stack, so ``trace.span(...)`` blocks nest naturally.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self._t0 = time.perf_counter()
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._lock = threading.Lock()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` block."""
+        span = Span(name, self._now(), **attrs)
+        with self._lock:
+            self._attach(span)
+            self._stack.append(span)
+        try:
+            yield span
+        finally:
+            with self._lock:
+                span.duration_seconds = self._now() - span.start_seconds
+                if self._stack and self._stack[-1] is span:
+                    self._stack.pop()
+                elif span in self._stack:  # closed out of order; drop through to it
+                    del self._stack[self._stack.index(span):]
+
+    def record_span(self, name: str, duration_seconds: float, **attrs: Any) -> Span:
+        """Add a closed span whose duration was measured elsewhere."""
+        end = self._now()
+        span = Span(name, max(0.0, end - max(0.0, duration_seconds)), **attrs)
+        span.duration_seconds = max(0.0, duration_seconds)
+        with self._lock:
+            self._attach(span)
+        return span
+
+    def attach_remote(self, name: str, remote: dict, **attrs: Any) -> Span:
+        """Graft a remote trace block under the innermost open span.
+
+        ``remote`` is another process's ``Trace.to_dict()`` — typically a
+        shard server's response trace.  Its root spans become children of
+        a wrapper span named ``name``; the wrapper's duration is the
+        remote's own root-span total, so the tree keeps the *server-side*
+        cost visible next to the local wall time recorded by the caller.
+        """
+        spans = remote.get("spans", []) if isinstance(remote, dict) else []
+        duration = sum(s.get("duration_ms", 0.0) for s in spans) / 1000.0
+        wrapper = self.record_span(name, duration, **attrs)
+        wrapper.attrs.setdefault("trace_id", remote.get("trace_id", ""))
+        wrapper.children.extend(_spans_from_dicts(spans))
+        return wrapper
+
+    def to_dict(self) -> dict:
+        """JSON-able ``{"trace_id", "spans"}`` block for the wire."""
+        now = self._now()
+        with self._lock:
+            roots = list(self._roots)
+        return {"trace_id": self.trace_id, "spans": [s.to_dict(now) for s in roots]}
+
+
+def _spans_from_dicts(payloads: list) -> list[Span]:
+    spans = []
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            continue
+        span = Span(
+            str(payload.get("name", "?")),
+            float(payload.get("start_ms", 0.0)) / 1000.0,
+            **dict(payload.get("attrs", {})),
+        )
+        span.duration_seconds = float(payload.get("duration_ms", 0.0)) / 1000.0
+        span.children = _spans_from_dicts(payload.get("children", []))
+        spans.append(span)
+    return spans
+
+
+_CURRENT: ContextVar[Optional[Trace]] = ContextVar("repro_current_trace", default=None)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active in this context, or ``None``."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_trace(trace: Trace) -> Iterator[Trace]:
+    """Install ``trace`` as the current trace for the ``with`` block."""
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def trace_span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """Time a block as a span of the current trace (no-op when untraced)."""
+    trace = _CURRENT.get()
+    if trace is None:
+        yield None
+        return
+    with trace.span(name, **attrs) as span:
+        yield span
+
+
+def record_span(name: str, duration_seconds: float, **attrs: Any) -> None:
+    """Record an elsewhere-measured span (no-op when untraced)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.record_span(name, duration_seconds, **attrs)
+
+
+def span_tree_lines(trace_block: dict, indent: str = "  ") -> list[str]:
+    """Human-readable rendering of a response's ``trace`` block."""
+    lines = [f"trace {trace_block.get('trace_id', '?')}"]
+
+    def walk(span: dict, depth: int) -> None:
+        attrs = span.get("attrs", {})
+        suffix = ""
+        if attrs:
+            body = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            suffix = f"  [{body}]"
+        lines.append(
+            f"{indent * depth}{span.get('name', '?')}"
+            f"  {span.get('duration_ms', 0.0):.3f} ms{suffix}"
+        )
+        for child in span.get("children", []):
+            walk(child, depth + 1)
+
+    for root in trace_block.get("spans", []):
+        walk(root, 1)
+    return lines

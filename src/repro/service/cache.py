@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
 from repro.core.ranking import Ranking
+from repro.obs.metrics import get_registry
 
 #: Decimal places kept when a threshold becomes part of a fingerprint.
 _THETA_PRECISION = 9
@@ -107,6 +108,19 @@ class LRUResultCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self._stats = CacheStats()
+        registry = get_registry()
+        self._m_hits = registry.counter(
+            "repro_cache_hits_total", "Result-cache lookups answered from the cache."
+        )
+        self._m_misses = registry.counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed."
+        )
+        self._m_evictions = registry.counter(
+            "repro_cache_evictions_total", "Entries evicted by the LRU capacity bound."
+        )
+        self._m_invalidations = registry.counter(
+            "repro_cache_invalidations_total", "Whole-cache invalidations (shard rebuilds)."
+        )
 
     @property
     def capacity(self) -> int:
@@ -136,9 +150,11 @@ class LRUResultCache:
             value = self._entries.get(key, _MISSING)
             if value is _MISSING:
                 self._stats.misses += 1
+                self._m_misses.inc()
                 return default
             self._entries.move_to_end(key)
             self._stats.hits += 1
+            self._m_hits.inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -154,6 +170,7 @@ class LRUResultCache:
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
+                self._m_evictions.inc()
 
     def invalidate(self) -> int:
         """Drop every entry (shard rebuild); returns the number dropped."""
@@ -161,6 +178,7 @@ class LRUResultCache:
             dropped = len(self._entries)
             self._entries.clear()
             self._stats.invalidations += 1
+            self._m_invalidations.inc()
             return dropped
 
     def keys(self) -> list[Hashable]:

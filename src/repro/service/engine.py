@@ -33,6 +33,7 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.core.ranking import Ranking, RankingSet
+from repro.obs.tracing import trace_span
 from repro.service.cache import LRUResultCache, knn_fingerprint, range_fingerprint
 from repro.service.planner import AdaptivePlanner, PlanDecision
 from repro.service.recording import (
@@ -171,7 +172,8 @@ class QueryEngine:
         """Answer one similarity range query (``algorithm`` pins the plan)."""
 
         def compute():
-            decision = self._plan(query, theta, kind="range", algorithm=algorithm)
+            with trace_span("plan", kind="range"):
+                decision = self._plan(query, theta, kind="range", algorithm=algorithm)
             start = time.perf_counter()
             result = self._sharded.range_query(query, theta, decision.algorithm, **decision.params)
             latency = time.perf_counter() - start
@@ -200,7 +202,8 @@ class QueryEngine:
         """Answer one exact k-nearest-neighbour query."""
 
         def compute():
-            decision = self._plan(query, _KNN_PLANNING_THETA, kind="knn", algorithm=algorithm)
+            with trace_span("plan", kind="knn"):
+                decision = self._plan(query, _KNN_PLANNING_THETA, kind="knn", algorithm=algorithm)
             start = time.perf_counter()
             result = self._sharded.knn(query, n_neighbours, decision.algorithm, **decision.params)
             latency = time.perf_counter() - start

@@ -34,6 +34,7 @@ from typing import Optional
 from repro.core.cost_model import CostModel, CostModelInputs, generalized_harmonic, zipf_frequency
 from repro.core.ranking import Ranking, RankingSet
 from repro.analysis.stats import cost_model_inputs_for
+from repro.obs.metrics import get_registry
 
 #: Algorithms priced by the paper's coarse-index cost model.
 _COARSE_ALGORITHMS = frozenset({"Coarse", "Coarse+Drop"})
@@ -148,6 +149,8 @@ class AdaptivePlanner:
         self._theta_c_cache: dict[float, float] = {}
         self._ewmas: dict[tuple[str, str, float], _Ewma] = {}
         self._lock = threading.Lock()
+        self._registry = get_registry()
+        self._m_decisions: dict[tuple[str, str], object] = {}
 
     @property
     def candidates(self) -> list[str]:
@@ -278,6 +281,7 @@ class AdaptivePlanner:
             best_name = min(unobserved, key=lambda name: self.prior_cost(name, theta))
             predicted = self.prior_cost(best_name, theta)
             source = "model"
+        self._count_decision(source, best_name)
         return PlanDecision(
             algorithm=best_name,
             params=self.params_for(best_name, theta),
@@ -286,6 +290,18 @@ class AdaptivePlanner:
             kind=kind,
             theta_bucket=bucket,
         )
+
+    def _count_decision(self, source: str, algorithm: str) -> None:
+        key = (source, algorithm)
+        counter = self._m_decisions.get(key)
+        if counter is None:
+            counter = self._m_decisions[key] = self._registry.counter(
+                "repro_planner_decisions_total",
+                "Computed plans by signal source (model prior vs observed EWMA).",
+                source=source,
+                algorithm=algorithm,
+            )
+        counter.inc()
 
     def __repr__(self) -> str:
         return (

@@ -36,6 +36,8 @@ from typing import Callable, Hashable, Optional, Union
 
 from repro.core.result import SearchResult
 from repro.algorithms.knn import KnnResult
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import record_span, trace_span
 from repro.service.cache import CacheStats
 
 #: The result object an engine answer wraps.
@@ -108,7 +110,38 @@ class EngineStats:
         return self.total_latency_seconds / self.requests
 
     def as_dict(self) -> dict:
-        """Flat dictionary view for dashboards and admin requests."""
+        """Normalised dictionary view for dashboards and admin requests.
+
+        The schema mirrors :meth:`repro.live.collection.LiveStats.as_dict`
+        — snake_case keys grouped one level deep by category, integer
+        counters, float latencies/rates — so a metrics exporter can map
+        static and live stats with the same code.  The pre-normalisation
+        flat shape survives as :meth:`as_flat_dict`.
+        """
+        return {
+            "requests": {
+                "total": self.requests,
+                "range": self.queries,
+                "knn": self.knn_queries,
+                "cache_hits": self.cache_hits,
+                "rebuilds": self.rebuilds,
+            },
+            "latency_seconds": {
+                "total": self.total_latency_seconds,
+                "mean": self.mean_latency_seconds,
+            },
+            "algorithms": dict(self.algorithm_counts),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "invalidations": self.cache.invalidations,
+                "hit_rate": self.cache.hit_rate,
+            },
+        }
+
+    def as_flat_dict(self) -> dict:
+        """Compatibility shim: the flat pre-PR-6 key layout."""
         return {
             "requests": self.requests,
             "queries": self.queries,
@@ -138,6 +171,40 @@ class RequestRecorder:
         self._stats = EngineStats(cache=cache_stats)
         self._shard_count = shard_count
         self._lock = threading.Lock()
+        registry = get_registry()
+        self._m_latency = {
+            kind: registry.histogram(
+                "repro_request_seconds", "End-to-end engine request latency.", kind=kind
+            )
+            for kind in ("range", "knn")
+        }
+        self._m_rebuilds = registry.counter(
+            "repro_engine_rebuilds_total", "Shard rebuilds / cache-invalidation epochs."
+        )
+        # label-value handles resolved on first use, then cached
+        self._m_sources: dict[str, object] = {}
+        self._m_algorithms: dict[str, object] = {}
+        self._registry = registry
+
+    def _source_counter(self, source: str):
+        counter = self._m_sources.get(source)
+        if counter is None:
+            counter = self._m_sources[source] = self._registry.counter(
+                "repro_planner_source_total",
+                "Requests by plan provenance (cache/pinned/default/model/ewma).",
+                source=source or "unknown",
+            )
+        return counter
+
+    def _algorithm_counter(self, algorithm: str):
+        counter = self._m_algorithms.get(algorithm)
+        if counter is None:
+            counter = self._m_algorithms[algorithm] = self._registry.counter(
+                "repro_algorithm_total",
+                "Computed (non-cache-hit) requests by chosen algorithm.",
+                algorithm=algorithm or "unknown",
+            )
+        return counter
 
     @property
     def stats(self) -> EngineStats:
@@ -148,6 +215,7 @@ class RequestRecorder:
         """Count one rebuild / cache-invalidation epoch."""
         with self._lock:
             self._stats.rebuilds += 1
+        self._m_rebuilds.inc()
 
     def record(
         self,
@@ -178,6 +246,10 @@ class RequestRecorder:
                 counts = self._stats.algorithm_counts
                 counts[algorithm] = counts.get(algorithm, 0) + 1
             self._stats.total_latency_seconds += latency
+        self._m_latency["knn" if kind == "knn" else "range"].observe(latency)
+        self._source_counter(planner_source).inc()
+        if not cache_hit:
+            self._algorithm_counter(algorithm).inc()
         stats = QueryStats(
             kind=kind,
             algorithm=algorithm,
@@ -214,11 +286,14 @@ def serve_cached(
     start = time.perf_counter()
     cached = cache_get(fingerprint)
     if cached is not None:
+        latency = time.perf_counter() - start
+        record_span("cache_hit", latency, kind=kind)
         return recorder.record(
             kind=kind, result=cached, cache_hit=True,
-            latency=time.perf_counter() - start, theta=theta, n_neighbours=n_neighbours,
+            latency=latency, theta=theta, n_neighbours=n_neighbours,
         )
-    result, algorithm, planner_source = compute()
+    with trace_span("compute", kind=kind):
+        result, algorithm, planner_source = compute()
     cache_put(fingerprint, result)
     return recorder.record(
         kind=kind, result=result, cache_hit=False,

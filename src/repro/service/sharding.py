@@ -76,6 +76,8 @@ from repro.core.stats import SearchStats
 from repro.algorithms.base import RankingSearchAlgorithm
 from repro.algorithms.knn import KnnResult, Neighbour, exact_local_top
 from repro.algorithms.registry import make_algorithm
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import record_span, trace_span
 
 #: One shard's answer: ``(pairs, stats)`` — range pairs are
 #: ``(local rid, distance)``, k-NN pairs are ``(distance, local rid)``.
@@ -242,6 +244,8 @@ class ShardedIndex:
         self._rankings = rankings
         self._lock = threading.Lock()
         self._closed = False
+        self._registry = get_registry()
+        self._m_shard_latency: dict[int, object] = {}
         self._executor: Optional[Executor] = None
         self._executor_version = -1  # the epoch a process pool's workers hold
         self._instances: dict[tuple, RankingSearchAlgorithm] = {}
@@ -510,6 +514,25 @@ class ShardedIndex:
                     raise
                 continue
 
+    def _record_shard_latencies(self, shard_answers: list[ShardAnswer]) -> None:
+        """Per-shard fan-out latency into the registry and the active trace.
+
+        Local executors report each shard's own compute time through its
+        stats; remote fan-outs skip this (the remote executor records its
+        own metrics and grafts the shard servers' span trees instead).
+        """
+        for shard, (_, stats) in enumerate(shard_answers):
+            duration = stats.total_seconds
+            histogram = self._m_shard_latency.get(shard)
+            if histogram is None:
+                histogram = self._m_shard_latency[shard] = self._registry.histogram(
+                    "repro_shard_fanout_seconds",
+                    "Per-shard compute time of fanned-out sub-queries.",
+                    shard=str(shard),
+                )
+            histogram.observe(duration)  # type: ignore[attr-defined]
+            record_span(f"shard-{shard}", duration, shard=shard)
+
     @staticmethod
     def _merge_shard_stats(merged: SearchStats, shard_stats: list[SearchStats], wall: float) -> None:
         """Sum per-shard counters; report wall time, keep CPU-sum as an extra."""
@@ -529,26 +552,30 @@ class ShardedIndex:
         """
         build = self._current_build()
         start = time.perf_counter()
-        if self._remote is not None:
-            shard_answers: list[ShardAnswer] = [
-                (pairs, SearchStats())
-                for pairs in self._remote.range_shards(
-                    query.items, theta, algorithm, build.num_shards
+        with trace_span(
+            "fanout", kind="range", shards=build.num_shards, executor=self._executor_kind
+        ):
+            if self._remote is not None:
+                shard_answers: list[ShardAnswer] = [
+                    (pairs, SearchStats())
+                    for pairs in self._remote.range_shards(
+                        query.items, theta, algorithm, build.num_shards
+                    )
+                ]
+            else:
+
+                def run_shard(shard: int) -> ShardAnswer:
+                    instance = self._instance(build, shard, algorithm, kwargs)
+                    result = instance.search(query, theta)
+                    return [(match.rid, match.distance) for match in result.matches], result.stats
+
+                shard_answers = self._run_shards(
+                    build,
+                    run_shard,
+                    _process_range_task,
+                    (algorithm, tuple(sorted(kwargs.items())), query.items, theta),
                 )
-            ]
-        else:
-
-            def run_shard(shard: int) -> ShardAnswer:
-                instance = self._instance(build, shard, algorithm, kwargs)
-                result = instance.search(query, theta)
-                return [(match.rid, match.distance) for match in result.matches], result.stats
-
-            shard_answers = self._run_shards(
-                build,
-                run_shard,
-                _process_range_task,
-                (algorithm, tuple(sorted(kwargs.items())), query.items, theta),
-            )
+                self._record_shard_latencies(shard_answers)
         wall = time.perf_counter() - start
 
         merged = SearchResult(query=query, theta=theta, algorithm=f"sharded:{algorithm}")
@@ -586,35 +613,39 @@ class ShardedIndex:
 
         build = self._current_build()
         start = time.perf_counter()
-        if self._remote is not None:
-            shard_answers: list[ShardAnswer] = [
-                (pairs, SearchStats())
-                for pairs in self._remote.knn_shards(
-                    query.items, n_neighbours, algorithm, build.num_shards
-                )
-            ]
-        else:
+        with trace_span(
+            "fanout", kind="knn", shards=build.num_shards, executor=self._executor_kind
+        ):
+            if self._remote is not None:
+                shard_answers: list[ShardAnswer] = [
+                    (pairs, SearchStats())
+                    for pairs in self._remote.knn_shards(
+                        query.items, n_neighbours, algorithm, build.num_shards
+                    )
+                ]
+            else:
 
-            def run_shard(shard: int) -> ShardAnswer:
-                instance = self._instance(build, shard, algorithm, kwargs)
-                return exact_local_top(
-                    instance, build.shards[shard], query, n_neighbours,
-                    initial_theta=initial_theta, growth=growth,
-                )
+                def run_shard(shard: int) -> ShardAnswer:
+                    instance = self._instance(build, shard, algorithm, kwargs)
+                    return exact_local_top(
+                        instance, build.shards[shard], query, n_neighbours,
+                        initial_theta=initial_theta, growth=growth,
+                    )
 
-            shard_answers = self._run_shards(
-                build,
-                run_shard,
-                _process_knn_task,
-                (
-                    algorithm,
-                    tuple(sorted(kwargs.items())),
-                    query.items,
-                    n_neighbours,
-                    initial_theta,
-                    growth,
-                ),
-            )
+                shard_answers = self._run_shards(
+                    build,
+                    run_shard,
+                    _process_knn_task,
+                    (
+                        algorithm,
+                        tuple(sorted(kwargs.items())),
+                        query.items,
+                        n_neighbours,
+                        initial_theta,
+                        growth,
+                    ),
+                )
+                self._record_shard_latencies(shard_answers)
         wall = time.perf_counter() - start
 
         best = heapq.nsmallest(

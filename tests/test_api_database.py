@@ -209,7 +209,7 @@ class TestAdminDispatch:
         session.range_query(rankings[0], THETA, collection="updates")
         stats = session.stats("updates")
         assert stats["kind"] == "live"
-        assert stats["engine"]["requests"] >= 1
+        assert stats["engine"]["requests"]["total"] >= 1
         assert set(stats["layers"]) == {"memtable", "segments", "base", "tombstones"}
         with pytest.raises(Exception):
             session.stats("nope")

@@ -206,4 +206,5 @@ def test_stats_mutation_totals():
     stats = live.stats()
     assert (stats.inserts, stats.deletes, stats.upserts) == (2, 1, 1)
     assert stats.mutations == 4
-    assert stats.as_dict()["inserts"] == 2
+    assert stats.as_dict()["mutations"]["inserts"] == 2
+    assert stats.as_flat_dict()["inserts"] == 2

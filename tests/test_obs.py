@@ -1,0 +1,286 @@
+"""Unit tests for the observability pillars: metrics, tracing, slow log.
+
+``repro.obs`` is dependency-free by design, so these tests pin down the
+exact contracts the serving stack leans on: stable metric handles with
+Prometheus-compatible exposition, traces whose span trees nest and graft
+across processes, and a slow-query log that keeps the N *slowest*
+requests rather than the N most recent.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_number,
+    get_registry,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.tracing import (
+    MAX_TRACE_ID_LENGTH,
+    Trace,
+    current_trace,
+    new_trace_id,
+    record_span,
+    span_tree_lines,
+    trace_span,
+    use_trace,
+)
+
+#: One exposition sample line: ``name{labels} value``.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? \S+$"
+)
+
+
+class TestPrimitives:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(buckets=(1, 2, 4))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.buckets() == {"1": 1, "2": 2, "4": 3, "+Inf": 4}
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(105.0)
+
+    def test_histogram_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(buckets=(2, 1))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(buckets=())
+
+    def test_format_number_is_prometheus_style(self):
+        assert format_number(1.0) == "1"
+        assert format_number(0.25) == "0.25"
+        assert format_number(float("inf")) == "+Inf"
+
+
+class TestRegistry:
+    def test_handles_are_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total")
+        assert registry.counter("x_total") is first
+
+    def test_labels_split_one_family_into_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", shard="0").inc()
+        registry.counter("x_total", shard="1").inc(2)
+        (family,) = registry.snapshot()["metrics"]
+        assert family["name"] == "x_total"
+        assert [sample["labels"] for sample in family["samples"]] == [
+            {"shard": "0"},
+            {"shard": "1"},
+        ]
+        assert [sample["value"] for sample in family["samples"]] == [1.0, 2.0]
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("x_total")
+
+    def test_invalid_names_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            registry.counter("not a name")
+        with pytest.raises(ValueError, match="label name"):
+            registry.counter("x_total", **{"bad-label": "v"})
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x_total")
+        counter.inc(100)
+        assert counter.value == 0.0
+        # every handle is the shared no-op, and the snapshot is empty
+        assert registry.histogram("y_seconds") is registry.gauge("z")
+        assert registry.snapshot() == {"metrics": []}
+        assert registry.render_prometheus() == ""
+
+    def test_set_registry_swaps_the_process_default(self):
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert get_registry() is replacement
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_exposition_round_trips_through_the_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", help="requests", kind="range").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        text = render_prometheus(snapshot)
+        assert text == registry.render_prometheus()
+        assert "# HELP reqs_total requests" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'reqs_total{kind="range"} 3' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestTrace:
+    def test_trace_ids_are_sixteen_hex_digits(self):
+        assert re.fullmatch(r"[0-9a-f]{16}", new_trace_id())
+        assert len(new_trace_id()) <= MAX_TRACE_ID_LENGTH
+
+    def test_spans_nest_under_the_innermost_open_span(self):
+        trace = Trace("abc")
+        with trace.span("outer"):
+            with trace.span("inner", shard=0):
+                pass
+        block = trace.to_dict()
+        assert block["trace_id"] == "abc"
+        (outer,) = block["spans"]
+        assert outer["name"] == "outer"
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert inner["attrs"] == {"shard": 0}
+        assert inner["duration_ms"] <= outer["duration_ms"]
+
+    def test_open_spans_report_duration_so_far(self):
+        trace = Trace()
+        with trace.span("open"):
+            (span,) = trace.to_dict()["spans"]
+            assert span["duration_ms"] >= 0.0
+
+    def test_record_span_adds_a_closed_span(self):
+        trace = Trace()
+        trace.record_span("offline", 0.25, shard=1)
+        (span,) = trace.to_dict()["spans"]
+        assert span["duration_ms"] == pytest.approx(250.0)
+        assert span["attrs"] == {"shard": 1}
+
+    def test_attach_remote_grafts_the_remote_tree(self):
+        remote = Trace("feedbeefcafe0123")
+        with remote.span("request:knn"):
+            with remote.span("compute"):
+                pass
+        trace = Trace()
+        with trace.span("fanout"):
+            wrapper = trace.attach_remote("shard-0", remote.to_dict(), shard=0)
+        assert wrapper.attrs["trace_id"] == "feedbeefcafe0123"
+        (fanout,) = trace.to_dict()["spans"]
+        (graft,) = fanout["children"]
+        assert graft["name"] == "shard-0"
+        assert graft["attrs"]["shard"] == 0
+        (request,) = graft["children"]
+        assert request["name"] == "request:knn"
+        assert request["children"][0]["name"] == "compute"
+        # the wrapper carries the remote's own (server-side) duration
+        assert graft["duration_ms"] == pytest.approx(request["duration_ms"], abs=0.01)
+
+    def test_module_helpers_are_noops_without_a_trace(self):
+        assert current_trace() is None
+        with trace_span("ignored") as span:
+            assert span is None
+        record_span("ignored", 1.0)  # must not raise
+
+    def test_use_trace_installs_and_restores(self):
+        trace = Trace()
+        with use_trace(trace):
+            assert current_trace() is trace
+            with trace_span("timed", kind="range") as span:
+                assert span is not None
+        assert current_trace() is None
+        (recorded,) = trace.to_dict()["spans"]
+        assert recorded["name"] == "timed"
+
+    def test_span_tree_lines_render_names_attrs_and_nesting(self):
+        trace = Trace("cafe")
+        with trace.span("request:range"):
+            trace.record_span("shard-0", 0.001, shard=0)
+        lines = span_tree_lines(trace.to_dict())
+        assert lines[0] == "trace cafe"
+        assert "request:range" in lines[1]
+        assert lines[2].startswith("    shard-0") or "shard-0" in lines[2]
+        assert "[shard=0]" in lines[2]
+
+    def test_trace_id_limit_matches_the_wire_limit(self):
+        from repro.api.protocol import MAX_TRACE_ID_BYTES
+
+        assert MAX_TRACE_ID_BYTES == MAX_TRACE_ID_LENGTH
+
+
+class TestSlowQueryLog:
+    @staticmethod
+    def _entry(wall: float, kind: str = "range") -> SlowQueryEntry:
+        return SlowQueryEntry(kind=kind, collection="news", wall_seconds=wall)
+
+    def test_keeps_the_n_slowest_not_the_n_latest(self):
+        log = SlowQueryLog(capacity=3)
+        for wall in (0.5, 0.1, 0.9, 0.2, 0.7):
+            log.record(self._entry(wall))
+        assert [entry.wall_seconds for entry in log.entries()] == [0.9, 0.7, 0.5]
+
+    def test_fast_requests_do_not_displace_slow_ones(self):
+        log = SlowQueryLog(capacity=2)
+        assert log.record(self._entry(0.5))
+        assert log.record(self._entry(0.9))
+        assert not log.record(self._entry(0.1))
+        assert not log.record(self._entry(0.5))  # ties lose to incumbents
+        assert [entry.wall_seconds for entry in log.entries()] == [0.9, 0.5]
+
+    def test_capacity_zero_disables_the_log(self):
+        log = SlowQueryLog(capacity=0)
+        assert not log.record(self._entry(10.0))
+        assert len(log) == 0
+        assert log.entries() == []
+
+    def test_negative_capacity_is_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SlowQueryLog(capacity=-1)
+
+    def test_entries_honour_the_limit(self):
+        log = SlowQueryLog(capacity=4)
+        for wall in (0.1, 0.2, 0.3, 0.4):
+            log.record(self._entry(wall))
+        assert [entry.wall_seconds for entry in log.entries(limit=2)] == [0.4, 0.3]
+
+    def test_clear_drops_everything(self):
+        log = SlowQueryLog(capacity=4)
+        log.record(self._entry(0.1))
+        log.clear()
+        assert len(log) == 0
+
+    def test_as_dict_omits_empty_trace_fields(self):
+        bare = self._entry(0.1).as_dict()
+        assert "trace_id" not in bare and "trace" not in bare
+        traced = SlowQueryEntry(
+            kind="knn", collection="news", wall_seconds=0.2,
+            trace_id="cafe", trace={"trace_id": "cafe", "spans": []},
+        ).as_dict()
+        assert traced["trace_id"] == "cafe"
+        assert traced["trace"] == {"trace_id": "cafe", "spans": []}
