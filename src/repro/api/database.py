@@ -30,10 +30,13 @@ from typing import Optional, Union
 from repro.core.errors import (
     CollectionClosedError,
     InvalidRequestError,
+    NotPrimaryError,
+    StaleRoutingError,
     UnknownCollectionError,
 )
 from repro.core.ranking import Ranking, RankingSet
 from repro.live.collection import DEFAULT_LIVE_ALGORITHM, LiveCollection
+from repro.live.wal import WalRecord
 from repro.live.engine import LiveQueryEngine
 from repro.obs.metrics import get_registry, render_prometheus
 from repro.obs.slowlog import DEFAULT_SLOWLOG_CAPACITY, SlowQueryEntry, SlowQueryLog
@@ -122,6 +125,7 @@ class Database:
 
     def __init__(self, slow_query_capacity: int = DEFAULT_SLOWLOG_CAPACITY) -> None:
         self._collections: dict[str, _Collection] = {}
+        self._cluster: dict[str, dict] = {}
         self._lock = threading.Lock()
         self._closed = False
         self._slow_log = SlowQueryLog(slow_query_capacity)
@@ -209,9 +213,34 @@ class Database:
         with self._lock:
             self._check_open()
             entry = self._collections.pop(name, None)
+            self._cluster.pop(name, None)
         if entry is None:
             raise UnknownCollectionError(name)
         entry.engine.close()
+
+    # -- cluster routing state -------------------------------------------------------
+
+    def cluster_config(self, name: str) -> Optional[dict]:
+        """This node's routing state for collection ``name``: the installed
+        table plus the node's own role and shard id — ``None`` when the
+        collection is not clustered (the common case)."""
+        with self._lock:
+            return self._cluster.get(name)
+
+    def set_cluster_config(
+        self, name: str, *, table: dict, role: str, shard_id: Optional[int]
+    ) -> dict:
+        """Install a routing table pushed by a coordinator (``admin route``)."""
+        config = {"table": table, "role": role, "shard_id": shard_id}
+        with self._lock:
+            self._check_open()
+            self._cluster[name] = config
+        get_registry().gauge(
+            "repro_cluster_routing_version",
+            "Version of the routing table installed on this node.",
+            collection=name,
+        ).set(float(table.get("version", 0)))
+        return config
 
     def names(self) -> list[str]:
         """The registered collection names, sorted."""
@@ -342,6 +371,15 @@ class Session(ExecutorSurface):
         if isinstance(request, AdminRequest):
             return self._dispatch_admin(request)
         entry = self._database._lookup(request.collection)
+        config = self._database.cluster_config(request.collection)
+        if config is not None and config.get("role") == "replica":
+            # replicas serve nothing directly: reads would race the shipped
+            # WAL tail, and answers must be byte-identical cluster-wide
+            raise NotPrimaryError(
+                f"collection {request.collection!r} on this node is a replica; "
+                f"route the request via the coordinator or the shard primary",
+                routing=config.get("table"),
+            )
         if isinstance(request, RangeQueryRequest):
             answered = entry.engine.query(
                 request.query, request.theta, algorithm=request.algorithm
@@ -358,13 +396,17 @@ class Session(ExecutorSurface):
             return Response(
                 ok=True, batch=tuple(_range_response(answered) for answered in responses)
             )
-        return self._dispatch_mutation(request, entry)
+        return self._dispatch_mutation(request, entry, config)
 
-    def _dispatch_mutation(self, request: Request, entry: _Collection) -> Response:
+    def _dispatch_mutation(
+        self, request: Request, entry: _Collection, config: Optional[dict] = None
+    ) -> Response:
         if entry.kind != "live":
             raise InvalidRequestError(
                 f"collection {entry.name!r} is static (read-only); mutations need a live collection"
             )
+        if config is not None:
+            self._check_routing(request, config)
         engine = entry.live_engine
         if isinstance(request, InsertRequest):
             key = engine.insert(list(request.items))
@@ -376,6 +418,36 @@ class Session(ExecutorSurface):
             engine.upsert(request.key, list(request.items))
             return Response(ok=True, key=request.key)
         raise InvalidRequestError(f"unhandled request type {type(request).__name__}")
+
+    @staticmethod
+    def _check_routing(request: Request, config: dict) -> None:
+        """Reject mutations this clustered node does not own.
+
+        The raised errors carry the node's routing table, so a client that
+        routed with a stale version can install the fresh one straight from
+        the error envelope and retry — no extra round trip.
+        """
+        table = config.get("table") or {}
+        if isinstance(request, InsertRequest):
+            coordinator = table.get("coordinator")
+            hint = f" at {coordinator}" if coordinator else ""
+            raise NotPrimaryError(
+                f"collection {request.collection!r} is clustered: insert keys are "
+                f"assigned centrally — send inserts to the coordinator{hint}",
+                routing=table or None,
+            )
+        shard_id = config.get("shard_id")
+        if shard_id is None or not table.get("slots"):
+            return
+        from repro.cluster.routing import table_owner  # runtime import: no cycle
+
+        owner = table_owner(table, request.key)
+        if owner != shard_id:
+            raise StaleRoutingError(
+                f"key {request.key} belongs to shard {owner} under routing "
+                f"version {table.get('version')}; this node serves shard {shard_id}",
+                routing=table,
+            )
 
     def _dispatch_admin(self, request: AdminRequest) -> Response:
         database = self._database
@@ -394,10 +466,40 @@ class Session(ExecutorSurface):
             return Response(ok=True, data={"acknowledged": True})
         if request.action == "metrics":
             database._check_open()
+            if request.scope == "cluster":
+                raise InvalidRequestError(
+                    "metrics scope 'cluster' needs a coordinator; this server "
+                    "only scrapes its own process"
+                )
             snapshot = get_registry().snapshot()
             if request.format == "prometheus":
                 return Response(ok=True, data={"exposition": render_prometheus(snapshot)})
             return Response(ok=True, data=snapshot)
+        if request.action == "route":
+            database._check_open()
+            if request.table is not None:
+                config = database.set_cluster_config(
+                    request.collection,
+                    table=request.table,
+                    role=request.role or "primary",
+                    shard_id=request.shard_id,
+                )
+            else:
+                config = database.cluster_config(request.collection)
+            if config is None:
+                return Response(ok=True, data={"routing": None})
+            return Response(
+                ok=True,
+                data={
+                    "routing": config["table"],
+                    "role": config["role"],
+                    "shard_id": config["shard_id"],
+                },
+            )
+        if request.action == "reshard":
+            raise InvalidRequestError(
+                "reshard is a coordinator verb; this server is a plain database"
+            )
         if request.action == "slow_queries":
             database._check_open()
             return Response(
@@ -441,6 +543,43 @@ class Session(ExecutorSurface):
             return Response(ok=True, data={"segment_id": engine.flush()})
         if request.action == "compact":
             return Response(ok=True, data={"compacted": engine.compact()})
+        if request.action == "replicate":
+            collection = engine.collection
+            applied = 0
+            skipped = 0
+            for payload in request.records or ():
+                record = WalRecord(
+                    seq=payload["seq"],
+                    op=payload["op"],
+                    key=payload["key"],
+                    items=None if payload["items"] is None else tuple(payload["items"]),
+                )
+                if collection.apply_replicated(record):
+                    applied += 1
+                else:
+                    skipped += 1
+            return Response(
+                ok=True,
+                data={
+                    "applied_seq": collection.last_seq,
+                    "applied": applied,
+                    "skipped": skipped,
+                },
+            )
+        if request.action == "promote":
+            config = database.cluster_config(request.collection)
+            if config is not None:
+                with database._lock:
+                    config["role"] = "primary"
+            return Response(
+                ok=True,
+                data={
+                    "promoted": request.collection,
+                    "last_seq": engine.collection.last_seq,
+                },
+            )
+        if request.action == "export":
+            return Response(ok=True, data=engine.collection.export_state())
         assert request.action == "snapshot"
         return Response(ok=True, data={"path": str(engine.snapshot())})
 

@@ -30,6 +30,7 @@ does not permanently sideline a shard.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Optional, Sequence, Union
@@ -70,6 +71,17 @@ class RemoteShardExecutor:
         Seconds to wait for each sub-query's reply.
     max_frame_bytes:
         Frame limit for the per-server connections.
+    connect_retries:
+        Extra connection attempts per shard before a fan-out gives up on
+        it.  A restarting shard server (or a listen backlog hiccup) is
+        invisible to callers as long as it comes back within the retry
+        budget; every failed attempt still counts in
+        ``repro_remote_fanout_errors_total``.
+    backoff:
+        Base of the jittered exponential backoff between attempts, in
+        seconds (attempt ``n`` sleeps ``backoff * 2^n``, randomly scaled
+        to 50–100% so N coordinators retrying the same dead server do
+        not reconnect in lockstep).
     """
 
     def __init__(
@@ -79,13 +91,19 @@ class RemoteShardExecutor:
         collection: str = DEFAULT_COLLECTION,
         timeout: Optional[float] = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        connect_retries: int = 2,
+        backoff: float = 0.05,
     ) -> None:
         if not addresses:
             raise ValueError("RemoteShardExecutor needs at least one shard server address")
+        if connect_retries < 0:
+            raise ValueError(f"connect_retries must be non-negative, got {connect_retries}")
         self._addresses = [_parse_address(address) for address in addresses]
         self._collection = collection
         self._timeout = timeout
         self._max_frame_bytes = max_frame_bytes
+        self._connect_retries = connect_retries
+        self._backoff = backoff
         self._clients: list[Optional[Client]] = [None] * len(self._addresses)
         self._lock = threading.Lock()  # guards the client slots, not the wire
         registry = get_registry()
@@ -222,14 +240,7 @@ class RemoteShardExecutor:
             client = self._clients[shard]
         if client is not None and not client.closed:
             return client
-        host, port = self._addresses[shard]
-        fresh = Client(
-            host,
-            port,
-            timeout=self._timeout,
-            max_frame_bytes=self._max_frame_bytes,
-            protocol=2,  # correlation ids are what make the fan-out concurrent
-        )
+        fresh = self._connect(shard)
         with self._lock:
             current = self._clients[shard]
             if current is not None and not current.closed:
@@ -240,6 +251,31 @@ class RemoteShardExecutor:
         if winner is not fresh:
             fresh.close()
         return winner
+
+    def _connect(self, shard: int) -> Client:
+        """Open a connection to ``shard``, retrying with jittered backoff.
+
+        Only the *last* failure propagates; earlier ones are counted and
+        slept away, which is what lets a fan-out ride out a shard server
+        restart instead of failing the whole query.
+        """
+        host, port = self._addresses[shard]
+        for attempt in range(self._connect_retries + 1):
+            try:
+                return Client(
+                    host,
+                    port,
+                    timeout=self._timeout,
+                    max_frame_bytes=self._max_frame_bytes,
+                    protocol=2,  # correlation ids are what make the fan-out concurrent
+                )
+            except (ConnectionError, OSError):
+                self._m_errors[shard].inc()
+                if attempt == self._connect_retries:
+                    raise
+                delay = self._backoff * (2**attempt)
+                time.sleep(delay * (0.5 + random.random() / 2))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _discard(self, shard: int) -> None:
         with self._lock:

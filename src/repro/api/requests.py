@@ -44,13 +44,28 @@ ADMIN_ACTIONS = (
     "compact",
     "snapshot",
     "shutdown",
+    "route",
+    "replicate",
+    "promote",
+    "export",
+    "reshard",
 )
 
 #: Admin actions that address one specific (live) collection.
-_COLLECTION_ADMIN_ACTIONS = ("stats", "flush", "compact", "snapshot")
+_COLLECTION_ADMIN_ACTIONS = ("stats", "flush", "compact", "snapshot", "replicate", "promote", "export")
 
 #: Formats an admin ``metrics`` dump may ask for.
 METRICS_FORMATS = ("json", "prometheus")
+
+#: Scopes an admin ``metrics`` dump may ask for: the local process registry
+#: (default) or — on a coordinator — every node of the topology merged.
+METRICS_SCOPES = ("process", "cluster")
+
+#: Roles an admin ``route`` push may assign to a node.
+CLUSTER_ROLES = ("primary", "replica")
+
+#: Operations a replicated WAL record may carry.
+_WAL_OPS = ("insert", "delete", "upsert")
 
 #: Engines an admin ``create`` may ask for.
 COLLECTION_ENGINES = ("static", "live")
@@ -83,6 +98,30 @@ def coerce_items(value: Any, field: str = "items") -> tuple[int, ...]:
     if not value:
         raise InvalidRequestError(f"{field} must not be empty")
     return tuple(_require_int(item, f"{field}[{position}]") for position, item in enumerate(value))
+
+
+def _validate_wal_record(entry: Any, field: str) -> dict:
+    """Validate one replicated WAL record: ``{seq, op, key, items}``."""
+    if not isinstance(entry, dict):
+        raise InvalidRequestError(f"{field} must be a WAL record object, got {entry!r}")
+    unknown = set(entry) - {"seq", "op", "key", "items"}
+    if unknown:
+        raise InvalidRequestError(f"unknown field(s) in {field}: {', '.join(sorted(unknown))}")
+    seq = _require_int(entry.get("seq"), f"{field}.seq")
+    if seq <= 0:
+        raise InvalidRequestError(f"{field}.seq must be positive, got {seq}")
+    op = _require_str(entry.get("op"), f"{field}.op")
+    if op not in _WAL_OPS:
+        raise InvalidRequestError(f"{field}.op must be one of {', '.join(_WAL_OPS)}, got {op!r}")
+    key = _require_int(entry.get("key"), f"{field}.key")
+    if key < 0:
+        raise InvalidRequestError(f"{field}.key must be non-negative, got {key}")
+    items = entry.get("items")
+    if op == "delete":
+        if items is not None:
+            raise InvalidRequestError(f"{field}: delete records carry no items")
+        return {"seq": seq, "op": op, "key": key, "items": None}
+    return {"seq": seq, "op": op, "key": key, "items": list(coerce_items(items, f"{field}.items"))}
 
 
 def _validate_theta(theta: float) -> float:
@@ -294,6 +333,20 @@ class AdminRequest(Request):
     ``cache_capacity`` size the engine.  ``drop`` removes a collection and
     closes its engine.  The DDL-only fields are rejected on every other
     action, so a typo cannot silently change what a request does.
+
+    The cluster verbs (see :mod:`repro.cluster`):
+
+    * ``route`` — with ``table`` set, pushes a routing table onto a node
+      (``role`` and ``shard_id`` telling the node what it is); without,
+      reads back the node's routing state.
+    * ``replicate`` — applies a batch of WAL ``records`` to a follower
+      replica; an **empty** batch is a probe that just reports the
+      replica's applied sequence number.
+    * ``promote`` — flips a replica to primary (warm failover).
+    * ``export`` — dumps a live collection's entries for backfill.
+    * ``reshard`` — asks a *coordinator* to move hash slots between
+      shards (``moves`` maps slot -> target shard id); plain databases
+      reject it.
     """
 
     TYPE: ClassVar[str] = "admin"
@@ -305,6 +358,12 @@ class AdminRequest(Request):
     num_shards: Optional[int] = None
     cache_capacity: Optional[int] = None
     format: Optional[str] = None
+    table: Optional[dict] = None
+    role: Optional[str] = None
+    shard_id: Optional[int] = None
+    records: Optional[tuple[dict, ...]] = None
+    scope: Optional[str] = None
+    moves: Optional[dict] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -332,6 +391,83 @@ class AdminRequest(Request):
                     f"metrics format must be one of {', '.join(METRICS_FORMATS)}, "
                     f"got {self.format!r}"
                 )
+        if self.scope is not None:
+            if self.action != "metrics":
+                raise InvalidRequestError(
+                    f"admin field 'scope' only applies to action 'metrics', not {self.action!r}"
+                )
+            if self.scope not in METRICS_SCOPES:
+                raise InvalidRequestError(
+                    f"metrics scope must be one of {', '.join(METRICS_SCOPES)}, "
+                    f"got {self.scope!r}"
+                )
+        for name in ("table", "role", "shard_id"):
+            if getattr(self, name) is not None and self.action != "route":
+                raise InvalidRequestError(
+                    f"admin field {name!r} only applies to action 'route', not {self.action!r}"
+                )
+        if self.action == "route":
+            self._validate_route()
+        if self.records is not None and self.action != "replicate":
+            raise InvalidRequestError(
+                f"admin field 'records' only applies to action 'replicate', not {self.action!r}"
+            )
+        if self.action == "replicate":
+            self._validate_replicate()
+        if self.moves is not None and self.action != "reshard":
+            raise InvalidRequestError(
+                f"admin field 'moves' only applies to action 'reshard', not {self.action!r}"
+            )
+        if self.action == "reshard":
+            self._validate_reshard()
+
+    def _validate_route(self) -> None:
+        if self.table is not None and not isinstance(self.table, dict):
+            raise InvalidRequestError(f"table must be a routing-table object, got {self.table!r}")
+        if self.role is not None:
+            _require_str(self.role, "role")
+            if self.role not in CLUSTER_ROLES:
+                raise InvalidRequestError(
+                    f"role must be one of {', '.join(CLUSTER_ROLES)}, got {self.role!r}"
+                )
+        if self.shard_id is not None and _require_int(self.shard_id, "shard_id") < 0:
+            raise InvalidRequestError(f"shard_id must be non-negative, got {self.shard_id}")
+        if self.table is None and (self.role is not None or self.shard_id is not None):
+            raise InvalidRequestError("route with role/shard_id needs a table (it is a push)")
+
+    def _validate_replicate(self) -> None:
+        if not isinstance(self.records, (list, tuple)):
+            raise InvalidRequestError(
+                f"replicate needs records, a (possibly empty) list of WAL records; "
+                f"got {self.records!r}"
+            )
+        object.__setattr__(
+            self,
+            "records",
+            tuple(
+                _validate_wal_record(entry, f"records[{position}]")
+                for position, entry in enumerate(self.records)
+            ),
+        )
+
+    def _validate_reshard(self) -> None:
+        if not isinstance(self.moves, dict) or not self.moves:
+            raise InvalidRequestError(
+                "reshard needs moves, a non-empty {slot: target shard id} mapping"
+            )
+        normalized: dict[int, int] = {}
+        for raw_slot, raw_shard in self.moves.items():
+            try:
+                slot = int(raw_slot)
+            except (TypeError, ValueError):
+                raise InvalidRequestError(f"moves slot {raw_slot!r} is not an integer") from None
+            if isinstance(raw_slot, bool) or slot < 0:
+                raise InvalidRequestError(f"moves slot {raw_slot!r} must be a non-negative slot")
+            shard = _require_int(raw_shard, f"moves[{slot}]")
+            if shard < 0:
+                raise InvalidRequestError(f"moves[{slot}] must be a shard id, got {shard}")
+            normalized[slot] = shard
+        object.__setattr__(self, "moves", normalized)
 
     def _validate_create(self) -> None:
         if self.engine not in COLLECTION_ENGINES:
@@ -370,12 +506,26 @@ class AdminRequest(Request):
         their PR 4 wire shape byte for byte, so v1 servers accept them.
         """
         payload: dict = {"type": self.TYPE, "collection": self.collection, "action": self.action}
-        for name in ("engine", "algorithm", "num_shards", "cache_capacity", "format"):
+        for name in (
+            "engine",
+            "algorithm",
+            "num_shards",
+            "cache_capacity",
+            "format",
+            "table",
+            "role",
+            "shard_id",
+            "scope",
+        ):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
         if self.rankings is not None:
             payload["rankings"] = [list(entry) for entry in self.rankings]
+        if self.records is not None:
+            payload["records"] = [dict(entry) for entry in self.records]
+        if self.moves is not None:
+            payload["moves"] = {str(slot): shard for slot, shard in self.moves.items()}
         return payload
 
     @property

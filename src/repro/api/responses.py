@@ -35,7 +35,9 @@ from typing import Any, Optional
 from repro.core.errors import (
     CollectionClosedError,
     InvalidRequestError,
+    NotPrimaryError,
     ReproError,
+    StaleRoutingError,
     UnknownCollectionError,
     UnknownKeyError,
 )
@@ -47,6 +49,8 @@ ERROR_TYPES: dict[str, type[Exception]] = {
     "unknown_collection": UnknownCollectionError,
     "unknown_key": UnknownKeyError,
     "collection_closed": CollectionClosedError,
+    "not_primary": NotPrimaryError,
+    "stale_routing": StaleRoutingError,
     "protocol": ConnectionError,
     "internal": RuntimeError,
 }
@@ -204,6 +208,10 @@ class Response:
             raise UnknownKeyError(details["key"])
         if error.code == "unknown_collection" and "name" in details:
             raise UnknownCollectionError(details["name"])
+        if error.code == "not_primary":
+            raise NotPrimaryError(error.message, routing=details.get("routing"))
+        if error.code == "stale_routing":
+            raise StaleRoutingError(error.message, routing=details.get("routing"))
         exception_type = ERROR_TYPES.get(error.code, RuntimeError)
         if exception_type in (UnknownKeyError, UnknownCollectionError):
             # no structured details available: bypass the structured
@@ -249,6 +257,14 @@ def error_response(error: BaseException) -> Response:
         details = {"key": error.key}
     elif isinstance(error, CollectionClosedError):
         code = "collection_closed"
+    elif isinstance(error, NotPrimaryError):
+        code = "not_primary"
+        if error.routing is not None:
+            details = {"routing": error.routing}
+    elif isinstance(error, StaleRoutingError):
+        code = "stale_routing"
+        if error.routing is not None:
+            details = {"routing": error.routing}
     elif isinstance(error, (ReproError, ValueError, KeyError)):
         # remaining library/user-input failures (bad threshold, duplicate
         # items, size mismatch, ...) are the client's to fix

@@ -27,7 +27,15 @@ Subcommands
     shutdown`` (or Ctrl-C).  ``--async`` picks the asyncio transport;
     ``--shard I/N`` serves one round-robin shard of the file — boot N of
     these and point ``batch-query --remote-shards`` (or a
-    ``RemoteShardExecutor``) at them for a scale-out topology.
+    ``RemoteShardExecutor``) at them for a scale-out topology.  ``--empty``
+    serves a bare database with no collection — the blank node a cluster
+    coordinator provisions over wire DDL.
+``cluster``
+    ``cluster up --shards N --replicas R`` spawns ``N*(1+R)`` empty shard
+    servers, assembles them into a hash-routed, WAL-replicated cluster, and
+    serves the coordinator (same wire protocol as ``serve``);
+    ``cluster status`` prints membership, routing version, and replication
+    lag; ``cluster reshard --moves 3:1,7:0`` migrates hash slots online.
 ``client``
     Connect to a running server (protocol v2 with v1 fallback; pin with
     ``--protocol``) and issue one request: a range query (``--query``), a
@@ -49,7 +57,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
+import subprocess
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
 
@@ -66,6 +77,7 @@ from repro.api import (
 )
 from repro.api.requests import KnnRequest, RangeQueryRequest
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
+from repro.cluster import DEFAULT_NUM_SLOTS, Coordinator
 from repro.core.errors import ReproError
 from repro.obs.tracing import span_tree_lines
 from repro.core.ranking import Ranking
@@ -276,6 +288,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ready-file", default=None,
         help="write 'host port' here once listening (for scripts and CI)",
     )
+    serve.add_argument(
+        "--empty", action="store_true",
+        help="serve an empty database with no collection; a cluster coordinator"
+        " provisions it over wire DDL ('cluster up' spawns these)",
+    )
+
+    cluster = subparsers.add_parser(
+        "cluster", help="assemble and operate a replicated, hash-routed cluster"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    up = cluster_sub.add_parser(
+        "up",
+        help="spawn empty shard servers, assemble them, and serve the coordinator",
+    )
+    up.add_argument("--shards", type=int, default=2, help="number of shards")
+    up.add_argument("--replicas", type=int, default=1, help="replicas per shard")
+    up.add_argument("--spares", type=int, default=0, help="extra unassigned nodes")
+    up.add_argument("--collection", default="default", help="the clustered collection's name")
+    up.add_argument(
+        "--algorithm", default=None, choices=list(LIVE_ALGORITHMS),
+        help="index algorithm for every shard's live collection",
+    )
+    up.add_argument("--host", default=DEFAULT_HOST, help="coordinator bind address")
+    up.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="coordinator bind port (0 picks a free port)",
+    )
+    up.add_argument(
+        "--slots", type=int, default=DEFAULT_NUM_SLOTS,
+        help="hash slots in the routing table (resharding moves these)",
+    )
+    up.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="seconds between node health probes",
+    )
+    up.add_argument(
+        "--node-timeout", type=float, default=10.0, help="per-node socket timeout (seconds)"
+    )
+    up.add_argument(
+        "--state-file", default=None,
+        help="write the topology here as JSON (addresses + node pids — lets"
+        " scripts and chaos tests kill a specific node)",
+    )
+    up.add_argument(
+        "--ready-file", default=None,
+        help="write 'host port' of the coordinator here once serving",
+    )
+    for sub in ("status", "reshard"):
+        sub_parser = cluster_sub.add_parser(
+            sub,
+            help="print membership, routing version, and replication lag"
+            if sub == "status"
+            else "move hash slots between shards online",
+        )
+        sub_parser.add_argument("--host", default=DEFAULT_HOST, help="coordinator address")
+        sub_parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="coordinator port")
+        sub_parser.add_argument("--collection", default="default", help="clustered collection")
+        sub_parser.add_argument(
+            "--timeout", type=float, default=10.0, help="socket timeout (seconds)"
+        )
+        if sub == "reshard":
+            sub_parser.add_argument(
+                "--moves", required=True,
+                help="comma-separated slot:shard pairs, e.g. '3:1,7:0'",
+            )
 
     client = subparsers.add_parser("client", help="issue one request to a running server")
     client.add_argument("--host", default=DEFAULT_HOST, help="server address")
@@ -323,6 +400,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("json", "prometheus"), default=None,
         help="for '--admin metrics': structured JSON (default) or Prometheus"
         " text exposition",
+    )
+    client.add_argument(
+        "--cluster", action="store_true",
+        help="for '--admin metrics' against a coordinator: merge every cluster"
+        " node's metrics into one node-labelled exposition",
     )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
@@ -642,6 +724,14 @@ def _parse_shard_spec(text: str) -> tuple[int, int]:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.empty:
+        if args.rankings is not None or args.live or args.shard is not None or args.dir:
+            print(
+                "error: --empty serves a bare database; drop rankings/--live/--shard/--dir",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_empty(args)
     if args.shards <= 0:
         print("error: --shards must be positive", file=sys.stderr)
         return 2
@@ -784,6 +874,240 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_empty(args: argparse.Namespace) -> int:
+    """Serve a database with no collections (a cluster node before DDL)."""
+    database = Database()
+    try:
+        server_type = AsyncDatabaseServer if args.use_async else DatabaseServer
+        server = server_type(database, host=args.host, port=args.port)
+        if args.use_async:
+            server.start()
+    except (ReproError, OSError, ValueError) as error:
+        database.close()
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    host, port = server.address
+    transport = "asyncio" if args.use_async else "threaded"
+    print(f"serving empty database ({transport}) on {host}:{port}")
+    print("stop with a client '--admin shutdown' request or Ctrl-C")
+    try:
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+        if args.use_async:
+            server.wait()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        server.close()
+        database.close()
+    print("server stopped")
+    return 0
+
+
+def _wait_node_ready(ready_file: str, process: subprocess.Popen, timeout: float) -> str:
+    """Poll one node's ready file; returns its ``host:port``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(ready_file):
+            with open(ready_file, encoding="utf-8") as handle:
+                content = handle.read().split()
+            if len(content) == 2:
+                return f"{content[0]}:{content[1]}"
+        if process.poll() is not None:
+            raise ReproError(
+                f"shard server (pid {process.pid}) exited with code"
+                f" {process.returncode} before becoming ready"
+            )
+        time.sleep(0.05)
+    raise ReproError(f"shard server (pid {process.pid}) not ready after {timeout:.0f}s")
+
+
+def _command_cluster_up(args: argparse.Namespace) -> int:
+    if args.shards <= 0 or args.replicas < 0 or args.spares < 0:
+        print(
+            "error: --shards must be positive; --replicas/--spares non-negative",
+            file=sys.stderr,
+        )
+        return 2
+    total = args.shards * (1 + args.replicas) + args.spares
+    workdir = tempfile.mkdtemp(prefix="repro-cluster-")
+    processes: list[subprocess.Popen] = []
+    coordinator: Coordinator | None = None
+    server: DatabaseServer | None = None
+    exit_code = 0
+    try:
+        print(f"spawning {total} empty shard server(s)...")
+        ready_files = []
+        for index in range(total):
+            ready = os.path.join(workdir, f"node-{index}.ready")
+            ready_files.append(ready)
+            processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.cli", "serve", "--empty",
+                        "--host", args.host, "--port", "0", "--ready-file", ready,
+                    ],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+        addresses = [
+            _wait_node_ready(ready, process, timeout=30.0)
+            for ready, process in zip(ready_files, processes)
+        ]
+        coordinator = Coordinator(
+            addresses,
+            collection=args.collection,
+            num_shards=args.shards,
+            replicas=args.replicas,
+            num_slots=args.slots,
+            algorithm=args.algorithm,
+            heartbeat_interval=args.heartbeat_interval,
+            timeout=args.node_timeout,
+        )
+        server = DatabaseServer(coordinator, host=args.host, port=args.port)
+        host, port = server.address
+        coordinator.address = f"{host}:{port}"
+        coordinator.start()
+        state = {
+            "coordinator": f"{host}:{port}",
+            "collection": args.collection,
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "nodes": [
+                {"address": address, "pid": process.pid}
+                for address, process in zip(addresses, processes)
+            ],
+        }
+        if args.state_file:
+            with open(args.state_file, "w", encoding="utf-8") as handle:
+                json.dump(state, handle, indent=2)
+                handle.write("\n")
+        table = coordinator.routing_table
+        print(
+            f"cluster up: {args.shards} shard(s) x {1 + args.replicas} member(s)"
+            f" (+{args.spares} spare(s)), {table.num_slots} slots,"
+            f" routing v{table.version}"
+        )
+        for spec in table.shards:
+            members = ", ".join(spec.replicas) or "none"
+            print(f"  shard {spec.shard_id}: primary {spec.primary}  replicas: {members}")
+        print(f"coordinator serving {args.collection!r} on {host}:{port}")
+        print("stop with a client '--admin shutdown' request or Ctrl-C")
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    except (ReproError, OSError, ValueError, ConnectionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        exit_code = 1
+    finally:
+        if coordinator is not None:
+            coordinator.close()
+        if server is not None:
+            server.close()
+        if coordinator is not None:
+            coordinator.shutdown_nodes()
+        for process in processes:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("cluster stopped")
+    return exit_code
+
+
+def _cluster_status_lines(status: dict) -> list[str]:
+    lines = [
+        f"collection {status.get('collection', '?')!r} — routing"
+        f" v{status.get('version', '?')}, {status.get('num_slots', '?')} slots,"
+        f" next key {status.get('next_key', '?')}"
+    ]
+    for shard in status.get("shards", []):
+        primary_state = "alive" if shard.get("primary_alive") else "DEAD"
+        lines.append(
+            f"shard {shard.get('shard')}: primary {shard.get('primary')}"
+            f" ({primary_state})  seq={shard.get('seq')}  log={shard.get('log_size')}"
+        )
+        for replica in shard.get("replicas", []):
+            replica_state = "alive" if replica.get("alive") else "DEAD"
+            lines.append(
+                f"  replica {replica.get('address')} ({replica_state})"
+                f"  applied={replica.get('applied_seq')}  lag={replica.get('lag')}"
+            )
+    spares = status.get("spares", [])
+    if spares:
+        lines.append("spares: " + ", ".join(spares))
+    migrating = status.get("migrating", [])
+    if migrating:
+        lines.append(f"migrating slots: {migrating}")
+    return lines
+
+
+def _command_cluster_status(args: argparse.Namespace) -> int:
+    try:
+        with Client(args.host, args.port, timeout=args.timeout, protocol=2) as client:
+            response = client.execute(
+                AdminRequest(collection=args.collection, action="route")
+            )
+    except (OSError, ConnectionError) as error:
+        print(f"error: cannot reach coordinator {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    if not response.ok:
+        print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
+        return 1
+    for line in _cluster_status_lines((response.data or {}).get("status", {})):
+        print(line)
+    return 0
+
+
+def _command_cluster_reshard(args: argparse.Namespace) -> int:
+    moves: dict[int, int] = {}
+    try:
+        for pair in args.moves.split(","):
+            if not pair.strip():
+                continue
+            slot, _, target = pair.partition(":")
+            moves[int(slot)] = int(target)
+    except ValueError:
+        print("error: --moves must be comma-separated slot:shard pairs", file=sys.stderr)
+        return 2
+    if not moves:
+        print("error: --moves lists no slot:shard pairs", file=sys.stderr)
+        return 2
+    try:
+        with Client(args.host, args.port, timeout=args.timeout, protocol=2) as client:
+            response = client.execute(
+                AdminRequest(collection=args.collection, action="reshard", moves=moves)
+            )
+    except (OSError, ConnectionError) as error:
+        print(f"error: cannot reach coordinator {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    if not response.ok:
+        print(f"error: {response.error.code}: {response.error.message}", file=sys.stderr)
+        return 1
+    print(json.dumps(response.data, indent=2, sort_keys=True))
+    return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    if args.cluster_command == "up":
+        return _command_cluster_up(args)
+    if args.cluster_command == "status":
+        return _command_cluster_status(args)
+    return _command_cluster_reshard(args)
+
+
 def _match_lines(response, limit: int) -> list[str]:
     matches = response.matches or ()
     lines = [
@@ -863,7 +1187,13 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
         )
     elif args.admin == "metrics":
         response = client.execute(
-            AdminRequest(action="metrics", format=args.format), trace=trace
+            AdminRequest(
+                collection=args.collection,
+                action="metrics",
+                format=args.format,
+                scope="cluster" if args.cluster else None,
+            ),
+            trace=trace,
         )
     else:
         response = client.execute(
@@ -917,6 +1247,9 @@ def _command_client(args: argparse.Namespace) -> int:
     if args.format is not None and args.admin != "metrics":
         print("error: --format only applies to '--admin metrics'", file=sys.stderr)
         return 2
+    if args.cluster and args.admin != "metrics":
+        print("error: --cluster only applies to '--admin metrics'", file=sys.stderr)
+        return 2
     try:
         client = Client(args.host, args.port, timeout=args.timeout, protocol=args.protocol)
     except (OSError, ConnectionError) as error:
@@ -966,6 +1299,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_ingest(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     if args.command == "client":
         return _command_client(args)
     if args.command == "figure":

@@ -1,0 +1,45 @@
+"""repro.cluster — a self-assembling cluster over plain shard servers.
+
+The subsystem in one breath: a :class:`~repro.cluster.coordinator.Coordinator`
+provisions empty servers over the existing wire DDL, routes every mutation
+to its owning shard by consistent key hash
+(:mod:`~repro.cluster.routing`), replicates acknowledged writes to
+followers as group-commit WAL batches, promotes a caught-up replica when a
+primary dies, and moves hash slots between shards online — while queries
+fan out and merge back byte-identical to a single-node answer
+(:mod:`~repro.cluster.merge`).  :class:`~repro.cluster.client.ClusterClient`
+is the routing-aware client; :class:`~repro.cluster.local.LocalCluster` is
+the whole topology in one process for tests, demos, and smoke jobs.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.local import LocalCluster
+from repro.cluster.merge import (
+    merge_batch_responses,
+    merge_knn_responses,
+    merge_range_responses,
+    merge_stats,
+)
+from repro.cluster.routing import (
+    DEFAULT_NUM_SLOTS,
+    RoutingTable,
+    ShardSpec,
+    key_slot,
+    table_owner,
+)
+
+__all__ = [
+    "ClusterClient",
+    "Coordinator",
+    "DEFAULT_NUM_SLOTS",
+    "LocalCluster",
+    "RoutingTable",
+    "ShardSpec",
+    "key_slot",
+    "merge_batch_responses",
+    "merge_knn_responses",
+    "merge_range_responses",
+    "merge_stats",
+    "table_owner",
+]

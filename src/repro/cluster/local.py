@@ -1,0 +1,141 @@
+"""An in-process cluster: real servers, real sockets, one test harness.
+
+:class:`LocalCluster` spins up N *empty* :class:`DatabaseServer`s on
+ephemeral loopback ports, assembles a :class:`Coordinator` over them, and
+(optionally) serves the coordinator itself over TCP — the full topology of
+``repro cluster up``, inside one process.  Tests and the demo use it to
+exercise the honest code paths: provisioning over wire DDL, group-commit
+WAL shipping, heartbeat-driven failover, online resharding.
+
+Killing a node is deliberately crude: :meth:`kill_primary` closes the
+node's server *and* database with no farewell, so in-flight requests see
+``collection_closed`` or a torn connection — the same signals a crashed
+process produces — and the coordinator has to recover the hard way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.database import Database
+from repro.api.server import DatabaseServer
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.routing import DEFAULT_NUM_SLOTS
+
+__all__ = ["LocalCluster"]
+
+
+class _Member:
+    """One shard node: its database, server, and advertised address."""
+
+    def __init__(self) -> None:
+        self.database = Database()
+        self.server = DatabaseServer(self.database, port=0)
+        host, port = self.server.start()
+        self.address = f"{host}:{port}"
+        self.killed = False
+
+    def kill(self) -> None:
+        if self.killed:
+            return
+        self.killed = True
+        self.server.close()
+        self.database.close()
+
+
+class LocalCluster:
+    """A self-contained ``shards x (1 + replicas)`` topology (+ spares)."""
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        replicas: int = 1,
+        spares: int = 0,
+        collection: str = "default",
+        algorithm: Optional[str] = None,
+        num_slots: int = DEFAULT_NUM_SLOTS,
+        heartbeat_interval: float = 0.1,
+        miss_threshold: int = 2,
+        ship_interval: float = 0.01,
+        serve_coordinator: bool = False,
+        timeout: float = 10.0,
+    ) -> None:
+        self._members: dict[str, _Member] = {}
+        for _ in range(shards * (1 + replicas) + spares):
+            member = _Member()
+            self._members[member.address] = member
+        self.coordinator = Coordinator(
+            list(self._members),
+            collection=collection,
+            num_shards=shards,
+            replicas=replicas,
+            num_slots=num_slots,
+            algorithm=algorithm,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            ship_interval=ship_interval,
+            timeout=timeout,
+        )
+        self._coordinator_server: Optional[DatabaseServer] = None
+        if serve_coordinator:
+            # bind before start() so routing tables advertise the real port
+            self._coordinator_server = DatabaseServer(self.coordinator, port=0)
+            host, port = self._coordinator_server.address
+            self.coordinator.address = f"{host}:{port}"
+        self._closed = False
+
+    def start(self) -> "LocalCluster":
+        self.coordinator.start()
+        if self._coordinator_server is not None:
+            self._coordinator_server.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.coordinator.close()
+        if self._coordinator_server is not None:
+            self._coordinator_server.close()
+        for member in self._members.values():
+            member.kill()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- topology --------------------------------------------------------------------
+
+    @property
+    def addresses(self) -> list[str]:
+        return list(self._members)
+
+    @property
+    def coordinator_address(self) -> Optional[str]:
+        """``host:port`` of the served coordinator (``serve_coordinator=True``)."""
+        return self.coordinator.address
+
+    def primary_of(self, shard_id: int) -> str:
+        return self.coordinator.routing_table.shard(shard_id).primary
+
+    # -- chaos -----------------------------------------------------------------------
+
+    def kill_node(self, address: str) -> None:
+        """Hard-stop one node: close its server and database, no farewell."""
+        self._members[address].kill()
+
+    def kill_primary(self, shard_id: int = 0) -> str:
+        """Hard-stop the current primary of ``shard_id``; returns its address."""
+        address = self.primary_of(shard_id)
+        self.kill_node(address)
+        return address
+
+    def is_killed(self, address: str) -> bool:
+        return self._members[address].killed
+
+    def __repr__(self) -> str:
+        alive = sum(not member.killed for member in self._members.values())
+        return f"LocalCluster(nodes={len(self._members)}, alive={alive})"

@@ -1,0 +1,122 @@
+"""Merging per-shard answers back into single-node-identical envelopes.
+
+A clustered collection must be indistinguishable from one big
+:class:`~repro.live.collection.LiveCollection`: same matches, same
+``(distance, key)`` order, same pagination cursors —
+:meth:`~repro.api.responses.Response.result_bytes` equal, byte for byte.
+Live responses report logical *keys* as their ``rid``s and every shard
+returns its matches already sorted by ``(distance, key)``, so the global
+answer is a plain ordered merge of the shard answers; k-NN additionally
+truncates the union to the ``k`` globally smallest pairs, which is exact
+because each shard contributed its own ``k`` smallest.
+
+Stats are volatile by contract (``result_bytes`` strips them), so merged
+stats are additive-where-numeric rather than bit-faithful.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+from repro.api.responses import MatchPayload, Response
+
+__all__ = [
+    "merge_batch_responses",
+    "merge_knn_responses",
+    "merge_range_responses",
+    "merge_stats",
+]
+
+
+def _merge_matches(per_shard: Sequence[Sequence[MatchPayload]]) -> list[MatchPayload]:
+    """Ordered merge of per-shard match lists, each sorted by (distance, rid).
+
+    Routing partitions keys, so rids are globally unique — except while a
+    reshard is backfilling, when a moving key briefly exists on both its
+    old and new shard.  The merge keeps the first copy of a rid (the one
+    with the smaller distance), which makes an in-flight migration
+    invisible to readers; once the reshard completes the dedup is a no-op.
+    """
+    merged: list[MatchPayload] = []
+    seen: set[int] = set()
+    for match in heapq.merge(*per_shard, key=lambda match: (match.distance, match.rid)):
+        if match.rid in seen:
+            continue
+        seen.add(match.rid)
+        merged.append(match)
+    return merged
+
+
+def merge_stats(stats_list: Sequence[Optional[dict]]) -> dict:
+    """Combine per-shard stats dicts: numerics sum, the rest is first-wins."""
+    merged: dict = {}
+    for stats in stats_list:
+        for key, value in (stats or {}).items():
+            if (
+                key in merged
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and isinstance(merged[key], (int, float))
+                and not isinstance(merged[key], bool)
+            ):
+                merged[key] += value
+            elif key not in merged:
+                merged[key] = value
+    return merged
+
+
+def merge_range_responses(
+    responses: Sequence[Response],
+    *,
+    limit: Optional[int] = None,
+    cursor: int = 0,
+) -> Response:
+    """One global range answer from per-shard *full* (unpaginated) answers.
+
+    Pagination is applied after the merge with exactly the single-node
+    window/cursor semantics, which is why the coordinator always fans out
+    the unpaginated query: a per-shard window would cut the wrong rows.
+    """
+    raw = _merge_matches([response.matches or () for response in responses])
+    next_cursor: Optional[int] = None
+    if limit is not None or cursor:
+        end = len(raw) if limit is None else cursor + limit
+        window = raw[cursor:end]
+        if end < len(raw):
+            next_cursor = end
+    else:
+        window = raw
+    return Response(
+        ok=True,
+        matches=tuple(window),
+        stats=merge_stats([response.stats for response in responses]),
+        cursor=next_cursor,
+    )
+
+
+def merge_knn_responses(responses: Sequence[Response], k: int) -> Response:
+    """The ``k`` globally nearest from per-shard top-``k`` answers."""
+    merged = _merge_matches([response.matches or () for response in responses])
+    return Response(
+        ok=True,
+        matches=tuple(merged[:k]),
+        stats=merge_stats([response.stats for response in responses]),
+    )
+
+
+def merge_batch_responses(responses: Sequence[Response]) -> Response:
+    """Positionwise merge of per-shard batch answers (one entry per query)."""
+    widths = {len(response.batch or ()) for response in responses}
+    assert len(widths) == 1, f"shards answered different batch widths: {widths}"
+    entries = []
+    for position in range(widths.pop()):
+        per_query = [(response.batch or ())[position] for response in responses]
+        entries.append(
+            Response(
+                ok=True,
+                matches=tuple(_merge_matches([entry.matches or () for entry in per_query])),
+                stats=merge_stats([entry.stats for entry in per_query]),
+            )
+        )
+    return Response(ok=True, batch=tuple(entries))

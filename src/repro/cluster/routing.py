@@ -1,0 +1,268 @@
+"""Consistent key-hash routing: slots, shard specs, versioned tables.
+
+Keys are mapped to a fixed ring of **hash slots** (`key_slot`), and slots —
+not keys — are assigned to shards.  The key→slot mapping is a pure function
+that never changes, so every routing decision that ever needs to move
+(resharding, failover) is a change to the small ``slots[slot] -> shard_id``
+array, published as a new **table version**.  Two consequences the cluster
+tests pin down:
+
+* routing is stable across table versions for every key whose slot did not
+  move (the "hash-routing stability" invariant), and
+* a node can cheaply prove a mutation reached the wrong owner by comparing
+  ``table.owner_of(key)`` with its own shard id — the check behind the
+  ``stale_routing`` error envelope.
+
+The hash is a splitmix64-style finalizer, **not** Python's ``hash()``:
+routing decisions must agree between coordinator, shard servers, and
+clients running in different processes (``PYTHONHASHSEED`` randomizes
+``hash()`` per process), and must decorrelate consecutive keys so that
+insertion order spreads across shards instead of striping.
+
+This module is deliberately dependency-light (stdlib + the error
+hierarchy): the API layer imports it for routing guards without pulling in
+the coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.core.errors import InvalidRequestError
+
+#: Default size of the hash-slot ring.  Small enough that a table is a
+#: trivial payload to embed in error envelopes, large enough to rebalance
+#: in fine steps (Redis Cluster uses 16384 for thousands of nodes; a
+#: handful of shards does not need that resolution).
+DEFAULT_NUM_SLOTS = 64
+
+_MASK = (1 << 64) - 1
+
+
+def key_slot(key: int, num_slots: int) -> int:
+    """The hash slot ``key`` lives in — stable across processes and versions."""
+    if num_slots <= 0:
+        raise InvalidRequestError(f"num_slots must be positive, got {num_slots}")
+    z = (key + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    z ^= z >> 31
+    return z % num_slots
+
+
+def table_owner(table: dict, key: int) -> int:
+    """The owning shard id for ``key`` under a routing table in dict form.
+
+    The guard-path helper: shard servers store the pushed table as a plain
+    dictionary and only ever need this one lookup per mutation.
+    """
+    slots = table["slots"]
+    return slots[key_slot(key, len(slots))]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's membership: its id, primary address, replica addresses."""
+
+    shard_id: int
+    primary: str
+    replicas: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise InvalidRequestError(f"shard_id must be non-negative, got {self.shard_id}")
+        if not self.primary:
+            raise InvalidRequestError(f"shard {self.shard_id} needs a primary address")
+        object.__setattr__(self, "replicas", tuple(self.replicas))
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Primary first, then replicas."""
+        return (self.primary, *self.replicas)
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "primary": self.primary,
+            "replicas": list(self.replicas),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardSpec":
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"shard spec must be an object, got {payload!r}")
+        replicas = payload.get("replicas", [])
+        if not isinstance(replicas, (list, tuple)):
+            raise InvalidRequestError(f"shard replicas must be a list, got {replicas!r}")
+        return cls(
+            shard_id=int(payload.get("shard_id", -1)),
+            primary=str(payload.get("primary", "")),
+            replicas=tuple(str(addr) for addr in replicas),
+        )
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """One immutable, versioned slot→shard assignment for one collection.
+
+    Every change (reshard, failover promotion) produces a *new* table with
+    ``version + 1``; nodes and clients treat a higher version as strictly
+    newer and replace their copy wholesale.  ``coordinator`` names the
+    address that accepts inserts (key allocation is centralized there), so
+    a client holding nothing but a table from an error envelope can find
+    its way back.
+    """
+
+    version: int
+    collection: str
+    slots: tuple[int, ...]
+    shards: tuple[ShardSpec, ...]
+    coordinator: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise InvalidRequestError(f"table version must be >= 1, got {self.version}")
+        if not self.collection:
+            raise InvalidRequestError("table needs a collection name")
+        object.__setattr__(self, "slots", tuple(self.slots))
+        object.__setattr__(self, "shards", tuple(self.shards))
+        if not self.slots:
+            raise InvalidRequestError("table needs at least one slot")
+        if not self.shards:
+            raise InvalidRequestError("table needs at least one shard")
+        for position, spec in enumerate(self.shards):
+            if spec.shard_id != position:
+                raise InvalidRequestError(
+                    f"shard ids must be contiguous from 0; position {position} "
+                    f"holds shard {spec.shard_id}"
+                )
+        for slot, shard_id in enumerate(self.slots):
+            if not 0 <= shard_id < len(self.shards):
+                raise InvalidRequestError(
+                    f"slot {slot} assigned to unknown shard {shard_id}"
+                )
+
+    # -- lookups --------------------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def slot_of(self, key: int) -> int:
+        return key_slot(key, len(self.slots))
+
+    def owner_of(self, key: int) -> int:
+        """The shard id owning ``key`` under this table version."""
+        return self.slots[self.slot_of(key)]
+
+    def shard(self, shard_id: int) -> ShardSpec:
+        return self.shards[shard_id]
+
+    def primary_for(self, key: int) -> str:
+        return self.shards[self.owner_of(key)].primary
+
+    def slots_of_shard(self, shard_id: int) -> tuple[int, ...]:
+        return tuple(slot for slot, owner in enumerate(self.slots) if owner == shard_id)
+
+    def addresses(self) -> Iterator[str]:
+        """Every node address in the table (primaries then replicas, by shard)."""
+        for spec in self.shards:
+            yield from spec.nodes
+
+    # -- evolution ------------------------------------------------------------------
+
+    def with_moves(self, moves: dict[int, int], *, shards: Optional[Sequence[ShardSpec]] = None) -> "RoutingTable":
+        """The next version with ``moves``' slots reassigned (reshard flip)."""
+        new_shards = self.shards if shards is None else tuple(shards)
+        slots = list(self.slots)
+        for slot, shard_id in moves.items():
+            if not 0 <= slot < len(slots):
+                raise InvalidRequestError(f"cannot move unknown slot {slot}")
+            if not 0 <= shard_id < len(new_shards):
+                raise InvalidRequestError(f"cannot move slot {slot} to unknown shard {shard_id}")
+            slots[slot] = shard_id
+        return RoutingTable(
+            version=self.version + 1,
+            collection=self.collection,
+            slots=tuple(slots),
+            shards=new_shards,
+            coordinator=self.coordinator,
+        )
+
+    def with_shard(self, spec: ShardSpec) -> "RoutingTable":
+        """The next version with one shard's membership replaced (promotion)."""
+        shards = list(self.shards)
+        if spec.shard_id == len(shards):
+            shards.append(spec)
+        else:
+            shards[spec.shard_id] = spec
+        return RoutingTable(
+            version=self.version + 1,
+            collection=self.collection,
+            slots=self.slots,
+            shards=tuple(shards),
+            coordinator=self.coordinator,
+        )
+
+    # -- construction / wire form ---------------------------------------------------
+
+    @classmethod
+    def assign(
+        cls,
+        collection: str,
+        shards: Sequence[ShardSpec],
+        *,
+        num_slots: int = DEFAULT_NUM_SLOTS,
+        coordinator: Optional[str] = None,
+    ) -> "RoutingTable":
+        """Version 1: slots dealt round-robin across the shards."""
+        if not shards:
+            raise InvalidRequestError("assign needs at least one shard")
+        slots = tuple(slot % len(shards) for slot in range(num_slots))
+        return cls(
+            version=1,
+            collection=collection,
+            slots=slots,
+            shards=tuple(shards),
+            coordinator=coordinator,
+        )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "version": self.version,
+            "collection": self.collection,
+            "slots": list(self.slots),
+            "shards": [spec.to_dict() for spec in self.shards],
+        }
+        if self.coordinator is not None:
+            payload["coordinator"] = self.coordinator
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoutingTable":
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"routing table must be an object, got {payload!r}")
+        slots = payload.get("slots")
+        shards = payload.get("shards")
+        if not isinstance(slots, (list, tuple)):
+            raise InvalidRequestError(f"table slots must be a list, got {slots!r}")
+        if not isinstance(shards, (list, tuple)):
+            raise InvalidRequestError(f"table shards must be a list, got {shards!r}")
+        try:
+            version = int(payload.get("version", 0))
+            slot_ids = tuple(int(entry) for entry in slots)
+        except (TypeError, ValueError):
+            raise InvalidRequestError("table version/slots must be integers") from None
+        coordinator = payload.get("coordinator")
+        return cls(
+            version=version,
+            collection=str(payload.get("collection", "")),
+            slots=slot_ids,
+            shards=tuple(ShardSpec.from_dict(entry) for entry in shards),
+            coordinator=None if coordinator is None else str(coordinator),
+        )

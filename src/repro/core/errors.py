@@ -85,3 +85,28 @@ class UnknownCollectionError(ReproError, KeyError):
 
 class CollectionClosedError(ReproError):
     """A request reached a database or collection that was already closed."""
+
+
+class NotPrimaryError(ReproError):
+    """A request reached a replica (or a demoted node) that cannot serve it.
+
+    Carries the node's current routing table (when it has one) so stale
+    clients can self-correct from the error envelope alone.
+    """
+
+    def __init__(self, message: str, routing: dict | None = None) -> None:
+        super().__init__(message)
+        self.routing = routing
+
+
+class StaleRoutingError(ReproError):
+    """A routed request hit a node that no longer owns the addressed key.
+
+    Raised by a primary when the key's hash slot maps to a different shard
+    under the node's current routing table — the client routed with a stale
+    table version.  Carries the current table for self-correction.
+    """
+
+    def __init__(self, message: str, routing: dict | None = None) -> None:
+        super().__init__(message)
+        self.routing = routing

@@ -46,7 +46,7 @@ import json
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.errors import (
     InvalidRequestError,
@@ -242,6 +242,11 @@ class LiveCollection:
         self._covered_seq = 0
         self._wal_records = 0
         self._replaying = False
+        #: Cluster seam: when set, called (under the collection lock) with
+        #: every accepted :class:`WalRecord` — local mutations and replicated
+        #: applies alike.  The coordinator in :mod:`repro.cluster` hangs WAL
+        #: shipping off this hook; it must not raise or block.
+        self.wal_hook: Optional[Callable[[WalRecord], None]] = None
         self._stats = LiveStats(
             durability=wal.durability if wal is not None else "in-memory"
         )
@@ -567,6 +572,12 @@ class LiveCollection:
         """Lifetime mutation/maintenance counters (live object)."""
         return self._stats
 
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last accepted mutation (0 when pristine)."""
+        with self._lock:
+            return self._seq
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._current)
@@ -598,6 +609,21 @@ class LiveCollection:
             return RankingSet.from_rankings(
                 self._ranking_at(location) for _, location in sorted(self._current.items())
             )
+
+    def export_state(self) -> dict:
+        """One consistent dump of the logical collection, for cluster backfill.
+
+        Returns ``{"entries": [[key, [items...]], ...], "next_key", "last_seq"}``
+        with entries in ascending key order — everything a fresh replica (or a
+        reshard target) needs to catch up to this collection's state before
+        tailing its WAL.
+        """
+        with self._lock:
+            entries = [
+                [key, list(self._ranking_at(location).items)]
+                for key, location in sorted(self._current.items())
+            ]
+            return {"entries": entries, "next_key": self._next_key, "last_seq": self._seq}
 
     def _ranking_at(self, location: Location) -> Ranking:
         layer, container, position = location
@@ -661,10 +687,15 @@ class LiveCollection:
 
     def _write_record(self, op: str, key: int, ranking: Optional[Ranking]) -> None:
         self._seq += 1
-        if self._wal is not None:
+        record: Optional[WalRecord] = None
+        if self._wal is not None or self.wal_hook is not None:
             items = None if ranking is None else ranking.items
-            self._wal.append(WalRecord(seq=self._seq, op=op, key=key, items=items))
+            record = WalRecord(seq=self._seq, op=op, key=key, items=items)
+        if self._wal is not None:
+            self._wal.append(record)
             self._wal_records += 1
+        if self.wal_hook is not None:
+            self.wal_hook(record)
 
     def _do_insert(self, key: int, ranking: Ranking) -> None:
         if self._k is None:
@@ -716,6 +747,47 @@ class LiveCollection:
             else:
                 self._do_upsert(record.key, Ranking(record.items))
             self._seq = record.seq
+
+    def apply_replicated(self, record: WalRecord) -> bool:
+        """Apply one mutation shipped from a primary, preserving its ``seq``.
+
+        The replica apply path of :mod:`repro.cluster`: the record is logged
+        to this collection's own WAL (when one is attached) *with the
+        primary's sequence number*, so primary and replica WALs describe the
+        same history and a promoted replica carries on from the same ``seq``.
+
+        Idempotent under redelivery — a record at or below the current
+        sequence returns ``False`` untouched (the coordinator resends from
+        its last acknowledged offset after failures).  A gap (``seq``
+        beyond ``last_seq + 1``) raises :class:`InvalidRequestError` so the
+        shipper knows to back up; deletes of absent keys are tolerated the
+        same way recovery replay tolerates them.
+        """
+        with self._lock:
+            if record.seq <= self._seq:
+                return False
+            if record.seq != self._seq + 1:
+                raise InvalidRequestError(
+                    f"replication gap: next expected seq {self._seq + 1}, got {record.seq}"
+                )
+            ranking = None if record.items is None else Ranking(record.items)
+            if ranking is not None:
+                self._check_size(ranking)
+            self._seq = record.seq
+            if self._wal is not None:
+                self._wal.append(record)
+                self._wal_records += 1
+            if record.op == "insert":
+                self._do_insert(record.key, ranking)
+            elif record.op == "delete":
+                if record.key in self._current:
+                    self._do_delete(record.key)
+            else:
+                self._do_upsert(record.key, ranking)
+            if self.wal_hook is not None:
+                self.wal_hook(record)
+        self._maintain()
+        return True
 
     # -- maintenance ----------------------------------------------------------------
 

@@ -43,6 +43,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "merge_snapshots",
     "render_prometheus",
     "set_registry",
 ]
@@ -366,6 +367,43 @@ def render_prometheus(snapshot: dict) -> str:
             else:
                 lines.append(f"{name}{_render_labels(labels)} {format_number(sample['value'])}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(labelled: Sequence[tuple[str, dict]], label: str = "node") -> dict:
+    """Merge several registry snapshots into one, tagging samples by source.
+
+    Each ``(source, snapshot)`` pair contributes its samples with an extra
+    ``label="<source>"`` label, and same-named families are combined under
+    one type/help (first seen wins).  The result is snapshot-shaped, so it
+    renders with :func:`render_prometheus` — this is how a coordinator's
+    ``admin metrics`` with cluster scope turns one scrape per node into a
+    single exposition covering the whole topology.
+    """
+    if not _LABEL_RE.match(label):
+        raise ValueError(f"invalid label name: {label!r}")
+    merged: dict[str, dict] = {}
+    for source, snapshot in labelled:
+        for family in snapshot.get("metrics", []):
+            name = family.get("name")
+            if not isinstance(name, str):
+                continue
+            entry = merged.get(name)
+            if entry is None:
+                entry = merged[name] = {
+                    "name": name,
+                    "type": family.get("type", "gauge"),
+                    "help": family.get("help", ""),
+                    "samples": [],
+                }
+            elif not entry["help"] and family.get("help"):
+                entry["help"] = family["help"]
+            for sample in family.get("samples", []):
+                labels = dict(sample.get("labels", {}))
+                labels[label] = str(source)
+                tagged = dict(sample)
+                tagged["labels"] = labels
+                entry["samples"].append(tagged)
+    return {"metrics": [merged[name] for name in sorted(merged)]}
 
 
 #: The process-default registry every subsystem instruments against.

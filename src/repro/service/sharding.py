@@ -326,6 +326,45 @@ class ShardedIndex:
         if executor is not None:  # shut down OUTSIDE the lock: tasks may need it
             executor.shutdown(wait=True)
 
+    def use_executor(self, executor: ExecutorSpec) -> None:
+        """Swap the fan-out backend at runtime, keeping the shards.
+
+        The cluster layer reshapes topologies while indexes stay up —
+        failover promotes replicas, resharding moves servers — and this is
+        how a long-lived index follows: point it at a fresh
+        :class:`~repro.api.remote.RemoteShardExecutor` over the new
+        addresses (or drop back to ``"thread"``/``"process"``) without
+        repartitioning.  In-flight fan-outs finish on the backend they
+        started with; remote executors are caller-owned and never shut
+        down here.
+        """
+        remote: Optional[RemoteExecutorLike] = None
+        if isinstance(executor, str):
+            if executor not in ("thread", "process"):
+                raise ValueError(
+                    f"executor must be 'thread', 'process', or a remote shard executor, "
+                    f"got {executor!r}"
+                )
+            kind = executor
+            if executor == "process":
+                self._check_picklable(self._current_build())
+        elif hasattr(executor, "range_shards") and hasattr(executor, "knn_shards"):
+            kind = "remote"
+            remote = executor
+        else:
+            raise ValueError(
+                f"executor must be 'thread', 'process', or an object with "
+                f"range_shards/knn_shards (e.g. repro.api.remote.RemoteShardExecutor), "
+                f"got {type(executor).__name__}"
+            )
+        with self._lock:
+            old, self._executor = self._executor, None
+            self._executor_version = -1
+            self._executor_kind = kind
+            self._remote = remote
+        if old is not None:  # shut down OUTSIDE the lock: tasks may need it
+            old.shutdown(wait=True)
+
     def close(self) -> None:
         """Shut the fan-out pool down (idempotent).
 

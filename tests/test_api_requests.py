@@ -48,8 +48,27 @@ EXAMPLES = [
     *[
         AdminRequest(collection="live", action=action)
         for action in ADMIN_ACTIONS
-        if action != "create"  # create carries mandatory DDL fields, below
+        # create/replicate/reshard carry mandatory fields, exercised below
+        if action not in ("create", "replicate", "reshard")
     ],
+    AdminRequest(
+        collection="live",
+        action="route",
+        table={"version": 1, "collection": "live", "slots": [0, 1], "shards": []},
+        role="replica",
+        shard_id=1,
+    ),
+    AdminRequest(collection="live", action="replicate", records=()),
+    AdminRequest(
+        collection="live",
+        action="replicate",
+        records=(
+            {"seq": 1, "op": "insert", "key": 0, "items": [1, 2, 3]},
+            {"seq": 2, "op": "delete", "key": 0, "items": None},
+        ),
+    ),
+    AdminRequest(collection="live", action="reshard", moves={3: 1, 7: 0}),
+    AdminRequest(collection="live", action="metrics", scope="cluster"),
     AdminRequest(
         collection="fresh", action="create", engine="static", rankings=((1, 2, 3), (4, 5, 6))
     ),

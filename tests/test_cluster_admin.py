@@ -1,0 +1,279 @@
+"""Shard-side cluster verbs and guards, without sockets.
+
+A shard server is an ordinary :class:`Database` that has been handed a
+routing table (``admin route``).  These tests drive that surface directly:
+the routing guard that turns misdirected mutations into self-correcting
+``not_primary`` / ``stale_routing`` envelopes, the idempotent ``replicate``
+apply path, ``promote``, ``export``, and the metrics merge that backs
+``admin metrics --cluster``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.database import Database
+from repro.api.requests import (
+    AdminRequest,
+    DeleteRequest,
+    InsertRequest,
+    KnnRequest,
+    UpsertRequest,
+)
+from repro.cluster.routing import RoutingTable, ShardSpec
+from repro.core.errors import NotPrimaryError, StaleRoutingError
+from repro.obs.metrics import merge_snapshots
+
+
+def _table(num_slots: int = 8) -> RoutingTable:
+    return RoutingTable.assign(
+        "default",
+        [ShardSpec(0, "127.0.0.1:7001"), ShardSpec(1, "127.0.0.1:7003")],
+        num_slots=num_slots,
+        coordinator="127.0.0.1:7000",
+    )
+
+
+@pytest.fixture()
+def shard0():
+    """A live collection configured as shard 0's primary."""
+    database = Database()
+    session = database.session()
+    session.execute(
+        AdminRequest(collection="default", action="create", engine="live")
+    ).raise_for_error()
+    table = _table()
+    session.execute(
+        AdminRequest(
+            collection="default",
+            action="route",
+            table=table.to_dict(),
+            role="primary",
+            shard_id=0,
+        )
+    ).raise_for_error()
+    yield session, table
+    database.close()
+
+
+def _key_owned_by(table: RoutingTable, shard_id: int) -> int:
+    return next(key for key in range(1000) if table.owner_of(key) == shard_id)
+
+
+class TestRoutingGuard:
+    def test_owned_key_accepted(self, shard0):
+        session, table = shard0
+        key = _key_owned_by(table, 0)
+        session.execute(
+            UpsertRequest(collection="default", key=key, items=(1, 2, 3))
+        ).raise_for_error()
+
+    def test_foreign_key_rejected_with_embedded_table(self, shard0):
+        session, table = shard0
+        key = _key_owned_by(table, 1)
+        response = session.execute(
+            UpsertRequest(collection="default", key=key, items=(1, 2, 3))
+        )
+        assert not response.ok
+        assert response.error.code == "stale_routing"
+        with pytest.raises(StaleRoutingError) as info:
+            response.raise_for_error()
+        # the error envelope IS the table update: a stale client installs
+        # this and retries without a coordinator round trip
+        assert RoutingTable.from_dict(info.value.routing) == table
+
+    def test_delete_guarded_like_upsert(self, shard0):
+        session, table = shard0
+        response = session.execute(
+            DeleteRequest(collection="default", key=_key_owned_by(table, 1))
+        )
+        assert not response.ok
+        assert response.error.code == "stale_routing"
+
+    def test_insert_redirected_to_coordinator(self, shard0):
+        session, table = shard0
+        response = session.execute(InsertRequest(collection="default", items=(1, 2, 3)))
+        assert not response.ok
+        assert response.error.code == "not_primary"
+        assert "127.0.0.1:7000" in response.error.message  # points home
+        with pytest.raises(NotPrimaryError) as info:
+            response.raise_for_error()
+        assert RoutingTable.from_dict(info.value.routing) == table
+
+    def test_replica_rejects_reads_and_writes(self):
+        database = Database()
+        session = database.session()
+        session.execute(
+            AdminRequest(collection="default", action="create", engine="live")
+        ).raise_for_error()
+        table = _table()
+        session.execute(
+            AdminRequest(
+                collection="default",
+                action="route",
+                table=table.to_dict(),
+                role="replica",
+                shard_id=0,
+            )
+        ).raise_for_error()
+        key = _key_owned_by(table, 0)
+        for request in (
+            UpsertRequest(collection="default", key=key, items=(1, 2, 3)),
+            KnnRequest(collection="default", items=(1, 2, 3), k=1),
+        ):
+            response = session.execute(request)
+            assert not response.ok
+            assert response.error.code == "not_primary"
+        database.close()
+
+    def test_unrouted_collection_is_unguarded(self):
+        database = Database()
+        session = database.session()
+        session.execute(
+            AdminRequest(collection="default", action="create", engine="live")
+        ).raise_for_error()
+        session.execute(
+            UpsertRequest(collection="default", key=123, items=(1, 2, 3))
+        ).raise_for_error()
+        database.close()
+
+
+def _replicate(session, records):
+    return session.execute(
+        AdminRequest(collection="default", action="replicate", records=tuple(records))
+    )
+
+
+class TestReplicateApply:
+    def test_apply_and_idempotent_reapply(self, shard0):
+        session, _ = shard0
+        records = [
+            {"seq": 1, "op": "upsert", "key": 0, "items": [1, 2, 3]},
+            {"seq": 2, "op": "upsert", "key": 1, "items": [3, 2, 1]},
+            {"seq": 3, "op": "delete", "key": 0, "items": None},
+        ]
+        first = _replicate(session, records).raise_for_error()
+        assert first.data == {"applied_seq": 3, "applied": 3, "skipped": 0}
+        # a re-shipped batch (shipper crash, ack lost) must change nothing
+        again = _replicate(session, records).raise_for_error()
+        assert again.data == {"applied_seq": 3, "applied": 0, "skipped": 3}
+
+    def test_empty_batch_is_an_applied_seq_probe(self, shard0):
+        session, _ = shard0
+        _replicate(
+            session, [{"seq": 1, "op": "upsert", "key": 0, "items": [1, 2, 3]}]
+        ).raise_for_error()
+        probe = _replicate(session, []).raise_for_error()
+        assert probe.data["applied_seq"] == 1
+
+    def test_gap_is_rejected(self, shard0):
+        session, _ = shard0
+        _replicate(
+            session, [{"seq": 1, "op": "upsert", "key": 0, "items": [1, 2, 3]}]
+        ).raise_for_error()
+        response = _replicate(
+            session, [{"seq": 5, "op": "upsert", "key": 1, "items": [3, 2, 1]}]
+        )
+        assert not response.ok
+        assert "replication gap" in response.error.message
+        assert "seq 2" in response.error.message  # names the expected seq
+
+    def test_delete_of_absent_key_applies_cleanly(self, shard0):
+        session, _ = shard0
+        response = _replicate(
+            session, [{"seq": 1, "op": "delete", "key": 42, "items": None}]
+        ).raise_for_error()
+        assert response.data["applied_seq"] == 1
+
+
+class TestPromoteAndExport:
+    def test_promote_flips_replica_to_primary(self, shard0):
+        session, table = shard0
+        session.execute(
+            AdminRequest(
+                collection="default",
+                action="route",
+                table=table.to_dict(),
+                role="replica",
+                shard_id=0,
+            )
+        ).raise_for_error()
+        key = _key_owned_by(table, 0)
+        blocked = session.execute(
+            UpsertRequest(collection="default", key=key, items=(1, 2, 3))
+        )
+        assert blocked.error.code == "not_primary"
+        session.execute(
+            AdminRequest(collection="default", action="promote")
+        ).raise_for_error()
+        session.execute(
+            UpsertRequest(collection="default", key=key, items=(1, 2, 3))
+        ).raise_for_error()
+
+    def test_export_returns_sorted_state(self, shard0):
+        session, _ = shard0
+        _replicate(
+            session,
+            [
+                {"seq": 1, "op": "upsert", "key": 7, "items": [1, 2, 3]},
+                {"seq": 2, "op": "upsert", "key": 3, "items": [3, 2, 1]},
+            ],
+        ).raise_for_error()
+        response = session.execute(
+            AdminRequest(collection="default", action="export")
+        ).raise_for_error()
+        assert response.data["entries"] == [[3, [3, 2, 1]], [7, [1, 2, 3]]]
+        assert response.data["last_seq"] == 2
+
+    def test_route_get_reports_config(self, shard0):
+        session, table = shard0
+        response = session.execute(
+            AdminRequest(collection="default", action="route")
+        ).raise_for_error()
+        assert response.data["role"] == "primary"
+        assert response.data["shard_id"] == 0
+        assert RoutingTable.from_dict(response.data["routing"]) == table
+
+
+class TestClusterMetricsSurface:
+    def test_plain_database_rejects_cluster_scope(self, shard0):
+        session, _ = shard0
+        response = session.execute(
+            AdminRequest(collection="default", action="metrics", scope="cluster")
+        )
+        assert not response.ok
+        assert response.error.code == "invalid_request"
+        assert "coordinator" in response.error.message
+
+    def test_merge_snapshots_labels_every_sample(self):
+        a = {
+            "metrics": [
+                {
+                    "name": "repro_x_total",
+                    "type": "counter",
+                    "help": "x",
+                    "samples": [{"labels": {}, "value": 2.0}],
+                }
+            ]
+        }
+        b = {
+            "metrics": [
+                {
+                    "name": "repro_x_total",
+                    "type": "counter",
+                    "help": "x",
+                    "samples": [{"labels": {"shard": "0"}, "value": 3.0}],
+                }
+            ]
+        }
+        merged = merge_snapshots([("coordinator", a), ("127.0.0.1:7001", b)])
+        (family,) = merged["metrics"]
+        assert family["name"] == "repro_x_total"
+        labels = [sample["labels"]["node"] for sample in family["samples"]]
+        assert labels == ["coordinator", "127.0.0.1:7001"]
+        # source labels survive alongside the node label
+        assert family["samples"][1]["labels"]["shard"] == "0"
+
+    def test_merge_snapshots_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            merge_snapshots([("x", {"metrics": []})], label="not a label!")

@@ -1,0 +1,137 @@
+"""Routing tables: hash stability, versioned evolution, wire round trips.
+
+The one invariant everything else leans on: ``key -> slot`` is a pure
+function of the key (splitmix64, not Python's seeded ``hash``), so a
+routing change can only ever *reassign slots to shards* — never silently
+re-route a key to a different slot.  Resharding and failover both rely on
+that: moving data means moving slots, and a v+1 table agrees with v on
+every slot it did not explicitly move.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.routing import (
+    DEFAULT_NUM_SLOTS,
+    RoutingTable,
+    ShardSpec,
+    key_slot,
+    table_owner,
+)
+from repro.core.errors import InvalidRequestError
+
+
+def _table(num_slots: int = 16) -> RoutingTable:
+    return RoutingTable.assign(
+        "default",
+        [
+            ShardSpec(0, "127.0.0.1:7001", ("127.0.0.1:7002",)),
+            ShardSpec(1, "127.0.0.1:7003", ("127.0.0.1:7004",)),
+        ],
+        num_slots=num_slots,
+        coordinator="127.0.0.1:7000",
+    )
+
+
+class TestKeySlot:
+    def test_deterministic(self):
+        assert [key_slot(key, 64) for key in range(100)] == [
+            key_slot(key, 64) for key in range(100)
+        ]
+
+    def test_in_range(self):
+        for key in range(1000):
+            assert 0 <= key_slot(key, DEFAULT_NUM_SLOTS) < DEFAULT_NUM_SLOTS
+
+    def test_spreads_keys_over_every_slot(self):
+        # splitmix64 is a strong finalizer: 10k sequential keys must not
+        # leave any of 64 slots empty (sequential keys are the common case —
+        # the coordinator allocates insert keys densely)
+        counts = [0] * 64
+        for key in range(10_000):
+            counts[key_slot(key, 64)] += 1
+        assert min(counts) > 0
+        assert max(counts) < 10_000 / 64 * 3  # no pathological clumping
+
+    def test_independent_of_table_version(self):
+        table = _table()
+        moved = table.with_moves({3: 1, 5: 1})
+        for key in range(500):
+            assert table.slot_of(key) == moved.slot_of(key)
+
+
+class TestTableEvolution:
+    def test_assign_round_robin_covers_all_shards(self):
+        table = _table()
+        assert set(table.slots) == {0, 1}
+        assert table.version == 1
+        assert table.num_shards == 2
+
+    def test_with_moves_bumps_version_and_moves_only_named_slots(self):
+        table = _table()
+        moved = table.with_moves({3: 1})
+        assert moved.version == table.version + 1
+        for slot in range(table.num_slots):
+            expected = 1 if slot == 3 else table.slots[slot]
+            assert moved.slots[slot] == expected
+
+    def test_owner_routing_is_stable_across_unrelated_moves(self):
+        # a key whose slot is not moved keeps its owner, version after version
+        table = _table()
+        key = next(k for k in range(100) if table.slot_of(k) not in (3, 5))
+        owner = table.owner_of(key)
+        evolved = table.with_moves({3: 1}).with_moves({5: 0})
+        assert evolved.owner_of(key) == owner
+        assert evolved.version == table.version + 2
+
+    def test_with_shard_replaces_membership(self):
+        table = _table()
+        promoted = table.with_shard(ShardSpec(0, "127.0.0.1:7002", ()))
+        assert promoted.version == table.version + 1
+        assert promoted.shard(0).primary == "127.0.0.1:7002"
+        assert promoted.shard(0).replicas == ()
+        assert promoted.shard(1) == table.shard(1)
+        assert promoted.slots == table.slots
+
+    def test_table_owner_helper_matches_method(self):
+        table = _table()
+        payload = table.to_dict()
+        for key in range(100):
+            assert table_owner(payload, key) == table.owner_of(key)
+
+
+class TestWireRoundTrip:
+    def test_dict_round_trip_is_json_honest(self):
+        table = _table()
+        payload = json.loads(json.dumps(table.to_dict()))
+        rebuilt = RoutingTable.from_dict(payload)
+        assert rebuilt == table
+        assert rebuilt.to_dict() == table.to_dict()
+
+    def test_coordinator_address_survives(self):
+        table = _table()
+        assert RoutingTable.from_dict(table.to_dict()).coordinator == "127.0.0.1:7000"
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("slots"),
+            lambda d: d.update(version=0),
+            lambda d: d.update(slots=[0, 99]),
+            lambda d: d.update(shards=[]),
+            lambda d: d["shards"].pop(0),  # non-contiguous shard ids
+        ],
+    )
+    def test_malformed_payloads_rejected(self, mutate):
+        payload = _table(num_slots=2).to_dict()
+        mutate(payload)
+        with pytest.raises((InvalidRequestError, KeyError)):
+            RoutingTable.from_dict(payload)
+
+    def test_primary_for_routes_keys(self):
+        table = _table()
+        for key in range(50):
+            assert table.primary_for(key) == table.shard(table.owner_of(key)).primary
