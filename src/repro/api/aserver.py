@@ -305,7 +305,7 @@ class AsyncDatabaseServer:
     def _run_bridge(self) -> None:
         try:
             asyncio.run(self._bridge_main())
-        except BaseException as error:  # surface boot failures to start()
+        except BaseException as error:  # repro: noqa[no-bare-except] start() re-raises _boot_error
             self._boot_error = error
             self._started.set()
 

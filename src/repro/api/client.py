@@ -56,6 +56,7 @@ from repro.api.requests import RequestLike, parse_request
 from repro.api.responses import Response
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.api.surface import ExecutorSurface
+from repro.devtools.locktrace import make_lock
 
 
 class PendingReply:
@@ -138,10 +139,15 @@ class Client(ExecutorSurface):
         self._address = (host, port)
         self._max_frame_bytes = max_frame_bytes
         self.timeout = timeout
-        self._send_lock = threading.Lock()
-        self._state_lock = threading.Lock()
-        self._pending: dict[int, PendingReply] = {}
-        self._next_id = 0
+        #: Lock order (when nested): _send_lock -> _state_lock, never the
+        #: reverse — _post registers ids and releases before sending, while
+        #: a failed send tears down (state lock) under the send lock.
+        self._send_lock = make_lock("Client._send_lock")
+        self._state_lock = make_lock("Client._state_lock")
+        self._pending: dict[int, PendingReply] = {}  # guarded-by: _state_lock
+        self._next_id = 0  # guarded-by: _state_lock
+        #: Poisoned-flag writes happen under _state_lock; hot-path reads are
+        #: deliberately lock-free and recover via ConnectionError.
         self._closed = False
         self._version = 1
         self._server_info: Optional[dict] = None

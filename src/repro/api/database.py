@@ -38,6 +38,7 @@ from repro.core.ranking import Ranking, RankingSet
 from repro.live.collection import DEFAULT_LIVE_ALGORITHM, LiveCollection
 from repro.live.wal import WalRecord
 from repro.live.engine import LiveQueryEngine
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry, render_prometheus
 from repro.obs.slowlog import DEFAULT_SLOWLOG_CAPACITY, SlowQueryEntry, SlowQueryLog
 from repro.obs.tracing import current_trace
@@ -57,6 +58,7 @@ from repro.api.requests import (
 )
 from repro.api.responses import MatchPayload, Response, error_response
 from repro.api.surface import ExecutorSurface
+from repro.devtools.locktrace import make_lock
 
 #: Engines a collection may be served by.
 Engine = Union[QueryEngine, LiveQueryEngine]
@@ -124,10 +126,10 @@ class Database:
     """
 
     def __init__(self, slow_query_capacity: int = DEFAULT_SLOWLOG_CAPACITY) -> None:
-        self._collections: dict[str, _Collection] = {}
-        self._cluster: dict[str, dict] = {}
-        self._lock = threading.Lock()
-        self._closed = False
+        self._collections: dict[str, _Collection] = {}  # guarded-by: _lock
+        self._cluster: dict[str, dict] = {}  # guarded-by: _lock
+        self._lock = make_lock("Database._lock")
+        self._closed = False  # guarded-by: _lock
         self._slow_log = SlowQueryLog(slow_query_capacity)
 
     @property
@@ -236,7 +238,7 @@ class Database:
             self._check_open()
             self._cluster[name] = config
         get_registry().gauge(
-            "repro_cluster_routing_version",
+            metric_names.CLUSTER_ROUTING_VERSION,
             "Version of the routing table installed on this node.",
             collection=name,
         ).set(float(table.get("version", 0)))
@@ -265,14 +267,14 @@ class Database:
             raise UnknownCollectionError(name)
         return entry
 
-    def _check_open(self) -> None:
+    def _check_open(self) -> None:  # holds: _lock
         if self._closed:
             raise CollectionClosedError("database is closed")
 
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has run."""
-        return self._closed
+        return self._closed  # repro: noqa[guarded-by] lock-free monotonic-flag read
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -304,7 +306,7 @@ class Database:
         return self.session().execute(request)
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else f"collections={self.names()}"
+        state = "closed" if self._closed else f"collections={self.names()}"  # repro: noqa[guarded-by] racy repr read, diagnostic only
         return f"Database({state})"
 
 

@@ -38,6 +38,7 @@ from typing import Optional, Sequence, Union
 from repro.api.client import Client, PendingReply
 from repro.api.protocol import DEFAULT_MAX_FRAME_BYTES
 from repro.api.requests import DEFAULT_COLLECTION, KnnRequest, RangeQueryRequest, Request
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import current_trace
 
@@ -109,7 +110,7 @@ class RemoteShardExecutor:
         registry = get_registry()
         self._m_latency = [
             registry.histogram(
-                "repro_remote_fanout_seconds",
+                metric_names.REMOTE_FANOUT_SECONDS,
                 "Wall time from fan-out start to each shard server's reply.",
                 shard=str(shard),
             )
@@ -117,7 +118,7 @@ class RemoteShardExecutor:
         ]
         self._m_errors = [
             registry.counter(
-                "repro_remote_fanout_errors_total",
+                metric_names.REMOTE_FANOUT_ERRORS_TOTAL,
                 "Sub-queries that failed (transport or typed error).",
                 shard=str(shard),
             )

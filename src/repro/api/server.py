@@ -48,6 +48,7 @@ from repro.api.protocol import (
     write_frame,
 )
 from repro.api.responses import Response, ResponseError
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Trace, use_trace
 
@@ -107,36 +108,36 @@ class ServerMetrics:
     def __init__(self, transport: str) -> None:
         registry = get_registry()
         self.connections = registry.counter(
-            "repro_server_connections_total",
+            metric_names.SERVER_CONNECTIONS_TOTAL,
             "Client connections accepted.",
             transport=transport,
         )
         self.frames_in = registry.counter(
-            "repro_server_frames_total",
+            metric_names.SERVER_FRAMES_TOTAL,
             "Wire frames processed.",
             transport=transport,
             direction="in",
         )
         self.frames_out = registry.counter(
-            "repro_server_frames_total",
+            metric_names.SERVER_FRAMES_TOTAL,
             "Wire frames processed.",
             transport=transport,
             direction="out",
         )
         self.bytes_in = registry.counter(
-            "repro_server_bytes_total",
+            metric_names.SERVER_BYTES_TOTAL,
             "Wire bytes moved, frame headers included.",
             transport=transport,
             direction="in",
         )
         self.bytes_out = registry.counter(
-            "repro_server_bytes_total",
+            metric_names.SERVER_BYTES_TOTAL,
             "Wire bytes moved, frame headers included.",
             transport=transport,
             direction="out",
         )
         self.oversized = registry.counter(
-            "repro_server_oversized_total",
+            metric_names.SERVER_OVERSIZED_TOTAL,
             "Frames refused for exceeding the frame limit.",
             transport=transport,
         )

@@ -417,6 +417,24 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument("--n", type=int, default=1000)
     table.add_argument("--k", type=int, default=10)
 
+    lint = subparsers.add_parser(
+        "lint", help="run the project's static-analysis rules over a source tree"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: <root>/src)"
+    )
+    lint.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="lint_format",
+        help="report format (default: text)",
+    )
+    lint.add_argument("--rules", default=None, help="comma-separated rule ids to run")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+
     return parser
 
 
@@ -661,7 +679,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
                         live.upsert(int(payload["key"]), payload["items"])
                     else:
                         raise ValueError(f"unknown op {op!r}")
-                except Exception as error:  # report and continue: a stream may be dirty
+                except Exception as error:  # repro: noqa[no-bare-except] reported to stderr, counted, dirty streams continue
                     errors += 1
                     print(f"  line {line_number}: skipped ({error})", file=sys.stderr)
                     continue
@@ -1283,6 +1301,17 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    forwarded = list(args.paths) + ["--root", args.root, "--format", args.lint_format]
+    if args.rules:
+        forwarded += ["--rules", args.rules]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -1306,6 +1335,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "figure":
         _FIGURES[args.number](args)
         return 0
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "table":
         _TABLES[args.number](args)
         return 0

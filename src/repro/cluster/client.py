@@ -76,8 +76,8 @@ class ClusterClient:
         for client in self._shard_clients.values():
             try:
                 client.close()
-            except Exception:
-                pass
+            except OSError:
+                pass  # best-effort close of an already-broken connection
         self._shard_clients.clear()
         self._coordinator.close()
 
@@ -227,8 +227,8 @@ class ClusterClient:
         if client is not None:
             try:
                 client.close()
-            except Exception:
-                pass
+            except OSError:
+                pass  # best-effort close of an already-broken connection
 
     def __repr__(self) -> str:
         version = self._table.version if self._table is not None else "?"

@@ -44,6 +44,7 @@ single node.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import deque
 from typing import Optional, Sequence
@@ -76,8 +77,12 @@ from repro.core.errors import (
     UnknownCollectionError,
 )
 from repro.core.ranking import Ranking
+from repro.devtools.locktrace import make_lock
 from repro.live.wal import WalRecord
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry, merge_snapshots, render_prometheus
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["Coordinator"]
 
@@ -105,10 +110,12 @@ class _Node:
         host, _, port = address.rpartition(":")
         self.host = host
         self.port = int(port)
-        self.client: Optional[Client] = None
+        self.client: Optional[Client] = None  # guarded-by: lock
+        #: `alive`/`misses` are written by the heartbeat thread; other
+        #: threads read them optimistically and recover via retry.
         self.alive = True
         self.misses = 0
-        self.lock = threading.Lock()
+        self.lock = make_lock(f"cluster.node:{address}")
 
 
 class _Shard:
@@ -119,10 +126,13 @@ class _Shard:
         self.primary = primary
         self.replicas: list[str] = list(replicas)
         #: Mutations are serialized per shard: the lock also orders the log.
-        self.lock = threading.RLock()
-        self.seq = 0
-        self.log: deque[WalRecord] = deque()
-        #: Per-replica acknowledged (applied) sequence numbers.
+        #: Reentrant: reshard's atomic flip holds every shard lock and still
+        #: routes writes through _shard_write, which re-acquires its shard's.
+        self.lock = make_lock(f"cluster.shard:{shard_id}", reentrant=True)
+        self.seq = 0  # guarded-by: lock
+        self.log: deque[WalRecord] = deque()  # guarded-by: lock
+        #: Per-replica acknowledged (applied) sequence numbers; written by
+        #: the single shipper thread and under the lock at failover.
         self.applied: dict[str, int] = {addr: 0 for addr in replicas}
 
     def spec(self) -> ShardSpec:
@@ -198,12 +208,14 @@ class Coordinator(ExecutorSurface):
             self._shards.append(_Shard(shard_id, members[0], members[1:]))
         self._spares: list[str] = list(nodes[num_shards * group :])
 
-        self._table: Optional[RoutingTable] = None
-        self._table_lock = threading.Lock()
+        self._table: Optional[RoutingTable] = None  # guarded-by: _table_lock
+        self._table_lock = make_lock("Coordinator._table_lock")
+        #: Set/cleared only by the single admin reshard path; _shard_write
+        #: reads it under its shard lock, status() reads it racily.
         self._migration: Optional[_Migration] = None
-        self._k: Optional[int] = None
-        self._next_key = 0
-        self._alloc_lock = threading.Lock()
+        self._k: Optional[int] = None  # guarded-by: _alloc_lock
+        self._next_key = 0  # guarded-by: _alloc_lock
+        self._alloc_lock = make_lock("Coordinator._alloc_lock")
         self._closed = False
         self._started = False
         self._stop = threading.Event()
@@ -214,7 +226,7 @@ class Coordinator(ExecutorSurface):
         registry = get_registry()
         self._m_failovers = {
             shard.shard_id: registry.counter(
-                "repro_cluster_failovers_total",
+                metric_names.CLUSTER_FAILOVERS_TOTAL,
                 "Replica promotions after a primary was lost.",
                 shard=str(shard.shard_id),
             )
@@ -222,7 +234,7 @@ class Coordinator(ExecutorSurface):
         }
         self._m_lag = {
             shard.shard_id: registry.gauge(
-                "repro_cluster_replication_lag",
+                metric_names.CLUSTER_REPLICATION_LAG,
                 "Records the slowest live replica of a shard still has to apply.",
                 shard=str(shard.shard_id),
             )
@@ -230,19 +242,19 @@ class Coordinator(ExecutorSurface):
         }
         self._m_shipped = {
             shard.shard_id: registry.counter(
-                "repro_cluster_shipped_records_total",
+                metric_names.CLUSTER_SHIPPED_RECORDS_TOTAL,
                 "WAL records acknowledged by replicas.",
                 shard=str(shard.shard_id),
             )
             for shard in self._shards
         }
         self._m_version = registry.gauge(
-            "repro_cluster_routing_version",
+            metric_names.CLUSTER_ROUTING_VERSION,
             "Version of the routing table installed on this node.",
             collection=collection,
         )
         self._m_reshards = registry.counter(
-            "repro_cluster_reshards_total", "Completed online slot migrations."
+            metric_names.CLUSTER_RESHARDS_TOTAL, "Completed online slot migrations."
         )
 
     # -- lifecycle -------------------------------------------------------------------
@@ -340,8 +352,10 @@ class Coordinator(ExecutorSurface):
 
     @property
     def routing_table(self) -> RoutingTable:
-        assert self._table is not None, "coordinator not started"
-        return self._table
+        with self._table_lock:
+            table = self._table
+        assert table is not None, "coordinator not started"
+        return table
 
     # -- dispatch --------------------------------------------------------------------
 
@@ -393,8 +407,10 @@ class Coordinator(ExecutorSurface):
         return self._routed_write("delete", request.key, None)
 
     def _check_size(self, size: int) -> None:
-        if self._k is not None and size != self._k:
-            raise RankingSizeMismatchError(self._k, size)
+        with self._alloc_lock:
+            expected = self._k
+        if expected is not None and size != expected:
+            raise RankingSizeMismatchError(expected, size)
 
     def _note_items(self, key: int, size: int) -> None:
         with self._alloc_lock:
@@ -651,6 +667,8 @@ class Coordinator(ExecutorSurface):
     def status(self) -> dict:
         """Membership, routing version, and replication lag — ``cluster status``."""
         table = self.routing_table
+        with self._alloc_lock:
+            next_key = self._next_key
         shards = []
         for shard in self._shards:
             with shard.lock:
@@ -679,7 +697,7 @@ class Coordinator(ExecutorSurface):
             "version": table.version,
             "num_slots": table.num_slots,
             "coordinator": self._address,
-            "next_key": self._next_key,
+            "next_key": next_key,
             "shards": shards,
             "spares": list(self._spares),
             "migrating": sorted(self._migration.slots) if self._migration else [],
@@ -698,6 +716,11 @@ class Coordinator(ExecutorSurface):
                     self._ship_shard(shard)
                 except Exception:
                     # the shipper must survive anything; heartbeats handle death
+                    logger.warning(
+                        "replication shipper: shard %d ship failed",
+                        shard.shard_id,
+                        exc_info=True,
+                    )
                     continue
 
     def _ship_shard(self, shard: _Shard) -> None:
@@ -783,13 +806,18 @@ class Coordinator(ExecutorSurface):
                     self._discard_client(node)
                     healthy = False
                 except Exception:
+                    logger.warning(
+                        "heartbeat: probe of %s failed unexpectedly",
+                        node.address,
+                        exc_info=True,
+                    )
                     healthy = False
                 if healthy:
                     node.misses = 0
                     continue
                 node.misses += 1
                 get_registry().counter(
-                    "repro_cluster_heartbeat_misses_total",
+                    metric_names.CLUSTER_HEARTBEAT_MISSES_TOTAL,
                     "Consecutive-failure heartbeat probes.",
                     node=node.address,
                 ).inc()
@@ -797,6 +825,13 @@ class Coordinator(ExecutorSurface):
                     try:
                         self._on_node_dead(node)
                     except Exception:
+                        # keep probing the other nodes; a failed failover
+                        # retries on the next heartbeat round
+                        logger.error(
+                            "failover for %s failed; will retry",
+                            node.address,
+                            exc_info=True,
+                        )
                         continue
 
     def _on_node_dead(self, node: _Node) -> None:
@@ -1087,8 +1122,8 @@ class Coordinator(ExecutorSurface):
         if client is not None:
             try:
                 client.close()
-            except Exception:
-                pass
+            except OSError:
+                pass  # best-effort close of an already-broken connection
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"shards={len(self._shards)}"

@@ -1,0 +1,47 @@
+"""Correctness tooling for the repro codebase itself.
+
+Two halves:
+
+* :mod:`repro.devtools.lint` — project-specific static analysis run as
+  ``repro lint`` (or ``python -m repro.devtools``): AST rules for lock
+  discipline, fsync ordering, wire parity, metric-name hygiene, broad
+  exception handlers, and ``__all__`` drift.  See
+  :mod:`repro.devtools.rules` for the catalogue.
+* :mod:`repro.devtools.locktrace` — a runtime lock-order race detector:
+  ``REPRO_LOCKTRACE=1`` swaps every :func:`make_lock` lock for a
+  :class:`TracedLock` that records the acquisition graph per thread and
+  reports lock-order inversions and long-hold / IO-under-lock smells.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import Finding, ModuleInfo, Project, Rule, all_rules, run_lint
+from repro.devtools.locktrace import (
+    LockInversion,
+    LockSmell,
+    LockTraceRegistry,
+    TracedLock,
+    get_lock_registry,
+    locktrace_enabled,
+    make_lock,
+    mark_io,
+    reset_lock_registry,
+)
+
+__all__ = [
+    "Finding",
+    "LockInversion",
+    "LockSmell",
+    "LockTraceRegistry",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "TracedLock",
+    "all_rules",
+    "get_lock_registry",
+    "locktrace_enabled",
+    "make_lock",
+    "mark_io",
+    "reset_lock_registry",
+    "run_lint",
+]

@@ -1,0 +1,312 @@
+"""Project-specific static analysis for the repro codebase.
+
+Generic linters check style; this one checks the *invariants that keep a
+concurrent LSM store correct* — lock discipline, fsync-before-rename,
+wire-schema/dispatch parity, metric-name consistency — by walking the
+AST of every module under ``src/repro`` and running a small set of
+:class:`Rule` objects over it.
+
+The moving parts:
+
+* :class:`ModuleInfo` — one parsed source file: path, raw text, AST, and
+  the per-line ``# repro: noqa[rule-id]`` suppression map.
+* :class:`Project` — every module plus the repo root, handed to rules
+  that need a cross-file view (wire parity, metric catalogue).
+* :class:`Rule` — subclass and override :meth:`Rule.check_module` (runs
+  once per file) and/or :meth:`Rule.check_project` (runs once per lint
+  pass).  Yield :class:`Finding` objects; the framework applies ``noqa``
+  filtering, sorting, and reporting.
+* :func:`run_lint` / :func:`main` — the programmatic and CLI entry
+  points.  Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+
+Suppressions are *scoped*: ``# repro: noqa[guarded-by]`` on the
+offending line silences that rule only; a bare ``# repro: noqa``
+silences every rule on the line.  Each suppression is expected to carry
+a short justification in the same comment — the rule catalogue in the
+README documents the convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "build_parser",
+    "load_project",
+    "main",
+    "run_lint",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: ``# repro: noqa`` or ``# repro: noqa[rule-a, rule-b]`` — optionally
+#: followed by a justification in the same comment.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s\-]+)\])?")
+
+#: All rules suppressed (bare ``# repro: noqa``).
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class ModuleInfo:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.noqa: dict[int, set[str]] = _parse_noqa(self.lines)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.noqa.get(line)
+        if rules is None:
+            return False
+        return _ALL_RULES in rules or rule in rules
+
+    def line_text(self, line: int) -> str:
+        """The 1-indexed source line, or ``""`` past EOF."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def __repr__(self) -> str:
+        return f"ModuleInfo({self.relpath!r})"
+
+
+def _parse_noqa(lines: Sequence[str]) -> dict[int, set[str]]:
+    suppressions: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        if match.group(1) is None:
+            suppressions[number] = {_ALL_RULES}
+        else:
+            suppressions[number] = {
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            }
+    return suppressions
+
+
+@dataclass
+class Project:
+    """Every linted module, for rules that need the cross-file view."""
+
+    root: Path
+    modules: list[ModuleInfo] = field(default_factory=list)
+
+    def module(self, relpath: str) -> Optional[ModuleInfo]:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        """A non-Python file's text (README.md, ...), if it exists."""
+        candidate = self.root / relpath
+        if candidate.is_file():
+            return candidate.read_text(encoding="utf-8")
+        return None
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``description``, override a hook."""
+
+    id: str = ""
+    description: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Findings for one file; runs once per module."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Cross-file findings; runs once per lint pass."""
+        return ()
+
+
+def all_rules() -> list[Rule]:
+    """Every built-in rule, instantiated fresh."""
+    from repro.devtools import rules as _rules
+
+    return _rules.default_rules()
+
+
+def _iter_sources(root: Path, paths: Sequence[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or "__pycache__" in resolved.parts:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def load_project(root: Path, paths: Optional[Sequence[Path]] = None) -> Project:
+    """Parse every ``*.py`` under ``paths`` (default: ``root/src``)."""
+    root = root.resolve()
+    targets = [Path(p) for p in paths] if paths else [root / "src"]
+    project = Project(root=root)
+    for source in _iter_sources(root, targets):
+        resolved = source.resolve()
+        try:
+            relpath = resolved.relative_to(root).as_posix()
+        except ValueError:
+            relpath = source.as_posix()
+        text = resolved.read_text(encoding="utf-8")
+        try:
+            project.modules.append(ModuleInfo(resolved, relpath, text))
+        except SyntaxError as error:
+            raise SystemExit(f"repro lint: cannot parse {relpath}: {error}") from None
+    return project
+
+
+def run_lint(
+    project: Project,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Run ``rules`` over ``project``; noqa-filtered, sorted findings."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        for module in project.modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(project))
+    kept = []
+    for finding in findings:
+        module = project.module(finding.path)
+        if module is not None and module.suppressed(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return sorted(set(kept))
+
+
+def _render_text(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun} ({len(rules)} rules)")
+    return "\n".join(lines)
+
+
+def _render_json(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "rules": [rule.id for rule in rules],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific static analysis (see README: Static analysis).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root, for relative paths and README parity (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point.  Exit 0 clean, 1 findings, 2 usage/internal error."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        width = max(len(rule.id) for rule in rules)
+        for rule in rules:
+            print(f"{rule.id:<{width}}  {rule.description}")
+        return EXIT_CLEAN
+    if args.rules is not None:
+        wanted = {name.strip() for name in args.rules.split(",") if name.strip()}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s): {', '.join(sorted(unknown))}"
+                f" (known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        rules = [rule for rule in rules if rule.id in wanted]
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"repro lint: root {root} is not a directory", file=sys.stderr)
+        return EXIT_ERROR
+    paths = [Path(p) for p in args.paths] or None
+    if paths:
+        missing = [str(p) for p in paths if not p.exists()]
+        if missing:
+            print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+            return EXIT_ERROR
+    try:
+        project = load_project(root, paths)
+        findings = run_lint(project, rules)
+    except SystemExit as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_ERROR
+    render = _render_json if args.format == "json" else _render_text
+    print(render(findings, rules))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,400 @@
+"""Runtime lock-order tracing: find deadlocks before they happen.
+
+The serving stack is a lattice of locks — collection, WAL, cache, registry,
+coordinator shard and node locks — and the rule that keeps it deadlock-free
+("always take them in the same order") is invisible at runtime.  This module
+makes it visible: :class:`TracedLock` is a drop-in wrapper that records, per
+thread, which locks were held when each lock was acquired, building a global
+*lock-order graph*.  A cycle in that graph is a **lock-order inversion**:
+two code paths that take the same locks in opposite orders and will
+eventually deadlock under the right interleaving — reported deterministically
+even when the test run never actually deadlocks (the lockdep idea).
+
+Activation
+----------
+Everything is off by default.  Setting ``REPRO_LOCKTRACE=1`` in the
+environment before the process imports this module switches
+:func:`make_lock` — the factory the hot classes create their locks through —
+from plain ``threading`` locks to traced ones.  The stress and failover
+suites run under this flag in CI and assert that the inversion report stays
+empty.
+
+Beyond inversions, the registry collects two *smells* (reported, never
+fatal):
+
+* **long holds** — a lock held longer than ``REPRO_LOCKTRACE_HOLD_MS``
+  milliseconds (default 250), with the release site's stack;
+* **IO under lock** — :func:`mark_io` callers (the WAL/manifest ``fsync``
+  barriers) that ran while the thread held a traced lock.
+
+Ordering is keyed by lock *instance*, so two collections each nesting their
+own WAL lock do not alias into a false cycle, while a genuine ABBA over the
+same pair of instances is caught.  This module imports only the standard
+library, so any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "DEFAULT_HOLD_SECONDS",
+    "ENV_FLAG",
+    "HOLD_ENV_FLAG",
+    "LockInversion",
+    "LockSmell",
+    "LockTraceRegistry",
+    "TracedLock",
+    "get_lock_registry",
+    "locktrace_enabled",
+    "make_lock",
+    "mark_io",
+    "reset_lock_registry",
+]
+
+#: Environment variable that switches :func:`make_lock` to traced locks.
+ENV_FLAG = "REPRO_LOCKTRACE"
+
+#: Environment variable overriding the long-hold threshold (milliseconds).
+HOLD_ENV_FLAG = "REPRO_LOCKTRACE_HOLD_MS"
+
+#: Default long-hold threshold in seconds.
+DEFAULT_HOLD_SECONDS = 0.25
+
+
+def locktrace_enabled() -> bool:
+    """Whether ``REPRO_LOCKTRACE`` asks for traced locks."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0", "false", "no")
+
+
+def _hold_threshold_seconds() -> float:
+    raw = os.environ.get(HOLD_ENV_FLAG, "")
+    try:
+        return float(raw) / 1000.0 if raw else DEFAULT_HOLD_SECONDS
+    except ValueError:
+        return DEFAULT_HOLD_SECONDS
+
+
+def _call_site(skip: int = 3, limit: int = 6) -> str:
+    """A compact ``file:line in func`` stack slice of the caller."""
+    frames = traceback.extract_stack()[:-skip]
+    interesting = frames[-limit:]
+    return " <- ".join(
+        f"{os.path.basename(frame.filename)}:{frame.lineno}:{frame.name}"
+        for frame in reversed(interesting)
+    )
+
+
+@dataclass(frozen=True)
+class LockInversion:
+    """Two (or more) locks acquired in conflicting orders: a deadlock seed.
+
+    ``cycle`` names the locks along the cycle; ``forward_site`` is where the
+    pre-existing order was observed, ``backward_site`` where the conflicting
+    acquisition closed the cycle.
+    """
+
+    cycle: tuple[str, ...]
+    forward_site: str
+    backward_site: str
+
+    def describe(self) -> str:
+        chain = " -> ".join(self.cycle + (self.cycle[0],))
+        return (
+            f"lock-order inversion: {chain}\n"
+            f"  established order at: {self.forward_site}\n"
+            f"  conflicting order at: {self.backward_site}"
+        )
+
+
+@dataclass(frozen=True)
+class LockSmell:
+    """A non-fatal finding: a long hold or IO performed under a lock."""
+
+    kind: str  # "long-hold" | "io-under-lock"
+    lock: str
+    detail: str
+    site: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.lock} — {self.detail} ({self.site})"
+
+
+@dataclass
+class _HeldLock:
+    """One entry of a thread's lock stack."""
+
+    key: int
+    label: str
+    acquired_at: float
+    depth: int = 1  # reentrant acquisitions of the same lock
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[_HeldLock] = []
+
+
+_STATE = _ThreadState()
+
+
+class LockTraceRegistry:
+    """The process-wide lock-order graph and its findings.
+
+    ``record_acquire`` adds one edge per already-held lock to the directed
+    order graph; a new edge that closes a cycle is reported as a
+    :class:`LockInversion` exactly once per edge pair.  The registry's own
+    lock is a plain ``threading.Lock`` (never a traced one).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # guarded-by _lock: edge -> first acquisition site that recorded it
+        self._edges: dict[tuple[int, int], str] = {}
+        self._labels: dict[int, str] = {}
+        self._inversions: list[LockInversion] = []
+        self._reported_edges: set[tuple[int, int]] = set()
+        self._smells: list[LockSmell] = []
+        self._hold_threshold = _hold_threshold_seconds()
+
+    # -- event intake ------------------------------------------------------------
+
+    def record_acquire(self, key: int, label: str, held: list[_HeldLock]) -> None:
+        """Note that ``label`` was acquired while ``held`` were already held."""
+        if not held:
+            with self._lock:
+                self._labels.setdefault(key, label)
+            return
+        site = _call_site()
+        with self._lock:
+            self._labels.setdefault(key, label)
+            for entry in held:
+                edge = (entry.key, key)
+                if edge in self._edges:
+                    continue
+                cycle = self._find_path(key, entry.key)
+                if cycle is not None and edge not in self._reported_edges:
+                    self._reported_edges.add(edge)
+                    labels = tuple(self._labels.get(k, f"lock#{k}") for k in cycle)
+                    self._inversions.append(
+                        LockInversion(
+                            cycle=labels,
+                            forward_site=self._edges.get(
+                                (cycle[0], cycle[1]), "<unknown>"
+                            )
+                            if len(cycle) == 2
+                            else "<multi-step chain>",
+                            backward_site=site,
+                        )
+                    )
+                    continue  # do not record the inverted edge as legitimate
+                self._edges[edge] = site
+
+    def record_release(self, key: int, label: str, held_seconds: float) -> None:
+        """Note a release; long holds become smells."""
+        if held_seconds < self._hold_threshold:
+            return
+        with self._lock:
+            self._smells.append(
+                LockSmell(
+                    kind="long-hold",
+                    lock=label,
+                    detail=f"held {held_seconds * 1000.0:.1f}ms "
+                    f"(threshold {self._hold_threshold * 1000.0:.0f}ms)",
+                    site=_call_site(),
+                )
+            )
+
+    def record_io(self, description: str, held: list[_HeldLock]) -> None:
+        """Note a blocking-IO barrier performed while locks were held."""
+        if not held:
+            return
+        with self._lock:
+            self._smells.append(
+                LockSmell(
+                    kind="io-under-lock",
+                    lock=", ".join(entry.label for entry in held),
+                    detail=description,
+                    site=_call_site(),
+                )
+            )
+
+    def _find_path(self, start: int, goal: int) -> Optional[tuple[int, ...]]:
+        """A path start -> ... -> goal through the edge graph, if one exists.
+
+        Caller holds ``self._lock``.  A found path means adding the edge
+        ``goal -> start`` would close a cycle; the returned tuple is that
+        cycle's node sequence starting at ``start``.
+        """
+        adjacency: dict[int, list[int]] = {}
+        for a, b in self._edges:
+            adjacency.setdefault(a, []).append(b)
+        stack: list[tuple[int, tuple[int, ...]]] = [(start, (start,))]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append((neighbour, path + (neighbour,)))
+        return None
+
+    # -- reporting ---------------------------------------------------------------
+
+    def inversions(self) -> list[LockInversion]:
+        """Every lock-order inversion observed so far."""
+        with self._lock:
+            return list(self._inversions)
+
+    def smells(self) -> list[LockSmell]:
+        """Long-hold and IO-under-lock findings (advisory)."""
+        with self._lock:
+            return list(self._smells)
+
+    def edges(self) -> dict[tuple[str, str], str]:
+        """The observed order graph as ``(held, acquired) -> site``."""
+        with self._lock:
+            return {
+                (
+                    self._labels.get(a, f"lock#{a}"),
+                    self._labels.get(b, f"lock#{b}"),
+                ): site
+                for (a, b), site in self._edges.items()
+            }
+
+    def report(self) -> str:
+        """Human-readable summary of inversions and smells."""
+        lines = []
+        for inversion in self.inversions():
+            lines.append(inversion.describe())
+        for smell in self.smells():
+            lines.append(smell.describe())
+        return "\n".join(lines) if lines else "locktrace: no findings"
+
+    def clear(self) -> None:
+        """Drop every edge and finding (test isolation)."""
+        with self._lock:
+            self._edges.clear()
+            self._labels.clear()
+            self._inversions.clear()
+            self._reported_edges.clear()
+            self._smells.clear()
+
+
+_REGISTRY = LockTraceRegistry()
+_LABEL_COUNTERS: dict[str, "itertools.count[int]"] = {}
+_LABEL_LOCK = threading.Lock()
+
+
+def get_lock_registry() -> LockTraceRegistry:
+    """The process-wide registry every :class:`TracedLock` reports into."""
+    return _REGISTRY
+
+
+def reset_lock_registry() -> None:
+    """Clear the process registry (between tests)."""
+    _REGISTRY.clear()
+
+
+def _unique_label(name: str) -> str:
+    with _LABEL_LOCK:
+        counter = _LABEL_COUNTERS.setdefault(name, itertools.count())
+        ordinal = next(counter)
+    return name if ordinal == 0 else f"{name}#{ordinal}"
+
+
+#: Anything :func:`make_lock` may return.
+LockLike = Union["TracedLock", threading.Lock, "threading.RLock"]
+
+
+class TracedLock:
+    """A lock wrapper that feeds the order graph on every acquisition.
+
+    Supports the ``Lock``/``RLock`` surface the codebase uses: ``acquire``,
+    ``release``, and the context-manager protocol.  Reentrant acquisitions
+    (the inner lock must then be an ``RLock``) record no new edges — holding
+    a lock you already hold cannot invert an order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inner: Optional[LockLike] = None,
+        registry: Optional[LockTraceRegistry] = None,
+    ) -> None:
+        self.name = _unique_label(name)
+        self._inner = inner if inner is not None else threading.RLock()
+        self._registry = registry if registry is not None else _REGISTRY
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = _STATE.stack
+        for entry in stack:
+            if entry.key == id(self):
+                acquired = self._inner.acquire(blocking, timeout)
+                if acquired:
+                    entry.depth += 1
+                return acquired
+        self._registry.record_acquire(id(self), self.name, list(stack))
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            stack.append(_HeldLock(id(self), self.name, time.monotonic()))
+        return acquired
+
+    def release(self) -> None:
+        stack = _STATE.stack
+        for index in range(len(stack) - 1, -1, -1):
+            entry = stack[index]
+            if entry.key == id(self):
+                if entry.depth > 1:
+                    entry.depth -= 1
+                else:
+                    del stack[index]
+                    self._registry.record_release(
+                        id(self), self.name, time.monotonic() - entry.acquired_at
+                    )
+                break
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TracedLock({self.name})"
+
+
+def make_lock(name: str, *, reentrant: bool = False) -> LockLike:
+    """The lock factory the instrumented classes use.
+
+    Returns a plain ``threading`` lock unless ``REPRO_LOCKTRACE`` is set, in
+    which case the lock is traced and labelled ``name`` (instances beyond
+    the first get ``name#2``-style suffixes, keeping the order graph keyed
+    per instance).
+    """
+    inner: LockLike = threading.RLock() if reentrant else threading.Lock()
+    if not locktrace_enabled():
+        return inner
+    return TracedLock(name, inner)
+
+
+def mark_io(description: str) -> None:
+    """Note a blocking-IO barrier (``fsync`` and friends) at the call site.
+
+    A no-op unless tracing is enabled; when the calling thread holds traced
+    locks, the barrier is recorded as an ``io-under-lock`` smell so reviews
+    can see exactly which locks are held across disk waits.
+    """
+    if not locktrace_enabled():
+        return
+    held = [entry for entry in _STATE.stack]
+    _REGISTRY.record_io(description, held)

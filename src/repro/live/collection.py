@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import heapq
 import json
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
@@ -72,6 +71,8 @@ from repro.live.memtable import MemTable, scan_entries, top_entries
 from repro.live.segment import Segment
 from repro.live.tombstones import TombstoneSet
 from repro.live.wal import WalRecord, WriteAheadLog
+from repro.devtools.locktrace import make_lock
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import trace_span
 from repro.service.sharding import ShardedIndex
@@ -224,44 +225,46 @@ class LiveCollection:
         self._directory = Path(directory) if directory is not None else None
         self._snapshot_every = snapshot_every
 
-        self._lock = threading.RLock()
-        self._k: Optional[int] = None
-        self._next_key = 0
-        self._seq = 0
-        self._version = 0
-        self._memtable = MemTable()
-        self._segments: dict[int, Segment] = {}
-        self._segment_files: dict[int, str] = {}
-        self._next_segment_id = 0
-        self._base: Optional[ShardedIndex] = None
-        self._base_keys: tuple[int, ...] = ()
-        self._base_epoch = 0
-        self._base_file: Optional[str] = None
-        self._current: dict[int, Location] = {}
-        self._tombstones = TombstoneSet()
-        self._covered_seq = 0
-        self._wal_records = 0
-        self._replaying = False
+        # Reentrant because flush/checkpoint helpers re-enter while held;
+        # REPRO_LOCKTRACE=1 swaps in a TracedLock (see repro.devtools).
+        self._lock = make_lock("LiveCollection._lock", reentrant=True)
+        self._k: Optional[int] = None  # guarded-by: _lock
+        self._next_key = 0  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self._version = 0  # guarded-by: _lock
+        self._memtable = MemTable()  # guarded-by: _lock
+        self._segments: dict[int, Segment] = {}  # guarded-by: _lock
+        self._segment_files: dict[int, str] = {}  # guarded-by: _lock
+        self._next_segment_id = 0  # guarded-by: _lock
+        self._base: Optional[ShardedIndex] = None  # guarded-by: _lock
+        self._base_keys: tuple[int, ...] = ()  # guarded-by: _lock
+        self._base_epoch = 0  # guarded-by: _lock
+        self._base_file: Optional[str] = None  # guarded-by: _lock
+        self._current: dict[int, Location] = {}  # guarded-by: _lock
+        self._tombstones = TombstoneSet()  # guarded-by: _lock
+        self._covered_seq = 0  # guarded-by: _lock
+        self._wal_records = 0  # guarded-by: _lock
+        self._replaying = False  # set only on the single-threaded open() path
         #: Cluster seam: when set, called (under the collection lock) with
         #: every accepted :class:`WalRecord` — local mutations and replicated
         #: applies alike.  The coordinator in :mod:`repro.cluster` hangs WAL
         #: shipping off this hook; it must not raise or block.
         self.wal_hook: Optional[Callable[[WalRecord], None]] = None
-        self._stats = LiveStats(
+        self._stats = LiveStats(  # guarded-by: _lock
             durability=wal.durability if wal is not None else "in-memory"
         )
         registry = get_registry()
         self._m_mutations = {
             op: registry.counter(
-                "repro_live_mutations_total", "Accepted live-store mutations.", op=op
+                metric_names.LIVE_MUTATIONS_TOTAL, "Accepted live-store mutations.", op=op
             )
             for op in ("insert", "delete", "upsert")
         }
         self._m_flushes = registry.counter(
-            "repro_live_flushes_total", "Memtable seals into immutable segments."
+            metric_names.LIVE_FLUSHES_TOTAL, "Memtable seals into immutable segments."
         )
         self._m_snapshots = registry.counter(
-            "repro_live_snapshots_total", "Checkpoints (manual or policy-triggered)."
+            metric_names.LIVE_SNAPSHOTS_TOTAL, "Checkpoints (manual or policy-triggered)."
         )
         self._compactor = Compactor(self, background=background_compaction)
 
@@ -328,7 +331,6 @@ class LiveCollection:
         try:
             for record in wal.replay(after_seq=collection._seq):
                 collection._apply_record(record, tolerant=True)
-                collection._stats.replayed += 1
                 collection._maintain()
         finally:
             collection._replaying = False
@@ -339,6 +341,7 @@ class LiveCollection:
         collection._maybe_auto_snapshot()
         return collection
 
+    # holds: _lock — open() path, before the collection is shared
     def _load_manifest(self, manifest: Manifest) -> None:
         assert self._directory is not None
         self._k = manifest.k
@@ -374,6 +377,7 @@ class LiveCollection:
                 if ("seg", segment_id, local_rid) not in self._tombstones:
                     self._current[key] = ("seg", segment_id, local_rid)
 
+    # holds: _lock — open() path, before the collection is shared
     def _load_legacy_snapshot(self, path: Path) -> None:
         """Restore a pre-manifest whole-state snapshot (read-only support)."""
         payload = json.loads(path.read_text(encoding="utf-8"))
@@ -570,7 +574,7 @@ class LiveCollection:
 
     def stats(self) -> LiveStats:
         """Lifetime mutation/maintenance counters (live object)."""
-        return self._stats
+        return self._stats  # repro: noqa[guarded-by] documented live handle; reads are racy by contract
 
     @property
     def last_seq(self) -> int:
@@ -625,7 +629,7 @@ class LiveCollection:
             ]
             return {"entries": entries, "next_key": self._next_key, "last_seq": self._seq}
 
-    def _ranking_at(self, location: Location) -> Ranking:
+    def _ranking_at(self, location: Location) -> Ranking:  # holds: _lock
         layer, container, position = location
         if layer == "mem":
             ranking = self._memtable.get(position)
@@ -681,11 +685,11 @@ class LiveCollection:
     def _coerce(items: Union[Ranking, list[int], tuple[int, ...]]) -> Ranking:
         return items if isinstance(items, Ranking) else Ranking(items)
 
-    def _check_size(self, ranking: Ranking) -> None:
+    def _check_size(self, ranking: Ranking) -> None:  # holds: _lock
         if self._k is not None and ranking.size != self._k:
             raise RankingSizeMismatchError(self._k, ranking.size)
 
-    def _write_record(self, op: str, key: int, ranking: Optional[Ranking]) -> None:
+    def _write_record(self, op: str, key: int, ranking: Optional[Ranking]) -> None:  # holds: _lock
         self._seq += 1
         record: Optional[WalRecord] = None
         if self._wal is not None or self.wal_hook is not None:
@@ -697,7 +701,7 @@ class LiveCollection:
         if self.wal_hook is not None:
             self.wal_hook(record)
 
-    def _do_insert(self, key: int, ranking: Ranking) -> None:
+    def _do_insert(self, key: int, ranking: Ranking) -> None:  # holds: _lock
         if self._k is None:
             self._k = ranking.size
         self._memtable.put(key, ranking)
@@ -707,7 +711,7 @@ class LiveCollection:
         self._stats.inserts += 1
         self._m_mutations["insert"].inc()
 
-    def _do_delete(self, key: int) -> None:
+    def _do_delete(self, key: int) -> None:  # holds: _lock
         location = self._current.pop(key)
         if location[0] == "mem":
             self._memtable.remove(key)
@@ -717,7 +721,7 @@ class LiveCollection:
         self._stats.deletes += 1
         self._m_mutations["delete"].inc()
 
-    def _do_upsert(self, key: int, ranking: Ranking) -> None:
+    def _do_upsert(self, key: int, ranking: Ranking) -> None:  # holds: _lock
         if self._k is None:
             self._k = ranking.size
         old = self._current.get(key)
@@ -747,6 +751,7 @@ class LiveCollection:
             else:
                 self._do_upsert(record.key, Ranking(record.items))
             self._seq = record.seq
+            self._stats.replayed += 1
 
     def apply_replicated(self, record: WalRecord) -> bool:
         """Apply one mutation shipped from a primary, preserving its ``seq``.

@@ -35,6 +35,7 @@ import time
 
 from repro.core.ranking import RankingSet
 from repro.live.manifest import base_filename, write_run
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.service.sharding import ShardedIndex
 
@@ -60,12 +61,12 @@ class Compactor:
         self._background = background
         registry = get_registry()
         self._m_runs = registry.counter(
-            "repro_compactions_total", "Compaction runs that actually merged layers."
+            metric_names.COMPACTIONS_TOTAL, "Compaction runs that actually merged layers."
         )
         self._m_seconds = registry.histogram(
-            "repro_compaction_seconds", "Wall time of one compaction run."
+            metric_names.COMPACTION_SECONDS, "Wall time of one compaction run."
         )
-        self._running = False
+        self._running = False  # guarded-by: _collection._lock
         self._idle = threading.Event()  # cleared while a run (any mode) is in flight
         self._idle.set()
         self._thread: Optional[threading.Thread] = None
@@ -75,7 +76,7 @@ class Compactor:
     def maybe_trigger(self) -> None:
         """Start a compaction when the segment count exceeds the threshold."""
         collection = self._collection
-        with collection._lock:
+        with self._collection._lock:
             needed = len(collection._segments) > collection._max_segments
             if not needed or self._running:
                 return
@@ -103,7 +104,7 @@ class Compactor:
         starting a second one.
         """
         collection = self._collection
-        with collection._lock:
+        with self._collection._lock:
             if self._running:
                 in_flight = True
             else:
@@ -122,11 +123,10 @@ class Compactor:
 
     def _run_claimed(self) -> bool:
         """Execute a run whose ``_running`` flag the caller already claimed."""
-        collection = self._collection
         try:
             return self._compact()
         finally:
-            with collection._lock:
+            with self._collection._lock:
                 self._running = False
                 self._idle.set()
 
@@ -228,4 +228,4 @@ class Compactor:
         return True
 
     def __repr__(self) -> str:
-        return f"Compactor(background={self._background}, running={self._running})"
+        return f"Compactor(background={self._background}, running={self._running})"  # repro: noqa[guarded-by] racy repr read, diagnostic only

@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.core.errors import ReproError
 from repro.core.ranking import RankingSet
+from repro.devtools.locktrace import mark_io
 from repro.live.wal import fsync_directory
 
 #: File and directory names inside a persistence directory.
@@ -61,6 +62,7 @@ def atomic_write_json(path: Path, payload: object) -> None:
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     temporary = path.with_suffix(path.suffix + ".tmp")
+    mark_io(f"fsync:{path.name}")
     with open(temporary, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, separators=(",", ":"))
         handle.flush()

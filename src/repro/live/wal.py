@@ -43,6 +43,8 @@ from pathlib import Path
 from typing import Optional
 
 from repro.core.errors import ReproError
+from repro.devtools.locktrace import make_lock, mark_io
+from repro.obs import names as metric_names
 from repro.obs.metrics import COUNT_BUCKETS, get_registry
 
 #: The mutation kinds a WAL record may carry.
@@ -173,23 +175,26 @@ class WriteAheadLog:
             self._durability = "fsync"
         else:
             self._durability = "no-sync"
-        self._handle = None
-        self._pending = 0
-        self._batch_started: Optional[float] = None
-        self._appended_seq = 0
-        self._durable_seq = 0
-        self._commits = 0
+        # Reentrant: close() re-enters through sync(), truncate_through()
+        # through close().  REPRO_LOCKTRACE=1 swaps in a TracedLock.
+        self._lock = make_lock("WriteAheadLog._lock", reentrant=True)
+        self._handle = None  # guarded-by: _lock
+        self._pending = 0  # guarded-by: _lock
+        self._batch_started: Optional[float] = None  # guarded-by: _lock
+        self._appended_seq = 0  # guarded-by: _lock
+        self._durable_seq = 0  # guarded-by: _lock
+        self._commits = 0  # guarded-by: _lock
         registry = get_registry()
         self._m_appends = registry.counter(
-            "repro_wal_appends_total", "Mutation records appended to the WAL.",
+            metric_names.WAL_APPENDS_TOTAL, "Mutation records appended to the WAL.",
             durability=self._durability,
         )
         self._m_commits = registry.counter(
-            "repro_wal_commits_total", "fsync barriers issued (per record or per batch).",
+            metric_names.WAL_COMMITS_TOTAL, "fsync barriers issued (per record or per batch).",
             durability=self._durability,
         )
         self._m_batch = registry.histogram(
-            "repro_wal_commit_batch_records",
+            metric_names.WAL_COMMIT_BATCH_RECORDS,
             "Records made durable by one fsync barrier.",
             buckets=COUNT_BUCKETS,
             durability=self._durability,
@@ -213,7 +218,8 @@ class WriteAheadLog:
     @property
     def appended_seq(self) -> int:
         """Sequence number of the last record written by this handle."""
-        return self._appended_seq
+        with self._lock:
+            return self._appended_seq
 
     @property
     def durable_seq(self) -> int:
@@ -222,43 +228,49 @@ class WriteAheadLog:
         Always 0 in ``no-sync`` mode until :meth:`sync` is called; equal to
         :attr:`appended_seq` after every append in ``fsync`` mode.
         """
-        return self._durable_seq
+        with self._lock:
+            return self._durable_seq
 
     @property
     def pending_records(self) -> int:
         """Records appended since the last barrier (the open batch)."""
-        return self._pending
+        with self._lock:
+            return self._pending
 
     @property
     def commits(self) -> int:
         """``fsync`` barriers issued so far (per-record or per-batch)."""
-        return self._commits
+        with self._lock:
+            return self._commits
 
     # -- writing -----------------------------------------------------------------
 
     def append(self, record: WalRecord) -> None:
         """Write one mutation (buffered write + flush; barrier per the mode)."""
-        if self._handle is None:
-            self._open_for_append()
-        self._handle.write(record.to_json() + "\n")
-        self._handle.flush()
-        self._appended_seq = record.seq
-        self._m_appends.inc()
-        if self._durability == "fsync":
-            self._commit()
-            return
-        self._pending += 1
-        if self._durability != "group-commit":
-            return
-        if self._batch_started is None:
-            self._batch_started = time.monotonic()
-        batch_full = self._commit_batch is not None and self._pending >= self._commit_batch
-        interval_up = (
-            self._commit_interval is not None
-            and time.monotonic() - self._batch_started >= self._commit_interval
-        )
-        if batch_full or interval_up:
-            self._commit()
+        with self._lock:
+            if self._handle is None:
+                self._open_for_append()
+            self._handle.write(record.to_json() + "\n")
+            self._handle.flush()
+            self._appended_seq = record.seq
+            self._m_appends.inc()
+            if self._durability == "fsync":
+                self._commit()
+                return
+            self._pending += 1
+            if self._durability != "group-commit":
+                return
+            if self._batch_started is None:
+                self._batch_started = time.monotonic()
+            batch_full = (
+                self._commit_batch is not None and self._pending >= self._commit_batch
+            )
+            interval_up = (
+                self._commit_interval is not None
+                and time.monotonic() - self._batch_started >= self._commit_interval
+            )
+            if batch_full or interval_up:
+                self._commit()
 
     def sync(self) -> None:
         """Explicit barrier: ``fsync`` whatever has been appended so far.
@@ -267,13 +279,16 @@ class WriteAheadLog:
         durability guarantee, in ``group-commit`` it commits a partial
         batch, in ``fsync`` it is a no-op (nothing is ever pending).
         """
-        if self._handle is None or self._durable_seq == self._appended_seq:
-            return
-        self._handle.flush()
-        self._commit()
+        with self._lock:
+            if self._handle is None or self._durable_seq == self._appended_seq:
+                return
+            self._handle.flush()
+            self._commit()
 
+    # holds: _lock — the barrier and its accounting must be one atom
     def _commit(self) -> None:
         """``fsync`` the handle and account the batch as durable."""
+        mark_io("fsync:wal")  # group commit *is* IO under the lock, by design
         os.fsync(self._handle.fileno())
         batch = self._appended_seq - self._durable_seq
         self._durable_seq = self._appended_seq
@@ -284,6 +299,7 @@ class WriteAheadLog:
         if batch > 0:
             self._m_batch.observe(batch)
 
+    # holds: _lock — called from append()'s hold
     def _open_for_append(self) -> None:
         created_parent = not self._path.parent.exists()
         self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -315,7 +331,10 @@ class WriteAheadLog:
             handle.seek(0)
             content = handle.read(size)
             keep = content.rfind(b"\n") + 1  # 0 when the whole file is one torn line
-            handle.truncate(keep)
+            # Dropping an *uncommitted* torn tail needs no fsync: replay
+            # already skips it, and the truncation becomes durable with the
+            # first post-reopen commit's fsync.
+            handle.truncate(keep)  # repro: noqa[fsync-discipline] uncommitted tail
 
     def close(self) -> None:
         """Commit a pending group-commit batch and close the handle.
@@ -323,11 +342,12 @@ class WriteAheadLog:
         Idempotent; replay still works afterwards.  ``no-sync`` mode stays
         true to its name — close flushes to the OS but does not ``fsync``.
         """
-        if self._handle is not None:
-            if self._durability == "group-commit":
-                self.sync()
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                if self._durability == "group-commit":
+                    self.sync()
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -404,26 +424,29 @@ class WriteAheadLog:
         that loses acknowledged records.  Returns the number of records
         kept.
         """
-        if not self._path.exists():
-            return 0
-        kept = list(self.replay(after_seq=seq))
-        self.close()
-        temporary = self._path.with_suffix(".jsonl.tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write("".join(record.to_json() + "\n" for record in kept))
-            handle.flush()
-            os.fsync(handle.fileno())
-        temporary.replace(self._path)
-        fsync_directory(self._path.parent)
-        # the rewrite itself was fsynced, so every kept record is durable
-        self._appended_seq = kept[-1].seq if kept else 0
-        self._durable_seq = self._appended_seq
-        self._pending = 0
-        self._batch_started = None
-        return len(kept)
+        with self._lock:
+            if not self._path.exists():
+                return 0
+            kept = list(self.replay(after_seq=seq))
+            self.close()
+            temporary = self._path.with_suffix(".jsonl.tmp")
+            mark_io("fsync:wal-truncate")
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write("".join(record.to_json() + "\n" for record in kept))
+                handle.flush()
+                os.fsync(handle.fileno())
+            temporary.replace(self._path)
+            fsync_directory(self._path.parent)
+            # the rewrite itself was fsynced, so every kept record is durable
+            self._appended_seq = kept[-1].seq if kept else 0
+            self._durable_seq = self._appended_seq
+            self._pending = 0
+            self._batch_started = None
+            return len(kept)
 
     def __repr__(self) -> str:
-        return (
-            f"WriteAheadLog(path={str(self._path)!r}, durability={self._durability!r}, "
-            f"pending={self._pending})"
-        )
+        with self._lock:
+            return (
+                f"WriteAheadLog(path={str(self._path)!r}, durability={self._durability!r}, "
+                f"pending={self._pending})"
+            )

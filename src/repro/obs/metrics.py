@@ -36,12 +36,16 @@ import re
 import threading
 from typing import Optional, Sequence, Union
 
+from repro.devtools.locktrace import make_lock
+
 __all__ = [
+    "COUNT_BUCKETS",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "format_number",
     "get_registry",
     "merge_snapshots",
     "render_prometheus",
@@ -224,8 +228,8 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self._enabled = enabled
-        self._families: dict[str, _Family] = {}
-        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}  # guarded-by: _lock
+        self._lock = make_lock("MetricsRegistry._lock")
 
     @property
     def enabled(self) -> bool:

@@ -1,0 +1,92 @@
+"""The single catalogue of every ``repro_*`` metric name.
+
+Instrumentation sites import these constants instead of spelling the
+name inline — the ``metric-registry`` lint rule (``repro lint``) rejects
+string literals at ``.counter(...)`` / ``.gauge(...)`` /
+``.histogram(...)`` call sites, flags catalogue entries nothing
+references, and checks that the README metrics section documents
+exactly this catalogue.  That closes the three drift modes metric names
+have historically had: a typo at one call site silently splitting a
+series, a renamed metric leaving the old name in the docs, and dead
+names lingering after their call site was deleted.
+
+Grouped by subsystem; the constant name is the metric name minus the
+``repro_`` prefix, upper-cased.
+"""
+
+from __future__ import annotations
+
+# -- request path (service.recording) ------------------------------------------
+REQUEST_SECONDS = "repro_request_seconds"
+ENGINE_REBUILDS_TOTAL = "repro_engine_rebuilds_total"
+PLANNER_SOURCE_TOTAL = "repro_planner_source_total"
+ALGORITHM_TOTAL = "repro_algorithm_total"
+PLANNER_DECISIONS_TOTAL = "repro_planner_decisions_total"
+
+# -- result cache (service.cache) ----------------------------------------------
+CACHE_HITS_TOTAL = "repro_cache_hits_total"
+CACHE_MISSES_TOTAL = "repro_cache_misses_total"
+CACHE_EVICTIONS_TOTAL = "repro_cache_evictions_total"
+CACHE_INVALIDATIONS_TOTAL = "repro_cache_invalidations_total"
+
+# -- shard fan-out (service.sharding, api.remote) ------------------------------
+SHARD_FANOUT_SECONDS = "repro_shard_fanout_seconds"
+REMOTE_FANOUT_SECONDS = "repro_remote_fanout_seconds"
+REMOTE_FANOUT_ERRORS_TOTAL = "repro_remote_fanout_errors_total"
+
+# -- live store (live.collection, live.wal, live.compactor) --------------------
+LIVE_MUTATIONS_TOTAL = "repro_live_mutations_total"
+LIVE_FLUSHES_TOTAL = "repro_live_flushes_total"
+LIVE_SNAPSHOTS_TOTAL = "repro_live_snapshots_total"
+WAL_APPENDS_TOTAL = "repro_wal_appends_total"
+WAL_COMMITS_TOTAL = "repro_wal_commits_total"
+WAL_COMMIT_BATCH_RECORDS = "repro_wal_commit_batch_records"
+COMPACTIONS_TOTAL = "repro_compactions_total"
+COMPACTION_SECONDS = "repro_compaction_seconds"
+
+# -- protocol servers (api.server, api.aserver) --------------------------------
+SERVER_CONNECTIONS_TOTAL = "repro_server_connections_total"
+SERVER_FRAMES_TOTAL = "repro_server_frames_total"
+SERVER_BYTES_TOTAL = "repro_server_bytes_total"
+SERVER_OVERSIZED_TOTAL = "repro_server_oversized_total"
+
+# -- cluster (cluster.coordinator, api.database routing gauge) -----------------
+CLUSTER_ROUTING_VERSION = "repro_cluster_routing_version"
+CLUSTER_FAILOVERS_TOTAL = "repro_cluster_failovers_total"
+CLUSTER_REPLICATION_LAG = "repro_cluster_replication_lag"
+CLUSTER_SHIPPED_RECORDS_TOTAL = "repro_cluster_shipped_records_total"
+CLUSTER_RESHARDS_TOTAL = "repro_cluster_reshards_total"
+CLUSTER_HEARTBEAT_MISSES_TOTAL = "repro_cluster_heartbeat_misses_total"
+
+__all__ = [
+    "ALGORITHM_TOTAL",
+    "CACHE_EVICTIONS_TOTAL",
+    "CACHE_HITS_TOTAL",
+    "CACHE_INVALIDATIONS_TOTAL",
+    "CACHE_MISSES_TOTAL",
+    "CLUSTER_FAILOVERS_TOTAL",
+    "CLUSTER_HEARTBEAT_MISSES_TOTAL",
+    "CLUSTER_REPLICATION_LAG",
+    "CLUSTER_RESHARDS_TOTAL",
+    "CLUSTER_ROUTING_VERSION",
+    "CLUSTER_SHIPPED_RECORDS_TOTAL",
+    "COMPACTIONS_TOTAL",
+    "COMPACTION_SECONDS",
+    "ENGINE_REBUILDS_TOTAL",
+    "LIVE_FLUSHES_TOTAL",
+    "LIVE_MUTATIONS_TOTAL",
+    "LIVE_SNAPSHOTS_TOTAL",
+    "PLANNER_DECISIONS_TOTAL",
+    "PLANNER_SOURCE_TOTAL",
+    "REMOTE_FANOUT_ERRORS_TOTAL",
+    "REMOTE_FANOUT_SECONDS",
+    "REQUEST_SECONDS",
+    "SERVER_BYTES_TOTAL",
+    "SERVER_CONNECTIONS_TOTAL",
+    "SERVER_FRAMES_TOTAL",
+    "SERVER_OVERSIZED_TOTAL",
+    "SHARD_FANOUT_SECONDS",
+    "WAL_APPENDS_TOTAL",
+    "WAL_COMMITS_TOTAL",
+    "WAL_COMMIT_BATCH_RECORDS",
+]

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+__all__ = ["DEFAULT_SLOWLOG_CAPACITY", "SlowQueryEntry", "SlowQueryLog"]
 
 #: Default number of slow requests retained.
 DEFAULT_SLOWLOG_CAPACITY = 32

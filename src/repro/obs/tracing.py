@@ -36,6 +36,7 @@ from contextvars import ContextVar
 from typing import Any, Iterator, Optional
 
 __all__ = [
+    "MAX_TRACE_ID_LENGTH",
     "Span",
     "Trace",
     "current_trace",

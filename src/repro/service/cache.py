@@ -21,12 +21,13 @@ index is rebuilt; the invalidation counter makes that visible in the stats.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
 from repro.core.ranking import Ranking
+from repro.devtools.locktrace import make_lock
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 
 #: Decimal places kept when a threshold becomes part of a fingerprint.
@@ -105,21 +106,21 @@ class LRUResultCache:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self._capacity = capacity
-        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
-        self._lock = threading.Lock()
-        self._stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()  # guarded-by: _lock
+        self._lock = make_lock("LRUResultCache._lock")
+        self._stats = CacheStats()  # guarded-by: _lock
         registry = get_registry()
         self._m_hits = registry.counter(
-            "repro_cache_hits_total", "Result-cache lookups answered from the cache."
+            metric_names.CACHE_HITS_TOTAL, "Result-cache lookups answered from the cache."
         )
         self._m_misses = registry.counter(
-            "repro_cache_misses_total", "Result-cache lookups that missed."
+            metric_names.CACHE_MISSES_TOTAL, "Result-cache lookups that missed."
         )
         self._m_evictions = registry.counter(
-            "repro_cache_evictions_total", "Entries evicted by the LRU capacity bound."
+            metric_names.CACHE_EVICTIONS_TOTAL, "Entries evicted by the LRU capacity bound."
         )
         self._m_invalidations = registry.counter(
-            "repro_cache_invalidations_total", "Whole-cache invalidations (shard rebuilds)."
+            metric_names.CACHE_INVALIDATIONS_TOTAL, "Whole-cache invalidations (shard rebuilds)."
         )
 
     @property
@@ -135,10 +136,11 @@ class LRUResultCache:
     @property
     def stats(self) -> CacheStats:
         """Live counters; read-only by convention."""
-        return self._stats
+        return self._stats  # repro: noqa[guarded-by] documented live handle; reads are racy by contract
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -187,7 +189,8 @@ class LRUResultCache:
             return list(self._entries)
 
     def __repr__(self) -> str:
-        return (
-            f"LRUResultCache(capacity={self._capacity}, size={len(self._entries)}, "
-            f"hit_rate={self._stats.hit_rate:.2f})"
-        )
+        with self._lock:
+            return (
+                f"LRUResultCache(capacity={self._capacity}, size={len(self._entries)}, "
+                f"hit_rate={self._stats.hit_rate:.2f})"
+            )

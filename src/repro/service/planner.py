@@ -34,6 +34,7 @@ from typing import Optional
 from repro.core.cost_model import CostModel, CostModelInputs, generalized_harmonic, zipf_frequency
 from repro.core.ranking import Ranking, RankingSet
 from repro.analysis.stats import cost_model_inputs_for
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 
 #: Algorithms priced by the paper's coarse-index cost model.
@@ -296,7 +297,7 @@ class AdaptivePlanner:
         counter = self._m_decisions.get(key)
         if counter is None:
             counter = self._m_decisions[key] = self._registry.counter(
-                "repro_planner_decisions_total",
+                metric_names.PLANNER_DECISIONS_TOTAL,
                 "Computed plans by signal source (model prior vs observed EWMA).",
                 source=source,
                 algorithm=algorithm,

@@ -36,6 +36,7 @@ from typing import Callable, Hashable, Optional, Union
 
 from repro.core.result import SearchResult
 from repro.algorithms.knn import KnnResult
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import record_span, trace_span
 from repro.service.cache import CacheStats
@@ -174,12 +175,12 @@ class RequestRecorder:
         registry = get_registry()
         self._m_latency = {
             kind: registry.histogram(
-                "repro_request_seconds", "End-to-end engine request latency.", kind=kind
+                metric_names.REQUEST_SECONDS, "End-to-end engine request latency.", kind=kind
             )
             for kind in ("range", "knn")
         }
         self._m_rebuilds = registry.counter(
-            "repro_engine_rebuilds_total", "Shard rebuilds / cache-invalidation epochs."
+            metric_names.ENGINE_REBUILDS_TOTAL, "Shard rebuilds / cache-invalidation epochs."
         )
         # label-value handles resolved on first use, then cached
         self._m_sources: dict[str, object] = {}
@@ -190,7 +191,7 @@ class RequestRecorder:
         counter = self._m_sources.get(source)
         if counter is None:
             counter = self._m_sources[source] = self._registry.counter(
-                "repro_planner_source_total",
+                metric_names.PLANNER_SOURCE_TOTAL,
                 "Requests by plan provenance (cache/pinned/default/model/ewma).",
                 source=source or "unknown",
             )
@@ -200,7 +201,7 @@ class RequestRecorder:
         counter = self._m_algorithms.get(algorithm)
         if counter is None:
             counter = self._m_algorithms[algorithm] = self._registry.counter(
-                "repro_algorithm_total",
+                metric_names.ALGORITHM_TOTAL,
                 "Computed (non-cache-hit) requests by chosen algorithm.",
                 algorithm=algorithm or "unknown",
             )

@@ -76,6 +76,7 @@ from repro.core.stats import SearchStats
 from repro.algorithms.base import RankingSearchAlgorithm
 from repro.algorithms.knn import KnnResult, Neighbour, exact_local_top
 from repro.algorithms.registry import make_algorithm
+from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import record_span, trace_span
 
@@ -565,7 +566,7 @@ class ShardedIndex:
             histogram = self._m_shard_latency.get(shard)
             if histogram is None:
                 histogram = self._m_shard_latency[shard] = self._registry.histogram(
-                    "repro_shard_fanout_seconds",
+                    metric_names.SHARD_FANOUT_SECONDS,
                     "Per-shard compute time of fanned-out sub-queries.",
                     shard=str(shard),
                 )

@@ -16,9 +16,28 @@ import random
 import threading
 import time
 
+import pytest
+
 from repro.api.requests import AdminRequest, InsertRequest, KnnRequest
 from repro.cluster import ClusterClient, LocalCluster
+from repro.devtools.locktrace import (
+    get_lock_registry,
+    locktrace_enabled,
+    reset_lock_registry,
+)
 from repro.obs.metrics import get_registry
+
+@pytest.fixture(autouse=True)
+def _no_lock_inversions():
+    """Under ``REPRO_LOCKTRACE=1`` every test here doubles as a lockdep run:
+    the traced-lock order graph must stay acyclic."""
+    if locktrace_enabled():
+        reset_lock_registry()
+    yield
+    if locktrace_enabled():
+        inversions = get_lock_registry().inversions()
+        assert inversions == [], "\n".join(entry.describe() for entry in inversions)
+
 
 DOMAIN = 40
 K = 8

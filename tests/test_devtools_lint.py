@@ -1,0 +1,627 @@
+"""The static-analysis framework and each built-in rule.
+
+Every rule gets a positive case (a violation is found), a negative case
+(conforming code is clean), and a suppression case (``# repro: noqa``
+on the offending line silences exactly that finding).
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    load_project,
+    main,
+    run_lint,
+)
+from repro.devtools.rules import (
+    ExportHygieneRule,
+    FsyncDisciplineRule,
+    GuardedByRule,
+    MetricRegistryRule,
+    NoBareExceptRule,
+    WireParityRule,
+)
+
+
+def lint_tree(tmp_path, files, rules, readme=None):
+    """Write ``files`` (relpath -> source) under tmp_path and lint them."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    if readme is not None:
+        (tmp_path / "README.md").write_text(textwrap.dedent(readme))
+    return run_lint(load_project(tmp_path), rules)
+
+
+# -- guarded-by ----------------------------------------------------------------------
+
+
+GUARDED_CLASS = '''
+class Box:
+    def __init__(self):
+        self._lock = object()
+        self._items = []  # guarded-by: _lock
+
+    def {method}
+'''
+
+
+def _guarded(tmp_path, method):
+    return lint_tree(
+        tmp_path,
+        {"src/repro/box.py": GUARDED_CLASS.format(method=method)},
+        [GuardedByRule()],
+    )
+
+
+def test_guarded_by_flags_unlocked_access(tmp_path):
+    findings = _guarded(tmp_path, "size(self):\n        return len(self._items)")
+    assert len(findings) == 1
+    assert findings[0].rule == "guarded-by"
+    assert "_items" in findings[0].message
+
+
+def test_guarded_by_accepts_with_lock(tmp_path):
+    findings = _guarded(
+        tmp_path,
+        "size(self):\n        with self._lock:\n            return len(self._items)",
+    )
+    assert findings == []
+
+
+def test_guarded_by_accepts_locked_suffix(tmp_path):
+    findings = _guarded(tmp_path, "size_locked(self):\n        return len(self._items)")
+    assert findings == []
+
+
+def test_guarded_by_accepts_holds_annotation(tmp_path):
+    findings = _guarded(
+        tmp_path, "size(self):  # holds: _lock\n        return len(self._items)"
+    )
+    assert findings == []
+
+
+def test_guarded_by_accepts_holds_annotation_above_def(tmp_path):
+    source = """
+    class Box:
+        def __init__(self):
+            self._lock = object()
+            self._items = []  # guarded-by: _lock
+
+        # holds: _lock
+        def size(self):
+            return len(self._items)
+    """
+    findings = lint_tree(tmp_path, {"src/repro/box.py": source}, [GuardedByRule()])
+    assert findings == []
+
+
+def test_guarded_by_init_is_exempt(tmp_path):
+    source = """
+    class Box:
+        def __init__(self):
+            self._lock = object()
+            self._items = []  # guarded-by: _lock
+            self._items.append(1)
+    """
+    findings = lint_tree(tmp_path, {"src/repro/box.py": source}, [GuardedByRule()])
+    assert findings == []
+
+
+def test_guarded_by_noqa_suppresses(tmp_path):
+    findings = _guarded(
+        tmp_path,
+        "size(self):\n        return len(self._items)  # repro: noqa[guarded-by] test",
+    )
+    assert findings == []
+
+
+# -- fsync-discipline ----------------------------------------------------------------
+
+
+def test_fsync_flags_unsynced_rename(tmp_path):
+    source = """
+    import os
+
+
+    def publish(tmp, path):
+        os.replace(tmp, path)
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/live/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert len(findings) == 1
+    assert "rename" in findings[0].message
+
+
+def test_fsync_accepts_synced_rename(tmp_path):
+    source = """
+    import os
+
+
+    def publish(tmp, path, handle):
+        os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/live/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert findings == []
+
+
+def test_fsync_always_flags_raw_writes(tmp_path):
+    source = """
+    import os
+
+
+    def spill(path, handle):
+        os.fsync(handle.fileno())
+        path.write_text("data")
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/live/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert len(findings) == 1
+    assert "write_text" in findings[0].message
+
+
+def test_fsync_ignores_modules_outside_live(tmp_path):
+    source = """
+    import os
+
+
+    def publish(tmp, path):
+        os.replace(tmp, path)
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/service/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert findings == []
+
+
+def test_fsync_noqa_suppresses(tmp_path):
+    source = """
+    def trim(handle):
+        handle.truncate(10)  # repro: noqa[fsync-discipline] test
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/live/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert findings == []
+
+
+# -- wire-parity ---------------------------------------------------------------------
+
+
+WIRE_BASELINE = {
+    key: textwrap.dedent(value)
+    for key, value in {
+    "src/repro/api/requests.py": """
+    class Request:
+        pass
+
+
+    class PingRequest(Request):
+        TYPE = "ping"
+
+
+    REQUEST_TYPES = {cls.TYPE: cls for cls in (PingRequest,)}
+    """,
+    "src/repro/api/database.py": """
+    def dispatch(request):
+        if isinstance(request, PingRequest):
+            return "pong"
+        return None
+    """,
+    "src/repro/api/surface.py": """
+    def ping():
+        return PingRequest()
+    """,
+    "src/repro/api/responses.py": """
+    ERROR_TYPES = {"oops": ValueError}
+
+
+    def fail():
+        return ResponseError("oops")
+    """,
+    }.items()
+}
+
+
+def test_wire_parity_baseline_is_clean(tmp_path):
+    findings = lint_tree(tmp_path, dict(WIRE_BASELINE), [WireParityRule()])
+    assert findings == []
+
+
+def test_wire_parity_flags_unwired_request(tmp_path):
+    files = dict(WIRE_BASELINE)
+    files["src/repro/api/requests.py"] += (
+        "\n\nclass GhostRequest(Request):\n    TYPE = \"ghost\"\n"
+    )
+    findings = lint_tree(tmp_path, files, [WireParityRule()])
+    messages = "\n".join(f.message for f in findings)
+    assert "GhostRequest is not registered in REQUEST_TYPES" in messages
+    assert "no Session dispatch arm" in messages
+    assert "never constructed by an ExecutorSurface helper" in messages
+
+
+def test_wire_parity_flags_unmapped_error_code(tmp_path):
+    files = dict(WIRE_BASELINE)
+    files["src/repro/api/surface.py"] += (
+        "\n\ndef explode():\n    return ResponseError(\"mystery\")\n"
+    )
+    findings = lint_tree(tmp_path, files, [WireParityRule()])
+    assert any(
+        "'mystery'" in f.message and "not mapped" in f.message for f in findings
+    )
+
+
+def test_wire_parity_flags_never_constructed_code(tmp_path):
+    files = dict(WIRE_BASELINE)
+    files["src/repro/api/responses.py"] = files["src/repro/api/responses.py"].replace(
+        '"oops": ValueError', '"oops": ValueError, "unused": ValueError'
+    )
+    findings = lint_tree(tmp_path, files, [WireParityRule()])
+    assert any(
+        "'unused'" in f.message and "never" in f.message for f in findings
+    )
+
+
+def test_wire_parity_skips_partial_projects(tmp_path):
+    findings = lint_tree(
+        tmp_path, {"src/repro/api/requests.py": "class FooRequest:\n    TYPE = 'x'\n"},
+        [WireParityRule()],
+    )
+    assert findings == []
+
+
+# -- metric-registry -----------------------------------------------------------------
+
+
+README_WITH_METRICS = """
+# Demo
+
+## Metrics
+
+| name | meaning |
+| --- | --- |
+| `repro_things_total` | things |
+
+## Next section
+"""
+
+
+METRIC_BASELINE = {
+    key: textwrap.dedent(value)
+    for key, value in {
+    "src/repro/obs/names.py": """
+    THINGS_TOTAL = "repro_things_total"
+    """,
+    "src/repro/app.py": """
+    from repro.obs import names as metric_names
+
+
+    def instrument(registry):
+        registry.counter(metric_names.THINGS_TOTAL, "help")
+    """,
+    }.items()
+}
+
+
+def test_metric_registry_baseline_is_clean(tmp_path):
+    findings = lint_tree(
+        tmp_path, dict(METRIC_BASELINE), [MetricRegistryRule()],
+        readme=README_WITH_METRICS,
+    )
+    assert findings == []
+
+
+def test_metric_registry_flags_literal_name(tmp_path):
+    files = dict(METRIC_BASELINE)
+    files["src/repro/app.py"] += (
+        "\n\ndef rogue(registry):\n"
+        "    registry.counter(\"repro_rogue_total\", \"help\")\n"
+    )
+    findings = lint_tree(
+        tmp_path, files, [MetricRegistryRule()], readme=README_WITH_METRICS
+    )
+    assert any("metric-name literal" in f.message for f in findings)
+
+
+def test_metric_registry_flags_fstring_name(tmp_path):
+    files = dict(METRIC_BASELINE)
+    files["src/repro/app.py"] += (
+        "\n\ndef rogue(registry, kind):\n"
+        "    registry.gauge(f\"repro_{kind}_total\", \"help\")\n"
+    )
+    findings = lint_tree(
+        tmp_path, files, [MetricRegistryRule()], readme=README_WITH_METRICS
+    )
+    assert any("<f-string>" in f.message for f in findings)
+
+
+def test_metric_registry_flags_unreferenced_constant(tmp_path):
+    files = dict(METRIC_BASELINE)
+    files["src/repro/obs/names.py"] += 'ORPHAN_TOTAL = "repro_orphan_total"\n'
+    readme = README_WITH_METRICS.replace(
+        "| `repro_things_total` | things |",
+        "| `repro_things_total` | things |\n| `repro_orphan_total` | orphan |",
+    )
+    findings = lint_tree(tmp_path, files, [MetricRegistryRule()], readme=readme)
+    assert any("never referenced" in f.message for f in findings)
+
+
+def test_metric_registry_flags_duplicate_values(tmp_path):
+    files = dict(METRIC_BASELINE)
+    files["src/repro/obs/names.py"] += 'THINGS_ALIAS = "repro_things_total"\n'
+    files["src/repro/app.py"] += (
+        "\n\ndef also(registry):\n"
+        "    registry.counter(metric_names.THINGS_ALIAS, \"help\")\n"
+    )
+    findings = lint_tree(
+        tmp_path, files, [MetricRegistryRule()], readme=README_WITH_METRICS
+    )
+    assert any("duplicate metric name" in f.message for f in findings)
+
+
+def test_metric_registry_readme_parity_both_ways(tmp_path):
+    readme = README_WITH_METRICS.replace(
+        "`repro_things_total`", "`repro_undocumented_total`"
+    )
+    findings = lint_tree(
+        tmp_path, dict(METRIC_BASELINE), [MetricRegistryRule()], readme=readme
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "'repro_things_total' is not documented" in messages
+    assert "'repro_undocumented_total'" in messages
+
+
+# -- no-bare-except ------------------------------------------------------------------
+
+
+def _bare(tmp_path, body):
+    return lint_tree(
+        tmp_path,
+        {"src/repro/loop.py": f"def work():\n    try:\n        step()\n{body}"},
+        [NoBareExceptRule()],
+    )
+
+
+def test_no_bare_except_flags_silent_swallow(tmp_path):
+    findings = _bare(tmp_path, "    except Exception:\n        pass")
+    assert len(findings) == 1
+    assert "swallows" in findings[0].message
+
+
+def test_no_bare_except_flags_bare_handler(tmp_path):
+    findings = _bare(tmp_path, "    except:\n        pass")
+    assert len(findings) == 1
+
+
+def test_no_bare_except_accepts_logging(tmp_path):
+    findings = _bare(
+        tmp_path, "    except Exception:\n        logger.warning('step failed')"
+    )
+    assert findings == []
+
+
+def test_no_bare_except_accepts_reraise(tmp_path):
+    findings = _bare(tmp_path, "    except Exception:\n        raise")
+    assert findings == []
+
+
+def test_no_bare_except_accepts_counter(tmp_path):
+    findings = _bare(tmp_path, "    except Exception:\n        errors.inc()")
+    assert findings == []
+
+
+def test_no_bare_except_accepts_error_response(tmp_path):
+    findings = _bare(
+        tmp_path,
+        "    except Exception as error:\n        return error_response(error)",
+    )
+    assert findings == []
+
+
+def test_no_bare_except_ignores_narrow_handlers(tmp_path):
+    findings = _bare(tmp_path, "    except ValueError:\n        pass")
+    assert findings == []
+
+
+def test_no_bare_except_noqa_suppresses(tmp_path):
+    findings = _bare(
+        tmp_path, "    except Exception:  # repro: noqa[no-bare-except] test\n        pass"
+    )
+    assert findings == []
+
+
+# -- export-hygiene ------------------------------------------------------------------
+
+
+def test_export_hygiene_flags_missing_export(tmp_path):
+    source = """
+    __all__ = ["shown"]
+
+
+    def shown():
+        pass
+
+
+    def hidden_but_public():
+        pass
+    """
+    findings = lint_tree(tmp_path, {"src/repro/mod.py": source}, [ExportHygieneRule()])
+    assert len(findings) == 1
+    assert "hidden_but_public" in findings[0].message
+
+
+def test_export_hygiene_flags_unbound_export(tmp_path):
+    source = """
+    __all__ = ["ghost"]
+    """
+    findings = lint_tree(tmp_path, {"src/repro/mod.py": source}, [ExportHygieneRule()])
+    assert len(findings) == 1
+    assert "ghost" in findings[0].message
+
+
+def test_export_hygiene_requires_constants(tmp_path):
+    source = """
+    __all__ = ["shown"]
+
+    LIMIT = 10
+
+
+    def shown():
+        pass
+    """
+    findings = lint_tree(tmp_path, {"src/repro/mod.py": source}, [ExportHygieneRule()])
+    assert len(findings) == 1
+    assert "LIMIT" in findings[0].message
+
+
+def test_export_hygiene_clean_module(tmp_path):
+    source = """
+    __all__ = ["LIMIT", "shown"]
+
+    LIMIT = 10
+    _private = 1
+
+
+    def shown():
+        pass
+
+
+    def _helper():
+        pass
+    """
+    findings = lint_tree(tmp_path, {"src/repro/mod.py": source}, [ExportHygieneRule()])
+    assert findings == []
+
+
+def test_export_hygiene_ignores_modules_without_all(tmp_path):
+    findings = lint_tree(
+        tmp_path, {"src/repro/mod.py": "def anything():\n    pass\n"},
+        [ExportHygieneRule()],
+    )
+    assert findings == []
+
+
+# -- framework: noqa, ordering, CLI --------------------------------------------------
+
+
+def test_blanket_noqa_suppresses_every_rule(tmp_path):
+    findings = _guarded(
+        tmp_path, "size(self):\n        return len(self._items)  # repro: noqa test"
+    )
+    assert findings == []
+
+
+def test_findings_are_sorted_and_deduplicated(tmp_path):
+    source = """
+    class Box:
+        def __init__(self):
+            self._lock = object()
+            self._a = []  # guarded-by: _lock
+            self._b = []  # guarded-by: _lock
+
+        def zzz(self):
+            return len(self._b)
+
+        def aaa(self):
+            return len(self._a)
+    """
+    findings = lint_tree(
+        tmp_path,
+        {"src/repro/box.py": source},
+        [GuardedByRule(), GuardedByRule()],  # duplicate rule: findings must dedupe
+    )
+    assert len(findings) == 2
+    assert findings == sorted(findings)
+
+
+def test_finding_render_and_to_dict():
+    finding = Finding(path="src/x.py", line=3, rule="guarded-by", message="boom")
+    assert finding.render() == "src/x.py:3: [guarded-by] boom"
+    assert finding.to_dict()["line"] == 3
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "ok.py").write_text("def fine():\n    pass\n")
+    assert main(["--root", str(tmp_path)]) == EXIT_CLEAN
+    (src / "bad.py").write_text(
+        "def work():\n    try:\n        step()\n    except Exception:\n        pass\n"
+    )
+    assert main(["--root", str(tmp_path)]) == EXIT_FINDINGS
+    capsys.readouterr()
+
+
+def test_main_json_format(tmp_path, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "bad.py").write_text(
+        "def work():\n    try:\n        step()\n    except Exception:\n        pass\n"
+    )
+    assert main(["--root", str(tmp_path), "--format", "json"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "no-bare-except"
+    assert "guarded-by" in payload["rules"]
+
+
+def test_main_rule_selection(tmp_path, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "bad.py").write_text(
+        "def work():\n    try:\n        step()\n    except Exception:\n        pass\n"
+    )
+    assert main(["--root", str(tmp_path), "--rules", "guarded-by"]) == EXIT_CLEAN
+    assert main(["--root", str(tmp_path), "--rules", "no-such-rule"]) == EXIT_ERROR
+    capsys.readouterr()
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in (
+        "guarded-by",
+        "fsync-discipline",
+        "wire-parity",
+        "metric-registry",
+        "no-bare-except",
+        "export-hygiene",
+    ):
+        assert rule_id in out
+
+
+def test_main_rejects_missing_paths(tmp_path, capsys):
+    assert main(["--root", str(tmp_path), str(tmp_path / "nope.py")]) == EXIT_ERROR
+    capsys.readouterr()
+
+
+def test_main_reports_syntax_errors(tmp_path, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "broken.py").write_text("def (:\n")
+    assert main(["--root", str(tmp_path)]) == EXIT_ERROR
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_repo_tree_is_clean():
+    """Dogfood: the shipped source tree must lint clean."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    if not (root / "src" / "repro").is_dir():
+        pytest.skip("source tree not available")
+    project = load_project(root, [root / "src" / "repro"])
+    findings = run_lint(project)
+    assert findings == [], "\n".join(f.render() for f in findings)

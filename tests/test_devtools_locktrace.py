@@ -1,0 +1,238 @@
+"""The runtime lock-order tracer: inversions, smells, and the make_lock gate."""
+
+import threading
+import time
+
+import pytest
+
+from repro.devtools.locktrace import (
+    DEFAULT_HOLD_SECONDS,
+    ENV_FLAG,
+    HOLD_ENV_FLAG,
+    LockTraceRegistry,
+    TracedLock,
+    get_lock_registry,
+    locktrace_enabled,
+    make_lock,
+    mark_io,
+    reset_lock_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_lock_registry()
+    yield
+    reset_lock_registry()
+
+
+def test_consistent_order_reports_nothing():
+    registry = LockTraceRegistry()
+    a = TracedLock("co-A", registry=registry)
+    b = TracedLock("co-B", registry=registry)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert registry.inversions() == []
+    assert ("co-A", "co-B") in registry.edges()
+
+
+def test_abba_inversion_is_reported():
+    registry = LockTraceRegistry()
+    a = TracedLock("ab-A", registry=registry)
+    b = TracedLock("ab-B", registry=registry)
+    with a:
+        with b:
+            pass
+    with b:
+        with a:  # the deliberate B -> A inversion
+            pass
+    inversions = registry.inversions()
+    assert len(inversions) == 1
+    assert set(inversions[0].cycle) == {"ab-A", "ab-B"}
+    assert "lock-order inversion" in inversions[0].describe()
+    # the forward site names where A -> B was first established
+    assert inversions[0].forward_site != "<unknown>"
+
+
+def test_inversion_reported_once_per_edge_pair():
+    registry = LockTraceRegistry()
+    a = TracedLock("once-A", registry=registry)
+    b = TracedLock("once-B", registry=registry)
+    with a:
+        with b:
+            pass
+    for _ in range(3):
+        with b:
+            with a:
+                pass
+    assert len(registry.inversions()) == 1
+
+
+def test_three_lock_cycle_is_reported():
+    registry = LockTraceRegistry()
+    a = TracedLock("tri-A", registry=registry)
+    b = TracedLock("tri-B", registry=registry)
+    c = TracedLock("tri-C", registry=registry)
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:  # closes A -> B -> C -> A
+            pass
+    inversions = registry.inversions()
+    assert len(inversions) == 1
+    assert set(inversions[0].cycle) == {"tri-A", "tri-B", "tri-C"}
+
+
+def test_reentrant_acquisition_records_no_self_edge():
+    registry = LockTraceRegistry()
+    a = TracedLock("re-A", registry=registry)
+    with a:
+        with a:
+            pass
+    assert registry.inversions() == []
+    assert ("re-A", "re-A") not in registry.edges()
+
+
+def test_distinct_instances_do_not_alias():
+    """Two same-named locks are distinct graph nodes (keyed by instance)."""
+    registry = LockTraceRegistry()
+    first = TracedLock("WAL._lock", registry=registry)
+    second = TracedLock("WAL._lock", registry=registry)
+    with first:
+        with second:
+            pass
+    with first:
+        with second:
+            pass
+    assert registry.inversions() == []
+    assert second.name == "WAL._lock#1"
+
+
+def test_cross_thread_orders_share_one_graph():
+    registry = LockTraceRegistry()
+    a = TracedLock("xt-A", registry=registry)
+    b = TracedLock("xt-B", registry=registry)
+    with a:
+        with b:
+            pass
+
+    def backwards():
+        with b:
+            with a:
+                pass
+
+    thread = threading.Thread(target=backwards)
+    thread.start()
+    thread.join()
+    assert len(registry.inversions()) == 1
+
+
+def test_long_hold_smell(monkeypatch):
+    monkeypatch.setenv(HOLD_ENV_FLAG, "10")  # 10 ms
+    registry = LockTraceRegistry()
+    lock = TracedLock("slow", registry=registry)
+    with lock:
+        time.sleep(0.05)
+    smells = registry.smells()
+    assert any(s.kind == "long-hold" and s.lock == "slow" for s in smells)
+
+
+def test_fast_hold_is_not_a_smell():
+    registry = LockTraceRegistry()  # default threshold
+    lock = TracedLock("fast", registry=registry)
+    with lock:
+        pass
+    assert registry.smells() == []
+    assert DEFAULT_HOLD_SECONDS > 0
+
+
+def test_mark_io_under_lock(monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "1")
+    lock = make_lock("io-holder")
+    assert isinstance(lock, TracedLock)
+    with lock:
+        mark_io("fsync:test")
+    smells = get_lock_registry().smells()
+    assert any(
+        s.kind == "io-under-lock" and "io-holder" in s.lock and s.detail == "fsync:test"
+        for s in smells
+    )
+
+
+def test_mark_io_without_locks_is_silent(monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "1")
+    mark_io("fsync:test")
+    assert get_lock_registry().smells() == []
+
+
+def test_make_lock_disabled_returns_plain_locks(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    assert not locktrace_enabled()
+    plain = make_lock("plain")
+    assert not isinstance(plain, TracedLock)
+    reentrant = make_lock("plain-r", reentrant=True)
+    with reentrant:
+        with reentrant:  # RLock semantics
+            pass
+
+
+def test_make_lock_enabled_returns_traced(monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "1")
+    assert locktrace_enabled()
+    lock = make_lock("traced", reentrant=True)
+    assert isinstance(lock, TracedLock)
+    with lock:
+        with lock:
+            pass
+    assert get_lock_registry().inversions() == []
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "no"])
+def test_env_flag_falsey_values(monkeypatch, value):
+    monkeypatch.setenv(ENV_FLAG, value)
+    assert not locktrace_enabled()
+
+
+def test_traced_lock_supports_acquire_release():
+    registry = LockTraceRegistry()
+    lock = TracedLock("manual", registry=registry)
+    assert lock.acquire()
+    lock.release()
+    assert lock.acquire(blocking=False)
+    lock.release()
+    assert registry.inversions() == []
+
+
+def test_report_mentions_findings_or_cleanliness():
+    registry = LockTraceRegistry()
+    assert "no findings" in registry.report()
+    a = TracedLock("rep-A", registry=registry)
+    b = TracedLock("rep-B", registry=registry)
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert "lock-order inversion" in registry.report()
+
+
+def test_clear_resets_state():
+    registry = LockTraceRegistry()
+    a = TracedLock("clr-A", registry=registry)
+    b = TracedLock("clr-B", registry=registry)
+    with a:
+        with b:
+            pass
+    registry.clear()
+    assert registry.edges() == {}
+    with b:
+        with a:
+            pass
+    assert registry.inversions() == []  # the old forward edge is gone

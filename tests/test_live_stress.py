@@ -19,6 +19,13 @@ import json
 import random
 import threading
 
+import pytest
+
+from repro.devtools.locktrace import (
+    get_lock_registry,
+    locktrace_enabled,
+    reset_lock_registry,
+)
 from repro.core.distances import (
     footrule_topk_raw,
     max_footrule_distance,
@@ -26,6 +33,18 @@ from repro.core.distances import (
 )
 from repro.core.ranking import Ranking
 from repro.live import LiveCollection
+
+@pytest.fixture(autouse=True)
+def _no_lock_inversions():
+    """Under ``REPRO_LOCKTRACE=1`` every test here doubles as a lockdep run:
+    the traced-lock order graph must stay acyclic."""
+    if locktrace_enabled():
+        reset_lock_registry()
+    yield
+    if locktrace_enabled():
+        inversions = get_lock_registry().inversions()
+        assert inversions == [], "\n".join(entry.describe() for entry in inversions)
+
 
 K = 5
 DOMAIN = 40
