@@ -1,0 +1,182 @@
+"""Emit ``BENCH_codec.json``: the json-vs-binary codec comparison summary.
+
+Reuses the measurement helpers from the two benchmark modules it
+summarises — :mod:`bench_live_updates` for the storage side (restart
+replay time, WAL footprint, checkpoint size) and
+:mod:`bench_server_qps` for the wire side (pipelined QPS per wire
+format) — so the JSON report and the pytest-benchmark groups can never
+drift apart.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_codec_report.py
+    PYTHONPATH=src python benchmarks/bench_codec_report.py --output BENCH_codec.json --check
+
+``--check`` exits non-zero unless the binary format wins both storage
+axes (faster restart replay *and* a smaller checkpoint) — the CI guard
+on the tentpole's perf claims.  Wire QPS is reported but not gated: on
+loopback the win is mostly serialisation cost and shared runners make
+it too noisy for a hard threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Database, DatabaseServer
+
+from bench_live_updates import (
+    MUTATIONS,
+    codec_checkpoint_figures,
+    codec_restart_figures,
+)
+from bench_server_qps import PASSES, PIPELINE_DEPTH, _serve_pipelined
+
+FORMATS = ("json", "binary")
+
+#: Timed trials per figure; best-of damps shared-runner noise.
+TRIALS = 3
+
+#: WAL records replayed by the restart measurement.  Larger than the
+#: pytest group's workload: a short replay is dominated by the fixed
+#: cost of ``open()`` and the decode difference drowns in timer noise.
+REPORT_MUTATIONS = 6000
+
+
+def measure_storage() -> dict:
+    """Restart-replay and checkpoint figures per storage format."""
+    report: dict = {"mutations": REPORT_MUTATIONS, "formats": {}}
+    for storage_format in FORMATS:
+        best: dict = {}
+        for _ in range(TRIALS):
+            directory = Path(tempfile.mkdtemp(prefix="repro-codec-bench-"))
+            try:
+                figures = codec_restart_figures(
+                    directory, storage_format, REPORT_MUTATIONS
+                )
+            finally:
+                shutil.rmtree(directory, ignore_errors=True)
+            if not best or figures["replay_seconds"] < best["replay_seconds"]:
+                best = figures
+        directory = Path(tempfile.mkdtemp(prefix="repro-codec-bench-"))
+        try:
+            best |= codec_checkpoint_figures(directory, storage_format, MUTATIONS)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        best.pop("format", None)
+        best["replay_ms"] = round(best.pop("replay_seconds") * 1000.0, 2)
+        report["formats"][storage_format] = best
+    json_side, binary_side = (report["formats"][f] for f in FORMATS)
+    report["replay_speedup"] = round(
+        json_side["replay_ms"] / binary_side["replay_ms"], 2
+    ) if binary_side["replay_ms"] else float("inf")
+    report["checkpoint_ratio"] = round(
+        binary_side["checkpoint_bytes"] / json_side["checkpoint_bytes"], 3
+    ) if json_side["checkpoint_bytes"] else float("inf")
+    return report
+
+
+def measure_wire() -> dict:
+    """Pipelined QPS per wire format against one threaded server."""
+    from repro.datasets.nyt import nyt_like_dataset
+    from repro.datasets.queries import sample_queries
+
+    rankings = nyt_like_dataset(n=800, k=10)
+    queries = sample_queries(rankings, 30, seed=3)
+    report: dict = {
+        "queries": len(queries) * PASSES,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "formats": {},
+    }
+    database = Database()
+    database.create_static("news", rankings, num_shards=2)
+    try:
+        with DatabaseServer(database, port=0) as server:
+            # warm-up untimed: planner exploration + cache fill
+            _serve_pipelined(server.address, queries, PIPELINE_DEPTH)
+            for wire_format in FORMATS:
+                qps = 0.0
+                for _ in range(TRIALS):
+                    start = time.perf_counter()
+                    served = _serve_pipelined(
+                        server.address, queries, PIPELINE_DEPTH, wire_format
+                    )
+                    elapsed = time.perf_counter() - start
+                    qps = max(qps, served / elapsed if elapsed > 0 else float("inf"))
+                report["formats"][wire_format] = {"qps": round(qps, 1)}
+    finally:
+        database.close()
+    json_qps = report["formats"]["json"]["qps"]
+    report["qps_speedup"] = (
+        round(report["formats"]["binary"]["qps"] / json_qps, 2)
+        if json_qps
+        else float("inf")
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_codec.json"), metavar="PATH",
+        help="where to write the JSON summary (default: ./BENCH_codec.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless binary beats json on restart replay "
+             "and checkpoint size",
+    )
+    args = parser.parse_args(argv)
+
+    storage = measure_storage()
+    wire = measure_wire()
+    report = {"workload": "nyt-like churn + pipelined range queries",
+              "storage": storage, "wire": wire}
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"storage ({storage['mutations']} mutations, best of {TRIALS}):")
+    print(f"{'format':>8s}  {'replay':>9s}  {'replayed':>8s}  {'wal bytes':>10s}  {'checkpoint':>10s}")
+    for storage_format in FORMATS:
+        side = storage["formats"][storage_format]
+        print(
+            f"{storage_format:>8s}  {side['replay_ms']:>7.1f}ms  "
+            f"{side['replayed_records']:>8d}  {side['wal_bytes']:>10d}  "
+            f"{side['checkpoint_bytes']:>10d}"
+        )
+    print(
+        f"binary replay {storage['replay_speedup']:.2f}x faster, "
+        f"checkpoint {storage['checkpoint_ratio']:.0%} of json's size"
+    )
+    print(f"\nwire (pipelined depth={wire['pipeline_depth']}, best of {TRIALS}):")
+    for wire_format in FORMATS:
+        print(f"{wire_format:>8s}  {wire['formats'][wire_format]['qps']:>9.1f} QPS")
+    print(f"binary pipelined QPS {wire['qps_speedup']:.2f}x json")
+    print(f"\nwrote {args.output}")
+
+    if args.check:
+        failures = []
+        if storage["replay_speedup"] < 1.0:
+            failures.append(
+                f"binary restart replay is slower than json "
+                f"(speedup {storage['replay_speedup']:.2f}x)"
+            )
+        if storage["checkpoint_ratio"] >= 1.0:
+            failures.append(
+                f"binary checkpoint is not smaller than json "
+                f"(ratio {storage['checkpoint_ratio']:.2f})"
+            )
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,11 @@ queries-per-second along three axes:
   requests in flight: the wire carries the same frames but the client
   stops paying one round trip per request;
 * **transport** — the threaded server vs the asyncio server
-  (:class:`repro.api.aserver.AsyncDatabaseServer`), same dispatch code.
+  (:class:`repro.api.aserver.AsyncDatabaseServer`), same dispatch code;
+* **wire format** — the pipelined workload over JSON vs RBF binary frame
+  bodies on the same connection, the wire-side figure that (with the
+  storage figures from ``bench_live_updates.py``) lands in
+  ``BENCH_codec.json``.
 
 The in-process :class:`~repro.api.database.Session` serving the identical
 workload is the baseline — the gap is pure transport (framing + JSON +
@@ -83,15 +87,16 @@ def _serve_clients(address, queries, n_clients: int) -> int:
     return sum(served)
 
 
-def _serve_pipelined(address, queries, depth: int) -> int:
+def _serve_pipelined(address, queries, depth: int, wire_format: str = "json") -> int:
     """Run the workload through one connection, ``depth`` requests in flight."""
     host, port = address
     requests = [
         RangeQueryRequest(collection="news", items=query, theta=THETA) for query in queries
     ]
     served = 0
-    with Client(host, port) as client:
+    with Client(host, port, protocol=2, wire_format=wire_format) as client:
         assert client.protocol_version == 2, "pipelining needs a v2 server"
+        assert client.wire_format == wire_format
         for _ in range(PASSES):
             for start in range(0, len(requests), depth):
                 for response in client.pipeline(requests[start:start + depth]):
@@ -168,6 +173,27 @@ def test_server_qps_pipelined(benchmark, served_database, nyt_setup):
         benchmark, _serve_pipelined, server.address, nyt_setup.queries, PIPELINE_DEPTH
     )
     elapsed = time.perf_counter() - start
+    benchmark.extra_info["pipeline_depth"] = PIPELINE_DEPTH
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0
+
+
+@pytest.mark.benchmark(group="server-qps-wire-format")
+@pytest.mark.parametrize("wire_format", ("json", "binary"))
+def test_server_qps_wire_format(benchmark, served_database, nyt_setup, wire_format):
+    """Pipelined QPS per wire format: JSON vs RBF binary frame bodies."""
+    server, _ = served_database
+    start = time.perf_counter()
+    served = run_once(
+        benchmark,
+        _serve_pipelined,
+        server.address,
+        nyt_setup.queries,
+        PIPELINE_DEPTH,
+        wire_format,
+    )
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["wire_format"] = wire_format
     benchmark.extra_info["pipeline_depth"] = PIPELINE_DEPTH
     benchmark.extra_info["requests"] = served
     benchmark.extra_info["qps"] = round(served / elapsed, 1) if elapsed > 0 else 0.0

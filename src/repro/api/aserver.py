@@ -36,12 +36,16 @@ from typing import Optional
 
 from repro.api.database import Database
 from repro.api.protocol import (
+    BINARY_FRAME_FLAG,
     DEFAULT_MAX_FRAME_BYTES,
+    FRAME_LENGTH_MASK,
     HEADER,
     FrameError,
     FrameTooLargeError,
+    InboundFrame,
     classify_frame,
     decode_frame_body,
+    encode_binary_frame,
     encode_frame,
 )
 from repro.api.responses import Response, ResponseError, canonical_json
@@ -56,18 +60,21 @@ from repro.api.server import (
     oversized_reply_response,
     response_envelope,
 )
+from repro.codec import CodecError
+from repro.codec.wire import decode_request as decode_binary_request
+from repro.codec.wire import encode_response as encode_binary_response
 
 #: Default size of the dispatch worker pool (CPU-bound Python holds the GIL,
 #: so a handful of workers saturates; more just buys queueing fairness).
 DEFAULT_DISPATCH_WORKERS = 8
 
 
-async def read_frame_async(
+async def read_frame_any_async(
     reader: asyncio.StreamReader,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     byte_counter=None,
-) -> Optional[dict]:
-    """Async twin of :func:`repro.api.protocol.read_frame` (same contract).
+) -> Optional[tuple[str, object]]:
+    """Async twin of :func:`repro.api.protocol.read_frame_any` (same contract).
 
     ``byte_counter`` (a metrics counter) receives the exact wire size of
     each complete frame read, header included.
@@ -80,7 +87,9 @@ async def read_frame_async(
         raise FrameError(
             f"connection closed mid-frame ({len(error.partial)} of {HEADER.size} bytes read)"
         ) from None
-    (length,) = HEADER.unpack(header)
+    (announced,) = HEADER.unpack(header)
+    binary = bool(announced & BINARY_FRAME_FLAG)
+    length = announced & FRAME_LENGTH_MASK
     if length > max_frame_bytes:
         raise FrameTooLargeError(length, max_frame_bytes)
     try:
@@ -91,7 +100,24 @@ async def read_frame_async(
         ) from None
     if byte_counter is not None:
         byte_counter.inc(HEADER.size + length)
-    return decode_frame_body(body)
+    if binary:
+        return "binary", body
+    return "json", decode_frame_body(body)
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    byte_counter=None,
+) -> Optional[dict]:
+    """Async twin of :func:`repro.api.protocol.read_frame` (JSON frames only)."""
+    result = await read_frame_any_async(reader, max_frame_bytes, byte_counter)
+    if result is None:
+        return None
+    shape, payload = result
+    if shape != "json":
+        raise FrameError("unexpected binary frame on a JSON-only connection")
+    return payload
 
 
 class AsyncDatabaseServer:
@@ -215,7 +241,7 @@ class AsyncDatabaseServer:
         try:
             while self._stop_event is not None and not self._stop_event.is_set():
                 try:
-                    payload = await read_frame_async(reader, limit, metrics.bytes_in)
+                    framed = await read_frame_any_async(reader, limit, metrics.bytes_in)
                 except FrameError as error:
                     if isinstance(error, FrameTooLargeError):
                         metrics.oversized.inc()
@@ -224,9 +250,14 @@ class AsyncDatabaseServer:
                     )
                     await self._write(writer, response.to_dict(), limit)
                     return
-                if payload is None:
+                if framed is None:
                     return
                 metrics.frames_in.inc()
+                shape, payload = framed
+                if shape == "binary":
+                    if not await self._serve_binary(session, payload, writer, loop):
+                        return
+                    continue
                 frame = classify_frame(payload)
                 if frame.version == 2 and frame.error is not None:
                     await self._write(writer, envelope_error_payload(frame), limit)
@@ -273,6 +304,52 @@ class AsyncDatabaseServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _serve_binary(self, session, body: bytes, writer, loop) -> bool:
+        """Serve one RBF binary request frame (async twin of the threaded path).
+
+        Replies binary when the response is representable and fits, falls
+        back to a JSON v2 envelope otherwise, and closes the connection on
+        an undecodable body after one final ``protocol`` envelope.
+        """
+        limit = self.max_frame_bytes
+        metrics = self._metrics
+        try:
+            request_id, request_payload = decode_binary_request(body)
+        except CodecError as error:
+            response = Response(
+                ok=False, error=ResponseError(code="protocol", message=str(error))
+            )
+            await self._write(writer, response.to_dict(), limit)
+            return False
+        frame = InboundFrame(
+            version=2,
+            request_id=request_id,
+            kind=request_payload.get("type"),
+            payload=request_payload,
+        )
+        response = await loop.run_in_executor(self._pool, execute_frame, session, frame)
+        reply = response.to_dict()
+        encoded = encode_binary_response(request_id, reply)
+        if encoded is not None and len(encoded) <= limit:
+            framed = encode_binary_frame(encoded, limit)
+            writer.write(framed)
+            await writer.drain()
+            metrics.frames_out.inc()
+            metrics.bytes_out.inc(len(framed))
+            return True
+        try:
+            encoded_json = encode_frame(response_envelope(request_id, reply), limit)
+        except FrameError as error:
+            metrics.oversized.inc()
+            oversized = oversized_reply_response(error).to_dict()
+            await self._write(writer, response_envelope(request_id, oversized), limit)
+            return True
+        writer.write(encoded_json)
+        await writer.drain()
+        metrics.frames_out.inc()
+        metrics.bytes_out.inc(len(encoded_json))
+        return True
 
     async def _write(self, writer: asyncio.StreamWriter, payload: dict, limit: int) -> None:
         body = canonical_json(payload)

@@ -47,15 +47,20 @@ from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameError,
     PROTOCOL_VERSION,
+    encode_binary_frame,
     encode_frame,
     hello_payload,
     read_frame,
+    read_frame_any,
     request_envelope,
 )
 from repro.api.requests import RequestLike, parse_request
 from repro.api.responses import Response
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.api.surface import ExecutorSurface
+from repro.codec import CodecError
+from repro.codec.wire import decode_response as decode_binary_response
+from repro.codec.wire import encode_request as encode_binary_request
 from repro.devtools.locktrace import make_lock
 
 
@@ -123,6 +128,13 @@ class Client(ExecutorSurface):
         handshake, v1 fallback otherwise.  ``2`` requires v2 (raises
         ``ConnectionError`` against a v1 server); ``1`` skips the
         handshake and forces v1 framing.
+    wire_format:
+        ``"binary"`` opts into RBF binary frame bodies
+        (:mod:`repro.codec.wire`) for the hot request shapes, used only
+        when the server advertises ``"binary"`` in its handshake
+        ``formats`` — otherwise (and for any shape the binary envelope
+        cannot express, e.g. traced requests) the client transparently
+        sends JSON.  ``None``/``"json"`` keeps every frame JSON.
     """
 
     def __init__(
@@ -133,11 +145,18 @@ class Client(ExecutorSurface):
         timeout: Optional[float] = 10.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         protocol: Optional[int] = None,
+        wire_format: Optional[str] = None,
     ) -> None:
         if protocol not in (None, 1, 2):
             raise ValueError(f"protocol must be None, 1 or 2, got {protocol!r}")
+        if wire_format not in (None, "json", "binary"):
+            raise ValueError(
+                f"wire_format must be None, 'json' or 'binary', got {wire_format!r}"
+            )
         self._address = (host, port)
         self._max_frame_bytes = max_frame_bytes
+        self._want_binary = wire_format == "binary"
+        self._binary_wire = False
         self.timeout = timeout
         #: Lock order (when nested): _send_lock -> _state_lock, never the
         #: reverse — _post registers ids and releases before sending, while
@@ -184,6 +203,11 @@ class Client(ExecutorSurface):
         """The server's handshake data (versions, frame limit); v2 only."""
         return self._server_info
 
+    @property
+    def wire_format(self) -> str:
+        """The negotiated frame-body encoding: ``"binary"`` or ``"json"``."""
+        return "binary" if self._binary_wire else "json"
+
     def _handshake(self, require_v2: bool) -> None:
         """Open with ``hello``; confirm v2 or fall back to v1 framing."""
         request_id = self._take_id()
@@ -217,6 +241,10 @@ class Client(ExecutorSurface):
             raise ConnectionError(f"handshake rejected: {response.error}")
         self._version = PROTOCOL_VERSION
         self._server_info = response.data
+        formats = response.data.get("formats")
+        self._binary_wire = self._want_binary and (
+            isinstance(formats, (list, tuple)) and "binary" in formats
+        )
         server_limit = response.data.get("max_frame_bytes")
         if isinstance(server_limit, int) and 0 < server_limit < self._max_frame_bytes:
             self._max_frame_bytes = server_limit
@@ -281,10 +309,7 @@ class Client(ExecutorSurface):
             first_id = self._next_id
             self._next_id += len(payloads)
         frames = [
-            encode_frame(
-                request_envelope(first_id + offset, payload, trace=trace),
-                self._max_frame_bytes,
-            )
+            self._encode_outbound(first_id + offset, payload, trace)
             for offset, payload in enumerate(payloads)
         ]
         pendings = [PendingReply(self, first_id + offset) for offset in range(len(payloads))]
@@ -302,6 +327,22 @@ class Client(ExecutorSurface):
             self._teardown(ConnectionError(f"connection failed: {error}"))
             raise ConnectionError(f"connection failed: {error}") from None
         return pendings
+
+    def _encode_outbound(self, request_id: int, payload: dict, trace) -> bytes:
+        """Encode one request frame: binary when negotiated and representable.
+
+        Traced requests always travel as JSON — the binary envelope has no
+        trace field, and silently dropping the opt-in would be worse than
+        the fallback.  The codec returning ``None`` (a shape outside the
+        hot set) falls back the same way.
+        """
+        if self._binary_wire and trace is None:
+            body = encode_binary_request(request_id, payload)
+            if body is not None:
+                return encode_binary_frame(body, self._max_frame_bytes)
+        return encode_frame(
+            request_envelope(request_id, payload, trace=trace), self._max_frame_bytes
+        )
 
     def pipeline(
         self, requests: list, *, timeout: Optional[float] = None, trace=None
@@ -325,21 +366,26 @@ class Client(ExecutorSurface):
         """Reader thread: route every inbound envelope to its pending reply."""
         try:
             while True:
-                reply = read_frame(self._recv, self._max_frame_bytes)
-                if reply is None:
+                framed = read_frame_any(self._recv, self._max_frame_bytes)
+                if framed is None:
                     raise FrameError("server closed the connection")
-                if "id" not in reply:
-                    raise FrameError(f"response frame without correlation id: {reply!r}")
-                body = reply.get("body")
-                if not isinstance(body, dict):
-                    raise FrameError(f"response envelope without body: {reply!r}")
+                shape, reply = framed
+                if shape == "binary":
+                    request_id, body = decode_binary_response(reply)
+                else:
+                    if "id" not in reply:
+                        raise FrameError(f"response frame without correlation id: {reply!r}")
+                    request_id = reply["id"]
+                    body = reply.get("body")
+                    if not isinstance(body, dict):
+                        raise FrameError(f"response envelope without body: {reply!r}")
                 with self._state_lock:
-                    pending = self._pending.pop(reply["id"], None)
+                    pending = self._pending.pop(request_id, None)
                 # an unmatched id is a reply whose request timed out and was
                 # abandoned — exactly the late answer ids exist to absorb
                 if pending is not None:
                     pending._resolve(Response.from_dict(body))
-        except (FrameError, OSError, ValueError) as error:
+        except (FrameError, CodecError, OSError, ValueError) as error:
             if isinstance(error, ValueError) and self._closed:
                 return  # reading a deliberately closed stream, not a failure
             self._teardown(ConnectionError(f"connection failed: {error}"))

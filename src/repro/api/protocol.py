@@ -14,6 +14,15 @@ Both sides enforce ``max_frame_bytes``; an oversized or torn frame raises
 a frame the stream cannot be resynchronised).  A clean EOF *between*
 frames reads as ``None`` — that is how a client hangs up.
 
+A frame whose length header has the top bit set
+(:data:`BINARY_FRAME_FLAG`) carries an RBF binary envelope
+(:mod:`repro.codec.wire`) instead of JSON: the remaining 31 bits are the
+body length.  Binary framing is negotiated at ``hello`` — the server
+advertises ``formats`` and a client only sends binary frames after seeing
+``"binary"`` there — and is decided per frame, so JSON and binary frames
+interleave freely on one connection (a shape the binary envelope cannot
+express simply falls back to JSON).
+
 Two payload shapes travel inside frames:
 
 * **v1** (PR 4): the bare request payload, ``{"type": "range", ...}``,
@@ -60,6 +69,15 @@ from repro.api.responses import canonical_json
 
 #: Frame header: one 4-byte big-endian unsigned payload length.
 HEADER = struct.Struct("!I")
+
+#: Top bit of the length header: the frame body is an RBF binary envelope.
+BINARY_FRAME_FLAG = 0x80000000
+
+#: The low 31 bits of the length header carry the actual body length.
+FRAME_LENGTH_MASK = 0x7FFFFFFF
+
+#: Frame body encodings this build can speak (advertised at ``hello``).
+WIRE_FORMATS = ("json", "binary")
 
 #: Default upper bound on one frame's payload (requests *and* responses).
 DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
@@ -138,17 +156,51 @@ def decode_frame_body(body: bytes) -> dict:
 def read_frame(
     stream: BinaryIO, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
 ) -> Optional[dict]:
-    """Read one frame's payload; ``None`` on clean EOF between frames."""
+    """Read one JSON frame's payload; ``None`` on clean EOF between frames.
+
+    Raises :class:`FrameError` on a binary frame — callers that negotiate
+    binary framing use :func:`read_frame_any` instead.
+    """
+    result = read_frame_any(stream, max_frame_bytes)
+    if result is None:
+        return None
+    shape, payload = result
+    if shape != "json":
+        raise FrameError("unexpected binary frame on a JSON-only connection")
+    return payload
+
+
+def read_frame_any(
+    stream: BinaryIO, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[tuple[str, Any]]:
+    """Read one frame of either encoding; ``None`` on clean EOF between frames.
+
+    Returns ``("json", payload_dict)`` for a JSON frame or
+    ``("binary", body_bytes)`` for a binary one — decoding the binary
+    envelope is the caller's job (:mod:`repro.codec.wire`), keeping the
+    framing layer below the codec.
+    """
     header = _read_exact(stream, HEADER.size)
     if header is None:
         return None
-    (length,) = HEADER.unpack(header)
+    (announced,) = HEADER.unpack(header)
+    binary = bool(announced & BINARY_FRAME_FLAG)
+    length = announced & FRAME_LENGTH_MASK
     if length > max_frame_bytes:
         raise FrameTooLargeError(length, max_frame_bytes)
     body = _read_exact(stream, length)
     if body is None:
         raise FrameError("connection closed between frame header and payload")
-    return decode_frame_body(body)
+    if binary:
+        return "binary", body
+    return "json", decode_frame_body(body)
+
+
+def encode_binary_frame(body: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Frame one RBF binary envelope body (header with the binary flag set)."""
+    if len(body) > min(max_frame_bytes, FRAME_LENGTH_MASK):
+        raise FrameTooLargeError(len(body), min(max_frame_bytes, FRAME_LENGTH_MASK))
+    return HEADER.pack(len(body) | BINARY_FRAME_FLAG) + body
 
 
 # -- protocol v2 envelopes -----------------------------------------------------------
@@ -294,5 +346,6 @@ def hello_data(max_frame_bytes: int) -> dict:
         "server": "repro-topk",
         "version": PROTOCOL_VERSION,
         "versions": list(SUPPORTED_VERSIONS),
+        "formats": list(WIRE_FORMATS),
         "max_frame_bytes": max_frame_bytes,
     }

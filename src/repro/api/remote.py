@@ -83,6 +83,10 @@ class RemoteShardExecutor:
         seconds (attempt ``n`` sleeps ``backoff * 2^n``, randomly scaled
         to 50–100% so N coordinators retrying the same dead server do
         not reconnect in lockstep).
+    wire_format:
+        ``"binary"`` sends the fan-out's query frames as RBF binary
+        envelopes when a shard server advertises support (per-connection
+        negotiation; JSON fallback otherwise).  Default ``"json"``.
     """
 
     def __init__(
@@ -94,6 +98,7 @@ class RemoteShardExecutor:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         connect_retries: int = 2,
         backoff: float = 0.05,
+        wire_format: str = "json",
     ) -> None:
         if not addresses:
             raise ValueError("RemoteShardExecutor needs at least one shard server address")
@@ -105,6 +110,7 @@ class RemoteShardExecutor:
         self._max_frame_bytes = max_frame_bytes
         self._connect_retries = connect_retries
         self._backoff = backoff
+        self._wire_format = wire_format
         self._clients: list[Optional[Client]] = [None] * len(self._addresses)
         self._lock = threading.Lock()  # guards the client slots, not the wire
         registry = get_registry()
@@ -269,6 +275,7 @@ class RemoteShardExecutor:
                     timeout=self._timeout,
                     max_frame_bytes=self._max_frame_bytes,
                     protocol=2,  # correlation ids are what make the fan-out concurrent
+                    wire_format=self._wire_format,
                 )
             except (ConnectionError, OSError):
                 self._m_errors[shard].inc()

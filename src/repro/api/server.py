@@ -42,12 +42,16 @@ from repro.api.protocol import (
     FrameTooLargeError,
     InboundFrame,
     classify_frame,
+    encode_binary_frame,
     hello_data,
-    read_frame,
+    read_frame_any,
     response_envelope,
     write_frame,
 )
 from repro.api.responses import Response, ResponseError
+from repro.codec import CodecError
+from repro.codec.wire import decode_request as decode_binary_request
+from repro.codec.wire import encode_response as encode_binary_response
 from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Trace, use_trace
@@ -205,7 +209,7 @@ class _Handler(socketserver.StreamRequestHandler):
         self._counted_wfile = _CountingStream(self.wfile, metrics.bytes_out)
         while not self.server.stopping:
             try:
-                payload = read_frame(self._counted_rfile, limit)
+                framed = read_frame_any(self._counted_rfile, limit)
             except FrameError as error:
                 if isinstance(error, FrameTooLargeError):
                     metrics.oversized.inc()
@@ -217,9 +221,14 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             except OSError:  # client aborted (RST, timeout): a clean close, not a crash
                 return
-            if payload is None:  # client hung up cleanly
+            if framed is None:  # client hung up cleanly
                 return
             metrics.frames_in.inc()
+            shape, payload = framed
+            if shape == "binary":
+                if not self._handle_binary(session, payload):
+                    return
+                continue
             frame = classify_frame(payload)
             if frame.version == 2 and frame.error is not None:
                 if not self._try_reply(envelope_error_payload(frame)):
@@ -256,6 +265,56 @@ class _Handler(socketserver.StreamRequestHandler):
             if is_shutdown_payload(frame.payload) and response.ok:
                 self.server.initiate_shutdown()
                 return
+
+    def _handle_binary(self, session: Session, body: bytes) -> bool:
+        """Serve one RBF binary request frame; returns whether to keep going.
+
+        The reply goes back binary when the response shape is
+        representable and fits the frame limit; otherwise it falls back to
+        a JSON v2 envelope with the same correlation id — the client
+        accepts either.  A body the codec rejects is answered with one
+        final ``protocol`` envelope and the connection closed, mirroring
+        the JSON frame-error discipline (there is no trustworthy
+        correlation id to answer on).
+        """
+        limit = self.server.max_frame_bytes
+        metrics = self.server.metrics
+        try:
+            request_id, request_payload = decode_binary_request(body)
+        except CodecError as error:
+            self._try_reply(
+                Response(
+                    ok=False, error=ResponseError(code="protocol", message=str(error))
+                ).to_dict()
+            )
+            return False
+        frame = InboundFrame(
+            version=2,
+            request_id=request_id,
+            kind=request_payload.get("type"),
+            payload=request_payload,
+        )
+        response = execute_frame(session, frame)
+        reply = response.to_dict()
+        encoded = encode_binary_response(request_id, reply)
+        if encoded is not None and len(encoded) <= limit:
+            try:
+                self._counted_wfile.write(encode_binary_frame(encoded, limit))
+                self._counted_wfile.flush()
+                metrics.frames_out.inc()
+                return True
+            except OSError:
+                return False
+        try:
+            write_frame(self._counted_wfile, response_envelope(request_id, reply), limit)
+            metrics.frames_out.inc()
+            return True
+        except FrameError as error:
+            metrics.oversized.inc()
+            oversized = oversized_reply_response(error).to_dict()
+            return self._try_reply(response_envelope(request_id, oversized))
+        except OSError:
+            return False
 
     def _try_reply(self, payload: dict) -> bool:
         try:

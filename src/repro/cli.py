@@ -90,8 +90,8 @@ from repro.algorithms.registry import (
 from repro.datasets.loader import load_rankings, save_rankings
 from repro.datasets.queries import sample_queries
 from repro.live import DEFAULT_LIVE_ALGORITHM, LiveCollection
-from repro.live.collection import SNAPSHOT_FILENAME, WAL_FILENAME
-from repro.live.manifest import MANIFEST_FILENAME
+from repro.live.collection import SNAPSHOT_FILENAME, WAL_BINARY_FILENAME, WAL_FILENAME
+from repro.live.manifest import MANIFEST_BINARY_FILENAME, MANIFEST_FILENAME
 from repro.service import QueryEngine, partition_rankings
 from repro.datasets.nyt import nyt_like_dataset
 from repro.datasets.yago import yago_like_dataset
@@ -175,6 +175,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collection name each shard server serves its shard under",
     )
     batch.add_argument(
+        "--wire-format", choices=("json", "binary"), default="json",
+        help="frame-body format for --remote-shards fan-out (negotiated at"
+        " hello; binary moves sub-query replies as RBF columnar buffers)",
+    )
+    batch.add_argument(
         "--repeat", type=int, default=1, help="passes over the batch (later passes hit the cache)"
     )
     batch.add_argument(
@@ -191,6 +196,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument(
         "--dir", default=None, help="persistence directory (WAL + snapshots); in-memory if omitted"
+    )
+    ingest.add_argument(
+        "--format", choices=("json", "binary"), default=None,
+        help="storage format for --dir: RBF binary or JSON artifacts (default:"
+        " match what the directory already holds, json when fresh); switching"
+        " formats migrates the directory in place",
     )
     ingest.add_argument(
         "--memtable-threshold", type=int, default=256, help="memtable size sealed into a segment"
@@ -255,6 +266,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persistence directory for --live (WAL + snapshots; enables"
         " '--admin snapshot'); in-memory if omitted",
     )
+    serve.add_argument(
+        "--format", choices=("json", "binary"), default=None,
+        help="storage format for '--live --dir': RBF binary or JSON artifacts"
+        " (default: match what the directory already holds, json when fresh);"
+        " switching formats migrates the directory in place",
+    )
     serve.add_argument("--shards", type=int, default=1, help="number of index shards")
     serve.add_argument(
         "--shard", default=None, metavar="I/N",
@@ -309,6 +326,12 @@ def _build_parser() -> argparse.ArgumentParser:
     up.add_argument(
         "--algorithm", default=None, choices=list(LIVE_ALGORITHMS),
         help="index algorithm for every shard's live collection",
+    )
+    up.add_argument(
+        "--format", choices=("json", "binary"), default="json",
+        help="wire format for coordinator-to-shard fan-out and replication"
+        " shipping (negotiated at hello; binary moves sub-query replies as"
+        " RBF frame bodies)",
     )
     up.add_argument("--host", default=DEFAULT_HOST, help="coordinator bind address")
     up.add_argument(
@@ -381,6 +404,11 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--protocol", type=int, choices=(1, 2), default=None,
         help="pin the wire protocol version (default: negotiate v2, fall back to v1)",
+    )
+    client.add_argument(
+        "--wire-format", choices=("json", "binary"), default=None,
+        help="ask for RBF binary frame bodies on hot request shapes"
+        " (negotiated at hello; falls back to json when the server lacks it)",
     )
     client.add_argument("--theta", type=float, default=0.2, help="range-query threshold")
     client.add_argument(
@@ -502,14 +530,19 @@ def _command_batch_query(args: argparse.Namespace) -> int:
             print("error: --remote-shards must list host:port addresses", file=sys.stderr)
             return 2
         try:
-            remote = RemoteShardExecutor(addresses, collection=args.remote_collection)
+            remote = RemoteShardExecutor(
+                addresses,
+                collection=args.remote_collection,
+                wire_format=args.wire_format,
+            )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         executor = remote
         num_shards = len(addresses)
         print(
-            f"fanning out to {num_shards} remote shard server(s): "
+            f"fanning out to {num_shards} remote shard server(s)"
+            f" ({args.wire_format} wire format): "
             + ", ".join(f"{host}:{port}" for host, port in remote.addresses)
         )
     try:
@@ -615,6 +648,9 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if args.snapshot and args.dir is None:
         print("error: --snapshot requires --dir", file=sys.stderr)
         return 2
+    if args.format is not None and args.dir is None:
+        print("error: --format requires --dir", file=sys.stderr)
+        return 2
     durability_flags = args.fsync or args.commit_batch is not None or args.commit_interval is not None
     if durability_flags and args.dir is None:
         print("error: --fsync/--commit-batch/--commit-interval require --dir", file=sys.stderr)
@@ -634,6 +670,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if args.dir is not None:
         live = LiveCollection.open(
             args.dir,
+            format=args.format,
             memtable_threshold=args.memtable_threshold,
             max_segments=args.max_segments,
             num_shards=args.shards,
@@ -714,6 +751,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
             if args.commit_interval is not None:
                 bounds.append(f"interval={args.commit_interval}s")
             durability += f" ({', '.join(bounds)})"
+        if stats.durability != "in-memory":
+            durability += f", {stats.storage_format} storage"
         print(f"  durability: {durability}"
               + ("  (acknowledged writes may be lost on power loss)"
                  if stats.durability in ("in-memory", "no-sync") else ""))
@@ -772,6 +811,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.dir is not None and not args.live:
         print("error: --dir requires --live", file=sys.stderr)
         return 2
+    if args.format is not None and (not args.live or args.dir is None):
+        print("error: --format requires --live --dir", file=sys.stderr)
+        return 2
     durability_flags = (
         args.fsync or args.commit_batch is not None or args.commit_interval is not None
     )
@@ -802,10 +844,17 @@ def _command_serve(args: argparse.Namespace) -> int:
                 # existing (even emptied-out) state must not be re-seeded
                 fresh = not any(
                     os.path.exists(os.path.join(args.dir, name))
-                    for name in (MANIFEST_FILENAME, WAL_FILENAME, SNAPSHOT_FILENAME)
+                    for name in (
+                        MANIFEST_FILENAME,
+                        MANIFEST_BINARY_FILENAME,
+                        WAL_FILENAME,
+                        WAL_BINARY_FILENAME,
+                        SNAPSHOT_FILENAME,
+                    )
                 )
                 collection = LiveCollection.open(
                     args.dir,
+                    format=args.format,
                     num_shards=args.shards,
                     sync=args.fsync,
                     commit_batch=args.commit_batch,
@@ -868,9 +917,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
     if args.live:
         durability = collection.durability
+        if durability != "in-memory":
+            durability += f", {collection.storage_format} storage"
         print(f"durability: {durability}"
               + ("  (acknowledged writes may be lost on power loss)"
-                 if durability in ("in-memory", "no-sync") else ""))
+                 if collection.durability in ("in-memory", "no-sync") else ""))
     print("stop with a client '--admin shutdown' request or Ctrl-C")
     try:
         if args.ready_file:
@@ -988,6 +1039,7 @@ def _command_cluster_up(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             heartbeat_interval=args.heartbeat_interval,
             timeout=args.node_timeout,
+            wire_format=args.format,
         )
         server = DatabaseServer(coordinator, host=args.host, port=args.port)
         host, port = server.address
@@ -1016,7 +1068,10 @@ def _command_cluster_up(args: argparse.Namespace) -> int:
         for spec in table.shards:
             members = ", ".join(spec.replicas) or "none"
             print(f"  shard {spec.shard_id}: primary {spec.primary}  replicas: {members}")
-        print(f"coordinator serving {args.collection!r} on {host}:{port}")
+        print(
+            f"coordinator serving {args.collection!r} on {host}:{port}"
+            f" ({args.format} wire format to shards)"
+        )
         print("stop with a client '--admin shutdown' request or Ctrl-C")
         if args.ready_file:
             with open(args.ready_file, "w", encoding="utf-8") as handle:
@@ -1225,6 +1280,15 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
         return 0, [str((response.data or {}).get("exposition", ""))]
     if args.admin == "slow_queries":
         return 0, _slow_query_lines(response.data or {})
+    if args.admin == "stats":
+        # the wire format is negotiated client-side at hello, so only this
+        # end of the connection can report which one is actually active
+        data = dict(response.data or {})
+        data["wire"] = {
+            "format": client.wire_format,
+            "protocol": client.protocol_version,
+        }
+        return 0, [json.dumps(data, indent=2, sort_keys=True)]
     return 0, [json.dumps(response.data, indent=2, sort_keys=True)]
 
 
@@ -1269,7 +1333,10 @@ def _command_client(args: argparse.Namespace) -> int:
         print("error: --cluster only applies to '--admin metrics'", file=sys.stderr)
         return 2
     try:
-        client = Client(args.host, args.port, timeout=args.timeout, protocol=args.protocol)
+        client = Client(
+            args.host, args.port, timeout=args.timeout, protocol=args.protocol,
+            wire_format=args.wire_format,
+        )
     except (OSError, ConnectionError) as error:
         print(f"error: cannot connect to {args.host}:{args.port}: {error}", file=sys.stderr)
         return 1

@@ -163,6 +163,10 @@ class Coordinator(ExecutorSurface):
     address:
         The coordinator's own advertised ``host:port`` (embedded in routing
         tables so stale clients can find their way back).
+    wire_format:
+        ``"binary"`` ships queries and replication batches to shard
+        servers as RBF binary envelopes when they advertise support
+        (negotiated per connection; JSON fallback otherwise).
     """
 
     def __init__(
@@ -180,6 +184,7 @@ class Coordinator(ExecutorSurface):
         ship_batch: int = 128,
         timeout: float = 10.0,
         address: Optional[str] = None,
+        wire_format: str = "json",
     ) -> None:
         if replicas < 0:
             raise InvalidRequestError(f"replicas must be non-negative, got {replicas}")
@@ -200,6 +205,7 @@ class Coordinator(ExecutorSurface):
         self._ship_batch = ship_batch
         self._timeout = timeout
         self._address = address
+        self._wire_format = wire_format
 
         self._nodes: dict[str, _Node] = {addr: _Node(addr) for addr in nodes}
         self._shards: list[_Shard] = []
@@ -1112,7 +1118,11 @@ class Coordinator(ExecutorSurface):
         with node.lock:
             if node.client is None or node.client.closed:
                 node.client = Client(
-                    node.host, node.port, timeout=self._timeout, protocol=2
+                    node.host,
+                    node.port,
+                    timeout=self._timeout,
+                    protocol=2,
+                    wire_format=self._wire_format,
                 )
             return node.client
 

@@ -1,0 +1,191 @@
+"""RBF — the repro binary format's record framing.
+
+Every persisted binary artifact (WAL, run files, the manifest edit log)
+and every binary protocol frame body is a sequence of *records*, each
+framed the same way:
+
+.. code-block:: text
+
+    +--------+---------+------+-------+------------+----------+=========+
+    | magic  | version | kind | flags | length u32 | crc32    | payload |
+    | "RBF1" | u8      | u8   | u16   | of payload | (below)  | bytes   |
+    +--------+---------+------+-------+------------+----------+=========+
+
+All integers are little-endian (``RECORD_HEADER``), so numpy can decode
+payload columns with ``frombuffer`` and no byte swabbing on the platforms
+that matter.  ``flags`` bit 0 (``FLAG_ZLIB``) marks a zlib-compressed
+payload; ``length`` always describes the *stored* (possibly compressed)
+bytes, so corruption is detected before decompression.  The CRC32 covers
+the header bytes *before* the CRC field (magic through length) plus the
+stored payload — a bit flip anywhere in the record, including the
+``kind`` byte, fails the checksum instead of silently re-typing it.
+
+Two failure modes are deliberately distinct:
+
+* :class:`TruncatedRecordError` — the buffer ends mid-record.  Readers
+  of append-only files (WAL, manifest log) treat this at the tail as a
+  torn write and drop the partial record, exactly like the JSON WAL's
+  torn-line tolerance.
+* :class:`CorruptRecordError` — a *complete* record whose magic,
+  version, CRC, or compression is wrong.  This is never tolerated, even
+  at the tail: a full record with a bad checksum means bit rot, not a
+  crash mid-append.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Optional
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "CodecError",
+    "CorruptRecordError",
+    "FLAG_ZLIB",
+    "HEADER_PREFIX",
+    "MAGIC",
+    "RBF_VERSION",
+    "RECORD_HEADER",
+    "TruncatedRecordError",
+    "iter_records",
+    "pack_record",
+    "skip_record",
+    "unpack_record",
+]
+
+#: Leading bytes of every record; doubles as a file signature.
+MAGIC = b"RBF1"
+
+#: Format version stamped into (and checked on) every record.
+RBF_VERSION = 1
+
+#: The fixed record header layout: magic, version, kind, flags, stored
+#: payload length, CRC32 (of the preceding header bytes + stored payload)
+#: — little-endian throughout.
+RECORD_HEADER = struct.Struct("<4sBBHII")
+
+#: The CRC-covered header prefix: everything before the CRC field.
+HEADER_PREFIX = struct.Struct("<4sBBHI")
+
+_CRC = struct.Struct("<I")
+
+#: ``flags`` bit 0: the stored payload is zlib-compressed.
+FLAG_ZLIB = 0x0001
+
+_KNOWN_FLAGS = FLAG_ZLIB
+
+
+class CodecError(ReproError):
+    """Base class for binary-format failures."""
+
+
+class CorruptRecordError(CodecError):
+    """A complete record failed validation (magic, version, CRC, zlib)."""
+
+    def __init__(self, reason: str, *, offset: Optional[int] = None) -> None:
+        self.reason = reason
+        self.offset = offset
+        where = f" at offset {offset}" if offset is not None else ""
+        super().__init__(f"corrupt RBF record{where}: {reason}")
+
+
+class TruncatedRecordError(CorruptRecordError):
+    """The buffer ends before the record does — a torn tail, if trailing."""
+
+
+def pack_record(kind: int, payload: bytes, *, compress: bool = False) -> bytes:
+    """Frame ``payload`` as one RBF record of ``kind``.
+
+    ``compress=True`` stores the payload zlib-compressed and sets
+    ``FLAG_ZLIB``; the CRC always covers the stored bytes.
+    """
+    if not 0 <= kind <= 0xFF:
+        raise ValueError(f"record kind must fit one byte, got {kind}")
+    stored = zlib.compress(payload) if compress else payload
+    flags = FLAG_ZLIB if compress else 0
+    prefix = HEADER_PREFIX.pack(MAGIC, RBF_VERSION, kind, flags, len(stored))
+    crc = zlib.crc32(stored, zlib.crc32(prefix)) & 0xFFFFFFFF
+    return prefix + _CRC.pack(crc) + stored
+
+
+def unpack_record(buffer: bytes, offset: int = 0) -> tuple[int, bytes, int]:
+    """Decode the record starting at ``offset``; returns ``(kind, payload, end)``.
+
+    ``end`` is the offset one past the record, so callers can walk a file
+    of concatenated records.  Raises :class:`TruncatedRecordError` when
+    the buffer ends mid-record and :class:`CorruptRecordError` for any
+    complete-but-invalid record.
+    """
+    if len(buffer) - offset < RECORD_HEADER.size:
+        raise TruncatedRecordError(
+            f"{len(buffer) - offset} bytes left, header needs {RECORD_HEADER.size}",
+            offset=offset,
+        )
+    magic, version, kind, flags, length, crc = RECORD_HEADER.unpack_from(buffer, offset)
+    if magic != MAGIC:
+        raise CorruptRecordError(f"bad magic {magic!r}", offset=offset)
+    if version != RBF_VERSION:
+        raise CorruptRecordError(f"unsupported RBF version {version}", offset=offset)
+    if flags & ~_KNOWN_FLAGS:
+        raise CorruptRecordError(f"unknown flags 0x{flags:04x}", offset=offset)
+    start = offset + RECORD_HEADER.size
+    if len(buffer) - start < length:
+        raise TruncatedRecordError(
+            f"payload needs {length} bytes, {len(buffer) - start} left", offset=offset
+        )
+    stored = bytes(buffer[start : start + length])
+    prefix = bytes(buffer[offset : offset + HEADER_PREFIX.size])
+    if zlib.crc32(stored, zlib.crc32(prefix)) & 0xFFFFFFFF != crc:
+        raise CorruptRecordError("CRC32 mismatch", offset=offset)
+    if flags & FLAG_ZLIB:
+        try:
+            payload = zlib.decompress(stored)
+        except zlib.error as error:
+            raise CorruptRecordError(f"zlib: {error}", offset=offset) from error
+    else:
+        payload = stored
+    return kind, payload, start + length
+
+
+def skip_record(buffer: bytes, offset: int = 0) -> int:
+    """Header-only walk: return the end offset of the record at ``offset``.
+
+    Validates the header fields (magic, version, flags) and that the
+    stored payload is fully present, but does *not* CRC-check or
+    decompress it — for accounting walks (record counts, tail trims)
+    over a file a full decode pass has already validated or is about to.
+    Raises exactly like :func:`unpack_record` for header-level damage.
+    """
+    if len(buffer) - offset < RECORD_HEADER.size:
+        raise TruncatedRecordError(
+            f"{len(buffer) - offset} bytes left, header needs {RECORD_HEADER.size}",
+            offset=offset,
+        )
+    magic, version, _, flags, length, _ = RECORD_HEADER.unpack_from(buffer, offset)
+    if magic != MAGIC:
+        raise CorruptRecordError(f"bad magic {magic!r}", offset=offset)
+    if version != RBF_VERSION:
+        raise CorruptRecordError(f"unsupported RBF version {version}", offset=offset)
+    if flags & ~_KNOWN_FLAGS:
+        raise CorruptRecordError(f"unknown flags 0x{flags:04x}", offset=offset)
+    end = offset + RECORD_HEADER.size + length
+    if end > len(buffer):
+        raise TruncatedRecordError(
+            f"payload needs {length} bytes, {len(buffer) - offset - RECORD_HEADER.size} left",
+            offset=offset,
+        )
+    return end
+
+
+def iter_records(buffer: bytes) -> Iterator[tuple[int, bytes, int]]:
+    """Yield ``(kind, payload, end_offset)`` for each record in ``buffer``.
+
+    Raises exactly like :func:`unpack_record`; callers that tolerate a
+    torn tail catch :class:`TruncatedRecordError` around the loop.
+    """
+    offset = 0
+    while offset < len(buffer):
+        kind, payload, offset = unpack_record(buffer, offset)
+        yield kind, payload, offset

@@ -1,0 +1,362 @@
+"""Binary protocol-frame bodies: the v2 wire side of the RBF format.
+
+A binary frame's body is one RBF record whose ``kind`` discriminates the
+envelope (the outer 4-byte length header carries the binary bit; see
+:mod:`repro.api.protocol`).  Only the hot request/response shapes have a
+binary form — range, knn, and batch queries, replication shipping, and
+their match-list answers.  Everything else (admin, errors, traced
+requests, mutation acks) stays a JSON envelope on the same connection:
+the two framings are mixed per frame, correlated by the shared integer
+request id.
+
+The codecs here are *dict-shaped*: :func:`encode_request` takes exactly
+the payload ``Request.to_dict()`` produces and :func:`decode_request`
+returns a dict that ``parse_request`` revalidates, so a binary request
+flows through the same strict validation and dispatch as a JSON one —
+which is what keeps the answers byte-identical.  Encoders return
+``None`` for any shape they cannot carry losslessly (string ids, extra
+fields, non-float distances, ragged match widths); callers then fall
+back to the JSON framing.  Response payloads deliberately drop the
+volatile ``stats`` dict — the decoded envelope's ``result_bytes()``
+still matches the JSON path's exactly, because ``result_bytes`` strips
+``stats`` anyway.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Sequence
+
+from repro.codec.columns import (
+    decode_f64,
+    decode_i64,
+    decode_matrix,
+    encode_f64,
+    encode_i64,
+    encode_matrix,
+)
+from repro.codec.rbf import CorruptRecordError, pack_record, unpack_record
+from repro.codec.records import decode_wal_batch, encode_wal_batch
+
+__all__ = [
+    "ENVELOPE_ID",
+    "WIRE_BATCH",
+    "WIRE_BATCH_REPLY",
+    "WIRE_KNN",
+    "WIRE_MATCHES",
+    "WIRE_RANGE",
+    "WIRE_REPLICATE",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+]
+
+#: Wire record kinds (disjoint from the storage kinds in ``records``).
+WIRE_RANGE = 16
+WIRE_KNN = 17
+WIRE_BATCH = 18
+WIRE_REPLICATE = 19
+WIRE_MATCHES = 20
+WIRE_BATCH_REPLY = 21
+
+#: The correlation id leading every binary envelope body.
+ENVELOPE_ID = struct.Struct("<q")
+
+_STR_LEN = struct.Struct("<H")
+_NONE_STR = 0xFFFF
+_RANGE_HEAD = struct.Struct("<dqq")  # theta, limit (-1 = None), cursor
+_THETA = struct.Struct("<d")
+_K = struct.Struct("<q")
+_CURSOR = struct.Struct("<q")  # -1 = None (answer exhausted)
+_COUNT32 = struct.Struct("<I")
+
+_RANGE_FIELDS = frozenset({"type", "collection", "items", "theta", "algorithm", "limit", "cursor"})
+_KNN_FIELDS = frozenset({"type", "collection", "items", "k", "algorithm"})
+_BATCH_FIELDS = frozenset({"type", "collection", "queries", "theta", "algorithm"})
+_REPLICATE_FIELDS = frozenset({"type", "collection", "action", "records"})
+_MATCHES_FIELDS = frozenset({"ok", "matches", "stats", "cursor"})
+_BATCH_REPLY_FIELDS = frozenset({"ok", "batch", "stats"})
+_MATCH_KEYS = frozenset({"rid", "distance", "items"})
+
+#: Encoder-side shape mismatches that mean "fall back to JSON", not "fail".
+_ENCODE_ERRORS = (KeyError, TypeError, ValueError, struct.error)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _encode_str(value: Optional[str]) -> bytes:
+    if value is None:
+        return _STR_LEN.pack(_NONE_STR)
+    data = value.encode("utf-8")
+    if len(data) >= _NONE_STR:
+        raise ValueError(f"string of {len(data)} bytes exceeds the u16 length prefix")
+    return _STR_LEN.pack(len(data)) + data
+
+
+def _decode_str(buffer: bytes, offset: int) -> tuple[Optional[str], int]:
+    if len(buffer) - offset < _STR_LEN.size:
+        raise CorruptRecordError("missing string length", offset=offset)
+    (length,) = _STR_LEN.unpack_from(buffer, offset)
+    offset += _STR_LEN.size
+    if length == _NONE_STR:
+        return None, offset
+    if len(buffer) - offset < length:
+        raise CorruptRecordError("string overruns the payload", offset=offset)
+    try:
+        return buffer[offset : offset + length].decode("utf-8"), offset + length
+    except UnicodeDecodeError as error:
+        raise CorruptRecordError(f"bad utf-8 string: {error}") from error
+
+
+def _items_column(items: Sequence) -> bytes:
+    if not all(_is_int(item) for item in items):
+        raise ValueError("items must be integers")
+    return encode_i64(items)
+
+
+# -- requests -----------------------------------------------------------------------
+
+
+def encode_request(request_id: object, payload: dict) -> Optional[bytes]:
+    """Encode one request payload as a binary frame body, or ``None``.
+
+    ``None`` means the request has no binary form (unsupported kind,
+    string id, unexpected fields) and must travel as a JSON envelope.
+    """
+    if not _is_int(request_id):
+        return None
+    try:
+        kind = payload.get("type")
+        if kind == "range" and set(payload) == _RANGE_FIELDS:
+            limit = payload["limit"]
+            body = (
+                _encode_str(payload["collection"])
+                + _encode_str(payload["algorithm"])
+                + _RANGE_HEAD.pack(
+                    payload["theta"], -1 if limit is None else limit, payload["cursor"]
+                )
+                + _items_column(payload["items"])
+            )
+            wire_kind = WIRE_RANGE
+        elif kind == "knn" and set(payload) == _KNN_FIELDS:
+            body = (
+                _encode_str(payload["collection"])
+                + _encode_str(payload["algorithm"])
+                + _K.pack(payload["k"])
+                + _items_column(payload["items"])
+            )
+            wire_kind = WIRE_KNN
+        elif kind == "batch" and set(payload) == _BATCH_FIELDS:
+            queries = payload["queries"]
+            body = (
+                _encode_str(payload["collection"])
+                + _encode_str(payload["algorithm"])
+                + _THETA.pack(payload["theta"])
+                + _COUNT32.pack(len(queries))
+                + b"".join(_items_column(query) for query in queries)
+            )
+            wire_kind = WIRE_BATCH
+        elif (
+            kind == "admin"
+            and payload.get("action") == "replicate"
+            and set(payload) == _REPLICATE_FIELDS
+        ):
+            body = _encode_str(payload["collection"]) + encode_wal_batch(payload["records"])
+            wire_kind = WIRE_REPLICATE
+        else:
+            return None
+    except _ENCODE_ERRORS:
+        return None
+    return pack_record(wire_kind, ENVELOPE_ID.pack(request_id) + body)
+
+
+def decode_request(body: bytes) -> tuple[int, dict]:
+    """Decode a binary request frame body into ``(request_id, payload)``.
+
+    The payload dict has exactly the shape ``Request.to_dict()`` emits,
+    so the server's ``parse_request`` revalidates it like any JSON frame.
+    """
+    try:
+        return _decode_request(body)
+    except struct.error as error:
+        raise CorruptRecordError(f"truncated binary envelope: {error}") from error
+
+
+def _decode_request(body: bytes) -> tuple[int, dict]:
+    kind, envelope, end = unpack_record(body)
+    if end != len(body):
+        raise CorruptRecordError(f"{len(body) - end} trailing bytes in frame body")
+    if len(envelope) < ENVELOPE_ID.size:
+        raise CorruptRecordError("binary envelope shorter than its id")
+    (request_id,) = ENVELOPE_ID.unpack_from(envelope)
+    offset = ENVELOPE_ID.size
+    collection, offset = _decode_str(envelope, offset)
+    if collection is None:
+        raise CorruptRecordError("request collection must not be null")
+    if kind == WIRE_RANGE:
+        algorithm, offset = _decode_str(envelope, offset)
+        theta, limit, cursor = _RANGE_HEAD.unpack_from(envelope, offset)
+        items, offset = decode_i64(envelope, offset + _RANGE_HEAD.size)
+        payload = {
+            "type": "range",
+            "collection": collection,
+            "items": items,
+            "theta": theta,
+            "algorithm": algorithm,
+            "limit": None if limit == -1 else limit,
+            "cursor": cursor,
+        }
+    elif kind == WIRE_KNN:
+        algorithm, offset = _decode_str(envelope, offset)
+        (k,) = _K.unpack_from(envelope, offset)
+        items, offset = decode_i64(envelope, offset + _K.size)
+        payload = {
+            "type": "knn",
+            "collection": collection,
+            "items": items,
+            "k": k,
+            "algorithm": algorithm,
+        }
+    elif kind == WIRE_BATCH:
+        algorithm, offset = _decode_str(envelope, offset)
+        (theta,) = _THETA.unpack_from(envelope, offset)
+        offset += _THETA.size
+        (count,) = _COUNT32.unpack_from(envelope, offset)
+        offset += _COUNT32.size
+        queries = []
+        for _ in range(count):
+            items, offset = decode_i64(envelope, offset)
+            queries.append(items)
+        payload = {
+            "type": "batch",
+            "collection": collection,
+            "queries": queries,
+            "theta": theta,
+            "algorithm": algorithm,
+        }
+    elif kind == WIRE_REPLICATE:
+        records, offset = decode_wal_batch(envelope, offset)
+        payload = {
+            "type": "admin",
+            "collection": collection,
+            "action": "replicate",
+            "records": records,
+        }
+    else:
+        raise CorruptRecordError(f"unknown binary request kind {kind}")
+    return request_id, payload
+
+
+# -- responses ----------------------------------------------------------------------
+
+
+def _encode_matches(matches: Sequence[dict], cursor: Optional[int]) -> bytes:
+    rids = []
+    distances = []
+    rows = []
+    for match in matches:
+        if set(match) != _MATCH_KEYS:
+            raise ValueError(f"unexpected match keys {sorted(match)}")
+        if not _is_int(match["rid"]) or not isinstance(match["distance"], float):
+            raise ValueError("match rid must be int and distance float")
+        rids.append(match["rid"])
+        distances.append(match["distance"])
+        rows.append(match["items"])
+        if not all(_is_int(item) for item in match["items"]):
+            raise ValueError("match items must be integers")
+    return (
+        _CURSOR.pack(-1 if cursor is None else cursor)
+        + encode_i64(rids)
+        + encode_f64(distances)
+        + encode_matrix(rows)
+    )
+
+
+def _decode_matches(envelope: bytes, offset: int) -> tuple[dict, int]:
+    (cursor,) = _CURSOR.unpack_from(envelope, offset)
+    rids, offset = decode_i64(envelope, offset + _CURSOR.size)
+    distances, offset = decode_f64(envelope, offset)
+    rows, offset = decode_matrix(envelope, offset)
+    if not len(rids) == len(distances) == len(rows):
+        raise CorruptRecordError("match columns disagree on length", offset=offset)
+    payload: dict = {
+        "ok": True,
+        "matches": [
+            {"rid": rid, "distance": distance, "items": items}
+            for rid, distance, items in zip(rids, distances, rows)
+        ],
+    }
+    if cursor != -1:
+        payload["cursor"] = cursor
+    return payload, offset
+
+
+def encode_response(request_id: object, payload: dict) -> Optional[bytes]:
+    """Encode one response payload as a binary frame body, or ``None``.
+
+    Only successful match-list answers (range/knn) and batch answers have
+    a binary form; the volatile ``stats`` dict is dropped, which is
+    invisible to ``result_bytes()``.  ``None`` sends the JSON envelope.
+    """
+    if not _is_int(request_id) or payload.get("ok") is not True:
+        return None
+    try:
+        if payload.get("matches") is not None and set(payload) <= _MATCHES_FIELDS:
+            body = _encode_matches(payload["matches"], payload.get("cursor"))
+            wire_kind = WIRE_MATCHES
+        elif payload.get("batch") is not None and set(payload) <= _BATCH_REPLY_FIELDS:
+            entries = payload["batch"]
+            parts = [_COUNT32.pack(len(entries))]
+            for entry in entries:
+                if entry.get("ok") is not True or entry.get("matches") is None:
+                    return None
+                if not set(entry) <= _MATCHES_FIELDS or entry.get("cursor") is not None:
+                    return None
+                parts.append(_encode_matches(entry["matches"], None))
+            body = b"".join(parts)
+            wire_kind = WIRE_BATCH_REPLY
+        else:
+            return None
+    except _ENCODE_ERRORS:
+        return None
+    return pack_record(wire_kind, ENVELOPE_ID.pack(request_id) + body)
+
+
+def decode_response(body: bytes) -> tuple[int, dict]:
+    """Decode a binary response frame body into ``(request_id, payload)``.
+
+    The payload dict is ``Response.to_dict()``-shaped minus the volatile
+    ``stats``, ready for ``Response.from_dict``.
+    """
+    try:
+        return _decode_response(body)
+    except struct.error as error:
+        raise CorruptRecordError(f"truncated binary envelope: {error}") from error
+
+
+def _decode_response(body: bytes) -> tuple[int, dict]:
+    kind, envelope, end = unpack_record(body)
+    if end != len(body):
+        raise CorruptRecordError(f"{len(body) - end} trailing bytes in frame body")
+    if len(envelope) < ENVELOPE_ID.size:
+        raise CorruptRecordError("binary envelope shorter than its id")
+    (request_id,) = ENVELOPE_ID.unpack_from(envelope)
+    offset = ENVELOPE_ID.size
+    if kind == WIRE_MATCHES:
+        payload, offset = _decode_matches(envelope, offset)
+    elif kind == WIRE_BATCH_REPLY:
+        (count,) = _COUNT32.unpack_from(envelope, offset)
+        offset += _COUNT32.size
+        entries = []
+        for _ in range(count):
+            entry, offset = _decode_matches(envelope, offset)
+            entries.append(entry)
+        payload = {"ok": True, "batch": entries}
+    else:
+        raise CorruptRecordError(f"unknown binary response kind {kind}")
+    if offset != len(envelope):
+        raise CorruptRecordError(f"{len(envelope) - offset} trailing envelope bytes")
+    return request_id, payload

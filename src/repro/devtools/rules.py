@@ -9,13 +9,18 @@ rule id        invariant
 guarded-by     attributes declared ``# guarded-by: _lock`` are only
                touched inside ``with self._lock:`` (or in a method
                annotated ``# holds: _lock`` / named ``*_locked``)
-fsync-discipline  under ``src/repro/live/`` every rename/truncate is
-               fsynced in the same function and raw ``write_text`` /
-               ``write_bytes`` is banned (use ``atomic_write_json``)
+fsync-discipline  under ``src/repro/live/`` and ``src/repro/codec/``
+               every rename/truncate is fsynced in the same function
+               and raw ``write_text`` / ``write_bytes`` is banned
+               (use ``atomic_write_json`` / ``atomic_write_bytes``)
 wire-parity    every ``*Request`` has a dispatch arm in
                ``api/database.py``, a helper in ``api/surface.py``,
                a ``REQUEST_TYPES`` registration, and every error code
-               constructed anywhere maps in ``responses.ERROR_TYPES``
+               constructed anywhere maps in ``responses.ERROR_TYPES``;
+               under ``src/repro/codec/`` struct layouts live at
+               module scope, every ``KIND_``/``WIRE_`` constant is
+               referenced at a pack/unpack call site, and public
+               ``encode_*``/``decode_*`` functions come in pairs
 metric-registry  ``repro_*`` metric names come from the
                ``repro.obs.names`` catalogue (no literals at call
                sites) and the catalogue is exactly what the README
@@ -190,19 +195,22 @@ class GuardedByRule(Rule):
 
 
 class FsyncDisciplineRule(Rule):
-    """Crash safety under ``src/repro/live/``: no unsynced publication."""
+    """Crash safety under ``src/repro/live/`` + ``src/repro/codec/``."""
 
     id = "fsync-discipline"
     description = (
-        "under src/repro/live/ renames and truncates need os.fsync in the same"
-        " function, and raw write_text/write_bytes must go through"
-        " atomic_write_json"
+        "under src/repro/live/ and src/repro/codec/ renames and truncates need"
+        " os.fsync in the same function, and raw write_text/write_bytes must go"
+        " through atomic_write_json / atomic_write_bytes"
     )
 
-    _SYNCED = frozenset({"fsync", "fsync_directory", "atomic_write_json"})
+    _PATHS = ("src/repro/live/", "src/repro/codec/")
+    _SYNCED = frozenset(
+        {"fsync", "fsync_directory", "atomic_write_json", "atomic_write_bytes", "append_record"}
+    )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
-        if not module.relpath.startswith("src/repro/live/"):
+        if not module.relpath.startswith(self._PATHS):
             return
         for func in (
             n
@@ -223,7 +231,8 @@ class FsyncDisciplineRule(Rule):
                         message=(
                             f"{func.name} uses .write_text/.write_bytes, which"
                             " bypasses the temp-file + fsync + rename discipline"
-                            " (use atomic_write_json or an explicit fsync path)"
+                            " (use atomic_write_json / atomic_write_bytes or an"
+                            " explicit fsync path)"
                         ),
                     )
                 elif not synced:
@@ -270,15 +279,21 @@ class WireParityRule(Rule):
         "every *Request in api/requests.py is registered in REQUEST_TYPES, has a"
         " Session dispatch arm in api/database.py and an ExecutorSurface helper"
         " in api/surface.py; every constructed error code maps in"
-        " responses.ERROR_TYPES (and vice versa)"
+        " responses.ERROR_TYPES (and vice versa); under src/repro/codec/ struct"
+        " layouts are module-level constants, KIND_/WIRE_ record kinds are"
+        " referenced at pack/unpack call sites, and public encode_*/decode_*"
+        " functions are paired"
     )
 
     _REQUESTS = "src/repro/api/requests.py"
     _DATABASE = "src/repro/api/database.py"
     _SURFACE = "src/repro/api/surface.py"
     _RESPONSES = "src/repro/api/responses.py"
+    _CODEC_PREFIX = "src/repro/codec/"
+    _KIND_RE = re.compile(r"^(KIND|WIRE)_[A-Z0-9_]+$")
 
     def check_project(self, project: Project) -> Iterator[Finding]:
+        yield from self._check_codec(project)
         requests = project.module(self._REQUESTS)
         database = project.module(self._DATABASE)
         surface = project.module(self._SURFACE)
@@ -343,6 +358,111 @@ class WireParityRule(Rule):
                     f" constructed anywhere under src/repro"
                 ),
             )
+
+    def _check_codec(self, project: Project) -> Iterator[Finding]:
+        """Binary-format parity: layouts, record kinds, codec pairs."""
+        codec_modules = [
+            m for m in project.modules if m.relpath.startswith(self._CODEC_PREFIX)
+        ]
+        if not codec_modules:
+            return
+        kinds: dict[str, tuple[str, int]] = {}
+        for module in codec_modules:
+            yield from self._check_inline_layouts(module)
+            yield from self._check_codec_pairs(module)
+            for name, line in self._kind_constants(module):
+                kinds.setdefault(name, (module.relpath, line))
+        used: set[str] = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in kinds
+                ):
+                    used.add(node.id)
+                elif isinstance(node, ast.Attribute) and node.attr in kinds:
+                    used.add(node.attr)
+        for name, (relpath, line) in sorted(kinds.items()):
+            if name not in used:
+                yield Finding(
+                    path=relpath,
+                    line=line,
+                    rule=self.id,
+                    message=(
+                        f"codec record kind {name} is never referenced at any"
+                        f" pack/unpack call site (dead wire/storage kind)"
+                    ),
+                )
+
+    def _check_inline_layouts(self, module: ModuleInfo) -> Iterator[Finding]:
+        """``struct.Struct(...)`` belongs at module scope, shared by both sides."""
+        for func in (
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                name = (
+                    callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else callee.id
+                    if isinstance(callee, ast.Name)
+                    else None
+                )
+                if name == "Struct":
+                    yield Finding(
+                        path=module.relpath,
+                        line=node.lineno,
+                        rule=self.id,
+                        message=(
+                            f"{func.name} constructs a struct layout inline; hoist"
+                            " it to a module-level constant so pack and unpack"
+                            " share one layout"
+                        ),
+                    )
+
+    def _check_codec_pairs(self, module: ModuleInfo) -> Iterator[Finding]:
+        """A public ``encode_x`` without ``decode_x`` cannot round-trip."""
+        functions = {
+            node.name: node.lineno
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name, line in sorted(functions.items()):
+            if name.startswith("encode_"):
+                partner = "decode_" + name[len("encode_") :]
+            elif name.startswith("decode_"):
+                partner = "encode_" + name[len("decode_") :]
+            else:
+                continue
+            if partner not in functions:
+                yield Finding(
+                    path=module.relpath,
+                    line=line,
+                    rule=self.id,
+                    message=(
+                        f"codec function {name} has no {partner} counterpart in"
+                        f" the same module (one-way codecs cannot round-trip)"
+                    ),
+                )
+
+    def _kind_constants(self, module: ModuleInfo) -> Iterator[tuple[str, int]]:
+        for node in module.tree.body:
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, int)):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and self._KIND_RE.match(target.id):
+                    yield target.id, node.lineno
 
     def _request_classes(self, module: ModuleInfo) -> list[tuple[str, int]]:
         classes = []

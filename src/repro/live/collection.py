@@ -59,9 +59,11 @@ from repro.core.stats import SearchStats
 from repro.algorithms.knn import KnnResult, Neighbour
 from repro.live.compactor import Compactor
 from repro.live.manifest import (
+    MANIFEST_BINARY_FILENAME,
     MANIFEST_FILENAME,
     SEGMENTS_DIRNAME,
     Manifest,
+    ManifestLog,
     base_filename,
     read_run,
     segment_filename,
@@ -79,8 +81,13 @@ from repro.service.sharding import ShardedIndex
 
 #: File names used inside a persistence directory.
 WAL_FILENAME = "wal.jsonl"
+#: Binary-format (RBF) write-ahead log filename.
+WAL_BINARY_FILENAME = "wal.rbf"
 #: Legacy (pre-manifest) whole-state snapshot file, still readable.
 SNAPSHOT_FILENAME = "snapshot.json"
+
+#: The storage formats a durable collection can run under.
+STORAGE_FORMATS = ("json", "binary")
 
 #: Default algorithm used when a query does not name one.
 DEFAULT_LIVE_ALGORITHM = "F&V"
@@ -109,6 +116,7 @@ class LiveStats:
     replayed: int = 0
     snapshots: int = 0
     durability: str = "in-memory"
+    storage_format: str = "json"
 
     @property
     def mutations(self) -> int:
@@ -137,7 +145,7 @@ class LiveStats:
                 "snapshots": self.snapshots,
                 "replayed": self.replayed,
             },
-            "durability": {"mode": self.durability},
+            "durability": {"mode": self.durability, "format": self.storage_format},
         }
 
     def as_flat_dict(self) -> dict:
@@ -209,6 +217,7 @@ class LiveCollection:
         background_compaction: bool = False,
         directory: Optional[Union[str, Path]] = None,
         snapshot_every: Optional[int] = DEFAULT_SNAPSHOT_EVERY,
+        format: str = "json",
     ) -> None:
         if memtable_threshold <= 0:
             raise ValueError(f"memtable_threshold must be positive, got {memtable_threshold}")
@@ -218,12 +227,18 @@ class LiveCollection:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         if snapshot_every is not None and snapshot_every <= 0:
             raise ValueError(f"snapshot_every must be positive or None, got {snapshot_every}")
+        if format not in STORAGE_FORMATS:
+            raise ValueError(f"format must be one of {STORAGE_FORMATS}, got {format!r}")
         self._memtable_threshold = memtable_threshold
         self._max_segments = max_segments
         self._num_shards = num_shards
         self._wal = wal
         self._directory = Path(directory) if directory is not None else None
         self._snapshot_every = snapshot_every
+        self._format = format
+        self._manifest_log: Optional[ManifestLog] = None
+        if self._directory is not None and format == "binary":
+            self._manifest_log = ManifestLog(self._directory / MANIFEST_BINARY_FILENAME)
 
         # Reentrant because flush/checkpoint helpers re-enter while held;
         # REPRO_LOCKTRACE=1 swaps in a TracedLock (see repro.devtools).
@@ -251,7 +266,8 @@ class LiveCollection:
         #: shipping off this hook; it must not raise or block.
         self.wal_hook: Optional[Callable[[WalRecord], None]] = None
         self._stats = LiveStats(  # guarded-by: _lock
-            durability=wal.durability if wal is not None else "in-memory"
+            durability=wal.durability if wal is not None else "in-memory",
+            storage_format=format,
         )
         registry = get_registry()
         self._m_mutations = {
@@ -291,6 +307,7 @@ class LiveCollection:
         commit_batch: Optional[int] = None,
         commit_interval: Optional[float] = None,
         snapshot_every: Optional[int] = DEFAULT_SNAPSHOT_EVERY,
+        format: Optional[str] = None,
     ) -> "LiveCollection":
         """Open (or create) a durable collection in ``directory``.
 
@@ -300,10 +317,29 @@ class LiveCollection:
         number: the tail.  ``sync`` / ``commit_batch`` / ``commit_interval``
         pick the WAL durability mode (see
         :class:`~repro.live.wal.WriteAheadLog`).
+
+        ``format`` selects the storage format (one of
+        :data:`STORAGE_FORMATS`).  ``None`` autodetects: a directory with
+        binary artifacts opens binary, anything else opens JSON.  Opening
+        a directory written in the *other* format migrates it in place —
+        the old WAL tail is replayed, a checkpoint is written in the new
+        format, and the superseded WAL/manifest removed.  Existing run
+        files are untouched (each is read by its own suffix), so the
+        migration costs one checkpoint, not a data rewrite.
         """
         directory = Path(directory)
+        resolved = format
+        if resolved is None:
+            binary_artifacts = (
+                (directory / MANIFEST_BINARY_FILENAME).exists()
+                or (directory / WAL_BINARY_FILENAME).exists()
+            )
+            resolved = "binary" if binary_artifacts else "json"
+        if resolved not in STORAGE_FORMATS:
+            raise ValueError(f"format must be one of {STORAGE_FORMATS}, got {resolved!r}")
+        binary = resolved == "binary"
         wal = WriteAheadLog(
-            directory / WAL_FILENAME,
+            directory / (WAL_BINARY_FILENAME if binary else WAL_FILENAME),
             sync=sync,
             commit_batch=commit_batch,
             commit_interval=commit_interval,
@@ -316,30 +352,62 @@ class LiveCollection:
             background_compaction=background_compaction,
             directory=directory,
             snapshot_every=snapshot_every,
+            format=resolved,
         )
-        manifest_path = directory / MANIFEST_FILENAME
+        own_manifest = directory / (MANIFEST_BINARY_FILENAME if binary else MANIFEST_FILENAME)
+        other_manifest = directory / (MANIFEST_FILENAME if binary else MANIFEST_BINARY_FILENAME)
+        other_wal_path = directory / (WAL_FILENAME if binary else WAL_BINARY_FILENAME)
         snapshot_path = directory / SNAPSHOT_FILENAME
         referenced: frozenset[str] = frozenset()
-        if manifest_path.exists():
-            manifest = Manifest.load(manifest_path)
+        if own_manifest.exists():
+            manifest = collection._load_manifest_file(own_manifest)
+            collection._load_manifest(manifest)
+            referenced = manifest.referenced_files()
+        elif other_manifest.exists():
+            manifest = collection._load_manifest_file(other_manifest)
             collection._load_manifest(manifest)
             referenced = manifest.referenced_files()
         elif snapshot_path.exists():
             collection._load_legacy_snapshot(snapshot_path)
         collection._collect_garbage(referenced)
+        migrating = other_wal_path.exists() or other_manifest.exists()
         collection._replaying = True
         try:
+            if other_wal_path.exists():
+                # the other format's WAL tail: mutations accepted after the
+                # checkpoint the old-format directory last wrote
+                for record in WriteAheadLog(other_wal_path).replay(after_seq=collection._seq):
+                    collection._apply_record(record, tolerant=True)
+                    collection._maintain()
             for record in wal.replay(after_seq=collection._seq):
                 collection._apply_record(record, tolerant=True)
                 collection._maintain()
         finally:
             collection._replaying = False
+        if migrating:
+            # complete the in-place migration: checkpoint in the new format,
+            # then drop the superseded artifacts.  Idempotent — a crash in
+            # between re-runs this block with an empty old tail.
+            collection._checkpoint()
+            other_wal_path.unlink(missing_ok=True)
+            other_manifest.unlink(missing_ok=True)
         if wal.exists:
             # the file may still hold an untruncated covered prefix, so the
             # policy counter tracks actual log length, not just the tail
             collection._wal_records = wal.record_count()
         collection._maybe_auto_snapshot()
         return collection
+
+    def _load_manifest_file(self, path: Path) -> Manifest:
+        """Decode one manifest file by its suffix (JSON or binary edit log)."""
+        if path.name == MANIFEST_BINARY_FILENAME:
+            log = self._manifest_log
+            if log is None or log.path != path:
+                log = ManifestLog(path)
+            manifest = log.load()
+            assert manifest is not None  # caller checked path.exists()
+            return manifest
+        return Manifest.load(path)
 
     # holds: _lock — open() path, before the collection is shared
     def _load_manifest(self, manifest: Manifest) -> None:
@@ -404,7 +472,9 @@ class LiveCollection:
         if self._directory is None or not self._directory.exists():
             return
         candidates = list(self._directory.glob("base-*.json"))
+        candidates += list(self._directory.glob("base-*.rbf"))
         candidates += list((self._directory / SEGMENTS_DIRNAME).glob("segment-*.json"))
+        candidates += list((self._directory / SEGMENTS_DIRNAME).glob("segment-*.rbf"))
         candidates += list(self._directory.glob("*.tmp"))
         candidates += list((self._directory / SEGMENTS_DIRNAME).glob("*.tmp"))
         for path in candidates:
@@ -447,7 +517,9 @@ class LiveCollection:
                 self._wal_records = self._wal.truncate_through(self._covered_seq)
             self._stats.snapshots += 1
             self._m_snapshots.inc()
-        return self._directory / MANIFEST_FILENAME
+        return self._directory / (
+            MANIFEST_BINARY_FILENAME if self._format == "binary" else MANIFEST_FILENAME
+        )
 
     def _export_snapshot(self, target_dir: Path) -> Path:
         with self._lock:
@@ -479,7 +551,7 @@ class LiveCollection:
         assert self._directory is not None
         if self._base is not None and self._base_file is None:
             # base built in memory (initial= or a legacy snapshot): spill it
-            self._base_file = base_filename(self._base_epoch)
+            self._base_file = base_filename(self._base_epoch, self._format)
             write_run(self._directory / self._base_file, self._base_keys, self._base.rankings)
         tombstones = self._tombstones.snapshot()
         base_tombstones = tuple(
@@ -503,7 +575,10 @@ class LiveCollection:
             base_tombstones=base_tombstones,
             segment_tombstones=segment_tombstones,
         )
-        manifest.save(self._directory / MANIFEST_FILENAME)
+        if self._manifest_log is not None:
+            self._manifest_log.commit(manifest)
+        else:
+            manifest.save(self._directory / MANIFEST_FILENAME)
         # the manifest supersedes any legacy whole-state snapshot
         (self._directory / SNAPSHOT_FILENAME).unlink(missing_ok=True)
         self._covered_seq = covered_seq
@@ -547,6 +622,11 @@ class LiveCollection:
     def durability(self) -> str:
         """The write-path guarantee: in-memory / no-sync / fsync / group-commit."""
         return self._wal.durability if self._wal is not None else "in-memory"
+
+    @property
+    def storage_format(self) -> str:
+        """The persistence format (one of :data:`STORAGE_FORMATS`)."""
+        return self._format
 
     @property
     def memtable_size(self) -> int:
@@ -850,7 +930,7 @@ class LiveCollection:
         self._stats.flushes += 1
         self._m_flushes.inc()
         if self._directory is not None:
-            filename = segment_filename(segment_id)
+            filename = segment_filename(segment_id, self._format)
             segment.save(self._directory / filename)
             self._segment_files[segment_id] = filename
             if write_manifest:

@@ -9,6 +9,16 @@ A durable :class:`~repro.live.collection.LiveCollection` directory holds
   of their rows are tombstoned, and the WAL sequence number
   (``covered_seq``) through which those layers are complete.
 
+A collection opened with ``format="binary"`` stores the same state in RBF
+records (:mod:`repro.codec`) instead: ``wal.rbf``, ``base-<epoch>.rbf``,
+``segments/segment-<id>.rbf`` (zlib-packed columnar runs), and
+``manifest.rbf`` — not a rewritten snapshot but an *edit log*
+(:class:`ManifestLog`): one full snapshot record followed by small edit
+records holding only the changed top-level fields, folded over the
+snapshot at load time and compacted back into one snapshot once the tail
+grows past a threshold.  Checkpoints then cost one small durable append
+instead of a full rewrite.
+
 Recovery loads the runs the manifest names and replays only the WAL records
 *after* ``covered_seq`` — the tail — instead of rebuilding the whole
 collection from the log.  The manifest is rewritten at every checkpoint
@@ -31,6 +41,23 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.codec import (
+    CorruptRecordError,
+    TruncatedRecordError,
+    append_record,
+    atomic_write_bytes,
+    pack_record,
+    unpack_record,
+)
+from repro.codec.records import (
+    KIND_MANIFEST_EDIT,
+    KIND_MANIFEST_SNAPSHOT,
+    KIND_RUN,
+    decode_manifest_payload,
+    decode_run_payload,
+    encode_manifest_payload,
+    encode_run_payload,
+)
 from repro.core.errors import ReproError
 from repro.core.ranking import RankingSet
 from repro.devtools.locktrace import mark_io
@@ -38,7 +65,14 @@ from repro.live.wal import fsync_directory
 
 #: File and directory names inside a persistence directory.
 MANIFEST_FILENAME = "manifest.json"
+MANIFEST_BINARY_FILENAME = "manifest.rbf"
 SEGMENTS_DIRNAME = "segments"
+
+#: Run/manifest file suffix that selects the RBF binary format.
+RUN_BINARY_SUFFIX = ".rbf"
+
+#: Edit records a binary manifest log may accumulate before compaction.
+MANIFEST_EDIT_LIMIT = 16
 
 #: Manifest payload format version, bumped on incompatible layout changes.
 MANIFEST_FORMAT = 1
@@ -77,16 +111,33 @@ def write_run(path: Path, keys: tuple[int, ...], rankings: RankingSet) -> None:
     A run is the full row list *including tombstoned rows*: tombstones are
     row-id addressed, so the on-disk layout must match the in-memory one
     exactly, dead rows and all.
+
+    The format is chosen by the path suffix: ``.rbf`` writes one
+    zlib-packed columnar RBF record (runs are cold data — write once,
+    read on recovery), anything else writes the JSON layout.
     """
-    payload = {
-        "keys": list(keys),
-        "items": [list(rankings[rid].items) for rid in range(len(rankings))],
-    }
-    atomic_write_json(path, payload)
+    rows = [list(rankings[rid].items) for rid in range(len(rankings))]
+    if path.suffix == RUN_BINARY_SUFFIX:
+        record = pack_record(KIND_RUN, encode_run_payload(keys, rows), compress=True)
+        atomic_write_bytes(path, record)
+        return
+    atomic_write_json(path, {"keys": list(keys), "items": rows})
 
 
 def read_run(path: Path) -> tuple[tuple[int, ...], RankingSet]:
-    """Load one immutable run written by :func:`write_run`."""
+    """Load one immutable run written by :func:`write_run` (either format)."""
+    if path.suffix == RUN_BINARY_SUFFIX:
+        raw = path.read_bytes()
+        try:
+            kind, payload, end = unpack_record(raw)
+            if kind != KIND_RUN:
+                raise CorruptRecordError(f"unexpected record kind {kind}")
+            if end != len(raw):
+                raise CorruptRecordError(f"{len(raw) - end} trailing bytes", offset=end)
+            keys_list, rows = decode_run_payload(payload)
+        except CorruptRecordError as error:
+            raise CorruptManifestError(path, str(error)) from error
+        return tuple(keys_list), RankingSet.from_lists(rows)
     payload = json.loads(path.read_text(encoding="utf-8"))
     keys = tuple(int(key) for key in payload["keys"])
     rankings = RankingSet.from_lists(payload["items"])
@@ -95,14 +146,19 @@ def read_run(path: Path) -> tuple[tuple[int, ...], RankingSet]:
     return keys, rankings
 
 
-def segment_filename(segment_id: int) -> str:
+def run_extension(format: str) -> str:
+    """Run-file extension for a storage format (``"json"`` or ``"binary"``)."""
+    return RUN_BINARY_SUFFIX if format == "binary" else ".json"
+
+
+def segment_filename(segment_id: int, format: str = "json") -> str:
     """Relative path of a sealed segment's run file."""
-    return f"{SEGMENTS_DIRNAME}/segment-{segment_id}.json"
+    return f"{SEGMENTS_DIRNAME}/segment-{segment_id}{run_extension(format)}"
 
 
-def base_filename(epoch: int) -> str:
+def base_filename(epoch: int, format: str = "json") -> str:
     """Relative path of a base epoch's run file."""
-    return f"base-{epoch}.json"
+    return f"base-{epoch}{run_extension(format)}"
 
 
 @dataclass
@@ -214,3 +270,117 @@ class Manifest:
             f"Manifest(covered_seq={self.covered_seq}, base={self.base!r}, "
             f"segments={len(self.segments)})"
         )
+
+
+class ManifestLog:
+    """Incremental binary manifest: one snapshot record plus an edit tail.
+
+    ``manifest.rbf`` holds a full ``KIND_MANIFEST_SNAPSHOT`` record
+    followed by zero or more ``KIND_MANIFEST_EDIT`` records, each carrying
+    only the top-level payload fields that changed at that checkpoint.
+    :meth:`load` folds the edits over the snapshot in order;
+    :meth:`commit` appends one edit (a small durable ``fsync`` instead of
+    a full atomic rewrite) and compacts back to a lone snapshot once
+    ``edit_limit`` edits have accumulated.
+
+    Crash semantics mirror the WAL: a torn final edit is dropped at load
+    (the checkpoint it described never finished acknowledging, and every
+    run file it named is still reachable as an orphan for the garbage
+    collector), while a complete record that fails its CRC raises
+    :class:`CorruptManifestError` — bit rot is never silently skipped.
+    """
+
+    def __init__(self, path: Path, *, edit_limit: int = MANIFEST_EDIT_LIMIT) -> None:
+        if edit_limit <= 0:
+            raise ValueError(f"edit_limit must be positive, got {edit_limit}")
+        self._path = path
+        self._edit_limit = edit_limit
+        self._payload: dict | None = None  # folded payload currently on disk
+        self._edits = 0
+
+    @property
+    def path(self) -> Path:
+        """The edit-log file location."""
+        return self._path
+
+    @property
+    def edits(self) -> int:
+        """Complete edit records currently after the snapshot."""
+        return self._edits
+
+    def load(self) -> Manifest | None:
+        """Fold the snapshot and edit tail into a manifest; ``None`` if absent."""
+        if not self._path.exists():
+            self._payload = None
+            self._edits = 0
+            return None
+        content = self._path.read_bytes()
+        payload: dict | None = None
+        edits = 0
+        offset = 0
+        while offset < len(content):
+            try:
+                kind, data, end = unpack_record(content, offset)
+                fields = decode_manifest_payload(data)
+            except TruncatedRecordError:
+                break  # torn final append: that checkpoint never completed
+            except CorruptRecordError as error:
+                raise CorruptManifestError(self._path, str(error)) from error
+            if payload is None:
+                if kind != KIND_MANIFEST_SNAPSHOT:
+                    raise CorruptManifestError(
+                        self._path, f"first record has kind {kind}, expected snapshot"
+                    )
+                payload = fields
+            else:
+                if kind != KIND_MANIFEST_EDIT:
+                    raise CorruptManifestError(
+                        self._path, f"interior record has kind {kind}, expected edit"
+                    )
+                payload.update(fields)
+                edits += 1
+            offset = end
+        if payload is None:
+            raise CorruptManifestError(self._path, "no complete snapshot record")
+        self._payload = payload
+        self._edits = edits
+        return Manifest.from_payload(dict(payload), self._path)
+
+    def commit(self, manifest: Manifest) -> None:
+        """Persist a checkpoint: append a diff edit, or compact to a snapshot.
+
+        The append is flushed and ``fsync``\\ ed before returning, so the
+        caller may immediately truncate the WAL through the manifest's
+        ``covered_seq``.  An empty diff (nothing changed) writes nothing.
+        """
+        payload = manifest.to_payload()
+        if (
+            self._payload is None
+            or not self._path.exists()
+            or self._edits >= self._edit_limit
+        ):
+            self.rewrite(manifest)
+            return
+        diff = {
+            key: value
+            for key, value in payload.items()
+            if self._payload.get(key) != value
+        }
+        if not diff:
+            return
+        record = pack_record(KIND_MANIFEST_EDIT, encode_manifest_payload(diff))
+        with open(self._path, "ab") as handle:
+            append_record(handle, record)
+        self._payload = payload
+        self._edits += 1
+
+    def rewrite(self, manifest: Manifest) -> None:
+        """Compact to a single snapshot record, atomically and durably."""
+        payload = manifest.to_payload()
+        record = pack_record(KIND_MANIFEST_SNAPSHOT, encode_manifest_payload(payload))
+        atomic_write_bytes(self._path, record)
+        self._payload = payload
+        self._edits = 0
+
+    def __repr__(self) -> str:
+        return f"ManifestLog(path={str(self._path)!r}, edits={self._edits})"

@@ -6,6 +6,13 @@ state by replaying the file.  Records carry a monotonically increasing
 sequence number; a checkpoint remembers the last sequence it covers, and a
 restart replays only the records *after* it (the WAL tail).
 
+A log whose path ends in ``.rbf`` is written in the RBF binary format
+instead (:mod:`repro.codec`): one CRC32-checksummed ``KIND_WAL`` record
+per mutation, with the items as a packed i64 column.  The durability
+model, torn-tail tolerance, and replay semantics are identical — only
+the bytes differ.  Bit flips that JSONL would silently misparse are
+caught by the record checksum and raise :class:`CorruptWalError`.
+
 Durability model
 ----------------
 ``append`` always writes the line and flushes the Python buffer to the OS;
@@ -42,6 +49,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro.codec import (
+    CorruptRecordError,
+    TruncatedRecordError,
+    pack_record,
+    skip_record,
+    unpack_record,
+)
+from repro.codec.records import KIND_WAL, decode_wal_payload, encode_wal_payload
 from repro.core.errors import ReproError
 from repro.devtools.locktrace import make_lock, mark_io
 from repro.obs import names as metric_names
@@ -52,6 +67,9 @@ WAL_OPERATIONS = ("insert", "delete", "upsert")
 
 #: The durability modes a log can run under.
 DURABILITY_MODES = ("no-sync", "fsync", "group-commit")
+
+#: Path suffix that selects the RBF binary log format.
+WAL_BINARY_SUFFIX = ".rbf"
 
 
 def fsync_directory(path: Path) -> None:
@@ -117,6 +135,26 @@ class WalRecord:
             items=None if items is None else tuple(int(item) for item in items),
         )
 
+    def to_record(self) -> bytes:
+        """Serialise to one framed RBF ``KIND_WAL`` record."""
+        return pack_record(
+            KIND_WAL, encode_wal_payload(self.seq, self.op, self.key, self.items)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "WalRecord":
+        """Decode the payload of an RBF ``KIND_WAL`` record."""
+        fields, end = decode_wal_payload(payload)
+        if end != len(payload):
+            raise CorruptRecordError(f"{len(payload) - end} trailing bytes", offset=end)
+        items = fields["items"]
+        return cls(
+            seq=fields["seq"],
+            op=fields["op"],
+            key=fields["key"],
+            items=None if items is None else tuple(items),
+        )
+
 
 class WriteAheadLog:
     """Append-only JSONL mutation log with tail-tolerant replay.
@@ -167,6 +205,7 @@ class WriteAheadLog:
         if commit_interval is not None and commit_interval <= 0:
             raise ValueError(f"commit_interval must be positive, got {commit_interval}")
         self._path = Path(path)
+        self._binary = self._path.suffix == WAL_BINARY_SUFFIX
         self._commit_batch = commit_batch
         self._commit_interval = commit_interval
         if commit_batch is not None or commit_interval is not None:
@@ -216,6 +255,11 @@ class WriteAheadLog:
         return self._durability
 
     @property
+    def binary(self) -> bool:
+        """Whether this log uses the RBF binary format (``.rbf`` path)."""
+        return self._binary
+
+    @property
     def appended_seq(self) -> int:
         """Sequence number of the last record written by this handle."""
         with self._lock:
@@ -250,7 +294,10 @@ class WriteAheadLog:
         with self._lock:
             if self._handle is None:
                 self._open_for_append()
-            self._handle.write(record.to_json() + "\n")
+            if self._binary:
+                self._handle.write(record.to_record())
+            else:
+                self._handle.write(record.to_json() + "\n")
             self._handle.flush()
             self._appended_seq = record.seq
             self._m_appends.inc()
@@ -305,7 +352,10 @@ class WriteAheadLog:
         self._path.parent.mkdir(parents=True, exist_ok=True)
         existed = self._path.exists()
         self._trim_torn_tail()
-        self._handle = open(self._path, "a", encoding="utf-8")
+        if self._binary:
+            self._handle = open(self._path, "ab")
+        else:
+            self._handle = open(self._path, "a", encoding="utf-8")
         if not existed or created_parent:
             # make the new directory entry itself crash-durable
             fsync_directory(self._path.parent)
@@ -325,12 +375,31 @@ class WriteAheadLog:
             size = handle.tell()
             if size == 0:
                 return
-            handle.seek(size - 1)
-            if handle.read(1) == b"\n":
-                return
-            handle.seek(0)
-            content = handle.read(size)
-            keep = content.rfind(b"\n") + 1  # 0 when the whole file is one torn line
+            if self._binary:
+                handle.seek(0)
+                content = handle.read(size)
+                keep = 0
+                while keep < size:
+                    try:
+                        end = skip_record(content, keep)
+                    except TruncatedRecordError:
+                        break  # torn tail: drop it, keep everything before
+                    except CorruptRecordError:
+                        # A *complete* record with a damaged header is not a
+                        # torn append — keep the file intact so replay (which
+                        # also CRC-checks payloads) reports it.
+                        keep = size
+                        break
+                    keep = end
+                if keep == size:
+                    return
+            else:
+                handle.seek(size - 1)
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                content = handle.read(size)
+                keep = content.rfind(b"\n") + 1  # 0 when the file is one torn line
             # Dropping an *uncommitted* torn tail needs no fsync: replay
             # already skips it, and the truncation becomes durable with the
             # first post-reopen commit's fsync.
@@ -364,8 +433,17 @@ class WriteAheadLog:
         length, not by available memory).  A torn final line is skipped (the
         mutation never committed); a malformed interior line raises
         :class:`CorruptWalError`.
+
+        Binary logs walk framed RBF records instead: a truncated final
+        record is skipped (torn append), while any *complete* record with a
+        bad magic, flag set, or checksum raises :class:`CorruptWalError` —
+        even at the tail, because a failed CRC means the bytes changed after
+        they were written, not that the append was interrupted.
         """
         if not self._path.exists():
+            return
+        if self._binary:
+            yield from self._replay_binary(after_seq)
             return
         with open(self._path, encoding="utf-8") as handle:
             pending: Optional[tuple[int, str]] = None
@@ -391,15 +469,46 @@ class WriteAheadLog:
                 return None  # torn tail: the append never completed
             raise CorruptWalError(self._path, line_number, str(error)) from error
 
+    def _replay_binary(self, after_seq: int) -> Iterator[WalRecord]:
+        content = self._path.read_bytes()
+        offset = 0
+        record_number = 0
+        while offset < len(content):
+            record_number += 1
+            try:
+                kind, payload, end = unpack_record(content, offset)
+                if kind != KIND_WAL:
+                    raise CorruptRecordError(f"unexpected record kind {kind}")
+                record = WalRecord.from_payload(payload)
+            except TruncatedRecordError:
+                return  # torn tail: the append never completed
+            except CorruptRecordError as error:
+                raise CorruptWalError(self._path, record_number, str(error)) from error
+            if record.seq > after_seq:
+                yield record
+            offset = end
+
     def record_count(self) -> int:
         """Committed records currently in the file (torn tail excluded).
 
         A raw line scan, no JSON decoding — startup accounting should not
-        re-parse the log the replay pass already decoded.
+        re-parse the log the replay pass already decoded.  Binary logs
+        walk record headers only (:func:`repro.codec.skip_record`), no
+        CRC or decompression, for the same reason.
         """
         if not self._path.exists():
             return 0
         count = 0
+        if self._binary:
+            content = self._path.read_bytes()
+            offset = 0
+            while offset < len(content):
+                try:
+                    offset = skip_record(content, offset)
+                except CorruptRecordError:
+                    break  # torn or damaged tail; replay decides what it means
+                count += 1
+            return count
         with open(self._path, "rb") as handle:
             for line in handle:
                 if line.endswith(b"\n") and line.strip():
@@ -429,12 +538,18 @@ class WriteAheadLog:
                 return 0
             kept = list(self.replay(after_seq=seq))
             self.close()
-            temporary = self._path.with_suffix(".jsonl.tmp")
+            temporary = self._path.with_suffix(self._path.suffix + ".tmp")
             mark_io("fsync:wal-truncate")
-            with open(temporary, "w", encoding="utf-8") as handle:
-                handle.write("".join(record.to_json() + "\n" for record in kept))
-                handle.flush()
-                os.fsync(handle.fileno())
+            if self._binary:
+                with open(temporary, "wb") as handle:
+                    handle.write(b"".join(record.to_record() for record in kept))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            else:
+                with open(temporary, "w", encoding="utf-8") as handle:
+                    handle.write("".join(record.to_json() + "\n" for record in kept))
+                    handle.flush()
+                    os.fsync(handle.fileno())
             temporary.replace(self._path)
             fsync_directory(self._path.parent)
             # the rewrite itself was fsynced, so every kept record is durable

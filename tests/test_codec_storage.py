@@ -1,0 +1,333 @@
+"""Binary storage: WAL/run/manifest-log corruption matrix + format migration.
+
+The compat half of the matrix pins the PR's core promise: the binary and
+JSON storage formats answer identically, old JSON-era directories still
+open (with or without in-place migration), and every corruption mode
+surfaces as the same *typed* error the JSON path raises.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.codec import pack_record
+from repro.codec.records import KIND_WAL
+from repro.core.ranking import Ranking, RankingSet
+from repro.live import LiveCollection
+from repro.live.collection import WAL_BINARY_FILENAME, WAL_FILENAME
+from repro.live.manifest import (
+    MANIFEST_BINARY_FILENAME,
+    MANIFEST_FILENAME,
+    CorruptManifestError,
+    Manifest,
+    ManifestLog,
+    read_run,
+    write_run,
+)
+from repro.live.wal import CorruptWalError, WalRecord, WriteAheadLog
+
+
+def wal_records(n: int) -> list[WalRecord]:
+    rng = random.Random(n)
+    records = []
+    for seq in range(1, n + 1):
+        roll = rng.random()
+        if roll < 0.7:
+            records.append(
+                WalRecord(seq=seq, op="insert", key=seq, items=tuple(rng.sample(range(99), 5)))
+            )
+        elif roll < 0.85:
+            records.append(WalRecord(seq=seq, op="delete", key=max(1, seq - 1)))
+        else:
+            records.append(
+                WalRecord(seq=seq, op="upsert", key=max(1, seq - 1), items=(1, 2, 3, 4, 5))
+            )
+    return records
+
+
+class TestBinaryWal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "wal.rbf"
+        records = wal_records(20)
+        with WriteAheadLog(path) as wal:
+            assert wal.binary
+            for record in records:
+                wal.append(record)
+        assert list(WriteAheadLog(path).replay()) == records
+
+    def test_torn_tail_is_dropped_and_replay_succeeds(self, tmp_path):
+        path = tmp_path / "wal.rbf"
+        records = wal_records(10)
+        with WriteAheadLog(path) as wal:
+            for record in records:
+                wal.append(record)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])  # tear mid-record, like a crash mid-append
+        wal = WriteAheadLog(path)
+        assert list(wal.replay()) == records[:-1]
+        # ... and the tear was physically trimmed so appends extend cleanly
+        extra = WalRecord(seq=11, op="insert", key=11, items=(9, 8, 7, 6, 5))
+        wal.append(extra)
+        wal.close()
+        assert list(WriteAheadLog(path).replay()) == records[:-1] + [extra]
+
+    def test_interior_bit_flip_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "wal.rbf"
+        with WriteAheadLog(path) as wal:
+            for record in wal_records(10):
+                wal.append(record)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptWalError):
+            list(WriteAheadLog(path).replay())
+
+    def test_complete_corrupt_tail_record_is_not_tolerated(self, tmp_path):
+        """A *complete* record with a bad CRC is bit rot, not a torn write."""
+        path = tmp_path / "wal.rbf"
+        with WriteAheadLog(path) as wal:
+            for record in wal_records(5):
+                wal.append(record)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flips inside the last (complete) record
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptWalError):
+            list(WriteAheadLog(path).replay())
+
+    def test_foreign_record_kind_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "wal.rbf"
+        path.write_bytes(pack_record(KIND_WAL + 40, b"not a wal record"))
+        with pytest.raises(CorruptWalError, match="kind"):
+            list(WriteAheadLog(path).replay())
+
+    def test_truncate_through_rewrites_the_binary_log(self, tmp_path):
+        path = tmp_path / "wal.rbf"
+        records = wal_records(12)
+        wal = WriteAheadLog(path)
+        for record in records:
+            wal.append(record)
+        kept = wal.truncate_through(8)
+        assert kept == len([r for r in records if r.seq > 8])
+        assert list(wal.replay()) == [r for r in records if r.seq > 8]
+        wal.close()
+
+
+class TestBinaryRuns:
+    def test_round_trip(self, tmp_path):
+        keys = (3, 1, 4)
+        rankings = RankingSet.from_lists([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        path = tmp_path / "segment-000001.rbf"
+        write_run(path, keys, rankings)
+        got_keys, got_rankings = read_run(path)
+        assert got_keys == keys
+        assert [r.items for r in got_rankings] == [r.items for r in rankings]
+
+    def test_bit_flip_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "segment-000001.rbf"
+        write_run(path, (1, 2), RankingSet.from_lists([[1, 2, 3], [4, 5, 6]]))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptManifestError):
+            read_run(path)
+
+    def test_truncated_run_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "segment-000001.rbf"
+        write_run(path, (1, 2), RankingSet.from_lists([[1, 2, 3], [4, 5, 6]]))
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(CorruptManifestError):
+            read_run(path)
+
+
+class TestManifestLog:
+    def manifest(self, covered_seq: int, segments=()) -> Manifest:
+        return Manifest(
+            k=5, next_key=covered_seq + 1, covered_seq=covered_seq, segments=list(segments)
+        )
+
+    def test_snapshot_plus_edits_fold(self, tmp_path):
+        path = tmp_path / MANIFEST_BINARY_FILENAME
+        log = ManifestLog(path)
+        log.commit(self.manifest(1))
+        log.commit(self.manifest(2, [(1, "segment-000001.rbf")]))
+        log.commit(self.manifest(3, [(1, "segment-000001.rbf")]))
+        folded = ManifestLog(path).load()
+        assert folded.covered_seq == 3
+        assert folded.segments == [(1, "segment-000001.rbf")]
+
+    def test_unchanged_commit_appends_nothing(self, tmp_path):
+        path = tmp_path / MANIFEST_BINARY_FILENAME
+        log = ManifestLog(path)
+        log.commit(self.manifest(1))
+        size = path.stat().st_size
+        log.commit(self.manifest(1))
+        assert path.stat().st_size == size
+
+    def test_edit_limit_triggers_rewrite(self, tmp_path):
+        path = tmp_path / MANIFEST_BINARY_FILENAME
+        log = ManifestLog(path, edit_limit=4)
+        for seq in range(1, 12):
+            log.commit(self.manifest(seq))
+        assert log.edits < 4  # the log keeps collapsing back to a snapshot
+        assert ManifestLog(path).load().covered_seq == 11
+
+    def test_torn_tail_edit_is_dropped(self, tmp_path):
+        path = tmp_path / MANIFEST_BINARY_FILENAME
+        log = ManifestLog(path)
+        log.commit(self.manifest(1))
+        log.commit(self.manifest(2))
+        path.write_bytes(path.read_bytes()[:-1])
+        assert ManifestLog(path).load().covered_seq == 1
+
+    def test_interior_corruption_is_a_typed_error(self, tmp_path):
+        path = tmp_path / MANIFEST_BINARY_FILENAME
+        log = ManifestLog(path)
+        log.commit(self.manifest(1))
+        log.commit(self.manifest(2))
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptManifestError):
+            ManifestLog(path).load()
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert ManifestLog(tmp_path / MANIFEST_BINARY_FILENAME).load() is None
+
+
+def churn(live: LiveCollection, rng: random.Random, operations: int) -> None:
+    for _ in range(operations):
+        keys = live.live_keys()
+        roll = rng.random()
+        if roll < 0.6 or not keys:
+            live.insert(rng.sample(range(60), 5))
+        elif roll < 0.8:
+            live.delete(rng.choice(keys))
+        else:
+            live.upsert(rng.choice(keys), rng.sample(range(60), 5))
+
+
+def logical_state(live: LiveCollection) -> list[tuple[int, tuple[int, ...]]]:
+    return [(key, live.get(key).items) for key in live.live_keys()]
+
+
+def answers(live: LiveCollection, rng: random.Random) -> list:
+    queries = [rng.sample(range(60), 5) for _ in range(6)]
+    out = []
+    for query in queries:
+        out.append(sorted((m.rid, m.distance) for m in live.range_query(Ranking(query), 0.7)))
+        out.append(live.knn(Ranking(query), 5).rids)
+    return out
+
+
+class TestFormatEquivalence:
+    def test_binary_and_json_collections_answer_identically(self, tmp_path):
+        stores = {}
+        for fmt in ("json", "binary"):
+            live = LiveCollection.open(
+                tmp_path / fmt, format=fmt, memtable_threshold=4, max_segments=2
+            )
+            churn(live, random.Random(42), 120)
+            stores[fmt] = live
+        assert logical_state(stores["json"]) == logical_state(stores["binary"])
+        assert answers(stores["json"], random.Random(1)) == answers(
+            stores["binary"], random.Random(1)
+        )
+        for live in stores.values():
+            live.close()
+
+    def test_binary_restart_autodetects_format(self, tmp_path):
+        live = LiveCollection.open(tmp_path, format="binary", memtable_threshold=4)
+        churn(live, random.Random(3), 50)
+        expected = logical_state(live)
+        live.close()
+        assert (tmp_path / WAL_BINARY_FILENAME).exists()
+        assert not (tmp_path / WAL_FILENAME).exists()
+        reopened = LiveCollection.open(tmp_path, memtable_threshold=4)  # no format arg
+        assert reopened.storage_format == "binary"
+        assert logical_state(reopened) == expected
+        reopened.close()
+
+    def test_json_era_directory_opens_under_binary_default(self, tmp_path):
+        """The compat promise: a binary-default build reads old JSON dirs."""
+        live = LiveCollection.open(tmp_path, format="json", memtable_threshold=4)
+        churn(live, random.Random(8), 60)
+        expected = logical_state(live)
+        expected_answers = answers(live, random.Random(2))
+        live.close()
+
+        migrated = LiveCollection.open(tmp_path, format="binary", memtable_threshold=4)
+        assert migrated.storage_format == "binary"
+        assert logical_state(migrated) == expected
+        assert answers(migrated, random.Random(2)) == expected_answers
+        # the JSON-era control files are gone; binary ones took over
+        assert not (tmp_path / WAL_FILENAME).exists()
+        assert not (tmp_path / MANIFEST_FILENAME).exists()
+        assert (tmp_path / MANIFEST_BINARY_FILENAME).exists()
+        churn(migrated, random.Random(9), 30)
+        state = logical_state(migrated)
+        migrated.close()
+
+        # and the migrated directory keeps working across restarts
+        reopened = LiveCollection.open(tmp_path, memtable_threshold=4)
+        assert reopened.storage_format == "binary"
+        assert logical_state(reopened) == state
+        reopened.close()
+
+    def test_binary_directory_migrates_back_to_json(self, tmp_path):
+        live = LiveCollection.open(tmp_path, format="binary", memtable_threshold=4)
+        churn(live, random.Random(5), 40)
+        expected = logical_state(live)
+        live.close()
+        back = LiveCollection.open(tmp_path, format="json", memtable_threshold=4)
+        assert back.storage_format == "json"
+        assert logical_state(back) == expected
+        assert not (tmp_path / WAL_BINARY_FILENAME).exists()
+        assert not (tmp_path / MANIFEST_BINARY_FILENAME).exists()
+        back.close()
+
+    def test_wal_torn_tail_recovery_matches_json_semantics(self, tmp_path):
+        live = LiveCollection.open(tmp_path, format="binary", memtable_threshold=100)
+        for i in range(10):
+            live.insert([i, i + 10, i + 20, i + 30, i + 40])
+        live.close()
+        wal_path = tmp_path / WAL_BINARY_FILENAME
+        wal_path.write_bytes(wal_path.read_bytes()[:-4])
+        reopened = LiveCollection.open(tmp_path)
+        # the torn last insert is lost, everything durable before it survives
+        assert len(reopened.live_keys()) == 9
+        reopened.close()
+
+    def test_stats_report_the_storage_format(self, tmp_path):
+        live = LiveCollection.open(tmp_path, format="binary")
+        as_dict = live.stats().as_dict()
+        assert as_dict["durability"]["format"] == "binary"
+        live.close()
+
+    def test_unknown_format_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            LiveCollection.open(tmp_path, format="msgpack")
+
+
+class TestPureFallback:
+    def test_pure_python_columns_read_numpy_written_directory(self, tmp_path, monkeypatch):
+        from repro.codec import columns
+
+        live = LiveCollection.open(tmp_path, format="binary", memtable_threshold=4)
+        churn(live, random.Random(6), 40)
+        expected = logical_state(live)
+        live.close()
+
+        monkeypatch.setattr(columns, "_numpy", None)
+        reopened = LiveCollection.open(tmp_path, memtable_threshold=4)
+        assert logical_state(reopened) == expected
+        churn(reopened, random.Random(7), 20)
+        state = logical_state(reopened)
+        reopened.close()
+        monkeypatch.undo()
+
+        # numpy reads what the pure fallback wrote
+        final = LiveCollection.open(tmp_path, memtable_threshold=4)
+        assert logical_state(final) == state
+        final.close()

@@ -1,0 +1,359 @@
+"""Binary wire envelopes: codec round trips, negotiation, and equivalence.
+
+Three layers of the wire-side corruption/compat matrix:
+
+* the dict-shaped codecs in :mod:`repro.codec.wire` round-trip exactly
+  the payload shapes ``Request.to_dict()`` / ``Response.to_dict()``
+  produce, and fall back (return ``None``) on anything else;
+* the framing layer mixes binary and JSON frames per connection, and a
+  JSON-only reader rejects binary frames with a typed error;
+* end to end, a ``wire_format="binary"`` client (and the remote shard
+  executor built on it) produces byte-identical ``result_bytes()`` to
+  the JSON wire against both server transports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.api import (
+    AsyncDatabaseServer,
+    Client,
+    Database,
+    DatabaseServer,
+    RemoteShardExecutor,
+)
+from repro.api.protocol import (
+    BINARY_FRAME_FLAG,
+    FrameError,
+    encode_binary_frame,
+    encode_frame,
+    hello_payload,
+    read_frame,
+    read_frame_any,
+)
+from repro.api.requests import BatchRequest, InsertRequest, KnnRequest, RangeQueryRequest
+from repro.codec import CorruptRecordError
+from repro.codec.wire import (
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.datasets.nyt import nyt_like_dataset
+from repro.datasets.queries import sample_queries
+from repro.service import partition_rankings
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def rankings():
+    return nyt_like_dataset(n=120, k=K, seed=29)
+
+
+@pytest.fixture(scope="module")
+def queries(rankings):
+    return sample_queries(rankings, 8, seed=3)
+
+
+class TestRequestCodec:
+    def round_trip(self, request):
+        body = encode_request(7, request.to_dict())
+        assert body is not None
+        request_id, payload = decode_request(body)
+        assert request_id == 7
+        assert _normalized(payload) == _normalized(request.to_dict())
+
+    def test_range_round_trip(self):
+        self.round_trip(
+            RangeQueryRequest(collection="c", items=(3, 1, 4), theta=0.25)
+        )
+
+    def test_range_with_pagination_round_trip(self):
+        self.round_trip(
+            RangeQueryRequest(collection="c", items=(3, 1, 4), theta=0.5, limit=10, cursor=20)
+        )
+
+    def test_knn_round_trip(self):
+        self.round_trip(KnnRequest(collection="c", items=(9, 8, 7), k=3, algorithm="F&V"))
+
+    def test_batch_round_trip(self):
+        self.round_trip(
+            BatchRequest(collection="c", queries=((1, 2, 3), (4, 5, 6)), theta=0.4)
+        )
+
+    def test_replicate_round_trip(self):
+        payload = {
+            "type": "admin",
+            "collection": "c",
+            "action": "replicate",
+            "records": [
+                {"seq": 1, "op": "insert", "key": 5, "items": [1, 2, 3]},
+                {"seq": 2, "op": "delete", "key": 5, "items": None},
+            ],
+        }
+        body = encode_request(1, payload)
+        assert body is not None
+        request_id, decoded = decode_request(body)
+        assert request_id == 1
+        assert decoded["type"] == "admin" and decoded["action"] == "replicate"
+        assert [r["seq"] for r in decoded["records"]] == [1, 2]
+        assert list(decoded["records"][0]["items"]) == [1, 2, 3]
+        assert decoded["records"][1]["items"] is None
+
+    def test_replicate_without_items_key_falls_back(self):
+        payload = {
+            "type": "admin",
+            "collection": "c",
+            "action": "replicate",
+            "records": [{"seq": 1, "op": "delete", "key": 5}],
+        }
+        assert encode_request(1, payload) is None
+
+    def test_unsupported_kinds_fall_back(self):
+        assert encode_request(1, InsertRequest(collection="c", items=(1, 2)).to_dict()) is None
+        assert encode_request(1, {"type": "admin", "action": "ping"}) is None
+
+    def test_string_request_id_falls_back(self):
+        payload = RangeQueryRequest(collection="c", items=(1, 2), theta=0.5).to_dict()
+        assert encode_request("alpha", payload) is None
+
+    def test_unexpected_fields_fall_back(self):
+        payload = RangeQueryRequest(collection="c", items=(1, 2), theta=0.5).to_dict()
+        payload["surprise"] = True
+        assert encode_request(1, payload) is None
+
+    def test_corrupt_body_is_a_typed_error(self):
+        body = bytearray(
+            encode_request(1, KnnRequest(collection="c", items=(1, 2), k=1).to_dict())
+        )
+        body[len(body) // 2] ^= 0x20
+        with pytest.raises(CorruptRecordError):
+            decode_request(bytes(body))
+
+    def test_truncated_body_is_a_typed_error(self):
+        body = encode_request(1, KnnRequest(collection="c", items=(1, 2), k=1).to_dict())
+        with pytest.raises(CorruptRecordError):
+            decode_request(body[:-3])
+
+
+class TestResponseCodec:
+    MATCHES = [
+        {"rid": 4, "distance": 0.125, "items": [1, 2, 3]},
+        {"rid": 9, "distance": 0.5, "items": [4, 5, 6]},
+    ]
+
+    def test_matches_round_trip_drops_stats(self):
+        payload = {"ok": True, "matches": self.MATCHES, "stats": {"elapsed": 1.0}}
+        body = encode_response(3, payload)
+        assert body is not None
+        request_id, decoded = decode_response(body)
+        assert request_id == 3
+        assert decoded == {
+            "ok": True,
+            "matches": [
+                {"rid": m["rid"], "distance": m["distance"], "items": tuple(m["items"])}
+                for m in self.MATCHES
+            ],
+        } or decoded == {"ok": True, "matches": self.MATCHES}
+
+    def test_cursor_survives(self):
+        payload = {"ok": True, "matches": self.MATCHES, "cursor": 17}
+        _, decoded = decode_response(encode_response(3, payload))
+        assert decoded["cursor"] == 17
+
+    def test_batch_reply_round_trip(self):
+        payload = {
+            "ok": True,
+            "batch": [{"ok": True, "matches": self.MATCHES}, {"ok": True, "matches": []}],
+        }
+        _, decoded = decode_response(encode_response(5, payload))
+        assert len(decoded["batch"]) == 2
+        assert decoded["batch"][1]["matches"] == []
+
+    def test_error_responses_fall_back(self):
+        assert encode_response(1, {"ok": False, "error": {"code": "x"}}) is None
+
+    def test_non_match_success_falls_back(self):
+        assert encode_response(1, {"ok": True, "key": 12}) is None
+
+    def test_corrupt_body_is_a_typed_error(self):
+        body = bytearray(encode_response(1, {"ok": True, "matches": self.MATCHES}))
+        body[-1] ^= 0x01
+        with pytest.raises(CorruptRecordError):
+            decode_response(bytes(body))
+
+
+class TestFraming:
+    def test_binary_frame_round_trips(self):
+        frame = encode_binary_frame(b"abc123")
+        stream = io.BytesIO(frame)
+        assert read_frame_any(stream) == ("binary", b"abc123")
+
+    def test_json_frames_still_read(self):
+        stream = io.BytesIO(encode_frame({"ok": True}))
+        assert read_frame_any(stream) == ("json", {"ok": True})
+
+    def test_json_only_reader_rejects_binary(self):
+        stream = io.BytesIO(encode_binary_frame(b"abc123"))
+        with pytest.raises(FrameError, match="binary"):
+            read_frame(stream)
+
+    def test_flag_bit_does_not_shrink_the_length_space(self):
+        frame = encode_binary_frame(b"x" * 1000)
+        (header,) = struct.unpack("!I", frame[:4])
+        assert header & BINARY_FRAME_FLAG
+        assert header & ~BINARY_FRAME_FLAG == 1000
+
+
+def _normalized(payload: dict) -> dict:
+    return {
+        key: list(value)
+        if isinstance(value, (list, tuple)) and not isinstance(value, str)
+        else value
+        for key, value in payload.items()
+        if key != "queries"
+    } | (
+        {"queries": [list(q) for q in payload["queries"]]} if "queries" in payload else {}
+    )
+
+
+@pytest.fixture(scope="module", params=["threaded", "asyncio"])
+def served(request, rankings):
+    database = Database()
+    database.create_static("default", rankings)
+    server_type = DatabaseServer if request.param == "threaded" else AsyncDatabaseServer
+    with server_type(database, port=0) as server:
+        yield server
+    database.close()
+
+
+class TestBinaryWireEndToEnd:
+    def test_binary_client_negotiates_and_answers_identically(self, served, queries):
+        host, port = served.address
+        with Client(host, port, protocol=2) as jc, Client(
+            host, port, protocol=2, wire_format="binary"
+        ) as bc:
+            assert bc.wire_format == "binary"
+            assert jc.wire_format == "json"
+            for query in queries:
+                for request in (
+                    RangeQueryRequest(collection="default", items=query.items, theta=0.4),
+                    KnnRequest(collection="default", items=query.items, k=5),
+                ):
+                    assert (
+                        jc.execute(request).result_bytes()
+                        == bc.execute(request).result_bytes()
+                    )
+            batch = BatchRequest(
+                collection="default",
+                queries=tuple(q.items for q in queries),
+                theta=0.3,
+            )
+            assert jc.execute(batch).result_bytes() == bc.execute(batch).result_bytes()
+
+    def test_binary_pipelining_correlates_replies(self, served, queries):
+        host, port = served.address
+        with Client(host, port, protocol=2, wire_format="binary") as bc:
+            pending = [
+                bc.submit(
+                    RangeQueryRequest(collection="default", items=q.items, theta=0.5)
+                )
+                for q in queries
+            ]
+            direct = [
+                bc.execute(
+                    RangeQueryRequest(collection="default", items=q.items, theta=0.5)
+                )
+                for q in queries
+            ]
+            for reply, expected in zip(pending, direct):
+                assert reply.result(10).result_bytes() == expected.result_bytes()
+
+    def test_error_replies_arrive_on_the_binary_wire(self, served, queries):
+        host, port = served.address
+        with Client(host, port, protocol=2, wire_format="binary") as bc:
+            response = bc.execute(
+                RangeQueryRequest(collection="ghost", items=queries[0].items, theta=0.5)
+            )
+            assert not response.ok
+            assert response.error is not None
+
+    def test_corrupt_binary_frame_gets_a_protocol_error(self, served):
+        host, port = served.address
+        with socket.create_connection((host, port), timeout=5) as raw:
+            stream = raw.makefile("rb")
+            raw.sendall(encode_frame(hello_payload(1)))
+            hello = read_frame(stream)
+            assert "binary" in hello["body"]["data"]["formats"]
+            garbage = b"\x00\x01\x02\x03 definitely not an RBF record"
+            raw.sendall(struct.pack("!I", len(garbage) | BINARY_FRAME_FLAG) + garbage)
+            reply = read_frame(stream)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "protocol"
+            stream.close()
+
+    def test_plain_v1_clients_are_untouched(self, served, queries):
+        host, port = served.address
+        with Client(host, port) as client:
+            response = client.range_query(queries[0], 0.4, collection="default")
+            assert response.ok
+
+
+class TestRemoteExecutorBinary:
+    def test_binary_fan_out_equals_json_fan_out(self, rankings, queries):
+        shards = partition_rankings(rankings, 2)
+        servers, databases = [], []
+        for shard in shards:
+            database = Database()
+            database.create_static("default", shard)
+            server = DatabaseServer(database, port=0)
+            server.start()
+            servers.append(server)
+            databases.append(database)
+        addresses = [server.address for server in servers]
+        try:
+            with RemoteShardExecutor(addresses) as json_exec, RemoteShardExecutor(
+                addresses, wire_format="binary"
+            ) as binary_exec:
+                for query in queries:
+                    assert binary_exec.range_shards(
+                        query.items, 0.4, None, 2
+                    ) == json_exec.range_shards(query.items, 0.4, None, 2)
+                    assert binary_exec.knn_shards(
+                        query.items, 5, None, 2
+                    ) == json_exec.knn_shards(query.items, 5, None, 2)
+        finally:
+            for server in servers:
+                server.close()
+            for database in databases:
+                database.close()
+
+
+class TestCliWireFormat:
+    def test_admin_stats_reports_negotiated_wire_format(self, rankings, capsys):
+        from repro.cli import main as cli_main
+
+        database = Database()
+        database.create_static("default", rankings)
+        server = DatabaseServer(database, port=0)
+        server.start()
+        host, port = server.address
+        try:
+            base = ["client", "--host", host, "--port", str(port)]
+            assert cli_main([*base, "--wire-format", "binary", "--admin", "stats"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["wire"] == {"format": "binary", "protocol": 2}
+            # without the flag the connection stays on the JSON wire
+            assert cli_main([*base, "--admin", "stats"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["wire"]["format"] == "json"
+        finally:
+            server.close()
+            database.close()

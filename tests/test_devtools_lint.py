@@ -186,6 +186,40 @@ def test_fsync_ignores_modules_outside_live(tmp_path):
     assert findings == []
 
 
+def test_fsync_covers_codec_modules(tmp_path):
+    source = """
+    def decode_spill(path, data):
+        path.write_bytes(data)
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/codec/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert len(findings) == 1
+    assert "write_text/.write_bytes" in findings[0].message
+
+
+def test_fsync_accepts_codec_durable_writers(tmp_path):
+    source = """
+    import os
+
+    from repro.codec import append_record, atomic_write_bytes
+
+
+    def publish(tmp, path, data):
+        atomic_write_bytes(path, data)
+        os.replace(tmp, path)
+
+
+    def extend(handle, record):
+        append_record(handle, record)
+        handle.truncate(10)
+    """
+    findings = lint_tree(
+        tmp_path, {"src/repro/codec/store.py": source}, [FsyncDisciplineRule()]
+    )
+    assert findings == []
+
+
 def test_fsync_noqa_suppresses(tmp_path):
     source = """
     def trim(handle):
@@ -280,6 +314,77 @@ def test_wire_parity_skips_partial_projects(tmp_path):
         [WireParityRule()],
     )
     assert findings == []
+
+
+CODEC_CLEAN = """
+import struct
+
+KIND_PROBE = 7
+
+_HEAD = struct.Struct("<I")
+
+
+def encode_probe(value):
+    return _HEAD.pack(value)
+
+
+def decode_probe(buffer):
+    return _HEAD.unpack_from(buffer)[0]
+
+
+def pack_probe():
+    return encode_probe(KIND_PROBE)
+"""
+
+
+def test_wire_parity_codec_baseline_is_clean(tmp_path):
+    findings = lint_tree(
+        tmp_path, {"src/repro/codec/probe.py": CODEC_CLEAN}, [WireParityRule()]
+    )
+    assert findings == []
+
+
+def test_wire_parity_flags_inline_struct_layout(tmp_path):
+    source = CODEC_CLEAN.replace(
+        "return _HEAD.pack(value)",
+        'return struct.Struct("<I").pack(value)',
+    )
+    findings = lint_tree(
+        tmp_path, {"src/repro/codec/probe.py": source}, [WireParityRule()]
+    )
+    assert len(findings) == 1
+    assert "struct layout inline" in findings[0].message
+
+
+def test_wire_parity_flags_unused_record_kind(tmp_path):
+    source = CODEC_CLEAN + "\nWIRE_GHOST = 42\n"
+    findings = lint_tree(
+        tmp_path, {"src/repro/codec/probe.py": source}, [WireParityRule()]
+    )
+    assert len(findings) == 1
+    assert "WIRE_GHOST" in findings[0].message
+    assert "never referenced" in findings[0].message
+
+
+def test_wire_parity_codec_kind_used_in_other_module_counts(tmp_path):
+    files = {
+        "src/repro/codec/probe.py": CODEC_CLEAN + "\nWIRE_GHOST = 42\n",
+        "src/repro/live/user.py": (
+            "from repro.codec.probe import WIRE_GHOST\n\n\n"
+            "def kind():\n    return WIRE_GHOST\n"
+        ),
+    }
+    findings = lint_tree(tmp_path, files, [WireParityRule()])
+    assert findings == []
+
+
+def test_wire_parity_flags_one_way_codec(tmp_path):
+    source = CODEC_CLEAN.replace("def decode_probe", "def _decode_probe")
+    findings = lint_tree(
+        tmp_path, {"src/repro/codec/probe.py": source}, [WireParityRule()]
+    )
+    assert len(findings) == 1
+    assert "encode_probe has no decode_probe counterpart" in findings[0].message
 
 
 # -- metric-registry -----------------------------------------------------------------
