@@ -1,0 +1,202 @@
+"""Standing-query cost: push latency paced, coalescing efficiency bursty.
+
+Two figures for the subscription subsystem, measured over a real TCP
+connection (threaded transport, protocol v2):
+
+* **push latency** — commit-to-delivery time for paced mutations that
+  each change a standing query's result set: the client inserts a
+  near-query row, stamps the commit, and waits for the delta push that
+  reflects it (median / p95 over ``--mutations`` rounds);
+* **coalescing efficiency** — an unpaced burst of mutations against the
+  same subscription: ``1 - deltas/commits`` is the fraction of commits
+  the dispatcher folded away (each surviving delta is still exact — the
+  replayed result is asserted byte-identical to a fresh query at the
+  end of each phase).
+
+Run under pytest-benchmark as part of the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_subscriptions.py
+    PYTHONPATH=src python benchmarks/bench_subscriptions.py --check
+
+``--check`` exits non-zero unless the burst coalesced at all and the
+equivalence assertions held — the CI smoke for the push pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+import time
+
+import pytest
+
+from repro.api import Client, Database, DatabaseServer, Response
+from repro.datasets.nyt import nyt_like_dataset
+
+from _utils import run_once
+
+THETA = 0.3
+K = 10
+BASE_ROWS = 400
+PACED_MUTATIONS = 60
+BURST_MUTATIONS = 200
+
+
+def _result_bytes(matches) -> bytes:
+    return Response(ok=True, matches=tuple(matches)).result_bytes()
+
+
+def _variant(query, rng: random.Random) -> list[int]:
+    """A near-query ranking: one random transposition of the query."""
+    items = list(query)
+    i, j = rng.randrange(len(items)), rng.randrange(len(items))
+    items[i], items[j] = items[j], items[i]
+    return items
+
+
+def _drain_until_equivalent(subscription, session, query, timeout: float = 30.0) -> int:
+    """Consume deltas until the handle equals a fresh query; count them."""
+    expected = _result_bytes(session.range_query(query, THETA, collection="news").matches)
+    deadline = time.monotonic() + timeout
+    consumed = 0
+    while subscription.result_bytes() != expected:
+        if time.monotonic() > deadline:
+            raise AssertionError("subscription never converged to the fresh answer")
+        try:
+            delta = subscription.get(timeout=0.5)
+        except TimeoutError:
+            continue
+        if delta is not None:
+            consumed += 1
+    return consumed
+
+
+def _setup(n: int):
+    rankings = nyt_like_dataset(n=n, k=K, seed=19)
+    rows = [list(ranking.items) for ranking in rankings]
+    database = Database()
+    live = database.create_live("news")
+    for row in rows:
+        live.insert(row)
+    return database, rows
+
+
+def measure_push_latency(database, query, mutations: int) -> dict:
+    """Paced commit-to-push latency through a served subscription."""
+    rng = random.Random(7)
+    session = database.session()
+    latencies = []
+    with DatabaseServer(database, port=0) as server:
+        with Client(*server.address) as client:
+            subscription = client.subscribe(query, collection="news", theta=THETA)
+            for _ in range(mutations):
+                client.insert(_variant(query, rng), collection="news")
+                started = time.perf_counter()
+                delta = subscription.get(timeout=30.0)
+                latencies.append(time.perf_counter() - started)
+                assert delta is not None
+            _drain_until_equivalent(subscription, session, query)
+            subscription.unsubscribe()
+    return {
+        "mutations": mutations,
+        "median_ms": statistics.median(latencies) * 1000.0,
+        "p95_ms": sorted(latencies)[int(0.95 * (len(latencies) - 1))] * 1000.0,
+    }
+
+
+def measure_coalescing(database, query, mutations: int) -> dict:
+    """Unpaced burst: how many commits fold into each delivered delta."""
+    rng = random.Random(11)
+    session = database.session()
+    with DatabaseServer(database, port=0) as server:
+        with Client(*server.address) as client:
+            subscription = client.subscribe(query, collection="news", theta=THETA)
+            started = time.perf_counter()
+            for _ in range(mutations):
+                client.insert(_variant(query, rng), collection="news")
+            deltas = _drain_until_equivalent(subscription, session, query)
+            elapsed = time.perf_counter() - started
+            subscription.unsubscribe()
+    return {
+        "mutations": mutations,
+        "deltas": deltas,
+        "efficiency": 1.0 - (deltas / mutations),
+        "elapsed_seconds": elapsed,
+    }
+
+
+# -- pytest-benchmark entry points -------------------------------------------------
+
+
+def test_push_latency_paced(benchmark):
+    database, rows = _setup(BASE_ROWS)
+    try:
+        report = run_once(
+            benchmark, measure_push_latency, database, rows[3], PACED_MUTATIONS
+        )
+        benchmark.extra_info.update(report)
+    finally:
+        database.close()
+
+
+def test_coalescing_under_burst(benchmark):
+    database, rows = _setup(BASE_ROWS)
+    try:
+        report = run_once(
+            benchmark, measure_coalescing, database, rows[3], BURST_MUTATIONS
+        )
+        benchmark.extra_info.update(report)
+        assert report["deltas"] <= report["mutations"]
+    finally:
+        database.close()
+
+
+# -- standalone ---------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=BASE_ROWS, help="base collection size")
+    parser.add_argument(
+        "--mutations", type=int, default=PACED_MUTATIONS, help="paced mutations to time"
+    )
+    parser.add_argument(
+        "--burst", type=int, default=BURST_MUTATIONS, help="unpaced burst size"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the burst coalesced at all",
+    )
+    args = parser.parse_args(argv)
+
+    database, rows = _setup(args.rows)
+    try:
+        latency = measure_push_latency(database, rows[3], args.mutations)
+        print(
+            f"push latency  ({latency['mutations']} paced commits): "
+            f"median {latency['median_ms']:.2f}ms  p95 {latency['p95_ms']:.2f}ms"
+        )
+        burst = measure_coalescing(database, rows[3], args.burst)
+        print(
+            f"coalescing    ({burst['mutations']} burst commits): "
+            f"{burst['deltas']} delta(s), efficiency {burst['efficiency']:.1%}, "
+            f"{burst['elapsed_seconds']:.2f}s end to end"
+        )
+    finally:
+        database.close()
+
+    if args.check and burst["deltas"] >= burst["mutations"]:
+        print("CHECK FAILED: the burst never coalesced", file=sys.stderr)
+        return 1
+    if args.check:
+        print(
+            f"CHECK OK: {burst['mutations']} commits -> {burst['deltas']} deltas "
+            f"(every one exact)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

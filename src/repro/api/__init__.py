@@ -26,9 +26,9 @@ on the same database — whichever transport, protocol version, and
 pipelining depth carried it.
 """
 
-from repro.api.aclient import AsyncClient
+from repro.api.aclient import AsyncClient, AsyncSubscription
 from repro.api.aserver import AsyncDatabaseServer, read_frame_async
-from repro.api.client import Client, PendingReply
+from repro.api.client import Client, PendingReply, Subscription
 from repro.api.database import CollectionInfo, Database, Session
 from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -37,10 +37,12 @@ from repro.api.protocol import (
     HELLO_KIND,
     InboundFrame,
     PROTOCOL_VERSION,
+    PUSH_KIND,
     SUPPORTED_VERSIONS,
     classify_frame,
     encode_frame,
     hello_payload,
+    push_envelope,
     read_frame,
     request_envelope,
     response_envelope,
@@ -59,6 +61,8 @@ from repro.api.requests import (
     KnnRequest,
     RangeQueryRequest,
     Request,
+    SubscribeRequest,
+    UnsubscribeRequest,
     UpsertRequest,
     parse_request,
 )
@@ -77,16 +81,17 @@ __all__ = [
     "AdminRequest",
     "AsyncClient",
     "AsyncDatabaseServer",
+    "AsyncSubscription",
     "BatchRequest",
     "COLLECTION_ENGINES",
     "Client",
     "CollectionInfo",
-    "Database",
-    "DatabaseServer",
     "DEFAULT_COLLECTION",
     "DEFAULT_HOST",
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_PORT",
+    "Database",
+    "DatabaseServer",
     "DeleteRequest",
     "ExecutorSurface",
     "FrameError",
@@ -98,6 +103,7 @@ __all__ = [
     "METRICS_FORMATS",
     "MatchPayload",
     "PROTOCOL_VERSION",
+    "PUSH_KIND",
     "PendingReply",
     "RangeQueryRequest",
     "RemoteShardExecutor",
@@ -106,6 +112,9 @@ __all__ = [
     "ResponseError",
     "SUPPORTED_VERSIONS",
     "Session",
+    "SubscribeRequest",
+    "Subscription",
+    "UnsubscribeRequest",
     "UpsertRequest",
     "canonical_json",
     "classify_frame",
@@ -113,6 +122,7 @@ __all__ = [
     "error_response",
     "hello_payload",
     "parse_request",
+    "push_envelope",
     "read_frame",
     "read_frame_async",
     "request_envelope",

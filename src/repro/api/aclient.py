@@ -25,11 +25,13 @@ error and return the useful part, so porting sync call sites is mechanical.
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Optional, Sequence
 
 from repro.api.aserver import read_frame_async
 from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    PUSH_KIND,
     FrameError,
     encode_frame,
     hello_payload,
@@ -44,12 +46,125 @@ from repro.api.requests import (
     KnnRequest,
     RangeQueryRequest,
     RequestLike,
+    SubscribeRequest,
+    UnsubscribeRequest,
     UpsertRequest,
     parse_request,
 )
-from repro.api.responses import Response
+from repro.api.responses import MatchPayload, Response
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.api.surface import Items
+from repro.sub.delta import EVENT_DELTA, EVENT_ERROR, PushDelta, apply_delta
+
+logger = logging.getLogger(__name__)
+
+
+class AsyncSubscription:
+    """Async handle for one standing query: snapshot plus a delta stream.
+
+    The async twin of :class:`repro.api.client.Subscription`: iterate with
+    ``async for`` (each step yields a :class:`~repro.sub.delta.PushDelta`
+    already applied to :attr:`matches`), end it with :meth:`unsubscribe`.
+    Terminal server errors raise their typed exception; a dead connection
+    raises ``ConnectionError``.  The async client speaks JSON frames only,
+    so delta bodies arrive as JSON pushes.
+    """
+
+    def __init__(self, client: "AsyncClient", subscription_id: int, collection: str) -> None:
+        self._client = client
+        self.id = subscription_id
+        self.collection = collection
+        #: Subscription metadata from the subscribe reply (mode, version,
+        #: queue_size, format); filled in before the handle is returned.
+        self.info: dict = {}
+        self.matches: tuple[MatchPayload, ...] = ()
+        self._queue: "asyncio.Queue[tuple[str, object]]" = asyncio.Queue()
+        self._done = False
+
+    # -- reader-task side ----------------------------------------------------------
+
+    def _absorb(self, body: dict) -> None:
+        """Queue one push body (reader task; never raises)."""
+        event = body.get("event")
+        if event == EVENT_DELTA:
+            try:
+                delta = PushDelta.from_dict(body)
+            except Exception as error:
+                logger.debug("subscription %r push malformed: %s", self.id, error)
+                self._queue.put_nowait(
+                    ("fail", ConnectionError(f"malformed push delta: {error}"))
+                )
+                return
+            self._queue.put_nowait(("delta", delta))
+        elif event == EVENT_ERROR:
+            self._queue.put_nowait(
+                ("error", Response.from_dict({"ok": False, "error": body.get("error")}))
+            )
+        else:
+            self._queue.put_nowait(
+                ("fail", ConnectionError(f"unknown push event {event!r}"))
+            )
+
+    def _fail(self, error: BaseException) -> None:
+        self._queue.put_nowait(("fail", error))
+
+    def _finish(self) -> None:
+        self._queue.put_nowait(("end", None))
+
+    # -- consumer side -------------------------------------------------------------
+
+    async def get(self, timeout: Optional[float] = None) -> Optional[PushDelta]:
+        """The next delta, applied to :attr:`matches`; ``None`` when ended."""
+        if self._done:
+            return None
+        if timeout is None:
+            kind, value = await self._queue.get()
+        else:
+            try:
+                kind, value = await asyncio.wait_for(self._queue.get(), timeout)
+            except asyncio.TimeoutError:
+                raise TimeoutError(
+                    f"no push on subscription {self.id} within {timeout}s"
+                ) from None
+        if kind == "delta":
+            assert isinstance(value, PushDelta)
+            self.matches = apply_delta(self.matches, value)
+            return value
+        self._done = True
+        if kind == "end":
+            return None
+        if kind == "error":
+            assert isinstance(value, Response)
+            value.raise_for_error()
+            raise ConnectionError("subscription ended with an unreadable error")
+        assert isinstance(value, BaseException)
+        raise value
+
+    def __aiter__(self) -> "AsyncSubscription":
+        return self
+
+    async def __anext__(self) -> PushDelta:
+        delta = await self.get()
+        if delta is None:
+            raise StopAsyncIteration
+        return delta
+
+    def result_bytes(self) -> bytes:
+        """Canonical bytes of the current result set (equivalence checks)."""
+        return Response(ok=True, matches=self.matches).result_bytes()
+
+    @property
+    def ended(self) -> bool:
+        """Whether the consumer has seen the subscription end."""
+        return self._done
+
+    async def unsubscribe(self, timeout: Optional[float] = None) -> None:
+        """Cancel the standing query; pending deltas stay consumable."""
+        await self._client._unsubscribe(self, timeout)
+
+    def __repr__(self) -> str:
+        state = "ended" if self._done else f"{len(self.matches)} matches"
+        return f"AsyncSubscription(id={self.id}, collection={self.collection!r}, {state})"
 
 
 class AsyncClient:
@@ -72,6 +187,7 @@ class AsyncClient:
         self.timeout = timeout
         self._max_frame_bytes = max_frame_bytes
         self._pending: dict[int, asyncio.Future] = {}
+        self._subscriptions: dict[int, AsyncSubscription] = {}
         self._next_id = 0
         self._closed = False
         self._server_info: Optional[dict] = None
@@ -177,12 +293,106 @@ class AsyncClient:
                 "(only this request failed; the connection is still usable)"
             ) from None
 
+    # -- standing queries ----------------------------------------------------------
+
+    async def subscribe(
+        self,
+        items: Items,
+        *,
+        collection: str = DEFAULT_COLLECTION,
+        mode: str = "range",
+        theta: float = 0.0,
+        k: int = 0,
+        algorithm: Optional[str] = None,
+        queue_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> AsyncSubscription:
+        """Register a standing query; returns its :class:`AsyncSubscription`.
+
+        Awaits the server's snapshot reply; deltas then arrive on the
+        handle as mutations commit (consume with ``async for`` or
+        :meth:`AsyncSubscription.get`).
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request = SubscribeRequest(
+            collection=collection,
+            mode=mode,
+            items=items,
+            theta=theta,
+            k=k,
+            algorithm=algorithm,
+            queue_size=queue_size,
+        )
+        request_id = self._take_id()
+        frame = encode_frame(
+            request_envelope(request_id, request.to_dict()), self._max_frame_bytes
+        )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        # the handle must be routable before the request leaves: a push can
+        # overtake the subscribe reply
+        subscription = AsyncSubscription(self, request_id, collection)
+        self._subscriptions[request_id] = subscription
+        try:
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+            except (ConnectionError, OSError) as error:
+                self._poison(ConnectionError(f"connection failed: {error}"))
+                raise ConnectionError(f"connection failed: {error}") from None
+            effective = self.timeout if timeout is None else timeout
+            try:
+                response = await asyncio.wait_for(future, effective)
+            except asyncio.TimeoutError:
+                self._pending.pop(request_id, None)
+                raise TimeoutError(
+                    f"subscribe {request_id} timed out after {effective}s"
+                ) from None
+            if not response.ok:
+                response.raise_for_error()
+        except BaseException:
+            self._subscriptions.pop(request_id, None)
+            raise
+        subscription.matches = tuple(response.matches or ())
+        subscription.info = dict(response.data or {})
+        return subscription
+
+    async def _unsubscribe(
+        self, subscription: AsyncSubscription, timeout: Optional[float]
+    ) -> None:
+        """Cancel one standing query; the server's reply ends the stream."""
+        known = self._subscriptions.pop(subscription.id, None)
+        if known is None:
+            return  # already ended (terminal error, poison, double call)
+        request = UnsubscribeRequest(
+            collection=subscription.collection, subscription=subscription.id
+        )
+        try:
+            response = await self.execute(request, timeout=timeout)
+        except BaseException:
+            subscription._finish()
+            raise
+        subscription._finish()
+        response.raise_for_error()
+
     async def _read_loop(self) -> None:
         try:
             while True:
                 reply = await read_frame_async(self._reader, self._max_frame_bytes)
                 if reply is None:
                     raise FrameError("server closed the connection")
+                if reply.get("kind") == PUSH_KIND:
+                    body = reply.get("body")
+                    if not isinstance(body, dict):
+                        raise FrameError(f"push envelope without body: {reply!r}")
+                    # an unknown id is a push that raced an unsubscribe: drop
+                    subscription = self._subscriptions.get(reply.get("id"))
+                    if subscription is not None:
+                        subscription._absorb(body)
+                        if body.get("event") == EVENT_ERROR:  # terminal
+                            self._subscriptions.pop(reply.get("id"), None)
+                    continue
                 if "id" not in reply or not isinstance(reply.get("body"), dict):
                     raise FrameError(f"uncorrelatable response frame: {reply!r}")
                 future = self._pending.pop(reply["id"], None)
@@ -200,6 +410,9 @@ class AsyncClient:
         for future in pending.values():
             if not future.done():
                 future.set_exception(error)
+        subscriptions, self._subscriptions = self._subscriptions, {}
+        for subscription in subscriptions.values():
+            subscription._fail(error)
 
     async def close(self) -> None:
         """Close the connection (idempotent); in-flight requests fail cleanly."""

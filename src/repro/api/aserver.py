@@ -34,7 +34,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
-from repro.api.database import Database
+from repro.api.database import Database, Session
 from repro.api.protocol import (
     BINARY_FRAME_FLAG,
     DEFAULT_MAX_FRAME_BYTES,
@@ -47,22 +47,34 @@ from repro.api.protocol import (
     decode_frame_body,
     encode_binary_frame,
     encode_frame,
+    push_envelope,
 )
-from repro.api.responses import Response, ResponseError, canonical_json
+from repro.api.requests import SubscribeRequest, UnsubscribeRequest, parse_request
+from repro.api.responses import Response, ResponseError, canonical_json, error_response
 from repro.api.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    SUBSCRIPTION_KINDS,
     ServerMetrics,
     envelope_error_payload,
     execute_frame,
     hello_reply_payload,
     is_shutdown_payload,
     oversized_reply_response,
+    pre_hello_subscribe_response,
     response_envelope,
+    subscription_target_error,
+    unsubscribe_session,
 )
 from repro.codec import CodecError
 from repro.codec.wire import decode_request as decode_binary_request
+from repro.codec.wire import encode_push as encode_binary_push
 from repro.codec.wire import encode_response as encode_binary_response
+from repro.core.errors import InvalidRequestError
+
+#: How long a push write may sit in the event loop before the sender gives
+#: up and drops the subscription (the connection is considered gone).
+PUSH_WRITE_TIMEOUT_SECONDS = 30.0
 
 #: Default size of the dispatch worker pool (CPU-bound Python holds the GIL,
 #: so a handful of workers saturates; more just buys queueing fairness).
@@ -238,6 +250,7 @@ class AsyncDatabaseServer:
         metrics = self._metrics
         metrics.connections.inc()
         loop = asyncio.get_running_loop()
+        greeted = False
         try:
             while self._stop_event is not None and not self._stop_event.is_set():
                 try:
@@ -264,6 +277,10 @@ class AsyncDatabaseServer:
                     continue
                 if frame.is_hello:
                     await self._write(writer, hello_reply_payload(frame, limit), limit)
+                    greeted = True
+                    continue
+                if frame.version == 2 and frame.kind in SUBSCRIPTION_KINDS:
+                    await self._serve_subscription(session, frame, writer, loop, greeted)
                     continue
                 assert frame.payload is not None
                 # CPU-bound dispatch happens off-loop so other connections'
@@ -299,6 +316,7 @@ class AsyncDatabaseServer:
         except (ConnectionError, OSError):
             pass  # client went away; nothing to clean beyond the finally
         finally:
+            session.cancel_subscriptions()
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -350,6 +368,98 @@ class AsyncDatabaseServer:
         metrics.frames_out.inc()
         metrics.bytes_out.inc(len(encoded_json))
         return True
+
+    # -- standing queries ----------------------------------------------------------
+
+    async def _serve_subscription(
+        self,
+        session: Session,
+        frame: InboundFrame,
+        writer: asyncio.StreamWriter,
+        loop: asyncio.AbstractEventLoop,
+        greeted: bool,
+    ) -> None:
+        """Serve one ``subscribe``/``unsubscribe`` envelope.
+
+        Registration blocks until the dispatcher primes the snapshot, so it
+        runs on the worker pool like any dispatch; the reply (and every
+        later push) is written back on the loop.
+        """
+        limit = self.max_frame_bytes
+        if not greeted:
+            reply = pre_hello_subscribe_response().to_dict()
+            await self._write(writer, response_envelope(frame.request_id, reply), limit)
+            return
+        response = await loop.run_in_executor(
+            self._pool, self._register_or_cancel, session, frame, writer, loop
+        )
+        await self._write(writer, response_envelope(frame.request_id, response.to_dict()), limit)
+
+    def _register_or_cancel(
+        self,
+        session: Session,
+        frame: InboundFrame,
+        writer: asyncio.StreamWriter,
+        loop: asyncio.AbstractEventLoop,
+    ) -> Response:
+        """Worker-pool half of :meth:`_serve_subscription` (sync, may block)."""
+        assert frame.payload is not None
+        try:
+            request = parse_request(frame.payload)
+            if isinstance(request, UnsubscribeRequest):
+                return unsubscribe_session(session, request)
+            assert isinstance(request, SubscribeRequest)
+            return self._register_subscription(session, request, frame.request_id, writer, loop)
+        except Exception as error:
+            return error_response(error)
+
+    def _register_subscription(
+        self,
+        session: Session,
+        request: SubscribeRequest,
+        subscription_id,
+        writer: asyncio.StreamWriter,
+        loop: asyncio.AbstractEventLoop,
+    ) -> Response:
+        if subscription_id in session.subscriptions:
+            raise InvalidRequestError(
+                f"subscription id {subscription_id!r} is already registered"
+                " on this connection"
+            )
+        entry = self._database._lookup(request.collection)
+        if entry.kind != "live":
+            raise subscription_target_error(entry.kind, request.collection)
+        binary = request.format == "binary"
+
+        def deliver(sub_id, body: dict) -> None:
+            # runs on the subscription's sender thread: hop onto the loop,
+            # where writer.write() enqueues each frame's bytes atomically
+            future = asyncio.run_coroutine_threadsafe(
+                self._write_push(writer, sub_id, body, binary), loop
+            )
+            future.result(timeout=PUSH_WRITE_TIMEOUT_SECONDS)
+
+        response, sub = self._database.subscriptions.subscribe(
+            entry.engine, request, subscription_id, deliver, "asyncio"
+        )
+        session.subscriptions[sub.id] = sub
+        return response
+
+    async def _write_push(
+        self, writer: asyncio.StreamWriter, sub_id, body: dict, binary: bool
+    ) -> None:
+        limit = self.max_frame_bytes
+        data = None
+        if binary:
+            encoded = encode_binary_push(sub_id, body)
+            if encoded is not None and len(encoded) <= limit:
+                data = encode_binary_frame(encoded, limit)
+        if data is None:
+            data = encode_frame(push_envelope(sub_id, body), limit)
+        writer.write(data)
+        await writer.drain()
+        self._metrics.frames_out.inc()
+        self._metrics.bytes_out.inc(len(data))
 
     async def _write(self, writer: asyncio.StreamWriter, payload: dict, limit: int) -> None:
         body = canonical_json(payload)

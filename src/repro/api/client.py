@@ -38,13 +38,16 @@ be mistaken for the answer to the *next* request.
 
 from __future__ import annotations
 
+import logging
+import queue
 import socket
 import struct
 import threading
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.api.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    PUSH_KIND,
     FrameError,
     PROTOCOL_VERSION,
     encode_binary_frame,
@@ -54,14 +57,136 @@ from repro.api.protocol import (
     read_frame_any,
     request_envelope,
 )
-from repro.api.requests import RequestLike, parse_request
-from repro.api.responses import Response
+from repro.api.requests import DEFAULT_COLLECTION, RequestLike, parse_request
+from repro.api.responses import MatchPayload, Response
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
-from repro.api.surface import ExecutorSurface
+from repro.api.surface import ExecutorSurface, Items
 from repro.codec import CodecError
+from repro.codec.wire import decode_push as decode_binary_push
 from repro.codec.wire import decode_response as decode_binary_response
 from repro.codec.wire import encode_request as encode_binary_request
+from repro.codec.wire import is_push_frame
 from repro.devtools.locktrace import make_lock
+from repro.sub.delta import EVENT_DELTA, EVENT_ERROR, PushDelta, apply_delta
+
+logger = logging.getLogger(__name__)
+
+
+class Subscription:
+    """Client handle for one standing query: snapshot plus a delta stream.
+
+    :attr:`matches` starts as the server's snapshot and is advanced by
+    every delta consumed through :meth:`get` (or iteration), so it always
+    equals what re-running the query would return as of the last consumed
+    delta — byte-identical, which the equivalence tests assert via
+    :meth:`result_bytes`.
+
+    Iterating yields :class:`~repro.sub.delta.PushDelta` objects until the
+    subscription ends: :meth:`unsubscribe` ends it cleanly (iteration
+    stops), a server-side cancel (``subscription_overflow``, a dropped
+    collection) raises the typed error, and a dead connection raises
+    ``ConnectionError``.  One consumer thread at a time.
+    """
+
+    def __init__(self, client: "Client", subscription_id: int, collection: str) -> None:
+        self._client = client
+        self.id = subscription_id
+        self.collection = collection
+        #: Subscription metadata from the subscribe reply (mode, version,
+        #: queue_size, format); filled in before the handle is returned.
+        self.info: dict = {}
+        self.matches: tuple[MatchPayload, ...] = ()
+        self._queue: "queue.SimpleQueue[tuple[str, object]]" = queue.SimpleQueue()
+        self._done = False  # consumer-side; one consumer thread at a time
+
+    # -- reader-thread side --------------------------------------------------------
+
+    def _absorb(self, body: dict) -> None:
+        """Queue one push body (reader thread; never raises)."""
+        event = body.get("event")
+        if event == EVENT_DELTA:
+            try:
+                delta = PushDelta.from_dict(body)
+            except Exception as error:
+                logger.debug("subscription %r push malformed: %s", self.id, error)
+                self._queue.put(
+                    ("fail", ConnectionError(f"malformed push delta: {error}"))
+                )
+                return
+            self._queue.put(("delta", delta))
+        elif event == EVENT_ERROR:
+            self._queue.put(
+                ("error", Response.from_dict({"ok": False, "error": body.get("error")}))
+            )
+        else:
+            self._queue.put(
+                ("fail", ConnectionError(f"unknown push event {event!r}"))
+            )
+
+    def _fail(self, error: BaseException) -> None:
+        self._queue.put(("fail", error))
+
+    def _finish(self) -> None:
+        self._queue.put(("end", None))
+
+    # -- consumer side -------------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[PushDelta]:
+        """The next delta, applied to :attr:`matches`; ``None`` when ended.
+
+        ``timeout=None`` blocks until a push arrives (standing queries can
+        be quiet for a long time); a positive timeout raises
+        ``TimeoutError`` on expiry without consuming anything.  Terminal
+        server errors (overflow, dropped collection) raise their typed
+        exception; a dead connection raises ``ConnectionError``.
+        """
+        if self._done:
+            return None
+        try:
+            kind, value = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"no push on subscription {self.id} within {timeout}s"
+            ) from None
+        if kind == "delta":
+            assert isinstance(value, PushDelta)
+            self.matches = apply_delta(self.matches, value)
+            return value
+        self._done = True
+        if kind == "end":
+            return None
+        if kind == "error":
+            assert isinstance(value, Response)
+            value.raise_for_error()
+            raise ConnectionError("subscription ended with an unreadable error")
+        assert isinstance(value, BaseException)
+        raise value
+
+    def __iter__(self) -> Iterator[PushDelta]:
+        return self
+
+    def __next__(self) -> PushDelta:
+        delta = self.get()
+        if delta is None:
+            raise StopIteration
+        return delta
+
+    def result_bytes(self) -> bytes:
+        """Canonical bytes of the current result set (equivalence checks)."""
+        return Response(ok=True, matches=self.matches).result_bytes()
+
+    @property
+    def ended(self) -> bool:
+        """Whether the consumer has seen the subscription end."""
+        return self._done
+
+    def unsubscribe(self, timeout: Optional[float] = None) -> None:
+        """Cancel the standing query; pending deltas stay consumable."""
+        self._client._unsubscribe(self, timeout)
+
+    def __repr__(self) -> str:
+        state = "ended" if self._done else f"{len(self.matches)} matches"
+        return f"Subscription(id={self.id}, collection={self.collection!r}, {state})"
 
 
 class PendingReply:
@@ -164,6 +289,7 @@ class Client(ExecutorSurface):
         self._send_lock = make_lock("Client._send_lock")
         self._state_lock = make_lock("Client._state_lock")
         self._pending: dict[int, PendingReply] = {}  # guarded-by: _state_lock
+        self._subscriptions: dict[int, Subscription] = {}  # guarded-by: _state_lock
         self._next_id = 0  # guarded-by: _state_lock
         #: Poisoned-flag writes happen under _state_lock; hot-path reads are
         #: deliberately lock-free and recover via ConnectionError.
@@ -371,8 +497,18 @@ class Client(ExecutorSurface):
                     raise FrameError("server closed the connection")
                 shape, reply = framed
                 if shape == "binary":
+                    if is_push_frame(reply):
+                        subscription_id, push_body = decode_binary_push(reply)
+                        self._route_push(subscription_id, push_body)
+                        continue
                     request_id, body = decode_binary_response(reply)
                 else:
+                    if reply.get("kind") == PUSH_KIND:
+                        push_body = reply.get("body")
+                        if not isinstance(push_body, dict):
+                            raise FrameError(f"push envelope without body: {reply!r}")
+                        self._route_push(reply.get("id"), push_body)
+                        continue
                     if "id" not in reply:
                         raise FrameError(f"response frame without correlation id: {reply!r}")
                     request_id = reply["id"]
@@ -390,12 +526,29 @@ class Client(ExecutorSurface):
                 return  # reading a deliberately closed stream, not a failure
             self._teardown(ConnectionError(f"connection failed: {error}"))
 
+    def _route_push(self, subscription_id, body: dict) -> None:
+        """Hand one push body to its subscription (reader thread).
+
+        An unknown id is a push that raced an unsubscribe (or a
+        subscription that already ended) — dropped, exactly like a late
+        reply to an abandoned request.
+        """
+        with self._state_lock:
+            subscription = self._subscriptions.get(subscription_id)
+        if subscription is not None:
+            subscription._absorb(body)
+            if body.get("event") == EVENT_ERROR:  # terminal: the server released it
+                with self._state_lock:
+                    self._subscriptions.pop(subscription_id, None)
+
     def _teardown(self, error: BaseException) -> None:
         """Poison the connection: close the transport, fail every pending reply."""
         with self._state_lock:
             self._closed = True
             pending = dict(self._pending)
             self._pending.clear()
+            subscriptions = list(self._subscriptions.values())
+            self._subscriptions.clear()
         # shutdown() first: it unblocks a reader thread parked in recv(),
         # which otherwise holds the buffered stream's lock and would make
         # the stream close below deadlock against it
@@ -414,6 +567,98 @@ class Client(ExecutorSurface):
             pass
         for reply in pending.values():
             reply._fail(error)
+        for subscription in subscriptions:
+            subscription._fail(error)
+
+    # -- standing queries (v2 only) ------------------------------------------------
+
+    def subscribe(
+        self,
+        items: Items,
+        *,
+        collection: str = DEFAULT_COLLECTION,
+        mode: str = "range",
+        theta: float = 0.0,
+        k: int = 0,
+        algorithm: Optional[str] = None,
+        queue_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Subscription:
+        """Register a standing query; returns its live :class:`Subscription`.
+
+        Blocks until the server replies with the query's current result
+        set (the snapshot); deltas then arrive on the handle as mutations
+        commit.  Binary delta bodies are requested automatically when the
+        connection negotiated the binary wire.  Requires protocol v2 — a
+        v1 connection cannot interleave pushes with replies.
+        """
+        if self._version != PROTOCOL_VERSION:
+            raise ConnectionError(
+                "subscriptions require protocol v2; this connection fell back to v1"
+            )
+        request = self.subscribe_request(
+            items,
+            collection=collection,
+            mode=mode,
+            theta=theta,
+            k=k,
+            algorithm=algorithm,
+            format="binary" if self._binary_wire else None,
+            queue_size=queue_size,
+        )
+        # a push can overtake the subscribe reply (the sender thread starts
+        # as soon as the server registers), so the handle must be routable
+        # before the request leaves
+        with self._state_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            request_id = self._next_id
+            self._next_id += 1
+            pending = PendingReply(self, request_id)
+            self._pending[request_id] = pending
+            subscription = Subscription(self, request_id, collection)
+            self._subscriptions[request_id] = subscription
+        frame = encode_frame(
+            request_envelope(request_id, request.to_dict()), self._max_frame_bytes
+        )
+        try:
+            try:
+                with self._send_lock:
+                    self._send.write(frame)
+                    self._send.flush()
+            except (OSError, ValueError) as error:
+                self._teardown(ConnectionError(f"connection failed: {error}"))
+                raise ConnectionError(f"connection failed: {error}") from None
+            response = pending.result(timeout)
+            if not response.ok:
+                response.raise_for_error()
+        except BaseException:
+            with self._state_lock:
+                self._subscriptions.pop(request_id, None)
+            raise
+        subscription.matches = tuple(response.matches or ())
+        subscription.info = dict(response.data or {})
+        return subscription
+
+    def _unsubscribe(self, subscription: Subscription, timeout: Optional[float]) -> None:
+        """Cancel one standing query; the server's reply ends the stream.
+
+        Deltas pushed before the server processed the cancel stay queued
+        on the handle (consume them with :meth:`Subscription.get`); any
+        push racing the reply is dropped by the reader.
+        """
+        with self._state_lock:
+            known = self._subscriptions.pop(subscription.id, None)
+        if known is None:
+            return  # already ended (terminal error, teardown, double call)
+        request = self.unsubscribe_request(subscription.id, collection=subscription.collection)
+        try:
+            response = self.submit(request).result(timeout)
+        except BaseException:
+            subscription._finish()
+            raise
+        subscription._finish()
+        response.raise_for_error()
 
     # -- the one-round-trip path (both protocols) ----------------------------------
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.core.errors import (
     CollectionClosedError,
@@ -33,6 +33,7 @@ from repro.core.errors import (
     NotPrimaryError,
     StaleRoutingError,
     UnknownCollectionError,
+    UnsupportedProtocolError,
 )
 from repro.core.ranking import Ranking, RankingSet
 from repro.live.collection import DEFAULT_LIVE_ALGORITHM, LiveCollection
@@ -53,12 +54,15 @@ from repro.api.requests import (
     RangeQueryRequest,
     Request,
     RequestLike,
+    SubscribeRequest,
+    UnsubscribeRequest,
     UpsertRequest,
     parse_request,
 )
 from repro.api.responses import MatchPayload, Response, error_response
 from repro.api.surface import ExecutorSurface
 from repro.devtools.locktrace import make_lock
+from repro.sub.manager import ServerSubscription, SubscriptionManager
 
 #: Engines a collection may be served by.
 Engine = Union[QueryEngine, LiveQueryEngine]
@@ -131,11 +135,17 @@ class Database:
         self._lock = make_lock("Database._lock")
         self._closed = False  # guarded-by: _lock
         self._slow_log = SlowQueryLog(slow_query_capacity)
+        self._subscriptions = SubscriptionManager()
 
     @property
     def slow_log(self) -> SlowQueryLog:
         """The N-slowest-queries ring every session of this database feeds."""
         return self._slow_log
+
+    @property
+    def subscriptions(self) -> SubscriptionManager:
+        """The standing-query registry the protocol servers subscribe through."""
+        return self._subscriptions
 
     # -- collection management -----------------------------------------------------
 
@@ -286,6 +296,8 @@ class Database:
             self._closed = True
             entries = list(self._collections.values())
             self._collections.clear()
+        # stop the standing-query dispatchers before their engines go away
+        self._subscriptions.close()
         for entry in entries:
             entry.engine.close()
 
@@ -313,12 +325,24 @@ class Database:
 class Session(ExecutorSurface):
     """The ``execute(request) -> Response`` dispatch over one database.
 
-    Sessions are stateless and thread-compatible: the server hands one to
-    every client connection, all sharing the same :class:`Database`.
+    Sessions are thread-compatible: the server hands one to every client
+    connection, all sharing the same :class:`Database`.  The only
+    per-session state is :attr:`subscriptions` — the standing queries a
+    protocol server registered for its connection, so disconnect can tear
+    down exactly that connection's pushes.
     """
 
     def __init__(self, database: Database) -> None:
         self._database = database
+        #: Standing queries keyed by subscription id; maintained by the
+        #: protocol servers (in-process sessions cannot carry pushes).
+        self.subscriptions: dict[Any, ServerSubscription] = {}
+
+    def cancel_subscriptions(self) -> None:
+        """Tear down every standing query this session registered."""
+        subs = list(self.subscriptions.values())
+        self.subscriptions.clear()
+        self._database.subscriptions.cancel_all(subs)
 
     @property
     def database(self) -> Database:
@@ -370,6 +394,13 @@ class Session(ExecutorSurface):
     # -- dispatch ------------------------------------------------------------------
 
     def _dispatch(self, request: Request) -> Response:
+        if isinstance(request, (SubscribeRequest, UnsubscribeRequest)):
+            # the protocol servers intercept these on v2 connections before
+            # dispatch; reaching here means the transport cannot push
+            raise UnsupportedProtocolError(
+                "subscriptions need a protocol v2 server connection; "
+                "in-process sessions and v1 connections cannot carry push frames"
+            )
         if isinstance(request, AdminRequest):
             return self._dispatch_admin(request)
         entry = self._database._lookup(request.collection)

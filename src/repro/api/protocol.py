@@ -91,6 +91,11 @@ SUPPORTED_VERSIONS = (1, 2)
 #: Envelope ``kind`` of the version handshake (not a request type).
 HELLO_KIND = "hello"
 
+#: Envelope ``kind`` of an unsolicited server push (standing-query deltas).
+#: Push frames reuse the subscription's correlation id — the ``kind`` field
+#: is what tells them apart from ordinary replies, which never carry one.
+PUSH_KIND = "push"
+
 #: Longest propagated trace id the envelope accepts (matches
 #: :data:`repro.obs.tracing.MAX_TRACE_ID_LENGTH`).
 MAX_TRACE_ID_BYTES = 64
@@ -333,6 +338,20 @@ def request_envelope(request_id: Any, payload: dict, trace: Any = None) -> dict:
 def response_envelope(request_id: Any, payload: dict) -> dict:
     """Wrap a response payload in the v2 envelope echoing ``request_id``."""
     return {"id": request_id, "body": payload}
+
+
+def push_envelope(subscription_id: Any, payload: dict) -> dict:
+    """Wrap one standing-query push in the v2 envelope for ``subscription_id``.
+
+    The id is the *subscribe* request's correlation id: one subscription,
+    many correlated frames.  Clients route on ``kind == PUSH_KIND`` before
+    matching pending replies, so pushes interleave freely with responses.
+    """
+    if not valid_request_id(subscription_id):
+        raise FrameError(
+            f"subscription id must be an integer or string, got {subscription_id!r}"
+        )
+    return {"id": subscription_id, "kind": PUSH_KIND, "body": payload}
 
 
 def hello_payload(request_id: Any, version: int = PROTOCOL_VERSION) -> dict:

@@ -70,6 +70,15 @@ _WAL_OPS = ("insert", "delete", "upsert")
 #: Engines an admin ``create`` may ask for.
 COLLECTION_ENGINES = ("static", "live")
 
+#: Query kinds a standing subscription may watch.
+SUBSCRIPTION_MODES = ("range", "knn")
+
+#: Delta-body encodings a subscription may ask for (mirrors the wire formats).
+SUBSCRIPTION_FORMATS = ("json", "binary")
+
+#: Upper bound on a subscription's pending-delta queue (the overflow knob).
+MAX_SUBSCRIPTION_QUEUE = 4096
+
 
 def _require_int(value: Any, field: str) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
@@ -534,6 +543,96 @@ class AdminRequest(Request):
         return self.action in _COLLECTION_ADMIN_ACTIONS
 
 
+@dataclass(frozen=True)
+class SubscribeRequest(Request):
+    """Register a standing range/k-NN query over a live collection.
+
+    The server answers with the query's current result set (the snapshot)
+    and then pushes incremental deltas — ``push`` frames correlated by the
+    subscribe request's id — as mutations commit.  ``mode`` picks the query
+    kind: ``"range"`` watches everything within ``theta`` of the query
+    ranking, ``"knn"`` watches its ``k`` nearest neighbours.
+
+    ``format`` asks for binary (RBF) delta bodies when the server
+    advertised the binary wire in its hello; ``queue_size`` bounds the
+    per-subscription pending-delta queue — a consumer that falls further
+    behind is cancelled with a ``subscription_overflow`` error push rather
+    than growing server memory without bound.
+    """
+
+    TYPE: ClassVar[str] = "subscribe"
+
+    mode: str = "range"
+    items: tuple[int, ...] = ()
+    theta: float = 0.0
+    k: int = 0
+    algorithm: Optional[str] = None
+    format: Optional[str] = None
+    queue_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_str(self.mode, "mode")
+        if self.mode not in SUBSCRIPTION_MODES:
+            raise InvalidRequestError(
+                f"mode must be one of {', '.join(SUBSCRIPTION_MODES)}, got {self.mode!r}"
+            )
+        object.__setattr__(self, "items", coerce_items(self.items))
+        if self.mode == "range":
+            object.__setattr__(self, "theta", _validate_theta(self.theta))
+            if _require_int(self.k, "k") != 0:
+                raise InvalidRequestError("k only applies to mode 'knn'")
+        else:
+            if _require_number(self.theta, "theta") != 0.0:
+                raise InvalidRequestError("theta only applies to mode 'range'")
+            if _require_int(self.k, "k") <= 0:
+                raise InvalidRequestError(f"k must be positive, got {self.k}")
+        object.__setattr__(self, "algorithm", _validate_algorithm(self.algorithm))
+        if self.format is not None:
+            _require_str(self.format, "format")
+            if self.format not in SUBSCRIPTION_FORMATS:
+                raise InvalidRequestError(
+                    f"format must be one of {', '.join(SUBSCRIPTION_FORMATS)}, "
+                    f"got {self.format!r}"
+                )
+        if self.queue_size is not None:
+            if not 1 <= _require_int(self.queue_size, "queue_size") <= MAX_SUBSCRIPTION_QUEUE:
+                raise InvalidRequestError(
+                    f"queue_size must lie in [1, {MAX_SUBSCRIPTION_QUEUE}], "
+                    f"got {self.queue_size}"
+                )
+
+    @property
+    def query(self) -> Ranking:
+        """The watched query as a :class:`Ranking`."""
+        return Ranking(self.items)
+
+
+@dataclass(frozen=True)
+class UnsubscribeRequest(Request):
+    """Cancel the standing query registered under ``subscription``.
+
+    ``subscription`` is the correlation id of the original ``subscribe``
+    request on the same connection; subscriptions are per-connection, so
+    no other client can cancel them.
+    """
+
+    TYPE: ClassVar[str] = "unsubscribe"
+
+    subscription: Union[int, str] = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if isinstance(self.subscription, str):
+            if not self.subscription:
+                raise InvalidRequestError("subscription must not be empty")
+        elif isinstance(self.subscription, bool) or not isinstance(self.subscription, int):
+            raise InvalidRequestError(
+                f"subscription must be a correlation id (integer or string), "
+                f"got {self.subscription!r}"
+            )
+
+
 #: Wire ``type`` -> request class, the protocol dispatch table.
 REQUEST_TYPES: dict[str, type[Request]] = {
     cls.TYPE: cls
@@ -545,6 +644,8 @@ REQUEST_TYPES: dict[str, type[Request]] = {
         DeleteRequest,
         UpsertRequest,
         AdminRequest,
+        SubscribeRequest,
+        UnsubscribeRequest,
     )
 }
 

@@ -38,8 +38,10 @@ from repro.core.errors import (
     NotPrimaryError,
     ReproError,
     StaleRoutingError,
+    SubscriptionOverflowError,
     UnknownCollectionError,
     UnknownKeyError,
+    UnsupportedProtocolError,
 )
 
 #: Error codes the protocol layer emits, mapped to the exception raised by
@@ -51,6 +53,8 @@ ERROR_TYPES: dict[str, type[Exception]] = {
     "collection_closed": CollectionClosedError,
     "not_primary": NotPrimaryError,
     "stale_routing": StaleRoutingError,
+    "unsupported_protocol": UnsupportedProtocolError,
+    "subscription_overflow": SubscriptionOverflowError,
     "protocol": ConnectionError,
     "internal": RuntimeError,
 }
@@ -265,6 +269,10 @@ def error_response(error: BaseException) -> Response:
         code = "stale_routing"
         if error.routing is not None:
             details = {"routing": error.routing}
+    elif isinstance(error, UnsupportedProtocolError):
+        code = "unsupported_protocol"
+    elif isinstance(error, SubscriptionOverflowError):
+        code = "subscription_overflow"
     elif isinstance(error, (ReproError, ValueError, KeyError)):
         # remaining library/user-input failures (bad threshold, duplicate
         # items, size mismatch, ...) are the client's to fix

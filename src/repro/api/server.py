@@ -43,15 +43,20 @@ from repro.api.protocol import (
     InboundFrame,
     classify_frame,
     encode_binary_frame,
+    encode_frame,
     hello_data,
+    push_envelope,
     read_frame_any,
     response_envelope,
     write_frame,
 )
-from repro.api.responses import Response, ResponseError
+from repro.api.requests import SubscribeRequest, UnsubscribeRequest, parse_request
+from repro.api.responses import Response, ResponseError, error_response
 from repro.codec import CodecError
 from repro.codec.wire import decode_request as decode_binary_request
+from repro.codec.wire import encode_push as encode_binary_push
 from repro.codec.wire import encode_response as encode_binary_response
+from repro.core.errors import InvalidRequestError, UnsupportedProtocolError
 from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Trace, use_trace
@@ -90,6 +95,45 @@ def oversized_reply_response(error: FrameError) -> Response:
             ),
         ),
     )
+
+
+#: v2 envelope kinds the servers intercept before session dispatch: they
+#: change connection state (register/cancel pushes), which a bare
+#: ``execute`` cannot express.
+SUBSCRIPTION_KINDS = frozenset({"subscribe", "unsubscribe"})
+
+
+def pre_hello_subscribe_response() -> Response:
+    """The typed refusal for ``subscribe`` before the v2 ``hello`` handshake."""
+    return error_response(
+        UnsupportedProtocolError(
+            "subscribe requires a protocol v2 connection opened with a hello"
+            " handshake; send hello first"
+        )
+    )
+
+
+def subscription_target_error(kind: str, collection: str) -> InvalidRequestError:
+    """The refusal for subscribing to a collection that cannot change."""
+    return InvalidRequestError(
+        f"collection {collection!r} is {kind} (read-only); standing queries"
+        " need a live collection"
+    )
+
+
+def unsubscribe_session(session: Session, request: UnsubscribeRequest) -> Response:
+    """Cancel one of this connection's standing queries (both transports).
+
+    Subscriptions are per-connection, so an id this session never
+    registered (or already cancelled) is an invalid request, not a no-op.
+    """
+    sub = session.subscriptions.pop(request.subscription, None)
+    if sub is None:
+        raise InvalidRequestError(
+            f"no subscription {request.subscription!r} on this connection"
+        )
+    session.database.subscriptions.unsubscribe(sub)
+    return Response(ok=True, data={"unsubscribed": request.subscription})
 
 
 def is_shutdown_payload(payload: Optional[dict]) -> bool:
@@ -202,11 +246,22 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         session = self.server.database.session()
-        limit = self.server.max_frame_bytes
+        # pushes are written by per-subscription sender threads while this
+        # thread writes replies: the lock keeps frames whole on the stream
+        self._send_lock = threading.Lock()
+        self._greeted = False
         metrics = self.server.metrics
         metrics.connections.inc()
         self._counted_rfile = _CountingStream(self.rfile, metrics.bytes_in)
         self._counted_wfile = _CountingStream(self.wfile, metrics.bytes_out)
+        try:
+            self._serve(session)
+        finally:
+            session.cancel_subscriptions()
+
+    def _serve(self, session: Session) -> None:
+        limit = self.server.max_frame_bytes
+        metrics = self.server.metrics
         while not self.server.stopping:
             try:
                 framed = read_frame_any(self._counted_rfile, limit)
@@ -237,6 +292,11 @@ class _Handler(socketserver.StreamRequestHandler):
             if frame.is_hello:
                 if not self._try_reply(hello_reply_payload(frame, limit)):
                     return
+                self._greeted = True
+                continue
+            if frame.version == 2 and frame.kind in SUBSCRIPTION_KINDS:
+                if not self._handle_subscription(session, frame):
+                    return
                 continue
             assert frame.payload is not None
             response = execute_frame(session, frame)
@@ -244,7 +304,8 @@ class _Handler(socketserver.StreamRequestHandler):
             if frame.version == 2:
                 reply = response_envelope(frame.request_id, reply)
             try:
-                write_frame(self._counted_wfile, reply, limit)
+                with self._send_lock:
+                    write_frame(self._counted_wfile, reply, limit)
                 metrics.frames_out.inc()
             except FrameError as error:
                 metrics.oversized.inc()
@@ -299,14 +360,16 @@ class _Handler(socketserver.StreamRequestHandler):
         encoded = encode_binary_response(request_id, reply)
         if encoded is not None and len(encoded) <= limit:
             try:
-                self._counted_wfile.write(encode_binary_frame(encoded, limit))
-                self._counted_wfile.flush()
+                with self._send_lock:
+                    self._counted_wfile.write(encode_binary_frame(encoded, limit))
+                    self._counted_wfile.flush()
                 metrics.frames_out.inc()
                 return True
             except OSError:
                 return False
         try:
-            write_frame(self._counted_wfile, response_envelope(request_id, reply), limit)
+            with self._send_lock:
+                write_frame(self._counted_wfile, response_envelope(request_id, reply), limit)
             metrics.frames_out.inc()
             return True
         except FrameError as error:
@@ -318,11 +381,70 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def _try_reply(self, payload: dict) -> bool:
         try:
-            write_frame(self._counted_wfile, payload, self.server.max_frame_bytes)
+            with self._send_lock:
+                write_frame(self._counted_wfile, payload, self.server.max_frame_bytes)
             self.server.metrics.frames_out.inc()
             return True
         except (FrameError, OSError):
             return False
+
+    # -- standing queries ----------------------------------------------------------
+
+    def _handle_subscription(self, session: Session, frame: InboundFrame) -> bool:
+        """Serve one ``subscribe``/``unsubscribe`` envelope; False closes.
+
+        Registration happens here rather than in the session dispatch
+        because a subscription is connection state: its pushes ride this
+        socket and die with it.
+        """
+        if not self._greeted:
+            reply = pre_hello_subscribe_response().to_dict()
+            return self._try_reply(response_envelope(frame.request_id, reply))
+        assert frame.payload is not None
+        try:
+            request = parse_request(frame.payload)
+            if isinstance(request, UnsubscribeRequest):
+                response = unsubscribe_session(session, request)
+            else:
+                assert isinstance(request, SubscribeRequest)
+                response = self._register_subscription(session, request, frame.request_id)
+        except Exception as error:
+            response = error_response(error)
+        return self._try_reply(response_envelope(frame.request_id, response.to_dict()))
+
+    def _register_subscription(
+        self, session: Session, request: SubscribeRequest, subscription_id
+    ) -> Response:
+        if subscription_id in session.subscriptions:
+            raise InvalidRequestError(
+                f"subscription id {subscription_id!r} is already registered"
+                " on this connection"
+            )
+        entry = self.server.database._lookup(request.collection)
+        if entry.kind != "live":
+            raise subscription_target_error(entry.kind, request.collection)
+        binary = request.format == "binary"
+        limit = self.server.max_frame_bytes
+        metrics = self.server.metrics
+
+        def deliver(sub_id, body: dict) -> None:
+            data = None
+            if binary:
+                encoded = encode_binary_push(sub_id, body)
+                if encoded is not None and len(encoded) <= limit:
+                    data = encode_binary_frame(encoded, limit)
+            if data is None:
+                data = encode_frame(push_envelope(sub_id, body), limit)
+            with self._send_lock:
+                self._counted_wfile.write(data)
+                self._counted_wfile.flush()
+            metrics.frames_out.inc()
+
+        response, sub = self.server.database.subscriptions.subscribe(
+            entry.engine, request, subscription_id, deliver, "threaded"
+        )
+        session.subscriptions[sub.id] = sub
+        return response
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):

@@ -28,6 +28,8 @@ from repro.api.requests import (
     KnnRequest,
     RangeQueryRequest,
     RequestLike,
+    SubscribeRequest,
+    UnsubscribeRequest,
     UpsertRequest,
 )
 from repro.api.responses import Response
@@ -90,6 +92,44 @@ class ExecutorSurface:
                 collection=collection, queries=tuple(queries), theta=theta, algorithm=algorithm
             )
         )
+
+    # -- standing queries (live collections, v2 server connections only) -----------
+
+    def subscribe_request(
+        self,
+        items: Items,
+        *,
+        collection: str = DEFAULT_COLLECTION,
+        mode: str = "range",
+        theta: float = 0.0,
+        k: int = 0,
+        algorithm: Optional[str] = None,
+        format: Optional[str] = None,
+        queue_size: Optional[int] = None,
+    ) -> SubscribeRequest:
+        """The typed ``subscribe`` request these arguments describe.
+
+        The network clients' ``subscribe()`` builds on this; executing it
+        against an in-process session returns the typed
+        ``unsupported_protocol`` envelope, because only a v2 server
+        connection can carry the push frames the subscription needs.
+        """
+        return SubscribeRequest(
+            collection=collection,
+            mode=mode,
+            items=items,
+            theta=theta,
+            k=k,
+            algorithm=algorithm,
+            format=format,
+            queue_size=queue_size,
+        )
+
+    def unsubscribe_request(
+        self, subscription: Union[int, str], *, collection: str = DEFAULT_COLLECTION
+    ) -> UnsubscribeRequest:
+        """The typed ``unsubscribe`` request for one subscription id."""
+        return UnsubscribeRequest(collection=collection, subscription=subscription)
 
     # -- mutations (live collections only) -----------------------------------------
 

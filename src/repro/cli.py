@@ -47,7 +47,10 @@ Subcommands
     asks the server to trace a query and prints the span tree it returns;
     ``--admin metrics --format prometheus`` prints scrape-ready text
     exposition; ``--admin slow_queries`` prints the N slowest requests
-    with their span trees.
+    with their span trees.  ``--query`` + ``--subscribe`` registers a
+    standing query instead: the snapshot prints immediately, result deltas
+    stream as the collection changes, and the client unsubscribes cleanly
+    after ``--deltas N`` of them (protocol v2 servers only).
 ``figure`` / ``table``
     Regenerate one of the paper's figures or tables and print the report.
 """
@@ -409,6 +412,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--wire-format", choices=("json", "binary"), default=None,
         help="ask for RBF binary frame bodies on hot request shapes"
         " (negotiated at hello; falls back to json when the server lacks it)",
+    )
+    client.add_argument(
+        "--subscribe", action="store_true",
+        help="register --query as a standing query: print the snapshot, then"
+        " stream result deltas as the collection changes (protocol v2 only)",
+    )
+    client.add_argument(
+        "--deltas", type=int, default=1,
+        help="with --subscribe: unsubscribe after this many deltas (0 streams"
+        " until the server ends the subscription)",
     )
     client.add_argument("--theta", type=float, default=0.2, help="range-query threshold")
     client.add_argument(
@@ -1211,6 +1224,8 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
     trace = True if args.trace else None
     if args.query is not None:
         items = _parse_query_items(args.query)
+        if args.subscribe:
+            return _run_subscribe(client, args, items)
         if args.knn > 0:
             request = KnnRequest(
                 collection=args.collection, items=tuple(items), k=args.knn,
@@ -1292,6 +1307,54 @@ def _run_client_op(client: Client, args: argparse.Namespace) -> tuple[int, list[
     return 0, [json.dumps(response.data, indent=2, sort_keys=True)]
 
 
+def _run_subscribe(client: Client, args: argparse.Namespace, items: list[int]) -> tuple[int, list[str]]:
+    """Stream a standing query: snapshot, then deltas, then a clean unsubscribe.
+
+    Unlike the one-shot operations this prints as events arrive (flushed, so
+    a piped consumer sees each delta when it happens), because the whole
+    point is watching the result set move.
+    """
+    mode = "knn" if args.knn > 0 else "range"
+    subscription = client.subscribe(
+        items,
+        collection=args.collection,
+        mode=mode,
+        theta=0.0 if args.knn > 0 else args.theta,
+        k=args.knn,
+        algorithm=args.algorithm,
+    )
+    print(
+        f"subscribed id={subscription.id} mode={mode}"
+        f" snapshot={len(subscription.matches)} match(es)",
+        flush=True,
+    )
+    for match in list(subscription.matches)[: args.limit]:
+        print(
+            f"  rid={match.rid}  distance={match.distance:.4f}  items={list(match.items)}",
+            flush=True,
+        )
+    seen = 0
+    while args.deltas <= 0 or seen < args.deltas:
+        delta = subscription.get()
+        if delta is None:
+            break  # server ended the stream first
+        seen += 1
+        print(
+            f"delta version={delta.version} entered={len(delta.entered)}"
+            f" moved={len(delta.moved)} left={len(delta.left)}",
+            flush=True,
+        )
+        for match in delta.entered:
+            print(f"  +rid={match.rid}  distance={match.distance:.4f}", flush=True)
+        for match in delta.moved:
+            print(f"  ~rid={match.rid}  distance={match.distance:.4f}", flush=True)
+        for rid in delta.left:
+            print(f"  -rid={rid}", flush=True)
+    subscription.unsubscribe()
+    print("unsubscribed", flush=True)
+    return 0, []
+
+
 def _slow_query_lines(data: dict) -> list[str]:
     """Human-readable slow-query report: one header per entry + span trees."""
     entries = data.get("slow_queries", [])
@@ -1325,6 +1388,9 @@ def _command_client(args: argparse.Namespace) -> int:
                 return 2
     if args.upsert is not None and args.items is None:
         print("error: --upsert needs --items", file=sys.stderr)
+        return 2
+    if args.subscribe and args.query is None:
+        print("error: --subscribe needs --query", file=sys.stderr)
         return 2
     if args.format is not None and args.admin != "metrics":
         print("error: --format only applies to '--admin metrics'", file=sys.stderr)

@@ -35,7 +35,7 @@ from repro.codec.columns import (
     encode_i64,
     encode_matrix,
 )
-from repro.codec.rbf import CorruptRecordError, pack_record, unpack_record
+from repro.codec.rbf import MAGIC, CorruptRecordError, pack_record, unpack_record
 from repro.codec.records import decode_wal_batch, encode_wal_batch
 
 __all__ = [
@@ -44,12 +44,16 @@ __all__ = [
     "WIRE_BATCH_REPLY",
     "WIRE_KNN",
     "WIRE_MATCHES",
+    "WIRE_PUSH",
     "WIRE_RANGE",
     "WIRE_REPLICATE",
+    "decode_push",
     "decode_request",
     "decode_response",
+    "encode_push",
     "encode_request",
     "encode_response",
+    "is_push_frame",
 ]
 
 #: Wire record kinds (disjoint from the storage kinds in ``records``).
@@ -59,6 +63,7 @@ WIRE_BATCH = 18
 WIRE_REPLICATE = 19
 WIRE_MATCHES = 20
 WIRE_BATCH_REPLY = 21
+WIRE_PUSH = 22
 
 #: The correlation id leading every binary envelope body.
 ENVELOPE_ID = struct.Struct("<q")
@@ -70,6 +75,7 @@ _THETA = struct.Struct("<d")
 _K = struct.Struct("<q")
 _CURSOR = struct.Struct("<q")  # -1 = None (answer exhausted)
 _COUNT32 = struct.Struct("<I")
+_VERSION = struct.Struct("<q")  # collection mutation epoch of a push delta
 
 _RANGE_FIELDS = frozenset({"type", "collection", "items", "theta", "algorithm", "limit", "cursor"})
 _KNN_FIELDS = frozenset({"type", "collection", "items", "k", "algorithm"})
@@ -78,6 +84,8 @@ _REPLICATE_FIELDS = frozenset({"type", "collection", "action", "records"})
 _MATCHES_FIELDS = frozenset({"ok", "matches", "stats", "cursor"})
 _BATCH_REPLY_FIELDS = frozenset({"ok", "batch", "stats"})
 _MATCH_KEYS = frozenset({"rid", "distance", "items"})
+_PUSH_FIELDS = frozenset({"event", "version", "entered", "moved", "left"})
+_PUSH_EVENT = "delta"  # the only push body with a binary form
 
 #: Encoder-side shape mismatches that mean "fall back to JSON", not "fail".
 _ENCODE_ERRORS = (KeyError, TypeError, ValueError, struct.error)
@@ -253,7 +261,8 @@ def _decode_request(body: bytes) -> tuple[int, dict]:
 # -- responses ----------------------------------------------------------------------
 
 
-def _encode_matches(matches: Sequence[dict], cursor: Optional[int]) -> bytes:
+def _encode_match_group(matches: Sequence[dict]) -> bytes:
+    """Columnar rids + distances + item rows for one list of match dicts."""
     rids = []
     distances = []
     rows = []
@@ -267,28 +276,30 @@ def _encode_matches(matches: Sequence[dict], cursor: Optional[int]) -> bytes:
         rows.append(match["items"])
         if not all(_is_int(item) for item in match["items"]):
             raise ValueError("match items must be integers")
-    return (
-        _CURSOR.pack(-1 if cursor is None else cursor)
-        + encode_i64(rids)
-        + encode_f64(distances)
-        + encode_matrix(rows)
-    )
+    return encode_i64(rids) + encode_f64(distances) + encode_matrix(rows)
 
 
-def _decode_matches(envelope: bytes, offset: int) -> tuple[dict, int]:
-    (cursor,) = _CURSOR.unpack_from(envelope, offset)
-    rids, offset = decode_i64(envelope, offset + _CURSOR.size)
+def _decode_match_group(envelope: bytes, offset: int) -> tuple[list[dict], int]:
+    rids, offset = decode_i64(envelope, offset)
     distances, offset = decode_f64(envelope, offset)
     rows, offset = decode_matrix(envelope, offset)
     if not len(rids) == len(distances) == len(rows):
         raise CorruptRecordError("match columns disagree on length", offset=offset)
-    payload: dict = {
-        "ok": True,
-        "matches": [
-            {"rid": rid, "distance": distance, "items": items}
-            for rid, distance, items in zip(rids, distances, rows)
-        ],
-    }
+    matches = [
+        {"rid": rid, "distance": distance, "items": items}
+        for rid, distance, items in zip(rids, distances, rows)
+    ]
+    return matches, offset
+
+
+def _encode_matches(matches: Sequence[dict], cursor: Optional[int]) -> bytes:
+    return _CURSOR.pack(-1 if cursor is None else cursor) + _encode_match_group(matches)
+
+
+def _decode_matches(envelope: bytes, offset: int) -> tuple[dict, int]:
+    (cursor,) = _CURSOR.unpack_from(envelope, offset)
+    matches, offset = _decode_match_group(envelope, offset + _CURSOR.size)
+    payload: dict = {"ok": True, "matches": matches}
     if cursor != -1:
         payload["cursor"] = cursor
     return payload, offset
@@ -323,6 +334,89 @@ def encode_response(request_id: object, payload: dict) -> Optional[bytes]:
     except _ENCODE_ERRORS:
         return None
     return pack_record(wire_kind, ENVELOPE_ID.pack(request_id) + body)
+
+
+# -- pushes (standing-query deltas) -------------------------------------------------
+
+
+def is_push_frame(body: bytes) -> bool:
+    """Whether a binary frame body carries a push (cheap kind peek).
+
+    Readers use this to route an incoming binary frame before paying for
+    the full CRC-checked decode; a damaged record answers ``False`` here
+    and then fails loudly in whichever decoder the caller picks.
+    """
+    # RECORD_HEADER is ``<4sBBHII``: magic, version, then the kind byte.
+    return len(body) > len(MAGIC) + 1 and body[: len(MAGIC)] == MAGIC and body[5] == WIRE_PUSH
+
+
+def encode_push(subscription_id: object, payload: dict) -> Optional[bytes]:
+    """Encode one push body as a binary frame body, or ``None``.
+
+    Only ``delta`` events over integer subscription ids have a binary
+    form; terminal ``error`` pushes (and string-correlated subscriptions)
+    travel as JSON envelopes on the same connection.
+    """
+    if not _is_int(subscription_id):
+        return None
+    if payload.get("event") != _PUSH_EVENT or set(payload) != _PUSH_FIELDS:
+        return None
+    version = payload.get("version")
+    if not _is_int(version):
+        return None
+    try:
+        left = payload["left"]
+        if not all(_is_int(rid) for rid in left):
+            return None
+        body = (
+            _VERSION.pack(version)
+            + _encode_match_group(payload["entered"])
+            + _encode_match_group(payload["moved"])
+            + encode_i64(left)
+        )
+    except _ENCODE_ERRORS:
+        return None
+    return pack_record(WIRE_PUSH, ENVELOPE_ID.pack(subscription_id) + body)
+
+
+def decode_push(body: bytes) -> tuple[int, dict]:
+    """Decode a binary push frame body into ``(subscription_id, payload)``.
+
+    The payload dict has exactly the JSON push body's shape —
+    ``{"event": "delta", "version", "entered", "moved", "left"}`` — so
+    both framings feed one delta-replay path on the client.
+    """
+    try:
+        return _decode_push(body)
+    except struct.error as error:
+        raise CorruptRecordError(f"truncated binary envelope: {error}") from error
+
+
+def _decode_push(body: bytes) -> tuple[int, dict]:
+    kind, envelope, end = unpack_record(body)
+    if end != len(body):
+        raise CorruptRecordError(f"{len(body) - end} trailing bytes in frame body")
+    if kind != WIRE_PUSH:
+        raise CorruptRecordError(f"unknown binary push kind {kind}")
+    if len(envelope) < ENVELOPE_ID.size + _VERSION.size:
+        raise CorruptRecordError("binary push envelope shorter than its header")
+    (subscription_id,) = ENVELOPE_ID.unpack_from(envelope)
+    offset = ENVELOPE_ID.size
+    (version,) = _VERSION.unpack_from(envelope, offset)
+    offset += _VERSION.size
+    entered, offset = _decode_match_group(envelope, offset)
+    moved, offset = _decode_match_group(envelope, offset)
+    left, offset = decode_i64(envelope, offset)
+    if offset != len(envelope):
+        raise CorruptRecordError(f"{len(envelope) - offset} trailing envelope bytes")
+    payload = {
+        "event": _PUSH_EVENT,
+        "version": version,
+        "entered": entered,
+        "moved": moved,
+        "left": left,
+    }
+    return subscription_id, payload
 
 
 def decode_response(body: bytes) -> tuple[int, dict]:

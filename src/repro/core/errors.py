@@ -99,6 +99,26 @@ class NotPrimaryError(ReproError):
         self.routing = routing
 
 
+class UnsupportedProtocolError(ReproError):
+    """A request needs a protocol capability the connection does not have.
+
+    Raised when a standing-query ``subscribe`` arrives on a protocol v1
+    connection, before the v2 hello, or through an in-process session:
+    push frames only exist on enveloped v2 connections, and a v1 client
+    that received one would misparse it as a reply.  The protocol layer
+    maps it to an ``unsupported_protocol`` envelope on a healthy
+    connection — the client can keep using request/response verbs.
+    """
+
+
+class SubscriptionOverflowError(ReproError):
+    """A standing query fell too far behind and was cancelled.
+
+    Raised (as the terminal push of the subscription) when a slow consumer
+    filled its bounded delta queue; re-subscribing starts a fresh snapshot.
+    """
+
+
 class StaleRoutingError(ReproError):
     """A routed request hit a node that no longer owns the addressed key.
 

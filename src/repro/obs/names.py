@@ -50,6 +50,12 @@ SERVER_FRAMES_TOTAL = "repro_server_frames_total"
 SERVER_BYTES_TOTAL = "repro_server_bytes_total"
 SERVER_OVERSIZED_TOTAL = "repro_server_oversized_total"
 
+# -- standing queries (sub.manager) --------------------------------------------
+SUB_ACTIVE = "repro_sub_active"
+SUB_PUSHES_TOTAL = "repro_sub_pushes_total"
+SUB_COALESCED_TOTAL = "repro_sub_coalesced_total"
+SUB_OVERFLOWS_TOTAL = "repro_sub_overflows_total"
+
 # -- cluster (cluster.coordinator, api.database routing gauge) -----------------
 CLUSTER_ROUTING_VERSION = "repro_cluster_routing_version"
 CLUSTER_FAILOVERS_TOTAL = "repro_cluster_failovers_total"
@@ -86,6 +92,10 @@ __all__ = [
     "SERVER_FRAMES_TOTAL",
     "SERVER_OVERSIZED_TOTAL",
     "SHARD_FANOUT_SECONDS",
+    "SUB_ACTIVE",
+    "SUB_COALESCED_TOTAL",
+    "SUB_OVERFLOWS_TOTAL",
+    "SUB_PUSHES_TOTAL",
     "WAL_APPENDS_TOTAL",
     "WAL_COMMITS_TOTAL",
     "WAL_COMMIT_BATCH_RECORDS",

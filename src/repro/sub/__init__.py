@@ -1,0 +1,43 @@
+"""Standing queries: live subscriptions with incremental result deltas.
+
+A standing query is a range or k-NN query registered once against a live
+collection (:class:`~repro.api.requests.SubscribeRequest`); the
+:class:`~repro.sub.manager.SubscriptionManager` answers it with the
+current result set (the *snapshot*) and then pushes a
+:class:`~repro.sub.delta.PushDelta` — which rankings entered, moved, or
+left — every time a committed mutation changes the answer.  Applying the
+deltas to the snapshot (:func:`~repro.sub.delta.apply_delta`) reproduces
+exactly what re-running the query would return.
+
+The manager hooks the live store's commit path, coalesces bursts of
+commits into single recomputes, and bounds each subscription's pending
+queue — a consumer that falls behind is cancelled with a typed
+``subscription_overflow`` error instead of growing server memory.  The
+transports in :mod:`repro.api` deliver the deltas as v2 ``push`` frames.
+"""
+
+from repro.sub.delta import (
+    EVENT_DELTA,
+    EVENT_ERROR,
+    PushDelta,
+    apply_delta,
+    delta_body,
+    diff_matches,
+)
+from repro.sub.manager import (
+    DEFAULT_QUEUE_SIZE,
+    ServerSubscription,
+    SubscriptionManager,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_SIZE",
+    "EVENT_DELTA",
+    "EVENT_ERROR",
+    "PushDelta",
+    "ServerSubscription",
+    "SubscriptionManager",
+    "apply_delta",
+    "delta_body",
+    "diff_matches",
+]

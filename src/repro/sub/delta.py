@@ -1,0 +1,132 @@
+"""The delta algebra of standing queries.
+
+A :class:`PushDelta` describes how one committed batch of mutations moved
+a subscription's result set:
+
+* ``entered`` — matches that joined the result (with distance and items),
+  in answer order;
+* ``moved`` — matches already present whose distance or items changed
+  (an upsert of a matching key), in answer order;
+* ``left`` — rids that dropped out, ascending.
+
+The contract that makes deltas trustworthy: for any sequence of commits,
+
+    ``apply_delta(snapshot, d1), d2, ...``  ==  re-running the query
+
+entry for entry — same rids, same distances, same items, same order.
+:func:`diff_matches` produces deltas that honour it and
+:func:`apply_delta` replays them; both sides sort by ``(distance, rid)``,
+the order every query answer in this codebase uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.api.responses import MatchPayload
+from repro.core.errors import InvalidRequestError
+
+__all__ = [
+    "EVENT_DELTA",
+    "EVENT_ERROR",
+    "PushDelta",
+    "apply_delta",
+    "delta_body",
+    "diff_matches",
+]
+
+#: ``event`` value of a push body carrying a result-set delta.
+EVENT_DELTA = "delta"
+
+#: ``event`` value of a terminal push body carrying a typed error
+#: (``subscription_overflow``, ``collection_closed``, ...); the
+#: subscription is cancelled after it.
+EVENT_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class PushDelta:
+    """One incremental change to a standing query's result set.
+
+    ``version`` is the live collection's mutation epoch the new result was
+    computed against — informational (monotonic per subscription), not part
+    of the replay algebra.
+    """
+
+    version: int
+    entered: tuple[MatchPayload, ...] = ()
+    moved: tuple[MatchPayload, ...] = ()
+    left: tuple[int, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """Whether the delta changes nothing (never sent on the wire)."""
+        return not (self.entered or self.moved or self.left)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "entered": [match.to_dict() for match in self.entered],
+            "moved": [match.to_dict() for match in self.moved],
+            "left": list(self.left),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PushDelta":
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(f"delta payload must be an object, got {payload!r}")
+        try:
+            return cls(
+                version=int(payload["version"]),
+                entered=tuple(MatchPayload.from_dict(m) for m in payload["entered"]),
+                moved=tuple(MatchPayload.from_dict(m) for m in payload["moved"]),
+                left=tuple(int(rid) for rid in payload["left"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise InvalidRequestError(f"malformed delta payload: {error}") from None
+
+
+def delta_body(delta: PushDelta) -> dict:
+    """The push-frame body of one delta (``event`` + the delta fields)."""
+    return {"event": EVENT_DELTA, **delta.to_dict()}
+
+
+def diff_matches(
+    before: Mapping[int, MatchPayload],
+    after: Sequence[MatchPayload],
+    version: int,
+) -> PushDelta:
+    """The delta that turns result set ``before`` (by rid) into ``after``."""
+    after_rids = {match.rid for match in after}
+    entered = []
+    moved = []
+    for match in after:
+        previous = before.get(match.rid)
+        if previous is None:
+            entered.append(match)
+        elif previous.distance != match.distance or previous.items != match.items:
+            moved.append(match)
+    left = sorted(rid for rid in before if rid not in after_rids)
+    return PushDelta(
+        version=version, entered=tuple(entered), moved=tuple(moved), left=tuple(left)
+    )
+
+
+def apply_delta(
+    matches: Sequence[MatchPayload], delta: PushDelta
+) -> tuple[MatchPayload, ...]:
+    """Replay one delta over a result set; returns the new answer-ordered set."""
+    merged = {match.rid: match for match in matches}
+    for rid in delta.left:
+        merged.pop(rid, None)
+    for match in delta.entered:
+        merged[match.rid] = match
+    for match in delta.moved:
+        if match.rid not in merged:
+            raise InvalidRequestError(
+                f"delta moves rid {match.rid} which is not in the result set"
+            )
+        merged[match.rid] = match
+    ordered = sorted(merged.values(), key=lambda match: (match.distance, match.rid))
+    return tuple(ordered)

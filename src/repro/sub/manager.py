@@ -1,0 +1,491 @@
+"""The server side of standing queries: watch, recompute, diff, deliver.
+
+One :class:`SubscriptionManager` lives on each
+:class:`~repro.api.database.Database`.  Per watched live collection it
+installs a commit hook (chaining any hook already present) and runs one
+*dispatcher* thread; the hook only bumps a counter and notifies, so the
+mutator never computes queries while holding the collection lock.  The
+dispatcher drains the counter — a burst of ``n`` commits becomes **one**
+recompute (``repro_sub_coalesced_total`` counts the ``n - 1`` merged
+wake-ups) — re-runs every subscription's query through the collection's
+serving engine (exact by construction, so deltas inherit the paper
+algorithms' correctness), and diffs against the subscription's previous
+result.  Priming (the initial snapshot) runs on the same thread, which
+totally orders every result a subscription ever sees.
+
+Each subscription owns a bounded pending-delta queue and a *sender*
+thread that hands bodies to the transport's ``deliver`` callable (which
+writes the ``push`` frame; blocking there is the backpressure).  When the
+queue is full the subscription is cancelled with one terminal
+``subscription_overflow`` error push instead of buffering without bound.
+
+Locking: the manager lock may nest a watch condition (retirement checks
+membership), never the reverse; subscription conditions are leaves held
+by no caller of manager or watch methods.  The commit hook takes the
+watch condition while the mutator holds the collection lock; the
+dispatcher only queries *after* releasing the watch condition, so that
+edge never closes a cycle.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, Optional
+
+from repro.api.requests import SubscribeRequest
+from repro.api.responses import MatchPayload, Response, error_response
+from repro.core.errors import CollectionClosedError, SubscriptionOverflowError
+from repro.core.ranking import Ranking
+from repro.devtools.locktrace import make_lock
+from repro.obs import names as metric_names
+from repro.obs.metrics import get_registry
+from repro.sub.delta import delta_body, diff_matches, EVENT_ERROR
+
+__all__ = [
+    "DEFAULT_QUEUE_SIZE",
+    "DeliverFn",
+    "ServerSubscription",
+    "SubscriptionManager",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Pending-delta queue bound when the subscribe request names none.
+DEFAULT_QUEUE_SIZE = 64
+
+#: How long a subscribe waits for the dispatcher to compute its snapshot.
+_PRIME_TIMEOUT_SECONDS = 30.0
+
+#: Transport callback delivering one push body for one subscription id.
+#: Raises on connection failure; blocking here is the backpressure.
+DeliverFn = Callable[[Any, dict], None]
+
+
+def _compute_matches(engine, request: SubscribeRequest) -> list[MatchPayload]:
+    """Run the subscription's query; the same shape a fresh request returns."""
+    query = Ranking(request.items)
+    if request.mode == "range":
+        answered = engine.query(query, request.theta, algorithm=request.algorithm)
+        return [
+            MatchPayload(rid=match.rid, distance=match.distance, items=match.ranking.items)
+            for match in answered.result.matches
+        ]
+    answered = engine.knn(query, request.k, algorithm=request.algorithm)
+    return [
+        MatchPayload(
+            rid=neighbour.rid, distance=neighbour.distance, items=neighbour.ranking.items
+        )
+        for neighbour in answered.result.neighbours
+    ]
+
+
+def _error_body(error: BaseException) -> dict:
+    """The terminal push body carrying a typed error envelope."""
+    envelope = error_response(error)
+    assert envelope.error is not None
+    return {"event": EVENT_ERROR, "error": envelope.error.to_dict()}
+
+
+class ServerSubscription:
+    """One registered standing query: its state, queue, and sender thread.
+
+    State machine (under ``_cond``): ``active`` — live, deltas flow;
+    ``ending`` — a terminal error push is queued, the sender drains the
+    queue and exits; ``closed`` — cancelled, nothing more is sent.
+    """
+
+    def __init__(
+        self,
+        manager: "SubscriptionManager",
+        subscription_id: Any,
+        request: SubscribeRequest,
+        deliver: DeliverFn,
+        transport: str,
+        queue_size: int,
+        pushes_counter,
+    ) -> None:
+        self.id = subscription_id
+        self.request = request
+        self.transport = transport
+        self.queue_size = queue_size
+        self._manager = manager
+        self._watch: Optional["_Watch"] = None  # set by subscribe before attach
+        self._deliver = deliver
+        self._m_pushes = pushes_counter
+        self._cond = threading.Condition(make_lock("ServerSubscription._cond"))
+        self._queue: deque[dict] = deque()  # guarded-by: _cond
+        self._state = "active"  # guarded-by: _cond
+        self._last: Optional[dict[int, MatchPayload]] = None  # guarded-by: _cond
+        self._snapshot: Optional[tuple[MatchPayload, ...]] = None  # guarded-by: _cond
+        self._snapshot_version = 0  # guarded-by: _cond
+        self._prime_error: Optional[BaseException] = None  # guarded-by: _cond
+        self._released = False  # manager bookkeeping; guarded by the manager lock
+        self._sender = threading.Thread(
+            target=self._run_sender, name=f"repro-sub-send-{subscription_id}", daemon=True
+        )
+
+    # -- dispatcher side -----------------------------------------------------------
+
+    def offer(self, matches: list[MatchPayload], version: int) -> bool:
+        """Absorb one recomputed result; returns ``True`` on overflow cancel.
+
+        The first offer primes the subscription (it becomes the snapshot
+        the subscribe reply carries); later offers enqueue the diff against
+        the previous result, or the terminal overflow push when the
+        consumer is too far behind.  Dispatcher thread only.
+        """
+        with self._cond:
+            if self._state != "active":
+                return False
+            if self._last is None:
+                self._last = {match.rid: match for match in matches}
+                self._snapshot = tuple(matches)
+                self._snapshot_version = version
+                self._cond.notify_all()
+                return False
+            delta = diff_matches(self._last, matches, version)
+            if delta.empty:
+                return False
+            self._last = {match.rid: match for match in matches}
+            if len(self._queue) >= self.queue_size:
+                overflow = SubscriptionOverflowError(
+                    f"subscription {self.id!r} fell {len(self._queue) + 1} deltas behind "
+                    f"its queue bound of {self.queue_size}; cancelled"
+                )
+                self._state = "ending"
+                self._queue.clear()
+                self._queue.append(_error_body(overflow))
+                self._cond.notify_all()
+                return True
+            self._queue.append(delta_body(delta))
+            self._cond.notify_all()
+            return False
+
+    def fail(self, error: BaseException) -> None:
+        """Terminate with a typed error: the watched collection went away.
+
+        Before priming the error surfaces on the subscribe call itself;
+        after, it becomes the terminal error push.  Dispatcher thread only.
+        """
+        with self._cond:
+            if self._state != "active":
+                return
+            if self._last is None:
+                self._prime_error = error
+                self._state = "closed"
+            else:
+                self._state = "ending"
+                self._queue.append(_error_body(error))
+            self._cond.notify_all()
+
+    # -- subscribe/teardown side ---------------------------------------------------
+
+    def wait_primed(self) -> tuple[tuple[MatchPayload, ...], int]:
+        """Block until the dispatcher computed the snapshot; raise its error."""
+        deadline = time.monotonic() + _PRIME_TIMEOUT_SECONDS
+        with self._cond:
+            while (
+                self._snapshot is None
+                and self._prime_error is None
+                and self._state == "active"
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    break
+            if self._prime_error is not None:
+                raise self._prime_error
+            if self._snapshot is None:
+                raise CollectionClosedError(
+                    f"subscription {self.id!r} was cancelled before its snapshot"
+                )
+            return self._snapshot, self._snapshot_version
+
+    def start_sender(self) -> None:
+        """Start delivering queued pushes (after the snapshot reply is built)."""
+        self._sender.start()
+
+    def close(self) -> None:
+        """Drop the subscription now: clear the queue, stop the sender."""
+        with self._cond:
+            if self._state == "closed":
+                return
+            self._state = "closed"
+            self._queue.clear()
+            self._cond.notify_all()
+
+    @property
+    def active(self) -> bool:
+        with self._cond:
+            return self._state == "active"
+
+    # -- sender thread -------------------------------------------------------------
+
+    def _run_sender(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and self._state in ("active", "ending"):
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                body = self._queue.popleft()
+                terminal = not self._queue and self._state == "ending"
+            try:
+                self._deliver(self.id, body)
+                self._m_pushes.inc()
+            except Exception as error:
+                logger.debug("subscription %r push delivery failed: %s", self.id, error)
+                self._manager.connection_lost(self)
+                return
+            if terminal:
+                self._manager.release(self)
+                return
+
+
+class _Watch:
+    """One watched live collection: commit hook + dispatcher thread."""
+
+    def __init__(self, manager: "SubscriptionManager", engine) -> None:
+        self._manager = manager
+        self._engine = engine
+        self.key = id(engine.collection)
+        self._cond = threading.Condition(make_lock("SubscriptionWatch._cond"))
+        self._subs: dict[int, ServerSubscription] = {}  # guarded-by: _cond
+        self._pending = 0  # guarded-by: _cond
+        self._stopped = False  # guarded-by: _cond
+        collection = engine.collection
+        self._prior_hook = collection.wal_hook
+        # one stable hook object: ``self._on_commit`` makes a fresh bound
+        # method per access, so identity checks need this exact reference
+        self._hook = self._on_commit
+        collection.wal_hook = self._hook
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sub-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def _on_commit(self, record) -> None:
+        # Runs on the mutator thread under the collection lock: never block,
+        # never query — just hand the work to the dispatcher.
+        prior = self._prior_hook
+        if prior is not None:
+            prior(record)
+        with self._cond:
+            self._pending += 1
+            self._cond.notify_all()
+
+    def attach(self, sub: ServerSubscription) -> bool:
+        """Register; ``False`` when the watch already stopped (caller retries)."""
+        with self._cond:
+            if self._stopped:
+                return False
+            self._subs[id(sub)] = sub
+            self._pending += 1  # force a pass so the new sub gets primed
+            self._cond.notify_all()
+            return True
+
+    def discard(self, sub: ServerSubscription) -> None:
+        with self._cond:
+            self._subs.pop(id(sub), None)
+
+    def subscribers(self) -> list[ServerSubscription]:
+        with self._cond:
+            return list(self._subs.values())
+
+    def empty(self) -> bool:
+        with self._cond:
+            return not self._subs
+
+    def stop(self) -> None:
+        collection = self._engine.collection
+        if collection.wal_hook is self._hook:
+            collection.wal_hook = self._prior_hook
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+
+    def join(self, timeout: float) -> None:
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while self._pending == 0 and not self._stopped:
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                batch = self._pending
+                self._pending = 0
+                subs = list(self._subs.values())
+            if batch > 1:
+                self._manager.note_coalesced(batch - 1)
+            version = self._engine.collection.version
+            for sub in subs:
+                self._refresh(sub, version)
+
+    def _refresh(self, sub: ServerSubscription, version: int) -> None:
+        try:
+            matches = _compute_matches(self._engine, sub.request)
+        except Exception as error:
+            # The collection was dropped or closed under the subscription
+            # (or the engine rejected the query): terminate it with the
+            # typed envelope a fresh query would have failed with.
+            logger.debug("standing query %r failed: %s", sub.id, error)
+            sub.fail(error)
+            self._manager.release(sub)
+            return
+        if sub.offer(matches, version):
+            self._manager.release(sub, overflow=True)
+
+
+class SubscriptionManager:
+    """Registry of every standing query a database is serving."""
+
+    def __init__(self, *, default_queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        self._default_queue_size = default_queue_size
+        self._lock = make_lock("SubscriptionManager._lock")
+        self._watches: dict[int, _Watch] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        registry = get_registry()
+        self._m_active = registry.gauge(
+            metric_names.SUB_ACTIVE, "Standing queries currently registered."
+        )
+        self._m_coalesced = registry.counter(
+            metric_names.SUB_COALESCED_TOTAL,
+            "Commit wake-ups merged into an already-pending recompute.",
+        )
+        self._m_overflows = registry.counter(
+            metric_names.SUB_OVERFLOWS_TOTAL,
+            "Subscriptions cancelled because their delta queue overflowed.",
+        )
+
+    @property
+    def active(self) -> int:
+        """How many subscriptions are currently registered."""
+        with self._lock:
+            return self._count
+
+    def subscribe(
+        self,
+        engine,
+        request: SubscribeRequest,
+        subscription_id: Any,
+        deliver: DeliverFn,
+        transport: str,
+    ) -> tuple[Response, ServerSubscription]:
+        """Register one standing query against ``engine``'s live collection.
+
+        Returns the snapshot reply (current result set plus subscription
+        metadata under ``data``) and the live handle; the caller sends the
+        reply, then pushes flow until unsubscribe, overflow, or disconnect.
+        """
+        queue_size = (
+            request.queue_size if request.queue_size is not None else self._default_queue_size
+        )
+        pushes = get_registry().counter(
+            metric_names.SUB_PUSHES_TOTAL,
+            "Push frames delivered to standing-query subscribers.",
+            transport=transport,
+        )
+        sub = ServerSubscription(
+            self, subscription_id, request, deliver, transport, queue_size, pushes
+        )
+        with self._lock:
+            if self._closed:
+                raise CollectionClosedError("database is closed; cannot subscribe")
+            self._count += 1
+        self._m_active.inc()
+        try:
+            key = id(engine.collection)
+            while True:
+                with self._lock:
+                    if self._closed:
+                        raise CollectionClosedError("database is closed; cannot subscribe")
+                    watch = self._watches.get(key)
+                    if watch is None:
+                        watch = _Watch(self, engine)
+                        self._watches[key] = watch
+                sub._watch = watch
+                if watch.attach(sub):
+                    break
+                with self._lock:
+                    if self._watches.get(key) is watch:
+                        del self._watches[key]
+            snapshot, version = sub.wait_primed()
+        except BaseException:
+            sub.close()
+            self.release(sub)
+            raise
+        response = Response(
+            ok=True,
+            matches=snapshot,
+            data={
+                "subscription": sub.id,
+                "mode": request.mode,
+                "version": version,
+                "queue_size": queue_size,
+                "format": request.format or "json",
+            },
+        )
+        sub.start_sender()
+        return response, sub
+
+    def unsubscribe(self, sub: ServerSubscription) -> None:
+        """Cancel one subscription cleanly (idempotent)."""
+        sub.close()
+        self.release(sub)
+
+    def cancel_all(self, subs: Iterable[ServerSubscription]) -> None:
+        """Tear down a connection's subscriptions on disconnect."""
+        for sub in list(subs):
+            self.unsubscribe(sub)
+
+    def connection_lost(self, sub: ServerSubscription) -> None:
+        """A push write failed: the connection is gone, drop the subscription."""
+        sub.close()
+        self.release(sub)
+
+    def note_coalesced(self, merged: int) -> None:
+        self._m_coalesced.inc(merged)
+
+    def release(self, sub: ServerSubscription, *, overflow: bool = False) -> None:
+        """Detach a subscription from its watch and settle the metrics once."""
+        with self._lock:
+            if sub._released:
+                return
+            sub._released = True
+            self._count -= 1
+        watch = sub._watch
+        if watch is not None:
+            watch.discard(sub)
+            self._maybe_retire(watch)
+        self._m_active.dec()
+        if overflow:
+            self._m_overflows.inc()
+
+    def _maybe_retire(self, watch: _Watch) -> None:
+        if not watch.empty():
+            return
+        with self._lock:
+            if self._watches.get(watch.key) is watch and watch.empty():
+                del self._watches[watch.key]
+            else:
+                return
+        watch.stop()
+
+    def close(self) -> None:
+        """Cancel every subscription and stop every watch (database close)."""
+        with self._lock:
+            self._closed = True
+            watches = list(self._watches.values())
+            self._watches.clear()
+        for watch in watches:
+            for sub in watch.subscribers():
+                sub.close()
+                self.release(sub)
+            watch.stop()
+        for watch in watches:
+            watch.join(timeout=5.0)

@@ -23,6 +23,8 @@ from repro.api.requests import (
     KnnRequest,
     RangeQueryRequest,
     REQUEST_TYPES,
+    SubscribeRequest,
+    UnsubscribeRequest,
     UpsertRequest,
     parse_request,
 )
@@ -45,6 +47,16 @@ EXAMPLES = [
     InsertRequest(collection="live", items=(9, 8, 7)),
     DeleteRequest(collection="live", key=42),
     UpsertRequest(collection="live", key=3, items=(5, 6, 7)),
+    SubscribeRequest(collection="live", mode="range", items=(3, 1, 4), theta=0.2),
+    SubscribeRequest(
+        collection="live",
+        mode="knn",
+        items=(3, 1, 4),
+        k=5,
+        algorithm="F&V",
+        queue_size=16,
+    ),
+    UnsubscribeRequest(collection="live", subscription=7),
     *[
         AdminRequest(collection="live", action=action)
         for action in ADMIN_ACTIONS

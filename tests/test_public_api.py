@@ -24,6 +24,7 @@ PUBLIC_PACKAGES = (
     "repro.service",
     "repro.live",
     "repro.api",
+    "repro.sub",
     "repro.obs",
 )
 

@@ -1,0 +1,268 @@
+"""Standing queries in-process: delta algebra, priming, coalescing, overflow.
+
+These tests drive :class:`~repro.sub.manager.SubscriptionManager` directly
+with collecting ``deliver`` callables — no sockets — so they pin down the
+server-side contracts the wire tests then observe end to end:
+
+* ``diff_matches`` / ``apply_delta`` are exact inverses over any before /
+  after result pair (same rids, distances, items, order);
+* the first offer primes the snapshot, later offers enqueue exact diffs,
+  and empty diffs are never sent;
+* a burst of commits coalesces into few recomputes (the counter metric
+  counts the merged wake-ups);
+* a subscriber that stops consuming overflows its bounded queue and gets
+  exactly one terminal ``subscription_overflow`` push — and only that
+  subscription dies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api.database import Database
+from repro.api.requests import SubscribeRequest
+from repro.api.responses import MatchPayload, Response
+from repro.core.errors import InvalidRequestError
+from repro.sub import (
+    EVENT_DELTA,
+    EVENT_ERROR,
+    PushDelta,
+    apply_delta,
+    delta_body,
+    diff_matches,
+)
+
+
+def _match(rid: int, distance: float, items=(1, 2, 3)) -> MatchPayload:
+    return MatchPayload(rid=rid, distance=distance, items=tuple(items))
+
+
+class TestDeltaAlgebra:
+    def test_diff_then_apply_round_trips(self):
+        before = [_match(1, 0.1), _match(2, 0.2), _match(3, 0.3)]
+        after = [_match(2, 0.05), _match(4, 0.15), _match(3, 0.3)]
+        delta = diff_matches({m.rid: m for m in before}, after, version=7)
+        assert [m.rid for m in delta.entered] == [4]
+        assert [m.rid for m in delta.moved] == [2]
+        assert delta.left == (1,)
+        assert delta.version == 7
+        replayed = apply_delta(tuple(before), delta)
+        assert replayed == tuple(sorted(after, key=lambda m: (m.distance, m.rid)))
+
+    def test_empty_diff_is_empty(self):
+        matches = [_match(1, 0.1), _match(2, 0.2)]
+        delta = diff_matches({m.rid: m for m in matches}, matches, version=1)
+        assert delta.empty
+        assert apply_delta(tuple(matches), delta) == tuple(matches)
+
+    def test_item_change_without_distance_change_is_a_move(self):
+        before = {1: _match(1, 0.1, items=(1, 2, 3))}
+        after = [_match(1, 0.1, items=(3, 2, 1))]
+        delta = diff_matches(before, after, version=2)
+        assert [m.rid for m in delta.moved] == [1]
+        assert not delta.entered and not delta.left
+
+    def test_apply_rejects_moving_an_absent_rid(self):
+        delta = PushDelta(version=1, moved=(_match(9, 0.5),))
+        with pytest.raises(InvalidRequestError, match="rid 9"):
+            apply_delta((), delta)
+
+    def test_wire_round_trip_via_dict(self):
+        delta = PushDelta(
+            version=3, entered=(_match(5, 0.25),), moved=(), left=(1, 4)
+        )
+        body = delta_body(delta)
+        assert body["event"] == EVENT_DELTA
+        assert PushDelta.from_dict(body) == delta
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(InvalidRequestError):
+            PushDelta.from_dict({"event": EVENT_DELTA, "version": "x"})
+        with pytest.raises(InvalidRequestError):
+            PushDelta.from_dict("not a dict")
+
+
+class _Collector:
+    """A deliver callable that records every push body."""
+
+    def __init__(self) -> None:
+        self.bodies: list[dict] = []
+        self._cond = threading.Condition()
+
+    def __call__(self, subscription_id, body: dict) -> None:
+        with self._cond:
+            self.bodies.append(dict(body))
+            self._cond.notify_all()
+
+    def wait_for(self, count: int, timeout: float = 10.0) -> list[dict]:
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self.bodies) < count:
+                remaining = deadline - time.monotonic()
+                assert remaining > 0, f"only {len(self.bodies)}/{count} pushes arrived"
+                self._cond.wait(timeout=remaining)
+            return list(self.bodies)
+
+
+def _result_bytes(matches) -> bytes:
+    """Matches-only comparison key (a subscribe reply carries extra data)."""
+    return Response(ok=True, matches=tuple(matches)).result_bytes()
+
+
+def _subscribe(database, collector, *, sub_id=1, theta=0.4, queue_size=None):
+    request = SubscribeRequest(
+        collection="live",
+        mode="range",
+        items=(1, 2, 3, 4, 5, 6),
+        theta=theta,
+        queue_size=queue_size,
+    )
+    engine = database._lookup("live").engine
+    return database.subscriptions.subscribe(engine, request, sub_id, collector, "test")
+
+
+class TestManager:
+    def _database(self):
+        database = Database()
+        live = database.create_live("live")
+        live.insert([1, 2, 3, 4, 5, 6])
+        live.insert([2, 1, 3, 4, 5, 6])
+        live.insert([9, 8, 7, 6, 5, 4])
+        return database
+
+    def test_snapshot_matches_a_fresh_query(self):
+        database = self._database()
+        try:
+            collector = _Collector()
+            response, sub = _subscribe(database, collector)
+            local = database.session().range_query([1, 2, 3, 4, 5, 6], 0.4, collection="live")
+            assert _result_bytes(response.matches) == _result_bytes(local.matches)
+            assert database.subscriptions.active == 1
+            database.subscriptions.unsubscribe(sub)
+            assert database.subscriptions.active == 0
+        finally:
+            database.close()
+
+    @staticmethod
+    def _converged(collector, snapshot, expected_bytes, timeout=10.0):
+        """Accumulated deltas over the snapshot reach the fresh answer."""
+        deadline = time.monotonic() + timeout
+        while True:
+            current = snapshot
+            for body in list(collector.bodies):
+                assert body["event"] == EVENT_DELTA
+                current = apply_delta(current, PushDelta.from_dict(body))
+            if _result_bytes(current) == expected_bytes:
+                return
+            assert time.monotonic() < deadline, "deltas never converged"
+            time.sleep(0.02)
+
+    def test_deltas_replay_to_the_fresh_answer_across_churn(self):
+        database = self._database()
+        try:
+            collector = _Collector()
+            response, sub = _subscribe(database, collector)
+            snapshot = tuple(response.matches)
+            session = database.session()
+
+            def fresh() -> bytes:
+                answer = session.range_query([1, 2, 3, 4, 5, 6], 0.4, collection="live")
+                return _result_bytes(answer.matches)
+
+            key = session.insert([1, 2, 3, 4, 6, 5], collection="live")
+            self._converged(collector, snapshot, fresh())
+            session.upsert(key, [1, 2, 3, 5, 4, 6], collection="live")
+            self._converged(collector, snapshot, fresh())
+            session.delete(key, collection="live")
+            self._converged(collector, snapshot, fresh())
+            database.subscriptions.unsubscribe(sub)
+        finally:
+            database.close()
+
+    def test_burst_coalesces_into_fewer_pushes(self):
+        database = self._database()
+        try:
+            collector = _Collector()
+            response, sub = _subscribe(database, collector, theta=0.99)
+            mutations = 40
+            session = database.session()
+            for index in range(mutations):
+                session.insert([1, 2, 3, 4, 5, 7 + index], collection="live")
+            expected = len(response.matches) + mutations
+
+            def settled() -> bool:
+                current = tuple(response.matches)
+                for body in list(collector.bodies):
+                    current = apply_delta(current, PushDelta.from_dict(body))
+                return len(current) == expected
+
+            deadline = time.monotonic() + 15.0
+            while not settled():
+                assert time.monotonic() < deadline, "burst never fully applied"
+                time.sleep(0.05)
+            # a sequential mutator cannot outrun the dispatcher by much, so
+            # coalescing is best-effort here; what must hold is that every
+            # push is an exact non-empty delta and none were lost
+            assert 1 <= len(collector.bodies) <= mutations
+            database.subscriptions.unsubscribe(sub)
+        finally:
+            database.close()
+
+    def test_overflow_cancels_with_one_terminal_error_push(self):
+        database = self._database()
+        try:
+            release = threading.Event()
+
+            class _Stuck(_Collector):
+                def __call__(self, subscription_id, body: dict) -> None:
+                    super().__call__(subscription_id, body)
+                    release.wait(timeout=30.0)  # jam the sender on its first push
+
+            stuck = _Stuck()
+            healthy = _Collector()
+            _, slow = _subscribe(database, stuck, sub_id=1, theta=0.99, queue_size=1)
+            _, fast = _subscribe(database, healthy, sub_id=2, theta=0.99, queue_size=64)
+            session = database.session()
+            # first insert occupies the jammed sender; the queue (bound 1)
+            # fills with the next delta, and one more overflows it
+            for extra in range(8):
+                session.insert([1, 2, 3, 4, 5, 100 + extra], collection="live")
+                time.sleep(0.05)
+
+            deadline = time.monotonic() + 10.0
+            while database.subscriptions.active != 1:
+                assert time.monotonic() < deadline, "overflow never cancelled the slow sub"
+                time.sleep(0.05)
+            release.set()
+            bodies = stuck.wait_for(2)
+            terminal = bodies[-1]
+            deadline = time.monotonic() + 10.0
+            while stuck.bodies[-1]["event"] != EVENT_ERROR:
+                assert time.monotonic() < deadline, "terminal overflow push never arrived"
+                time.sleep(0.05)
+                terminal = stuck.bodies[-1]
+            assert terminal["error"]["code"] == "subscription_overflow"
+            assert sum(1 for b in stuck.bodies if b["event"] == EVENT_ERROR) == 1
+            # the healthy subscription survived and kept receiving deltas
+            assert database.subscriptions.active == 1
+            assert healthy.bodies and all(
+                body["event"] == EVENT_DELTA for body in healthy.bodies
+            )
+            database.subscriptions.unsubscribe(fast)
+            database.subscriptions.unsubscribe(slow)  # idempotent on the dead one
+        finally:
+            database.close()
+
+    def test_close_tears_down_every_watch_and_restores_the_hook(self):
+        database = self._database()
+        engine = database._lookup("live").engine
+        prior_hook = engine.collection.wal_hook
+        collector = _Collector()
+        _subscribe(database, collector)
+        assert engine.collection.wal_hook is not prior_hook  # watch installed
+        database.close()
+        assert engine.collection.wal_hook is prior_hook  # chained hook restored
+        assert database.subscriptions.active == 0
